@@ -1,0 +1,52 @@
+// Command hpbdc-bench runs the reconstructed evaluation suite (DESIGN.md,
+// experiments E1..E12) and prints each experiment's table.
+//
+//	hpbdc-bench                 # run everything at full scale
+//	hpbdc-bench -small          # quick pass (CI-sized inputs)
+//	hpbdc-bench -run E1,E5,E12  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	small := flag.Bool("small", false, "run CI-sized inputs instead of full scale")
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *small {
+		scale = experiments.Small
+	}
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		t0 := time.Now()
+		table := r.Run(scale)
+		table.Fprint(os.Stdout)
+		fmt.Printf("  [%s completed in %v]\n", r.ID, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q\n", *runList)
+		os.Exit(2)
+	}
+	fmt.Printf("\n%d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,88 @@
+// Command hpbdc-kvbench drives the Dynamo-style KV store with a skewed
+// operation mix and prints throughput, latency and consistency-machinery
+// activity.
+//
+//	hpbdc-kvbench -ops 500000 -r 2 -w 2 -skew 0.99 -transport tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	ops := flag.Int("ops", 200_000, "operations to run")
+	keys := flag.Int("keys", 100_000, "distinct keys")
+	n := flag.Int("n", 3, "replication factor")
+	r := flag.Int("r", 2, "read quorum")
+	w := flag.Int("w", 2, "write quorum")
+	skew := flag.Float64("skew", 0.99, "Zipf exponent (0 = uniform)")
+	readFrac := flag.Float64("reads", 0.9, "fraction of reads")
+	valueSize := flag.Int("value", 128, "value size in bytes")
+	transport := flag.String("transport", "tcp", "network model: rdma, tcp, ipoib")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	flag.Parse()
+
+	var model netsim.Model
+	switch *transport {
+	case "rdma":
+		model = netsim.RDMA40G
+	case "ipoib":
+		model = netsim.IPoIB40G
+	default:
+		model = netsim.TCP40G
+	}
+	racks := *nodes / 4
+	if racks < 1 {
+		racks = 1
+	}
+	fab := netsim.NewFabric(topology.TwoTier(racks, *nodes/racks, 2), model)
+	store, err := kvstore.New(kvstore.Config{Fabric: fab, N: *n, R: *r, W: *w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trace := workload.KVOps(*ops, *keys, *skew, *readFrac, *valueSize, 7)
+	start := time.Now()
+	notFound := 0
+	for i, op := range trace {
+		coord := topology.NodeID(i % *nodes)
+		switch op.Kind {
+		case workload.OpPut:
+			if _, err := store.Put(coord, op.Key, op.Value); err != nil {
+				log.Fatal(err)
+			}
+		case workload.OpGet:
+			if _, _, err := store.Get(coord, op.Key); err != nil {
+				if err == kvstore.ErrNotFound {
+					notFound++
+					continue
+				}
+				log.Fatal(err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	get := store.Reg.Histogram("get_latency_ns").Snapshot()
+	put := store.Reg.Histogram("put_latency_ns").Snapshot()
+	fmt.Printf("%d ops on %d nodes (N=%d R=%d W=%d, %s, zipf %.2f) in %v: %.0f ops/s\n",
+		*ops, *nodes, *n, *r, *w, model.Name, *skew, elapsed.Round(time.Millisecond),
+		float64(*ops)/elapsed.Seconds())
+	fmt.Printf("get: mean %v p99 %v  (%d misses)\n",
+		time.Duration(int64(get.Mean)).Round(time.Microsecond),
+		time.Duration(get.P99).Round(time.Microsecond), notFound)
+	fmt.Printf("put: mean %v p99 %v\n",
+		time.Duration(int64(put.Mean)).Round(time.Microsecond),
+		time.Duration(put.P99).Round(time.Microsecond))
+	fmt.Printf("read repairs: %d, hinted handoffs: %d\n",
+		store.Reg.Counter("read_repairs").Value(),
+		store.Reg.Counter("hinted_handoffs").Value())
+}

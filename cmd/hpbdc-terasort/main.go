@@ -1,0 +1,75 @@
+// Command hpbdc-terasort runs a configurable TeraSort on the simulated
+// cluster and validates the output.
+//
+//	hpbdc-terasort -records 1000000 -nodes 16 -transport rdma
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	hpbdc "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	records := flag.Int("records", 200_000, "records to sort (100 bytes each)")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	transport := flag.String("transport", "rdma", "network model: rdma, tcp, ipoib")
+	codec := flag.String("codec", "none", "shuffle compression: none, rle, lz, flate")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	racks := *nodes / 4
+	if racks < 1 {
+		racks = 1
+	}
+	ctx := hpbdc.New(hpbdc.Config{
+		Racks:        racks,
+		NodesPerRack: *nodes / racks,
+		Transport:    *transport,
+		ShuffleCodec: *codec,
+		Seed:         *seed,
+	})
+	parts := *nodes * 2
+	gen := hpbdc.SourceFunc(ctx, parts, func(part int) []hpbdc.Pair[string, string] {
+		recs := workload.TeraGen(*records/parts, *seed+uint64(part))
+		out := make([]hpbdc.Pair[string, string], len(recs))
+		for i, r := range recs {
+			out[i] = hpbdc.Pair[string, string]{Key: string(r.Key), Value: string(r.Value)}
+		}
+		return out
+	})
+
+	start := time.Now()
+	sorted, err := hpbdc.SortByKey(gen, hpbdc.StringCodec, hpbdc.StringCodec, parts, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sorted.CollectPartitions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	n, prev := 0, ""
+	for _, part := range out {
+		for _, p := range part {
+			if p.Key < prev {
+				log.Fatalf("output not sorted at record %d", n)
+			}
+			prev = p.Key
+			n++
+		}
+	}
+	reg := ctx.Engine().Reg
+	fmt.Printf("sorted %d records (%.1f MB) on %d nodes over %s in %v\n",
+		n, float64(n)*100/1e6, *nodes, *transport, wall.Round(time.Millisecond))
+	fmt.Printf("simulated network time: %v; shuffle raw %d B, wire %d B, %d spills\n",
+		ctx.Engine().NetTime().Round(time.Millisecond),
+		reg.Counter("shuffle_raw_bytes").Value(),
+		reg.Counter("shuffle_wire_bytes").Value(),
+		reg.Counter("shuffle_spills").Value())
+}

@@ -1,0 +1,71 @@
+package hpbdc
+
+import (
+	"repro/internal/serde"
+)
+
+// Codec serializes values of type T for shuffles and checkpoints. Encode
+// and Decode must be inverses. For SortByKey, the key codec must be
+// order-preserving: byte-wise comparison of encodings must match the
+// intended ordering (StringCodec and Uint64SortableCodec are; Int64Codec's
+// varints are not).
+type Codec[T any] struct {
+	Encode func(T) []byte
+	Decode func([]byte) T
+}
+
+// StringCodec encodes strings as raw bytes (order-preserving).
+var StringCodec = Codec[string]{
+	Encode: func(s string) []byte { return []byte(s) },
+	Decode: func(b []byte) string { return string(b) },
+}
+
+// BytesCodec passes byte slices through (order-preserving).
+var BytesCodec = Codec[[]byte]{
+	Encode: func(b []byte) []byte { return b },
+	Decode: func(b []byte) []byte { return append([]byte(nil), b...) },
+}
+
+// Int64Codec encodes int64 as zigzag varints (compact, NOT
+// order-preserving; use Uint64SortableCodec for sorts).
+var Int64Codec = Codec[int64]{
+	Encode: serde.EncodeInt64,
+	Decode: func(b []byte) int64 {
+		v, err := serde.DecodeInt64(b)
+		if err != nil {
+			panic("hpbdc: corrupt int64 encoding: " + err.Error())
+		}
+		return v
+	},
+}
+
+// IntCodec encodes int via Int64Codec.
+var IntCodec = Codec[int]{
+	Encode: func(v int) []byte { return serde.EncodeInt64(int64(v)) },
+	Decode: func(b []byte) int { return int(Int64Codec.Decode(b)) },
+}
+
+// Float64Codec encodes float64 as fixed 8 bytes (not order-preserving).
+var Float64Codec = Codec[float64]{
+	Encode: serde.EncodeFloat64,
+	Decode: func(b []byte) float64 {
+		v, err := serde.DecodeFloat64(b)
+		if err != nil {
+			panic("hpbdc: corrupt float64 encoding: " + err.Error())
+		}
+		return v
+	},
+}
+
+// Uint64SortableCodec encodes uint64 big-endian so byte order equals
+// numeric order — the key codec for numeric sorts.
+var Uint64SortableCodec = Codec[uint64]{
+	Encode: serde.SortableUint64Key,
+	Decode: func(b []byte) uint64 {
+		v, err := serde.FromSortableUint64Key(b)
+		if err != nil {
+			panic("hpbdc: corrupt sortable uint64: " + err.Error())
+		}
+		return v
+	},
+}

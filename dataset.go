@@ -1,0 +1,281 @@
+package hpbdc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Dataset is a typed, immutable, partitioned collection — the user-facing
+// handle on a plan in the engine's lineage graph. Transformations are lazy;
+// actions (Collect, Count, Reduce, Save) trigger execution.
+type Dataset[T any] struct {
+	ctx  *Context
+	plan *core.Plan
+}
+
+// Context returns the dataset's owning context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// Plan exposes the underlying logical plan (for engine-level operations
+// such as core.Engine.Checkpoint).
+func (d *Dataset[T]) Plan() *core.Plan { return d.plan }
+
+// Partitions returns the dataset's partition count.
+func (d *Dataset[T]) Partitions() int { return d.plan.Partitions() }
+
+// Parallelize distributes data across parts partitions round-robin.
+func Parallelize[T any](c *Context, data []T, parts int) *Dataset[T] {
+	if parts <= 0 {
+		parts = c.cluster.Size()
+	}
+	owned := append([]T(nil), data...)
+	plan := c.engine.NewSource(parts, func(_ *core.TaskContext, part int) []core.Row {
+		var rows []core.Row
+		for i := part; i < len(owned); i += parts {
+			rows = append(rows, owned[i])
+		}
+		return rows
+	}, nil)
+	return &Dataset[T]{ctx: c, plan: plan}
+}
+
+// SourceFunc builds a dataset whose partitions are generated on demand by
+// fn — the entry point for synthetic workloads. fn must be deterministic
+// per partition: it may be re-invoked for lineage recovery.
+func SourceFunc[T any](c *Context, parts int, fn func(part int) []T) *Dataset[T] {
+	plan := c.engine.NewSource(parts, func(_ *core.TaskContext, part int) []core.Row {
+		data := fn(part)
+		rows := make([]core.Row, len(data))
+		for i, v := range data {
+			rows[i] = v
+		}
+		return rows
+	}, nil)
+	return &Dataset[T]{ctx: c, plan: plan}
+}
+
+// Map applies f to every element.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	plan := d.ctx.engine.NewNarrow(d.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		out := make([]core.Row, len(rows))
+		for i, r := range rows {
+			out[i] = f(r.(T))
+		}
+		return out
+	})
+	return &Dataset[U]{ctx: d.ctx, plan: plan}
+}
+
+// FlatMap applies f and flattens the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	plan := d.ctx.engine.NewNarrow(d.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		var out []core.Row
+		for _, r := range rows {
+			for _, u := range f(r.(T)) {
+				out = append(out, u)
+			}
+		}
+		return out
+	})
+	return &Dataset[U]{ctx: d.ctx, plan: plan}
+}
+
+// Filter keeps elements where f is true.
+func (d *Dataset[T]) Filter(f func(T) bool) *Dataset[T] {
+	plan := d.ctx.engine.NewNarrow(d.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		var out []core.Row
+		for _, r := range rows {
+			if f(r.(T)) {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+	return &Dataset[T]{ctx: d.ctx, plan: plan}
+}
+
+// MapPartitions applies f to whole partitions at once (for per-partition
+// setup such as building a local index).
+func MapPartitions[T, U any](d *Dataset[T], f func(part int, rows []T) []U) *Dataset[U] {
+	plan := d.ctx.engine.NewNarrow(d.plan, func(ctx *core.TaskContext, rows []core.Row) []core.Row {
+		in := make([]T, len(rows))
+		for i, r := range rows {
+			in[i] = r.(T)
+		}
+		outs := f(ctx.Partition, in)
+		out := make([]core.Row, len(outs))
+		for i, u := range outs {
+			out[i] = u
+		}
+		return out
+	})
+	return &Dataset[U]{ctx: d.ctx, plan: plan}
+}
+
+// Union concatenates datasets of the same type.
+func Union[T any](a *Dataset[T], more ...*Dataset[T]) *Dataset[T] {
+	plans := []*core.Plan{a.plan}
+	for _, d := range more {
+		plans = append(plans, d.plan)
+	}
+	return &Dataset[T]{ctx: a.ctx, plan: a.ctx.engine.NewUnion(plans...)}
+}
+
+// Cache memoizes computed partitions in memory for reuse across jobs.
+func (d *Dataset[T]) Cache() *Dataset[T] {
+	d.plan.Cache()
+	return d
+}
+
+// Collect computes the dataset and returns all elements.
+func (d *Dataset[T]) Collect() ([]T, error) {
+	rows, err := d.ctx.engine.Collect(d.plan)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(rows))
+	for i, r := range rows {
+		out[i] = r.(T)
+	}
+	return out, nil
+}
+
+// CollectPartitions computes the dataset preserving partition boundaries.
+func (d *Dataset[T]) CollectPartitions() ([][]T, error) {
+	parts, err := d.ctx.engine.Run(d.plan)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, len(parts))
+	for i, rows := range parts {
+		out[i] = make([]T, len(rows))
+		for j, r := range rows {
+			out[i][j] = r.(T)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of elements.
+func (d *Dataset[T]) Count() (int64, error) {
+	return d.ctx.engine.Count(d.plan)
+}
+
+// Reduce folds all elements with f (which must be associative and
+// commutative). It fails on an empty dataset.
+func (d *Dataset[T]) Reduce(f func(T, T) T) (T, error) {
+	var zero T
+	// Per-partition partial reduce runs in parallel; the driver folds the
+	// partials.
+	partials := MapPartitions(d, func(_ int, rows []T) []T {
+		if len(rows) == 0 {
+			return nil
+		}
+		acc := rows[0]
+		for _, r := range rows[1:] {
+			acc = f(acc, r)
+		}
+		return []T{acc}
+	})
+	vals, err := partials.Collect()
+	if err != nil {
+		return zero, err
+	}
+	if len(vals) == 0 {
+		return zero, errors.New("hpbdc: Reduce of empty dataset")
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = f(acc, v)
+	}
+	return acc, nil
+}
+
+// Checkpoint materializes the dataset to the DFS, truncating its lineage:
+// failures after the checkpoint restore from storage instead of
+// recomputing upstream stages.
+func (d *Dataset[T]) Checkpoint(path string, codec Codec[T]) error {
+	return d.ctx.engine.Checkpoint(d.plan, path,
+		func(r core.Row) []byte { return codec.Encode(r.(T)) },
+		func(b []byte) core.Row { return codec.Decode(b) },
+	)
+}
+
+// ---------------------------------------------------------------------------
+// DFS text I/O
+
+// SaveAsTextFile writes one DFS file per partition under prefix
+// (prefix/part-00000, ...), each line one element, written node-locally.
+// It is an action.
+func SaveAsTextFile(d *Dataset[string], prefix string) error {
+	fs := d.ctx.fs
+	sink := d.ctx.engine.NewNarrow(d.plan, func(ctx *core.TaskContext, rows []core.Row) []core.Row {
+		path := fmt.Sprintf("%s/part-%05d", prefix, ctx.Partition)
+		_ = fs.Delete(path) // idempotence under task retry
+		w, err := fs.CreateWith(path, 0, ctx.Node)
+		if err != nil {
+			panic(fmt.Sprintf("hpbdc: SaveAsTextFile: %v", err))
+		}
+		for _, r := range rows {
+			if _, err := io.WriteString(w, r.(string)); err != nil {
+				panic(err)
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				panic(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			panic(err)
+		}
+		return nil
+	})
+	_, err := d.ctx.engine.Run(sink)
+	return err
+}
+
+// TextFile reads every DFS file under prefix as a dataset of lines, one
+// partition per file, scheduled next to the file's first block replicas.
+// Remote reads charge the fabric.
+func TextFile(c *Context, prefix string) *Dataset[string] {
+	files := c.fs.List(prefix)
+	if len(files) == 0 {
+		return Parallelize[string](c, nil, 1)
+	}
+	prefs := func(part int) []topology.NodeID {
+		locs, err := c.fs.BlockLocations(files[part])
+		if err != nil || len(locs) == 0 {
+			return nil
+		}
+		return locs[0].Replicas
+	}
+	plan := c.engine.NewSource(len(files), func(ctx *core.TaskContext, part int) []core.Row {
+		locs, err := c.fs.BlockLocations(files[part])
+		if err != nil {
+			panic(fmt.Sprintf("hpbdc: TextFile: %v", err))
+		}
+		var data []byte
+		for _, b := range locs {
+			blockData, served, err := c.fs.ReadBlock(b.ID, ctx.Node)
+			if err != nil {
+				panic(fmt.Sprintf("hpbdc: TextFile: %v", err))
+			}
+			cost := c.fabric.Cost(served, ctx.Node, b.Length)
+			c.engine.Reg.Counter("net_time_ns").Add(int64(cost))
+			c.engine.Reg.Counter("input_bytes").Add(b.Length)
+			data = append(data, blockData...)
+		}
+		var rows []core.Row
+		for _, line := range strings.Split(string(data), "\n") {
+			if line != "" {
+				rows = append(rows, line)
+			}
+		}
+		return rows
+	}, prefs)
+	return &Dataset[string]{ctx: c, plan: plan}
+}

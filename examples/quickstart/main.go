@@ -1,0 +1,66 @@
+// Quickstart: the canonical WordCount on the hpbdc dataset API, including
+// DFS text I/O and the metrics the engine collects along the way.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	hpbdc "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// An 8-node, 2-rack simulated cluster over the RDMA transport model.
+	ctx := hpbdc.New(hpbdc.Config{
+		Racks:        2,
+		NodesPerRack: 4,
+		Transport:    "rdma",
+		BlockSize:    64 << 10,
+		Seed:         42,
+	})
+
+	// Generate a Zipf-worded corpus and store it in the DFS.
+	corpus := workload.Text(2000, 12, 500, 1.0, 7)
+	if err := hpbdc.SaveAsTextFile(hpbdc.Parallelize(ctx, corpus, 8), "/corpus"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The classic pipeline: read → split → key → count.
+	lines := hpbdc.TextFile(ctx, "/corpus")
+	words := hpbdc.FlatMap(lines, strings.Fields)
+	pairs := hpbdc.KeyBy(words, func(w string) string { return w })
+	counts, err := hpbdc.CountByKey(pairs, hpbdc.StringCodec, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type wc struct {
+		word string
+		n    int64
+	}
+	var ranked []wc
+	var total int64
+	for w, n := range counts {
+		ranked = append(ranked, wc{w, n})
+		total += n
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+
+	fmt.Printf("counted %d words, %d distinct; top 10:\n", total, len(ranked))
+	for i := 0; i < 10 && i < len(ranked); i++ {
+		fmt.Printf("  %2d. %-12s %6d\n", i+1, ranked[i].word, ranked[i].n)
+	}
+
+	reg := ctx.Engine().Reg
+	fmt.Printf("\nengine: %d tasks, %d retries, shuffle %d B raw / %d B wire, net time %v\n",
+		reg.Counter("tasks_launched").Value(),
+		reg.Counter("task_retries").Value(),
+		reg.Counter("shuffle_raw_bytes").Value(),
+		reg.Counter("shuffle_wire_bytes").Value(),
+		ctx.Engine().NetTime())
+}

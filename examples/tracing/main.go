@@ -1,0 +1,62 @@
+// Tracing: attach the execution tracer to a job with injected task
+// failures, then export a Chrome trace (chrome://tracing / Perfetto) that
+// makes the retries and per-executor timeline visible.
+//
+//	go run ./examples/tracing > job-trace.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	hpbdc "repro"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	ctx := hpbdc.New(hpbdc.Config{
+		Racks:        2,
+		NodesPerRack: 4,
+		TaskFailProb: 0.15, // make some retries happen so the trace shows them
+		Seed:         8,
+	})
+	rec := trace.New()
+	ctx.Engine().SetTracer(rec)
+
+	lines := hpbdc.Parallelize(ctx, workload.Text(500, 10, 200, 1.0, 2), 12)
+	words := hpbdc.FlatMap(lines, strings.Fields)
+	counts, err := hpbdc.CountByKey(
+		hpbdc.KeyBy(words, func(w string) string { return w }), hpbdc.StringCodec, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Summary to stderr; the Chrome trace JSON goes to stdout.
+	spans := rec.Spans()
+	perTrack := map[string]int{}
+	retries, failures := 0, 0
+	var busy time.Duration
+	for _, s := range spans {
+		perTrack[s.Track]++
+		busy += s.Duration
+		if s.Args["outcome"] != "ok" {
+			failures++
+		}
+		if !strings.HasSuffix(s.Name, "a0") {
+			retries++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "job counted %d distinct words\n", len(counts))
+	fmt.Fprintf(os.Stderr, "trace: %d task spans on %d executors, %d failed attempts, %d retries, %v total busy time\n",
+		len(spans), len(perTrack), failures, retries, busy.Round(time.Millisecond))
+	for track, n := range perTrack {
+		fmt.Fprintf(os.Stderr, "  %s ran %d tasks\n", track, n)
+	}
+	if err := rec.WriteChromeTrace(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package hpbdc
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/shuffle"
+)
+
+// Distinct removes duplicates (by codec-encoded identity) with one
+// shuffle.
+func Distinct[T comparable](d *Dataset[T], codec Codec[T], parts int) *Dataset[T] {
+	if parts <= 0 {
+		parts = d.Partitions()
+	}
+	plan := d.ctx.engine.NewShuffled(d.plan, core.ShuffleDep{
+		Partitions: parts,
+		KeyOf:      func(r core.Row) []byte { return codec.Encode(r.(T)) },
+		ValueOf:    func(core.Row) []byte { return nil },
+		// Map-side combiner collapses duplicates before they move.
+		Combiner: func(a, b []byte) []byte { return a },
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			seen := map[string]bool{}
+			var out []core.Row
+			for _, rec := range recs {
+				k := string(rec.Key)
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, codec.Decode(rec.Key))
+				}
+			}
+			return out
+		},
+	})
+	return &Dataset[T]{ctx: d.ctx, plan: plan}
+}
+
+// Sample keeps each element independently with probability frac,
+// deterministically per partition (so lineage recovery reproduces the
+// same sample).
+func (d *Dataset[T]) Sample(frac float64, seed uint64) *Dataset[T] {
+	if frac >= 1 {
+		return d
+	}
+	plan := d.ctx.engine.NewNarrow(d.plan, func(ctx *core.TaskContext, rows []core.Row) []core.Row {
+		gen := rng.New(seed + uint64(ctx.Partition)*0x9e3779b9)
+		var out []core.Row
+		for _, r := range rows {
+			if gen.Float64() < frac {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+	return &Dataset[T]{ctx: d.ctx, plan: plan}
+}
+
+// indexedRow carries a deterministic spread key alongside the row.
+type indexedRow struct {
+	key uint64
+	row core.Row
+}
+
+// Repartition redistributes the dataset into `parts` partitions via a
+// shuffle keyed on a deterministic per-(partition, position) index — the
+// fix for skewed or too-few partitions before an expensive stage. The key
+// must be deterministic (not a global counter): lineage recovery may
+// recompute a subset of map tasks, and only a reproducible key assignment
+// keeps rows in the same reduce partitions across attempts.
+func Repartition[T any](d *Dataset[T], codec Codec[T], parts int) *Dataset[T] {
+	if parts <= 0 {
+		parts = d.ctx.cluster.Size()
+	}
+	indexed := d.ctx.engine.NewNarrow(d.plan, func(ctx *core.TaskContext, rows []core.Row) []core.Row {
+		out := make([]core.Row, len(rows))
+		for i, r := range rows {
+			// Golden-ratio stride decorrelates partition and position so
+			// hash partitioning spreads evenly.
+			key := uint64(ctx.Partition)*0x9E3779B97F4A7C15 + uint64(i)
+			out[i] = indexedRow{key: key, row: r}
+		}
+		return out
+	})
+	plan := d.ctx.engine.NewShuffled(indexed, core.ShuffleDep{
+		Partitions: parts,
+		KeyOf: func(r core.Row) []byte {
+			v := r.(indexedRow).key
+			var b [8]byte
+			for k := 0; k < 8; k++ {
+				b[k] = byte(v)
+				v >>= 8
+			}
+			return b[:]
+		},
+		ValueOf: func(r core.Row) []byte { return codec.Encode(r.(indexedRow).row.(T)) },
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			out := make([]core.Row, len(recs))
+			for i, rec := range recs {
+				out[i] = codec.Decode(rec.Value)
+			}
+			return out
+		},
+	})
+	return &Dataset[T]{ctx: d.ctx, plan: plan}
+}

@@ -1,0 +1,218 @@
+package hpbdc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestDistinct(t *testing.T) {
+	c := testCtx(Config{})
+	var data []int
+	for i := 0; i < 300; i++ {
+		data = append(data, i%40)
+	}
+	d := Parallelize(c, data, 6)
+	got, err := Distinct(d, IntCodec, 4).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if len(got) != 40 {
+		t.Fatalf("distinct = %d values, want 40", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSampleFractionAndDeterminism(t *testing.T) {
+	c := testCtx(Config{})
+	data := make([]int, 20000)
+	for i := range data {
+		data[i] = i
+	}
+	d := Parallelize(c, data, 8)
+	s1, err := d.Sample(0.3, 7).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(s1)) / 20000
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("sample fraction %.3f, want ~0.3", frac)
+	}
+	s2, err := d.Sample(0.3, 7).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatal("same seed produced different samples")
+	}
+	full, err := d.Sample(1.0, 7).Count()
+	if err != nil || full != 20000 {
+		t.Fatalf("frac>=1 should be identity: %d", full)
+	}
+}
+
+func TestRepartitionEvensSkew(t *testing.T) {
+	c := testCtx(Config{})
+	// All data in one of 8 partitions.
+	d := SourceFunc(c, 8, func(part int) []int64 {
+		if part != 0 {
+			return nil
+		}
+		out := make([]int64, 1000)
+		for i := range out {
+			out[i] = int64(i)
+		}
+		return out
+	})
+	re := Repartition(d, Int64Codec, 8)
+	parts, err := re.CollectPartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, max int
+	for _, p := range parts {
+		total += len(p)
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("repartition lost rows: %d", total)
+	}
+	if max > 300 {
+		t.Fatalf("repartition still skewed: max partition %d of 1000", max)
+	}
+}
+
+func TestChaosRandomNodeKillsExactResults(t *testing.T) {
+	// A chaos goroutine kills and revives random executors while jobs
+	// run; every job must still return exactly correct results or a clean
+	// abort (never a wrong answer).
+	c := testCtx(Config{Racks: 2, NodesPerRack: 4, Seed: 99})
+	corpus := workload.Text(200, 8, 100, 0.9, 1)
+	want := map[string]int64{}
+	for _, line := range corpus {
+		for _, w := range strings.Fields(line) {
+			want[w]++
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := rng.New(123)
+		for {
+			select {
+			case <-stop:
+				// Revive everyone on exit.
+				for i := 0; i < 8; i++ {
+					_ = c.Cluster().Revive(topology.NodeID(i))
+				}
+				return
+			default:
+			}
+			victim := topology.NodeID(gen.Intn(8))
+			_ = c.Cluster().Kill(victim)
+			time.Sleep(time.Millisecond)
+			_ = c.Cluster().Revive(victim)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	aborted, succeeded := 0, 0
+	for run := 0; run < 10; run++ {
+		lines := Parallelize(c, corpus, 8)
+		words := FlatMap(lines, strings.Fields)
+		counts, err := CountByKey(KeyBy(words, func(w string) string { return w }), StringCodec, 4)
+		if err != nil {
+			aborted++ // acceptable: too much carnage, but never wrong
+			continue
+		}
+		succeeded++
+		if len(counts) != len(want) {
+			t.Fatalf("run %d: %d words, want %d", run, len(counts), len(want))
+		}
+		for w, n := range want {
+			if counts[w] != n {
+				t.Fatalf("run %d: count[%q] = %d, want %d", run, w, counts[w], n)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if succeeded == 0 {
+		t.Fatalf("no run succeeded under chaos (%d aborted)", aborted)
+	}
+}
+
+func TestRepartitionExactUnderFaultInjection(t *testing.T) {
+	// Repartition's spread key must be deterministic: with injected task
+	// failures forcing map-task recomputation, the result must still be
+	// the exact multiset (a global-counter key would duplicate/lose rows).
+	c := testCtx(Config{TaskFailProb: 0.3, Seed: 77})
+	var data []int64
+	for i := 0; i < 400; i++ {
+		data = append(data, int64(i))
+	}
+	d := Parallelize(c, data, 6)
+	got, err := Repartition(d, Int64Codec, 5).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 400 {
+		t.Fatalf("repartition under faults returned %d rows, want 400", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate row %d after recovery", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDistinctEmpty(t *testing.T) {
+	c := testCtx(Config{})
+	got, err := Distinct(Parallelize[int](c, nil, 2), IntCodec, 2).Collect()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRepartitionRoundTripsValues(t *testing.T) {
+	c := testCtx(Config{})
+	var data []string
+	for i := 0; i < 500; i++ {
+		data = append(data, fmt.Sprintf("value-%03d", i))
+	}
+	d := Parallelize(c, data, 3)
+	got, err := Repartition(d, StringCodec, 7).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	sort.Strings(data)
+	if len(got) != len(data) {
+		t.Fatalf("lost rows: %d vs %d", len(got), len(data))
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("row %d = %q, want %q", i, got[i], data[i])
+		}
+	}
+}

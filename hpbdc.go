@@ -1,0 +1,165 @@
+// Package hpbdc is a high-performance big data and cloud computing
+// framework: a typed, Spark-style dataset API over a lineage-based DAG
+// engine, backed by a simulated datacenter (topology, RDMA/TCP transport
+// cost models, an HDFS-like DFS, slot-based executors) plus the companion
+// systems the domain leans on — a quorum-replicated KV store, Raft
+// metadata consensus, SWIM membership, an event-time streaming engine, a
+// Pregel-style graph engine, a parameter server and a cloud autoscaler.
+//
+// Quick start:
+//
+//	ctx := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4})
+//	lines := hpbdc.Parallelize(ctx, []string{"a b", "b c"}, 2)
+//	words := hpbdc.FlatMap(lines, func(l string) []string { return strings.Fields(l) })
+//	pairs := hpbdc.KeyBy(words, func(w string) string { return w })
+//	ones := hpbdc.MapValues(pairs, func(string) int64 { return 1 })
+//	counts := hpbdc.ReduceByKey(ones, hpbdc.StringCodec, hpbdc.Int64Codec, 4,
+//		func(a, b int64) int64 { return a + b })
+//	result, err := counts.Collect()
+//
+// Everything runs in-process: tasks are real goroutines over real bytes;
+// the network, failures and placement are simulated deterministically.
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduced evaluation suite.
+package hpbdc
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Config describes the simulated datacenter and engine settings.
+type Config struct {
+	// Racks and NodesPerRack define the cluster shape. Defaults: 2 x 4.
+	Racks, NodesPerRack int
+	// Oversub is the core oversubscription factor (>= 1). Default 2.
+	Oversub float64
+	// Transport selects the network cost model: "rdma" (default), "tcp"
+	// or "ipoib".
+	Transport string
+	// SlotsPerNode is per-node task concurrency. Default 2.
+	SlotsPerNode int
+	// BlockSize is the DFS split size. Default 4 MiB.
+	BlockSize int64
+	// Replication is the DFS replica count. Default 3.
+	Replication int
+	// ShuffleCodec names the shuffle compression codec: "none" (default),
+	// "rle", "lz", "flate".
+	ShuffleCodec string
+	// ForceSortShuffle routes all shuffles through the sort-based writer.
+	ForceSortShuffle bool
+	// TaskFailProb injects transient task failures (fault experiments).
+	TaskFailProb float64
+	// Seed drives all randomness (placement, failures). Default 1.
+	Seed uint64
+}
+
+// Context owns one simulated cluster and its engine. Create with New.
+type Context struct {
+	top     *topology.Topology
+	fabric  *netsim.Fabric
+	cluster *cluster.Cluster
+	fs      *dfs.DFS
+	engine  *core.Engine
+	seed    uint64
+}
+
+// TransportModel resolves a transport name to its cost model.
+func TransportModel(name string) (netsim.Model, error) {
+	switch name {
+	case "rdma", "":
+		return netsim.RDMA40G, nil
+	case "tcp":
+		return netsim.TCP40G, nil
+	case "ipoib":
+		return netsim.IPoIB40G, nil
+	default:
+		return netsim.Model{}, fmt.Errorf("hpbdc: unknown transport %q", name)
+	}
+}
+
+// New builds a context. Invalid configuration panics: a bad cluster shape
+// is a programming error, not a runtime condition.
+func New(cfg Config) *Context {
+	if cfg.Racks <= 0 {
+		cfg.Racks = 2
+	}
+	if cfg.NodesPerRack <= 0 {
+		cfg.NodesPerRack = 4
+	}
+	if cfg.Oversub < 1 {
+		cfg.Oversub = 2
+	}
+	if cfg.SlotsPerNode <= 0 {
+		cfg.SlotsPerNode = 2
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4 << 20
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	model, err := TransportModel(cfg.Transport)
+	if err != nil {
+		panic(err)
+	}
+	codec, err := compress.ByName(cfg.ShuffleCodec)
+	if err != nil {
+		panic(err)
+	}
+	top := topology.TwoTier(cfg.Racks, cfg.NodesPerRack, cfg.Oversub)
+	fabric := netsim.NewFabric(top, model)
+	cl := cluster.New(cluster.Config{Fabric: fabric, SlotsPerNode: cfg.SlotsPerNode})
+	fs := dfs.New(dfs.Config{
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		Topology:    top,
+		Seed:        cfg.Seed,
+	})
+	eng := core.NewEngine(core.Config{
+		Cluster:          cl,
+		DFS:              fs,
+		Codec:            codec,
+		ForceSortShuffle: cfg.ForceSortShuffle,
+		TaskFailProb:     cfg.TaskFailProb,
+		Seed:             cfg.Seed,
+	})
+	return &Context{top: top, fabric: fabric, cluster: cl, fs: fs, engine: eng, seed: cfg.Seed}
+}
+
+// Engine exposes the underlying dataflow engine (metrics, checkpoints).
+func (c *Context) Engine() *core.Engine { return c.engine }
+
+// Cluster exposes the executor cluster (failure injection, capacity).
+func (c *Context) Cluster() *cluster.Cluster { return c.cluster }
+
+// DFS exposes the distributed file system.
+func (c *Context) DFS() *dfs.DFS { return c.fs }
+
+// Fabric exposes the network cost model.
+func (c *Context) Fabric() *netsim.Fabric { return c.fabric }
+
+// Topology exposes the cluster shape.
+func (c *Context) Topology() *topology.Topology { return c.top }
+
+// NewKVStore starts a Dynamo-style KV store across the cluster's nodes
+// with the given replication and quorum settings.
+func (c *Context) NewKVStore(n, r, w int) (*kvstore.Store, error) {
+	return kvstore.New(kvstore.Config{Fabric: c.fabric, N: n, R: r, W: w})
+}
+
+// NewStream starts an event-time streaming pipeline.
+func (c *Context) NewStream(cfg stream.Config) *stream.Pipeline {
+	return stream.New(cfg)
+}

@@ -1,0 +1,336 @@
+package hpbdc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func testCtx(cfg Config) *Context {
+	if cfg.Racks == 0 {
+		cfg.Racks = 2
+	}
+	if cfg.NodesPerRack == 0 {
+		cfg.NodesPerRack = 2
+	}
+	return New(cfg)
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	c := testCtx(Config{})
+	d := Parallelize(c, []int{5, 3, 1, 4, 2}, 3)
+	got, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if fmt.Sprint(got) != "[1 2 3 4 5]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMapFilterCount(t *testing.T) {
+	c := testCtx(Config{})
+	nums := make([]int, 100)
+	for i := range nums {
+		nums[i] = i
+	}
+	d := Parallelize(c, nums, 4)
+	squares := Map(d, func(x int) int { return x * x })
+	big := squares.Filter(func(x int) bool { return x >= 2500 })
+	n, err := big.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("count = %d, want 50", n)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	c := testCtx(Config{})
+	d := Parallelize(c, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 4)
+	sum, err := d.Reduce(func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 55 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestReduceEmptyFails(t *testing.T) {
+	c := testCtx(Config{})
+	d := Parallelize[int](c, nil, 2)
+	if _, err := d.Reduce(func(a, b int) int { return a + b }); err == nil {
+		t.Fatal("empty Reduce succeeded")
+	}
+}
+
+func TestWordCountEndToEnd(t *testing.T) {
+	c := testCtx(Config{})
+	lines := Parallelize(c, []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the fox",
+	}, 2)
+	words := FlatMap(lines, strings.Fields)
+	pairs := KeyBy(words, func(w string) string { return w })
+	counts, err := CountByKey(pairs, StringCodec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["the"] != 3 || counts["fox"] != 2 || counts["dog"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestReduceByKeyAggregates(t *testing.T) {
+	c := testCtx(Config{})
+	var sales []Pair[string, int64]
+	for i := 0; i < 300; i++ {
+		sales = append(sales, Pair[string, int64]{
+			Key:   fmt.Sprintf("store-%d", i%3),
+			Value: int64(i),
+		})
+	}
+	d := Parallelize(c, sales, 4)
+	totals, err := ReduceByKey(d, StringCodec, Int64Codec, 3,
+		func(a, b int64) int64 { return a + b }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(totals) != 3 {
+		t.Fatalf("totals = %v", totals)
+	}
+	var grand int64
+	for _, p := range totals {
+		grand += p.Value
+	}
+	if grand != 299*300/2 {
+		t.Fatalf("grand total = %d", grand)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	c := testCtx(Config{})
+	d := Parallelize(c, []Pair[string, int64]{
+		{"a", 1}, {"b", 2}, {"a", 3}, {"a", 5}, {"b", 7},
+	}, 3)
+	groups, err := GroupByKey(d, StringCodec, Int64Codec, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string][]int64{}
+	for _, g := range groups {
+		vals := append([]int64(nil), g.Value...)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		byKey[g.Key] = vals
+	}
+	if fmt.Sprint(byKey["a"]) != "[1 3 5]" || fmt.Sprint(byKey["b"]) != "[2 7]" {
+		t.Fatalf("groups = %v", byKey)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	c := testCtx(Config{})
+	users := Parallelize(c, []Pair[string, string]{
+		{"u1", "alice"}, {"u2", "bob"}, {"u3", "carol"},
+	}, 2)
+	orders := Parallelize(c, []Pair[string, int64]{
+		{"u1", 100}, {"u1", 200}, {"u3", 50}, {"u9", 1},
+	}, 2)
+	joined, err := Join(users, orders, StringCodec, StringCodec, Int64Codec, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 3 {
+		t.Fatalf("joined %d rows, want 3 (u1 x2, u3 x1): %v", len(joined), joined)
+	}
+	total := int64(0)
+	for _, j := range joined {
+		if j.Key == "u2" || j.Key == "u9" {
+			t.Fatalf("non-matching key joined: %v", j)
+		}
+		total += j.Value.Right
+	}
+	if total != 350 {
+		t.Fatalf("joined order total = %d", total)
+	}
+}
+
+func TestSortByKeyGlobalOrder(t *testing.T) {
+	c := testCtx(Config{Seed: 3})
+	recs := workload.TeraGen(2000, 7)
+	pairs := make([]Pair[string, string], len(recs))
+	for i, r := range recs {
+		pairs[i] = Pair[string, string]{Key: string(r.Key), Value: string(r.Value)}
+	}
+	d := Parallelize(c, pairs, 8)
+	sorted, err := SortByKey(d, StringCodec, StringCodec, 6, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := sorted.CollectPartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []string
+	for _, part := range parts {
+		for _, p := range part {
+			flat = append(flat, p.Key)
+		}
+	}
+	if len(flat) != 2000 {
+		t.Fatalf("sorted %d records", len(flat))
+	}
+	if !sort.StringsAreSorted(flat) {
+		t.Fatal("concatenated partitions not globally sorted")
+	}
+	// Range partitioning balance: no partition holds more than half.
+	for i, part := range parts {
+		if len(part) > 1000 {
+			t.Fatalf("partition %d holds %d of 2000 records", i, len(part))
+		}
+	}
+}
+
+func TestTextFileRoundTrip(t *testing.T) {
+	c := testCtx(Config{BlockSize: 1 << 12})
+	var lines []string
+	for i := 0; i < 500; i++ {
+		lines = append(lines, fmt.Sprintf("line-%04d with some payload text", i))
+	}
+	d := Parallelize(c, lines, 4)
+	if err := SaveAsTextFile(d, "/data/corpus"); err != nil {
+		t.Fatal(err)
+	}
+	back := TextFile(c, "/data/corpus")
+	if back.Partitions() != 4 {
+		t.Fatalf("TextFile partitions = %d, want 4 (one per part file)", back.Partitions())
+	}
+	got, err := back.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	sort.Strings(lines)
+	if len(got) != len(lines) {
+		t.Fatalf("read back %d lines, want %d", len(got), len(lines))
+	}
+	for i := range got {
+		if got[i] != lines[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], lines[i])
+		}
+	}
+	if c.Engine().Reg.Counter("input_bytes").Value() == 0 {
+		t.Fatal("TextFile read no accounted bytes")
+	}
+}
+
+func TestTextFileMissingPrefix(t *testing.T) {
+	c := testCtx(Config{})
+	d := TextFile(c, "/nothing/here")
+	got, err := d.Collect()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestUnionAndCache(t *testing.T) {
+	c := testCtx(Config{})
+	a := Parallelize(c, []int{1, 2}, 1)
+	b := Parallelize(c, []int{3, 4}, 1)
+	u := Union(a, b).Cache()
+	n1, err := u.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := u.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 4 || n2 != 4 {
+		t.Fatalf("counts %d, %d", n1, n2)
+	}
+}
+
+func TestCheckpointThenCollect(t *testing.T) {
+	c := testCtx(Config{})
+	d := Parallelize(c, []int{10, 20, 30}, 2)
+	if err := d.Checkpoint("/ckpt/ints", IntCodec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if fmt.Sprint(got) != "[10 20 30]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFaultInjectionStillCorrect(t *testing.T) {
+	c := testCtx(Config{TaskFailProb: 0.25, Seed: 11})
+	lines := Parallelize(c, workload.Text(50, 8, 40, 0.9, 2), 6)
+	words := FlatMap(lines, strings.Fields)
+	counts, err := CountByKey(KeyBy(words, func(w string) string { return w }), StringCodec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total != 400 {
+		t.Fatalf("total words %d, want 400", total)
+	}
+}
+
+func TestTransportAffectsNetTime(t *testing.T) {
+	run := func(transport string) int64 {
+		c := testCtx(Config{Transport: transport, Seed: 5})
+		d := Parallelize(c, workload.Text(100, 10, 50, 0.9, 3), 8)
+		words := FlatMap(d, strings.Fields)
+		_, err := CountByKey(KeyBy(words, func(w string) string { return w }), StringCodec, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(c.Engine().NetTime())
+	}
+	tcp := run("tcp")
+	rdma := run("rdma")
+	if rdma >= tcp {
+		t.Fatalf("rdma net time %d not below tcp %d", rdma, tcp)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown transport accepted")
+		}
+	}()
+	New(Config{Transport: "carrier-pigeon"})
+}
+
+func TestKeysValuesProjections(t *testing.T) {
+	c := testCtx(Config{})
+	d := Parallelize(c, []Pair[string, int64]{{"a", 1}, {"b", 2}}, 1)
+	ks, err := Keys(d).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := Values(d).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(ks)
+	if fmt.Sprint(ks) != "[a b]" || len(vs) != 2 {
+		t.Fatalf("keys %v values %v", ks, vs)
+	}
+}

@@ -1,0 +1,189 @@
+package hpbdc
+
+// Cross-module integration tests: plan shapes that combine several engine
+// features (unions of shuffles, caches above shuffles, checkpoints under
+// failure, broadcast vs shuffle join equivalence).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestBroadcastJoinMatchesShuffleJoin(t *testing.T) {
+	c := testCtx(Config{})
+	var facts []Pair[string, int64]
+	for i := 0; i < 1000; i++ {
+		facts = append(facts, Pair[string, int64]{
+			Key:   fmt.Sprintf("dim-%d", i%20),
+			Value: int64(i),
+		})
+	}
+	dims := make([]Pair[string, string], 0, 15)
+	for i := 0; i < 15; i++ { // some dims missing: inner-join semantics
+		dims = append(dims, Pair[string, string]{
+			Key:   fmt.Sprintf("dim-%d", i),
+			Value: fmt.Sprintf("name-%d", i),
+		})
+	}
+	large := Parallelize(c, facts, 8)
+	small := Parallelize(c, dims, 2)
+
+	viaShuffle, err := Join(large, small, StringCodec, Int64Codec, StringCodec, 4).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := BroadcastJoin(large, small, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBroadcast, err := bj.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(rows []Pair[string, Joined[int64, string]]) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprintf("%s|%d|%s", r.Key, r.Value.Left, r.Value.Right)
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := canon(viaShuffle), canon(viaBroadcast)
+	if len(a) != len(b) {
+		t.Fatalf("join row counts differ: shuffle %d vs broadcast %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if c.Engine().Reg.Counter("broadcast_bytes").Value() == 0 {
+		t.Fatal("broadcast cost not charged")
+	}
+}
+
+func TestUnionOfShuffledPlans(t *testing.T) {
+	// Union two independently shuffled datasets, then aggregate again —
+	// three shuffle boundaries in one DAG.
+	c := testCtx(Config{})
+	mk := func(seed uint64) *Dataset[Pair[string, int64]] {
+		lines := Parallelize(c, workload.Text(40, 6, 30, 0.8, seed), 4)
+		words := FlatMap(lines, strings.Fields)
+		ones := MapValues(KeyBy(words, func(w string) string { return w }),
+			func(string) int64 { return 1 })
+		return ReduceByKey(ones, StringCodec, Int64Codec, 3,
+			func(a, b int64) int64 { return a + b })
+	}
+	u := Union(mk(1), mk(2))
+	final, err := ReduceByKey(u, StringCodec, Int64Codec, 4,
+		func(a, b int64) int64 { return a + b }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, p := range final {
+		total += p.Value
+	}
+	if total != 2*40*6 {
+		t.Fatalf("total word count %d, want %d", total, 2*40*6)
+	}
+}
+
+func TestCacheAboveShuffleSurvivesNodeKill(t *testing.T) {
+	// Cache the post-shuffle dataset; after a node dies, cached partitions
+	// that survive avoid recomputation while lost ones recompute via
+	// lineage.
+	c := testCtx(Config{Racks: 2, NodesPerRack: 4, Seed: 4})
+	lines := Parallelize(c, workload.Text(60, 8, 50, 0.9, 5), 8)
+	words := FlatMap(lines, strings.Fields)
+	counts := ReduceByKey(
+		MapValues(KeyBy(words, func(w string) string { return w }), func(string) int64 { return 1 }),
+		StringCodec, Int64Codec, 4, func(a, b int64) int64 { return a + b }).Cache()
+
+	first, err := counts.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Cluster().Kill(topology.NodeID(2))
+	second, err := counts.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(ps []Pair[string, int64]) int64 {
+		var s int64
+		for _, p := range ps {
+			s += p.Value
+		}
+		return s
+	}
+	if sum(first) != sum(second) || sum(first) != 480 {
+		t.Fatalf("cached result drifted after node kill: %d vs %d", sum(first), sum(second))
+	}
+}
+
+func TestCheckpointSurvivesKillingMostExecutors(t *testing.T) {
+	c := testCtx(Config{Racks: 2, NodesPerRack: 4, Seed: 6})
+	d := Parallelize(c, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 4)
+	squares := Map(d, func(x int) int { return x * x })
+	if err := squares.Checkpoint("/ckpt/squares", IntCodec); err != nil {
+		t.Fatal(err)
+	}
+	// Kill half the cluster (checkpoint is 3-way replicated).
+	for _, n := range []topology.NodeID{0, 2, 4, 6} {
+		_ = c.Cluster().Kill(n)
+	}
+	got, err := squares.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	want := []int{1, 4, 9, 16, 25, 36, 49, 64, 81, 100}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSortAfterJoinPipeline(t *testing.T) {
+	// join → aggregate → global sort, end to end through the facade.
+	c := testCtx(Config{})
+	var orders []Pair[string, int64]
+	for i := 0; i < 200; i++ {
+		orders = append(orders, Pair[string, int64]{
+			Key: fmt.Sprintf("cust-%02d", i%10), Value: int64(i),
+		})
+	}
+	tiers := []Pair[string, string]{}
+	for i := 0; i < 10; i++ {
+		tier := "basic"
+		if i%3 == 0 {
+			tier = "gold"
+		}
+		tiers = append(tiers, Pair[string, string]{Key: fmt.Sprintf("cust-%02d", i), Value: tier})
+	}
+	joined := Join(Parallelize(c, orders, 4), Parallelize(c, tiers, 1),
+		StringCodec, Int64Codec, StringCodec, 4)
+	byTier := ReduceByKey(
+		Map(joined, func(p Pair[string, Joined[int64, string]]) Pair[string, int64] {
+			return Pair[string, int64]{Key: p.Value.Right, Value: p.Value.Left}
+		}),
+		StringCodec, Int64Codec, 2, func(a, b int64) int64 { return a + b })
+	sorted, err := SortByKey(byTier, StringCodec, Int64Codec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Key != "basic" || rows[1].Key != "gold" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Value+rows[1].Value != 199*200/2 {
+		t.Fatalf("totals = %v", rows)
+	}
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func newCluster(nodes, slots int) *Cluster {
+	fab := netsim.NewFabric(topology.Single(nodes), netsim.RDMA40G)
+	return New(Config{Fabric: fab, SlotsPerNode: slots})
+}
+
+func TestSubmitRunsTask(t *testing.T) {
+	c := newCluster(2, 2)
+	ran := false
+	if err := c.Submit(0, func() error { ran = true; return nil }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	n, _ := c.Node(0)
+	if n.TasksRun() != 1 {
+		t.Fatalf("TasksRun = %d", n.TasksRun())
+	}
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	c := newCluster(1, 1)
+	boom := errors.New("boom")
+	if err := c.Submit(0, func() error { return boom }).Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSubmitToUnknownNode(t *testing.T) {
+	c := newCluster(2, 1)
+	if err := c.Submit(99, func() error { return nil }).Wait(); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSubmitToDeadNode(t *testing.T) {
+	c := newCluster(2, 1)
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, func() error { return nil }).Wait(); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKillMidTaskLosesOutput(t *testing.T) {
+	c := newCluster(2, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fut := c.Submit(0, func() error {
+		close(started)
+		<-release
+		return nil
+	})
+	<-started
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := fut.Wait(); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("err = %v, want ErrNodeDead for lost output", err)
+	}
+	n, _ := c.Node(0)
+	if n.TasksRun() != 0 {
+		t.Fatal("lost task counted as completed")
+	}
+}
+
+func TestReviveAcceptsWork(t *testing.T) {
+	c := newCluster(2, 1)
+	_ = c.Kill(0)
+	_ = c.Revive(0)
+	if err := c.Submit(0, func() error { return nil }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotLimitEnforced(t *testing.T) {
+	c := newCluster(1, 2)
+	var running, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		fut := c.Submit(0, func() error {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			return nil
+		})
+		go func() { defer wg.Done(); _ = fut.Wait() }()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak concurrency %d exceeds 2 slots", got)
+	}
+}
+
+func TestQueuedTaskFailsIfNodeDiesFirst(t *testing.T) {
+	c := newCluster(1, 1)
+	blockStarted := make(chan struct{})
+	release := make(chan struct{})
+	blocker := c.Submit(0, func() error {
+		close(blockStarted)
+		<-release
+		return nil
+	})
+	<-blockStarted
+	queued := c.Submit(0, func() error { return nil })
+	_ = c.Kill(0)
+	close(release)
+	_ = blocker.Wait()
+	if err := queued.Wait(); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("queued task err = %v", err)
+	}
+}
+
+func TestLiveNodes(t *testing.T) {
+	c := newCluster(4, 1)
+	_ = c.Kill(2)
+	live := c.LiveNodes()
+	if len(live) != 3 {
+		t.Fatalf("live = %v", live)
+	}
+	for _, id := range live {
+		if id == 2 {
+			t.Fatal("dead node listed live")
+		}
+	}
+}
+
+func TestCapacityAccessors(t *testing.T) {
+	c := newCluster(4, 3)
+	if c.Size() != 4 || c.SlotsPerNode() != 3 || c.TotalSlots() != 12 {
+		t.Fatalf("capacity accessors wrong: %d %d %d", c.Size(), c.SlotsPerNode(), c.TotalSlots())
+	}
+}
+
+func TestManyConcurrentSubmitters(t *testing.T) {
+	c := newCluster(4, 4)
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		node := topology.NodeID(i % 4)
+		go func() {
+			defer wg.Done()
+			if err := c.Submit(node, func() error {
+				completed.Add(1)
+				return nil
+			}).Wait(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if completed.Load() != 200 {
+		t.Fatalf("completed = %d", completed.Load())
+	}
+	if c.Reg.Counter("tasks_completed").Value() != 200 {
+		t.Fatal("metrics not recorded")
+	}
+}
+
+func BenchmarkSubmitWait(b *testing.B) {
+	c := newCluster(4, 8)
+	for i := 0; i < b.N; i++ {
+		if err := c.Submit(topology.NodeID(i%4), func() error { return nil }).Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package consensus
+
+import (
+	"sort"
+)
+
+// Cluster is a deterministic in-process test/measurement harness: it owns a
+// set of nodes, carries their messages, and can crash nodes or partition
+// the network. Message delivery happens in "rounds": each round every
+// in-flight message is handed to its destination and the responses join the
+// next round. Rounds map directly onto network round trips, which is how
+// experiment E12 converts protocol behaviour into commit latency under a
+// transport model.
+type Cluster struct {
+	nodes   map[int]*Node
+	crashed map[int]bool
+	inbox   []Message
+	applied map[int][]Entry
+
+	// partition: nil means fully connected; otherwise group index per node,
+	// and messages cross groups only if allowed.
+	group map[int]int
+
+	// Rounds counts delivery rounds executed (for latency accounting).
+	Rounds int
+	// MessagesDelivered counts total messages handed to nodes.
+	MessagesDelivered int
+}
+
+// NewCluster builds n nodes with IDs 0..n-1.
+func NewCluster(n int, seed uint64) *Cluster {
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	c := &Cluster{
+		nodes:   map[int]*Node{},
+		crashed: map[int]bool{},
+		applied: map[int][]Entry{},
+	}
+	for i := 0; i < n; i++ {
+		c.nodes[i] = NewNode(Config{ID: i, Peers: peers, Seed: seed})
+	}
+	return c
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Applied returns the entries node id has applied, in order.
+func (c *Cluster) Applied(id int) []Entry { return c.applied[id] }
+
+// ids returns node IDs in deterministic order.
+func (c *Cluster) ids() []int {
+	out := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// blocked reports whether a message from -> to is currently undeliverable.
+func (c *Cluster) blocked(from, to int) bool {
+	if c.crashed[from] || c.crashed[to] {
+		return true
+	}
+	if c.group == nil {
+		return false
+	}
+	return c.group[from] != c.group[to]
+}
+
+// send enqueues messages for the next delivery round.
+func (c *Cluster) send(msgs []Message) {
+	c.inbox = append(c.inbox, msgs...)
+}
+
+// Tick advances logical time one unit on every live node, then runs
+// delivery rounds until the network is quiet.
+func (c *Cluster) Tick() {
+	for _, id := range c.ids() {
+		if c.crashed[id] {
+			continue
+		}
+		c.send(c.nodes[id].Tick())
+	}
+	c.drain()
+}
+
+// drain delivers message rounds until no messages remain in flight.
+func (c *Cluster) drain() {
+	for len(c.inbox) > 0 {
+		c.DeliverRound()
+	}
+}
+
+// DeliverRound delivers every currently in-flight message (one network
+// round trip) and collects responses for the next round.
+func (c *Cluster) DeliverRound() {
+	batch := c.inbox
+	c.inbox = nil
+	if len(batch) == 0 {
+		return
+	}
+	c.Rounds++
+	for _, m := range batch {
+		if c.blocked(m.From, m.To) {
+			continue
+		}
+		c.MessagesDelivered++
+		c.send(c.nodes[m.To].Step(m))
+	}
+	c.collectApplied()
+}
+
+func (c *Cluster) collectApplied() {
+	for _, id := range c.ids() {
+		if c.crashed[id] {
+			continue
+		}
+		if ents := c.nodes[id].CommittedEntries(); len(ents) > 0 {
+			c.applied[id] = append(c.applied[id], ents...)
+		}
+	}
+}
+
+// Leader returns the unique live leader at the highest term, or -1 when
+// there is none (or more than one at that term, which would be a bug that
+// tests assert against separately).
+func (c *Cluster) Leader() int {
+	leader := -1
+	var topTerm uint64
+	for _, id := range c.ids() {
+		if c.crashed[id] {
+			continue
+		}
+		n := c.nodes[id]
+		if n.State() == Leader && n.Term() >= topTerm {
+			topTerm = n.Term()
+			leader = id
+		}
+	}
+	return leader
+}
+
+// RunUntilLeader ticks until a leader emerges, up to maxTicks. It returns
+// the leader ID, or -1 on timeout.
+func (c *Cluster) RunUntilLeader(maxTicks int) int {
+	for i := 0; i < maxTicks; i++ {
+		if l := c.Leader(); l >= 0 {
+			return l
+		}
+		c.Tick()
+	}
+	return c.Leader()
+}
+
+// Propose submits data through the current leader. It returns false when no
+// leader is available. Messages are drained, so on return the entry is
+// usually committed cluster-wide (absent partitions).
+func (c *Cluster) Propose(data []byte) bool {
+	l := c.Leader()
+	if l < 0 {
+		return false
+	}
+	_, msgs, ok := c.nodes[l].Propose(data)
+	if !ok {
+		return false
+	}
+	c.send(msgs)
+	c.drain()
+	return true
+}
+
+// ProposeAndCountRounds proposes through the leader and returns the number
+// of delivery rounds until the leader's commit index covers the entry —
+// the protocol-level commit latency in round trips. ok is false without a
+// leader.
+func (c *Cluster) ProposeAndCountRounds(data []byte) (rounds int, ok bool) {
+	l := c.Leader()
+	if l < 0 {
+		return 0, false
+	}
+	idx, msgs, ok := c.nodes[l].Propose(data)
+	if !ok {
+		return 0, false
+	}
+	c.send(msgs)
+	for rounds = 0; len(c.inbox) > 0; {
+		c.DeliverRound()
+		rounds++
+		if c.nodes[l].commit >= idx {
+			c.drain()
+			return rounds, true
+		}
+	}
+	return rounds, c.nodes[l].commit >= idx
+}
+
+// TransferLeadership moves leadership from the current leader to `to`,
+// catching the target up first if needed. It reports success within
+// maxRounds attempts.
+func (c *Cluster) TransferLeadership(to, maxRounds int) bool {
+	for i := 0; i < maxRounds; i++ {
+		l := c.Leader()
+		if l == to {
+			return true
+		}
+		if l < 0 {
+			c.Tick()
+			continue
+		}
+		msgs, _ := c.nodes[l].TransferLeadership(to)
+		if len(msgs) == 0 {
+			return false // invalid target
+		}
+		c.send(msgs)
+		c.drain()
+		c.Tick()
+	}
+	return c.Leader() == to
+}
+
+// Crash stops a node: it receives nothing and sends nothing until Restart.
+// Its durable state (term, vote, log) survives, per Raft's persistence
+// assumption.
+func (c *Cluster) Crash(id int) { c.crashed[id] = true }
+
+// Restart revives a crashed node with its durable state intact.
+func (c *Cluster) Restart(id int) { delete(c.crashed, id) }
+
+// Partition splits the cluster into the given groups; nodes not mentioned
+// are isolated in their own group.
+func (c *Cluster) Partition(groups ...[]int) {
+	c.group = map[int]int{}
+	next := 0
+	for gi, g := range groups {
+		for _, id := range g {
+			c.group[id] = gi
+		}
+		next = gi + 1
+	}
+	for id := range c.nodes {
+		if _, ok := c.group[id]; !ok {
+			c.group[id] = next
+			next++
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (c *Cluster) Heal() { c.group = nil }

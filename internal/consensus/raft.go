@@ -1,0 +1,569 @@
+// Package consensus implements Raft — leader election, log replication,
+// commitment and snapshot-based log compaction — as a deterministic,
+// tick-driven state machine. Nodes exchange messages through a harness (see
+// cluster.go) that can delay, drop and partition traffic, so every safety
+// and liveness test is reproducible. The framework uses Raft for cloud
+// control-plane metadata, and experiment E12 measures commit latency versus
+// cluster size and transport model.
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// StateType is a node's role.
+type StateType int
+
+// Raft roles.
+const (
+	Follower StateType = iota
+	Candidate
+	Leader
+)
+
+func (s StateType) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	default:
+		return "leader"
+	}
+}
+
+// Entry is one log slot.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Data  []byte
+}
+
+// MsgType discriminates protocol messages.
+type MsgType int
+
+// Protocol message kinds.
+const (
+	MsgVoteReq MsgType = iota
+	MsgVoteResp
+	MsgApp // AppendEntries (also heartbeat when Entries is empty)
+	MsgAppResp
+	MsgSnap       // InstallSnapshot
+	MsgTimeoutNow // leadership transfer: recipient campaigns immediately
+)
+
+// Message is a Raft RPC. One struct covers all kinds; unused fields are
+// zero.
+type Message struct {
+	Type     MsgType
+	From, To int
+	Term     uint64
+
+	// Vote fields.
+	LastLogIndex, LastLogTerm uint64
+	Granted                   bool
+
+	// Append fields.
+	PrevIndex, PrevTerm uint64
+	Entries             []Entry
+	Commit              uint64
+	Index               uint64 // resp: match index on success, retry hint on reject
+	Success             bool
+
+	// Snapshot fields.
+	SnapIndex, SnapTerm uint64
+	SnapData            []byte
+}
+
+// Config configures a node.
+type Config struct {
+	// ID is this node's identity; Peers lists every member including self.
+	ID    int
+	Peers []int
+	// ElectionTicks is the base election timeout in ticks (randomized to
+	// [ElectionTicks, 2*ElectionTicks)). Default 10.
+	ElectionTicks int
+	// HeartbeatTicks is the leader heartbeat interval. Default 1.
+	HeartbeatTicks int
+	// Seed drives election timeout randomization.
+	Seed uint64
+	// MaxEntriesPerApp bounds entries per AppendEntries. Default 64.
+	MaxEntriesPerApp int
+}
+
+// Node is a single Raft participant. Not safe for concurrent use: drive it
+// from one goroutine (the cluster harness does).
+type Node struct {
+	cfg   Config
+	state StateType
+
+	term     uint64
+	votedFor int // -1 = none
+	leader   int // -1 = unknown
+
+	// Log with snapshot-based compaction: entries[0] has index offset+1.
+	entries  []Entry
+	offset   uint64 // index of the last compacted entry (0 = nothing compacted)
+	snapTerm uint64
+	snapData []byte
+	commit   uint64
+	applied  uint64
+
+	// Leader state.
+	nextIndex  map[int]uint64
+	matchIndex map[int]uint64
+
+	// Candidate state.
+	votes map[int]bool
+
+	elapsed         int
+	electionTimeout int
+	rand            *rng.RNG
+}
+
+// NewNode builds a follower with an empty log.
+func NewNode(cfg Config) *Node {
+	if cfg.ElectionTicks <= 0 {
+		cfg.ElectionTicks = 10
+	}
+	if cfg.HeartbeatTicks <= 0 {
+		cfg.HeartbeatTicks = 1
+	}
+	if cfg.MaxEntriesPerApp <= 0 {
+		cfg.MaxEntriesPerApp = 64
+	}
+	n := &Node{
+		cfg:      cfg,
+		votedFor: -1,
+		leader:   -1,
+		rand:     rng.New(cfg.Seed + uint64(cfg.ID)*0x9e37),
+	}
+	n.resetElectionTimeout()
+	return n
+}
+
+// State returns the node's role.
+func (n *Node) State() StateType { return n.state }
+
+// Term returns the current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// Leader returns the known leader's ID, or -1.
+func (n *Node) Leader() int { return n.leader }
+
+// lastIndex returns the index of the final log entry (compacted or live).
+func (n *Node) lastIndex() uint64 {
+	if len(n.entries) == 0 {
+		return n.offset
+	}
+	return n.entries[len(n.entries)-1].Index
+}
+
+func (n *Node) termAt(index uint64) (uint64, bool) {
+	if index == 0 {
+		return 0, true
+	}
+	if index == n.offset {
+		return n.snapTerm, true
+	}
+	if index < n.offset || index > n.lastIndex() {
+		return 0, false
+	}
+	return n.entries[index-n.offset-1].Term, true
+}
+
+func (n *Node) entriesFrom(index uint64, max int) []Entry {
+	if index <= n.offset || index > n.lastIndex() {
+		return nil
+	}
+	out := n.entries[index-n.offset-1:]
+	if len(out) > max {
+		out = out[:max]
+	}
+	// Copy so the harness can't alias internal state.
+	cp := make([]Entry, len(out))
+	copy(cp, out)
+	return cp
+}
+
+func (n *Node) resetElectionTimeout() {
+	n.elapsed = 0
+	n.electionTimeout = n.cfg.ElectionTicks + n.rand.Intn(n.cfg.ElectionTicks)
+}
+
+// Tick advances logical time by one unit and returns messages to send:
+// election timeouts fire for followers/candidates; heartbeats for leaders.
+func (n *Node) Tick() []Message {
+	n.elapsed++
+	switch n.state {
+	case Leader:
+		if n.elapsed >= n.cfg.HeartbeatTicks {
+			n.elapsed = 0
+			return n.broadcastAppend()
+		}
+	default:
+		if n.elapsed >= n.electionTimeout {
+			return n.startElection()
+		}
+	}
+	return nil
+}
+
+func (n *Node) startElection() []Message {
+	n.state = Candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.leader = -1
+	n.votes = map[int]bool{n.cfg.ID: true}
+	n.resetElectionTimeout()
+	lastTerm, _ := n.termAt(n.lastIndex())
+	var msgs []Message
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		msgs = append(msgs, Message{
+			Type: MsgVoteReq, From: n.cfg.ID, To: p, Term: n.term,
+			LastLogIndex: n.lastIndex(), LastLogTerm: lastTerm,
+		})
+	}
+	if n.quorum(len(n.votes)) {
+		// Single-node cluster: win immediately.
+		return append(msgs, n.becomeLeader()...)
+	}
+	return msgs
+}
+
+func (n *Node) quorum(count int) bool { return count*2 > len(n.cfg.Peers) }
+
+func (n *Node) becomeLeader() []Message {
+	n.state = Leader
+	n.leader = n.cfg.ID
+	n.elapsed = 0
+	n.nextIndex = map[int]uint64{}
+	n.matchIndex = map[int]uint64{}
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = n.lastIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	// Append a no-op entry so prior-term entries (and the commit index)
+	// become committable in the new term immediately (§5.4.2 / the
+	// dissertation's leadership-change liveness fix). CommittedEntries
+	// filters no-ops out of what the state machine sees.
+	noop := Entry{Term: n.term, Index: n.lastIndex() + 1}
+	n.entries = append(n.entries, noop)
+	n.matchIndex[n.cfg.ID] = n.lastIndex()
+	n.maybeCommit()
+	return n.broadcastAppend()
+}
+
+func (n *Node) becomeFollower(term uint64, leader int) {
+	n.state = Follower
+	n.term = term
+	n.leader = leader
+	n.votedFor = -1
+	n.votes = nil
+	n.resetElectionTimeout()
+}
+
+// Propose appends data to the leader's log, returning its index. ok is
+// false when this node is not the leader.
+func (n *Node) Propose(data []byte) (index uint64, msgs []Message, ok bool) {
+	if n.state != Leader {
+		return 0, nil, false
+	}
+	e := Entry{Term: n.term, Index: n.lastIndex() + 1, Data: data}
+	n.entries = append(n.entries, e)
+	n.matchIndex[n.cfg.ID] = e.Index
+	n.maybeCommit()
+	return e.Index, n.broadcastAppend(), true
+}
+
+func (n *Node) broadcastAppend() []Message {
+	var msgs []Message
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		msgs = append(msgs, n.appendTo(p))
+	}
+	return msgs
+}
+
+// appendTo builds the AppendEntries (or InstallSnapshot) for one follower.
+func (n *Node) appendTo(p int) Message {
+	next := n.nextIndex[p]
+	if next <= n.offset {
+		// Follower needs entries we compacted away: ship the snapshot.
+		return Message{
+			Type: MsgSnap, From: n.cfg.ID, To: p, Term: n.term,
+			SnapIndex: n.offset, SnapTerm: n.snapTerm, SnapData: n.snapData,
+		}
+	}
+	prev := next - 1
+	prevTerm, _ := n.termAt(prev)
+	return Message{
+		Type: MsgApp, From: n.cfg.ID, To: p, Term: n.term,
+		PrevIndex: prev, PrevTerm: prevTerm,
+		Entries: n.entriesFrom(next, n.cfg.MaxEntriesPerApp),
+		Commit:  n.commit,
+	}
+}
+
+// Step processes one inbound message and returns messages to send.
+func (n *Node) Step(m Message) []Message {
+	// Term handling: newer term always converts us to follower first.
+	if m.Term > n.term {
+		leader := -1
+		if m.Type == MsgApp || m.Type == MsgSnap {
+			leader = m.From
+		}
+		n.becomeFollower(m.Term, leader)
+	}
+	switch m.Type {
+	case MsgVoteReq:
+		return n.handleVoteReq(m)
+	case MsgVoteResp:
+		return n.handleVoteResp(m)
+	case MsgApp:
+		return n.handleApp(m)
+	case MsgAppResp:
+		return n.handleAppResp(m)
+	case MsgSnap:
+		return n.handleSnap(m)
+	case MsgTimeoutNow:
+		// Leadership transfer: campaign immediately, skipping the election
+		// timeout, provided the request is current.
+		if m.Term >= n.term && n.state != Leader {
+			return n.startElection()
+		}
+		return nil
+	default:
+		panic(fmt.Sprintf("consensus: unknown message type %d", m.Type))
+	}
+}
+
+// TransferLeadership begins moving leadership to peer `to`. Per the Raft
+// dissertation (§3.10): bring the target's log up to date, then tell it to
+// time out immediately so it wins the next election. It returns the
+// messages to send and whether the TimeoutNow was issued (false means the
+// target still needs log entries — the caller delivers the returned
+// append and calls again).
+func (n *Node) TransferLeadership(to int) (msgs []Message, issued bool) {
+	if n.state != Leader || to == n.cfg.ID {
+		return nil, false
+	}
+	known := false
+	for _, p := range n.cfg.Peers {
+		if p == to {
+			known = true
+		}
+	}
+	if !known {
+		return nil, false
+	}
+	if n.matchIndex[to] < n.lastIndex() {
+		return []Message{n.appendTo(to)}, false
+	}
+	return []Message{{Type: MsgTimeoutNow, From: n.cfg.ID, To: to, Term: n.term}}, true
+}
+
+func (n *Node) handleVoteReq(m Message) []Message {
+	granted := false
+	if m.Term >= n.term && (n.votedFor == -1 || n.votedFor == m.From) {
+		// Up-to-date check (§5.4.1): candidate's log must not be behind.
+		lastTerm, _ := n.termAt(n.lastIndex())
+		upToDate := m.LastLogTerm > lastTerm ||
+			(m.LastLogTerm == lastTerm && m.LastLogIndex >= n.lastIndex())
+		if upToDate {
+			granted = true
+			n.votedFor = m.From
+			n.resetElectionTimeout()
+		}
+	}
+	return []Message{{
+		Type: MsgVoteResp, From: n.cfg.ID, To: m.From, Term: n.term, Granted: granted,
+	}}
+}
+
+func (n *Node) handleVoteResp(m Message) []Message {
+	if n.state != Candidate || m.Term != n.term || !m.Granted {
+		return nil
+	}
+	n.votes[m.From] = true
+	if n.quorum(len(n.votes)) {
+		return n.becomeLeader()
+	}
+	return nil
+}
+
+func (n *Node) handleApp(m Message) []Message {
+	reject := Message{Type: MsgAppResp, From: n.cfg.ID, To: m.From, Term: n.term, Success: false}
+	if m.Term < n.term {
+		return []Message{reject}
+	}
+	// Valid leader for our term.
+	n.state = Follower
+	n.leader = m.From
+	n.resetElectionTimeout()
+
+	prevTerm, ok := n.termAt(m.PrevIndex)
+	if !ok || prevTerm != m.PrevTerm {
+		// Log mismatch: hint the leader to back off to our log end (the
+		// "fast backoff" optimization).
+		hint := n.lastIndex()
+		if m.PrevIndex < hint {
+			hint = m.PrevIndex
+		}
+		if hint > 0 {
+			hint--
+		}
+		reject.Index = hint
+		return []Message{reject}
+	}
+	// Append, truncating conflicts.
+	for _, e := range m.Entries {
+		if t, ok := n.termAt(e.Index); ok && t == e.Term {
+			continue // already have it
+		}
+		if e.Index <= n.offset {
+			continue // covered by snapshot
+		}
+		// Truncate from e.Index on, then append.
+		n.entries = n.entries[:e.Index-n.offset-1]
+		n.entries = append(n.entries, e)
+	}
+	if m.Commit > n.commit {
+		last := n.lastIndex()
+		if m.Commit < last {
+			n.commit = m.Commit
+		} else {
+			n.commit = last
+		}
+	}
+	match := m.PrevIndex + uint64(len(m.Entries))
+	return []Message{{
+		Type: MsgAppResp, From: n.cfg.ID, To: m.From, Term: n.term,
+		Success: true, Index: match,
+	}}
+}
+
+func (n *Node) handleAppResp(m Message) []Message {
+	if n.state != Leader || m.Term != n.term {
+		return nil
+	}
+	if m.Success {
+		if m.Index > n.matchIndex[m.From] {
+			n.matchIndex[m.From] = m.Index
+		}
+		if m.Index+1 > n.nextIndex[m.From] {
+			n.nextIndex[m.From] = m.Index + 1
+		}
+		n.maybeCommit()
+		// Keep streaming if the follower is still behind.
+		if n.nextIndex[m.From] <= n.lastIndex() {
+			return []Message{n.appendTo(m.From)}
+		}
+		return nil
+	}
+	// Rejected: back off using the follower's hint and retry.
+	next := m.Index + 1
+	if next < 1 {
+		next = 1
+	}
+	if next < n.nextIndex[m.From] {
+		n.nextIndex[m.From] = next
+	} else if n.nextIndex[m.From] > 1 {
+		n.nextIndex[m.From]--
+	}
+	return []Message{n.appendTo(m.From)}
+}
+
+func (n *Node) handleSnap(m Message) []Message {
+	if m.Term < n.term {
+		return []Message{{Type: MsgAppResp, From: n.cfg.ID, To: m.From, Term: n.term, Success: false}}
+	}
+	n.state = Follower
+	n.leader = m.From
+	n.resetElectionTimeout()
+	if m.SnapIndex > n.lastIndex() {
+		// Replace our whole log with the snapshot.
+		n.entries = nil
+		n.offset = m.SnapIndex
+		n.snapTerm = m.SnapTerm
+		n.snapData = m.SnapData
+		if m.SnapIndex > n.commit {
+			n.commit = m.SnapIndex
+		}
+		if m.SnapIndex > n.applied {
+			n.applied = m.SnapIndex
+		}
+	}
+	return []Message{{
+		Type: MsgAppResp, From: n.cfg.ID, To: m.From, Term: n.term,
+		Success: true, Index: n.lastIndex(),
+	}}
+}
+
+// maybeCommit advances commitIndex to the highest index replicated on a
+// quorum whose entry is from the current term (§5.4.2).
+func (n *Node) maybeCommit() {
+	for idx := n.lastIndex(); idx > n.commit; idx-- {
+		t, ok := n.termAt(idx)
+		if !ok || t != n.term {
+			continue
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if n.quorum(count) {
+			n.commit = idx
+			return
+		}
+	}
+}
+
+// CommittedEntries returns entries newly committed since the last call, in
+// order, excluding leader-change no-ops. The state machine applies them.
+func (n *Node) CommittedEntries() []Entry {
+	if n.applied >= n.commit {
+		return nil
+	}
+	raw := n.entriesFrom(n.applied+1, int(n.commit-n.applied))
+	n.applied = n.commit
+	out := raw[:0]
+	for _, e := range raw {
+		if e.Data != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Compact discards log entries up to and including index, recording the
+// state machine snapshot. Index must be applied already.
+func (n *Node) Compact(index uint64, snapshot []byte) error {
+	if index > n.applied {
+		return fmt.Errorf("consensus: cannot compact unapplied index %d (applied %d)", index, n.applied)
+	}
+	if index <= n.offset {
+		return nil // already compacted
+	}
+	t, _ := n.termAt(index)
+	n.entries = append([]Entry(nil), n.entries[index-n.offset:]...)
+	n.offset = index
+	n.snapTerm = t
+	n.snapData = snapshot
+	return nil
+}
+
+// LogLen returns the number of live (uncompacted) log entries.
+func (n *Node) LogLen() int { return len(n.entries) }
+
+// Snapshot returns the latest compaction state: last included index and data.
+func (n *Node) Snapshot() (uint64, []byte) { return n.offset, n.snapData }

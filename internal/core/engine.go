@@ -1,0 +1,714 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/compress"
+	"repro/internal/dfs"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/serde"
+	"repro/internal/shuffle"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Errors surfaced by the engine.
+var (
+	ErrNoLiveNodes = errors.New("core: no live executor nodes")
+	ErrJobAborted  = errors.New("core: job aborted after exhausting retries")
+	errInjected    = errors.New("core: injected task failure")
+)
+
+// fetchError reports that a reduce task could not fetch a map output
+// because its owner died — the signal that triggers lineage recomputation.
+type fetchError struct {
+	planID  int
+	mapPart int
+}
+
+func (f *fetchError) Error() string {
+	return fmt.Sprintf("core: fetch failed for shuffle %d map partition %d", f.planID, f.mapPart)
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Cluster supplies executors, topology and the network fabric; required.
+	Cluster *cluster.Cluster
+	// DFS is used for checkpoints; optional.
+	DFS *dfs.DFS
+	// Codec compresses shuffle blocks. Default compress.None.
+	Codec compress.Codec
+	// SpillThreshold is the shuffle writer spill level. Default 4 MiB.
+	SpillThreshold int64
+	// ForceSortShuffle routes even unsorted dependencies through the
+	// sort-based writer (the E2 ablation knob).
+	ForceSortShuffle bool
+	// MaxTaskRetries bounds per-partition retry attempts. Default 4.
+	MaxTaskRetries int
+	// MaxStageRetries bounds whole-job recovery rounds after fetch
+	// failures. Default 8.
+	MaxStageRetries int
+	// TaskFailProb injects transient task failures with this probability
+	// (fault-tolerance experiments). Default 0.
+	TaskFailProb float64
+	// Seed drives fault injection.
+	Seed uint64
+}
+
+// shuffleState tracks the materialized map outputs of one shuffled plan.
+type shuffleState struct {
+	mu      sync.Mutex
+	dep     *ShuffleDep
+	done    []bool
+	owner   []topology.NodeID
+	outputs [][]shuffle.Block // per map partition
+}
+
+// Engine executes plans. Safe for concurrent job submission, though the
+// experiments drive one job at a time.
+type Engine struct {
+	cfg Config
+	// Reg collects execution metrics: task counts, retries, shuffle bytes,
+	// simulated network time (net_time_ns), fetch failures.
+	Reg *metrics.Registry
+
+	mu       sync.Mutex
+	planSeq  int
+	shuffles map[int]*shuffleState
+	caches   map[int][][]Row
+	ckptDone map[int]bool
+	rand     *rng.RNG
+	tracer   *trace.Recorder
+}
+
+// SetTracer attaches an execution tracer; every task records a span on
+// its executor's track. Pass nil to disable.
+func (e *Engine) SetTracer(r *trace.Recorder) {
+	e.mu.Lock()
+	e.tracer = r
+	e.mu.Unlock()
+}
+
+func (e *Engine) tracerRef() *trace.Recorder {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracer
+}
+
+// NewEngine builds an engine over the given cluster.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Cluster == nil {
+		panic("core: Config.Cluster is required")
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = compress.None{}
+	}
+	if cfg.SpillThreshold <= 0 {
+		cfg.SpillThreshold = 4 << 20
+	}
+	if cfg.MaxTaskRetries <= 0 {
+		cfg.MaxTaskRetries = 4
+	}
+	if cfg.MaxStageRetries <= 0 {
+		cfg.MaxStageRetries = 8
+	}
+	return &Engine{
+		cfg:      cfg,
+		Reg:      metrics.NewRegistry(),
+		shuffles: map[int]*shuffleState{},
+		caches:   map[int][][]Row{},
+		ckptDone: map[int]bool{},
+		rand:     rng.New(cfg.Seed),
+	}
+}
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cfg.Cluster }
+
+func (e *Engine) nextPlanID() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.planSeq++
+	return e.planSeq
+}
+
+// Run computes every partition of p and returns them in order. On task or
+// node failure it retries tasks and recomputes lost lineage, up to the
+// configured bounds.
+func (e *Engine) Run(p *Plan) ([][]Row, error) {
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxStageRetries; attempt++ {
+		if err := e.ensure(p, map[int]bool{}); err != nil {
+			if e.recoverable(err) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		out, err := e.runResult(p)
+		if err == nil {
+			return out, nil
+		}
+		if !e.recoverable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %v", ErrJobAborted, lastErr)
+}
+
+// Collect flattens Run's output.
+func (e *Engine) Collect(p *Plan) ([]Row, error) {
+	parts, err := e.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, rows := range parts {
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// Count returns the total number of rows of p.
+func (e *Engine) Count(p *Plan) (int64, error) {
+	parts, err := e.Run(p)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, rows := range parts {
+		n += int64(len(rows))
+	}
+	return n, nil
+}
+
+// recoverable reports whether err warrants invalidation + retry. Fetch
+// failures invalidate the lost map outputs as a side effect.
+func (e *Engine) recoverable(err error) bool {
+	var fe *fetchError
+	if errors.As(err, &fe) {
+		e.invalidateMapOutput(fe.planID, fe.mapPart)
+		e.Reg.Counter("fetch_failures").Inc()
+		return true
+	}
+	return errors.Is(err, cluster.ErrNodeDead) || errors.Is(err, errInjected)
+}
+
+func (e *Engine) invalidateMapOutput(planID, mapPart int) {
+	e.mu.Lock()
+	st := e.shuffles[planID]
+	e.mu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if mapPart >= 0 && mapPart < len(st.done) {
+		st.done[mapPart] = false
+		st.outputs[mapPart] = nil
+	}
+	// Also drop every output owned by now-dead nodes; one fetch failure
+	// usually means the node lost all its blocks.
+	for i, owner := range st.owner {
+		if st.done[i] {
+			if n, err := e.cfg.Cluster.Node(owner); err == nil && !n.Alive() {
+				st.done[i] = false
+				st.outputs[i] = nil
+			}
+		}
+	}
+}
+
+// ensure materializes every shuffle boundary in p's subtree.
+func (e *Engine) ensure(p *Plan, visited map[int]bool) error {
+	if visited[p.id] {
+		return nil
+	}
+	visited[p.id] = true
+	if e.isCheckpointed(p) || e.fullyCached(p) {
+		return nil
+	}
+	switch p.kind {
+	case kindSource:
+		return nil
+	case kindNarrow:
+		return e.ensure(p.parent, visited)
+	case kindUnion:
+		for _, parent := range p.parents {
+			if err := e.ensure(parent, visited); err != nil {
+				return err
+			}
+		}
+		return nil
+	case kindShuffled:
+		if err := e.ensure(p.parent, visited); err != nil {
+			return err
+		}
+		return e.runMapStage(p)
+	default:
+		panic("core: unknown plan kind")
+	}
+}
+
+func (e *Engine) isCheckpointed(p *Plan) bool {
+	if p.checkpoint == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ckptDone[p.id]
+}
+
+func (e *Engine) fullyCached(p *Plan) bool {
+	if !p.cache {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	parts, ok := e.caches[p.id]
+	if !ok {
+		return false
+	}
+	for _, rows := range parts {
+		if rows == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) shuffleStateFor(p *Plan) *shuffleState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.shuffles[p.id]
+	if !ok {
+		n := p.parent.parts
+		st = &shuffleState{
+			dep:     p.dep,
+			done:    make([]bool, n),
+			owner:   make([]topology.NodeID, n),
+			outputs: make([][]shuffle.Block, n),
+		}
+		e.shuffles[p.id] = st
+	}
+	return st
+}
+
+// runMapStage computes missing map outputs for shuffled plan p.
+func (e *Engine) runMapStage(p *Plan) error {
+	st := e.shuffleStateFor(p)
+	st.mu.Lock()
+	var pending []int
+	for i, done := range st.done {
+		if !done {
+			pending = append(pending, i)
+		}
+	}
+	st.mu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+	e.Reg.Counter("stages_run").Inc()
+	return e.runTasks(pending, e.prefsOf(p.parent), func(ctx *TaskContext) error {
+		rows, err := e.computePartition(p.parent, ctx)
+		if err != nil {
+			return err
+		}
+		w, err := e.newWriter(p.dep)
+		if err != nil {
+			return err
+		}
+		dep := p.dep
+		for _, row := range rows {
+			if err := w.Write(dep.KeyOf(row), dep.ValueOf(row)); err != nil {
+				return err
+			}
+		}
+		blocks, stats, err := w.Close()
+		if err != nil {
+			return err
+		}
+		e.Reg.Counter("shuffle_records_written").Add(int64(stats.RecordsOut))
+		e.Reg.Counter("shuffle_raw_bytes").Add(stats.RawBytes)
+		e.Reg.Counter("shuffle_wire_bytes").Add(stats.WireBytes)
+		e.Reg.Counter("shuffle_spills").Add(int64(stats.Spills))
+		st.mu.Lock()
+		st.outputs[ctx.Partition] = blocks
+		st.owner[ctx.Partition] = ctx.Node
+		st.done[ctx.Partition] = true
+		st.mu.Unlock()
+		return nil
+	})
+}
+
+func (e *Engine) newWriter(dep *ShuffleDep) (shuffle.Writer, error) {
+	cfg := shuffle.Config{
+		Partitions:     dep.Partitions,
+		Partitioner:    dep.Partitioner,
+		Codec:          e.cfg.Codec,
+		SpillThreshold: e.cfg.SpillThreshold,
+		Combiner:       dep.Combiner,
+	}
+	if dep.Sorted || e.cfg.ForceSortShuffle {
+		return shuffle.NewSortWriter(cfg)
+	}
+	return shuffle.NewHashWriter(cfg)
+}
+
+// runResult executes the final stage, returning partition rows.
+func (e *Engine) runResult(p *Plan) ([][]Row, error) {
+	out := make([][]Row, p.parts)
+	var outMu sync.Mutex
+	parts := make([]int, p.parts)
+	for i := range parts {
+		parts[i] = i
+	}
+	e.Reg.Counter("stages_run").Inc()
+	err := e.runTasks(parts, e.prefsOf(p), func(ctx *TaskContext) error {
+		rows, err := e.computePartition(p, ctx)
+		if err != nil {
+			return err
+		}
+		outMu.Lock()
+		out[ctx.Partition] = rows
+		outMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// prefsOf walks narrow chains to the underlying source's locality hints.
+func (e *Engine) prefsOf(p *Plan) func(part int) []topology.NodeID {
+	switch p.kind {
+	case kindSource:
+		return p.prefs
+	case kindNarrow:
+		return e.prefsOf(p.parent)
+	case kindUnion:
+		return func(part int) []topology.NodeID {
+			child, local := p.unionChild(part)
+			if f := e.prefsOf(child); f != nil {
+				return f(local)
+			}
+			return nil
+		}
+	default:
+		return nil // reduce tasks read from everywhere
+	}
+}
+
+// runTasks executes fn once per partition on the cluster, honouring
+// locality preferences, retrying transient failures, and failing fast on
+// fetch errors (which the caller converts into lineage recomputation).
+func (e *Engine) runTasks(parts []int, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) error {
+	attempts := map[int]int{}
+	pending := append([]int(nil), parts...)
+	for len(pending) > 0 {
+		live := e.cfg.Cluster.LiveNodes()
+		if len(live) == 0 {
+			return ErrNoLiveNodes
+		}
+		liveSet := map[topology.NodeID]bool{}
+		for _, n := range live {
+			liveSet[n] = true
+		}
+		type result struct {
+			part int
+			err  error
+		}
+		futures := make([]*cluster.Future, len(pending))
+		ctxs := make([]*TaskContext, len(pending))
+		for i, part := range pending {
+			node := live[part%len(live)]
+			if prefs != nil {
+				for _, pref := range prefs(part) {
+					if liveSet[pref] {
+						node = pref
+						break
+					}
+				}
+			}
+			ctx := &TaskContext{Node: node, Partition: part, Attempt: attempts[part]}
+			ctxs[i] = ctx
+			e.Reg.Counter("tasks_launched").Inc()
+			injected := e.injectFailure()
+			start := time.Now()
+			tracer := e.tracerRef()
+			futures[i] = e.cfg.Cluster.Submit(node, func() error {
+				end := tracer.Begin(
+					fmt.Sprintf("task p%d a%d", ctx.Partition, ctx.Attempt),
+					"task", fmt.Sprintf("node-%02d", node))
+				defer func() {
+					e.Reg.Histogram("task_duration_ns").ObserveDuration(time.Since(start))
+				}()
+				if injected {
+					end(map[string]string{"outcome": "injected-failure"})
+					return errInjected
+				}
+				err := fn(ctx)
+				outcome := "ok"
+				if err != nil {
+					outcome = err.Error()
+				}
+				end(map[string]string{"outcome": outcome})
+				return err
+			})
+		}
+		var failed []int
+		var fetchErr *fetchError
+		for i, fut := range futures {
+			err := fut.Wait()
+			if err == nil {
+				continue
+			}
+			var fe *fetchError
+			if errors.As(err, &fe) {
+				fetchErr = fe
+				continue
+			}
+			if errors.Is(err, cluster.ErrNodeDead) || errors.Is(err, errInjected) {
+				part := pending[i]
+				attempts[part]++
+				e.Reg.Counter("task_retries").Inc()
+				if attempts[part] > e.cfg.MaxTaskRetries {
+					return fmt.Errorf("%w: partition %d failed %d times: %v",
+						ErrJobAborted, part, attempts[part], err)
+				}
+				failed = append(failed, part)
+				continue
+			}
+			return err // user error: abort
+		}
+		if fetchErr != nil {
+			return fetchErr
+		}
+		pending = failed
+	}
+	return nil
+}
+
+// injectFailure decides whether the next task fails artificially.
+func (e *Engine) injectFailure() bool {
+	if e.cfg.TaskFailProb <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rand.Float64() < e.cfg.TaskFailProb
+}
+
+// computePartition evaluates plan partition ctx.Partition, recursing
+// through narrow chains and reading shuffles/checkpoints/caches.
+func (e *Engine) computePartition(p *Plan, ctx *TaskContext) ([]Row, error) {
+	if rows, ok := e.cachedPartition(p, ctx.Partition); ok {
+		return rows, nil
+	}
+	if e.isCheckpointed(p) {
+		return e.readCheckpoint(p, ctx.Partition)
+	}
+	var rows []Row
+	var err error
+	switch p.kind {
+	case kindSource:
+		rows = p.source(ctx, ctx.Partition)
+	case kindNarrow:
+		parentCtx := *ctx
+		rows, err = e.computePartition(p.parent, &parentCtx)
+		if err != nil {
+			return nil, err
+		}
+		rows = p.narrow(ctx, rows)
+	case kindUnion:
+		child, local := p.unionChild(ctx.Partition)
+		childCtx := *ctx
+		childCtx.Partition = local
+		rows, err = e.computePartition(child, &childCtx)
+		if err != nil {
+			return nil, err
+		}
+	case kindShuffled:
+		rows, err = e.readShuffle(p, ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.storeCache(p, ctx.Partition, rows)
+	return rows, nil
+}
+
+func (e *Engine) cachedPartition(p *Plan, part int) ([]Row, bool) {
+	if !p.cache {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	parts, ok := e.caches[p.id]
+	if !ok || parts[part] == nil {
+		return nil, false
+	}
+	return parts[part], true
+}
+
+func (e *Engine) storeCache(p *Plan, part int, rows []Row) {
+	if !p.cache {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	parts, ok := e.caches[p.id]
+	if !ok {
+		parts = make([][]Row, p.parts)
+		e.caches[p.id] = parts
+	}
+	if rows == nil {
+		rows = []Row{} // distinguish "cached empty" from "not cached"
+	}
+	parts[part] = rows
+}
+
+// readShuffle fetches and decodes one reduce partition of shuffled plan p.
+func (e *Engine) readShuffle(p *Plan, ctx *TaskContext) ([]Row, error) {
+	st := e.shuffleStateFor(p)
+	var blocks []shuffle.Block
+	fabric := e.cfg.Cluster.Fabric()
+	st.mu.Lock()
+	for mapPart := range st.outputs {
+		if !st.done[mapPart] {
+			st.mu.Unlock()
+			return nil, &fetchError{planID: p.id, mapPart: mapPart}
+		}
+		owner := st.owner[mapPart]
+		if n, err := e.cfg.Cluster.Node(owner); err == nil && !n.Alive() {
+			st.mu.Unlock()
+			return nil, &fetchError{planID: p.id, mapPart: mapPart}
+		}
+		for _, b := range st.outputs[mapPart] {
+			if b.Partition != ctx.Partition {
+				continue
+			}
+			blocks = append(blocks, b)
+			cost := fabric.Cost(owner, ctx.Node, int64(len(b.Data)))
+			e.Reg.Counter("net_time_ns").Add(int64(cost))
+			e.Reg.Counter("shuffle_bytes_fetched").Add(int64(len(b.Data)))
+		}
+	}
+	st.mu.Unlock()
+	recs, err := shuffle.ReadBlocks(e.cfg.Codec, blocks)
+	if err != nil {
+		return nil, err
+	}
+	return p.dep.Post(ctx, recs), nil
+}
+
+// Checkpoint materializes p's partitions to the engine's DFS at path. After
+// a successful checkpoint, recovery reads the files instead of recomputing
+// lineage. enc/dec serialize rows.
+func (e *Engine) Checkpoint(p *Plan, path string, enc func(Row) []byte, dec func([]byte) Row) error {
+	if e.cfg.DFS == nil {
+		return errors.New("core: engine has no DFS configured for checkpoints")
+	}
+	if enc == nil || dec == nil {
+		return errors.New("core: Checkpoint requires enc and dec")
+	}
+	parts, err := e.Run(p)
+	if err != nil {
+		return err
+	}
+	for i, rows := range parts {
+		w, err := e.cfg.DFS.Create(checkpointFile(path, i))
+		if err != nil {
+			return err
+		}
+		sw := serde.NewWriter(w)
+		for _, row := range rows {
+			if err := sw.Write(nil, enc(row)); err != nil {
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	p.checkpoint = &checkpointSpec{path: path, encode: enc, decode: dec}
+	e.mu.Lock()
+	e.ckptDone[p.id] = true
+	e.mu.Unlock()
+	e.Reg.Counter("checkpoints_written").Inc()
+	return nil
+}
+
+func checkpointFile(path string, part int) string {
+	return fmt.Sprintf("%s/part-%05d", path, part)
+}
+
+func (e *Engine) readCheckpoint(p *Plan, part int) ([]Row, error) {
+	r, err := e.cfg.DFS.Open(checkpointFile(p.checkpoint.path, part), -1)
+	if err != nil {
+		return nil, err
+	}
+	sr := serde.NewReader(r)
+	var rows []Row
+	for {
+		rec, err := sr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, p.checkpoint.decode(rec.Value))
+	}
+}
+
+// Broadcast registers a read-only value shared by all tasks, charging the
+// fabric for shipping `size` bytes to every other node (a tree broadcast
+// would be cheaper; we model the simple one-to-all).
+func (e *Engine) Broadcast(v any, size int64) *Broadcast {
+	fabric := e.cfg.Cluster.Fabric()
+	top := fabric.Topology()
+	var total time.Duration
+	for n := 1; n < top.Size(); n++ {
+		total += fabric.Cost(0, topology.NodeID(n), size)
+	}
+	e.Reg.Counter("net_time_ns").Add(int64(total))
+	e.Reg.Counter("broadcast_bytes").Add(size * int64(top.Size()-1))
+	return &Broadcast{value: v}
+}
+
+// Broadcast is a handle to a cluster-wide read-only value.
+type Broadcast struct {
+	value any
+}
+
+// Value returns the broadcast value.
+func (b *Broadcast) Value() any { return b.value }
+
+// Accumulator is a task-side counter aggregated at the driver.
+type Accumulator struct {
+	c metrics.Counter
+}
+
+// NewAccumulator returns a fresh accumulator.
+func (e *Engine) NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Add contributes delta from a task.
+func (a *Accumulator) Add(delta int64) { a.c.Add(delta) }
+
+// Value reads the aggregated total.
+func (a *Accumulator) Value() int64 { return a.c.Value() }
+
+// NetTime returns accumulated simulated network time across all transfers
+// the engine has charged to the fabric.
+func (e *Engine) NetTime() time.Duration {
+	return time.Duration(e.Reg.Counter("net_time_ns").Value())
+}

@@ -1,0 +1,168 @@
+// Package core is the framework's primary contribution: a lineage-based
+// DAG dataflow engine in the RDD tradition. A job is a graph of logical
+// plans; the engine splits it into stages at shuffle boundaries, runs each
+// stage's partitions as real tasks on the cluster's executor pools with
+// data-locality preferences, moves intermediate data through the pluggable
+// shuffle subsystem (charging transfer costs to the network fabric), and
+// recovers from task and node failures by recomputing exactly the lost
+// lineage — or restoring from a DFS checkpoint when one exists (the E9
+// ablation).
+package core
+
+import (
+	"repro/internal/shuffle"
+	"repro/internal/topology"
+)
+
+// Row is one element of a dataset partition. The engine is untyped; the
+// public hpbdc package layers generics on top.
+type Row = any
+
+// TaskContext is passed to user compute closures.
+type TaskContext struct {
+	// Node is where the task is running.
+	Node topology.NodeID
+	// Partition is the task's partition index.
+	Partition int
+	// Attempt counts retries of this partition (0 = first try).
+	Attempt int
+}
+
+// ShuffleDep describes how a plan's input is redistributed: how rows of the
+// parent become keyed records, how many partitions result, whether the
+// shuffle sorts by key, and how the reduce side turns fetched records back
+// into rows.
+type ShuffleDep struct {
+	// Partitions is the reduce-side partition count; required.
+	Partitions int
+	// KeyOf extracts the shuffle key bytes from a parent row; required.
+	KeyOf func(Row) []byte
+	// ValueOf serializes the row's value payload; required.
+	ValueOf func(Row) []byte
+	// Post converts one reduce partition's records into output rows;
+	// required. Records arrive key-sorted when Sorted is set.
+	Post func(ctx *TaskContext, recs []shuffle.Record) []Row
+	// Combiner optionally merges encoded values with equal keys map-side.
+	Combiner func(a, b []byte) []byte
+	// Sorted selects the sort-based shuffle writer and a merged,
+	// key-ordered reduce-side read.
+	Sorted bool
+	// Partitioner overrides hash partitioning (e.g. range partitioning).
+	Partitioner func(key []byte) int
+}
+
+type planKind int
+
+const (
+	kindSource planKind = iota
+	kindNarrow
+	kindUnion
+	kindShuffled
+)
+
+// Plan is a node in the logical dataflow graph. Plans are immutable once
+// built; construction happens through the New* functions below (or the
+// typed wrappers in package hpbdc).
+type Plan struct {
+	id    int
+	kind  planKind
+	parts int
+
+	// kindSource
+	source func(ctx *TaskContext, part int) []Row
+	prefs  func(part int) []topology.NodeID
+
+	// kindNarrow
+	parent *Plan
+	narrow func(ctx *TaskContext, rows []Row) []Row
+
+	// kindUnion
+	parents []*Plan
+
+	// kindShuffled
+	dep *ShuffleDep
+
+	// caching / checkpointing state lives in the engine, keyed by id.
+	cache      bool
+	checkpoint *checkpointSpec
+}
+
+type checkpointSpec struct {
+	path   string
+	encode func(Row) []byte
+	decode func([]byte) Row
+}
+
+// Partitions returns the plan's partition count.
+func (p *Plan) Partitions() int { return p.parts }
+
+// ID returns the plan's engine-unique identity.
+func (p *Plan) ID() int { return p.id }
+
+// NewSource creates a leaf plan: fn computes partition `part` from scratch
+// (reading a DFS file, generating synthetic data, wrapping an in-memory
+// slice). prefs optionally reports preferred executor nodes per partition
+// for locality scheduling; it may be nil.
+func (e *Engine) NewSource(parts int, fn func(ctx *TaskContext, part int) []Row, prefs func(part int) []topology.NodeID) *Plan {
+	if parts <= 0 {
+		panic("core: source must have at least one partition")
+	}
+	if fn == nil {
+		panic("core: source compute function is required")
+	}
+	return &Plan{id: e.nextPlanID(), kind: kindSource, parts: parts, source: fn, prefs: prefs}
+}
+
+// NewNarrow creates a one-to-one transformed plan: output partition i is
+// fn applied to parent partition i. Narrow plans pipeline — they run inside
+// their consumer's task with no materialization.
+func (e *Engine) NewNarrow(parent *Plan, fn func(ctx *TaskContext, rows []Row) []Row) *Plan {
+	if parent == nil || fn == nil {
+		panic("core: narrow requires a parent and a function")
+	}
+	return &Plan{id: e.nextPlanID(), kind: kindNarrow, parts: parent.parts, parent: parent, narrow: fn}
+}
+
+// NewUnion concatenates plans: the result has the sum of the parents'
+// partitions, in order.
+func (e *Engine) NewUnion(parents ...*Plan) *Plan {
+	if len(parents) == 0 {
+		panic("core: union requires at least one parent")
+	}
+	total := 0
+	for _, p := range parents {
+		total += p.parts
+	}
+	return &Plan{id: e.nextPlanID(), kind: kindUnion, parts: total, parents: parents}
+}
+
+// NewShuffled creates a shuffle boundary over parent with the given
+// dependency description.
+func (e *Engine) NewShuffled(parent *Plan, dep ShuffleDep) *Plan {
+	if parent == nil {
+		panic("core: shuffle requires a parent")
+	}
+	if dep.Partitions <= 0 || dep.KeyOf == nil || dep.ValueOf == nil || dep.Post == nil {
+		panic("core: ShuffleDep requires Partitions, KeyOf, ValueOf and Post")
+	}
+	d := dep
+	return &Plan{id: e.nextPlanID(), kind: kindShuffled, parts: dep.Partitions, parent: parent, dep: &d}
+}
+
+// Cache marks the plan's partitions for in-memory memoization: the first
+// computation of each partition is retained and reused by later jobs.
+func (p *Plan) Cache() *Plan {
+	p.cache = true
+	return p
+}
+
+// unionChild maps a union output partition to (parent, parent partition).
+func (p *Plan) unionChild(part int) (*Plan, int) {
+	for _, parent := range p.parents {
+		if part < parent.parts {
+			return parent, part
+		}
+		part -= parent.parts
+	}
+	panic("core: union partition out of range")
+}

@@ -1,0 +1,118 @@
+// Package des implements a deterministic discrete-event simulator: a
+// virtual clock and an event heap. The network fabric, failure injectors and
+// the scheduler/elasticity experiments run on virtual time so that results
+// are exact and reproducible regardless of host load.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (stable by sequence number), which keeps simulations
+// deterministic.
+type Event struct {
+	At  time.Duration // virtual time at which the event fires
+	Fn  func()
+	seq uint64
+	idx int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulation. It is not safe for
+// concurrent use; drive it from one goroutine.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// New returns an empty simulation at virtual time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Schedule registers fn to run delay from now. Negative delays fire
+// immediately (at the current time). The returned event can be cancelled.
+func (s *Sim) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	e := &Event{At: s.now + delay, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.idx < 0 || e.idx >= len(s.events) || s.events[e.idx] != e {
+		return
+	}
+	heap.Remove(&s.events, e.idx)
+}
+
+// Pending reports the number of events still scheduled.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event fired.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*Event)
+	s.now = e.At
+	e.Fn()
+	return true
+}
+
+// Run fires events until none remain, returning the final virtual time.
+func (s *Sim) Run() time.Duration {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil fires events with At <= deadline, then advances the clock to
+// deadline. Events scheduled during execution are honoured if they fall
+// within the deadline.
+func (s *Sim) RunUntil(deadline time.Duration) {
+	for len(s.events) > 0 && s.events[0].At <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

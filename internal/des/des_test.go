@@ -1,0 +1,156 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 30*time.Millisecond {
+		t.Fatalf("final time = %v, want 30ms", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: got %v", got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.Schedule(7*time.Second, func() { at = s.Now() })
+	s.Run()
+	if at != 7*time.Second {
+		t.Fatalf("Now() inside event = %v, want 7s", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(time.Second, func() {
+		fired++
+		s.Schedule(time.Second, func() { fired++ })
+	})
+	end := s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if end != 2*time.Second {
+		t.Fatalf("end = %v, want 2s", end)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(time.Second, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel is a no-op.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e := s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Cancel(e)
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(1*time.Second, func() { fired++ })
+	s.Schedule(5*time.Second, func() { fired++ })
+	s.RunUntil(3 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d before deadline, want 1", fired)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after Run, want 2", fired)
+	}
+}
+
+func TestNegativeDelayFiresNow(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {
+		s.Schedule(-time.Hour, func() {
+			if s.Now() != time.Second {
+				t.Fatalf("negative delay fired at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var times []time.Duration
+		for _, d := range delays {
+			s.Schedule(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 100; j++ {
+			s.Schedule(time.Duration(j%17)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+}

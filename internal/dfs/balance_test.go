@@ -1,0 +1,137 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDecommissionPreservesData(t *testing.T) {
+	d := newTestDFS(1024, 3)
+	data := testData(20_000)
+	writeFile(t, d, "/f", data)
+	victim := topology.NodeID(-1)
+	for i := 0; i < d.cfg.Topology.Size(); i++ {
+		if d.StoredBytes(topology.NodeID(i)) > 0 {
+			victim = topology.NodeID(i)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no node holds data")
+	}
+	moved, err := d.Decommission(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("decommission moved nothing")
+	}
+	// No block is under-replicated and data is intact.
+	if under := d.UnderReplicated(); len(under) != 0 {
+		t.Fatalf("under-replicated after decommission: %v", under)
+	}
+	if got := readFile(t, d, "/f"); !bytes.Equal(got, data) {
+		t.Fatal("data corrupted by decommission")
+	}
+	if d.StoredBytes(victim) != 0 {
+		t.Fatal("decommissioned node still holds data")
+	}
+}
+
+func TestDecommissionTwiceFails(t *testing.T) {
+	d := newTestDFS(1024, 2)
+	writeFile(t, d, "/f", testData(100))
+	if _, err := d.Decommission(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decommission(0); err == nil {
+		t.Fatal("double decommission accepted")
+	}
+	if _, err := d.Decommission(99); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestBalanceEvensLoad(t *testing.T) {
+	// Write everything hinted at node 0 so it is overloaded.
+	d := newTestDFS(512, 1) // replication 1 concentrates data
+	for i := 0; i < 40; i++ {
+		w, err := d.CreateWith(pathN(i), 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(testData(512)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.StoredBytes(0) == 0 {
+		t.Fatal("hint ignored")
+	}
+	before := maxMinRatio(d)
+	moves, migrated := d.Balance(0.15)
+	if moves == 0 || migrated == 0 {
+		t.Fatalf("balancer idle: %d moves, %d bytes", moves, migrated)
+	}
+	after := maxMinRatio(d)
+	if after >= before {
+		t.Fatalf("imbalance did not improve: %.2f -> %.2f", before, after)
+	}
+	// Data still readable.
+	for i := 0; i < 40; i++ {
+		if got := readFile(t, d, pathN(i)); len(got) != 512 {
+			t.Fatalf("file %d lost after balancing", i)
+		}
+	}
+	// Balancer is idempotent at the target slack.
+	if again, _ := d.Balance(0.15); again != 0 {
+		t.Fatalf("second balance pass made %d moves", again)
+	}
+}
+
+func pathN(i int) string {
+	return "/bal/" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}
+
+func maxMinRatio(d *DFS) float64 {
+	var max, total int64
+	n := d.cfg.Topology.Size()
+	for i := 0; i < n; i++ {
+		b := d.StoredBytes(topology.NodeID(i))
+		total += b
+		if b > max {
+			max = b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(n)
+	return float64(max) / mean
+}
+
+func TestBalanceKeepsReplicasDistinct(t *testing.T) {
+	d := newTestDFS(1024, 3)
+	writeFile(t, d, "/f", testData(30_000))
+	d.Balance(0.05)
+	locs, err := d.BlockLocations("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range locs {
+		seen := map[topology.NodeID]bool{}
+		for _, r := range b.Replicas {
+			if seen[r] {
+				t.Fatalf("block %d has duplicate replica on %d after balance", i, r)
+			}
+			seen[r] = true
+		}
+		if len(b.Replicas) != 3 {
+			t.Fatalf("block %d has %d replicas after balance", i, len(b.Replicas))
+		}
+	}
+}

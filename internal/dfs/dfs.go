@@ -1,0 +1,539 @@
+// Package dfs is an in-memory, HDFS-like distributed file system: a
+// namenode (namespace, block map, placement policy) over per-node block
+// stores. Files are split into fixed-size blocks, each replicated with the
+// standard rack-aware policy (first replica local, second off-rack, third
+// on the second's rack). The dataflow engine schedules tasks against
+// BlockLocations for locality, and the recovery experiments kill nodes and
+// re-replicate.
+//
+// Data is held in memory because the experiments measure placement,
+// locality and recovery behaviour — structural properties — rather than
+// disk throughput; see DESIGN.md's substitution table.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Errors returned by namespace operations.
+var (
+	ErrExists       = errors.New("dfs: file already exists")
+	ErrNotFound     = errors.New("dfs: file not found")
+	ErrNoLiveNode   = errors.New("dfs: no live node available for placement")
+	ErrBlockLost    = errors.New("dfs: all replicas of a block are dead")
+	ErrNodeUnknown  = errors.New("dfs: unknown node")
+	ErrWriterClosed = errors.New("dfs: writer is closed")
+)
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+// Config configures a DFS instance.
+type Config struct {
+	// BlockSize is the split size in bytes. Defaults to 8 MiB.
+	BlockSize int64
+	// Replication is the default replica count. Defaults to 3, clamped to
+	// the cluster size.
+	Replication int
+	// Topology describes the cluster; required.
+	Topology *topology.Topology
+	// Seed drives placement randomness.
+	Seed uint64
+}
+
+// BlockInfo describes one block of a file: its identity, length and the
+// nodes currently holding live replicas (closest-first ordering is the
+// caller's job via Topology).
+type BlockInfo struct {
+	ID       BlockID
+	Length   int64
+	Replicas []topology.NodeID
+}
+
+// FileInfo summarizes a file.
+type FileInfo struct {
+	Path   string
+	Size   int64
+	Blocks int
+}
+
+type blockMeta struct {
+	id       BlockID
+	length   int64
+	replicas []topology.NodeID
+}
+
+type fileMeta struct {
+	path   string
+	blocks []BlockID
+	size   int64
+	repl   int
+}
+
+type datanode struct {
+	store map[BlockID][]byte
+}
+
+// DFS is the whole filesystem: namenode plus all datanodes. Safe for
+// concurrent use.
+type DFS struct {
+	mu        sync.RWMutex
+	cfg       Config
+	files     map[string]*fileMeta
+	blocks    map[BlockID]*blockMeta
+	nodes     []*datanode
+	alive     []bool
+	nextBlock BlockID
+	rand      *rng.RNG
+}
+
+// New creates an empty filesystem over cfg.Topology.
+func New(cfg Config) *DFS {
+	if cfg.Topology == nil {
+		panic("dfs: Config.Topology is required")
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 8 << 20
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Replication > cfg.Topology.Size() {
+		cfg.Replication = cfg.Topology.Size()
+	}
+	d := &DFS{
+		cfg:    cfg,
+		files:  map[string]*fileMeta{},
+		blocks: map[BlockID]*blockMeta{},
+		nodes:  make([]*datanode, cfg.Topology.Size()),
+		alive:  make([]bool, cfg.Topology.Size()),
+		rand:   rng.New(cfg.Seed),
+	}
+	for i := range d.nodes {
+		d.nodes[i] = &datanode{store: map[BlockID][]byte{}}
+		d.alive[i] = true
+	}
+	return d
+}
+
+// BlockSize returns the configured split size.
+func (d *DFS) BlockSize() int64 { return d.cfg.BlockSize }
+
+// Create opens a new file for writing with the default replication and no
+// placement hint.
+func (d *DFS) Create(path string) (*Writer, error) {
+	return d.CreateWith(path, d.cfg.Replication, topology.NodeID(-1))
+}
+
+// CreateWith opens a new file with an explicit replication factor and a
+// placement hint: the writer's node, which receives the first replica of
+// every block (the HDFS write-local rule). Pass hint -1 for no affinity.
+func (d *DFS) CreateWith(path string, replication int, hint topology.NodeID) (*Writer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[path]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	if replication <= 0 {
+		replication = d.cfg.Replication
+	}
+	if replication > len(d.nodes) {
+		replication = len(d.nodes)
+	}
+	// Reserve the name so concurrent creators conflict deterministically.
+	d.files[path] = &fileMeta{path: path, repl: replication}
+	return &Writer{d: d, meta: d.files[path], hint: hint}, nil
+}
+
+// Writer streams data into a file, sealing a block every BlockSize bytes.
+type Writer struct {
+	d      *DFS
+	meta   *fileMeta
+	hint   topology.NodeID
+	buf    []byte
+	closed bool
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrWriterClosed
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := int(w.d.cfg.BlockSize) - len(w.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		if int64(len(w.buf)) == w.d.cfg.BlockSize {
+			if err := w.seal(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+// seal commits the current buffer as a block.
+func (w *Writer) seal() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	data := w.buf
+	w.buf = nil
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+	id := w.d.nextBlock
+	w.d.nextBlock++
+	replicas, err := w.d.placeLocked(w.meta.repl, w.hint)
+	if err != nil {
+		return err
+	}
+	bm := &blockMeta{id: id, length: int64(len(data)), replicas: replicas}
+	w.d.blocks[id] = bm
+	for _, n := range replicas {
+		stored := make([]byte, len(data))
+		copy(stored, data)
+		w.d.nodes[n].store[id] = stored
+	}
+	w.meta.blocks = append(w.meta.blocks, id)
+	w.meta.size += int64(len(data))
+	return nil
+}
+
+// Close seals the final partial block and commits the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return ErrWriterClosed
+	}
+	w.closed = true
+	return w.seal()
+}
+
+// placeLocked chooses repl distinct live nodes using the rack-aware policy.
+func (d *DFS) placeLocked(repl int, hint topology.NodeID) ([]topology.NodeID, error) {
+	top := d.cfg.Topology
+	var chosen []topology.NodeID
+	used := map[topology.NodeID]bool{}
+	pick := func(ok func(topology.NodeID) bool) bool {
+		// Random start, linear probe: deterministic given the seed.
+		start := d.rand.Intn(top.Size())
+		for i := 0; i < top.Size(); i++ {
+			n := topology.NodeID((start + i) % top.Size())
+			if d.alive[n] && !used[n] && (ok == nil || ok(n)) {
+				chosen = append(chosen, n)
+				used[n] = true
+				return true
+			}
+		}
+		return false
+	}
+
+	// First replica: the writer's node when live, else anywhere.
+	if hint >= 0 && int(hint) < top.Size() && d.alive[hint] {
+		chosen = append(chosen, hint)
+		used[hint] = true
+	} else if !pick(nil) {
+		return nil, ErrNoLiveNode
+	}
+	// Second replica: a different rack when possible.
+	if len(chosen) < repl {
+		firstRack := top.RackOf(chosen[0])
+		if !pick(func(n topology.NodeID) bool { return top.RackOf(n) != firstRack }) {
+			if !pick(nil) {
+				return chosen, nil // degraded: fewer replicas than asked
+			}
+		}
+	}
+	// Third replica: same rack as the second.
+	if len(chosen) < repl {
+		secondRack := top.RackOf(chosen[1])
+		if !pick(func(n topology.NodeID) bool { return top.RackOf(n) == secondRack }) {
+			pick(nil)
+		}
+	}
+	// Any further replicas: anywhere.
+	for len(chosen) < repl {
+		if !pick(nil) {
+			break
+		}
+	}
+	return chosen, nil
+}
+
+// Stat returns file metadata.
+func (d *DFS) Stat(path string) (FileInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return FileInfo{Path: f.path, Size: f.size, Blocks: len(f.blocks)}, nil
+}
+
+// List returns the paths with the given prefix, sorted.
+func (d *DFS) List(prefix string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []string
+	for p := range d.files {
+		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a file and frees replicas whose blocks belong to no file.
+func (d *DFS) Delete(path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(d.files, path)
+	for _, id := range f.blocks {
+		bm := d.blocks[id]
+		if bm == nil {
+			continue
+		}
+		for _, n := range bm.replicas {
+			delete(d.nodes[n].store, id)
+		}
+		delete(d.blocks, id)
+	}
+	return nil
+}
+
+// BlockLocations returns the live replica placement of every block of path,
+// in file order.
+func (d *DFS) BlockLocations(path string) ([]BlockInfo, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([]BlockInfo, 0, len(f.blocks))
+	for _, id := range f.blocks {
+		bm := d.blocks[id]
+		var live []topology.NodeID
+		for _, n := range bm.replicas {
+			if d.alive[n] {
+				live = append(live, n)
+			}
+		}
+		out = append(out, BlockInfo{ID: id, Length: bm.length, Replicas: live})
+	}
+	return out, nil
+}
+
+// ReadBlock returns a copy of block id from any live replica, preferring
+// one close to `at` (node-local, then rack-local, then remote). It also
+// returns the node served from, so callers can charge network cost.
+func (d *DFS) ReadBlock(id BlockID, at topology.NodeID) ([]byte, topology.NodeID, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bm, ok := d.blocks[id]
+	if !ok {
+		return nil, -1, fmt.Errorf("%w: block %d", ErrNotFound, id)
+	}
+	best := topology.NodeID(-1)
+	bestLoc := topology.Remote + 1
+	for _, n := range bm.replicas {
+		if !d.alive[n] {
+			continue
+		}
+		loc := topology.Remote
+		if at >= 0 && at < topology.NodeID(d.cfg.Topology.Size()) {
+			loc = d.cfg.Topology.LocalityOf(n, at)
+		}
+		if loc < bestLoc {
+			bestLoc = loc
+			best = n
+		}
+	}
+	if best < 0 {
+		return nil, -1, fmt.Errorf("%w: block %d", ErrBlockLost, id)
+	}
+	data := d.nodes[best].store[id]
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, best, nil
+}
+
+// Open returns a sequential reader over the whole file, served from
+// replicas closest to `at` (pass -1 for no affinity).
+func (d *DFS) Open(path string, at topology.NodeID) (io.Reader, error) {
+	d.mu.RLock()
+	f, ok := d.files[path]
+	if !ok {
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	ids := make([]BlockID, len(f.blocks))
+	copy(ids, f.blocks)
+	d.mu.RUnlock()
+	return &reader{d: d, ids: ids, at: at}, nil
+}
+
+type reader struct {
+	d   *DFS
+	ids []BlockID
+	at  topology.NodeID
+	cur []byte
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if len(r.ids) == 0 {
+			return 0, io.EOF
+		}
+		data, _, err := r.d.ReadBlock(r.ids[0], r.at)
+		if err != nil {
+			return 0, err
+		}
+		r.ids = r.ids[1:]
+		r.cur = data
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// KillNode marks a node dead: its replicas become unreadable until revival
+// or re-replication.
+func (d *DFS) KillNode(n topology.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(n) < 0 || int(n) >= len(d.alive) {
+		return ErrNodeUnknown
+	}
+	d.alive[n] = false
+	return nil
+}
+
+// ReviveNode brings a dead node back with its stored replicas intact.
+func (d *DFS) ReviveNode(n topology.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(n) < 0 || int(n) >= len(d.alive) {
+		return ErrNodeUnknown
+	}
+	d.alive[n] = true
+	return nil
+}
+
+// UnderReplicated returns blocks whose live replica count is below their
+// file's target, sorted by id.
+func (d *DFS) UnderReplicated() []BlockID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	target := map[BlockID]int{}
+	for _, f := range d.files {
+		for _, id := range f.blocks {
+			target[id] = f.repl
+		}
+	}
+	var out []BlockID
+	for id, bm := range d.blocks {
+		live := 0
+		for _, n := range bm.replicas {
+			if d.alive[n] {
+				live++
+			}
+		}
+		if live < target[id] && live > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rereplicate copies under-replicated blocks from a live replica to fresh
+// live nodes until targets are met. It returns the number of new replicas
+// created and the total bytes copied (for recovery-cost accounting).
+func (d *DFS) Rereplicate() (newReplicas int, bytesCopied int64) {
+	ids := d.UnderReplicated()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	target := map[BlockID]int{}
+	for _, f := range d.files {
+		for _, id := range f.blocks {
+			target[id] = f.repl
+		}
+	}
+	for _, id := range ids {
+		bm := d.blocks[id]
+		if bm == nil {
+			continue
+		}
+		var src topology.NodeID = -1
+		liveSet := map[topology.NodeID]bool{}
+		var liveReplicas []topology.NodeID
+		for _, n := range bm.replicas {
+			if d.alive[n] {
+				liveSet[n] = true
+				liveReplicas = append(liveReplicas, n)
+				src = n
+			}
+		}
+		if src < 0 {
+			continue // lost block; nothing to copy from
+		}
+		for len(liveReplicas) < target[id] {
+			// Place one more replica, avoiding nodes already holding one.
+			start := d.rand.Intn(len(d.nodes))
+			placed := false
+			for i := 0; i < len(d.nodes); i++ {
+				n := topology.NodeID((start + i) % len(d.nodes))
+				if !d.alive[n] || liveSet[n] {
+					continue
+				}
+				data := d.nodes[src].store[id]
+				cp := make([]byte, len(data))
+				copy(cp, data)
+				d.nodes[n].store[id] = cp
+				bm.replicas = append(bm.replicas, n)
+				liveSet[n] = true
+				liveReplicas = append(liveReplicas, n)
+				newReplicas++
+				bytesCopied += bm.length
+				placed = true
+				break
+			}
+			if !placed {
+				break
+			}
+		}
+	}
+	return newReplicas, bytesCopied
+}
+
+// TotalStoredBytes returns the bytes held across all datanodes (replicas
+// counted individually).
+func (d *DFS) TotalStoredBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var total int64
+	for _, dn := range d.nodes {
+		for _, b := range dn.store {
+			total += int64(len(b))
+		}
+	}
+	return total
+}

@@ -1,0 +1,205 @@
+// Package elastic simulates cloud elasticity: a utilization-targeting
+// autoscaler (with provisioning delay, cooldown and min/max bounds) tracks
+// an offered-load trace, optionally under spot-instance preemptions, and
+// is compared against static provisioning on cost (node-steps), average
+// utilization and SLO violations — experiment E11.
+package elastic
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Policy is the autoscaler configuration.
+type Policy struct {
+	// TargetUtil is the utilization setpoint the scaler sizes for.
+	// Default 0.65.
+	TargetUtil float64
+	// Min and Max bound the fleet size. Defaults 1 and 1024.
+	Min, Max int
+	// CooldownSteps is how many steps must pass between scale-downs
+	// (scale-ups are never delayed by cooldown). Default 3.
+	CooldownSteps int
+	// ProvisionDelaySteps is how long a launched node takes to come up.
+	// Default 2.
+	ProvisionDelaySteps int
+	// Disabled freezes the fleet at Min (static provisioning baseline).
+	Disabled bool
+}
+
+func (p *Policy) fill() {
+	if p.TargetUtil <= 0 || p.TargetUtil > 1 {
+		p.TargetUtil = 0.65
+	}
+	if p.Min <= 0 {
+		p.Min = 1
+	}
+	if p.Max <= 0 {
+		p.Max = 1024
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	if p.CooldownSteps <= 0 {
+		p.CooldownSteps = 3
+	}
+	if p.ProvisionDelaySteps < 0 {
+		p.ProvisionDelaySteps = 2
+	}
+}
+
+// Config configures a simulation.
+type Config struct {
+	// PerNodeCapacity is the request rate one node sustains; required.
+	PerNodeCapacity float64
+	// SLOUtil is the utilization above which a step counts as an SLO
+	// violation (queueing delay blows up past it). Default 0.9.
+	SLOUtil float64
+	// Policy is the autoscaler.
+	Policy Policy
+	// SpotPreemptProb is the per-step, per-node probability of losing a
+	// node to a spot reclaim.
+	SpotPreemptProb float64
+	// Seed drives preemption randomness.
+	Seed uint64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// NodeSteps is the cost integral: Σ active nodes per step.
+	NodeSteps int64
+	// AvgUtil is the mean utilization over steps (capped at 1 per step).
+	AvgUtil float64
+	// Violations counts steps where utilization exceeded SLOUtil.
+	Violations int
+	// ViolationFrac = Violations / steps.
+	ViolationFrac float64
+	// Preemptions counts nodes lost to spot reclaims.
+	Preemptions int
+	// ScaleUps and ScaleDowns count scaling actions taken.
+	ScaleUps, ScaleDowns int
+	// PeakNodes is the largest active fleet seen.
+	PeakNodes int
+	// UtilSeries is the per-step utilization (for plotting).
+	UtilSeries []float64
+	// NodeSeries is the per-step active fleet size.
+	NodeSeries []int
+}
+
+// Simulate runs the trace under cfg.
+func Simulate(trace []workload.LoadPoint, cfg Config) Result {
+	if cfg.PerNodeCapacity <= 0 {
+		panic("elastic: PerNodeCapacity must be positive")
+	}
+	if cfg.SLOUtil <= 0 {
+		cfg.SLOUtil = 0.9
+	}
+	cfg.Policy.fill()
+	r := rng.New(cfg.Seed)
+
+	active := cfg.Policy.Min
+	pending := make([]int, 0) // steps remaining until each pending node is up
+	cooldown := 0
+	res := Result{}
+
+	for _, pt := range trace {
+		// Pending nodes come up.
+		var still []int
+		for _, left := range pending {
+			if left <= 1 {
+				active++
+			} else {
+				still = append(still, left-1)
+			}
+		}
+		pending = still
+
+		// Spot preemptions.
+		if cfg.SpotPreemptProb > 0 {
+			lost := 0
+			for i := 0; i < active; i++ {
+				if r.Float64() < cfg.SpotPreemptProb {
+					lost++
+				}
+			}
+			if active-lost < 1 {
+				lost = active - 1
+			}
+			active -= lost
+			res.Preemptions += lost
+		}
+
+		// Serve this step.
+		capTotal := float64(active) * cfg.PerNodeCapacity
+		util := pt.Rate / capTotal
+		recorded := math.Min(util, 1)
+		res.UtilSeries = append(res.UtilSeries, recorded)
+		res.NodeSeries = append(res.NodeSeries, active)
+		res.AvgUtil += recorded
+		if util > cfg.SLOUtil {
+			res.Violations++
+		}
+		res.NodeSteps += int64(active)
+		if active > res.PeakNodes {
+			res.PeakNodes = active
+		}
+
+		// Autoscaler reacts to the observed utilization.
+		if cooldown > 0 {
+			cooldown--
+		}
+		if !cfg.Policy.Disabled {
+			desired := int(math.Ceil(pt.Rate / (cfg.PerNodeCapacity * cfg.Policy.TargetUtil)))
+			if desired < cfg.Policy.Min {
+				desired = cfg.Policy.Min
+			}
+			if desired > cfg.Policy.Max {
+				desired = cfg.Policy.Max
+			}
+			provisioned := active + len(pending)
+			switch {
+			case desired > provisioned:
+				for i := provisioned; i < desired; i++ {
+					if cfg.Policy.ProvisionDelaySteps == 0 {
+						active++
+					} else {
+						pending = append(pending, cfg.Policy.ProvisionDelaySteps)
+					}
+				}
+				res.ScaleUps++
+			case desired < active && cooldown == 0:
+				active = desired
+				cooldown = cfg.Policy.CooldownSteps
+				res.ScaleDowns++
+			}
+		} else if active < cfg.Policy.Min {
+			// Static fleets replace preempted nodes immediately.
+			active = cfg.Policy.Min
+		}
+	}
+	if len(trace) > 0 {
+		res.AvgUtil /= float64(len(trace))
+		res.ViolationFrac = float64(res.Violations) / float64(len(trace))
+	}
+	return res
+}
+
+// Static runs the trace with a fixed fleet of n nodes.
+func Static(trace []workload.LoadPoint, cfg Config, n int) Result {
+	cfg.Policy = Policy{Min: n, Max: n, Disabled: true}
+	return Simulate(trace, cfg)
+}
+
+// PeakNodesFor returns the fleet size needed to hold the trace's peak at
+// or under targetUtil — the peak-static provisioning baseline.
+func PeakNodesFor(trace []workload.LoadPoint, perNodeCapacity, targetUtil float64) int {
+	peak := 0.0
+	for _, p := range trace {
+		if p.Rate > peak {
+			peak = p.Rate
+		}
+	}
+	return int(math.Ceil(peak / (perNodeCapacity * targetUtil)))
+}

@@ -1,0 +1,162 @@
+package elastic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func trace() []workload.LoadPoint {
+	// 2 simulated days at 5-minute steps, 100..1000 req/s diurnal cycle.
+	return workload.DiurnalTrace(576, 5*time.Minute, 100, 1000, 2.5, 1)
+}
+
+func TestAutoscalerTracksLoad(t *testing.T) {
+	tr := trace()
+	res := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 2, Max: 64},
+		Seed:            1,
+	})
+	if res.ScaleUps == 0 || res.ScaleDowns == 0 {
+		t.Fatalf("no scaling activity: ups=%d downs=%d", res.ScaleUps, res.ScaleDowns)
+	}
+	// Fleet must grow toward the peak (peak 1000 r/s needs ~31 nodes at 0.65).
+	if res.PeakNodes < 20 {
+		t.Fatalf("peak fleet %d never approached demand", res.PeakNodes)
+	}
+	if res.ViolationFrac > 0.1 {
+		t.Fatalf("SLO violations %.1f%% with a working autoscaler", res.ViolationFrac*100)
+	}
+}
+
+func TestAutoscalerCheaperThanPeakStatic(t *testing.T) {
+	tr := trace()
+	cfg := Config{PerNodeCapacity: 50, Seed: 2}
+	peak := PeakNodesFor(tr, 50, 0.65)
+	static := Static(tr, cfg, peak)
+	auto := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 2, Max: peak + 10},
+		Seed:            2,
+	})
+	if auto.NodeSteps >= static.NodeSteps {
+		t.Fatalf("autoscaler cost %d not below peak-static cost %d", auto.NodeSteps, static.NodeSteps)
+	}
+	// And clearly cheaper: at least 20% savings on a diurnal trace.
+	if float64(auto.NodeSteps) > 0.8*float64(static.NodeSteps) {
+		t.Fatalf("autoscaler saved only %d vs %d", auto.NodeSteps, static.NodeSteps)
+	}
+	// Peak-static never violates; autoscaler must stay close.
+	if static.Violations != 0 {
+		t.Fatalf("peak-static violated SLO %d times", static.Violations)
+	}
+}
+
+func TestAutoscalerBetterUtilThanPeakStatic(t *testing.T) {
+	tr := trace()
+	cfg := Config{PerNodeCapacity: 50, Seed: 3}
+	peak := PeakNodesFor(tr, 50, 0.65)
+	static := Static(tr, cfg, peak)
+	auto := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 2, Max: peak + 10},
+		Seed:            3,
+	})
+	if auto.AvgUtil <= static.AvgUtil {
+		t.Fatalf("autoscaler util %.2f not above static %.2f", auto.AvgUtil, static.AvgUtil)
+	}
+}
+
+func TestUnderProvisionedStaticViolates(t *testing.T) {
+	tr := trace()
+	cfg := Config{PerNodeCapacity: 50, Seed: 4}
+	mean := Static(tr, cfg, 8) // ~mean-level fleet for a 100-1000 r/s cycle
+	if mean.ViolationFrac < 0.2 {
+		t.Fatalf("mean-static violated only %.1f%%; expected heavy violations", mean.ViolationFrac*100)
+	}
+}
+
+func TestSpotPreemptionsRecovered(t *testing.T) {
+	tr := trace()
+	res := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 2, Max: 64},
+		SpotPreemptProb: 0.01,
+		Seed:            5,
+	})
+	if res.Preemptions == 0 {
+		t.Fatal("no preemptions with 1% per-node-step probability")
+	}
+	// The autoscaler replaces lost nodes; violations stay bounded.
+	if res.ViolationFrac > 0.25 {
+		t.Fatalf("violations %.1f%% under spot preemption", res.ViolationFrac*100)
+	}
+}
+
+func TestProvisionDelayCausesTransientViolations(t *testing.T) {
+	// A step-function load with slow provisioning must violate during
+	// ramp-up; instant provisioning must not.
+	var tr []workload.LoadPoint
+	for i := 0; i < 40; i++ {
+		rate := 100.0
+		if i >= 10 {
+			rate = 1500
+		}
+		tr = append(tr, workload.LoadPoint{Time: time.Duration(i) * time.Minute, Rate: rate})
+	}
+	slow := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 2, Max: 64, ProvisionDelaySteps: 5},
+		Seed:            6,
+	})
+	fast := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 2, Max: 64, ProvisionDelaySteps: 0},
+		Seed:            6,
+	})
+	if slow.Violations <= fast.Violations {
+		t.Fatalf("slow provisioning violations %d <= fast %d", slow.Violations, fast.Violations)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	tr := trace()
+	res := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 3, Max: 10},
+		Seed:            7,
+	})
+	for i, n := range res.NodeSeries {
+		if n < 1 || n > 10 {
+			t.Fatalf("step %d fleet %d outside [1,10]", i, n)
+		}
+	}
+	if res.PeakNodes != 10 {
+		t.Fatalf("peak %d; demand should hit the max bound", res.PeakNodes)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res := Simulate(nil, Config{PerNodeCapacity: 10})
+	if res.NodeSteps != 0 || res.AvgUtil != 0 {
+		t.Fatalf("empty trace: %+v", res)
+	}
+}
+
+func TestPeakNodesFor(t *testing.T) {
+	tr := []workload.LoadPoint{{Rate: 100}, {Rate: 650}, {Rate: 300}}
+	if got := PeakNodesFor(tr, 100, 0.65); got != 10 {
+		t.Fatalf("PeakNodesFor = %d, want 10", got)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	tr := workload.DiurnalTrace(2016, 5*time.Minute, 100, 1000, 2.5, 1)
+	cfg := Config{PerNodeCapacity: 50, Policy: Policy{TargetUtil: 0.65, Min: 2, Max: 64}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Simulate(tr, cfg)
+	}
+}

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	hpbdc "repro"
+	"repro/internal/compress"
+	"repro/internal/shuffle"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// E2Shuffle compares hash vs sort shuffle writers across codecs and spill
+// regimes: write+read throughput, wire bytes, spill counts.
+func E2Shuffle(s Scale) *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: "Shuffle throughput: hash vs sort writer, by codec and spill regime",
+		Note:  "single map task, 16 reduce partitions, ~70-byte log records",
+		Cols:  []string{"writer", "codec", "records", "spills", "wire-bytes", "write+read MB/s"},
+	}
+	records := pick(s, 20_000, 200_000)
+	// Keys are random (they drive partitioning); values are log-like text
+	// so the codec ablation runs in the compressible regime real shuffle
+	// payloads live in (TeraGen's random values would be incompressible).
+	keys := workload.TeraGen(records, 42)
+	type rec struct{ key, value []byte }
+	gen := make([]rec, records)
+	for i := range gen {
+		gen[i] = rec{
+			key:   keys[i].Key,
+			value: []byte(fmt.Sprintf("level=info user=%05d action=click page=/item/%04d ok", i%10000, i%500)),
+		}
+	}
+	type writerKind struct {
+		name string
+		mk   func(shuffle.Config) (shuffle.Writer, error)
+	}
+	writers := []writerKind{
+		{"hash", shuffle.NewHashWriter},
+		{"sort", shuffle.NewSortWriter},
+	}
+	codecs := []compress.Codec{compress.None{}, compress.LZ{}}
+	for _, wk := range writers {
+		for _, codec := range codecs {
+			var totalBytes int64
+			for _, r := range gen {
+				totalBytes += int64(len(r.key) + len(r.value))
+			}
+			cfg := shuffle.Config{
+				Partitions:     16,
+				Codec:          codec,
+				SpillThreshold: totalBytes / 4, // force ~4 spills
+			}
+			start := time.Now()
+			w, err := wk.mk(cfg)
+			if err != nil {
+				panic(err)
+			}
+			for _, r := range gen {
+				if err := w.Write(r.key, r.value); err != nil {
+					panic(err)
+				}
+			}
+			blocks, stats, err := w.Close()
+			if err != nil {
+				panic(err)
+			}
+			read := 0
+			for _, b := range blocks {
+				recs, err := shuffle.ReadBlocks(codec, []shuffle.Block{b})
+				if err != nil {
+					panic(err)
+				}
+				read += len(recs)
+			}
+			elapsed := time.Since(start)
+			if read != records {
+				panic(fmt.Sprintf("E2: read %d of %d records", read, records))
+			}
+			mbs := float64(totalBytes) / 1e6 / elapsed.Seconds()
+			t.AddRow(wk.name, codec.Name(),
+				fmt.Sprintf("%d", records),
+				fmt.Sprintf("%d", stats.Spills),
+				fmt.Sprintf("%d", stats.WireBytes),
+				fmt.Sprintf("%.0f", mbs))
+		}
+	}
+	return t
+}
+
+// E3TeraSort runs weak-scaling TeraSort: fixed records per node, growing
+// node counts; reports wall time, simulated network time and efficiency.
+func E3TeraSort(s Scale) *Table {
+	t := &Table{
+		ID:    "E3",
+		Title: "TeraSort weak scaling (fixed records per node)",
+		Note:  "sort-based shuffle, range partitioning from sampled splits",
+		Cols:  []string{"nodes", "records", "wall", "net(sim)", "rec/s", "efficiency"},
+	}
+	t.Cols = []string{"nodes", "records", "wall", "net(sim)", "rec/s", "rel-throughput"}
+	t.Note += "; single-host harness: per-record throughput staying flat as data " +
+		"and nodes grow is ideal weak scaling — the drop at high node counts is " +
+		"shuffle fan-in overhead (n^2 blocks)"
+	perNode := pick(s, 4_000, 40_000)
+	var baseRate float64
+	for _, nodes := range []int{2, 4, 8, 16} {
+		racks := nodes / 4
+		if racks < 1 {
+			racks = 1
+		}
+		ctx := hpbdc.New(hpbdc.Config{
+			Racks: racks, NodesPerRack: nodes / racks,
+			Transport: "rdma", Seed: uint64(nodes),
+		})
+		records := perNode * nodes
+		parts := nodes * 2
+		gen := hpbdc.SourceFunc(ctx, parts, func(part int) []hpbdc.Pair[string, string] {
+			recs := workload.TeraGen(records/parts, uint64(part)+100)
+			out := make([]hpbdc.Pair[string, string], len(recs))
+			for i, r := range recs {
+				out[i] = hpbdc.Pair[string, string]{Key: string(r.Key), Value: string(r.Value)}
+			}
+			return out
+		})
+		start := time.Now()
+		sorted, err := hpbdc.SortByKey(gen, hpbdc.StringCodec, hpbdc.StringCodec, parts, 64)
+		if err != nil {
+			panic(err)
+		}
+		out, err := sorted.CollectPartitions()
+		if err != nil {
+			panic(err)
+		}
+		wall := time.Since(start)
+		n := 0
+		prev := ""
+		for _, part := range out {
+			for _, p := range part {
+				if p.Key < prev {
+					panic("E3: output not sorted")
+				}
+				prev = p.Key
+				n++
+			}
+		}
+		rate := float64(n) / wall.Seconds()
+		if baseRate == 0 {
+			baseRate = rate
+		}
+		eff := rate / baseRate
+		t.AddRow(
+			fmt.Sprintf("%d", nodes),
+			fmt.Sprintf("%d", n),
+			wall.Round(time.Millisecond).String(),
+			ctx.Engine().NetTime().Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.2f", eff),
+		)
+	}
+	return t
+}
+
+// E4WordCount compares the single-pass dataflow pipeline (map-side
+// combine, pipelined stages) against a materializing two-phase MapReduce
+// baseline (map output written to the DFS, reduce reads it back).
+func E4WordCount(s Scale) *Table {
+	t := &Table{
+		ID:    "E4",
+		Title: "WordCount: dataflow engine vs 2-pass materializing MapReduce",
+		Note:  "same cluster, same input; baseline pays DFS materialization and no combiner",
+		Cols:  []string{"system", "lines", "wall", "shuffle/DFS bytes", "speedup"},
+	}
+	lines := pick(s, 2_000, 20_000)
+	corpus := workload.Text(lines, 10, 1000, 1.0, 7)
+
+	// Dataflow: pipelined with combiner.
+	runtime.GC() // measurements must not inherit prior experiments' heaps
+	ctx1 := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 1})
+	start := time.Now()
+	words := hpbdc.FlatMap(hpbdc.Parallelize(ctx1, corpus, 16), strings.Fields)
+	counts, err := hpbdc.CountByKey(hpbdc.KeyBy(words, func(w string) string { return w }), hpbdc.StringCodec, 8)
+	if err != nil {
+		panic(err)
+	}
+	dataflowWall := time.Since(start)
+	var totalDF int64
+	for _, n := range counts {
+		totalDF += n
+	}
+	dfBytes := ctx1.Engine().Reg.Counter("shuffle_raw_bytes").Value()
+
+	// MapReduce baseline: phase 1 writes (word,1) pairs as text to DFS;
+	// phase 2 reads them back and reduces without a combiner.
+	runtime.GC()
+	ctx2 := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 1})
+	start = time.Now()
+	mapped := hpbdc.FlatMap(hpbdc.Parallelize(ctx2, corpus, 16), strings.Fields)
+	if err := hpbdc.SaveAsTextFile(mapped, "/mr/intermediate"); err != nil {
+		panic(err)
+	}
+	phase2 := hpbdc.TextFile(ctx2, "/mr/intermediate")
+	grouped := hpbdc.GroupByKey(
+		hpbdc.KeyBy(phase2, func(w string) string { return w }),
+		hpbdc.StringCodec, hpbdc.StringCodec, 8)
+	sums := hpbdc.MapValues(grouped, func(vs []string) int64 { return int64(len(vs)) })
+	mrCounts, err := sums.Collect()
+	if err != nil {
+		panic(err)
+	}
+	mrWall := time.Since(start)
+	var totalMR int64
+	for _, p := range mrCounts {
+		totalMR += p.Value
+	}
+	if totalDF != totalMR {
+		panic(fmt.Sprintf("E4: result mismatch %d vs %d", totalDF, totalMR))
+	}
+	mrBytes := ctx2.Engine().Reg.Counter("shuffle_raw_bytes").Value() +
+		ctx2.DFS().TotalStoredBytes()
+
+	t.AddRow("dataflow", fmt.Sprintf("%d", lines),
+		dataflowWall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%d", dfBytes), "1.00x")
+	t.AddRow("mapreduce-2pass", fmt.Sprintf("%d", lines),
+		mrWall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%d", mrBytes),
+		fmt.Sprintf("%.2fx", float64(dataflowWall)/float64(mrWall)))
+	return t
+}
+
+// E9Recovery measures fault recovery: a shuffled job is run, executor
+// nodes are killed, and the job re-runs under (a) lineage recomputation
+// and (b) checkpoint restore.
+func E9Recovery(s Scale) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "Fault recovery: lineage recomputation vs checkpoint restore",
+		Note:  "kill 2 of 8 executors after first run; re-run the job",
+		Cols:  []string{"variant", "first-run", "recovery-run", "tasks-rerun", "recovery/first"},
+	}
+	lines := pick(s, 1_000, 10_000)
+	corpus := workload.Text(lines, 10, 500, 0.9, 3)
+
+	run := func(checkpoint bool) (time.Duration, time.Duration, int64) {
+		ctx := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 9})
+		words := hpbdc.FlatMap(hpbdc.Parallelize(ctx, corpus, 16), strings.Fields)
+		pairs := hpbdc.KeyBy(words, func(w string) string { return w })
+		ones := hpbdc.MapValues(pairs, func(string) int64 { return 1 })
+		counts := hpbdc.ReduceByKey(ones, hpbdc.StringCodec, hpbdc.Int64Codec, 8,
+			func(a, b int64) int64 { return a + b })
+
+		start := time.Now()
+		if _, err := counts.Collect(); err != nil {
+			panic(err)
+		}
+		first := time.Since(start)
+		if checkpoint {
+			codec := hpbdc.Codec[hpbdc.Pair[string, int64]]{
+				Encode: func(p hpbdc.Pair[string, int64]) []byte {
+					return append(append([]byte{byte(len(p.Key))}, p.Key...), hpbdc.Int64Codec.Encode(p.Value)...)
+				},
+				Decode: func(b []byte) hpbdc.Pair[string, int64] {
+					kl := int(b[0])
+					return hpbdc.Pair[string, int64]{
+						Key:   string(b[1 : 1+kl]),
+						Value: hpbdc.Int64Codec.Decode(b[1+kl:]),
+					}
+				},
+			}
+			if err := counts.Checkpoint("/ckpt/counts", codec); err != nil {
+				panic(err)
+			}
+		}
+		tasksBefore := ctx.Engine().Reg.Counter("tasks_launched").Value()
+		_ = ctx.Cluster().Kill(topology.NodeID(1))
+		_ = ctx.Cluster().Kill(topology.NodeID(5))
+		start = time.Now()
+		if _, err := counts.Collect(); err != nil {
+			panic(err)
+		}
+		recovery := time.Since(start)
+		rerun := ctx.Engine().Reg.Counter("tasks_launched").Value() - tasksBefore
+		return first, recovery, rerun
+	}
+
+	for _, variant := range []string{"lineage", "checkpoint"} {
+		first, rec, rerun := run(variant == "checkpoint")
+		t.AddRow(variant,
+			first.Round(time.Millisecond).String(),
+			rec.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", rerun),
+			fmt.Sprintf("%.2fx", float64(rec)/float64(first)))
+	}
+	return t
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment suite is itself code under test: every experiment must
+// run at Small scale, produce a well-formed table, and exhibit the
+// headline shape DESIGN.md claims for it.
+
+func runAndCheck(t *testing.T, fn func(Scale) *Table) *Table {
+	t.Helper()
+	table := fn(Small)
+	if table.ID == "" || table.Title == "" {
+		t.Fatal("table missing ID/title")
+	}
+	if len(table.Rows) == 0 {
+		t.Fatalf("%s produced no rows", table.ID)
+	}
+	for i, row := range table.Rows {
+		if len(row) != len(table.Cols) {
+			t.Fatalf("%s row %d has %d cells, header has %d", table.ID, i, len(row), len(table.Cols))
+		}
+	}
+	var buf bytes.Buffer
+	table.Fprint(&buf)
+	if !strings.Contains(buf.String(), table.ID) {
+		t.Fatalf("%s render missing ID", table.ID)
+	}
+	return table
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE1Shapes(t *testing.T) {
+	table := runAndCheck(t, E1Transport)
+	// RDMA advantage shrinks as messages grow (overhead- to
+	// bandwidth-bound transition).
+	first := parse(t, table.Rows[0][len(table.Cols)-1])
+	last := parse(t, table.Rows[len(table.Rows)-1][len(table.Cols)-1])
+	if first < 5 {
+		t.Fatalf("small-message tcp/rdma ratio %v, want >= 5", first)
+	}
+	if last >= first {
+		t.Fatalf("ratio did not shrink with size: %v -> %v", first, last)
+	}
+}
+
+func TestE2Shapes(t *testing.T) {
+	table := runAndCheck(t, E2Shuffle)
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// LZ rows must move fewer wire bytes than None rows.
+	noneWire := parse(t, table.Rows[0][4])
+	lzWire := parse(t, table.Rows[1][4])
+	if lzWire >= noneWire {
+		t.Fatalf("lz wire %v >= none wire %v", lzWire, noneWire)
+	}
+}
+
+func TestE3Shapes(t *testing.T) {
+	table := runAndCheck(t, E3TeraSort)
+	// Throughput at 8 nodes stays within 2x of the 2-node baseline
+	// (flat-ish weak scaling before fan-in overhead).
+	rel8 := parse(t, table.Rows[2][5])
+	if rel8 < 0.5 {
+		t.Fatalf("8-node relative throughput %v collapsed", rel8)
+	}
+}
+
+func TestE4Shapes(t *testing.T) {
+	table := runAndCheck(t, E4WordCount)
+	ratio := parse(t, table.Rows[1][4])
+	if ratio > 1.2 {
+		t.Fatalf("materializing baseline beat dataflow by %vx", ratio)
+	}
+}
+
+func TestE5Shapes(t *testing.T) {
+	table := runAndCheck(t, E5KVQuorum)
+	if len(table.Rows) != 8 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}
+
+func TestE6Shapes(t *testing.T) {
+	table := runAndCheck(t, E6Scheduler)
+	byName := map[string][]string{}
+	for _, r := range table.Rows {
+		byName[r[0]] = r
+	}
+	delayLoc := parse(t, byName["delay"][4])
+	fairLoc := parse(t, byName["fair"][4])
+	if delayLoc <= fairLoc {
+		t.Fatalf("delay locality %v%% <= fair %v%%", delayLoc, fairLoc)
+	}
+}
+
+func TestE8Shapes(t *testing.T) {
+	table := runAndCheck(t, E8PageRank)
+	s1 := parse(t, table.Rows[0][3])
+	s8contig := parse(t, table.Rows[3][3])
+	s8hashed := parse(t, table.Rows[7][3])
+	if s8contig <= s1 {
+		t.Fatalf("modeled speedup flat: %v -> %v", s1, s8contig)
+	}
+	// The ablation: hashed partitioning spreads hubs and must beat
+	// contiguous at 8 workers on a power-law graph.
+	if s8hashed <= s8contig {
+		t.Fatalf("hashed speedup %v <= contiguous %v", s8hashed, s8contig)
+	}
+}
+
+func TestE9Shapes(t *testing.T) {
+	table := runAndCheck(t, E9Recovery)
+	lineageTasks := parse(t, table.Rows[0][3])
+	ckptTasks := parse(t, table.Rows[1][3])
+	if ckptTasks >= lineageTasks {
+		t.Fatalf("checkpoint reran %v tasks, lineage %v", ckptTasks, lineageTasks)
+	}
+}
+
+func TestE10Shapes(t *testing.T) {
+	table := runAndCheck(t, E10ParamServer)
+	for _, row := range table.Rows {
+		if acc := parse(t, row[4]); acc < 0.85 {
+			t.Fatalf("%s accuracy %v below 0.85", row[0], acc)
+		}
+	}
+}
+
+func TestE11Shapes(t *testing.T) {
+	table := runAndCheck(t, E11Autoscale)
+	byName := map[string][]string{}
+	for _, r := range table.Rows {
+		byName[r[0]] = r
+	}
+	autoCost := parse(t, byName["autoscaler"][1])
+	peakCost := parse(t, byName["peak-static"][1])
+	if autoCost >= peakCost {
+		t.Fatalf("autoscaler cost %v >= peak-static %v", autoCost, peakCost)
+	}
+	meanViol := parse(t, strings.TrimSuffix(byName["mean-static"][3], "%"))
+	autoViol := parse(t, strings.TrimSuffix(byName["autoscaler"][3], "%"))
+	if autoViol >= meanViol {
+		t.Fatalf("autoscaler violations %v%% >= mean-static %v%%", autoViol, meanViol)
+	}
+}
+
+func TestE12Shapes(t *testing.T) {
+	table := runAndCheck(t, E12Raft)
+	for _, row := range table.Rows {
+		if row[1] == "no leader" {
+			t.Fatal("a cluster failed to elect")
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Fatalf("experiment %s incomplete", r.ID)
+		}
+	}
+}
+
+// E7 involves real-time pacing; exercise it but keep assertions loose.
+func TestE7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pacing-based experiment")
+	}
+	table := runAndCheck(t, E7Stream)
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Scale) *Table
+}
+
+// All returns the full suite in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "transport microbenchmark", E1Transport},
+		{"E2", "shuffle throughput", E2Shuffle},
+		{"E3", "terasort weak scaling", E3TeraSort},
+		{"E4", "wordcount dataflow vs mapreduce", E4WordCount},
+		{"E5", "kv quorum sweep", E5KVQuorum},
+		{"E6", "scheduler comparison", E6Scheduler},
+		{"E7", "stream load-latency", E7Stream},
+		{"E8", "pagerank strong scaling", E8PageRank},
+		{"E9", "fault recovery", E9Recovery},
+		{"E10", "parameter server modes", E10ParamServer},
+		{"E11", "autoscaling", E11Autoscale},
+		{"E12", "raft commit latency", E12Raft},
+	}
+}

@@ -1,0 +1,370 @@
+// Package gossip implements SWIM-style cluster membership: periodic random
+// probing with indirect pings, suspicion with incarnation-numbered
+// refutation, and infection-style dissemination of membership updates. A
+// phi-accrual failure detector (phi.go) provides the adaptive
+// per-connection suspicion signal long-running services use on top.
+//
+// The protocol runs in deterministic rounds inside a harness (no real
+// sockets): each round every live member probes one random peer,
+// piggybacking its gossip buffer. Message loss is injected with a seeded
+// probability, which is how the tests exercise indirect probing and false
+// positives.
+package gossip
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Status is a member's believed state.
+type Status int
+
+// Member states, ordered by precedence for equal incarnations.
+const (
+	Alive Status = iota
+	Suspect
+	Dead
+)
+
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// update is a disseminated membership claim.
+type update struct {
+	about       int
+	status      Status
+	incarnation uint64
+}
+
+// supersedes reports whether u should overwrite cur in a member's view.
+// Higher incarnation wins; at equal incarnation the stronger claim wins
+// (Dead > Suspect > Alive).
+func (u update) supersedes(cur update) bool {
+	if u.incarnation != cur.incarnation {
+		return u.incarnation > cur.incarnation
+	}
+	return u.status > cur.status
+}
+
+// Config tunes the protocol.
+type Config struct {
+	// SuspicionRounds is how many rounds a Suspect has to refute before
+	// being declared Dead. Default 3.
+	SuspicionRounds int
+	// IndirectProbes is the number of proxies used when a direct ping
+	// fails. Default 3.
+	IndirectProbes int
+	// GossipFanout bounds piggybacked updates per message. Default 8.
+	GossipFanout int
+	// LossProb is the probability any single message is lost. Default 0.
+	LossProb float64
+	// Seed drives probe target selection and loss.
+	Seed uint64
+}
+
+type memberView struct {
+	update
+	suspectAt int // round at which suspicion started
+}
+
+type node struct {
+	id          int
+	incarnation uint64
+	view        map[int]*memberView
+	// gossip buffer: updates to piggyback, with remaining transmission
+	// budget (lambda log n transmissions in real SWIM; fixed budget here).
+	buffer []bufferedUpdate
+}
+
+type bufferedUpdate struct {
+	update
+	remaining int
+}
+
+// Cluster is the in-process protocol harness.
+type Cluster struct {
+	cfg     Config
+	nodes   []*node
+	crashed []bool
+	rand    *rng.RNG
+	round   int
+
+	// FalsePositives counts distinct live members ever declared Dead by
+	// anyone while they were actually running.
+	FalsePositives int
+	fpSeen         map[int]bool
+}
+
+// NewCluster builds n members that all know each other as Alive.
+func NewCluster(n int, cfg Config) *Cluster {
+	if cfg.SuspicionRounds <= 0 {
+		cfg.SuspicionRounds = 3
+	}
+	if cfg.IndirectProbes <= 0 {
+		cfg.IndirectProbes = 3
+	}
+	if cfg.GossipFanout <= 0 {
+		cfg.GossipFanout = 8
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		nodes:   make([]*node, n),
+		crashed: make([]bool, n),
+		rand:    rng.New(cfg.Seed),
+		fpSeen:  map[int]bool{},
+	}
+	for i := 0; i < n; i++ {
+		nd := &node{id: i, view: map[int]*memberView{}}
+		for j := 0; j < n; j++ {
+			nd.view[j] = &memberView{update: update{about: j, status: Alive}}
+		}
+		c.nodes[i] = nd
+	}
+	return c
+}
+
+// Crash kills a member silently (it stops responding).
+func (c *Cluster) Crash(id int) { c.crashed[id] = true }
+
+// Revive restarts a crashed member with a higher incarnation so it can
+// refute its own death.
+func (c *Cluster) Revive(id int) {
+	c.crashed[id] = false
+	n := c.nodes[id]
+	n.incarnation++
+	n.enqueue(update{about: id, status: Alive, incarnation: n.incarnation}, c.budget())
+}
+
+// budget is the dissemination budget for a fresh update.
+func (c *Cluster) budget() int {
+	// ~3·log2(n) transmissions spreads an update with high probability.
+	b := 3
+	for n := len(c.nodes); n > 1; n >>= 1 {
+		b += 3
+	}
+	return b
+}
+
+func (n *node) enqueue(u update, budget int) {
+	// Replace any older buffered update about the same member.
+	for i := range n.buffer {
+		if n.buffer[i].about == u.about {
+			if u.supersedes(n.buffer[i].update) {
+				n.buffer[i] = bufferedUpdate{update: u, remaining: budget}
+			}
+			return
+		}
+	}
+	n.buffer = append(n.buffer, bufferedUpdate{update: u, remaining: budget})
+}
+
+// takeGossip pops up to fanout updates to piggyback, decrementing budgets.
+func (n *node) takeGossip(fanout int) []update {
+	var out []update
+	var keep []bufferedUpdate
+	for _, b := range n.buffer {
+		if len(out) < fanout {
+			out = append(out, b.update)
+			b.remaining--
+		}
+		if b.remaining > 0 {
+			keep = append(keep, b)
+		}
+	}
+	n.buffer = keep
+	return out
+}
+
+// merge applies a received claim to the node's view.
+func (c *Cluster) merge(n *node, u update, budget int) {
+	if u.about == n.id {
+		// Refutation: if someone claims we are suspect/dead, bump our
+		// incarnation and gossip that we are alive.
+		if u.status != Alive && u.incarnation >= n.incarnation {
+			n.incarnation = u.incarnation + 1
+			n.enqueue(update{about: n.id, status: Alive, incarnation: n.incarnation}, budget)
+		}
+		return
+	}
+	cur := n.view[u.about]
+	if cur == nil {
+		n.view[u.about] = &memberView{update: u, suspectAt: c.round}
+		n.enqueue(u, budget)
+		return
+	}
+	if u.supersedes(cur.update) {
+		wasSuspect := cur.status == Suspect
+		cur.update = u
+		if u.status == Suspect && !wasSuspect {
+			cur.suspectAt = c.round
+		}
+		if u.status == Dead && !c.crashed[u.about] && !c.fpSeen[u.about] {
+			c.fpSeen[u.about] = true
+			c.FalsePositives++
+		}
+		n.enqueue(u, budget)
+	}
+}
+
+// lost reports whether a message is dropped this time.
+func (c *Cluster) lost() bool {
+	return c.cfg.LossProb > 0 && c.rand.Float64() < c.cfg.LossProb
+}
+
+// deliverGossip hands piggybacked updates to a receiver.
+func (c *Cluster) deliverGossip(to *node, gossip []update) {
+	for _, u := range gossip {
+		c.merge(to, u, c.budget())
+	}
+}
+
+// Round executes one protocol period: every live member probes one random
+// peer (with indirect fallback), then suspicion timeouts fire.
+func (c *Cluster) Round() {
+	c.round++
+	order := c.rand.Perm(len(c.nodes))
+	for _, i := range order {
+		if c.crashed[i] {
+			continue
+		}
+		c.probe(c.nodes[i])
+	}
+	// Suspicion timeouts.
+	for i, n := range c.nodes {
+		if c.crashed[i] {
+			continue
+		}
+		for _, mv := range n.view {
+			if mv.status == Suspect && c.round-mv.suspectAt >= c.cfg.SuspicionRounds {
+				u := update{about: mv.about, status: Dead, incarnation: mv.incarnation}
+				c.merge(n, u, c.budget())
+			}
+		}
+	}
+}
+
+// probe performs one SWIM probe from n.
+func (c *Cluster) probe(n *node) {
+	target := c.pickTarget(n)
+	if target < 0 {
+		return
+	}
+	gossip := n.takeGossip(c.cfg.GossipFanout)
+	acked := c.ping(n, target, gossip)
+	if !acked {
+		// Indirect probes through k random proxies.
+		proxies := c.pickProxies(n, target, c.cfg.IndirectProbes)
+		for _, p := range proxies {
+			if c.crashed[p] || c.lost() {
+				continue
+			}
+			// Proxy pings the target on our behalf.
+			if c.ping(c.nodes[p], target, nil) {
+				acked = true
+				break
+			}
+		}
+	}
+	if !acked {
+		mv := n.view[target]
+		if mv.status == Alive {
+			u := update{about: target, status: Suspect, incarnation: mv.incarnation}
+			c.merge(n, u, c.budget())
+		}
+	} else {
+		// A successful ack refutes local suspicion at the same incarnation.
+		mv := n.view[target]
+		if mv.status == Suspect {
+			c.merge(n, update{about: target, status: Alive, incarnation: mv.incarnation + 1}, c.budget())
+		}
+	}
+}
+
+// ping sends ping+gossip and returns whether an ack came back. Both legs
+// can be lost.
+func (c *Cluster) ping(from *node, target int, gossip []update) bool {
+	if c.crashed[target] || c.lost() {
+		return false
+	}
+	c.deliverGossip(c.nodes[target], gossip)
+	// Ack leg, carrying the target's gossip back.
+	if c.lost() {
+		return false
+	}
+	back := c.nodes[target].takeGossip(c.cfg.GossipFanout)
+	c.deliverGossip(from, back)
+	return true
+}
+
+func (c *Cluster) pickTarget(n *node) int {
+	// Random member other than self that n does not believe Dead.
+	var candidates []int
+	for id, mv := range n.view {
+		if id != n.id && mv.status != Dead {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	sort.Ints(candidates)
+	return candidates[c.rand.Intn(len(candidates))]
+}
+
+func (c *Cluster) pickProxies(n *node, target, k int) []int {
+	var candidates []int
+	for id, mv := range n.view {
+		if id != n.id && id != target && mv.status == Alive {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Ints(candidates)
+	c.rand.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > k {
+		candidates = candidates[:k]
+	}
+	return candidates
+}
+
+// StatusAt returns what member `at` believes about member `about`.
+func (c *Cluster) StatusAt(at, about int) Status {
+	return c.nodes[at].view[about].status
+}
+
+// AllBelieve reports whether every live member believes `about` has the
+// given status.
+func (c *Cluster) AllBelieve(about int, status Status) bool {
+	for i, n := range c.nodes {
+		if c.crashed[i] || i == about {
+			continue
+		}
+		if n.view[about].status != status {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundsToDetect crashes `victim` and returns how many rounds until every
+// live member believes it Dead (capped at maxRounds, returning -1).
+func (c *Cluster) RoundsToDetect(victim, maxRounds int) int {
+	c.Crash(victim)
+	for r := 1; r <= maxRounds; r++ {
+		c.Round()
+		if c.AllBelieve(victim, Dead) {
+			return r
+		}
+	}
+	return -1
+}

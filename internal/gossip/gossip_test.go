@@ -1,0 +1,221 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStableClusterStaysAlive(t *testing.T) {
+	c := NewCluster(16, Config{Seed: 1})
+	for r := 0; r < 50; r++ {
+		c.Round()
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i == j {
+				continue
+			}
+			if got := c.StatusAt(i, j); got != Alive {
+				t.Fatalf("node %d believes %d is %v in a healthy cluster", i, j, got)
+			}
+		}
+	}
+	if c.FalsePositives != 0 {
+		t.Fatalf("%d false positives without loss or crashes", c.FalsePositives)
+	}
+}
+
+func TestCrashDetectedByAll(t *testing.T) {
+	c := NewCluster(16, Config{Seed: 2})
+	rounds := c.RoundsToDetect(5, 200)
+	if rounds < 0 {
+		t.Fatal("crash never detected")
+	}
+	if rounds > 60 {
+		t.Fatalf("detection took %d rounds, too slow", rounds)
+	}
+}
+
+func TestDetectionScalesWithClusterSize(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		c := NewCluster(n, Config{Seed: 3})
+		if r := c.RoundsToDetect(0, 400); r < 0 {
+			t.Fatalf("n=%d: never detected", n)
+		}
+	}
+}
+
+func TestSuspicionPrecedesDeath(t *testing.T) {
+	c := NewCluster(8, Config{Seed: 4, SuspicionRounds: 5})
+	c.Crash(3)
+	sawSuspect := false
+	for r := 0; r < 100; r++ {
+		c.Round()
+		for i := 0; i < 8; i++ {
+			if i == 3 {
+				continue
+			}
+			if c.StatusAt(i, 3) == Suspect {
+				sawSuspect = true
+			}
+		}
+		if c.AllBelieve(3, Dead) {
+			break
+		}
+	}
+	if !sawSuspect {
+		t.Fatal("victim went straight to Dead without a Suspect phase")
+	}
+	if !c.AllBelieve(3, Dead) {
+		t.Fatal("victim never declared dead")
+	}
+}
+
+func TestRefutationOnRevival(t *testing.T) {
+	c := NewCluster(8, Config{Seed: 5})
+	if r := c.RoundsToDetect(2, 200); r < 0 {
+		t.Fatal("never detected")
+	}
+	c.Revive(2)
+	for r := 0; r < 100; r++ {
+		c.Round()
+		if c.AllBelieve(2, Alive) {
+			return
+		}
+	}
+	t.Fatal("revived node never rejoined as Alive everywhere")
+}
+
+func TestMessageLossToleratedByIndirectProbes(t *testing.T) {
+	// 20% loss: indirect probing plus a refutation window sized like real
+	// SWIM deployments (several gossip periods, ~log n) keeps false
+	// positives negligible.
+	c := NewCluster(16, Config{Seed: 6, LossProb: 0.2, SuspicionRounds: 12})
+	for r := 0; r < 100; r++ {
+		c.Round()
+	}
+	if c.FalsePositives > 3 {
+		t.Fatalf("%d false positives at 20%% loss", c.FalsePositives)
+	}
+	// A real crash is still detected under loss.
+	if r := c.RoundsToDetect(7, 400); r < 0 {
+		t.Fatal("crash undetected under loss")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := NewCluster(12, Config{Seed: 7})
+	b := NewCluster(12, Config{Seed: 7})
+	ra := a.RoundsToDetect(4, 300)
+	rb := b.RoundsToDetect(4, 300)
+	if ra != rb {
+		t.Fatalf("same seed, different detection: %d vs %d", ra, rb)
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	cases := []struct {
+		u, cur update
+		want   bool
+	}{
+		{update{0, Suspect, 1}, update{0, Alive, 1}, true},
+		{update{0, Alive, 1}, update{0, Suspect, 1}, false},
+		{update{0, Alive, 2}, update{0, Dead, 1}, true},
+		{update{0, Dead, 1}, update{0, Suspect, 1}, true},
+		{update{0, Alive, 1}, update{0, Alive, 1}, false},
+	}
+	for i, c := range cases {
+		if got := c.u.supersedes(c.cur); got != c.want {
+			t.Fatalf("case %d: supersedes = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	d := NewPhiDetector(0)
+	start := time.Unix(1000, 0)
+	for i := 0; i < 50; i++ {
+		d.Heartbeat(start.Add(time.Duration(i) * time.Second))
+	}
+	last := start.Add(49 * time.Second)
+	phiSoon := d.Phi(last.Add(1 * time.Second))
+	phiLate := d.Phi(last.Add(5 * time.Second))
+	phiVeryLate := d.Phi(last.Add(20 * time.Second))
+	if !(phiSoon < phiLate && phiLate < phiVeryLate) {
+		t.Fatalf("phi not increasing: %v %v %v", phiSoon, phiLate, phiVeryLate)
+	}
+	if phiVeryLate < 8 {
+		t.Fatalf("phi after 20x the interval = %v, want >= 8", phiVeryLate)
+	}
+}
+
+func TestPhiLowWhileHealthy(t *testing.T) {
+	d := NewPhiDetector(0)
+	start := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		d.Heartbeat(start.Add(time.Duration(i) * 100 * time.Millisecond))
+	}
+	now := start.Add(9900*time.Millisecond + 50*time.Millisecond)
+	if phi := d.Phi(now); phi > 1 {
+		t.Fatalf("phi = %v mid-interval, want < 1", phi)
+	}
+}
+
+func TestPhiNoSamples(t *testing.T) {
+	d := NewPhiDetector(10)
+	if d.Phi(time.Now()) != 0 {
+		t.Fatal("phi with no samples should be 0")
+	}
+	d.Heartbeat(time.Unix(0, 0))
+	if d.Phi(time.Unix(100, 0)) != 0 {
+		t.Fatal("phi with one sample should be 0")
+	}
+}
+
+func TestPhiWindowBounded(t *testing.T) {
+	d := NewPhiDetector(10)
+	start := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		d.Heartbeat(start.Add(time.Duration(i) * time.Second))
+	}
+	if d.Samples() != 10 {
+		t.Fatalf("samples = %d, want capped at 10", d.Samples())
+	}
+}
+
+func TestPhiAdaptsToJitterylHeartbeats(t *testing.T) {
+	// With high-variance intervals, the same silence yields lower phi than
+	// with regular intervals — the adaptive property.
+	regular := NewPhiDetector(0)
+	jittery := NewPhiDetector(0)
+	tm := time.Unix(0, 0)
+	for i := 0; i < 60; i++ {
+		regular.Heartbeat(tm.Add(time.Duration(i) * time.Second))
+	}
+	jt := time.Unix(0, 0)
+	cur := jt
+	for i := 0; i < 60; i++ {
+		var step time.Duration
+		if i%2 == 0 {
+			step = 100 * time.Millisecond
+		} else {
+			step = 1900 * time.Millisecond
+		}
+		cur = cur.Add(step)
+		jittery.Heartbeat(cur)
+	}
+	// Both have ~1s mean interval; probe 3s after last heartbeat.
+	pr := regular.Phi(tm.Add(59*time.Second + 3*time.Second))
+	pj := jittery.Phi(cur.Add(3 * time.Second))
+	if pj >= pr {
+		t.Fatalf("jittery phi %v >= regular phi %v; detector not adaptive", pj, pr)
+	}
+}
+
+func BenchmarkRound64Nodes(b *testing.B) {
+	c := NewCluster(64, Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Round()
+	}
+}

@@ -1,0 +1,93 @@
+package gossip
+
+import (
+	"math"
+	"time"
+)
+
+// PhiDetector is a phi-accrual failure detector: rather than a binary
+// timeout, it emits a suspicion level phi = -log10(P(heartbeat still
+// coming)), computed from the observed inter-arrival distribution. Callers
+// act at an application-chosen threshold (phi=8 ~ 10^-8 false-positive
+// rate under the model). Not safe for concurrent use.
+type PhiDetector struct {
+	intervals []time.Duration // ring buffer of recent inter-arrivals
+	next      int
+	full      bool
+	last      time.Time
+	seen      bool
+}
+
+// NewPhiDetector returns a detector remembering the last `window`
+// inter-arrival samples (default 100 if window <= 0).
+func NewPhiDetector(window int) *PhiDetector {
+	if window <= 0 {
+		window = 100
+	}
+	return &PhiDetector{intervals: make([]time.Duration, window)}
+}
+
+// Heartbeat records an arrival at time t.
+func (d *PhiDetector) Heartbeat(t time.Time) {
+	if d.seen {
+		iv := t.Sub(d.last)
+		if iv > 0 {
+			d.intervals[d.next] = iv
+			d.next++
+			if d.next == len(d.intervals) {
+				d.next = 0
+				d.full = true
+			}
+		}
+	}
+	d.last = t
+	d.seen = true
+}
+
+// Samples returns how many inter-arrival samples the detector holds.
+func (d *PhiDetector) Samples() int {
+	if d.full {
+		return len(d.intervals)
+	}
+	return d.next
+}
+
+// Phi returns the suspicion level at time now. With fewer than two samples
+// it returns 0 (no basis for suspicion).
+func (d *PhiDetector) Phi(now time.Time) float64 {
+	n := d.Samples()
+	if !d.seen || n < 2 {
+		return 0
+	}
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := d.intervals[i].Seconds()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	std := math.Sqrt(variance)
+	// Guard: a perfectly regular heartbeat would make std 0 and phi jump
+	// instantly; floor it at a fraction of the mean, as Cassandra does.
+	if std < mean/10 {
+		std = mean / 10
+	}
+	elapsed := now.Sub(d.last).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	// P(next heartbeat later than elapsed) under N(mean, std), upper tail.
+	z := (elapsed - mean) / std
+	if z > 5 {
+		// erfc underflows for large z; use the asymptotic tail
+		// P ≈ φ(z)/z, so -log10 P ≈ (z²/2 + ln(z·√(2π))) / ln(10),
+		// which keeps phi monotone for arbitrarily long silences.
+		return (z*z/2 + math.Log(z*math.Sqrt(2*math.Pi))) / math.Ln10
+	}
+	p := 0.5 * math.Erfc(z/math.Sqrt2)
+	if p < 1e-300 {
+		p = 1e-300
+	}
+	return -math.Log10(p)
+}

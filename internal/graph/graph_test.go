@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// chain builds 0 -> 1 -> 2 -> ... -> n-1 with unit weights.
+func chain(n int64) *Graph {
+	var edges []workload.Edge
+	for i := int64(0); i < n-1; i++ {
+		edges = append(edges, workload.Edge{From: i, To: i + 1, Weight: 1})
+	}
+	return FromEdges(n, edges)
+}
+
+func TestFromEdgesDropsOutOfRange(t *testing.T) {
+	g := FromEdges(3, []workload.Edge{
+		{From: 0, To: 1}, {From: 5, To: 0}, {From: 1, To: 99},
+	})
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := FromEdges(4, []workload.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}, {From: 1, To: 0},
+	})
+	if g.OutDegree(0) != 3 || g.OutDegree(1) != 1 || g.OutDegree(2) != 0 {
+		t.Fatal("out degrees wrong")
+	}
+	if g.InDegree(0) != 1 || g.InDegree(3) != 1 {
+		t.Fatal("in degrees wrong")
+	}
+	maxDeg, mean := g.DegreeStats()
+	if maxDeg != 3 || mean != 1.0 {
+		t.Fatalf("stats = %d, %v", maxDeg, mean)
+	}
+}
+
+func TestSSSPChain(t *testing.T) {
+	g := chain(10)
+	res := g.SSSP(0, 2)
+	for v := int64(0); v < 10; v++ {
+		if res.State[v] != float64(v) {
+			t.Fatalf("dist[%d] = %v, want %d", v, res.State[v], v)
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	g := FromEdges(4, []workload.Edge{{From: 0, To: 1, Weight: 2}})
+	res := g.SSSP(0, 1)
+	if res.State[1] != 2 {
+		t.Fatalf("dist[1] = %v", res.State[1])
+	}
+	if !math.IsInf(res.State[2], 1) || !math.IsInf(res.State[3], 1) {
+		t.Fatal("unreachable vertices should be +Inf")
+	}
+}
+
+func TestSSSPShorterPathWins(t *testing.T) {
+	// 0->1 (10), 0->2 (1), 2->1 (2): best 0->1 is 3.
+	g := FromEdges(3, []workload.Edge{
+		{From: 0, To: 1, Weight: 10},
+		{From: 0, To: 2, Weight: 1},
+		{From: 2, To: 1, Weight: 2},
+	})
+	res := g.SSSP(0, 2)
+	if res.State[1] != 3 {
+		t.Fatalf("dist[1] = %v, want 3", res.State[1])
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	edges := workload.RMAT(8, 4, 1)
+	g := FromEdges(1<<8, edges)
+	res := g.PageRank(0.85, 20, 4)
+	sum := 0.0
+	for _, r := range res.State {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	// Dangling vertices leak rank in the simple formulation; the sum stays
+	// in a sane band.
+	if sum < 0.5 || sum > 1.01 {
+		t.Fatalf("rank sum = %v", sum)
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// Star: all point to 0. Vertex 0 must have the top rank.
+	var edges []workload.Edge
+	for i := int64(1); i < 20; i++ {
+		edges = append(edges, workload.Edge{From: i, To: 0, Weight: 1})
+	}
+	g := FromEdges(20, edges)
+	res := g.PageRank(0.85, 15, 2)
+	for v := int64(1); v < 20; v++ {
+		if res.State[0] <= res.State[v] {
+			t.Fatalf("hub rank %v <= leaf rank %v", res.State[0], res.State[v])
+		}
+	}
+}
+
+func TestPageRankDeterministicAcrossWorkerCounts(t *testing.T) {
+	edges := workload.RMAT(8, 4, 9)
+	g := FromEdges(1<<8, edges)
+	a := g.PageRank(0.85, 10, 1)
+	b := g.PageRank(0.85, 10, 8)
+	for v := range a.State {
+		if math.Abs(a.State[v]-b.State[v]) > 1e-12 {
+			t.Fatalf("rank[%d] differs across worker counts: %v vs %v", v, a.State[v], b.State[v])
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} via directed edges, {3,4} via 4->3.
+	g := FromEdges(5, []workload.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 4, To: 3},
+	})
+	res := g.ConnectedComponents(2)
+	if res.State[0] != 0 || res.State[1] != 0 || res.State[2] != 0 {
+		t.Fatalf("component A labels: %v", res.State[:3])
+	}
+	if res.State[3] != 3 || res.State[4] != 3 {
+		t.Fatalf("component B labels: %v", res.State[3:])
+	}
+}
+
+func TestConnectedComponentsSingletons(t *testing.T) {
+	g := FromEdges(4, nil)
+	res := g.ConnectedComponents(1)
+	for v := int64(0); v < 4; v++ {
+		if res.State[v] != float64(v) {
+			t.Fatalf("isolated vertex %d labeled %v", v, res.State[v])
+		}
+	}
+}
+
+func TestSupersteptTermination(t *testing.T) {
+	g := chain(50)
+	res := g.SSSP(0, 4)
+	// A 50-chain needs ~50 supersteps, not the cap.
+	if res.Supersteps < 49 || res.Supersteps > 52 {
+		t.Fatalf("supersteps = %d", res.Supersteps)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestRMATPageRankSkew(t *testing.T) {
+	edges := workload.RMAT(10, 8, 21)
+	g := FromEdges(1<<10, edges)
+	res := g.PageRank(0.85, 15, 4)
+	var max, sum float64
+	for _, r := range res.State {
+		if r > max {
+			max = r
+		}
+		sum += r
+	}
+	mean := sum / float64(len(res.State))
+	if max < 10*mean {
+		t.Fatalf("max rank %v not ≫ mean %v on a power-law graph", max, mean)
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	edges := workload.RMAT(12, 8, 1)
+	g := FromEdges(1<<12, edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.PageRank(0.85, 10, 4)
+	}
+}
+
+func BenchmarkSSSP(b *testing.B) {
+	edges := workload.RMAT(12, 8, 2)
+	g := FromEdges(1<<12, edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.SSSP(0, 4)
+	}
+}

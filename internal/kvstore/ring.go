@@ -1,0 +1,94 @@
+// Package kvstore is a Dynamo-style distributed key-value store: keys are
+// placed on a consistent-hash ring with virtual nodes, replicated to N
+// physical nodes, and read/written under (R, W) quorums with read repair
+// and hinted handoff. Operation latency is charged against the cluster's
+// network fabric so the quorum-vs-latency trade-off (experiment E5) is
+// measurable without a testbed.
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// ring is a consistent-hash ring with virtual nodes. Immutable after build.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node topology.NodeID
+}
+
+// newRing places vnodes virtual points per physical node.
+func newRing(nodes, vnodes int) *ring {
+	r := &ring{nodes: nodes}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashString(fmt.Sprintf("node-%d-vnode-%d", n, v)),
+				node: topology.NodeID(n),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix(h.Sum64())
+}
+
+// mix is the SplitMix64 finalizer; FNV alone clusters badly on the short,
+// similar strings vnode labels are made of.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// preferenceList returns the first n distinct physical nodes clockwise from
+// key's hash — the replica set in ring order.
+func (r *ring) preferenceList(key string, n int) []topology.NodeID {
+	if n > r.nodes {
+		n = r.nodes
+	}
+	h := hashString(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[topology.NodeID]bool{}
+	var out []topology.NodeID
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// successors returns up to n distinct physical nodes clockwise from the
+// preference list's end, excluding the given set — the hinted-handoff
+// targets.
+func (r *ring) successors(key string, exclude map[topology.NodeID]bool, n int) []topology.NodeID {
+	h := hashString(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[topology.NodeID]bool{}
+	var out []topology.NodeID
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if exclude[p.node] || seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNotFound      = errors.New("kvstore: key not found")
+	ErrQuorumFailed  = errors.New("kvstore: quorum unavailable")
+	ErrBadQuorum     = errors.New("kvstore: invalid N/R/W configuration")
+	ErrUnknownNode   = errors.New("kvstore: unknown node")
+	ErrStoreDegraded = errors.New("kvstore: too few live nodes")
+)
+
+// Config configures a Store.
+type Config struct {
+	// Fabric supplies topology and network cost accounting; required.
+	Fabric *netsim.Fabric
+	// N is the replica count; R and W the read/write quorum sizes.
+	// Strong read-your-writes requires R+W > N. Defaults: N=3, R=2, W=2.
+	N, R, W int
+	// VNodes is the virtual node count per physical node (default 64).
+	VNodes int
+}
+
+type versioned struct {
+	value     []byte
+	version   int64
+	tombstone bool
+}
+
+type replica struct {
+	mu   sync.RWMutex
+	data map[string]versioned
+}
+
+func (rp *replica) get(key string) (versioned, bool) {
+	rp.mu.RLock()
+	defer rp.mu.RUnlock()
+	v, ok := rp.data[key]
+	return v, ok
+}
+
+// put stores v if it is newer than what the replica holds.
+func (rp *replica) put(key string, v versioned) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if cur, ok := rp.data[key]; !ok || v.version > cur.version {
+		rp.data[key] = v
+	}
+}
+
+type hint struct {
+	key  string
+	v    versioned
+	for_ topology.NodeID
+}
+
+// Store is the full cluster: ring, replicas, failure state and metrics.
+// Safe for concurrent use.
+type Store struct {
+	cfg     Config
+	ring    *ring
+	replica []*replica
+
+	mu    sync.Mutex // guards alive, hints, clock
+	alive []bool
+	hints map[topology.NodeID][]hint // held-by-node -> hints it carries
+	clock int64
+
+	// Metrics observed by the experiments.
+	Reg *metrics.Registry
+}
+
+// New builds a store across every node of the fabric's topology.
+func New(cfg Config) (*Store, error) {
+	if cfg.Fabric == nil {
+		return nil, errors.New("kvstore: Config.Fabric is required")
+	}
+	size := cfg.Fabric.Topology().Size()
+	if cfg.N <= 0 {
+		cfg.N = 3
+	}
+	if cfg.R <= 0 {
+		cfg.R = 2
+	}
+	if cfg.W <= 0 {
+		cfg.W = 2
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	if cfg.N > size {
+		cfg.N = size
+	}
+	if cfg.R > cfg.N || cfg.W > cfg.N {
+		return nil, fmt.Errorf("%w: N=%d R=%d W=%d", ErrBadQuorum, cfg.N, cfg.R, cfg.W)
+	}
+	s := &Store{
+		cfg:     cfg,
+		ring:    newRing(size, cfg.VNodes),
+		replica: make([]*replica, size),
+		alive:   make([]bool, size),
+		hints:   map[topology.NodeID][]hint{},
+		Reg:     metrics.NewRegistry(),
+	}
+	for i := range s.replica {
+		s.replica[i] = &replica{data: map[string]versioned{}}
+		s.alive[i] = true
+	}
+	return s, nil
+}
+
+// Config returns the effective configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// nextVersion issues a monotonically increasing version (a Lamport-style
+// coordinator clock; sufficient because all coordinators share a process).
+func (s *Store) nextVersion() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	return s.clock
+}
+
+func (s *Store) isAlive(n topology.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive[n]
+}
+
+// Put writes key=value from the given coordinator node. It returns the
+// simulated client latency: the W-th fastest replica acknowledgement
+// (writes fan out in parallel). Hinted handoff covers dead replicas.
+func (s *Store) Put(coordinator topology.NodeID, key string, value []byte) (time.Duration, error) {
+	return s.write(coordinator, key, versioned{value: append([]byte(nil), value...), version: s.nextVersion()})
+}
+
+// Delete writes a tombstone.
+func (s *Store) Delete(coordinator topology.NodeID, key string) (time.Duration, error) {
+	return s.write(coordinator, key, versioned{tombstone: true, version: s.nextVersion()})
+}
+
+func (s *Store) write(coordinator topology.NodeID, key string, v versioned) (time.Duration, error) {
+	prefs := s.ring.preferenceList(key, s.cfg.N)
+	var acks []time.Duration
+	var deadTargets []topology.NodeID
+	for _, n := range prefs {
+		if s.isAlive(n) {
+			s.replica[n].put(key, v)
+			acks = append(acks, s.rtt(coordinator, n, int64(len(v.value))))
+		} else {
+			deadTargets = append(deadTargets, n)
+		}
+	}
+	// Hinted handoff: sloppy quorum via ring successors.
+	if len(deadTargets) > 0 {
+		exclude := map[topology.NodeID]bool{}
+		for _, n := range prefs {
+			exclude[n] = true
+		}
+		succ := s.ring.successors(key, exclude, len(deadTargets))
+		for i, holder := range succ {
+			if i >= len(deadTargets) || !s.isAlive(holder) {
+				continue
+			}
+			s.mu.Lock()
+			s.hints[holder] = append(s.hints[holder], hint{key: key, v: v, for_: deadTargets[i]})
+			s.mu.Unlock()
+			s.replica[holder].put(key, v) // sloppy replica also serves reads
+			acks = append(acks, s.rtt(coordinator, holder, int64(len(v.value))))
+			s.Reg.Counter("hinted_handoffs").Inc()
+		}
+	}
+	if len(acks) < s.cfg.W {
+		s.Reg.Counter("put_failures").Inc()
+		return 0, fmt.Errorf("%w: %d/%d write acks", ErrQuorumFailed, len(acks), s.cfg.W)
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
+	lat := acks[s.cfg.W-1]
+	s.Reg.Histogram("put_latency_ns").ObserveDuration(lat)
+	return lat, nil
+}
+
+// Get reads key from the given coordinator node, contacting R live
+// replicas, returning the newest version, and repairing stale replicas in
+// the background (read repair). The latency is the R-th fastest replica
+// response (reads fan out in parallel).
+func (s *Store) Get(coordinator topology.NodeID, key string) ([]byte, time.Duration, error) {
+	prefs := s.ring.preferenceList(key, s.cfg.N)
+	type resp struct {
+		node topology.NodeID
+		v    versioned
+		ok   bool
+		lat  time.Duration
+	}
+	var resps []resp
+	for _, n := range prefs {
+		if !s.isAlive(n) {
+			continue
+		}
+		v, ok := s.replica[n].get(key)
+		sz := int64(64)
+		if ok {
+			sz += int64(len(v.value))
+		}
+		resps = append(resps, resp{node: n, v: v, ok: ok, lat: s.rtt(coordinator, n, sz)})
+	}
+	if len(resps) < s.cfg.R {
+		s.Reg.Counter("get_failures").Inc()
+		return nil, 0, fmt.Errorf("%w: %d/%d read responses", ErrQuorumFailed, len(resps), s.cfg.R)
+	}
+	// Contact the R fastest replicas (closest-first fan-out).
+	sort.Slice(resps, func(i, j int) bool { return resps[i].lat < resps[j].lat })
+	contacted := resps[:s.cfg.R]
+	lat := contacted[s.cfg.R-1].lat
+
+	// Resolve: newest version among contacted replicas wins.
+	var newest versioned
+	found := false
+	for _, r := range contacted {
+		if r.ok && r.v.version > newest.version {
+			newest = r.v
+			found = true
+		}
+	}
+	// Read repair: push the winning version to contacted stale replicas.
+	if found {
+		for _, r := range contacted {
+			if !r.ok || r.v.version < newest.version {
+				s.replica[r.node].put(key, newest)
+				s.Reg.Counter("read_repairs").Inc()
+			}
+		}
+	}
+	s.Reg.Histogram("get_latency_ns").ObserveDuration(lat)
+	if !found || newest.tombstone {
+		return nil, lat, ErrNotFound
+	}
+	return append([]byte(nil), newest.value...), lat, nil
+}
+
+// rtt models one request/response exchange between coordinator and replica.
+func (s *Store) rtt(a, b topology.NodeID, bytes int64) time.Duration {
+	// Request is small; response carries the payload. Add a fixed server
+	// processing cost so even local operations take nonzero time.
+	const serverCost = 2 * time.Microsecond
+	return s.cfg.Fabric.Cost(a, b, 64) + s.cfg.Fabric.Cost(b, a, bytes) + serverCost
+}
+
+// FailNode marks a node down. Subsequent operations route around it.
+func (s *Store) FailNode(n topology.NodeID) error {
+	if int(n) < 0 || int(n) >= len(s.alive) {
+		return ErrUnknownNode
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alive[n] = false
+	return nil
+}
+
+// RecoverNode revives a node and delivers any hints held for it.
+func (s *Store) RecoverNode(n topology.NodeID) error {
+	if int(n) < 0 || int(n) >= len(s.alive) {
+		return ErrUnknownNode
+	}
+	s.mu.Lock()
+	s.alive[n] = true
+	// Collect hints destined for n from every holder.
+	var deliver []hint
+	for holder, hs := range s.hints {
+		var keep []hint
+		for _, h := range hs {
+			if h.for_ == n {
+				deliver = append(deliver, h)
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		s.hints[holder] = keep
+	}
+	s.mu.Unlock()
+	for _, h := range deliver {
+		s.replica[n].put(h.key, h.v)
+		s.Reg.Counter("hints_delivered").Inc()
+	}
+	return nil
+}
+
+// PendingHints returns the number of undelivered hinted writes.
+func (s *Store) PendingHints() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, hs := range s.hints {
+		total += len(hs)
+	}
+	return total
+}
+
+// ReplicaCount returns how many replicas currently hold key (live or dead),
+// for placement tests.
+func (s *Store) ReplicaCount(key string) int {
+	count := 0
+	for _, rp := range s.replica {
+		if _, ok := rp.get(key); ok {
+			count++
+		}
+	}
+	return count
+}

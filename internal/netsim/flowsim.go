@@ -1,0 +1,271 @@
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Flow is one transfer submitted to the flow simulator.
+type Flow struct {
+	Src, Dst topology.NodeID
+	Bytes    int64
+	Start    time.Duration // offset at which the flow begins
+}
+
+// FlowResult reports when a flow finished and its average goodput.
+type FlowResult struct {
+	Finish     time.Duration
+	GoodputBps float64
+}
+
+// resource identifiers for the max-min allocator. Every flow consumes its
+// source NIC egress, destination NIC ingress and, if it crosses the core,
+// the (possibly oversubscribed) rack uplink/downlink pair.
+type resKind int
+
+const (
+	resEgress resKind = iota
+	resIngress
+	resRackUp
+	resRackDown
+)
+
+type resKey struct {
+	kind resKind
+	id   int
+}
+
+type flowState struct {
+	remaining float64 // wire bytes left
+	active    bool
+	started   bool
+	resources []resKey
+	start     time.Duration
+	payload   float64
+}
+
+// Simulate runs all flows to completion under max-min fair bandwidth
+// sharing and returns per-flow results in input order. The algorithm is
+// the classic fluid model: repeatedly compute the max-min allocation via
+// progressive filling, advance virtual time to the next flow completion
+// (or arrival), and repeat. Runtime is O(F^2 · R), fine for the thousands
+// of flows a shuffle round produces.
+func (f *Fabric) Simulate(flows []Flow) []FlowResult {
+	n := len(flows)
+	results := make([]FlowResult, n)
+	if n == 0 {
+		return results
+	}
+
+	states := make([]*flowState, n)
+	m := f.model
+	for i, fl := range flows {
+		bytes := fl.Bytes
+		if bytes < 0 {
+			bytes = 0
+		}
+		st := &flowState{
+			remaining: float64(bytes) * (1 + m.WireOverhead),
+			start:     fl.Start + f.fixedLatency(fl.Src, fl.Dst, bytes),
+			payload:   float64(bytes),
+		}
+		if fl.Src != fl.Dst {
+			st.resources = []resKey{
+				{resEgress, int(fl.Src)},
+				{resIngress, int(fl.Dst)},
+			}
+			if f.top.CrossCore(fl.Src, fl.Dst) {
+				st.resources = append(st.resources,
+					resKey{resRackUp, f.top.RackOf(fl.Src)},
+					resKey{resRackDown, f.top.RackOf(fl.Dst)})
+			}
+		} else {
+			// Local copy: a private memory channel, no shared resources.
+			st.remaining = float64(bytes)
+		}
+		states[i] = st
+	}
+
+	now := time.Duration(0)
+	done := 0
+	for done < n {
+		// Activate flows whose start time has arrived; find next arrival.
+		nextArrival := time.Duration(math.MaxInt64)
+		for i, st := range states {
+			if st.started {
+				continue
+			}
+			if st.start <= now {
+				st.started = true
+				if st.remaining <= 0 {
+					results[i] = FlowResult{Finish: st.start}
+					done++
+				} else {
+					st.active = true
+				}
+			} else if st.start < nextArrival {
+				nextArrival = st.start
+			}
+		}
+		if done >= n {
+			break
+		}
+
+		anyActive := false
+		for _, st := range states {
+			if st.active {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			now = nextArrival
+			continue
+		}
+
+		rates := f.maxMinRates(states)
+
+		// Time until the first active flow completes at current rates.
+		dt := math.MaxFloat64
+		for i, st := range states {
+			if !st.active || rates[i] <= 0 {
+				continue
+			}
+			if t := st.remaining / rates[i]; t < dt {
+				dt = t
+			}
+		}
+		step := time.Duration(dt * float64(time.Second))
+		if step < time.Nanosecond {
+			step = time.Nanosecond
+		}
+		if nextArrival != time.Duration(math.MaxInt64) && now+step > nextArrival {
+			step = nextArrival - now
+			if step <= 0 {
+				step = time.Nanosecond
+			}
+		}
+		elapsed := step.Seconds()
+		now += step
+		for i, st := range states {
+			if !st.active {
+				continue
+			}
+			st.remaining -= rates[i] * elapsed
+			if st.remaining <= 1e-6 {
+				st.active = false
+				results[i] = FlowResult{Finish: now}
+				done++
+			}
+		}
+	}
+
+	for i := range results {
+		dur := results[i].Finish - flows[i].Start
+		if dur > 0 && states[i].payload > 0 {
+			results[i].GoodputBps = states[i].payload / dur.Seconds()
+		}
+	}
+	return results
+}
+
+// fixedLatency is the rate-independent part of a transfer: setup, hops and
+// sender CPU. It is folded into the flow's effective start time.
+func (f *Fabric) fixedLatency(src, dst topology.NodeID, bytes int64) time.Duration {
+	if src == dst {
+		return 0
+	}
+	m := f.model
+	return m.SetupLatency +
+		time.Duration(f.top.Hops(src, dst))*m.PerHopLatency
+}
+
+// capacity returns the bytes/sec capacity of a shared resource.
+func (f *Fabric) capacity(r resKey) float64 {
+	switch r.kind {
+	case resEgress, resIngress:
+		return f.model.BandwidthBps
+	default:
+		// A rack uplink aggregates its members' NICs, thinned by the core
+		// oversubscription factor.
+		members := len(f.top.NodesInRack(r.id))
+		return float64(members) * f.model.BandwidthBps / f.top.Oversub()
+	}
+}
+
+// maxMinRates computes the max-min fair allocation (wire bytes/sec) for all
+// active flows via progressive filling: repeatedly find the most congested
+// resource, freeze its flows at the fair share, release capacity, repeat.
+func (f *Fabric) maxMinRates(states []*flowState) []float64 {
+	rates := make([]float64, len(states))
+	// Same-node flows get the private memory channel rate immediately.
+	frozen := make([]bool, len(states))
+	remainingCap := map[resKey]float64{}
+	usersOf := map[resKey][]int{}
+	unfrozenOn := map[resKey]int{}
+	for i, st := range states {
+		if !st.active {
+			frozen[i] = true
+			continue
+		}
+		if len(st.resources) == 0 {
+			rates[i] = memBandwidthBps
+			frozen[i] = true
+			continue
+		}
+		for _, r := range st.resources {
+			if _, ok := remainingCap[r]; !ok {
+				remainingCap[r] = f.capacity(r)
+			}
+			usersOf[r] = append(usersOf[r], i)
+			unfrozenOn[r]++
+		}
+	}
+
+	for {
+		// Find the bottleneck: minimum fair share across resources with
+		// unfrozen users.
+		bottleneck := resKey{}
+		minShare := math.MaxFloat64
+		found := false
+		for r, cnt := range unfrozenOn {
+			if cnt == 0 {
+				continue
+			}
+			share := remainingCap[r] / float64(cnt)
+			if share < minShare {
+				minShare = share
+				bottleneck = r
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		// Freeze every unfrozen flow on the bottleneck at the fair share.
+		for _, i := range usersOf[bottleneck] {
+			if frozen[i] {
+				continue
+			}
+			frozen[i] = true
+			rates[i] = minShare
+			for _, r := range states[i].resources {
+				remainingCap[r] -= minShare
+				if remainingCap[r] < 0 {
+					remainingCap[r] = 0
+				}
+				unfrozenOn[r]--
+			}
+		}
+	}
+	// A single flow cannot exceed the host CPU pipeline rate.
+	rateCap := f.effectiveRate()
+	for i := range rates {
+		if states[i].active && rates[i] > rateCap {
+			rates[i] = rateCap
+		}
+	}
+	return rates
+}

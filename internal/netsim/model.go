@@ -1,0 +1,146 @@
+// Package netsim is a flow-level datacenter network simulator. It stands in
+// for the RDMA/InfiniBand testbeds that high-performance big data papers
+// evaluate on: transports are calibrated cost models (per-message software
+// overhead, per-hop switch latency, line rate, host CPU cost per byte), and
+// concurrent transfers share links with max-min fairness, including
+// oversubscribed rack uplinks.
+//
+// The simulator is deliberately flow-level, not packet-level: the phenomena
+// the experiments measure — the RDMA-vs-TCP overhead gap at small messages,
+// bandwidth-bound convergence at large messages, incast contention during
+// shuffle — are all visible at flow granularity, and flow simulation is
+// deterministic and fast enough to run inside testing.B loops.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Model is a transport cost model. All transfers over a fabric built with
+// this model pay SetupLatency once, PerHopLatency per switch hop, and move
+// payload at BandwidthBps (shared under contention). CPUPerByte accounts for
+// host-side copy/kernel cost: it is the term kernel-bypass transports
+// eliminate, and it is charged on top of wire time for the sender.
+type Model struct {
+	Name          string
+	SetupLatency  time.Duration // per-message software + NIC doorbell overhead
+	PerHopLatency time.Duration // per switch hop (propagation + forwarding)
+	BandwidthBps  float64       // NIC line rate, bytes per second
+	CPUNsPerByte  float64       // host CPU time per payload byte, nanoseconds (copies, protocol)
+	WireOverhead  float64       // framing overhead: wire bytes = payload * (1 + WireOverhead)
+}
+
+// The predefined models are calibrated to the ratios reported across the
+// RDMA-for-big-data literature (e.g. ~1-2 us verbs latency vs ~25 us
+// kernel TCP, and near-zero CPU per byte for zero-copy transports). The
+// absolute numbers matter less than the ratios; see DESIGN.md.
+var (
+	// TCP40G is kernel TCP over 40 GbE.
+	TCP40G = Model{
+		Name:          "tcp-40g",
+		SetupLatency:  25 * time.Microsecond,
+		PerHopLatency: 1500 * time.Nanosecond,
+		BandwidthBps:  0.85 * 5e9, // protocol efficiency ~85% of 40 Gb/s
+		CPUNsPerByte:  0.30,
+		WireOverhead:  0.06,
+	}
+	// IPoIB40G is IP-over-InfiniBand: InfiniBand wire, kernel IP stack.
+	IPoIB40G = Model{
+		Name:          "ipoib-40g",
+		SetupLatency:  12 * time.Microsecond,
+		PerHopLatency: 700 * time.Nanosecond,
+		BandwidthBps:  0.90 * 5e9,
+		CPUNsPerByte:  0.20,
+		WireOverhead:  0.04,
+	}
+	// RDMA40G is native verbs (kernel bypass, zero copy).
+	RDMA40G = Model{
+		Name:          "rdma-40g",
+		SetupLatency:  1500 * time.Nanosecond,
+		PerHopLatency: 300 * time.Nanosecond,
+		BandwidthBps:  0.97 * 5e9,
+		CPUNsPerByte:  0.015,
+		WireOverhead:  0.02,
+	}
+)
+
+// memBandwidthBps approximates a local memcpy for same-node "transfers".
+const memBandwidthBps = 20e9
+
+// Fabric combines a topology with a transport model and answers cost
+// queries. Fabric is immutable and safe for concurrent use.
+type Fabric struct {
+	top   *topology.Topology
+	model Model
+}
+
+// NewFabric builds a fabric over top using model.
+func NewFabric(top *topology.Topology, model Model) *Fabric {
+	if model.BandwidthBps <= 0 {
+		panic("netsim: model bandwidth must be positive")
+	}
+	return &Fabric{top: top, model: model}
+}
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() *topology.Topology { return f.top }
+
+// Model returns the fabric's transport model.
+func (f *Fabric) Model() Model { return f.model }
+
+// Cost returns the uncontended one-way latency to move `bytes` of payload
+// from src to dst: setup + per-hop latency + serialization at line rate +
+// sender CPU. Same-node transfers cost a memcpy.
+func (f *Fabric) Cost(src, dst topology.NodeID, bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if src == dst {
+		return time.Duration(float64(bytes) / memBandwidthBps * float64(time.Second))
+	}
+	m := f.model
+	wire := float64(bytes) * (1 + m.WireOverhead)
+	d := m.SetupLatency
+	d += time.Duration(f.top.Hops(src, dst)) * m.PerHopLatency
+	// The host CPU pipeline (copies, protocol processing) overlaps with NIC
+	// transmission; the transfer proceeds at whichever is slower.
+	d += time.Duration(wire / f.effectiveRate() * float64(time.Second))
+	return d
+}
+
+// effectiveRate is the per-flow transfer rate in wire bytes/sec: line rate
+// unless the host CPU pipeline is the bottleneck (the kernel-TCP regime).
+func (f *Fabric) effectiveRate() float64 {
+	rate := f.model.BandwidthBps
+	if f.model.CPUNsPerByte > 0 {
+		if cpuRate := 1e9 / f.model.CPUNsPerByte; cpuRate < rate {
+			rate = cpuRate
+		}
+	}
+	return rate
+}
+
+// CPUCost returns the host CPU time consumed by one endpoint to move
+// `bytes` of payload — the quantity kernel-bypass transports save.
+func (f *Fabric) CPUCost(bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return f.model.SetupLatency/4 + time.Duration(float64(bytes)*f.model.CPUNsPerByte)
+}
+
+// Throughput returns the uncontended achievable goodput in bytes/sec for
+// back-to-back messages of the given payload size — the standard transport
+// microbenchmark curve (experiment E1).
+func (f *Fabric) Throughput(src, dst topology.NodeID, msgBytes int64) float64 {
+	if msgBytes <= 0 {
+		return 0
+	}
+	per := f.Cost(src, dst, msgBytes)
+	if per <= 0 {
+		return 0
+	}
+	return float64(msgBytes) / per.Seconds()
+}

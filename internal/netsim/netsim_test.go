@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func fabric(model Model) *Fabric {
+	return NewFabric(topology.TwoTier(2, 4, 3), model)
+}
+
+func TestRDMABeatsTCPAtSmallMessages(t *testing.T) {
+	tcp := fabric(TCP40G)
+	rdma := fabric(RDMA40G)
+	ct := tcp.Cost(0, 1, 64)
+	cr := rdma.Cost(0, 1, 64)
+	if ratio := float64(ct) / float64(cr); ratio < 5 {
+		t.Fatalf("TCP/RDMA small-message latency ratio = %.1f, want >= 5", ratio)
+	}
+}
+
+func TestTransportsConvergeAtLargeMessages(t *testing.T) {
+	tcp := fabric(TCP40G)
+	rdma := fabric(RDMA40G)
+	const size = 64 << 20
+	ct := tcp.Cost(0, 1, size)
+	cr := rdma.Cost(0, 1, size)
+	ratio := float64(ct) / float64(cr)
+	if ratio > 2 {
+		t.Fatalf("large-message ratio = %.2f, transports should be bandwidth-bound", ratio)
+	}
+	if ratio < 1 {
+		t.Fatalf("TCP faster than RDMA at large messages (ratio %.2f)", ratio)
+	}
+}
+
+func TestIPoIBBetweenTCPAndRDMA(t *testing.T) {
+	tcp, ib, rdma := fabric(TCP40G), fabric(IPoIB40G), fabric(RDMA40G)
+	for _, size := range []int64{64, 4096, 1 << 20} {
+		ct, ci, cr := tcp.Cost(0, 1, size), ib.Cost(0, 1, size), rdma.Cost(0, 1, size)
+		if !(cr <= ci && ci <= ct) {
+			t.Fatalf("size %d: want rdma <= ipoib <= tcp, got %v %v %v", size, cr, ci, ct)
+		}
+	}
+}
+
+func TestCostMonotonicInSizeAndDistance(t *testing.T) {
+	f := fabric(TCP40G)
+	if f.Cost(0, 1, 1000) > f.Cost(0, 1, 100000) {
+		t.Fatal("cost not monotonic in size")
+	}
+	// node 0 and 1 share a rack; node 4 is across the core
+	if f.Cost(0, 1, 1024) >= f.Cost(0, 4, 1024) {
+		t.Fatal("cross-rack transfer not more expensive than intra-rack")
+	}
+	if f.Cost(0, 0, 1024) >= f.Cost(0, 1, 1024) {
+		t.Fatal("local copy not cheaper than network transfer")
+	}
+}
+
+func TestCostNonNegativeProperty(t *testing.T) {
+	f := fabric(RDMA40G)
+	prop := func(a, b uint8, sz int32) bool {
+		src := topology.NodeID(int(a) % 8)
+		dst := topology.NodeID(int(b) % 8)
+		return f.Cost(src, dst, int64(sz)) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputCurveShape(t *testing.T) {
+	f := fabric(RDMA40G)
+	// Throughput must rise with message size toward line rate.
+	t64 := f.Throughput(0, 1, 64)
+	t1m := f.Throughput(0, 1, 1<<20)
+	if t1m <= t64 {
+		t.Fatal("throughput did not increase with message size")
+	}
+	if t1m > f.Model().BandwidthBps {
+		t.Fatalf("throughput %v exceeds line rate %v", t1m, f.Model().BandwidthBps)
+	}
+	if t1m < 0.5*f.Model().BandwidthBps {
+		t.Fatalf("1MB messages reach only %.0f%% of line rate", 100*t1m/f.Model().BandwidthBps)
+	}
+}
+
+func TestCPUCostRDMAVsTCP(t *testing.T) {
+	tcp, rdma := fabric(TCP40G), fabric(RDMA40G)
+	ct := tcp.CPUCost(1 << 20)
+	cr := rdma.CPUCost(1 << 20)
+	if float64(ct)/float64(cr) < 5 {
+		t.Fatalf("TCP CPU cost should dominate RDMA's: %v vs %v", ct, cr)
+	}
+}
+
+func TestSimulateSingleFlowMatchesCost(t *testing.T) {
+	f := fabric(RDMA40G)
+	const size = 10 << 20
+	res := f.Simulate([]Flow{{Src: 0, Dst: 1, Bytes: size}})
+	want := f.Cost(0, 1, size)
+	got := res[0].Finish
+	diff := float64(got-want) / float64(want)
+	if diff < -0.05 || diff > 0.05 {
+		t.Fatalf("single flow finish %v vs Cost %v (%.1f%% off)", got, want, 100*diff)
+	}
+}
+
+func TestSimulateFairSharing(t *testing.T) {
+	f := fabric(RDMA40G)
+	const size = 32 << 20
+	one := f.Simulate([]Flow{{Src: 0, Dst: 1, Bytes: size}})[0].Finish
+	// Two flows from the same source share its egress NIC: each should take
+	// about twice as long.
+	two := f.Simulate([]Flow{
+		{Src: 0, Dst: 1, Bytes: size},
+		{Src: 0, Dst: 2, Bytes: size},
+	})
+	for _, r := range two {
+		ratio := float64(r.Finish) / float64(one)
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Fatalf("shared-egress slowdown = %.2f, want ~2", ratio)
+		}
+	}
+}
+
+func TestSimulateDisjointFlowsDontInterfere(t *testing.T) {
+	f := fabric(RDMA40G)
+	const size = 32 << 20
+	solo := f.Simulate([]Flow{{Src: 0, Dst: 1, Bytes: size}})[0].Finish
+	pair := f.Simulate([]Flow{
+		{Src: 0, Dst: 1, Bytes: size},
+		{Src: 2, Dst: 3, Bytes: size},
+	})
+	for _, r := range pair {
+		ratio := float64(r.Finish) / float64(solo)
+		if ratio > 1.1 {
+			t.Fatalf("disjoint flows slowed each other: ratio %.2f", ratio)
+		}
+	}
+}
+
+func TestSimulateOversubscribedCore(t *testing.T) {
+	// 3x oversubscription: enough simultaneous cross-core flows must be
+	// slower than the same flows within a rack.
+	f := NewFabric(topology.TwoTier(2, 4, 3), RDMA40G)
+	const size = 16 << 20
+	var intra, cross []Flow
+	for i := 0; i < 4; i++ {
+		intra = append(intra, Flow{Src: topology.NodeID(i), Dst: topology.NodeID((i + 1) % 4), Bytes: size})
+		cross = append(cross, Flow{Src: topology.NodeID(i), Dst: topology.NodeID(i + 4), Bytes: size})
+	}
+	intraRes := f.Simulate(intra)
+	crossRes := f.Simulate(cross)
+	var intraMax, crossMax time.Duration
+	for i := range intraRes {
+		if intraRes[i].Finish > intraMax {
+			intraMax = intraRes[i].Finish
+		}
+		if crossRes[i].Finish > crossMax {
+			crossMax = crossRes[i].Finish
+		}
+	}
+	ratio := float64(crossMax) / float64(intraMax)
+	if ratio < 2 {
+		t.Fatalf("3x-oversubscribed core slowdown = %.2f, want >= 2", ratio)
+	}
+}
+
+func TestSimulateStaggeredArrivals(t *testing.T) {
+	f := fabric(RDMA40G)
+	const size = 8 << 20
+	res := f.Simulate([]Flow{
+		{Src: 0, Dst: 1, Bytes: size},
+		{Src: 2, Dst: 3, Bytes: size, Start: time.Second},
+	})
+	if res[1].Finish <= time.Second {
+		t.Fatal("flow finished before it started")
+	}
+	if res[0].Finish >= res[1].Finish {
+		t.Fatal("earlier disjoint flow should finish first")
+	}
+}
+
+func TestSimulateZeroByteFlow(t *testing.T) {
+	f := fabric(TCP40G)
+	res := f.Simulate([]Flow{{Src: 0, Dst: 1, Bytes: 0}})
+	if res[0].Finish < f.Model().SetupLatency {
+		t.Fatal("zero-byte flow should still pay setup latency")
+	}
+}
+
+func TestSimulateEmptyAndLocal(t *testing.T) {
+	f := fabric(TCP40G)
+	if got := f.Simulate(nil); len(got) != 0 {
+		t.Fatal("Simulate(nil) should return empty results")
+	}
+	res := f.Simulate([]Flow{{Src: 0, Dst: 0, Bytes: 1 << 20}})
+	if res[0].Finish <= 0 {
+		t.Fatal("local flow should take positive time")
+	}
+	if res[0].Finish > time.Millisecond {
+		t.Fatalf("local 1MB copy took %v, too slow for memcpy model", res[0].Finish)
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	// Property: total goodput across any concurrent flow set never exceeds
+	// aggregate NIC capacity.
+	f := fabric(RDMA40G)
+	flows := []Flow{
+		{Src: 0, Dst: 4, Bytes: 8 << 20},
+		{Src: 1, Dst: 5, Bytes: 8 << 20},
+		{Src: 2, Dst: 6, Bytes: 8 << 20},
+		{Src: 3, Dst: 7, Bytes: 8 << 20},
+	}
+	res := f.Simulate(flows)
+	var total float64
+	for _, r := range res {
+		total += r.GoodputBps
+	}
+	capacity := 8 * f.Model().BandwidthBps
+	if total > capacity {
+		t.Fatalf("aggregate goodput %.0f exceeds cluster capacity %.0f", total, capacity)
+	}
+}
+
+func TestNewFabricPanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFabric(topology.Single(2), Model{})
+}
+
+func BenchmarkCost(b *testing.B) {
+	f := fabric(RDMA40G)
+	for i := 0; i < b.N; i++ {
+		_ = f.Cost(0, 5, 1<<20)
+	}
+}
+
+func BenchmarkSimulate64Flows(b *testing.B) {
+	f := NewFabric(topology.TwoTier(4, 4, 2), RDMA40G)
+	flows := make([]Flow, 64)
+	for i := range flows {
+		flows[i] = Flow{
+			Src:   topology.NodeID(i % 16),
+			Dst:   topology.NodeID((i * 7) % 16),
+			Bytes: 1 << 20,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Simulate(flows)
+	}
+}

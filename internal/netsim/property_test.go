@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Adding flows can only slow existing ones down (max-min fairness is
+// monotone in contention).
+func TestAddingFlowsNeverSpeedsUp(t *testing.T) {
+	f := NewFabric(topology.TwoTier(2, 4, 2), RDMA40G)
+	base := []Flow{{Src: 0, Dst: 5, Bytes: 8 << 20}}
+	solo := f.Simulate(base)[0].Finish
+	prop := func(srcs, dsts [3]uint8) bool {
+		flows := append([]Flow(nil), base...)
+		for i := 0; i < 3; i++ {
+			flows = append(flows, Flow{
+				Src:   topology.NodeID(srcs[i] % 8),
+				Dst:   topology.NodeID(dsts[i] % 8),
+				Bytes: 4 << 20,
+			})
+		}
+		res := f.Simulate(flows)
+		return res[0].Finish >= solo-time.Microsecond
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A flow set's completion is never earlier than the uncontended Cost of
+// its largest member along the same path.
+func TestSimulateLowerBoundedByCost(t *testing.T) {
+	f := NewFabric(topology.TwoTier(2, 4, 2), TCP40G)
+	prop := func(sz uint32, a, b uint8) bool {
+		src := topology.NodeID(a % 8)
+		dst := topology.NodeID(b % 8)
+		bytes := int64(sz%(4<<20)) + 1
+		res := f.Simulate([]Flow{{Src: src, Dst: dst, Bytes: bytes}})
+		lower := f.Cost(src, dst, bytes)
+		// Allow 1% numeric slack from the fluid stepping.
+		return res[0].Finish >= lower-lower/100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Doubling a flow's size cannot shorten its completion.
+func TestSimulateMonotoneInSize(t *testing.T) {
+	f := NewFabric(topology.TwoTier(2, 4, 2), IPoIB40G)
+	for _, size := range []int64{1 << 10, 1 << 16, 1 << 22} {
+		small := f.Simulate([]Flow{{Src: 0, Dst: 4, Bytes: size}})[0].Finish
+		big := f.Simulate([]Flow{{Src: 0, Dst: 4, Bytes: size * 2}})[0].Finish
+		if big < small {
+			t.Fatalf("size %d: doubled flow finished earlier (%v < %v)", size, big, small)
+		}
+	}
+}

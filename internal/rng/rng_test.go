@@ -1,0 +1,235 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("seed 0 produced only %d distinct values in 64 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first output")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		p := r.Perm(50)
+		seen := make([]bool, 50)
+		for _, v := range p {
+			if v < 0 || v >= 50 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesDeterministicAndFull(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	New(9).Bytes(a)
+	New(9).Bytes(b)
+	if string(a) != string(b) {
+		t.Fatal("Bytes not deterministic")
+	}
+	zero := 0
+	for _, c := range a {
+		if c == 0 {
+			zero++
+		}
+	}
+	if zero > 10 {
+		t.Fatalf("suspiciously many zero bytes: %d/37", zero)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2.5, 1.2); v < 2.5 {
+			t.Fatalf("Pareto sample %v below xm", v)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(23)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / float64(n)
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("s=0 bucket %d frequency %v, want ~0.1", k, frac)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(29)
+	z := NewZipf(r, 1000, 0.99)
+	counts := make([]int, 1000)
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate and frequencies must decay with rank.
+	if counts[0] < counts[10] || counts[10] < counts[100] {
+		t.Fatalf("Zipf frequencies do not decay: c0=%d c10=%d c100=%d",
+			counts[0], counts[10], counts[100])
+	}
+	frac0 := float64(counts[0]) / float64(n)
+	if frac0 < 0.05 {
+		t.Fatalf("Zipf(0.99, n=1000) head frequency %v too small", frac0)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(New(seed), 57, 1.1)
+		for i := 0; i < 500; i++ {
+			v := z.Next()
+			if v < 0 || v >= 57 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(New(1), 1<<20, 0.99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

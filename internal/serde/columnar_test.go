@@ -1,0 +1,179 @@
+package serde
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntColumnRoundTrip(t *testing.T) {
+	cases := map[string]IntColumn{
+		"empty":     {},
+		"single":    {42},
+		"mixed":     {1, -5, 1 << 40, 0, 7, 7, 7},
+		"all-same":  {9, 9, 9, 9, 9, 9, 9, 9},
+		"ascending": {100, 101, 102, 103, 104},
+		"negatives": {-1, -2, -3, -1000000},
+	}
+	for name, col := range cases {
+		enc := col.Encode()
+		dec, err := DecodeIntColumn(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(dec) != len(col) {
+			t.Fatalf("%s: length %d, want %d", name, len(dec), len(col))
+		}
+		for i := range col {
+			if dec[i] != col[i] {
+				t.Fatalf("%s[%d] = %d, want %d", name, i, dec[i], col[i])
+			}
+		}
+	}
+}
+
+func TestIntColumnRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		col := IntColumn(vals)
+		dec, err := DecodeIntColumn(col.Encode())
+		if err != nil || len(dec) != len(col) {
+			return false
+		}
+		for i := range col {
+			if dec[i] != col[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntColumnRLEWinsOnRuns(t *testing.T) {
+	runs := make(IntColumn, 10000)
+	for i := range runs {
+		runs[i] = int64(i / 1000) // 10 long runs
+	}
+	enc := runs.Encode()
+	plain := runs.encodePlain()
+	if len(enc) >= len(plain)/10 {
+		t.Fatalf("run data encoded to %d bytes, plain is %d — RLE not chosen?", len(enc), len(plain))
+	}
+}
+
+func TestIntColumnDeltaWinsOnSorted(t *testing.T) {
+	sorted := make(IntColumn, 10000)
+	for i := range sorted {
+		sorted[i] = 1_000_000_000 + int64(i)*3
+	}
+	enc := sorted.Encode()
+	plain := sorted.encodePlain()
+	if len(enc) >= len(plain)/2 {
+		t.Fatalf("sorted data encoded to %d bytes, plain is %d — delta not chosen?", len(enc), len(plain))
+	}
+}
+
+func TestStringColumnRoundTrip(t *testing.T) {
+	cases := map[string]StringColumn{
+		"empty":    {},
+		"single":   {"hello"},
+		"mixed":    {"a", "", "bb", "a", "ccc", "a"},
+		"binary":   {"\x00\x01", "\xff"},
+		"repeated": {"x", "x", "x", "x"},
+	}
+	for name, col := range cases {
+		dec, err := DecodeStringColumn(col.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(dec) != len(col) {
+			t.Fatalf("%s: length %d, want %d", name, len(dec), len(col))
+		}
+		for i := range col {
+			if dec[i] != col[i] {
+				t.Fatalf("%s[%d] = %q, want %q", name, i, dec[i], col[i])
+			}
+		}
+	}
+}
+
+func TestStringColumnRoundTripProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		col := StringColumn(vals)
+		dec, err := DecodeStringColumn(col.Encode())
+		if err != nil || len(dec) != len(col) {
+			return false
+		}
+		for i := range col {
+			if dec[i] != col[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringColumnDictWinsOnLowCardinality(t *testing.T) {
+	col := make(StringColumn, 5000)
+	countries := []string{"united-states", "germany", "japan", "brazil"}
+	for i := range col {
+		col[i] = countries[i%len(countries)]
+	}
+	enc := col.Encode()
+	plain := col.encodePlain()
+	if len(enc) >= len(plain)/4 {
+		t.Fatalf("low-cardinality column encoded to %d bytes, plain is %d", len(enc), len(plain))
+	}
+}
+
+func TestStringColumnHighCardinalityFallsBackToPlain(t *testing.T) {
+	col := make(StringColumn, 100)
+	for i := range col {
+		col[i] = string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i%26))
+	}
+	if col.encodeDict() != nil && len(col.encodeDict()) < len(col.encodePlain()) {
+		// Dict may still win legitimately; just verify round trip.
+		t.Skip("dict legitimately smaller")
+	}
+	dec, err := DecodeStringColumn(col.Encode())
+	if err != nil || len(dec) != len(col) {
+		t.Fatal("high-cardinality round trip failed")
+	}
+}
+
+func TestColumnDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, {99}, {encPlainInt}, {encRLEInt, 5, 1}, {encDictStr, 10}} {
+		if _, err := DecodeIntColumn(b); err == nil && len(b) > 0 && b[0] != encDictStr {
+			t.Fatalf("DecodeIntColumn(%v) accepted garbage", b)
+		}
+		if _, err := DecodeStringColumn(b); err == nil && len(b) > 0 && b[0] == encDictStr {
+			t.Fatalf("DecodeStringColumn(%v) accepted garbage", b)
+		}
+	}
+}
+
+func BenchmarkIntColumnEncode(b *testing.B) {
+	col := make(IntColumn, 10000)
+	for i := range col {
+		col[i] = int64(i * 7)
+	}
+	b.SetBytes(int64(len(col) * 8))
+	for i := 0; i < b.N; i++ {
+		_ = col.Encode()
+	}
+}
+
+func BenchmarkStringColumnDictEncode(b *testing.B) {
+	col := make(StringColumn, 10000)
+	words := []string{"get", "put", "scan", "delete"}
+	for i := range col {
+		col[i] = words[i%4]
+	}
+	for i := 0; i < b.N; i++ {
+		_ = col.Encode()
+	}
+}

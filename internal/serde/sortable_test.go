@@ -1,0 +1,129 @@
+package serde
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortableInt64OrderAndRoundTrip(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := SortableInt64Key(a), SortableInt64Key(b)
+		cmp := bytes.Compare(ka, kb)
+		if (a < b) != (cmp < 0) || (a == b) != (cmp == 0) {
+			return false
+		}
+		ra, err := FromSortableInt64Key(ka)
+		return err == nil && ra == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortableInt64Extremes(t *testing.T) {
+	vals := []int64{math.MinInt64, -1, 0, 1, math.MaxInt64}
+	for i := 1; i < len(vals); i++ {
+		if bytes.Compare(SortableInt64Key(vals[i-1]), SortableInt64Key(vals[i])) >= 0 {
+			t.Fatalf("order broken between %d and %d", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestSortableFloat64OrderAndRoundTrip(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true // NaN ordering is unspecified beyond being total
+		}
+		ka, kb := SortableFloat64Key(a), SortableFloat64Key(b)
+		cmp := bytes.Compare(ka, kb)
+		if a < b && cmp >= 0 {
+			return false
+		}
+		if a > b && cmp <= 0 {
+			return false
+		}
+		ra, err := FromSortableFloat64Key(ka)
+		if err != nil {
+			return false
+		}
+		return ra == a || (ra == 0 && a == 0) // -0/+0 both decode to a zero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortableFloat64Extremes(t *testing.T) {
+	vals := []float64{math.Inf(-1), -math.MaxFloat64, -1, -math.SmallestNonzeroFloat64,
+		0, math.SmallestNonzeroFloat64, 1, math.MaxFloat64, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if bytes.Compare(SortableFloat64Key(vals[i-1]), SortableFloat64Key(vals[i])) >= 0 {
+			t.Fatalf("order broken between %v and %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestSortableStringOrderAndRoundTrip(t *testing.T) {
+	f := func(a, b string) bool {
+		ka, kb := SortableStringKey(a), SortableStringKey(b)
+		cmp := bytes.Compare(ka, kb)
+		if (a < b) != (cmp < 0) || (a == b) != (cmp == 0) {
+			return false
+		}
+		ra, n, err := FromSortableStringKey(ka)
+		return err == nil && ra == a && n == len(ka)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortableStringSelfDelimiting(t *testing.T) {
+	// Concatenated keys decode one at a time and preserve composite order.
+	k := append(SortableStringKey("ab"), SortableStringKey("cd")...)
+	s1, n, err := FromSortableStringKey(k)
+	if err != nil || s1 != "ab" {
+		t.Fatalf("first = %q, %v", s1, err)
+	}
+	s2, _, err := FromSortableStringKey(k[n:])
+	if err != nil || s2 != "cd" {
+		t.Fatalf("second = %q, %v", s2, err)
+	}
+	// Composite ordering: ("a","z") < ("ab","a") iff "a" < "ab".
+	k1 := append(SortableStringKey("a"), SortableStringKey("z")...)
+	k2 := append(SortableStringKey("ab"), SortableStringKey("a")...)
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Fatal("composite key order broken")
+	}
+}
+
+func TestSortableStringEmbeddedNulAndPrefix(t *testing.T) {
+	cases := [][2]string{
+		{"a\x00b", "a\x00c"},
+		{"a", "a\x00"},
+		{"", "a"},
+		{"a", "ab"},
+	}
+	for _, c := range cases {
+		ka, kb := SortableStringKey(c[0]), SortableStringKey(c[1])
+		if bytes.Compare(ka, kb) >= 0 {
+			t.Fatalf("%q not below %q after encoding", c[0], c[1])
+		}
+	}
+}
+
+func TestSortableDecodeErrors(t *testing.T) {
+	if _, err := FromSortableInt64Key([]byte{1}); err == nil {
+		t.Fatal("short int key accepted")
+	}
+	if _, err := FromSortableFloat64Key(nil); err == nil {
+		t.Fatal("nil float key accepted")
+	}
+	for _, bad := range [][]byte{{}, {0x00}, {0x61, 0x00}, {0x00, 0x02}} {
+		if _, _, err := FromSortableStringKey(bad); err == nil {
+			t.Fatalf("bad string key %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,487 @@
+// Package shuffle implements the all-to-all data exchange at the heart of
+// the dataflow engine: map tasks partition their output records by key into
+// per-reducer blocks, optionally combining, spilling and sorting on the
+// way; reduce tasks fetch and merge those blocks. Two strategies are
+// provided behind one interface — hash shuffle (per-partition append
+// buffers) and sort shuffle (one buffer sorted by (partition, key), merged
+// on read) — which experiment E2 ablates, along with the compression codec.
+package shuffle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/compress"
+	"repro/internal/serde"
+)
+
+// ErrClosed is returned when writing to a closed writer.
+var ErrClosed = errors.New("shuffle: writer closed")
+
+// Partition maps a key to one of n reduce partitions (hash partitioning).
+func Partition(key []byte, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// RangePartitioner assigns keys to partitions by comparing against sorted
+// split points — the TeraSort partitioner. Keys below splits[0] go to
+// partition 0, and so on.
+type RangePartitioner struct {
+	splits [][]byte
+}
+
+// NewRangePartitioner builds a partitioner with the given ascending split
+// points, producing len(splits)+1 partitions.
+func NewRangePartitioner(splits [][]byte) *RangePartitioner {
+	cp := make([][]byte, len(splits))
+	for i, s := range splits {
+		cp[i] = append([]byte(nil), s...)
+	}
+	return &RangePartitioner{splits: cp}
+}
+
+// Partitions returns the partition count.
+func (r *RangePartitioner) Partitions() int { return len(r.splits) + 1 }
+
+// Partition returns the partition for key.
+func (r *RangePartitioner) Partition(key []byte) int {
+	return sort.Search(len(r.splits), func(i int) bool {
+		return bytes.Compare(r.splits[i], key) > 0
+	})
+}
+
+// Block is one map task's output for one reduce partition.
+type Block struct {
+	Partition int
+	Data      []byte // compressed record stream
+	Records   int
+	RawBytes  int64 // pre-compression size
+	Sorted    bool  // records within the block are ordered by key
+}
+
+// Stats accumulates writer-side counters.
+type Stats struct {
+	RecordsIn  int
+	RecordsOut int // differs from RecordsIn when a combiner runs
+	RawBytes   int64
+	WireBytes  int64
+	Spills     int
+}
+
+// Writer receives a map task's records and produces per-partition blocks.
+type Writer interface {
+	// Write adds one record.
+	Write(key, value []byte) error
+	// Close seals the writer and returns one block per non-empty
+	// partition plus statistics.
+	Close() ([]Block, Stats, error)
+}
+
+// Config configures a writer.
+type Config struct {
+	// Partitions is the reduce-side partition count; required.
+	Partitions int
+	// Partitioner overrides hash partitioning (e.g. range partitioning
+	// for sorts). Nil means Partition().
+	Partitioner func(key []byte) int
+	// Codec compresses blocks. Nil means compress.None.
+	Codec compress.Codec
+	// SpillThreshold is the buffered-bytes level that triggers a spill
+	// (simulated: spilled runs stay in memory but are segmented and, for
+	// the sort writer, pre-sorted like on-disk runs). Default 4 MiB.
+	SpillThreshold int64
+	// Combiner, if non-nil, merges values with equal keys map-side.
+	Combiner func(a, b []byte) []byte
+}
+
+func (c *Config) fill() error {
+	if c.Partitions <= 0 {
+		return fmt.Errorf("shuffle: Partitions must be positive, got %d", c.Partitions)
+	}
+	if c.Codec == nil {
+		c.Codec = compress.None{}
+	}
+	if c.SpillThreshold <= 0 {
+		c.SpillThreshold = 4 << 20
+	}
+	if c.Partitioner == nil {
+		n := c.Partitions
+		c.Partitioner = func(key []byte) int { return Partition(key, n) }
+	}
+	return nil
+}
+
+// record is an owned key/value pair.
+type record struct {
+	key, value []byte
+}
+
+// ---------------------------------------------------------------------------
+// Hash shuffle
+
+// hashWriter appends records to one buffer per partition, spilling segments
+// when memory crosses the threshold. Output blocks are unsorted.
+type hashWriter struct {
+	cfg      Config
+	bufs     []bytes.Buffer
+	writers  []*serde.Writer
+	combine  []map[string][]byte // per-partition combiner state
+	buffered int64
+	segments [][][]byte // partition -> spilled segments
+	stats    Stats
+	closed   bool
+}
+
+// NewHashWriter returns a hash-shuffle writer.
+func NewHashWriter(cfg Config) (Writer, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	w := &hashWriter{
+		cfg:      cfg,
+		bufs:     make([]bytes.Buffer, cfg.Partitions),
+		writers:  make([]*serde.Writer, cfg.Partitions),
+		segments: make([][][]byte, cfg.Partitions),
+	}
+	for i := range w.bufs {
+		w.writers[i] = serde.NewWriter(&w.bufs[i])
+	}
+	if cfg.Combiner != nil {
+		w.combine = make([]map[string][]byte, cfg.Partitions)
+		for i := range w.combine {
+			w.combine[i] = map[string][]byte{}
+		}
+	}
+	return w, nil
+}
+
+func (w *hashWriter) Write(key, value []byte) error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.stats.RecordsIn++
+	p := w.cfg.Partitioner(key)
+	if w.combine != nil {
+		m := w.combine[p]
+		if prev, ok := m[string(key)]; ok {
+			m[string(key)] = w.cfg.Combiner(prev, value)
+		} else {
+			m[string(key)] = append([]byte(nil), value...)
+			w.buffered += int64(len(key) + len(value))
+		}
+	} else {
+		if err := w.writers[p].Write(key, value); err != nil {
+			return err
+		}
+		w.buffered += int64(len(key) + len(value))
+	}
+	if w.buffered >= w.cfg.SpillThreshold {
+		w.spill()
+	}
+	return nil
+}
+
+// spill moves buffered data into per-partition segments.
+func (w *hashWriter) spill() {
+	w.flushCombiner()
+	for p := range w.bufs {
+		if w.bufs[p].Len() == 0 {
+			continue
+		}
+		seg := append([]byte(nil), w.bufs[p].Bytes()...)
+		w.segments[p] = append(w.segments[p], seg)
+		w.bufs[p].Reset()
+		w.writers[p] = serde.NewWriter(&w.bufs[p])
+	}
+	w.buffered = 0
+	w.stats.Spills++
+}
+
+// flushCombiner drains combiner maps into the per-partition buffers.
+func (w *hashWriter) flushCombiner() {
+	if w.combine == nil {
+		return
+	}
+	for p, m := range w.combine {
+		if len(m) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // determinism
+		for _, k := range keys {
+			_ = w.writers[p].Write([]byte(k), m[k])
+			w.stats.RecordsOut++
+		}
+		w.combine[p] = map[string][]byte{}
+	}
+}
+
+func (w *hashWriter) Close() ([]Block, Stats, error) {
+	if w.closed {
+		return nil, w.stats, ErrClosed
+	}
+	w.closed = true
+	w.flushCombiner()
+	var blocks []Block
+	for p := range w.bufs {
+		var raw []byte
+		for _, seg := range w.segments[p] {
+			raw = append(raw, seg...)
+		}
+		raw = append(raw, w.bufs[p].Bytes()...)
+		if len(raw) == 0 {
+			continue
+		}
+		n := countRecords(raw)
+		if w.combine == nil {
+			w.stats.RecordsOut += n
+		}
+		data := w.cfg.Codec.Compress(raw)
+		w.stats.RawBytes += int64(len(raw))
+		w.stats.WireBytes += int64(len(data))
+		blocks = append(blocks, Block{Partition: p, Data: data, Records: n, RawBytes: int64(len(raw))})
+	}
+	return blocks, w.stats, nil
+}
+
+func countRecords(stream []byte) int {
+	r := serde.NewReader(bytes.NewReader(stream))
+	n := 0
+	for {
+		if _, err := r.Read(); err != nil {
+			return n
+		}
+		n++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sort shuffle
+
+// sortWriter buffers whole records, sorting each spill run by (partition,
+// key) and merging runs at close — the Spark "sort shuffle" design. Output
+// blocks are key-sorted, which lets downstream merges stream.
+type sortWriter struct {
+	cfg      Config
+	buf      []record
+	buffered int64
+	runs     [][]record // each run sorted by (partition, key)
+	combine  map[string][]byte
+	stats    Stats
+	closed   bool
+}
+
+// NewSortWriter returns a sort-shuffle writer.
+func NewSortWriter(cfg Config) (Writer, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	w := &sortWriter{cfg: cfg}
+	if cfg.Combiner != nil {
+		w.combine = map[string][]byte{}
+	}
+	return w, nil
+}
+
+func (w *sortWriter) Write(key, value []byte) error {
+	if w.closed {
+		return ErrClosed
+	}
+	w.stats.RecordsIn++
+	if w.combine != nil {
+		if prev, ok := w.combine[string(key)]; ok {
+			w.combine[string(key)] = w.cfg.Combiner(prev, value)
+		} else {
+			w.combine[string(key)] = append([]byte(nil), value...)
+			w.buffered += int64(len(key) + len(value))
+		}
+	} else {
+		w.buf = append(w.buf, record{
+			key:   append([]byte(nil), key...),
+			value: append([]byte(nil), value...),
+		})
+		w.buffered += int64(len(key) + len(value))
+	}
+	if w.buffered >= w.cfg.SpillThreshold {
+		w.spill()
+	}
+	return nil
+}
+
+func (w *sortWriter) drainCombiner() {
+	if w.combine == nil {
+		return
+	}
+	for k, v := range w.combine {
+		w.buf = append(w.buf, record{key: []byte(k), value: v})
+	}
+	w.combine = map[string][]byte{}
+}
+
+func (w *sortWriter) sortRun(run []record) {
+	part := w.cfg.Partitioner
+	sort.SliceStable(run, func(i, j int) bool {
+		pi, pj := part(run[i].key), part(run[j].key)
+		if pi != pj {
+			return pi < pj
+		}
+		return bytes.Compare(run[i].key, run[j].key) < 0
+	})
+}
+
+func (w *sortWriter) spill() {
+	w.drainCombiner()
+	if len(w.buf) == 0 {
+		return
+	}
+	w.sortRun(w.buf)
+	w.runs = append(w.runs, w.buf)
+	w.buf = nil
+	w.buffered = 0
+	w.stats.Spills++
+}
+
+func (w *sortWriter) Close() ([]Block, Stats, error) {
+	if w.closed {
+		return nil, w.stats, ErrClosed
+	}
+	w.closed = true
+	w.drainCombiner()
+	if len(w.buf) > 0 {
+		w.sortRun(w.buf)
+		w.runs = append(w.runs, w.buf)
+		w.buf = nil
+	}
+	// K-way merge of sorted runs, split into per-partition streams.
+	bufs := make([]bytes.Buffer, w.cfg.Partitions)
+	writers := make([]*serde.Writer, w.cfg.Partitions)
+	counts := make([]int, w.cfg.Partitions)
+	for i := range bufs {
+		writers[i] = serde.NewWriter(&bufs[i])
+	}
+	idx := make([]int, len(w.runs))
+	part := w.cfg.Partitioner
+	for {
+		best := -1
+		bestPart := 0
+		var bestKey []byte
+		for r := range w.runs {
+			if idx[r] >= len(w.runs[r]) {
+				continue
+			}
+			rec := w.runs[r][idx[r]]
+			p := part(rec.key)
+			if best < 0 || p < bestPart || (p == bestPart && bytes.Compare(rec.key, bestKey) < 0) {
+				best = r
+				bestPart = p
+				bestKey = rec.key
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := w.runs[best][idx[best]]
+		idx[best]++
+		if err := writers[bestPart].Write(rec.key, rec.value); err != nil {
+			return nil, w.stats, err
+		}
+		counts[bestPart]++
+	}
+	var blocks []Block
+	for p := range bufs {
+		if bufs[p].Len() == 0 {
+			continue
+		}
+		raw := bufs[p].Bytes()
+		data := w.cfg.Codec.Compress(raw)
+		w.stats.RawBytes += int64(len(raw))
+		w.stats.WireBytes += int64(len(data))
+		w.stats.RecordsOut += counts[p]
+		blocks = append(blocks, Block{
+			Partition: p, Data: data, Records: counts[p],
+			RawBytes: int64(len(raw)), Sorted: true,
+		})
+	}
+	w.runs = nil
+	return blocks, w.stats, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+// Record is a decoded shuffle record with owned buffers.
+type Record struct {
+	Key, Value []byte
+}
+
+// ReadBlocks decodes the records of the given blocks (all for the same
+// reduce partition). When every block is sorted, the result is a streaming
+// k-way merge preserving global key order; otherwise records appear in
+// block order.
+func ReadBlocks(codec compress.Codec, blocks []Block) ([]Record, error) {
+	if codec == nil {
+		codec = compress.None{}
+	}
+	decoded := make([][]Record, len(blocks))
+	allSorted := true
+	total := 0
+	for i, b := range blocks {
+		raw, err := codec.Decompress(b.Data)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: block %d: %w", i, err)
+		}
+		r := serde.NewReader(bytes.NewReader(raw))
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: block %d: %w", i, err)
+			}
+			decoded[i] = append(decoded[i], Record{
+				Key:   append([]byte(nil), rec.Key...),
+				Value: append([]byte(nil), rec.Value...),
+			})
+		}
+		total += len(decoded[i])
+		if !b.Sorted {
+			allSorted = false
+		}
+	}
+	out := make([]Record, 0, total)
+	if !allSorted || len(blocks) <= 1 {
+		for _, recs := range decoded {
+			out = append(out, recs...)
+		}
+		return out, nil
+	}
+	// Streaming merge of sorted blocks.
+	idx := make([]int, len(decoded))
+	for {
+		best := -1
+		for i := range decoded {
+			if idx[i] >= len(decoded[i]) {
+				continue
+			}
+			if best < 0 || bytes.Compare(decoded[i][idx[i]].Key, decoded[best][idx[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, decoded[best][idx[best]])
+		idx[best]++
+	}
+	return out, nil
+}

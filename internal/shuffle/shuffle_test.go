@@ -1,0 +1,345 @@
+package shuffle
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compress"
+	"repro/internal/rng"
+	"repro/internal/serde"
+)
+
+func writers(cfg Config) map[string]func(Config) (Writer, error) {
+	return map[string]func(Config) (Writer, error){
+		"hash": NewHashWriter,
+		"sort": NewSortWriter,
+	}
+}
+
+func TestRoundTripBothWriters(t *testing.T) {
+	for name, mk := range writers(Config{}) {
+		t.Run(name, func(t *testing.T) {
+			w, err := mk(Config{Partitions: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[string]string{}
+			for i := 0; i < 1000; i++ {
+				k := fmt.Sprintf("key-%04d", i)
+				v := fmt.Sprintf("val-%d", i)
+				want[k] = v
+				if err := w.Write([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocks, stats, err := w.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.RecordsIn != 1000 || stats.RecordsOut != 1000 {
+				t.Fatalf("stats = %+v", stats)
+			}
+			got := map[string]string{}
+			seenParts := map[int]bool{}
+			for _, b := range blocks {
+				seenParts[b.Partition] = true
+				recs, err := ReadBlocks(compress.None{}, []Block{b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range recs {
+					got[string(r.Key)] = string(r.Value)
+					// Record must belong to its block's partition.
+					if p := Partition(r.Key, 4); p != b.Partition {
+						t.Fatalf("key %q in partition %d, belongs in %d", r.Key, b.Partition, p)
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("key %q = %q, want %q", k, got[k], v)
+				}
+			}
+			if len(seenParts) < 2 {
+				t.Fatal("records did not spread across partitions")
+			}
+		})
+	}
+}
+
+func TestSortWriterProducesSortedBlocks(t *testing.T) {
+	w, err := NewSortWriter(Config{Partitions: 3, SpillThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rng.New(1)
+	for i := 0; i < 500; i++ {
+		k := make([]byte, 8)
+		gen.Bytes(k)
+		if err := w.Write(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, stats, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Spills == 0 {
+		t.Fatal("tiny spill threshold produced no spills")
+	}
+	for _, b := range blocks {
+		if !b.Sorted {
+			t.Fatal("sort writer produced unsorted block")
+		}
+		recs, err := ReadBlocks(compress.None{}, []Block{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(recs); i++ {
+			if bytes.Compare(recs[i-1].Key, recs[i].Key) > 0 {
+				t.Fatalf("partition %d not sorted at %d", b.Partition, i)
+			}
+		}
+	}
+}
+
+func TestMergedReadPreservesGlobalOrder(t *testing.T) {
+	// Two sorted map outputs for the same partition merge into one sorted
+	// stream.
+	var all []Block
+	for m := 0; m < 3; m++ {
+		w, _ := NewSortWriter(Config{Partitions: 1})
+		for i := 0; i < 100; i++ {
+			k := []byte(fmt.Sprintf("%03d-%d", i*3+m, m))
+			_ = w.Write(k, []byte("v"))
+		}
+		blocks, _, err := w.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, blocks...)
+	}
+	recs, err := ReadBlocks(compress.None{}, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 300 {
+		t.Fatalf("merged %d records, want 300", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if bytes.Compare(recs[i-1].Key, recs[i].Key) > 0 {
+			t.Fatalf("merge broke order at %d: %q > %q", i, recs[i-1].Key, recs[i].Key)
+		}
+	}
+}
+
+func TestCombinerReducesRecords(t *testing.T) {
+	add := func(a, b []byte) []byte {
+		x, _ := serde.DecodeInt64(a)
+		y, _ := serde.DecodeInt64(b)
+		return serde.EncodeInt64(x + y)
+	}
+	for name, mk := range writers(Config{}) {
+		t.Run(name, func(t *testing.T) {
+			w, err := mk(Config{Partitions: 2, Combiner: add})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 100 distinct words, 50 occurrences each.
+			for rep := 0; rep < 50; rep++ {
+				for i := 0; i < 100; i++ {
+					_ = w.Write([]byte(fmt.Sprintf("w%02d", i)), serde.EncodeInt64(1))
+				}
+			}
+			blocks, stats, err := w.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.RecordsIn != 5000 {
+				t.Fatalf("in = %d", stats.RecordsIn)
+			}
+			if stats.RecordsOut != 100 {
+				t.Fatalf("combiner emitted %d records, want 100", stats.RecordsOut)
+			}
+			total := int64(0)
+			for _, b := range blocks {
+				recs, _ := ReadBlocks(compress.None{}, []Block{b})
+				for _, r := range recs {
+					v, _ := serde.DecodeInt64(r.Value)
+					if v != 50 {
+						t.Fatalf("key %q count %d, want 50", r.Key, v)
+					}
+					total += v
+				}
+			}
+			if total != 5000 {
+				t.Fatalf("total count %d", total)
+			}
+		})
+	}
+}
+
+func TestCompressionShrinksWireBytes(t *testing.T) {
+	run := func(codec compress.Codec) Stats {
+		w, _ := NewHashWriter(Config{Partitions: 2, Codec: codec})
+		for i := 0; i < 2000; i++ {
+			_ = w.Write([]byte(fmt.Sprintf("key-%d", i%20)), []byte("the same repetitive value payload"))
+		}
+		_, stats, _ := w.Close()
+		return stats
+	}
+	plain := run(compress.None{})
+	lz := run(compress.LZ{})
+	if lz.WireBytes >= plain.WireBytes/2 {
+		t.Fatalf("lz wire bytes %d vs plain %d: compression ineffective", lz.WireBytes, plain.WireBytes)
+	}
+	if lz.RawBytes != plain.RawBytes {
+		t.Fatalf("raw bytes differ: %d vs %d", lz.RawBytes, plain.RawBytes)
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	w, _ := NewSortWriter(Config{Partitions: 3, Codec: compress.LZ{}})
+	for i := 0; i < 500; i++ {
+		_ = w.Write([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("value-%d", i)))
+	}
+	blocks, _, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, b := range blocks {
+		recs, err := ReadBlocks(compress.LZ{}, []Block{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(recs)
+	}
+	if n != 500 {
+		t.Fatalf("read back %d records", n)
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	rp := NewRangePartitioner([][]byte{[]byte("g"), []byte("p")})
+	if rp.Partitions() != 3 {
+		t.Fatalf("partitions = %d", rp.Partitions())
+	}
+	cases := map[string]int{"a": 0, "f": 0, "g": 1, "m": 1, "p": 2, "z": 2}
+	for k, want := range cases {
+		if got := rp.Partition([]byte(k)); got != want {
+			t.Fatalf("Partition(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestRangePartitionerPreservesOrderAcrossPartitions(t *testing.T) {
+	f := func(a, b []byte) bool {
+		rp := NewRangePartitioner([][]byte{{0x40}, {0x80}, {0xc0}})
+		pa, pb := rp.Partition(a), rp.Partition(b)
+		if bytes.Compare(a, b) < 0 {
+			return pa <= pb
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	for name, mk := range writers(Config{}) {
+		w, _ := mk(Config{Partitions: 1})
+		_, _, _ = w.Close()
+		if err := w.Write([]byte("k"), []byte("v")); err != ErrClosed {
+			t.Fatalf("%s: err = %v", name, err)
+		}
+		if _, _, err := w.Close(); err != ErrClosed {
+			t.Fatalf("%s: double close err = %v", name, err)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := NewHashWriter(Config{}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := NewSortWriter(Config{Partitions: -1}); err == nil {
+		t.Fatal("negative partitions accepted")
+	}
+}
+
+func TestHashVsSortEquivalence(t *testing.T) {
+	// Property: both writers deliver exactly the same multiset of records.
+	f := func(seed uint64) bool {
+		gen := rng.New(seed)
+		n := 200 + gen.Intn(300)
+		type kv struct{ k, v string }
+		var input []kv
+		for i := 0; i < n; i++ {
+			input = append(input, kv{
+				k: fmt.Sprintf("k%d", gen.Intn(50)),
+				v: fmt.Sprintf("v%d", gen.Intn(1000)),
+			})
+		}
+		collect := func(mk func(Config) (Writer, error)) []string {
+			w, _ := mk(Config{Partitions: 4})
+			for _, r := range input {
+				_ = w.Write([]byte(r.k), []byte(r.v))
+			}
+			blocks, _, _ := w.Close()
+			var out []string
+			for _, b := range blocks {
+				recs, _ := ReadBlocks(compress.None{}, []Block{b})
+				for _, r := range recs {
+					out = append(out, string(r.Key)+"="+string(r.Value))
+				}
+			}
+			sort.Strings(out)
+			return out
+		}
+		h := collect(NewHashWriter)
+		s := collect(NewSortWriter)
+		if len(h) != len(s) {
+			return false
+		}
+		for i := range h {
+			if h[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchWrite(b *testing.B, mk func(Config) (Writer, error), codec compress.Codec) {
+	gen := rng.New(1)
+	keys := make([][]byte, 1000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%06d", gen.Intn(100000)))
+	}
+	val := bytes.Repeat([]byte("v"), 90)
+	b.SetBytes(100 * 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := mk(Config{Partitions: 16, Codec: codec})
+		for _, k := range keys {
+			_ = w.Write(k, val)
+		}
+		_, _, _ = w.Close()
+	}
+}
+
+func BenchmarkHashWriter(b *testing.B)      { benchWrite(b, NewHashWriter, compress.None{}) }
+func BenchmarkSortWriter(b *testing.B)      { benchWrite(b, NewSortWriter, compress.None{}) }
+func BenchmarkHashWriterLZ(b *testing.B)    { benchWrite(b, NewHashWriter, compress.LZ{}) }
+func BenchmarkSortWriterFlate(b *testing.B) { benchWrite(b, NewSortWriter, compress.Flate{}) }

@@ -1,0 +1,194 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SessionResult is one closed session: a burst of activity for a key with
+// no gap larger than the configured timeout.
+type SessionResult struct {
+	Key        string
+	Start, End time.Duration // [first event, last event]
+	Sum        float64
+	Count      int64
+}
+
+// SessionConfig configures a Sessionizer.
+type SessionConfig struct {
+	// Gap is the inactivity timeout that closes a session; required.
+	Gap time.Duration
+	// Workers is the keyed parallelism. Default 4.
+	Workers int
+	// Buffer is each worker's queue capacity (<= 0: effectively
+	// unbounded).
+	Buffer int
+}
+
+// Sessionizer groups keyed events into gap-separated sessions in event
+// time: events within Gap of an open session extend it (in any arrival
+// order, merging sessions that a late event bridges); watermarks close
+// sessions whose end precedes wm - Gap. This is the sessionization
+// workload behind funnel/engagement analytics.
+type Sessionizer struct {
+	cfg    SessionConfig
+	queues []chan message
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+
+	out struct {
+		sync.Mutex
+		sessions []SessionResult
+	}
+}
+
+type session struct {
+	start, end time.Duration
+	sum        float64
+	count      int64
+}
+
+// NewSessionizer starts the workers.
+func NewSessionizer(cfg SessionConfig) *Sessionizer {
+	if cfg.Gap <= 0 {
+		panic("stream: SessionConfig.Gap is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	buf := cfg.Buffer
+	if buf <= 0 {
+		buf = 1 << 20
+	}
+	s := &Sessionizer{cfg: cfg}
+	s.queues = make([]chan message, cfg.Workers)
+	for i := range s.queues {
+		s.queues[i] = make(chan message, buf)
+		s.wg.Add(1)
+		go s.worker(s.queues[i])
+	}
+	return s
+}
+
+// Send routes one event to its key's worker.
+func (s *Sessionizer) Send(ev Event) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	q := s.queues[int(hashKey(ev.Key))%len(s.queues)]
+	q <- message{ev: ev, watermark: -1}
+	return nil
+}
+
+// Advance broadcasts a watermark: sessions whose last event precedes
+// wm - Gap can no longer be extended and are emitted.
+func (s *Sessionizer) Advance(wm time.Duration) error {
+	if wm < 0 {
+		wm = 0
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	for _, q := range s.queues {
+		q <- message{watermark: wm}
+	}
+	return nil
+}
+
+// Close flushes every open session and returns all sessions, ordered by
+// (key, start).
+func (s *Sessionizer) Close() []SessionResult {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+	} else {
+		s.closed = true
+		s.mu.Unlock()
+		for _, q := range s.queues {
+			q <- message{watermark: 1<<62 - 1}
+			close(q)
+		}
+		s.wg.Wait()
+	}
+	s.out.Lock()
+	defer s.out.Unlock()
+	out := append([]SessionResult(nil), s.out.sessions...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+func (s *Sessionizer) worker(q chan message) {
+	defer s.wg.Done()
+	// Open sessions per key, kept sorted by start (few per key).
+	open := map[string][]*session{}
+	for m := range q {
+		if m.watermark >= 0 {
+			s.fire(open, m.watermark)
+			continue
+		}
+		ev := m.ev
+		sess := open[ev.Key]
+		// Find all sessions this event touches ([start-Gap, end+Gap]).
+		var touched []*session
+		var rest []*session
+		for _, x := range sess {
+			if ev.EventTime >= x.start-s.cfg.Gap && ev.EventTime <= x.end+s.cfg.Gap {
+				touched = append(touched, x)
+			} else {
+				rest = append(rest, x)
+			}
+		}
+		merged := &session{start: ev.EventTime, end: ev.EventTime, sum: ev.Value, count: 1}
+		for _, x := range touched {
+			if x.start < merged.start {
+				merged.start = x.start
+			}
+			if x.end > merged.end {
+				merged.end = x.end
+			}
+			merged.sum += x.sum
+			merged.count += x.count
+		}
+		open[ev.Key] = append(rest, merged)
+	}
+}
+
+// fire emits sessions that can no longer grow.
+func (s *Sessionizer) fire(open map[string][]*session, wm time.Duration) {
+	var done []SessionResult
+	for key, sess := range open {
+		var keep []*session
+		for _, x := range sess {
+			if x.end+s.cfg.Gap <= wm {
+				done = append(done, SessionResult{
+					Key: key, Start: x.start, End: x.end, Sum: x.sum, Count: x.count,
+				})
+			} else {
+				keep = append(keep, x)
+			}
+		}
+		if len(keep) == 0 {
+			delete(open, key)
+		} else {
+			open[key] = keep
+		}
+	}
+	if len(done) > 0 {
+		s.out.Lock()
+		s.out.sessions = append(s.out.sessions, done...)
+		s.out.Unlock()
+	}
+}

@@ -1,0 +1,293 @@
+// Package stream is an event-time stream processing engine: keyed events
+// flow through hash-partitioned parallel workers into tumbling or sliding
+// windows; low watermarks drive window firing; allowed lateness bounds how
+// long closed windows accept stragglers; and bounded worker queues provide
+// backpressure (the ablation of experiment E7 — unbounded queues let
+// latency grow without limit as offered load approaches capacity).
+package stream
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Event is one keyed, event-timestamped element.
+type Event struct {
+	Key       string
+	Value     float64
+	EventTime time.Duration
+}
+
+// Result is one fired window pane.
+type Result struct {
+	WindowStart time.Duration
+	WindowEnd   time.Duration
+	Key         string
+	Sum         float64
+	Count       int64
+}
+
+// Config configures a pipeline.
+type Config struct {
+	// Workers is the keyed parallelism. Default 4.
+	Workers int
+	// Buffer is each worker's queue capacity. Values <= 0 mean effectively
+	// unbounded (the no-backpressure ablation).
+	Buffer int
+	// Window is the window width; required.
+	Window time.Duration
+	// Slide enables sliding windows when 0 < Slide < Window (each event
+	// lands in Window/Slide panes). 0 means tumbling.
+	Slide time.Duration
+	// AllowedLateness keeps a fired window's state around to absorb late
+	// events; events later than that are dropped (counted).
+	AllowedLateness time.Duration
+	// WorkSpin burns roughly this many iterations of CPU per event to
+	// model per-event processing cost in load experiments.
+	WorkSpin int
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("stream: pipeline closed")
+
+type message struct {
+	ev        Event
+	watermark time.Duration // >= 0 means watermark message, ev ignored
+	ingest    time.Time
+}
+
+type paneKey struct {
+	start time.Duration
+	key   string
+}
+
+type paneAgg struct {
+	sum   float64
+	count int64
+	fired bool
+}
+
+// Pipeline is a running streaming job. Create with New, feed with Send and
+// Advance, terminate with Close.
+type Pipeline struct {
+	cfg     Config
+	queues  []chan message
+	wg      sync.WaitGroup
+	results struct {
+		mu  sync.Mutex
+		out []Result
+	}
+	closed bool
+	mu     sync.Mutex
+
+	// Reg exposes latency/lateness metrics: sojourn_ns histogram,
+	// late_dropped counter, queue_depth gauge.
+	Reg *metrics.Registry
+}
+
+// New starts a pipeline's workers.
+func New(cfg Config) *Pipeline {
+	if cfg.Window <= 0 {
+		panic("stream: Config.Window is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	buf := cfg.Buffer
+	if buf <= 0 {
+		buf = 1 << 20 // "unbounded": larger than any test load
+	}
+	p := &Pipeline{cfg: cfg, Reg: metrics.NewRegistry()}
+	p.queues = make([]chan message, cfg.Workers)
+	for i := range p.queues {
+		p.queues[i] = make(chan message, buf)
+		p.wg.Add(1)
+		go p.worker(p.queues[i])
+	}
+	return p
+}
+
+func hashKey(k string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k))
+	return h.Sum32()
+}
+
+// Send routes one event to its key's worker. With a bounded buffer this
+// blocks when the worker is saturated — that wait is the backpressure the
+// experiments measure (it is included in the event's sojourn time).
+func (p *Pipeline) Send(ev Event) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	q := p.queues[int(hashKey(ev.Key))%len(p.queues)]
+	q <- message{ev: ev, watermark: -1, ingest: time.Now()}
+	return nil
+}
+
+// Advance broadcasts a low watermark: every window whose end is at or
+// before wm fires on each worker. Negative watermarks are clamped to zero
+// (they carry no information and would collide with the event encoding).
+func (p *Pipeline) Advance(wm time.Duration) error {
+	if wm < 0 {
+		wm = 0
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	for _, q := range p.queues {
+		q <- message{watermark: wm, ingest: time.Now()}
+	}
+	return nil
+}
+
+// Close flushes all remaining windows (as if a final +inf watermark
+// arrived), stops the workers, and returns every result fired over the
+// pipeline's lifetime, ordered by (window start, key).
+func (p *Pipeline) Close() []Result {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return p.snapshotResults()
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, q := range p.queues {
+		q <- message{watermark: 1<<62 - 1, ingest: time.Now()}
+		close(q)
+	}
+	p.wg.Wait()
+	return p.snapshotResults()
+}
+
+func (p *Pipeline) snapshotResults() []Result {
+	p.results.mu.Lock()
+	defer p.results.mu.Unlock()
+	out := append([]Result(nil), p.results.out...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WindowStart != out[j].WindowStart {
+			return out[i].WindowStart < out[j].WindowStart
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// panesFor returns the window starts an event-time belongs to.
+func (p *Pipeline) panesFor(t time.Duration) []time.Duration {
+	w := p.cfg.Window
+	if p.cfg.Slide <= 0 || p.cfg.Slide >= w {
+		return []time.Duration{(t / w) * w}
+	}
+	s := p.cfg.Slide
+	var starts []time.Duration
+	first := (t / s) * s
+	for start := first; start > t-w && start >= 0; start -= s {
+		if t >= start && t < start+w {
+			starts = append(starts, start)
+		}
+		if start == 0 {
+			break
+		}
+	}
+	return starts
+}
+
+func (p *Pipeline) worker(q chan message) {
+	defer p.wg.Done()
+	panes := map[paneKey]*paneAgg{}
+	var watermark time.Duration
+	sojourn := p.Reg.Histogram("sojourn_ns")
+	late := p.Reg.Counter("late_dropped")
+	processed := p.Reg.Counter("events_processed")
+
+	spinSink := 0
+	for m := range q {
+		if m.watermark >= 0 {
+			if m.watermark > watermark {
+				watermark = m.watermark
+				p.fire(panes, watermark)
+			}
+			continue
+		}
+		// Simulated per-event processing cost.
+		for i := 0; i < p.cfg.WorkSpin; i++ {
+			spinSink += i ^ (spinSink << 1)
+		}
+		ev := m.ev
+		if ev.EventTime+p.cfg.AllowedLateness < watermark-p.cfg.Window {
+			// Beyond lateness horizon for every possible pane: drop.
+			late.Inc()
+			sojourn.ObserveDuration(time.Since(m.ingest))
+			continue
+		}
+		accepted := false
+		for _, start := range p.panesFor(ev.EventTime) {
+			end := start + p.cfg.Window
+			if end+p.cfg.AllowedLateness <= watermark {
+				continue // this pane is closed for good
+			}
+			pk := paneKey{start: start, key: ev.Key}
+			agg, ok := panes[pk]
+			if !ok {
+				agg = &paneAgg{}
+				panes[pk] = agg
+			}
+			agg.sum += ev.Value
+			agg.count++
+			accepted = true
+		}
+		if !accepted {
+			late.Inc()
+		}
+		processed.Inc()
+		sojourn.ObserveDuration(time.Since(m.ingest))
+	}
+	_ = spinSink
+}
+
+// fire emits panes whose lateness horizon passed and emits (once) panes
+// whose end passed; a pane that receives late events before its horizon is
+// re-emitted with the updated aggregate at horizon time.
+func (p *Pipeline) fire(panes map[paneKey]*paneAgg, wm time.Duration) {
+	var fired []Result
+	for pk, agg := range panes {
+		end := pk.start + p.cfg.Window
+		if end+p.cfg.AllowedLateness <= wm {
+			fired = append(fired, Result{
+				WindowStart: pk.start,
+				WindowEnd:   end,
+				Key:         pk.key,
+				Sum:         agg.sum,
+				Count:       agg.count,
+			})
+			delete(panes, pk)
+		}
+	}
+	if len(fired) > 0 {
+		p.results.mu.Lock()
+		p.results.out = append(p.results.out, fired...)
+		p.results.mu.Unlock()
+	}
+}
+
+// QueueDepth reports the total buffered events across workers (for the
+// backpressure experiments).
+func (p *Pipeline) QueueDepth() int {
+	total := 0
+	for _, q := range p.queues {
+		total += len(q)
+	}
+	return total
+}

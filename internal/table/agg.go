@@ -1,0 +1,450 @@
+package table
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+	"repro/internal/shuffle"
+)
+
+// AggOp is an aggregation operator.
+type AggOp int
+
+// Aggregation operators.
+const (
+	Sum AggOp = iota
+	Count
+	Min
+	Max
+	Avg
+)
+
+func (o AggOp) String() string {
+	switch o {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return "avg"
+	}
+}
+
+// Agg describes one aggregate: Op over Col, named As in the output
+// (default "<op>_<col>"). Count ignores Col.
+type Agg struct {
+	Op  AggOp
+	Col string
+	As  string
+}
+
+func (a Agg) name() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Op == Count {
+		return "count"
+	}
+	return fmt.Sprintf("%s_%s", a.Op, a.Col)
+}
+
+// Grouped is a group-by builder; call Agg to produce the result table.
+type Grouped struct {
+	t    *Table
+	keys []string
+}
+
+// GroupBy starts a grouped aggregation on the named key columns.
+func (t *Table) GroupBy(keys ...string) *Grouped {
+	return &Grouped{t: t, keys: keys}
+}
+
+// aggState is one group's partial aggregate: one slot per Agg spec.
+type aggState struct {
+	sumI  []int64   // Sum over Int64
+	sumF  []float64 // Sum over Float64, Avg sums
+	count []int64   // Count, Avg counts
+	mmSet []bool    // Min/Max present
+	mmI   []int64
+	mmF   []float64
+	mmS   []string
+}
+
+// aggPlan is the resolved execution info per spec.
+type aggPlan struct {
+	spec   Agg
+	colIdx int  // -1 for Count
+	typ    Type // column type (Int64 for Count)
+}
+
+// Agg executes the grouped aggregation with map-side partial aggregation
+// (the combiner merges encoded states before the shuffle).
+func (g *Grouped) Agg(parts int, aggs ...Agg) (*Table, error) {
+	t := g.t
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("table: GroupBy.Agg needs at least one aggregate")
+	}
+	if parts <= 0 {
+		parts = t.Partitions()
+	}
+	keyIdx := make([]int, len(g.keys))
+	outCols := make([]Col, 0, len(g.keys)+len(aggs))
+	for i, k := range g.keys {
+		j, err := t.schema.MustIndex(k)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx[i] = j
+		outCols = append(outCols, t.schema.Cols[j])
+	}
+	plans := make([]aggPlan, len(aggs))
+	for i, a := range aggs {
+		p := aggPlan{spec: a, colIdx: -1, typ: Int64}
+		if a.Op != Count {
+			j, err := t.schema.MustIndex(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			p.colIdx = j
+			p.typ = t.schema.Cols[j].Type
+			if a.Op != Min && a.Op != Max && p.typ == String {
+				return nil, fmt.Errorf("table: %s over string column %q", a.Op, a.Col)
+			}
+		}
+		outType := Int64
+		switch a.Op {
+		case Sum, Min, Max:
+			outType = p.typ
+		case Avg:
+			outType = Float64
+		}
+		outCols = append(outCols, Col{Name: a.name(), Type: outType})
+		plans[i] = p
+	}
+	outSchema := Schema{Cols: outCols}
+	schema := t.schema
+
+	combiner := func(a, b []byte) []byte {
+		sa, err := decodeState(plans, a)
+		if err != nil {
+			panic(fmt.Sprintf("table: agg state decode: %v", err))
+		}
+		sb, err := decodeState(plans, b)
+		if err != nil {
+			panic(fmt.Sprintf("table: agg state decode: %v", err))
+		}
+		mergeState(plans, sa, sb)
+		return encodeState(plans, sa)
+	}
+
+	plan := t.eng.NewShuffled(t.plan, core.ShuffleDep{
+		Partitions: parts,
+		KeyOf:      func(r core.Row) []byte { return compositeKey(schema, keyIdx, r.(Row)) },
+		ValueOf: func(r core.Row) []byte {
+			return encodeState(plans, initState(plans, r.(Row)))
+		},
+		Combiner: combiner,
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			merged := map[string]*aggState{}
+			var order []string
+			for _, rec := range recs {
+				k := string(rec.Key)
+				st, err := decodeState(plans, rec.Value)
+				if err != nil {
+					panic(fmt.Sprintf("table: agg state decode: %v", err))
+				}
+				if cur, ok := merged[k]; ok {
+					mergeState(plans, cur, st)
+				} else {
+					merged[k] = st
+					order = append(order, k)
+				}
+			}
+			out := make([]core.Row, 0, len(merged))
+			for _, k := range order {
+				keyVals, err := decodeCompositeKey(schema, keyIdx, []byte(k))
+				if err != nil {
+					panic(fmt.Sprintf("table: group key decode: %v", err))
+				}
+				row := make(Row, 0, len(keyVals)+len(plans))
+				row = append(row, keyVals...)
+				row = append(row, finalize(plans, merged[k])...)
+				out = append(out, row)
+			}
+			return out
+		},
+	})
+	return &Table{eng: t.eng, plan: plan, schema: outSchema}, nil
+}
+
+func newState(n int) *aggState {
+	return &aggState{
+		sumI:  make([]int64, n),
+		sumF:  make([]float64, n),
+		count: make([]int64, n),
+		mmSet: make([]bool, n),
+		mmI:   make([]int64, n),
+		mmF:   make([]float64, n),
+		mmS:   make([]string, n),
+	}
+}
+
+// initState builds the state of a single-row group.
+func initState(plans []aggPlan, r Row) *aggState {
+	st := newState(len(plans))
+	for i, p := range plans {
+		switch p.spec.Op {
+		case Count:
+			st.count[i] = 1
+		case Sum:
+			if p.typ == Int64 {
+				st.sumI[i] = r[p.colIdx].(int64)
+			} else {
+				st.sumF[i] = r[p.colIdx].(float64)
+			}
+		case Avg:
+			st.count[i] = 1
+			if p.typ == Int64 {
+				st.sumF[i] = float64(r[p.colIdx].(int64))
+			} else {
+				st.sumF[i] = r[p.colIdx].(float64)
+			}
+		case Min, Max:
+			st.mmSet[i] = true
+			switch p.typ {
+			case Int64:
+				st.mmI[i] = r[p.colIdx].(int64)
+			case Float64:
+				st.mmF[i] = r[p.colIdx].(float64)
+			default:
+				st.mmS[i] = r[p.colIdx].(string)
+			}
+		}
+	}
+	return st
+}
+
+// mergeState folds b into a.
+func mergeState(plans []aggPlan, a, b *aggState) {
+	for i, p := range plans {
+		switch p.spec.Op {
+		case Count:
+			a.count[i] += b.count[i]
+		case Sum:
+			a.sumI[i] += b.sumI[i]
+			a.sumF[i] += b.sumF[i]
+		case Avg:
+			a.count[i] += b.count[i]
+			a.sumF[i] += b.sumF[i]
+		case Min, Max:
+			if !b.mmSet[i] {
+				continue
+			}
+			if !a.mmSet[i] {
+				a.mmSet[i] = true
+				a.mmI[i], a.mmF[i], a.mmS[i] = b.mmI[i], b.mmF[i], b.mmS[i]
+				continue
+			}
+			cmp := 0
+			switch p.typ {
+			case Int64:
+				switch {
+				case b.mmI[i] < a.mmI[i]:
+					cmp = -1
+				case b.mmI[i] > a.mmI[i]:
+					cmp = 1
+				}
+			case Float64:
+				switch {
+				case b.mmF[i] < a.mmF[i]:
+					cmp = -1
+				case b.mmF[i] > a.mmF[i]:
+					cmp = 1
+				}
+			default:
+				switch {
+				case b.mmS[i] < a.mmS[i]:
+					cmp = -1
+				case b.mmS[i] > a.mmS[i]:
+					cmp = 1
+				}
+			}
+			if (p.spec.Op == Min && cmp < 0) || (p.spec.Op == Max && cmp > 0) {
+				a.mmI[i], a.mmF[i], a.mmS[i] = b.mmI[i], b.mmF[i], b.mmS[i]
+			}
+		}
+	}
+}
+
+// finalize renders output values.
+func finalize(plans []aggPlan, st *aggState) []any {
+	out := make([]any, len(plans))
+	for i, p := range plans {
+		switch p.spec.Op {
+		case Count:
+			out[i] = st.count[i]
+		case Sum:
+			if p.typ == Int64 {
+				out[i] = st.sumI[i]
+			} else {
+				out[i] = st.sumF[i]
+			}
+		case Avg:
+			if st.count[i] == 0 {
+				out[i] = math.NaN()
+			} else {
+				out[i] = st.sumF[i] / float64(st.count[i])
+			}
+		case Min, Max:
+			switch p.typ {
+			case Int64:
+				out[i] = st.mmI[i]
+			case Float64:
+				out[i] = st.mmF[i]
+			default:
+				out[i] = st.mmS[i]
+			}
+		}
+	}
+	return out
+}
+
+// encodeState serializes per-spec slots.
+func encodeState(plans []aggPlan, st *aggState) []byte {
+	var out []byte
+	for i, p := range plans {
+		switch p.spec.Op {
+		case Count:
+			out = serde.AppendInt64(out, st.count[i])
+		case Sum:
+			if p.typ == Int64 {
+				out = serde.AppendInt64(out, st.sumI[i])
+			} else {
+				out = serde.AppendUint64(out, floatBits(st.sumF[i]))
+			}
+		case Avg:
+			out = serde.AppendUint64(out, floatBits(st.sumF[i]))
+			out = serde.AppendInt64(out, st.count[i])
+		case Min, Max:
+			if !st.mmSet[i] {
+				out = append(out, 0)
+				continue
+			}
+			out = append(out, 1)
+			switch p.typ {
+			case Int64:
+				out = serde.AppendInt64(out, st.mmI[i])
+			case Float64:
+				out = serde.AppendUint64(out, floatBits(st.mmF[i]))
+			default:
+				out = serde.AppendInt64(out, int64(len(st.mmS[i])))
+				out = append(out, st.mmS[i]...)
+			}
+		}
+	}
+	return out
+}
+
+// decodeState inverts encodeState.
+func decodeState(plans []aggPlan, b []byte) (*aggState, error) {
+	st := newState(len(plans))
+	readI := func() (int64, error) {
+		v, n, err := serde.Int64(b)
+		if err != nil {
+			return 0, err
+		}
+		b = b[n:]
+		return v, nil
+	}
+	readF := func() (float64, error) {
+		u, err := serde.Uint64(b)
+		if err != nil {
+			return 0, err
+		}
+		b = b[8:]
+		return serde.DecodeFloat64(serde.AppendUint64(nil, u))
+	}
+	for i, p := range plans {
+		var err error
+		switch p.spec.Op {
+		case Count:
+			st.count[i], err = readI()
+		case Sum:
+			if p.typ == Int64 {
+				st.sumI[i], err = readI()
+			} else {
+				st.sumF[i], err = readF()
+			}
+		case Avg:
+			if st.sumF[i], err = readF(); err == nil {
+				st.count[i], err = readI()
+			}
+		case Min, Max:
+			if len(b) == 0 {
+				return nil, serde.ErrCorrupt
+			}
+			present := b[0]
+			b = b[1:]
+			if present == 0 {
+				continue
+			}
+			st.mmSet[i] = true
+			switch p.typ {
+			case Int64:
+				st.mmI[i], err = readI()
+			case Float64:
+				st.mmF[i], err = readF()
+			default:
+				var l int64
+				if l, err = readI(); err == nil {
+					if int64(len(b)) < l {
+						return nil, serde.ErrCorrupt
+					}
+					st.mmS[i] = string(b[:l])
+					b = b[l:]
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// decodeCompositeKey inverts compositeKey for the group-key columns.
+func decodeCompositeKey(s Schema, idx []int, key []byte) ([]any, error) {
+	out := make([]any, len(idx))
+	for k, i := range idx {
+		switch s.Cols[i].Type {
+		case Int64:
+			v, err := serde.FromSortableInt64Key(key)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+			key = key[8:]
+		case Float64:
+			v, err := serde.FromSortableFloat64Key(key)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+			key = key[8:]
+		default:
+			v, n, err := serde.FromSortableStringKey(key)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+			key = key[n:]
+		}
+	}
+	return out, nil
+}

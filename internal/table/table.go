@@ -1,0 +1,539 @@
+// Package table is a relational analytics layer over the dataflow engine:
+// typed schemas, projection, filtering, derived columns, hash equi-joins,
+// grouped aggregation with map-side partial aggregates, and global ORDER
+// BY via range-partitioned sort — the SQL-shaped workloads (reporting,
+// sessionization, star joins) that big-data engines exist to serve.
+// Operations are lazy plans on the engine; Collect/Count execute them
+// with the engine's locality scheduling and fault tolerance.
+package table
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/serde"
+	"repro/internal/shuffle"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types.
+const (
+	Int64 Type = iota
+	Float64
+	String
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	default:
+		return "string"
+	}
+}
+
+// Col is one schema column.
+type Col struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered set of named, typed columns.
+type Schema struct {
+	Cols []Col
+}
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex is Index but returns an error mentioning the schema.
+func (s Schema) MustIndex(name string) (int, error) {
+	if i := s.Index(name); i >= 0 {
+		return i, nil
+	}
+	return -1, fmt.Errorf("table: no column %q in schema %v", name, s.Names())
+}
+
+// Names lists column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Row is one record: values in schema order. Int64 columns hold int64,
+// Float64 columns float64, String columns string.
+type Row []any
+
+// Table is a lazily evaluated relation.
+type Table struct {
+	eng    *core.Engine
+	plan   *core.Plan
+	schema Schema
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Partitions returns the table's partition count.
+func (t *Table) Partitions() int { return t.plan.Partitions() }
+
+// validate checks a row against the schema.
+func (s Schema) validate(r Row) error {
+	if len(r) != len(s.Cols) {
+		return fmt.Errorf("table: row has %d values, schema has %d columns", len(r), len(s.Cols))
+	}
+	for i, c := range s.Cols {
+		switch c.Type {
+		case Int64:
+			if _, ok := r[i].(int64); !ok {
+				return fmt.Errorf("table: column %q wants int64, got %T", c.Name, r[i])
+			}
+		case Float64:
+			if _, ok := r[i].(float64); !ok {
+				return fmt.Errorf("table: column %q wants float64, got %T", c.Name, r[i])
+			}
+		case String:
+			if _, ok := r[i].(string); !ok {
+				return fmt.Errorf("table: column %q wants string, got %T", c.Name, r[i])
+			}
+		}
+	}
+	return nil
+}
+
+// FromSlice builds a table from in-memory rows, validating each against
+// the schema.
+func FromSlice(eng *core.Engine, schema Schema, rows []Row, parts int) (*Table, error) {
+	if len(schema.Cols) == 0 {
+		return nil, errors.New("table: empty schema")
+	}
+	if parts <= 0 {
+		parts = 4
+	}
+	for i, r := range rows {
+		if err := schema.validate(r); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	owned := append([]Row(nil), rows...)
+	plan := eng.NewSource(parts, func(_ *core.TaskContext, part int) []core.Row {
+		var out []core.Row
+		for i := part; i < len(owned); i += parts {
+			out = append(out, owned[i])
+		}
+		return out
+	}, nil)
+	return &Table{eng: eng, plan: plan, schema: schema}, nil
+}
+
+// FromSource builds a table whose partitions are generated on demand (fn
+// must be deterministic per partition for lineage recovery). Rows are not
+// validated; the generator is trusted.
+func FromSource(eng *core.Engine, schema Schema, parts int, fn func(part int) []Row) (*Table, error) {
+	if len(schema.Cols) == 0 {
+		return nil, errors.New("table: empty schema")
+	}
+	if parts <= 0 {
+		return nil, errors.New("table: parts must be positive")
+	}
+	plan := eng.NewSource(parts, func(_ *core.TaskContext, part int) []core.Row {
+		rows := fn(part)
+		out := make([]core.Row, len(rows))
+		for i, r := range rows {
+			out[i] = r
+		}
+		return out
+	}, nil)
+	return &Table{eng: eng, plan: plan, schema: schema}, nil
+}
+
+// Collect executes the plan and returns all rows.
+func (t *Table) Collect() ([]Row, error) {
+	raw, err := t.eng.Collect(t.plan)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(raw))
+	for i, r := range raw {
+		out[i] = r.(Row)
+	}
+	return out, nil
+}
+
+// Count executes the plan and returns the row count.
+func (t *Table) Count() (int64, error) { return t.eng.Count(t.plan) }
+
+// Select projects the named columns, in the given order.
+func (t *Table) Select(names ...string) (*Table, error) {
+	idx := make([]int, len(names))
+	cols := make([]Col, len(names))
+	for i, n := range names {
+		j, err := t.schema.MustIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+		cols[i] = t.schema.Cols[j]
+	}
+	plan := t.eng.NewNarrow(t.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		out := make([]core.Row, len(rows))
+		for i, r := range rows {
+			row := r.(Row)
+			proj := make(Row, len(idx))
+			for k, j := range idx {
+				proj[k] = row[j]
+			}
+			out[i] = proj
+		}
+		return out
+	})
+	return &Table{eng: t.eng, plan: plan, schema: Schema{Cols: cols}}, nil
+}
+
+// Where keeps rows for which pred returns true.
+func (t *Table) Where(pred func(Row) bool) *Table {
+	plan := t.eng.NewNarrow(t.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		var out []core.Row
+		for _, r := range rows {
+			if pred(r.(Row)) {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+	return &Table{eng: t.eng, plan: plan, schema: t.schema}
+}
+
+// WithColumn appends a derived column computed by f from each row.
+func (t *Table) WithColumn(name string, typ Type, f func(Row) any) (*Table, error) {
+	if t.schema.Index(name) >= 0 {
+		return nil, fmt.Errorf("table: column %q already exists", name)
+	}
+	schema := Schema{Cols: append(append([]Col(nil), t.schema.Cols...), Col{Name: name, Type: typ})}
+	plan := t.eng.NewNarrow(t.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		out := make([]core.Row, len(rows))
+		for i, r := range rows {
+			row := r.(Row)
+			next := make(Row, len(row)+1)
+			copy(next, row)
+			next[len(row)] = f(row)
+			out[i] = next
+		}
+		return out
+	})
+	return &Table{eng: t.eng, plan: plan, schema: schema}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Row and key encodings
+
+// encodeRow serializes a row against its schema.
+func encodeRow(s Schema, r Row) []byte {
+	var out []byte
+	for i, c := range s.Cols {
+		switch c.Type {
+		case Int64:
+			out = serde.AppendInt64(out, r[i].(int64))
+		case Float64:
+			out = serde.AppendUint64(out, floatBits(r[i].(float64)))
+		case String:
+			str := r[i].(string)
+			out = serde.AppendInt64(out, int64(len(str)))
+			out = append(out, str...)
+		}
+	}
+	return out
+}
+
+func floatBits(f float64) uint64 {
+	b := serde.EncodeFloat64(f)
+	v, _ := serde.Uint64(b)
+	return v
+}
+
+// decodeRow inverts encodeRow.
+func decodeRow(s Schema, b []byte) (Row, error) {
+	out := make(Row, len(s.Cols))
+	for i, c := range s.Cols {
+		switch c.Type {
+		case Int64:
+			v, n, err := serde.Int64(b)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+			b = b[n:]
+		case Float64:
+			u, err := serde.Uint64(b)
+			if err != nil {
+				return nil, err
+			}
+			f, err := serde.DecodeFloat64(serde.AppendUint64(nil, u))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+			b = b[8:]
+		case String:
+			l, n, err := serde.Int64(b)
+			if err != nil || int64(len(b)-n) < l {
+				return nil, serde.ErrCorrupt
+			}
+			out[i] = string(b[n : n+int(l)])
+			b = b[n+int(l):]
+		}
+	}
+	return out, nil
+}
+
+// sortableKey encodes one column value order-preservingly.
+func sortableKey(typ Type, v any, desc bool) []byte {
+	var key []byte
+	switch typ {
+	case Int64:
+		key = serde.SortableInt64Key(v.(int64))
+	case Float64:
+		key = serde.SortableFloat64Key(v.(float64))
+	default:
+		key = serde.SortableStringKey(v.(string))
+	}
+	if desc {
+		inv := make([]byte, len(key))
+		for i, b := range key {
+			inv[i] = ^b
+		}
+		return inv
+	}
+	return key
+}
+
+// equalityKey encodes one column value for equality grouping (compact,
+// need not preserve order).
+func equalityKey(typ Type, v any) []byte {
+	switch typ {
+	case Int64:
+		return serde.AppendInt64(nil, v.(int64))
+	case Float64:
+		return serde.AppendUint64(nil, floatBits(v.(float64)))
+	default:
+		return append([]byte(nil), v.(string)...)
+	}
+}
+
+// compositeKey concatenates self-delimiting sortable keys for the given
+// column indexes.
+func compositeKey(s Schema, idx []int, r Row) []byte {
+	var out []byte
+	for _, i := range idx {
+		// Sortable encodings are self-delimiting (fixed width or
+		// terminated), so concatenation is unambiguous and ordered.
+		out = append(out, sortableKey(s.Cols[i].Type, r[i], false)...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Join
+
+// HashJoin inner-joins t with right on t.leftCol == right.rightCol. The
+// result schema is t's columns followed by right's columns; name
+// collisions on the right gain a "right_" prefix.
+func (t *Table) HashJoin(right *Table, leftCol, rightCol string, parts int) (*Table, error) {
+	li, err := t.schema.MustIndex(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.schema.MustIndex(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	if t.schema.Cols[li].Type != right.schema.Cols[ri].Type {
+		return nil, fmt.Errorf("table: join column types differ: %v vs %v",
+			t.schema.Cols[li].Type, right.schema.Cols[ri].Type)
+	}
+	if parts <= 0 {
+		parts = t.Partitions()
+	}
+	outCols := append([]Col(nil), t.schema.Cols...)
+	for _, c := range right.schema.Cols {
+		name := c.Name
+		if (Schema{Cols: outCols}).Index(name) >= 0 {
+			name = "right_" + name
+		}
+		outCols = append(outCols, Col{Name: name, Type: c.Type})
+	}
+	outSchema := Schema{Cols: outCols}
+
+	leftSchema, rightSchema := t.schema, right.schema
+	keyType := t.schema.Cols[li].Type
+	// Tag rows: 'L' + encoded left row / 'R' + encoded right row.
+	tagL := t.eng.NewNarrow(t.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		out := make([]core.Row, len(rows))
+		for i, r := range rows {
+			out[i] = taggedRow{left: true, key: equalityKey(keyType, r.(Row)[li]), payload: encodeRow(leftSchema, r.(Row))}
+		}
+		return out
+	})
+	tagR := t.eng.NewNarrow(right.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		out := make([]core.Row, len(rows))
+		for i, r := range rows {
+			out[i] = taggedRow{left: false, key: equalityKey(keyType, r.(Row)[ri]), payload: encodeRow(rightSchema, r.(Row))}
+		}
+		return out
+	})
+	both := t.eng.NewUnion(tagL, tagR)
+	plan := t.eng.NewShuffled(both, core.ShuffleDep{
+		Partitions: parts,
+		KeyOf:      func(r core.Row) []byte { return r.(taggedRow).key },
+		ValueOf: func(r core.Row) []byte {
+			tr := r.(taggedRow)
+			tag := byte('R')
+			if tr.left {
+				tag = 'L'
+			}
+			return append([]byte{tag}, tr.payload...)
+		},
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			type bucket struct{ lefts, rights [][]byte }
+			groups := map[string]*bucket{}
+			var order []string
+			for _, rec := range recs {
+				k := string(rec.Key)
+				g, ok := groups[k]
+				if !ok {
+					g = &bucket{}
+					groups[k] = g
+					order = append(order, k)
+				}
+				if rec.Value[0] == 'L' {
+					g.lefts = append(g.lefts, rec.Value[1:])
+				} else {
+					g.rights = append(g.rights, rec.Value[1:])
+				}
+			}
+			var out []core.Row
+			for _, k := range order {
+				g := groups[k]
+				for _, lb := range g.lefts {
+					lrow, err := decodeRow(leftSchema, lb)
+					if err != nil {
+						panic(fmt.Sprintf("table: join decode: %v", err))
+					}
+					for _, rb := range g.rights {
+						rrow, err := decodeRow(rightSchema, rb)
+						if err != nil {
+							panic(fmt.Sprintf("table: join decode: %v", err))
+						}
+						joined := make(Row, 0, len(lrow)+len(rrow))
+						joined = append(joined, lrow...)
+						joined = append(joined, rrow...)
+						out = append(out, joined)
+					}
+				}
+			}
+			return out
+		},
+	})
+	return &Table{eng: t.eng, plan: plan, schema: outSchema}, nil
+}
+
+type taggedRow struct {
+	left    bool
+	key     []byte
+	payload []byte
+}
+
+// ---------------------------------------------------------------------------
+// Order by
+
+// OrderBy globally sorts the table by the named column (all columns
+// retained): concatenating the result's partitions in order yields the
+// sorted relation. Range boundaries come from sampling.
+func (t *Table) OrderBy(col string, desc bool, parts int) (*Table, error) {
+	ci, err := t.schema.MustIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	if parts <= 0 {
+		parts = t.Partitions()
+	}
+	typ := t.schema.Cols[ci].Type
+	schema := t.schema
+
+	// Sampling job for split points.
+	sample := t.eng.NewNarrow(t.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
+		stride := len(rows)/32 + 1
+		var out []core.Row
+		for i := 0; i < len(rows); i += stride {
+			out = append(out, sortableKey(typ, rows[i].(Row)[ci], desc))
+		}
+		return out
+	})
+	raw, err := t.eng.Collect(sample)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([][]byte, len(raw))
+	for i, r := range raw {
+		keys[i] = r.([]byte)
+	}
+	splits := pickSplits(keys, parts)
+	rp := shuffle.NewRangePartitioner(splits)
+
+	plan := t.eng.NewShuffled(t.plan, core.ShuffleDep{
+		Partitions:  rp.Partitions(),
+		Partitioner: rp.Partition,
+		Sorted:      true,
+		KeyOf:       func(r core.Row) []byte { return sortableKey(typ, r.(Row)[ci], desc) },
+		ValueOf:     func(r core.Row) []byte { return encodeRow(schema, r.(Row)) },
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			out := make([]core.Row, len(recs))
+			for i, rec := range recs {
+				row, err := decodeRow(schema, rec.Value)
+				if err != nil {
+					panic(fmt.Sprintf("table: orderby decode: %v", err))
+				}
+				out[i] = row
+			}
+			return out
+		},
+	})
+	return &Table{eng: t.eng, plan: plan, schema: schema}, nil
+}
+
+func pickSplits(sample [][]byte, parts int) [][]byte {
+	sorted := append([][]byte(nil), sample...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && bytes.Compare(sorted[j], sorted[j-1]) < 0; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var out [][]byte
+	for i := 1; i < parts && len(sorted) > 0; i++ {
+		idx := i * len(sorted) / parts
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		s := sorted[idx]
+		if len(out) == 0 || !bytes.Equal(out[len(out)-1], s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// tpchTables loads the generated star schema into the table layer.
+func tpchTables(t *testing.T, sf int) (*Table, *Table, *Table) {
+	t.Helper()
+	eng := testEngine()
+	data := workload.GenTPCH(sf, 11)
+
+	var custRows []Row
+	for _, c := range data.Customers {
+		custRows = append(custRows, Row{c.CustKey, c.Segment, c.Nation})
+	}
+	customers, err := FromSlice(eng, Schema{Cols: []Col{
+		{Name: "custkey", Type: Int64},
+		{Name: "segment", Type: String},
+		{Name: "nation", Type: String},
+	}}, custRows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ordRows []Row
+	for _, o := range data.Orders {
+		ordRows = append(ordRows, Row{o.OrderKey, o.CustKey, int64(o.OrderDate / (24 * time.Hour)), o.Priority})
+	}
+	orders, err := FromSlice(eng, Schema{Cols: []Col{
+		{Name: "orderkey", Type: Int64},
+		{Name: "custkey", Type: Int64},
+		{Name: "orderday", Type: Int64},
+		{Name: "priority", Type: String},
+	}}, ordRows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var itemRows []Row
+	for _, l := range data.Items {
+		itemRows = append(itemRows, Row{l.OrderKey, l.Quantity, l.Price, l.Discount})
+	}
+	items, err := FromSlice(eng, Schema{Cols: []Col{
+		{Name: "orderkey", Type: Int64},
+		{Name: "quantity", Type: Int64},
+		{Name: "price", Type: Float64},
+		{Name: "discount", Type: Float64},
+	}}, itemRows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return customers, orders, items
+}
+
+// Q1-style: per-discount-band revenue aggregate over the fact table.
+func TestTPCHPricingSummary(t *testing.T) {
+	_, _, items := tpchTables(t, 2)
+	withRev, err := items.WithColumn("revenue", Float64, func(r Row) any {
+		return r[2].(float64) * float64(r[1].(int64)) * (1 - r[3].(float64))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := withRev.GroupBy("discount").Agg(4,
+		Agg{Op: Sum, Col: "revenue", As: "revenue"},
+		Agg{Op: Count, As: "items"},
+		Agg{Op: Avg, Col: "quantity", As: "avg_qty"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 { // discounts 0.00..0.10
+		t.Fatalf("discount bands = %d, want 11", len(rows))
+	}
+	var items2 int64
+	for _, r := range rows {
+		items2 += r[2].(int64)
+		if r[1].(float64) <= 0 {
+			t.Fatalf("nonpositive revenue in band %v", r[0])
+		}
+		q := r[3].(float64)
+		if q < 1 || q > 50 {
+			t.Fatalf("avg quantity %v out of range", q)
+		}
+	}
+	n, _ := items.Count()
+	if items2 != n {
+		t.Fatalf("aggregated %d items, table has %d", items2, n)
+	}
+}
+
+// Q3-style: revenue by customer segment via a two-join star query.
+func TestTPCHStarJoinRevenueBySegment(t *testing.T) {
+	customers, orders, items := tpchTables(t, 1)
+	oi, err := orders.HashJoin(items, "orderkey", "orderkey", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := oi.HashJoin(customers, "custkey", "custkey", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRev, err := full.WithColumn("revenue", Float64, func(r Row) any {
+		s := full.Schema()
+		pi, _ := s.MustIndex("price")
+		qi, _ := s.MustIndex("quantity")
+		di, _ := s.MustIndex("discount")
+		return r[pi].(float64) * float64(r[qi].(int64)) * (1 - r[di].(float64))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := withRev.GroupBy("segment").Agg(2,
+		Agg{Op: Sum, Col: "revenue", As: "revenue"},
+		Agg{Op: Count, As: "lineitems"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := res.OrderBy("revenue", true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ranked.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // five market segments
+		t.Fatalf("segments = %d: %v", len(rows), rows)
+	}
+	// Every line item lands in exactly one segment.
+	var total int64
+	prev := math.Inf(1)
+	for _, r := range rows {
+		total += r[2].(int64)
+		rev := r[1].(float64)
+		if rev > prev {
+			t.Fatal("not ordered by revenue desc")
+		}
+		prev = rev
+	}
+	n, _ := items.Count()
+	if total != n {
+		t.Fatalf("star join covered %d items, table has %d", total, n)
+	}
+}
+
+func TestGenTPCHReferentialIntegrity(t *testing.T) {
+	data := workload.GenTPCH(1, 3)
+	if len(data.Customers) != 100 || len(data.Orders) != 1000 {
+		t.Fatalf("sizes: %d customers, %d orders", len(data.Customers), len(data.Orders))
+	}
+	custs := map[int64]bool{}
+	for _, c := range data.Customers {
+		custs[c.CustKey] = true
+	}
+	ords := map[int64]bool{}
+	for _, o := range data.Orders {
+		if !custs[o.CustKey] {
+			t.Fatalf("order %d references missing customer %d", o.OrderKey, o.CustKey)
+		}
+		ords[o.OrderKey] = true
+	}
+	for _, l := range data.Items {
+		if !ords[l.OrderKey] {
+			t.Fatalf("line item references missing order %d", l.OrderKey)
+		}
+		if l.Discount < 0 || l.Discount > 0.10 {
+			t.Fatalf("discount %v out of range", l.Discount)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package topology models datacenter cluster shapes: nodes grouped into
+// racks connected by an (optionally oversubscribed) core. The network
+// simulator uses it to count hops and find bottleneck links; the DFS uses
+// it for rack-aware replica placement; the scheduler uses it to rank task
+// placement by data locality.
+package topology
+
+import "fmt"
+
+// NodeID identifies a machine in the cluster.
+type NodeID int
+
+// Locality classifies how close a data source is to a compute placement.
+// Lower is closer.
+type Locality int
+
+// Locality levels, from best to worst.
+const (
+	LocalNode Locality = iota // data on the same machine
+	LocalRack                 // data in the same rack
+	Remote                    // data across the core
+)
+
+func (l Locality) String() string {
+	switch l {
+	case LocalNode:
+		return "node-local"
+	case LocalRack:
+		return "rack-local"
+	default:
+		return "remote"
+	}
+}
+
+// Topology is an immutable description of the cluster shape.
+type Topology struct {
+	rackOf  []int // node -> rack
+	racks   [][]NodeID
+	oversub float64 // core oversubscription factor (>= 1)
+}
+
+// TwoTier builds the standard leaf/spine shape: racks of nodesPerRack
+// machines behind top-of-rack switches, joined by a core whose capacity is
+// oversub times thinner than the sum of rack uplinks (oversub = 1 means a
+// full-bisection fabric).
+func TwoTier(racks, nodesPerRack int, oversub float64) *Topology {
+	if racks <= 0 || nodesPerRack <= 0 {
+		panic("topology: racks and nodesPerRack must be positive")
+	}
+	if oversub < 1 {
+		oversub = 1
+	}
+	t := &Topology{
+		rackOf:  make([]int, racks*nodesPerRack),
+		racks:   make([][]NodeID, racks),
+		oversub: oversub,
+	}
+	for r := 0; r < racks; r++ {
+		for i := 0; i < nodesPerRack; i++ {
+			id := NodeID(r*nodesPerRack + i)
+			t.rackOf[id] = r
+			t.racks[r] = append(t.racks[r], id)
+		}
+	}
+	return t
+}
+
+// Single builds a one-rack cluster of n nodes (no core hop ever taken).
+func Single(n int) *Topology { return TwoTier(1, n, 1) }
+
+// Size returns the number of nodes.
+func (t *Topology) Size() int { return len(t.rackOf) }
+
+// Racks returns the number of racks.
+func (t *Topology) Racks() int { return len(t.racks) }
+
+// Oversub returns the core oversubscription factor.
+func (t *Topology) Oversub() float64 { return t.oversub }
+
+// RackOf returns the rack index of node id. It panics on unknown nodes.
+func (t *Topology) RackOf(id NodeID) int {
+	if int(id) < 0 || int(id) >= len(t.rackOf) {
+		panic(fmt.Sprintf("topology: unknown node %d", id))
+	}
+	return t.rackOf[id]
+}
+
+// NodesInRack returns the members of rack r.
+func (t *Topology) NodesInRack(r int) []NodeID { return t.racks[r] }
+
+// SameRack reports whether a and b share a rack.
+func (t *Topology) SameRack(a, b NodeID) bool { return t.RackOf(a) == t.RackOf(b) }
+
+// Hops returns the switch hops between two nodes: 0 on the same machine,
+// 2 within a rack (up to ToR and back), 4 across the core.
+func (t *Topology) Hops(a, b NodeID) int {
+	switch {
+	case a == b:
+		return 0
+	case t.SameRack(a, b):
+		return 2
+	default:
+		return 4
+	}
+}
+
+// LocalityOf classifies where data at node `data` sits relative to compute
+// at node `exec`.
+func (t *Topology) LocalityOf(data, exec NodeID) Locality {
+	switch {
+	case data == exec:
+		return LocalNode
+	case t.SameRack(data, exec):
+		return LocalRack
+	default:
+		return Remote
+	}
+}
+
+// CrossCore reports whether traffic between a and b traverses the
+// (potentially oversubscribed) core.
+func (t *Topology) CrossCore(a, b NodeID) bool {
+	return a != b && !t.SameRack(a, b)
+}

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoTierShape(t *testing.T) {
+	top := TwoTier(4, 8, 3)
+	if top.Size() != 32 {
+		t.Fatalf("size = %d, want 32", top.Size())
+	}
+	if top.Racks() != 4 {
+		t.Fatalf("racks = %d, want 4", top.Racks())
+	}
+	if top.Oversub() != 3 {
+		t.Fatalf("oversub = %v, want 3", top.Oversub())
+	}
+	if top.RackOf(0) != 0 || top.RackOf(7) != 0 || top.RackOf(8) != 1 || top.RackOf(31) != 3 {
+		t.Fatal("rack assignment wrong")
+	}
+	if got := len(top.NodesInRack(2)); got != 8 {
+		t.Fatalf("rack 2 has %d nodes, want 8", got)
+	}
+}
+
+func TestHops(t *testing.T) {
+	top := TwoTier(2, 4, 1)
+	cases := []struct {
+		a, b NodeID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 3, 2},
+		{0, 4, 4},
+		{5, 7, 2},
+	}
+	for _, c := range cases {
+		if got := top.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLocality(t *testing.T) {
+	top := TwoTier(2, 2, 1)
+	if top.LocalityOf(0, 0) != LocalNode {
+		t.Fatal("same node not LocalNode")
+	}
+	if top.LocalityOf(0, 1) != LocalRack {
+		t.Fatal("same rack not LocalRack")
+	}
+	if top.LocalityOf(0, 2) != Remote {
+		t.Fatal("cross rack not Remote")
+	}
+	if LocalNode.String() != "node-local" || LocalRack.String() != "rack-local" || Remote.String() != "remote" {
+		t.Fatal("locality strings wrong")
+	}
+}
+
+func TestSingle(t *testing.T) {
+	top := Single(5)
+	if top.Racks() != 1 || top.Size() != 5 {
+		t.Fatal("Single shape wrong")
+	}
+	if top.CrossCore(0, 4) {
+		t.Fatal("single rack should never cross core")
+	}
+}
+
+func TestCrossCoreSymmetric(t *testing.T) {
+	top := TwoTier(3, 3, 2)
+	f := func(a, b uint8) bool {
+		x := NodeID(int(a) % top.Size())
+		y := NodeID(int(b) % top.Size())
+		return top.CrossCore(x, y) == top.CrossCore(y, x) &&
+			top.Hops(x, y) == top.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversubClamped(t *testing.T) {
+	top := TwoTier(1, 1, 0.1)
+	if top.Oversub() != 1 {
+		t.Fatalf("oversub = %v, want clamped to 1", top.Oversub())
+	}
+}
+
+func TestPanicOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TwoTier(0,1) did not panic")
+		}
+	}()
+	TwoTier(0, 1, 1)
+}
+
+func TestPanicOnUnknownNode(t *testing.T) {
+	top := Single(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RackOf(99) did not panic")
+		}
+	}()
+	top.RackOf(99)
+}

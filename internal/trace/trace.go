@@ -1,0 +1,149 @@
+// Package trace records engine execution timelines — stages, tasks,
+// retries — and exports them as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto) so a job's parallelism, stragglers and
+// recovery behaviour can be inspected visually. Recording is lock-cheap
+// and disabled by default; the engine emits events when a Recorder is
+// configured.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed interval on some named track (e.g. a task on an
+// executor node).
+type Span struct {
+	Name     string        // e.g. "task p3"
+	Category string        // e.g. "task", "stage"
+	Track    string        // e.g. "node-2" — rendered as a thread row
+	Start    time.Duration // relative to the recorder epoch
+	Duration time.Duration
+	Args     map[string]string // extra key/values shown on click
+}
+
+// Recorder collects spans. Safe for concurrent use. The zero value is NOT
+// usable; call New.
+type Recorder struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []Span
+}
+
+// New returns an empty recorder with its epoch at now.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Begin starts a span now; call the returned func to end it. Args are
+// attached at end time.
+func (r *Recorder) Begin(name, category, track string) func(args map[string]string) {
+	if r == nil {
+		return func(map[string]string) {}
+	}
+	start := time.Now()
+	return func(args map[string]string) {
+		end := time.Now()
+		r.mu.Lock()
+		r.spans = append(r.spans, Span{
+			Name:     name,
+			Category: category,
+			Track:    track,
+			Start:    start.Sub(r.epoch),
+			Duration: end.Sub(start),
+			Args:     args,
+		})
+		r.mu.Unlock()
+	}
+}
+
+// Add records a fully-formed span (for virtual-time simulations).
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded, ordered by start time.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// chromeEvent is the trace-event format's "complete event" (ph=X).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChromeTrace emits the spans as a Chrome trace-event JSON array.
+// Tracks map to thread rows, named via metadata events.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	// Assign stable tids per track, sorted for determinism.
+	trackSet := map[string]bool{}
+	for _, s := range spans {
+		trackSet[s.Track] = true
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for t := range trackSet {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	tid := map[string]int{}
+	var events []any
+	for i, t := range tracks {
+		tid[t] = i + 1
+		events = append(events, chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"name": t},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Category,
+			Ph:   "X",
+			Ts:   float64(s.Start.Microseconds()),
+			Dur:  float64(s.Duration.Microseconds()),
+			Pid:  1,
+			Tid:  tid[s.Track],
+			Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

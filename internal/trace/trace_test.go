@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBeginEndRecordsSpan(t *testing.T) {
+	r := New()
+	end := r.Begin("work", "task", "node-0")
+	time.Sleep(time.Millisecond)
+	end(map[string]string{"outcome": "ok"})
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "work" || s.Category != "task" || s.Track != "node-0" {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Duration < time.Millisecond {
+		t.Fatalf("duration = %v", s.Duration)
+	}
+	if s.Args["outcome"] != "ok" {
+		t.Fatalf("args = %v", s.Args)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	end := r.Begin("x", "y", "z")
+	end(nil) // must not panic
+	r.Add(Span{})
+	if r.Len() != 0 {
+		t.Fatal("nil recorder recorded")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(track string) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				end := r.Begin("op", "task", track)
+				end(nil)
+			}
+		}(string(rune('a' + i)))
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("spans = %d", r.Len())
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	r := New()
+	r.Add(Span{Name: "b", Start: 2 * time.Second})
+	r.Add(Span{Name: "a", Start: time.Second})
+	spans := r.Spans()
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("order = %v, %v", spans[0].Name, spans[1].Name)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := New()
+	r.Add(Span{Name: "task p0", Category: "task", Track: "node-00",
+		Start: time.Millisecond, Duration: 2 * time.Millisecond,
+		Args: map[string]string{"outcome": "ok"}})
+	r.Add(Span{Name: "task p1", Category: "task", Track: "node-01",
+		Start: 2 * time.Millisecond, Duration: time.Millisecond})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 thread_name metadata + 2 complete events.
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	metas, completes := 0, 0
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			completes++
+			if e["ts"].(float64) < 0 || e["dur"].(float64) <= 0 {
+				t.Fatalf("bad timing in %v", e)
+			}
+		}
+	}
+	if metas != 2 || completes != 2 {
+		t.Fatalf("metas=%d completes=%d", metas, completes)
+	}
+	if !strings.Contains(buf.String(), "node-00") {
+		t.Fatal("track name missing from export")
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// A miniature TPC-H-style star schema for the table-layer workloads:
+// customers (dimension), orders (dimension) and line items (fact). Sizes
+// scale linearly with the scale factor, keys are referentially consistent,
+// and all values are seeded-deterministic.
+
+// Customer is one row of the customer dimension.
+type Customer struct {
+	CustKey int64
+	Name    string
+	Segment string // market segment, low cardinality
+	Nation  string
+}
+
+// Order is one row of the orders dimension.
+type Order struct {
+	OrderKey  int64
+	CustKey   int64
+	OrderDate time.Duration // offset from epoch; days resolution
+	Priority  string
+}
+
+// LineItem is one fact row.
+type LineItem struct {
+	OrderKey int64
+	Quantity int64
+	Price    float64
+	Discount float64
+	ShipDate time.Duration
+}
+
+// TPCH holds one generated dataset.
+type TPCH struct {
+	Customers []Customer
+	Orders    []Order
+	Items     []LineItem
+}
+
+// Segments and nations used by the generator.
+var (
+	tpchSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	tpchNations  = []string{"BRAZIL", "CANADA", "FRANCE", "GERMANY", "INDIA", "JAPAN", "KENYA", "PERU"}
+	tpchPrio     = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW", "5-NONE"}
+)
+
+// GenTPCH generates sf-scaled data: 100·sf customers, 1000·sf orders,
+// ~4000·sf line items. Every order references an existing customer and
+// every line item an existing order.
+func GenTPCH(sf int, seed uint64) TPCH {
+	if sf <= 0 {
+		sf = 1
+	}
+	r := rng.New(seed)
+	nCust := 100 * sf
+	nOrd := 1000 * sf
+	out := TPCH{}
+	for i := 0; i < nCust; i++ {
+		out.Customers = append(out.Customers, Customer{
+			CustKey: int64(i),
+			Name:    fmt.Sprintf("Customer#%06d", i),
+			Segment: tpchSegments[r.Intn(len(tpchSegments))],
+			Nation:  tpchNations[r.Intn(len(tpchNations))],
+		})
+	}
+	day := 24 * time.Hour
+	for o := 0; o < nOrd; o++ {
+		ord := Order{
+			OrderKey:  int64(o),
+			CustKey:   int64(r.Intn(nCust)),
+			OrderDate: time.Duration(r.Intn(365*2)) * day,
+			Priority:  tpchPrio[r.Intn(len(tpchPrio))],
+		}
+		out.Orders = append(out.Orders, ord)
+		nItems := 1 + r.Intn(7)
+		for l := 0; l < nItems; l++ {
+			out.Items = append(out.Items, LineItem{
+				OrderKey: ord.OrderKey,
+				Quantity: int64(1 + r.Intn(50)),
+				Price:    float64(100+r.Intn(100000)) / 100,
+				Discount: float64(r.Intn(11)) / 100, // 0.00 - 0.10
+				ShipDate: ord.OrderDate + time.Duration(1+r.Intn(90))*day,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTeraGenShape(t *testing.T) {
+	recs := TeraGen(1000, 1)
+	if len(recs) != 1000 {
+		t.Fatalf("n = %d", len(recs))
+	}
+	for _, r := range recs {
+		if len(r.Key) != 10 || len(r.Value) != 90 {
+			t.Fatalf("record shape %d/%d", len(r.Key), len(r.Value))
+		}
+	}
+}
+
+func TestTeraGenDeterministicAndSpread(t *testing.T) {
+	a := TeraGen(100, 7)
+	b := TeraGen(100, 7)
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) {
+			t.Fatal("not deterministic")
+		}
+	}
+	// Keys must be well spread: first bytes should cover many values.
+	firsts := map[byte]bool{}
+	for _, r := range a {
+		firsts[r.Key[0]] = true
+	}
+	if len(firsts) < 50 {
+		t.Fatalf("only %d distinct first key bytes in 100 records", len(firsts))
+	}
+}
+
+func TestTeraSplitsOrderedAndBalanced(t *testing.T) {
+	splits := TeraSplits(8)
+	if len(splits) != 7 {
+		t.Fatalf("splits = %d", len(splits))
+	}
+	for i := 1; i < len(splits); i++ {
+		if bytes.Compare(splits[i-1], splits[i]) >= 0 {
+			t.Fatal("splits not ascending")
+		}
+	}
+	// Empirical balance: partition 100k random keys, no partition over 2x.
+	recs := TeraGen(20000, 3)
+	counts := make([]int, 8)
+	for _, r := range recs {
+		p := sort.Search(len(splits), func(i int) bool {
+			return bytes.Compare(splits[i], r.Key) > 0
+		})
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c < 1000 || c > 5000 {
+			t.Fatalf("partition %d has %d of 20000 keys", p, c)
+		}
+	}
+}
+
+func TestTextShapeAndSkew(t *testing.T) {
+	lines := Text(200, 10, 100, 1.0, 5)
+	if len(lines) != 200 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	counts := map[string]int{}
+	for _, l := range lines {
+		ws := strings.Fields(l)
+		if len(ws) != 10 {
+			t.Fatalf("line has %d words", len(ws))
+		}
+		for _, w := range ws {
+			counts[w]++
+		}
+	}
+	// Zipf: the most common word appears far more than the median word.
+	var freqs []int
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	if freqs[0] < 5*freqs[len(freqs)/2] {
+		t.Fatalf("no skew: top=%d median=%d", freqs[0], freqs[len(freqs)/2])
+	}
+}
+
+func TestKVOpsMix(t *testing.T) {
+	ops := KVOps(10000, 1000, 0.99, 0.9, 64, 11)
+	reads := 0
+	keyCounts := map[string]int{}
+	for _, op := range ops {
+		if op.Kind == OpGet {
+			reads++
+			if op.Value != nil {
+				t.Fatal("get carries a value")
+			}
+		} else if len(op.Value) != 64 {
+			t.Fatalf("put value size %d", len(op.Value))
+		}
+		keyCounts[op.Key]++
+	}
+	frac := float64(reads) / 10000
+	if frac < 0.88 || frac > 0.92 {
+		t.Fatalf("read fraction %.3f, want ~0.9", frac)
+	}
+	// Zipf skew: hottest key much hotter than average.
+	max := 0
+	for _, c := range keyCounts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("hottest key only %d/10000 ops; skew missing", max)
+	}
+}
+
+func TestRMATShapeAndSkew(t *testing.T) {
+	edges := RMAT(10, 8, 13) // 1024 vertices, 8192 edges
+	if len(edges) != 8192 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	deg := map[int64]int{}
+	n := int64(1 << 10)
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		if e.Weight < 1 || e.Weight > 2 {
+			t.Fatalf("weight %v out of [1,2]", e.Weight)
+		}
+		deg[e.From]++
+	}
+	// Power-law-ish: max out-degree much larger than mean (8).
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 40 {
+		t.Fatalf("max degree %d; R-MAT skew missing", max)
+	}
+}
+
+func TestClickstreamTimestampsMostlyOrdered(t *testing.T) {
+	clicks := Clickstream(5000, 100, 20, 1000, 50*time.Millisecond, 17)
+	if len(clicks) != 5000 {
+		t.Fatal("wrong count")
+	}
+	outOfOrder := 0
+	var prev time.Duration
+	for _, c := range clicks {
+		if c.EventTime < prev {
+			outOfOrder++
+		} else {
+			prev = c.EventTime
+		}
+	}
+	if outOfOrder == 0 {
+		t.Fatal("expected some out-of-order events")
+	}
+	if outOfOrder > 1000 {
+		t.Fatalf("%d/5000 out of order; too many", outOfOrder)
+	}
+	// Mean rate ~1000/s → 5000 events in ~5s.
+	span := clicks[len(clicks)-1].EventTime
+	if span < 3*time.Second || span > 8*time.Second {
+		t.Fatalf("span = %v, want ~5s", span)
+	}
+}
+
+func TestLogisticLearnable(t *testing.T) {
+	data := Logistic(2000, 10, 19)
+	if len(data.X) != 2000 || len(data.Y) != 2000 || len(data.TrueWeights) != 10 {
+		t.Fatal("shape wrong")
+	}
+	// The true weights must classify most points correctly (~5% noise).
+	correct := 0
+	for i := range data.X {
+		dot := 0.0
+		for j := range data.X[i] {
+			dot += data.X[i][j] * data.TrueWeights[j]
+		}
+		pred := 0.0
+		if dot > 0 {
+			pred = 1
+		}
+		if pred == data.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / 2000
+	if acc < 0.80 {
+		t.Fatalf("true weights accuracy %.3f; data not learnable", acc)
+	}
+}
+
+func TestDiurnalTraceShape(t *testing.T) {
+	trace := DiurnalTrace(288, 5*time.Minute, 100, 1000, 3, 23)
+	if len(trace) != 288 {
+		t.Fatal("wrong length")
+	}
+	min, max := trace[0].Rate, trace[0].Rate
+	for _, p := range trace {
+		if p.Rate < min {
+			min = p.Rate
+		}
+		if p.Rate > max {
+			max = p.Rate
+		}
+	}
+	if min < 90 {
+		t.Fatalf("rate dipped to %v below base", min)
+	}
+	if max < 900 {
+		t.Fatalf("peak %v never approached peakRate", max)
+	}
+}
+
+func BenchmarkTeraGen(b *testing.B) {
+	b.SetBytes(100 * 10000)
+	for i := 0; i < b.N; i++ {
+		_ = TeraGen(10000, uint64(i))
+	}
+}
+
+func BenchmarkRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RMAT(12, 8, uint64(i))
+	}
+}

@@ -1,0 +1,299 @@
+package hpbdc
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/shuffle"
+)
+
+// Pair is a keyed element — the currency of shuffle operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Joined is one inner-join match.
+type Joined[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// KeyBy keys each element by f.
+func KeyBy[T any, K comparable](d *Dataset[T], f func(T) K) *Dataset[Pair[K, T]] {
+	return Map(d, func(t T) Pair[K, T] { return Pair[K, T]{Key: f(t), Value: t} })
+}
+
+// MapValues transforms values, keeping keys (and partitioning) intact.
+func MapValues[K comparable, V, W any](d *Dataset[Pair[K, V]], f func(V) W) *Dataset[Pair[K, W]] {
+	return Map(d, func(p Pair[K, V]) Pair[K, W] {
+		return Pair[K, W]{Key: p.Key, Value: f(p.Value)}
+	})
+}
+
+// Keys projects the keys.
+func Keys[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[K] {
+	return Map(d, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values.
+func Values[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[V] {
+	return Map(d, func(p Pair[K, V]) V { return p.Value })
+}
+
+// ReduceByKey shuffles pairs into `parts` partitions and merges values
+// with equal keys using `merge` (associative and commutative). A map-side
+// combiner runs before the shuffle, so highly repetitive keys move once.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], kc Codec[K], vc Codec[V], parts int, merge func(V, V) V) *Dataset[Pair[K, V]] {
+	if parts <= 0 {
+		parts = d.Partitions()
+	}
+	combiner := func(a, b []byte) []byte {
+		return vc.Encode(merge(vc.Decode(a), vc.Decode(b)))
+	}
+	plan := d.ctx.engine.NewShuffled(d.plan, core.ShuffleDep{
+		Partitions: parts,
+		KeyOf:      func(r core.Row) []byte { return kc.Encode(r.(Pair[K, V]).Key) },
+		ValueOf:    func(r core.Row) []byte { return vc.Encode(r.(Pair[K, V]).Value) },
+		Combiner:   combiner,
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			acc := map[string][]byte{}
+			for _, rec := range recs {
+				k := string(rec.Key)
+				if prev, ok := acc[k]; ok {
+					acc[k] = combiner(prev, rec.Value)
+				} else {
+					acc[k] = append([]byte(nil), rec.Value...)
+				}
+			}
+			keys := make([]string, 0, len(acc))
+			for k := range acc {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys) // deterministic output order
+			out := make([]core.Row, 0, len(acc))
+			for _, k := range keys {
+				out = append(out, Pair[K, V]{Key: kc.Decode([]byte(k)), Value: vc.Decode(acc[k])})
+			}
+			return out
+		},
+	})
+	return &Dataset[Pair[K, V]]{ctx: d.ctx, plan: plan}
+}
+
+// GroupByKey shuffles pairs and gathers each key's values into a slice.
+// Prefer ReduceByKey when a merge function exists — GroupByKey moves every
+// value across the network.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], kc Codec[K], vc Codec[V], parts int) *Dataset[Pair[K, []V]] {
+	if parts <= 0 {
+		parts = d.Partitions()
+	}
+	plan := d.ctx.engine.NewShuffled(d.plan, core.ShuffleDep{
+		Partitions: parts,
+		KeyOf:      func(r core.Row) []byte { return kc.Encode(r.(Pair[K, V]).Key) },
+		ValueOf:    func(r core.Row) []byte { return vc.Encode(r.(Pair[K, V]).Value) },
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			groups := map[string][]V{}
+			for _, rec := range recs {
+				k := string(rec.Key)
+				groups[k] = append(groups[k], vc.Decode(rec.Value))
+			}
+			keys := make([]string, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			out := make([]core.Row, 0, len(groups))
+			for _, k := range keys {
+				out = append(out, Pair[K, []V]{Key: kc.Decode([]byte(k)), Value: groups[k]})
+			}
+			return out
+		},
+	})
+	return &Dataset[Pair[K, []V]]{ctx: d.ctx, plan: plan}
+}
+
+// CountByKey is an action: the number of occurrences of each key.
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]], kc Codec[K], parts int) (map[K]int64, error) {
+	ones := MapValues(d, func(V) int64 { return 1 })
+	counted := ReduceByKey(ones, kc, Int64Codec, parts, func(a, b int64) int64 { return a + b })
+	pairs, err := counted.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int64, len(pairs))
+	for _, p := range pairs {
+		out[p.Key] += p.Value
+	}
+	return out, nil
+}
+
+// Join inner-joins two pair datasets on key, emitting one Joined per
+// matching (left, right) combination. Implementation: tagged union of both
+// sides, one shuffle, reduce-side hash join.
+func Join[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]], kc Codec[K], vc Codec[V], wc Codec[W], parts int) *Dataset[Pair[K, Joined[V, W]]] {
+	if parts <= 0 {
+		parts = a.Partitions()
+	}
+	type tagged struct {
+		key   K
+		left  bool
+		value []byte
+	}
+	left := Map(a, func(p Pair[K, V]) tagged {
+		return tagged{key: p.Key, left: true, value: vc.Encode(p.Value)}
+	})
+	right := Map(b, func(p Pair[K, W]) tagged {
+		return tagged{key: p.Key, left: false, value: wc.Encode(p.Value)}
+	})
+	both := Union(left, right)
+	plan := a.ctx.engine.NewShuffled(both.plan, core.ShuffleDep{
+		Partitions: parts,
+		KeyOf:      func(r core.Row) []byte { return kc.Encode(r.(tagged).key) },
+		ValueOf: func(r core.Row) []byte {
+			t := r.(tagged)
+			tag := byte(0)
+			if t.left {
+				tag = 1
+			}
+			return append([]byte{tag}, t.value...)
+		},
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			type sides struct {
+				lefts  [][]byte
+				rights [][]byte
+			}
+			groups := map[string]*sides{}
+			for _, rec := range recs {
+				k := string(rec.Key)
+				g, ok := groups[k]
+				if !ok {
+					g = &sides{}
+					groups[k] = g
+				}
+				if rec.Value[0] == 1 {
+					g.lefts = append(g.lefts, rec.Value[1:])
+				} else {
+					g.rights = append(g.rights, rec.Value[1:])
+				}
+			}
+			keys := make([]string, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var out []core.Row
+			for _, k := range keys {
+				g := groups[k]
+				key := kc.Decode([]byte(k))
+				for _, l := range g.lefts {
+					for _, r := range g.rights {
+						out = append(out, Pair[K, Joined[V, W]]{
+							Key:   key,
+							Value: Joined[V, W]{Left: vc.Decode(l), Right: wc.Decode(r)},
+						})
+					}
+				}
+			}
+			return out
+		},
+	})
+	return &Dataset[Pair[K, Joined[V, W]]]{ctx: a.ctx, plan: plan}
+}
+
+// BroadcastJoin inner-joins a large dataset against a small one without a
+// shuffle: the small side is collected at the driver, broadcast to every
+// executor (charged to the fabric), and probed map-side. Use when the
+// small side fits in memory; it removes the large side's shuffle entirely
+// — the classic broadcast-vs-shuffle join trade-off.
+func BroadcastJoin[K comparable, V, W any](large *Dataset[Pair[K, V]], small *Dataset[Pair[K, W]], smallBytes int64) (*Dataset[Pair[K, Joined[V, W]]], error) {
+	rows, err := small.Collect()
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[K][]W, len(rows))
+	for _, p := range rows {
+		index[p.Key] = append(index[p.Key], p.Value)
+	}
+	handle := large.ctx.engine.Broadcast(index, smallBytes)
+	joined := FlatMap(large, func(p Pair[K, V]) []Pair[K, Joined[V, W]] {
+		m := handle.Value().(map[K][]W)
+		matches := m[p.Key]
+		out := make([]Pair[K, Joined[V, W]], 0, len(matches))
+		for _, w := range matches {
+			out = append(out, Pair[K, Joined[V, W]]{
+				Key:   p.Key,
+				Value: Joined[V, W]{Left: p.Value, Right: w},
+			})
+		}
+		return out
+	})
+	return joined, nil
+}
+
+// SortByKey globally sorts the dataset by key into `parts` key-ranged
+// partitions: concatenating CollectPartitions' output in partition order
+// yields the fully sorted sequence. The key codec must be
+// order-preserving (see Codec). Range boundaries come from sampling up to
+// sampleSize keys per input partition.
+func SortByKey[K comparable, V any](d *Dataset[Pair[K, V]], kc Codec[K], vc Codec[V], parts, sampleSize int) (*Dataset[Pair[K, V]], error) {
+	if parts <= 0 {
+		parts = d.Partitions()
+	}
+	if sampleSize <= 0 {
+		sampleSize = 64
+	}
+	// Sampling job: up to sampleSize encoded keys per partition.
+	samples := MapPartitions(d, func(_ int, rows []Pair[K, V]) [][]byte {
+		stride := len(rows)/sampleSize + 1
+		var out [][]byte
+		for i := 0; i < len(rows); i += stride {
+			out = append(out, kc.Encode(rows[i].Key))
+		}
+		return out
+	})
+	keys, err := samples.Collect()
+	if err != nil {
+		return nil, err
+	}
+	splits := splitPoints(keys, parts)
+	rp := shuffle.NewRangePartitioner(splits)
+	plan := d.ctx.engine.NewShuffled(d.plan, core.ShuffleDep{
+		Partitions:  rp.Partitions(),
+		Partitioner: rp.Partition,
+		Sorted:      true,
+		KeyOf:       func(r core.Row) []byte { return kc.Encode(r.(Pair[K, V]).Key) },
+		ValueOf:     func(r core.Row) []byte { return vc.Encode(r.(Pair[K, V]).Value) },
+		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
+			out := make([]core.Row, len(recs))
+			for i, rec := range recs {
+				out[i] = Pair[K, V]{Key: kc.Decode(rec.Key), Value: vc.Decode(rec.Value)}
+			}
+			return out
+		},
+	})
+	return &Dataset[Pair[K, V]]{ctx: d.ctx, plan: plan}, nil
+}
+
+// splitPoints picks parts-1 ascending split keys from the sample.
+func splitPoints(sample [][]byte, parts int) [][]byte {
+	sort.Slice(sample, func(i, j int) bool {
+		return string(sample[i]) < string(sample[j])
+	})
+	var splits [][]byte
+	for i := 1; i < parts && len(sample) > 0; i++ {
+		idx := i * len(sample) / parts
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		splits = append(splits, sample[idx])
+	}
+	// Deduplicate adjacent equal splits (skewed samples).
+	var out [][]byte
+	for _, s := range splits {
+		if len(out) == 0 || string(out[len(out)-1]) != string(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
