@@ -4,22 +4,53 @@
 //	hpbdc-bench                 # run everything at full scale
 //	hpbdc-bench -small          # quick pass (CI-sized inputs)
 //	hpbdc-bench -run E1,E5,E12  # a subset
+//	hpbdc-bench -metrics-addr :9090 -trace-out run.json
+//	                            # scrapeable /metrics + Perfetto trace file
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 func main() {
 	small := flag.Bool("small", false, "run CI-sized inputs instead of full scale")
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /debug/trace and /debug/jobs on this address (e.g. :9090)")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome/Perfetto trace JSON of all instrumented jobs to this file")
 	flag.Parse()
+
+	var (
+		reg   *metrics.Registry
+		rec   *trace.Recorder
+		store *obs.ReportStore
+	)
+	if *metricsAddr != "" || *traceOut != "" {
+		reg = metrics.NewRegistry()
+		rec = trace.New()
+		store = obs.NewReportStore()
+		experiments.EnableObservability(reg, rec, store)
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obs.NewMux(reg, rec, store)); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/trace, /debug/jobs on %s\n", *metricsAddr)
+	}
 
 	scale := experiments.Full
 	if *small {
@@ -49,4 +80,28 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n%d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			rec.Len(), *traceOut)
+	}
+	if *metricsAddr != "" {
+		// Keep the endpoint alive so the finished run can still be scraped
+		// and inspected; Ctrl-C exits.
+		fmt.Fprintf(os.Stderr, "done; still serving on %s — Ctrl-C to exit\n", *metricsAddr)
+		select {}
+	}
 }

@@ -2,12 +2,14 @@
 // cluster and validates the output.
 //
 //	hpbdc-terasort -records 1000000 -nodes 16 -transport rdma
+//	hpbdc-terasort -report -trace-out sort.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	hpbdc "repro"
@@ -20,6 +22,8 @@ func main() {
 	transport := flag.String("transport", "rdma", "network model: rdma, tcp, ipoib")
 	codec := flag.String("codec", "none", "shuffle compression: none, rle, lz, flate")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	report := flag.Bool("report", false, "print the job report (stage breakdown, stragglers, shuffle skew)")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace JSON to this file")
 	flag.Parse()
 
 	racks := *nodes / 4
@@ -27,11 +31,12 @@ func main() {
 		racks = 1
 	}
 	ctx := hpbdc.New(hpbdc.Config{
-		Racks:        racks,
-		NodesPerRack: *nodes / racks,
-		Transport:    *transport,
-		ShuffleCodec: *codec,
-		Seed:         *seed,
+		Racks:         racks,
+		NodesPerRack:  *nodes / racks,
+		Transport:     *transport,
+		ShuffleCodec:  *codec,
+		Seed:          *seed,
+		EnableTracing: *report || *traceOut != "",
 	})
 	parts := *nodes * 2
 	gen := hpbdc.SourceFunc(ctx, parts, func(part int) []hpbdc.Pair[string, string] {
@@ -72,4 +77,20 @@ func main() {
 		reg.Counter("shuffle_raw_bytes").Value(),
 		reg.Counter("shuffle_wire_bytes").Value(),
 		reg.Counter("shuffle_spills").Value())
+	if *report {
+		fmt.Print(ctx.Report("terasort").String())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ctx.Tracer().WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote trace to %s\n", *traceOut)
+	}
 }

@@ -1,31 +1,36 @@
-// Tracing: attach the execution tracer to a job with injected task
-// failures, then export a Chrome trace (chrome://tracing / Perfetto) that
-// makes the retries and per-executor timeline visible.
+// Tracing & observability: run a job with tracing enabled and injected
+// task failures, print the job report (stage breakdown, stragglers,
+// shuffle skew), export a Chrome trace (chrome://tracing / Perfetto), and
+// optionally serve the whole thing over HTTP.
 //
-//	go run ./examples/tracing > job-trace.json
+//	go run ./examples/tracing > job-trace.json            # report on stderr
+//	go run ./examples/tracing -serve :9090                # then curl /metrics
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
-	"time"
 
 	hpbdc "repro"
-	"repro/internal/trace"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
+	serve := flag.String("serve", "", "serve /metrics, /debug/trace and /debug/jobs on this address")
+	flag.Parse()
+
 	ctx := hpbdc.New(hpbdc.Config{
-		Racks:        2,
-		NodesPerRack: 4,
-		TaskFailProb: 0.15, // make some retries happen so the trace shows them
-		Seed:         8,
+		Racks:         2,
+		NodesPerRack:  4,
+		TaskFailProb:  0.15, // make some retries happen so the trace shows them
+		Seed:          8,
+		EnableTracing: true,
 	})
-	rec := trace.New()
-	ctx.Engine().SetTracer(rec)
 
 	lines := hpbdc.Parallelize(ctx, workload.Text(500, 10, 200, 1.0, 2), 12)
 	words := hpbdc.FlatMap(lines, strings.Fields)
@@ -35,28 +40,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Summary to stderr; the Chrome trace JSON goes to stdout.
-	spans := rec.Spans()
-	perTrack := map[string]int{}
-	retries, failures := 0, 0
-	var busy time.Duration
-	for _, s := range spans {
-		perTrack[s.Track]++
-		busy += s.Duration
-		if s.Args["outcome"] != "ok" {
-			failures++
-		}
-		if !strings.HasSuffix(s.Name, "a0") {
-			retries++
-		}
-	}
+	// The job report: per-stage wall clock and task percentiles, stragglers
+	// with the node they ran on, per-partition shuffle skew.
+	report := ctx.Report("wordcount")
 	fmt.Fprintf(os.Stderr, "job counted %d distinct words\n", len(counts))
-	fmt.Fprintf(os.Stderr, "trace: %d task spans on %d executors, %d failed attempts, %d retries, %v total busy time\n",
-		len(spans), len(perTrack), failures, retries, busy.Round(time.Millisecond))
-	for track, n := range perTrack {
-		fmt.Fprintf(os.Stderr, "  %s ran %d tasks\n", track, n)
+	fmt.Fprint(os.Stderr, report.String())
+
+	// A few lines of the Prometheus exposition the /metrics endpoint serves.
+	var prom strings.Builder
+	if err := ctx.Metrics().WritePrometheus(&prom); err != nil {
+		log.Fatal(err)
 	}
-	if err := rec.WriteChromeTrace(os.Stdout); err != nil {
+	fmt.Fprintln(os.Stderr, "\nexposition sample:")
+	for i, line := range strings.Split(prom.String(), "\n") {
+		if i >= 8 {
+			fmt.Fprintln(os.Stderr, "  ...")
+			break
+		}
+		fmt.Fprintf(os.Stderr, "  %s\n", line)
+	}
+
+	if *serve != "" {
+		store := obs.NewReportStore()
+		store.Add(report)
+		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/trace, /debug/jobs on %s — Ctrl-C to exit\n", *serve)
+		log.Fatal(http.ListenAndServe(*serve, obs.NewMux(ctx.Metrics(), ctx.Tracer(), store)))
+	}
+
+	// The Chrome trace JSON goes to stdout.
+	if err := ctx.Tracer().WriteChromeTrace(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

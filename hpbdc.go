@@ -31,9 +31,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Config describes the simulated datacenter and engine settings.
@@ -60,6 +63,10 @@ type Config struct {
 	TaskFailProb float64
 	// Seed drives all randomness (placement, failures). Default 1.
 	Seed uint64
+	// EnableTracing attaches a span recorder to the engine so every task
+	// and stage is recorded. Required for Context.Report and Chrome-trace
+	// export; off by default because span recording allocates per task.
+	EnableTracing bool
 }
 
 // Context owns one simulated cluster and its engine. Create with New.
@@ -69,6 +76,7 @@ type Context struct {
 	cluster *cluster.Cluster
 	fs      *dfs.DFS
 	engine  *core.Engine
+	tracer  *trace.Recorder
 	seed    uint64
 }
 
@@ -135,11 +143,40 @@ func New(cfg Config) *Context {
 		TaskFailProb:     cfg.TaskFailProb,
 		Seed:             cfg.Seed,
 	})
-	return &Context{top: top, fabric: fabric, cluster: cl, fs: fs, engine: eng, seed: cfg.Seed}
+	// One registry for the whole context: the DFS and fabric feed their
+	// counters into the engine's registry so a single scrape sees compute,
+	// storage and network side by side.
+	fs.Instrument(eng.Reg)
+	fabric.Instrument(eng.Reg)
+	c := &Context{top: top, fabric: fabric, cluster: cl, fs: fs, engine: eng, seed: cfg.Seed}
+	if cfg.EnableTracing {
+		c.tracer = trace.New()
+		eng.SetTracer(c.tracer)
+	}
+	return c
 }
 
 // Engine exposes the underlying dataflow engine (metrics, checkpoints).
 func (c *Context) Engine() *core.Engine { return c.engine }
+
+// Metrics exposes the context-wide registry: engine, shuffle, DFS and
+// network counters all land here. Serve it with metrics.Handler or
+// obs.NewMux.
+func (c *Context) Metrics() *metrics.Registry { return c.engine.Reg }
+
+// Tracer returns the span recorder, or nil unless Config.EnableTracing
+// was set. A nil recorder is safe to pass to obs.NewMux and
+// trace.WriteChromeTrace.
+func (c *Context) Tracer() *trace.Recorder { return c.tracer }
+
+// Report analyzes everything recorded so far — per-stage wall clock and
+// task percentiles, stragglers, shuffle partition skew — under the given
+// job name. Stage breakdown and straggler detection need
+// Config.EnableTracing; shuffle-skew analysis works regardless because it
+// reads the metrics registry.
+func (c *Context) Report(job string) *obs.Report {
+	return obs.Build(job, c.tracer.Spans(), c.engine.Reg.Snapshot(), obs.Options{})
+}
 
 // Cluster exposes the executor cluster (failure injection, capacity).
 func (c *Context) Cluster() *cluster.Cluster { return c.cluster }

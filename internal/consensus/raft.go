@@ -10,6 +10,7 @@ package consensus
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 )
 
@@ -91,6 +92,21 @@ type Config struct {
 	Seed uint64
 	// MaxEntriesPerApp bounds entries per AppendEntries. Default 64.
 	MaxEntriesPerApp int
+	// Metrics, when non-nil, receives protocol counters (elections,
+	// leaderships won, entries committed, snapshots, compactions) and a
+	// raft_term gauge. Counters are per-node; give each node its own
+	// registry or accept cluster-wide aggregation. Optional.
+	Metrics *metrics.Registry
+}
+
+// nodeMetrics holds the optional counters; nil fields are no-ops.
+type nodeMetrics struct {
+	elections          *metrics.Counter
+	leaderships        *metrics.Counter
+	entriesCommitted   *metrics.Counter
+	snapshotsInstalled *metrics.Counter
+	compactions        *metrics.Counter
+	term               *metrics.Gauge
 }
 
 // Node is a single Raft participant. Not safe for concurrent use: drive it
@@ -121,6 +137,7 @@ type Node struct {
 	elapsed         int
 	electionTimeout int
 	rand            *rng.RNG
+	m               nodeMetrics
 }
 
 // NewNode builds a follower with an empty log.
@@ -139,6 +156,16 @@ func NewNode(cfg Config) *Node {
 		votedFor: -1,
 		leader:   -1,
 		rand:     rng.New(cfg.Seed + uint64(cfg.ID)*0x9e37),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		n.m = nodeMetrics{
+			elections:          reg.Counter("raft_elections_started"),
+			leaderships:        reg.Counter("raft_leaderships_won"),
+			entriesCommitted:   reg.Counter("raft_entries_committed"),
+			snapshotsInstalled: reg.Counter("raft_snapshots_installed"),
+			compactions:        reg.Counter("raft_compactions"),
+			term:               reg.Gauge("raft_term"),
+		}
 	}
 	n.resetElectionTimeout()
 	return n
@@ -214,6 +241,8 @@ func (n *Node) Tick() []Message {
 func (n *Node) startElection() []Message {
 	n.state = Candidate
 	n.term++
+	n.m.elections.Inc()
+	n.m.term.Set(int64(n.term))
 	n.votedFor = n.cfg.ID
 	n.leader = -1
 	n.votes = map[int]bool{n.cfg.ID: true}
@@ -241,6 +270,7 @@ func (n *Node) quorum(count int) bool { return count*2 > len(n.cfg.Peers) }
 func (n *Node) becomeLeader() []Message {
 	n.state = Leader
 	n.leader = n.cfg.ID
+	n.m.leaderships.Inc()
 	n.elapsed = 0
 	n.nextIndex = map[int]uint64{}
 	n.matchIndex = map[int]uint64{}
@@ -262,6 +292,7 @@ func (n *Node) becomeLeader() []Message {
 func (n *Node) becomeFollower(term uint64, leader int) {
 	n.state = Follower
 	n.term = term
+	n.m.term.Set(int64(n.term))
 	n.leader = leader
 	n.votedFor = -1
 	n.votes = nil
@@ -490,6 +521,7 @@ func (n *Node) handleSnap(m Message) []Message {
 	n.resetElectionTimeout()
 	if m.SnapIndex > n.lastIndex() {
 		// Replace our whole log with the snapshot.
+		n.m.snapshotsInstalled.Inc()
 		n.entries = nil
 		n.offset = m.SnapIndex
 		n.snapTerm = m.SnapTerm
@@ -542,6 +574,7 @@ func (n *Node) CommittedEntries() []Entry {
 			out = append(out, e)
 		}
 	}
+	n.m.entriesCommitted.Add(int64(len(out)))
 	return out
 }
 
@@ -559,6 +592,7 @@ func (n *Node) Compact(index uint64, snapshot []byte) error {
 	n.offset = index
 	n.snapTerm = t
 	n.snapData = snapshot
+	n.m.compactions.Inc()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
@@ -316,7 +317,12 @@ func (e *Engine) runMapStage(p *Plan) error {
 		return nil
 	}
 	e.Reg.Counter("stages_run").Inc()
-	return e.runTasks(pending, e.prefsOf(p.parent), func(ctx *TaskContext) error {
+	stage := fmt.Sprintf("map s%d", p.id)
+	endStage := e.tracerRef().Begin(stage, "stage", "driver")
+	shuffleID := strconv.Itoa(p.id)
+	partBytes := e.Reg.CounterVec("shuffle_partition_bytes", "shuffle", "partition")
+	partRecords := e.Reg.CounterVec("shuffle_partition_records", "shuffle", "partition")
+	err := e.runTasks(stage, pending, e.prefsOf(p.parent), func(ctx *TaskContext) error {
 		rows, err := e.computePartition(p.parent, ctx)
 		if err != nil {
 			return err
@@ -339,6 +345,15 @@ func (e *Engine) runMapStage(p *Plan) error {
 		e.Reg.Counter("shuffle_raw_bytes").Add(stats.RawBytes)
 		e.Reg.Counter("shuffle_wire_bytes").Add(stats.WireBytes)
 		e.Reg.Counter("shuffle_spills").Add(int64(stats.Spills))
+		// Per-reduce-partition distribution, labeled by shuffle and
+		// partition — the signal obs reads for skew analysis. Empty
+		// partitions are recorded too so the partition count stays honest.
+		for part, b := range stats.PartitionBytes {
+			partBytes.With(shuffleID, strconv.Itoa(part)).Add(b)
+		}
+		for part, n := range stats.PartitionRecords {
+			partRecords.With(shuffleID, strconv.Itoa(part)).Add(int64(n))
+		}
 		st.mu.Lock()
 		st.outputs[ctx.Partition] = blocks
 		st.owner[ctx.Partition] = ctx.Node
@@ -346,6 +361,8 @@ func (e *Engine) runMapStage(p *Plan) error {
 		st.mu.Unlock()
 		return nil
 	})
+	endStage(map[string]string{"tasks": strconv.Itoa(len(pending))})
+	return err
 }
 
 func (e *Engine) newWriter(dep *ShuffleDep) (shuffle.Writer, error) {
@@ -371,7 +388,9 @@ func (e *Engine) runResult(p *Plan) ([][]Row, error) {
 		parts[i] = i
 	}
 	e.Reg.Counter("stages_run").Inc()
-	err := e.runTasks(parts, e.prefsOf(p), func(ctx *TaskContext) error {
+	stage := fmt.Sprintf("result s%d", p.id)
+	endStage := e.tracerRef().Begin(stage, "stage", "driver")
+	err := e.runTasks(stage, parts, e.prefsOf(p), func(ctx *TaskContext) error {
 		rows, err := e.computePartition(p, ctx)
 		if err != nil {
 			return err
@@ -381,6 +400,7 @@ func (e *Engine) runResult(p *Plan) ([][]Row, error) {
 		outMu.Unlock()
 		return nil
 	})
+	endStage(map[string]string{"tasks": strconv.Itoa(len(parts))})
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +430,9 @@ func (e *Engine) prefsOf(p *Plan) func(part int) []topology.NodeID {
 // runTasks executes fn once per partition on the cluster, honouring
 // locality preferences, retrying transient failures, and failing fast on
 // fetch errors (which the caller converts into lineage recomputation).
-func (e *Engine) runTasks(parts []int, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) error {
+// stage labels the spans recorded for each task; panics inside fn are
+// converted into task errors with the span still recorded.
+func (e *Engine) runTasks(stage string, parts []int, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) error {
 	attempts := map[int]int{}
 	pending := append([]int(nil), parts...)
 	for len(pending) > 0 {
@@ -444,23 +466,29 @@ func (e *Engine) runTasks(parts []int, prefs func(int) []topology.NodeID, fn fun
 			injected := e.injectFailure()
 			start := time.Now()
 			tracer := e.tracerRef()
-			futures[i] = e.cfg.Cluster.Submit(node, func() error {
+			futures[i] = e.cfg.Cluster.Submit(node, func() (err error) {
 				end := tracer.Begin(
 					fmt.Sprintf("task p%d a%d", ctx.Partition, ctx.Attempt),
 					"task", fmt.Sprintf("node-%02d", node))
 				defer func() {
 					e.Reg.Histogram("task_duration_ns").ObserveDuration(time.Since(start))
+					if p := recover(); p != nil {
+						// end is idempotent, so the span is recorded even
+						// when fn panicked mid-task.
+						end(map[string]string{"outcome": fmt.Sprintf("panic: %v", p), "stage": stage})
+						err = fmt.Errorf("core: task panicked: %v", p)
+					}
 				}()
 				if injected {
-					end(map[string]string{"outcome": "injected-failure"})
+					end(map[string]string{"outcome": "injected-failure", "stage": stage})
 					return errInjected
 				}
-				err := fn(ctx)
+				err = fn(ctx)
 				outcome := "ok"
 				if err != nil {
 					outcome = err.Error()
 				}
-				end(map[string]string{"outcome": outcome})
+				end(map[string]string{"outcome": outcome, "stage": stage})
 				return err
 			})
 		}

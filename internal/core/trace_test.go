@@ -20,19 +20,35 @@ func TestEngineEmitsTaskSpans(t *testing.T) {
 	if len(spans) == 0 {
 		t.Fatal("no spans recorded")
 	}
-	// Map stage (3 tasks) + result stage (2 tasks).
-	if len(spans) != 5 {
-		t.Fatalf("spans = %d, want 5", len(spans))
+	// Map stage (3 tasks) + result stage (2 tasks), plus one driver-side
+	// stage span each.
+	if len(spans) != 7 {
+		t.Fatalf("spans = %d, want 7", len(spans))
 	}
 	tracks := map[string]bool{}
+	taskSpans, stageSpans := 0, 0
 	for _, s := range spans {
-		if s.Category != "task" {
+		switch s.Category {
+		case "task":
+			taskSpans++
+			if s.Args["outcome"] != "ok" {
+				t.Fatalf("span outcome %q", s.Args["outcome"])
+			}
+			if s.Args["stage"] == "" {
+				t.Fatalf("task span %q missing stage arg", s.Name)
+			}
+			tracks[s.Track] = true
+		case "stage":
+			stageSpans++
+			if s.Track != "driver" {
+				t.Fatalf("stage span track %q", s.Track)
+			}
+		default:
 			t.Fatalf("span category %q", s.Category)
 		}
-		if s.Args["outcome"] != "ok" {
-			t.Fatalf("span outcome %q", s.Args["outcome"])
-		}
-		tracks[s.Track] = true
+	}
+	if taskSpans != 5 || stageSpans != 2 {
+		t.Fatalf("tasks=%d stages=%d", taskSpans, stageSpans)
 	}
 	if len(tracks) == 0 {
 		t.Fatal("no executor tracks")
@@ -61,6 +77,60 @@ func TestTracerRecordsInjectedFailures(t *testing.T) {
 	}
 	if injected == 0 {
 		t.Fatal("no injected-failure spans despite 50% fail probability")
+	}
+}
+
+func TestTaskPanicRecordsSpanAndFailsJob(t *testing.T) {
+	e := testEngine(t, 2, Config{})
+	rec := trace.New()
+	e.SetTracer(rec)
+	p := e.NewSource(2, func(ctx *TaskContext, part int) []Row {
+		if part == 1 {
+			panic("boom")
+		}
+		return []Row{1}
+	}, nil)
+	_, err := e.Collect(p)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want task panic error", err)
+	}
+	panicked := 0
+	for _, s := range rec.Spans() {
+		if s.Category == "task" && strings.HasPrefix(s.Args["outcome"], "panic:") {
+			panicked++
+		}
+	}
+	if panicked != 1 {
+		t.Fatalf("panicked task spans = %d, want 1", panicked)
+	}
+}
+
+func TestShufflePartitionCountersRecorded(t *testing.T) {
+	e := testEngine(t, 4, Config{})
+	lines := []string{"a b", "b c", "c c"}
+	if got := wordCounts(t, e, wordCountPlan(e, lines, 3, 2)); got["c"] != 3 {
+		t.Fatalf("counts = %v", got)
+	}
+	snap := e.Reg.Snapshot()
+	var partBytes, total int64
+	parts := map[string]bool{}
+	for _, s := range snap.Counters {
+		if s.Name != "shuffle_partition_bytes" {
+			continue
+		}
+		partBytes++
+		total += s.Value
+		for _, l := range s.Labels {
+			if l.Key == "partition" {
+				parts[l.Value] = true
+			}
+		}
+	}
+	if partBytes == 0 || len(parts) != 2 {
+		t.Fatalf("partition byte samples = %d across partitions %v", partBytes, parts)
+	}
+	if raw := e.Reg.Counter("shuffle_raw_bytes").Value(); total != raw {
+		t.Fatalf("per-partition bytes sum %d != shuffle_raw_bytes %d", total, raw)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/topology"
 )
@@ -81,6 +82,19 @@ type datanode struct {
 	store map[BlockID][]byte
 }
 
+// dfsMetrics holds the optional instrumentation hooks. All fields are
+// nil until Instrument is called; the nil-safe metric types make every
+// update a single branch when disabled.
+type dfsMetrics struct {
+	blocksWritten     *metrics.Counter
+	bytesWritten      *metrics.Counter
+	blocksRead        *metrics.Counter
+	bytesRead         *metrics.Counter
+	readsByLocality   *metrics.CounterVec // label: locality = local|rack|remote
+	replicasCreated   *metrics.Counter
+	rereplicatedBytes *metrics.Counter
+}
+
 // DFS is the whole filesystem: namenode plus all datanodes. Safe for
 // concurrent use.
 type DFS struct {
@@ -92,6 +106,29 @@ type DFS struct {
 	alive     []bool
 	nextBlock BlockID
 	rand      *rng.RNG
+	m         dfsMetrics
+}
+
+// Instrument attaches the filesystem's counters to reg: block/byte
+// write and read volume, read locality (dfs_reads_by_locality, labeled
+// local/rack/remote) and re-replication work. Call before serving
+// traffic; a nil reg detaches.
+func (d *DFS) Instrument(reg *metrics.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if reg == nil {
+		d.m = dfsMetrics{}
+		return
+	}
+	d.m = dfsMetrics{
+		blocksWritten:     reg.Counter("dfs_blocks_written"),
+		bytesWritten:      reg.Counter("dfs_bytes_written"),
+		blocksRead:        reg.Counter("dfs_blocks_read"),
+		bytesRead:         reg.Counter("dfs_bytes_read"),
+		readsByLocality:   reg.CounterVec("dfs_reads_by_locality", "locality"),
+		replicasCreated:   reg.Counter("dfs_replicas_created"),
+		rereplicatedBytes: reg.Counter("dfs_rereplicated_bytes"),
+	}
 }
 
 // New creates an empty filesystem over cfg.Topology.
@@ -208,6 +245,8 @@ func (w *Writer) seal() error {
 	}
 	w.meta.blocks = append(w.meta.blocks, id)
 	w.meta.size += int64(len(data))
+	w.d.m.blocksWritten.Inc()
+	w.d.m.bytesWritten.Add(int64(len(data)))
 	return nil
 }
 
@@ -369,6 +408,16 @@ func (d *DFS) ReadBlock(id BlockID, at topology.NodeID) ([]byte, topology.NodeID
 	if best < 0 {
 		return nil, -1, fmt.Errorf("%w: block %d", ErrBlockLost, id)
 	}
+	d.m.blocksRead.Inc()
+	d.m.bytesRead.Add(bm.length)
+	switch bestLoc {
+	case topology.LocalNode:
+		d.m.readsByLocality.With("local").Inc()
+	case topology.LocalRack:
+		d.m.readsByLocality.With("rack").Inc()
+	default:
+		d.m.readsByLocality.With("remote").Inc()
+	}
 	data := d.nodes[best].store[id]
 	out := make([]byte, len(data))
 	copy(out, data)
@@ -513,6 +562,8 @@ func (d *DFS) Rereplicate() (newReplicas int, bytesCopied int64) {
 				liveReplicas = append(liveReplicas, n)
 				newReplicas++
 				bytesCopied += bm.length
+				d.m.replicasCreated.Inc()
+				d.m.rereplicatedBytes.Add(bm.length)
 				placed = true
 				break
 			}

@@ -1,0 +1,95 @@
+package dfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func TestInstrumentRecordsIOAndRecovery(t *testing.T) {
+	top := topology.TwoTier(2, 2, 2)
+	d := New(Config{BlockSize: 64, Replication: 2, Topology: top, Seed: 7})
+	reg := metrics.NewRegistry()
+	d.Instrument(reg)
+
+	payload := bytes.Repeat([]byte("x"), 200) // 4 blocks at size 64
+	w, err := d.Create("/data/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("dfs_blocks_written").Value(); got != 4 {
+		t.Fatalf("blocks written = %d, want 4", got)
+	}
+	if got := reg.Counter("dfs_bytes_written").Value(); got != 200 {
+		t.Fatalf("bytes written = %d, want 200", got)
+	}
+
+	r, err := d.Open("/data/f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil || len(data) != 200 {
+		t.Fatalf("read %d bytes, err %v", len(data), err)
+	}
+	if got := reg.Counter("dfs_blocks_read").Value(); got != 4 {
+		t.Fatalf("blocks read = %d, want 4", got)
+	}
+	var localityTotal int64
+	reg.CounterVec("dfs_reads_by_locality", "locality").Each(func(_ []metrics.Label, c *metrics.Counter) {
+		localityTotal += c.Value()
+	})
+	if localityTotal != 4 {
+		t.Fatalf("locality-labeled reads = %d, want 4", localityTotal)
+	}
+
+	// Kill a replica holder and re-replicate; recovery counters must move.
+	locs, err := d.BlockLocations("/data/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.KillNode(locs[0].Replicas[0]); err != nil {
+		t.Fatal(err)
+	}
+	newReplicas, bytesCopied := d.Rereplicate()
+	if newReplicas == 0 {
+		t.Fatal("expected re-replication work")
+	}
+	if got := reg.Counter("dfs_replicas_created").Value(); got != int64(newReplicas) {
+		t.Fatalf("replicas created counter = %d, want %d", got, newReplicas)
+	}
+	if got := reg.Counter("dfs_rereplicated_bytes").Value(); got != bytesCopied {
+		t.Fatalf("rereplicated bytes counter = %d, want %d", got, bytesCopied)
+	}
+}
+
+func TestUninstrumentedDFSStillWorks(t *testing.T) {
+	top := topology.Single(2)
+	d := New(Config{BlockSize: 32, Replication: 1, Topology: top, Seed: 1})
+	w, err := d.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Open("/f", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := io.ReadAll(r); string(data) != "hello world" {
+		t.Fatalf("read %q", data)
+	}
+}

@@ -115,6 +115,7 @@ func E3TeraSort(s Scale) *Table {
 		ctx := hpbdc.New(hpbdc.Config{
 			Racks: racks, NodesPerRack: nodes / racks,
 			Transport: "rdma", Seed: uint64(nodes),
+			EnableTracing: true,
 		})
 		records := perNode * nodes
 		parts := nodes * 2
@@ -160,6 +161,10 @@ func E3TeraSort(s Scale) *Table {
 			fmt.Sprintf("%.0f", rate),
 			fmt.Sprintf("%.2f", eff),
 		)
+		if nodes == 8 {
+			// One representative report keeps the table readable.
+			observe(t, fmt.Sprintf("E3/terasort-%dnodes", nodes), ctx)
+		}
 	}
 	return t
 }
@@ -179,7 +184,7 @@ func E4WordCount(s Scale) *Table {
 
 	// Dataflow: pipelined with combiner.
 	runtime.GC() // measurements must not inherit prior experiments' heaps
-	ctx1 := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 1})
+	ctx1 := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 1, EnableTracing: true})
 	start := time.Now()
 	words := hpbdc.FlatMap(hpbdc.Parallelize(ctx1, corpus, 16), strings.Fields)
 	counts, err := hpbdc.CountByKey(hpbdc.KeyBy(words, func(w string) string { return w }), hpbdc.StringCodec, 8)
@@ -196,7 +201,7 @@ func E4WordCount(s Scale) *Table {
 	// MapReduce baseline: phase 1 writes (word,1) pairs as text to DFS;
 	// phase 2 reads them back and reduces without a combiner.
 	runtime.GC()
-	ctx2 := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 1})
+	ctx2 := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 1, EnableTracing: true})
 	start = time.Now()
 	mapped := hpbdc.FlatMap(hpbdc.Parallelize(ctx2, corpus, 16), strings.Fields)
 	if err := hpbdc.SaveAsTextFile(mapped, "/mr/intermediate"); err != nil {
@@ -229,6 +234,8 @@ func E4WordCount(s Scale) *Table {
 		mrWall.Round(time.Millisecond).String(),
 		fmt.Sprintf("%d", mrBytes),
 		fmt.Sprintf("%.2fx", float64(dataflowWall)/float64(mrWall)))
+	observe(t, "E4/dataflow", ctx1)
+	observe(t, "E4/mapreduce", ctx2)
 	return t
 }
 
@@ -245,8 +252,8 @@ func E9Recovery(s Scale) *Table {
 	lines := pick(s, 1_000, 10_000)
 	corpus := workload.Text(lines, 10, 500, 0.9, 3)
 
-	run := func(checkpoint bool) (time.Duration, time.Duration, int64) {
-		ctx := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 9})
+	run := func(job string, checkpoint bool) (time.Duration, time.Duration, int64) {
+		ctx := hpbdc.New(hpbdc.Config{Racks: 2, NodesPerRack: 4, Seed: 9, EnableTracing: true})
 		words := hpbdc.FlatMap(hpbdc.Parallelize(ctx, corpus, 16), strings.Fields)
 		pairs := hpbdc.KeyBy(words, func(w string) string { return w })
 		ones := hpbdc.MapValues(pairs, func(string) int64 { return 1 })
@@ -284,11 +291,12 @@ func E9Recovery(s Scale) *Table {
 		}
 		recovery := time.Since(start)
 		rerun := ctx.Engine().Reg.Counter("tasks_launched").Value() - tasksBefore
+		observe(t, job, ctx)
 		return first, recovery, rerun
 	}
 
 	for _, variant := range []string{"lineage", "checkpoint"} {
-		first, rec, rerun := run(variant == "checkpoint")
+		first, rec, rerun := run("E9/"+variant, variant == "checkpoint")
 		t.AddRow(variant,
 			first.Round(time.Millisecond).String(),
 			rec.Round(time.Millisecond).String(),

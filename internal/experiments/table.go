@@ -17,11 +17,19 @@ type Table struct {
 	Note  string
 	Cols  []string
 	Rows  [][]string
+	// Obs holds observability annotations (job report lines: stage
+	// breakdowns, stragglers, shuffle skew) printed after the rows.
+	Obs []string
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddObs appends one observability annotation line.
+func (t *Table) AddObs(line string) {
+	t.Obs = append(t.Obs, line)
 }
 
 // Fprint renders the table with aligned columns.
@@ -59,6 +67,9 @@ func (t *Table) Fprint(w io.Writer) {
 	line(sep)
 	for _, row := range t.Rows {
 		line(row)
+	}
+	for _, o := range t.Obs {
+		fmt.Fprintf(w, "  | %s\n", o)
 	}
 }
 

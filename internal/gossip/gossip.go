@@ -14,6 +14,7 @@ package gossip
 import (
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 )
 
@@ -69,6 +70,19 @@ type Config struct {
 	LossProb float64
 	// Seed drives probe target selection and loss.
 	Seed uint64
+	// Metrics, when non-nil, receives protocol counters (rounds, pings,
+	// lost messages, suspicions, false positives). Optional.
+	Metrics *metrics.Registry
+}
+
+// gossipMetrics holds the optional counters; nil fields are no-ops.
+type gossipMetrics struct {
+	rounds         *metrics.Counter
+	pings          *metrics.Counter
+	indirectProbes *metrics.Counter
+	messagesLost   *metrics.Counter
+	suspicions     *metrics.Counter
+	falsePositives *metrics.Counter
 }
 
 type memberView struct {
@@ -102,6 +116,7 @@ type Cluster struct {
 	// anyone while they were actually running.
 	FalsePositives int
 	fpSeen         map[int]bool
+	m              gossipMetrics
 }
 
 // NewCluster builds n members that all know each other as Alive.
@@ -121,6 +136,16 @@ func NewCluster(n int, cfg Config) *Cluster {
 		crashed: make([]bool, n),
 		rand:    rng.New(cfg.Seed),
 		fpSeen:  map[int]bool{},
+	}
+	if reg := cfg.Metrics; reg != nil {
+		c.m = gossipMetrics{
+			rounds:         reg.Counter("gossip_rounds"),
+			pings:          reg.Counter("gossip_pings"),
+			indirectProbes: reg.Counter("gossip_indirect_probes"),
+			messagesLost:   reg.Counter("gossip_messages_lost"),
+			suspicions:     reg.Counter("gossip_suspicions"),
+			falsePositives: reg.Counter("gossip_false_positives"),
+		}
 	}
 	for i := 0; i < n; i++ {
 		nd := &node{id: i, view: map[int]*memberView{}}
@@ -210,6 +235,7 @@ func (c *Cluster) merge(n *node, u update, budget int) {
 		if u.status == Dead && !c.crashed[u.about] && !c.fpSeen[u.about] {
 			c.fpSeen[u.about] = true
 			c.FalsePositives++
+			c.m.falsePositives.Inc()
 		}
 		n.enqueue(u, budget)
 	}
@@ -217,7 +243,11 @@ func (c *Cluster) merge(n *node, u update, budget int) {
 
 // lost reports whether a message is dropped this time.
 func (c *Cluster) lost() bool {
-	return c.cfg.LossProb > 0 && c.rand.Float64() < c.cfg.LossProb
+	if c.cfg.LossProb > 0 && c.rand.Float64() < c.cfg.LossProb {
+		c.m.messagesLost.Inc()
+		return true
+	}
+	return false
 }
 
 // deliverGossip hands piggybacked updates to a receiver.
@@ -231,6 +261,7 @@ func (c *Cluster) deliverGossip(to *node, gossip []update) {
 // peer (with indirect fallback), then suspicion timeouts fire.
 func (c *Cluster) Round() {
 	c.round++
+	c.m.rounds.Inc()
 	order := c.rand.Perm(len(c.nodes))
 	for _, i := range order {
 		if c.crashed[i] {
@@ -263,6 +294,7 @@ func (c *Cluster) probe(n *node) {
 	if !acked {
 		// Indirect probes through k random proxies.
 		proxies := c.pickProxies(n, target, c.cfg.IndirectProbes)
+		c.m.indirectProbes.Add(int64(len(proxies)))
 		for _, p := range proxies {
 			if c.crashed[p] || c.lost() {
 				continue
@@ -277,6 +309,7 @@ func (c *Cluster) probe(n *node) {
 	if !acked {
 		mv := n.view[target]
 		if mv.status == Alive {
+			c.m.suspicions.Inc()
 			u := update{about: target, status: Suspect, incarnation: mv.incarnation}
 			c.merge(n, u, c.budget())
 		}
@@ -292,6 +325,7 @@ func (c *Cluster) probe(n *node) {
 // ping sends ping+gossip and returns whether an ack came back. Both legs
 // can be lost.
 func (c *Cluster) ping(from *node, target int, gossip []update) bool {
+	c.m.pings.Inc()
 	if c.crashed[target] || c.lost() {
 		return false
 	}

@@ -1,0 +1,43 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestMetricsRecordedDuringDetection(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCluster(8, Config{Seed: 42, Metrics: reg})
+	rounds := c.RoundsToDetect(3, 50)
+	if rounds < 0 {
+		t.Fatal("victim never detected")
+	}
+	if got := reg.Counter("gossip_rounds").Value(); got != int64(rounds) {
+		t.Fatalf("rounds counter = %d, want %d", got, rounds)
+	}
+	if reg.Counter("gossip_pings").Value() == 0 {
+		t.Fatal("no pings counted")
+	}
+	if reg.Counter("gossip_suspicions").Value() == 0 {
+		t.Fatal("no suspicions counted despite a crash")
+	}
+	// The victim really crashed: a correct run records no false positives.
+	if got := reg.Counter("gossip_false_positives").Value(); got != int64(c.FalsePositives) {
+		t.Fatalf("false positive counter = %d, field = %d", got, c.FalsePositives)
+	}
+}
+
+func TestLossCounterTracksInjectedLoss(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewCluster(10, Config{Seed: 7, LossProb: 0.3, Metrics: reg})
+	for i := 0; i < 20; i++ {
+		c.Round()
+	}
+	if reg.Counter("gossip_messages_lost").Value() == 0 {
+		t.Fatal("no lost messages counted at 30% loss")
+	}
+	if reg.Counter("gossip_indirect_probes").Value() == 0 {
+		t.Fatal("no indirect probes counted despite loss")
+	}
+}

@@ -1,0 +1,13 @@
+package metrics
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text exposition format — mount it at /metrics. For the full debug
+// surface (/metrics, /debug/trace, /debug/jobs) see internal/obs.NewMux.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,7 +1,13 @@
 // Package metrics provides the lightweight instrumentation used across the
 // framework: atomic counters and gauges, log-bucketed latency histograms
-// with quantile estimation, and a named registry that experiment harnesses
-// snapshot into report tables.
+// with quantile estimation, labeled metric vectors, and a named registry
+// with a typed Snapshot that experiment harnesses turn into report tables
+// and WritePrometheus exposes in the Prometheus text format.
+//
+// Every metric type is nil-receiver safe on its mutating and reading
+// methods: instrumented packages hold nil metric pointers until a caller
+// opts in (Instrument / a Metrics config field), so the disabled path costs
+// one predictable branch and no allocation.
 package metrics
 
 import (
@@ -18,29 +24,60 @@ type Counter struct {
 	v atomic.Int64
 }
 
-// Inc adds 1.
-func (c *Counter) Inc() { c.v.Add(1) }
+// Inc adds 1. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Add adds delta. Negative deltas are permitted for callers that use a
 // counter as a net tally, but prefer Gauge for values that go down.
-func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+// No-op on a nil receiver.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
 
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
+// Value returns the current count, or 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Gauge is an instantaneous atomic value.
 type Gauge struct {
 	v atomic.Int64
 }
 
-// Set stores v.
-func (g *Gauge) Set(v int64) { g.v.Store(v) }
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
 
-// Add adds delta and returns the new value.
-func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+// Add adds delta and returns the new value (0 on a nil receiver).
+func (g *Gauge) Add(delta int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(delta)
+}
 
-// Value returns the current value.
-func (g *Gauge) Value() int64 { return g.v.Load() }
+// Value returns the current value, or 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
 
 // Histogram records int64 observations (typically nanoseconds or bytes)
 // into exponentially sized buckets: 2 buckets per power of two, covering
@@ -88,11 +125,18 @@ func bucketUpper(idx int) int64 {
 	if idx%2 == 0 {
 		return base + base/2
 	}
+	if octave >= 62 {
+		// base*2 would overflow int64; the last bucket is open-ended.
+		return math.MaxInt64
+	}
 	return base * 2
 }
 
-// Observe records one value.
+// Observe records one value. No-op on a nil receiver.
 func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
@@ -113,15 +157,25 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records d in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
 
-// Sum returns the sum of observations.
-func (h *Histogram) Sum() int64 { return h.sum.Load() }
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
 
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (h *Histogram) Mean() float64 {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
@@ -130,7 +184,7 @@ func (h *Histogram) Mean() float64 {
 
 // Min returns the smallest observation, or 0 with no observations.
 func (h *Histogram) Min() int64 {
-	if h.count.Load() == 0 {
+	if h.Count() == 0 {
 		return 0
 	}
 	return h.min.Load()
@@ -138,7 +192,7 @@ func (h *Histogram) Min() int64 {
 
 // Max returns the largest observation, or 0 with no observations.
 func (h *Histogram) Max() int64 {
-	if h.count.Load() == 0 {
+	if h.Count() == 0 {
 		return 0
 	}
 	return h.max.Load()
@@ -147,7 +201,7 @@ func (h *Histogram) Max() int64 {
 // Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1).
 // It returns 0 with no observations.
 func (h *Histogram) Quantile(q float64) int64 {
-	total := h.count.Load()
+	total := h.Count()
 	if total == 0 {
 		return 0
 	}
@@ -209,18 +263,24 @@ func (s HistogramSnapshot) String() string {
 // call NewRegistry. Lookup creates metrics on first use, so instrumented
 // code never needs registration boilerplate.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		histograms:    map[string]*Histogram{},
+		counterVecs:   map[string]*CounterVec{},
+		gaugeVecs:     map[string]*GaugeVec{},
+		histogramVecs: map[string]*HistogramVec{},
 	}
 }
 
@@ -260,20 +320,159 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Names returns all registered metric names, sorted.
+// Names returns all registered metric names (plain and vector), sorted and
+// deduplicated: a counter and a histogram sharing a name used to yield two
+// indistinguishable entries, which made report code silently double-count.
+// Use Snapshot for a kind-qualified view.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	seen := map[string]bool{}
 	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
 	for n := range r.counters {
-		names = append(names, n)
+		add(n)
 	}
 	for n := range r.gauges {
-		names = append(names, n)
+		add(n)
 	}
 	for n := range r.histograms {
-		names = append(names, n)
+		add(n)
+	}
+	for n := range r.counterVecs {
+		add(n)
+	}
+	for n := range r.gaugeVecs {
+		add(n)
+	}
+	for n := range r.histogramVecs {
+		add(n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// CounterSample is one counter value in a Snapshot. Labels is nil for plain
+// (unlabeled) counters; for vector children it pairs the vector's label
+// keys with this child's values, in declaration order.
+type CounterSample struct {
+	Name   string
+	Labels []Label
+	Value  int64
+}
+
+// GaugeSample is one gauge value in a Snapshot.
+type GaugeSample struct {
+	Name   string
+	Labels []Label
+	Value  int64
+}
+
+// HistogramSample is one histogram summary in a Snapshot.
+type HistogramSample struct {
+	Name   string
+	Labels []Label
+	HistogramSnapshot
+}
+
+// Label is one key="value" pair attached to a vector child.
+type Label struct {
+	Key, Value string
+}
+
+// Snapshot is a typed, point-in-time view of a whole registry. Samples are
+// sorted by name then label values, so reports are deterministic.
+type Snapshot struct {
+	Counters   []CounterSample
+	Gauges     []GaugeSample
+	Histograms []HistogramSample
+}
+
+// Snapshot captures every metric in the registry, including vector
+// children. It replaces Names()-driven report loops, which could not tell
+// a counter from a histogram with the same name. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		histograms[n] = h
+	}
+	counterVecs := make([]*CounterVec, 0, len(r.counterVecs))
+	for _, v := range r.counterVecs {
+		counterVecs = append(counterVecs, v)
+	}
+	gaugeVecs := make([]*GaugeVec, 0, len(r.gaugeVecs))
+	for _, v := range r.gaugeVecs {
+		gaugeVecs = append(gaugeVecs, v)
+	}
+	histogramVecs := make([]*HistogramVec, 0, len(r.histogramVecs))
+	for _, v := range r.histogramVecs {
+		histogramVecs = append(histogramVecs, v)
+	}
+	r.mu.Unlock()
+
+	var snap Snapshot
+	for n, c := range counters {
+		snap.Counters = append(snap.Counters, CounterSample{Name: n, Value: c.Value()})
+	}
+	for _, v := range counterVecs {
+		v.Each(func(labels []Label, c *Counter) {
+			snap.Counters = append(snap.Counters, CounterSample{Name: v.name, Labels: labels, Value: c.Value()})
+		})
+	}
+	for n, g := range gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSample{Name: n, Value: g.Value()})
+	}
+	for _, v := range gaugeVecs {
+		v.Each(func(labels []Label, g *Gauge) {
+			snap.Gauges = append(snap.Gauges, GaugeSample{Name: v.name, Labels: labels, Value: g.Value()})
+		})
+	}
+	for n, h := range histograms {
+		snap.Histograms = append(snap.Histograms, HistogramSample{Name: n, HistogramSnapshot: h.Snapshot()})
+	}
+	for _, v := range histogramVecs {
+		v.Each(func(labels []Label, h *Histogram) {
+			snap.Histograms = append(snap.Histograms, HistogramSample{Name: v.name, Labels: labels, HistogramSnapshot: h.Snapshot()})
+		})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		return sampleLess(snap.Counters[i].Name, snap.Counters[i].Labels, snap.Counters[j].Name, snap.Counters[j].Labels)
+	})
+	sort.Slice(snap.Gauges, func(i, j int) bool {
+		return sampleLess(snap.Gauges[i].Name, snap.Gauges[i].Labels, snap.Gauges[j].Name, snap.Gauges[j].Labels)
+	})
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return sampleLess(snap.Histograms[i].Name, snap.Histograms[i].Labels, snap.Histograms[j].Name, snap.Histograms[j].Labels)
+	})
+	return snap
+}
+
+func sampleLess(an string, al []Label, bn string, bl []Label) bool {
+	if an != bn {
+		return an < bn
+	}
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i].Value != bl[i].Value {
+			return al[i].Value < bl[i].Value
+		}
+	}
+	return len(al) < len(bl)
 }

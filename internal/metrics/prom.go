@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges map directly; histograms are
+// exposed as summaries (quantile series plus _sum and _count), which fits
+// the log-bucketed quantile estimates the Histogram type keeps. Metric
+// names are sanitized to the [a-zA-Z_:][a-zA-Z0-9_:]* charset; output is
+// sorted by name then labels, so scrapes are deterministic and the text
+// round-trips through a parser.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+
+	writeFamily := func(kind string, names []string, emit func(name string)) {
+		seen := map[string]bool{}
+		for _, n := range names {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", n, kind)
+			emit(n)
+		}
+	}
+
+	counterNames := make([]string, 0, len(snap.Counters))
+	byName := map[string][]CounterSample{}
+	for _, s := range snap.Counters {
+		n := SanitizeName(s.Name)
+		if _, ok := byName[n]; !ok {
+			counterNames = append(counterNames, n)
+		}
+		byName[n] = append(byName[n], s)
+	}
+	sort.Strings(counterNames)
+	writeFamily("counter", counterNames, func(n string) {
+		for _, s := range byName[n] {
+			fmt.Fprintf(&b, "%s%s %d\n", n, renderLabels(s.Labels, ""), s.Value)
+		}
+	})
+
+	gaugeNames := make([]string, 0, len(snap.Gauges))
+	gaugesByName := map[string][]GaugeSample{}
+	for _, s := range snap.Gauges {
+		n := SanitizeName(s.Name)
+		if _, ok := gaugesByName[n]; !ok {
+			gaugeNames = append(gaugeNames, n)
+		}
+		gaugesByName[n] = append(gaugesByName[n], s)
+	}
+	sort.Strings(gaugeNames)
+	writeFamily("gauge", gaugeNames, func(n string) {
+		for _, s := range gaugesByName[n] {
+			fmt.Fprintf(&b, "%s%s %d\n", n, renderLabels(s.Labels, ""), s.Value)
+		}
+	})
+
+	histNames := make([]string, 0, len(snap.Histograms))
+	histsByName := map[string][]HistogramSample{}
+	for _, s := range snap.Histograms {
+		n := SanitizeName(s.Name)
+		if _, ok := histsByName[n]; !ok {
+			histNames = append(histNames, n)
+		}
+		histsByName[n] = append(histsByName[n], s)
+	}
+	sort.Strings(histNames)
+	writeFamily("summary", histNames, func(n string) {
+		for _, s := range histsByName[n] {
+			for _, q := range []struct {
+				q string
+				v int64
+			}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+				fmt.Fprintf(&b, "%s%s %d\n", n, renderLabels(s.Labels, `quantile="`+q.q+`"`), q.v)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %d\n", n, renderLabels(s.Labels, ""), s.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", n, renderLabels(s.Labels, ""), s.Count)
+		}
+	})
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SanitizeName maps an internal metric name onto the Prometheus name
+// charset: runs of invalid characters become '_', and a leading digit gets
+// a '_' prefix.
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, c := range name {
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(c)
+			continue
+		}
+		if valid {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// renderLabels formats a label set as {k="v",...}, escaping backslash,
+// quote and newline per the exposition format. extra, when non-empty, is a
+// pre-rendered pair appended last (used for quantile).
+func renderLabels(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(SanitizeName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal Prometheus text-format parser used to prove
+// the writer's output round-trips: it returns TYPE declarations and every
+// sample as (name, sorted-label-string) -> value.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, line)
+			}
+			name = key[:i]
+			inner := key[i+1 : len(key)-1]
+			for _, pair := range splitLabelPairs(t, inner) {
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 || !strings.HasPrefix(kv[1], `"`) || !strings.HasSuffix(kv[1], `"`) {
+					t.Fatalf("line %d: malformed label pair %q", ln+1, pair)
+				}
+				if !isValidMetricName(kv[0]) {
+					t.Fatalf("line %d: invalid label name %q", ln+1, kv[0])
+				}
+			}
+		}
+		if !isValidMetricName(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+		samples[key] = val
+	}
+	return types, samples
+}
+
+func splitLabelPairs(t *testing.T, inner string) []string {
+	t.Helper()
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(inner) {
+		out = append(out, inner[start:])
+	}
+	return out
+}
+
+func isValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tasks_launched").Add(17)
+	r.Counter("weird-name.with/chars").Add(3)
+	r.Gauge("queue_depth").Set(-4)
+	r.Histogram("task_duration_ns").Observe(1000)
+	r.Histogram("task_duration_ns").Observe(2000)
+	v := r.CounterVec("shuffle_partition_bytes", "shuffle", "partition")
+	v.With("1", "0").Add(100)
+	v.With("1", "1").Add(900)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, sb.String())
+
+	if types["tasks_launched"] != "counter" {
+		t.Fatalf("types = %v", types)
+	}
+	if types["queue_depth"] != "gauge" {
+		t.Fatalf("types = %v", types)
+	}
+	if types["task_duration_ns"] != "summary" {
+		t.Fatalf("types = %v", types)
+	}
+	if samples["tasks_launched"] != 17 {
+		t.Fatalf("tasks_launched = %v", samples["tasks_launched"])
+	}
+	if samples["weird_name_with_chars"] != 3 {
+		t.Fatalf("sanitized counter missing: %v", samples)
+	}
+	if samples["queue_depth"] != -4 {
+		t.Fatalf("queue_depth = %v", samples["queue_depth"])
+	}
+	if samples["task_duration_ns_count"] != 2 || samples["task_duration_ns_sum"] != 3000 {
+		t.Fatalf("summary sum/count wrong: %v", samples)
+	}
+	if _, ok := samples[`task_duration_ns{quantile="0.5"}`]; !ok {
+		t.Fatalf("missing quantile series: %v", samples)
+	}
+	if samples[`shuffle_partition_bytes{shuffle="1",partition="0"}`] != 100 {
+		t.Fatalf("labeled counter missing: %v", samples)
+	}
+	if samples[`shuffle_partition_bytes{shuffle="1",partition="1"}`] != 900 {
+		t.Fatalf("labeled counter missing: %v", samples)
+	}
+
+	// Deterministic: a second write must be byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("exposition output is not deterministic")
+	}
+}
+
+func TestWritePrometheusEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c", "k").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `c{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("output %q does not contain escaped sample %q", out, want)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":   "ok_name",
+		"with-dash": "with_dash",
+		"a.b/c d":   "a_b_c_d",
+		"9starts":   "_9starts",
+		"":          "_",
+		"colon:ok":  "colon:ok",
+		"UPPER_ok9": "UPPER_ok9",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(5)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "hits 5") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func BenchmarkCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "a", "b")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("x", "y").Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -58,6 +58,14 @@ func (f *Fabric) Simulate(flows []Flow) []FlowResult {
 	if n == 0 {
 		return results
 	}
+	if im := f.m.Load(); im != nil {
+		im.simFlows.Add(int64(n))
+		for _, fl := range flows {
+			if fl.Bytes > 0 {
+				im.simFlowBytes.Add(fl.Bytes)
+			}
+		}
+	}
 
 	states := make([]*flowState, n)
 	m := f.model

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func TestInstrumentCountsCostAndSim(t *testing.T) {
+	top := topology.TwoTier(2, 2, 2)
+	f := NewFabric(top, RDMA40G)
+	reg := metrics.NewRegistry()
+	f.Instrument(reg)
+
+	d1 := f.Cost(0, 3, 1000)
+	d2 := f.Cost(0, 0, 500) // same-node memcpy path must be counted too
+	if got := reg.Counter("net_cost_queries").Value(); got != 2 {
+		t.Fatalf("cost queries = %d, want 2", got)
+	}
+	if got := reg.Counter("net_cost_payload_bytes").Value(); got != 1500 {
+		t.Fatalf("cost payload bytes = %d, want 1500", got)
+	}
+	if got := reg.Counter("net_cost_time_ns").Value(); got != int64(d1+d2) {
+		t.Fatalf("cost time = %d, want %d", got, int64(d1+d2))
+	}
+
+	f.Simulate([]Flow{
+		{Src: 0, Dst: 1, Bytes: 4096},
+		{Src: 2, Dst: 3, Bytes: 8192},
+	})
+	if got := reg.Counter("net_sim_flows").Value(); got != 2 {
+		t.Fatalf("sim flows = %d, want 2", got)
+	}
+	if got := reg.Counter("net_sim_payload_bytes").Value(); got != 12288 {
+		t.Fatalf("sim payload bytes = %d, want 12288", got)
+	}
+
+	// Detach: counters must stop moving.
+	f.Instrument(nil)
+	f.Cost(0, 3, 1000)
+	if got := reg.Counter("net_cost_queries").Value(); got != 2 {
+		t.Fatalf("counter moved after detach: %d", got)
+	}
+}
+
+func TestInstrumentationDoesNotChangeCosts(t *testing.T) {
+	top := topology.TwoTier(2, 2, 2)
+	plain := NewFabric(top, TCP40G)
+	instr := NewFabric(top, TCP40G)
+	instr.Instrument(metrics.NewRegistry())
+	for _, bytes := range []int64{0, 64, 4096, 1 << 20} {
+		if a, b := plain.Cost(0, 3, bytes), instr.Cost(0, 3, bytes); a != b {
+			t.Fatalf("instrumentation changed Cost(%d): %v vs %v", bytes, a, b)
+		}
+	}
+}

@@ -13,8 +13,10 @@
 package netsim
 
 import (
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -69,11 +71,40 @@ var (
 // memBandwidthBps approximates a local memcpy for same-node "transfers".
 const memBandwidthBps = 20e9
 
+// fabricMetrics holds the optional counters; nil fields are no-ops.
+type fabricMetrics struct {
+	costQueries  *metrics.Counter
+	costBytes    *metrics.Counter
+	costTimeNs   *metrics.Counter
+	simFlows     *metrics.Counter
+	simFlowBytes *metrics.Counter
+}
+
 // Fabric combines a topology with a transport model and answers cost
-// queries. Fabric is immutable and safe for concurrent use.
+// queries. The cost model is immutable; instrumentation attaches through
+// an atomic pointer, so Fabric stays safe for concurrent use.
 type Fabric struct {
 	top   *topology.Topology
 	model Model
+	m     atomic.Pointer[fabricMetrics]
+}
+
+// Instrument attaches transfer counters to reg: cost-query volume
+// (net_cost_queries / net_cost_payload_bytes / net_cost_time_ns) and
+// flow-simulation volume (net_sim_flows / net_sim_payload_bytes). Safe
+// to call concurrently with cost queries; a nil reg detaches.
+func (f *Fabric) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		f.m.Store(nil)
+		return
+	}
+	f.m.Store(&fabricMetrics{
+		costQueries:  reg.Counter("net_cost_queries"),
+		costBytes:    reg.Counter("net_cost_payload_bytes"),
+		costTimeNs:   reg.Counter("net_cost_time_ns"),
+		simFlows:     reg.Counter("net_sim_flows"),
+		simFlowBytes: reg.Counter("net_sim_payload_bytes"),
+	})
 }
 
 // NewFabric builds a fabric over top using model.
@@ -97,16 +128,23 @@ func (f *Fabric) Cost(src, dst topology.NodeID, bytes int64) time.Duration {
 	if bytes < 0 {
 		bytes = 0
 	}
+	var d time.Duration
 	if src == dst {
-		return time.Duration(float64(bytes) / memBandwidthBps * float64(time.Second))
+		d = time.Duration(float64(bytes) / memBandwidthBps * float64(time.Second))
+	} else {
+		m := f.model
+		wire := float64(bytes) * (1 + m.WireOverhead)
+		d = m.SetupLatency
+		d += time.Duration(f.top.Hops(src, dst)) * m.PerHopLatency
+		// The host CPU pipeline (copies, protocol processing) overlaps with
+		// NIC transmission; the transfer proceeds at whichever is slower.
+		d += time.Duration(wire / f.effectiveRate() * float64(time.Second))
 	}
-	m := f.model
-	wire := float64(bytes) * (1 + m.WireOverhead)
-	d := m.SetupLatency
-	d += time.Duration(f.top.Hops(src, dst)) * m.PerHopLatency
-	// The host CPU pipeline (copies, protocol processing) overlaps with NIC
-	// transmission; the transfer proceeds at whichever is slower.
-	d += time.Duration(wire / f.effectiveRate() * float64(time.Second))
+	if im := f.m.Load(); im != nil {
+		im.costQueries.Inc()
+		im.costBytes.Add(bytes)
+		im.costTimeNs.Add(int64(d))
+	}
 	return d
 }
 

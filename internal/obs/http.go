@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ReportStore keeps the reports of completed jobs for the /debug/jobs
+// endpoint. Safe for concurrent use; a nil store ignores Add and returns
+// no reports, so callers can hold one unconditionally.
+type ReportStore struct {
+	mu      sync.Mutex
+	reports []*Report
+}
+
+// NewReportStore returns an empty store.
+func NewReportStore() *ReportStore { return &ReportStore{} }
+
+// Add appends a completed job's report.
+func (s *ReportStore) Add(r *Report) {
+	if s == nil || r == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reports = append(s.reports, r)
+	s.mu.Unlock()
+}
+
+// Reports returns the stored reports, oldest first.
+func (s *ReportStore) Reports() []*Report {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Report(nil), s.reports...)
+}
+
+// Last returns the most recently added report, or nil.
+func (s *ReportStore) Last() *Report {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.reports) == 0 {
+		return nil
+	}
+	return s.reports[len(s.reports)-1]
+}
+
+// NewMux assembles the debug surface:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/debug/trace  Chrome trace-event JSON from rec (load in Perfetto)
+//	/debug/jobs   JSON array of stored job reports
+//
+// Any argument may be nil; the corresponding endpoint then serves an
+// empty-but-valid document.
+func NewMux(reg *metrics.Registry, rec *trace.Recorder, store *ReportStore) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reports := store.Reports()
+		if reports == nil {
+			reports = []*Report{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reports)
+	})
+	return mux
+}

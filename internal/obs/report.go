@@ -1,0 +1,335 @@
+// Package obs builds post-hoc observability reports for engine jobs. It
+// consumes the raw signals the rest of the tree already produces — trace
+// spans from internal/trace and typed metric snapshots from
+// internal/metrics — and condenses them into a per-job Report: per-stage
+// wall-clock and busy-time breakdowns, task-duration percentiles,
+// straggler detection (k x median), and shuffle partition-skew analysis
+// fed by the engine's labeled shuffle_partition_bytes counters.
+//
+// The package is deliberately passive: it never hooks execution, so it
+// adds zero cost to instrumented code. Reports are plain data and
+// marshal to JSON for the /debug/jobs endpoint (see NewMux).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Metric and span conventions shared with the engine instrumentation.
+const (
+	// CategoryTask and CategoryStage are the span categories the engine
+	// emits; Build groups tasks into stages via the ArgStage span arg.
+	CategoryTask  = "task"
+	CategoryStage = "stage"
+	// ArgStage is the task-span arg naming the stage the task belongs to.
+	ArgStage = "stage"
+	// MetricPartitionBytes / MetricPartitionRecords are the labeled
+	// counters (labels: shuffle, partition) that feed skew analysis.
+	MetricPartitionBytes   = "shuffle_partition_bytes"
+	MetricPartitionRecords = "shuffle_partition_records"
+)
+
+// Options tunes report construction.
+type Options struct {
+	// StragglerK flags a task as a straggler when its duration exceeds
+	// K x the stage's median task duration. Default 2.0.
+	StragglerK float64
+	// MinStragglerTasks is the minimum number of tasks a stage needs
+	// before straggler detection applies (a 1-task stage has no peers to
+	// lag behind). Default 3.
+	MinStragglerTasks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.StragglerK <= 0 {
+		o.StragglerK = 2.0
+	}
+	if o.MinStragglerTasks <= 0 {
+		o.MinStragglerTasks = 3
+	}
+	return o
+}
+
+// Straggler is a task flagged as abnormally slow for its stage.
+type Straggler struct {
+	Task     string        `json:"task"`  // span name, e.g. "task p3 a0"
+	Track    string        `json:"track"` // executor node the task ran on
+	Duration time.Duration `json:"duration_ns"`
+	Median   time.Duration `json:"stage_median_ns"`
+	Ratio    float64       `json:"ratio"` // Duration / Median
+}
+
+// StageStats summarizes one stage's task population.
+type StageStats struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"` // earliest activity, relative to the recorder epoch
+	// Wall is the driver-observed stage duration when the engine emitted a
+	// stage span; otherwise the envelope of its task spans.
+	Wall time.Duration `json:"wall_ns"`
+	// Busy is the sum of task durations — Busy/Wall approximates the
+	// stage's achieved parallelism.
+	Busy       time.Duration `json:"busy_ns"`
+	Tasks      int           `json:"tasks"`
+	P50        time.Duration `json:"p50_ns"`
+	P95        time.Duration `json:"p95_ns"`
+	Max        time.Duration `json:"max_ns"`
+	Stragglers []Straggler   `json:"stragglers,omitempty"`
+}
+
+// ShuffleStats summarizes the per-partition byte/record distribution of
+// one shuffle, as recorded by the engine's labeled counters.
+type ShuffleStats struct {
+	Shuffle      string  `json:"shuffle"` // shuffle (plan) id label
+	Partitions   int     `json:"partitions"`
+	TotalBytes   int64   `json:"total_bytes"`
+	TotalRecords int64   `json:"total_records"`
+	MaxBytes     int64   `json:"max_bytes"`
+	MeanBytes    float64 `json:"mean_bytes"`
+	MaxPartition string  `json:"max_partition"` // partition label holding MaxBytes
+	// Imbalance is MaxBytes/MeanBytes: 1.0 is perfectly balanced; a value
+	// near the partition count means one partition holds everything.
+	Imbalance float64 `json:"imbalance"`
+}
+
+// Report is the condensed observability view of one job run.
+type Report struct {
+	Job      string         `json:"job"`
+	Wall     time.Duration  `json:"wall_ns"` // envelope of every span
+	Spans    int            `json:"spans"`
+	Stages   []StageStats   `json:"stages"`
+	Shuffles []ShuffleStats `json:"shuffles,omitempty"`
+}
+
+// Build condenses spans and a metrics snapshot into a Report. Task spans
+// (Category "task") are grouped into stages by their ArgStage arg — tasks
+// without one land in a synthetic "(untagged)" stage. Stage spans
+// (Category "stage") supply driver-side wall clocks. Shuffle skew comes
+// from the snapshot's shuffle_partition_bytes/_records counter vectors.
+func Build(job string, spans []trace.Span, snap metrics.Snapshot, opts Options) *Report {
+	opts = opts.withDefaults()
+	r := &Report{Job: job, Spans: len(spans)}
+
+	// Job wall clock: envelope of everything recorded.
+	var minStart, maxEnd time.Duration
+	first := true
+	for _, s := range spans {
+		end := s.Start + s.Duration
+		if first || s.Start < minStart {
+			minStart = s.Start
+		}
+		if first || end > maxEnd {
+			maxEnd = end
+		}
+		first = false
+	}
+	if !first {
+		r.Wall = maxEnd - minStart
+	}
+
+	// Group task spans by stage; remember driver-side stage spans.
+	taskByStage := map[string][]trace.Span{}
+	stageSpan := map[string]trace.Span{}
+	var order []string
+	seen := map[string]bool{}
+	note := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	for _, s := range spans {
+		switch s.Category {
+		case CategoryStage:
+			stageSpan[s.Name] = s
+			note(s.Name)
+		case CategoryTask:
+			stage := s.Args[ArgStage]
+			if stage == "" {
+				stage = "(untagged)"
+			}
+			taskByStage[stage] = append(taskByStage[stage], s)
+			note(stage)
+		}
+	}
+
+	for _, name := range order {
+		tasks := taskByStage[name]
+		st := StageStats{Name: name, Tasks: len(tasks)}
+		durs := make([]time.Duration, 0, len(tasks))
+		var tMin, tMax time.Duration
+		for i, t := range tasks {
+			st.Busy += t.Duration
+			durs = append(durs, t.Duration)
+			end := t.Start + t.Duration
+			if i == 0 || t.Start < tMin {
+				tMin = t.Start
+			}
+			if i == 0 || end > tMax {
+				tMax = end
+			}
+		}
+		if ss, ok := stageSpan[name]; ok {
+			st.Start, st.Wall = ss.Start, ss.Duration
+		} else if len(tasks) > 0 {
+			st.Start, st.Wall = tMin, tMax-tMin
+		}
+		if len(durs) > 0 {
+			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			st.P50 = percentile(durs, 0.50)
+			st.P95 = percentile(durs, 0.95)
+			st.Max = durs[len(durs)-1]
+			if len(durs) >= opts.MinStragglerTasks && st.P50 > 0 {
+				limit := time.Duration(float64(st.P50) * opts.StragglerK)
+				for _, t := range tasks {
+					if t.Duration > limit {
+						st.Stragglers = append(st.Stragglers, Straggler{
+							Task:     t.Name,
+							Track:    t.Track,
+							Duration: t.Duration,
+							Median:   st.P50,
+							Ratio:    float64(t.Duration) / float64(st.P50),
+						})
+					}
+				}
+				sort.Slice(st.Stragglers, func(i, j int) bool {
+					return st.Stragglers[i].Duration > st.Stragglers[j].Duration
+				})
+			}
+		}
+		r.Stages = append(r.Stages, st)
+	}
+	sort.SliceStable(r.Stages, func(i, j int) bool { return r.Stages[i].Start < r.Stages[j].Start })
+
+	r.Shuffles = shuffleSkew(snap)
+	return r
+}
+
+// percentile returns the nearest-rank percentile of an ascending slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// shuffleSkew extracts per-shuffle partition distributions from the
+// labeled shuffle_partition_bytes/_records counters.
+func shuffleSkew(snap metrics.Snapshot) []ShuffleStats {
+	type acc struct {
+		bytes, records map[string]int64 // partition label -> value
+	}
+	byShuffle := map[string]*acc{}
+	get := func(shuffle string) *acc {
+		a, ok := byShuffle[shuffle]
+		if !ok {
+			a = &acc{bytes: map[string]int64{}, records: map[string]int64{}}
+			byShuffle[shuffle] = a
+		}
+		return a
+	}
+	for _, s := range snap.Counters {
+		if s.Name != MetricPartitionBytes && s.Name != MetricPartitionRecords {
+			continue
+		}
+		var shuffle, partition string
+		for _, l := range s.Labels {
+			switch l.Key {
+			case "shuffle":
+				shuffle = l.Value
+			case "partition":
+				partition = l.Value
+			}
+		}
+		if shuffle == "" || partition == "" {
+			continue
+		}
+		a := get(shuffle)
+		if s.Name == MetricPartitionBytes {
+			a.bytes[partition] += s.Value
+		} else {
+			a.records[partition] += s.Value
+		}
+	}
+
+	ids := make([]string, 0, len(byShuffle))
+	for id := range byShuffle {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []ShuffleStats
+	for _, id := range ids {
+		a := byShuffle[id]
+		ss := ShuffleStats{Shuffle: id, Partitions: len(a.bytes)}
+		parts := make([]string, 0, len(a.bytes))
+		for p := range a.bytes {
+			parts = append(parts, p)
+		}
+		sort.Strings(parts)
+		for _, p := range parts {
+			b := a.bytes[p]
+			ss.TotalBytes += b
+			if b > ss.MaxBytes {
+				ss.MaxBytes = b
+				ss.MaxPartition = p
+			}
+		}
+		for _, v := range a.records {
+			ss.TotalRecords += v
+		}
+		if ss.Partitions > 0 {
+			ss.MeanBytes = float64(ss.TotalBytes) / float64(ss.Partitions)
+			if ss.MeanBytes > 0 {
+				ss.Imbalance = float64(ss.MaxBytes) / ss.MeanBytes
+			}
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+// String renders the report as a fixed-width table for terminal output.
+func (r *Report) String() string {
+	if r == nil {
+		return "(no report)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %q: wall %v, %d stages, %d spans\n",
+		r.Job, r.Wall.Round(time.Microsecond), len(r.Stages), r.Spans)
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(&b, "  %-28s %6s %10s %10s %10s %10s %10s %5s\n",
+			"stage", "tasks", "wall", "busy", "p50", "p95", "max", "strag")
+		for _, st := range r.Stages {
+			fmt.Fprintf(&b, "  %-28s %6d %10v %10v %10v %10v %10v %5d\n",
+				st.Name, st.Tasks,
+				st.Wall.Round(time.Microsecond), st.Busy.Round(time.Microsecond),
+				st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond),
+				st.Max.Round(time.Microsecond), len(st.Stragglers))
+		}
+	}
+	for _, st := range r.Stages {
+		for _, sg := range st.Stragglers {
+			fmt.Fprintf(&b, "  straggler: %s on %s: %v (%.1fx stage median %v)\n",
+				sg.Task, sg.Track, sg.Duration.Round(time.Microsecond),
+				sg.Ratio, sg.Median.Round(time.Microsecond))
+		}
+	}
+	for _, sh := range r.Shuffles {
+		fmt.Fprintf(&b, "  shuffle %s: %d partitions, %d bytes, %d records, imbalance %.2f (max part %s: %d bytes, mean %.0f)\n",
+			sh.Shuffle, sh.Partitions, sh.TotalBytes, sh.TotalRecords,
+			sh.Imbalance, sh.MaxPartition, sh.MaxBytes, sh.MeanBytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func taskSpan(name, track, stage string, start, dur time.Duration) trace.Span {
+	return trace.Span{
+		Name: name, Category: CategoryTask, Track: track,
+		Start: start, Duration: dur,
+		Args: map[string]string{ArgStage: stage},
+	}
+}
+
+func TestBuildStageBreakdownAndStragglers(t *testing.T) {
+	spans := []trace.Span{
+		{Name: "map s1", Category: CategoryStage, Track: "driver", Start: 0, Duration: ms(40)},
+		taskSpan("task p0 a0", "node-00", "map s1", ms(1), ms(10)),
+		taskSpan("task p1 a0", "node-01", "map s1", ms(1), ms(10)),
+		taskSpan("task p2 a0", "node-02", "map s1", ms(2), ms(11)),
+		taskSpan("task p3 a0", "node-03", "map s1", ms(2), ms(38)), // straggler: 3.8x median
+		{Name: "result", Category: CategoryStage, Track: "driver", Start: ms(41), Duration: ms(9)},
+		taskSpan("task p0 a0", "node-00", "result", ms(42), ms(8)),
+	}
+	r := Build("wordcount", spans, metrics.Snapshot{}, Options{})
+	if r.Job != "wordcount" || r.Spans != len(spans) {
+		t.Fatalf("report header = %+v", r)
+	}
+	if r.Wall != ms(50) { // 0 .. 41+9
+		t.Fatalf("wall = %v, want 50ms", r.Wall)
+	}
+	if len(r.Stages) != 2 {
+		t.Fatalf("stages = %+v", r.Stages)
+	}
+	mapStage := r.Stages[0]
+	if mapStage.Name != "map s1" || mapStage.Tasks != 4 {
+		t.Fatalf("map stage = %+v", mapStage)
+	}
+	if mapStage.Wall != ms(40) { // driver-side stage span wins
+		t.Fatalf("map wall = %v", mapStage.Wall)
+	}
+	if mapStage.Busy != ms(10+10+11+38) {
+		t.Fatalf("map busy = %v", mapStage.Busy)
+	}
+	if mapStage.P50 != ms(10) || mapStage.Max != ms(38) {
+		t.Fatalf("map p50=%v max=%v", mapStage.P50, mapStage.Max)
+	}
+	if len(mapStage.Stragglers) != 1 {
+		t.Fatalf("stragglers = %+v", mapStage.Stragglers)
+	}
+	sg := mapStage.Stragglers[0]
+	if sg.Task != "task p3 a0" || sg.Track != "node-03" {
+		t.Fatalf("straggler = %+v", sg)
+	}
+	if sg.Ratio < 3.7 || sg.Ratio > 3.9 {
+		t.Fatalf("straggler ratio = %v", sg.Ratio)
+	}
+	// The 1-task result stage must not flag stragglers.
+	if got := r.Stages[1]; got.Name != "result" || len(got.Stragglers) != 0 {
+		t.Fatalf("result stage = %+v", got)
+	}
+	// Stage wall-clock sum is bounded by the job envelope with sequential stages.
+	var sum time.Duration
+	for _, st := range r.Stages {
+		sum += st.Wall
+	}
+	if sum > r.Wall {
+		t.Fatalf("stage wall sum %v exceeds job wall %v", sum, r.Wall)
+	}
+	if s := r.String(); !strings.Contains(s, "straggler: task p3 a0 on node-03") {
+		t.Fatalf("String() missing straggler line:\n%s", s)
+	}
+}
+
+func TestBuildUntaggedTasksAndNoStageSpan(t *testing.T) {
+	spans := []trace.Span{
+		{Name: "task p0 a0", Category: CategoryTask, Track: "node-00", Start: ms(5), Duration: ms(10)},
+		{Name: "task p1 a0", Category: CategoryTask, Track: "node-01", Start: ms(7), Duration: ms(12)},
+	}
+	r := Build("legacy", spans, metrics.Snapshot{}, Options{})
+	if len(r.Stages) != 1 || r.Stages[0].Name != "(untagged)" {
+		t.Fatalf("stages = %+v", r.Stages)
+	}
+	// Without a driver span the stage wall is the task envelope: 5..19.
+	if r.Stages[0].Start != ms(5) || r.Stages[0].Wall != ms(14) {
+		t.Fatalf("stage envelope = %+v", r.Stages[0])
+	}
+}
+
+func TestShuffleSkewFromSnapshot(t *testing.T) {
+	reg := metrics.NewRegistry()
+	bytesVec := reg.CounterVec(MetricPartitionBytes, "shuffle", "partition")
+	recsVec := reg.CounterVec(MetricPartitionRecords, "shuffle", "partition")
+	// Shuffle 1: heavily skewed — partition 0 holds 800 of 1000 bytes.
+	bytesVec.With("1", "0").Add(800)
+	bytesVec.With("1", "1").Add(100)
+	bytesVec.With("1", "2").Add(100)
+	recsVec.With("1", "0").Add(80)
+	recsVec.With("1", "1").Add(10)
+	recsVec.With("1", "2").Add(10)
+	// Shuffle 2: perfectly balanced.
+	bytesVec.With("2", "0").Add(50)
+	bytesVec.With("2", "1").Add(50)
+
+	r := Build("skewed", nil, reg.Snapshot(), Options{})
+	if len(r.Shuffles) != 2 {
+		t.Fatalf("shuffles = %+v", r.Shuffles)
+	}
+	s1 := r.Shuffles[0]
+	if s1.Shuffle != "1" || s1.Partitions != 3 || s1.TotalBytes != 1000 || s1.TotalRecords != 100 {
+		t.Fatalf("shuffle 1 = %+v", s1)
+	}
+	if s1.MaxPartition != "0" || s1.MaxBytes != 800 {
+		t.Fatalf("shuffle 1 max = %+v", s1)
+	}
+	if s1.Imbalance < 2.39 || s1.Imbalance > 2.41 { // 800 / (1000/3)
+		t.Fatalf("shuffle 1 imbalance = %v", s1.Imbalance)
+	}
+	if s2 := r.Shuffles[1]; s2.Imbalance != 1.0 {
+		t.Fatalf("shuffle 2 imbalance = %v", s2.Imbalance)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	durs := []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(100)}
+	if p := percentile(durs, 0.5); p != ms(3) {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(durs, 1); p != ms(100) {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := percentile(durs, 0); p != ms(1) {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty = %v", p)
+	}
+}
+
+func TestReportStoreNilSafe(t *testing.T) {
+	var s *ReportStore
+	s.Add(&Report{Job: "x"}) // must not panic
+	if s.Reports() != nil || s.Last() != nil {
+		t.Fatal("nil store returned data")
+	}
+	st := NewReportStore()
+	st.Add(nil) // ignored
+	st.Add(&Report{Job: "a"})
+	st.Add(&Report{Job: "b"})
+	if got := st.Reports(); len(got) != 2 || got[0].Job != "a" {
+		t.Fatalf("reports = %+v", got)
+	}
+	if st.Last().Job != "b" {
+		t.Fatalf("last = %+v", st.Last())
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("tasks_launched").Add(3)
+	rec := trace.New()
+	rec.Add(trace.Span{Name: "task p0", Category: CategoryTask, Track: "node-00",
+		Start: ms(1), Duration: ms(2)})
+	store := NewReportStore()
+	store.Add(Build("job-1", rec.Spans(), reg.Snapshot(), Options{}))
+
+	srv := httptest.NewServer(NewMux(reg, rec, store))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "tasks_launched 3") {
+		t.Fatalf("/metrics = %q", body)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &events); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+	if len(events) != 2 { // thread_name meta + one complete event
+		t.Fatalf("trace events = %d", len(events))
+	}
+	var reports []Report
+	if err := json.Unmarshal([]byte(get("/debug/jobs")), &reports); err != nil {
+		t.Fatalf("/debug/jobs is not valid JSON: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Job != "job-1" {
+		t.Fatalf("jobs = %+v", reports)
+	}
+}
+
+func TestMuxNilComponents(t *testing.T) {
+	srv := httptest.NewServer(NewMux(nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/trace", "/debug/jobs"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func TestRunRecordsMetricsAndSpans(t *testing.T) {
+	top := topology.TwoTier(2, 2, 2)
+	reg := metrics.NewRegistry()
+	rec := trace.New()
+	jobs := []JobSpec{
+		{ID: 1, Tasks: []TaskSpec{
+			{Duration: 10 * time.Millisecond, Preferred: []topology.NodeID{0}},
+			{Duration: 10 * time.Millisecond, Preferred: []topology.NodeID{1}},
+			{Duration: 10 * time.Millisecond},
+		}},
+		{ID: 2, Arrival: time.Millisecond, Tasks: []TaskSpec{
+			{Duration: 5 * time.Millisecond, Preferred: []topology.NodeID{3}},
+		}},
+	}
+	res := Run(Config{Topology: top, SlotsPerNode: 2, Policy: Fair{},
+		Metrics: reg, Tracer: rec}, jobs)
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+
+	// One counter increment and one span per task.
+	var counted int64
+	reg.CounterVec("sched_tasks_by_locality", "policy", "locality").Each(
+		func(labels []metrics.Label, c *metrics.Counter) {
+			if labels[0].Key != "policy" || labels[0].Value != "fair" {
+				t.Fatalf("labels = %v", labels)
+			}
+			counted += c.Value()
+		})
+	if counted != 4 {
+		t.Fatalf("counted tasks = %d, want 4", counted)
+	}
+	if got := reg.Histogram("sched_task_duration_ns").Count(); got != 4 {
+		t.Fatalf("duration observations = %d, want 4", got)
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	for _, s := range spans {
+		if s.Category != "task" || s.Duration <= 0 {
+			t.Fatalf("span = %+v", s)
+		}
+		if s.Args["stage"] == "" || s.Args["locality"] == "" {
+			t.Fatalf("span args = %v", s.Args)
+		}
+		if end := s.Start + s.Duration; end > res.Makespan {
+			t.Fatalf("span ends at %v beyond makespan %v", end, res.Makespan)
+		}
+	}
+}
+
+func TestRunWithoutInstrumentationUnchanged(t *testing.T) {
+	top := topology.Single(2)
+	jobs := []JobSpec{{ID: 1, Tasks: []TaskSpec{{Duration: time.Millisecond}}}}
+	plain := Run(Config{Topology: top, Policy: FIFO{}}, jobs)
+	instr := Run(Config{Topology: top, Policy: FIFO{},
+		Metrics: metrics.NewRegistry(), Tracer: trace.New()}, jobs)
+	if plain.Makespan != instr.Makespan {
+		t.Fatalf("instrumentation changed the simulation: %v vs %v",
+			plain.Makespan, instr.Makespan)
+	}
+}

@@ -8,11 +8,14 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/metrics"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // TaskSpec is one task of a job.
@@ -45,6 +48,13 @@ type Config struct {
 	// Defaults: 1.15 and 1.6.
 	RackPenalty   float64
 	RemotePenalty float64
+	// Metrics, when non-nil, receives per-task counters labeled by policy
+	// and locality (sched_tasks_by_locality) plus a task-duration
+	// histogram. Optional.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, receives one virtual-time span per scheduled
+	// task (track = executor node, stage arg = the job). Optional.
+	Tracer *trace.Recorder
 }
 
 // Result summarizes a run.
@@ -350,6 +360,15 @@ func Run(cfg Config, jobs []JobSpec) Result {
 	}
 	res := Result{JobCompletion: make([]time.Duration, len(jobs))}
 
+	// Optional instrumentation: all handles stay nil (and every update a
+	// no-op) when cfg.Metrics is unset.
+	var tasksByLocality *metrics.CounterVec
+	var taskDur *metrics.Histogram
+	if cfg.Metrics != nil {
+		tasksByLocality = cfg.Metrics.CounterVec("sched_tasks_by_locality", "policy", "locality")
+		taskDur = cfg.Metrics.Histogram("sched_task_duration_ns")
+	}
+
 	var dispatch func()
 	dispatch = func() {
 		progress := true
@@ -373,20 +392,37 @@ func Run(cfg Config, jobs []JobSpec) Result {
 					t := j.spec.Tasks[ti]
 					loc := localityOf(cfg.Topology, t.Preferred, node)
 					dur := t.Duration
+					locName := "none"
 					if len(t.Preferred) == 0 {
 						res.NoPreference++
 					} else {
 						switch loc {
 						case topology.LocalNode:
 							res.NodeLocal++
+							locName = "local"
 						case topology.LocalRack:
 							res.RackLocal++
+							locName = "rack"
 							dur = time.Duration(float64(dur) * cfg.RackPenalty)
 						default:
 							res.RemoteRun++
+							locName = "remote"
 							dur = time.Duration(float64(dur) * cfg.RemotePenalty)
 						}
 					}
+					tasksByLocality.With(cfg.Policy.Name(), locName).Inc()
+					taskDur.ObserveDuration(dur)
+					cfg.Tracer.Add(trace.Span{
+						Name:     fmt.Sprintf("job%d t%d", j.spec.ID, ti),
+						Category: "task",
+						Track:    fmt.Sprintf("node-%02d", n),
+						Start:    sim.Now(),
+						Duration: dur,
+						Args: map[string]string{
+							"stage":    fmt.Sprintf("job %d", j.spec.ID),
+							"locality": locName,
+						},
+					})
 					j.running++
 					freeSlots[n]--
 					progress = true

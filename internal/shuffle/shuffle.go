@@ -72,6 +72,12 @@ type Stats struct {
 	RawBytes   int64
 	WireBytes  int64
 	Spills     int
+	// PartitionRecords and PartitionBytes hold the post-combine,
+	// pre-compression distribution across reduce partitions (length
+	// Config.Partitions, zero entries for empty partitions). They feed the
+	// engine's shuffle-skew analysis.
+	PartitionRecords []int
+	PartitionBytes   []int64
 }
 
 // Writer receives a map task's records and produces per-partition blocks.
@@ -231,6 +237,8 @@ func (w *hashWriter) Close() ([]Block, Stats, error) {
 	}
 	w.closed = true
 	w.flushCombiner()
+	w.stats.PartitionRecords = make([]int, w.cfg.Partitions)
+	w.stats.PartitionBytes = make([]int64, w.cfg.Partitions)
 	var blocks []Block
 	for p := range w.bufs {
 		var raw []byte
@@ -248,6 +256,8 @@ func (w *hashWriter) Close() ([]Block, Stats, error) {
 		data := w.cfg.Codec.Compress(raw)
 		w.stats.RawBytes += int64(len(raw))
 		w.stats.WireBytes += int64(len(data))
+		w.stats.PartitionRecords[p] = n
+		w.stats.PartitionBytes[p] = int64(len(raw))
 		blocks = append(blocks, Block{Partition: p, Data: data, Records: n, RawBytes: int64(len(raw))})
 	}
 	return blocks, w.stats, nil
@@ -396,6 +406,8 @@ func (w *sortWriter) Close() ([]Block, Stats, error) {
 		}
 		counts[bestPart]++
 	}
+	w.stats.PartitionRecords = make([]int, w.cfg.Partitions)
+	w.stats.PartitionBytes = make([]int64, w.cfg.Partitions)
 	var blocks []Block
 	for p := range bufs {
 		if bufs[p].Len() == 0 {
@@ -406,6 +418,8 @@ func (w *sortWriter) Close() ([]Block, Stats, error) {
 		w.stats.RawBytes += int64(len(raw))
 		w.stats.WireBytes += int64(len(data))
 		w.stats.RecordsOut += counts[p]
+		w.stats.PartitionRecords[p] = counts[p]
+		w.stats.PartitionBytes[p] = int64(len(raw))
 		blocks = append(blocks, Block{
 			Partition: p, Data: data, Records: counts[p],
 			RawBytes: int64(len(raw)), Sorted: true,

@@ -39,24 +39,29 @@ func New() *Recorder {
 }
 
 // Begin starts a span now; call the returned func to end it. Args are
-// attached at end time.
+// attached at end time (a nil args map is fine — panic-recovery paths end
+// spans with nil). The closure is idempotent: the span is recorded exactly
+// once even if both a deferred recovery handler and the normal path call it.
 func (r *Recorder) Begin(name, category, track string) func(args map[string]string) {
 	if r == nil {
 		return func(map[string]string) {}
 	}
 	start := time.Now()
+	var once sync.Once
 	return func(args map[string]string) {
-		end := time.Now()
-		r.mu.Lock()
-		r.spans = append(r.spans, Span{
-			Name:     name,
-			Category: category,
-			Track:    track,
-			Start:    start.Sub(r.epoch),
-			Duration: end.Sub(start),
-			Args:     args,
+		once.Do(func() {
+			end := time.Now()
+			r.mu.Lock()
+			r.spans = append(r.spans, Span{
+				Name:     name,
+				Category: category,
+				Track:    track,
+				Start:    start.Sub(r.epoch),
+				Duration: end.Sub(start),
+				Args:     args,
+			})
+			r.mu.Unlock()
 		})
-		r.mu.Unlock()
 	}
 }
 
@@ -70,8 +75,12 @@ func (r *Recorder) Add(s Span) {
 	r.mu.Unlock()
 }
 
-// Spans returns a copy of everything recorded, ordered by start time.
+// Spans returns a copy of everything recorded, ordered by start time. A
+// nil recorder returns nil.
 func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	out := append([]Span(nil), r.spans...)
 	r.mu.Unlock()
@@ -110,7 +119,8 @@ type chromeMeta struct {
 }
 
 // WriteChromeTrace emits the spans as a Chrome trace-event JSON array.
-// Tracks map to thread rows, named via metadata events.
+// Tracks map to thread rows, named via metadata events. A nil or empty
+// recorder writes an empty (but valid) event array.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	spans := r.Spans()
 	// Assign stable tids per track, sorted for determinism.
@@ -124,7 +134,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 	sort.Strings(tracks)
 	tid := map[string]int{}
-	var events []any
+	events := []any{}
 	for i, t := range tracks {
 		tid[t] = i + 1
 		events = append(events, chromeMeta{

@@ -38,6 +38,35 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 	if r.Len() != 0 {
 		t.Fatal("nil recorder recorded")
 	}
+	if r.Spans() != nil {
+		t.Fatal("nil recorder returned spans")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil recorder export: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("nil recorder export is not a JSON array: %v (%q)", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Fatalf("nil recorder exported %d events", len(events))
+	}
+}
+
+func TestEndClosureIdempotent(t *testing.T) {
+	r := New()
+	end := r.Begin("work", "task", "node-0")
+	// A panicking task path ends the span from a deferred recovery handler
+	// with nil args; the normal path may then call it again.
+	end(nil)
+	end(map[string]string{"outcome": "ok"})
+	if r.Len() != 1 {
+		t.Fatalf("span recorded %d times, want exactly once", r.Len())
+	}
+	if args := r.Spans()[0].Args; args != nil {
+		t.Fatalf("second end() overwrote the recorded span: args = %v", args)
+	}
 }
 
 func TestConcurrentRecording(t *testing.T) {

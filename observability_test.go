@@ -1,0 +1,89 @@
+package hpbdc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestObservabilityAcceptance runs a job with tracing enabled, an injected
+// straggler task and an injected hot-key skew, and checks the report
+// catches all three: stage walls that sum within the job wall-clock, the
+// slow task flagged as a straggler, and partition imbalance at least as
+// large as the injected skew.
+func TestObservabilityAcceptance(t *testing.T) {
+	ctx := testCtx(Config{EnableTracing: true, Seed: 5})
+	const parts = 6
+	src := SourceFunc(ctx, parts, func(part int) []Pair[string, string] {
+		if part == 0 {
+			time.Sleep(30 * time.Millisecond) // injected straggler
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+		out := make([]Pair[string, string], 0, 33)
+		for i := 0; i < 30; i++ {
+			// One hot key: every map task sends ~95% of its bytes to a
+			// single reduce partition.
+			out = append(out, Pair[string, string]{Key: "hot", Value: strings.Repeat("x", 64)})
+		}
+		for i := 0; i < 3; i++ {
+			out = append(out, Pair[string, string]{Key: fmt.Sprintf("u%d-%d", part, i), Value: "y"})
+		}
+		return out
+	})
+	grouped := GroupByKey(src, StringCodec, StringCodec, 4)
+	if _, err := grouped.Collect(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := ctx.Report("acceptance")
+	if rep.Wall <= 0 || len(rep.Stages) < 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Stages run sequentially, so their walls must fit in the job wall.
+	var sum time.Duration
+	for _, st := range rep.Stages {
+		sum += st.Wall
+	}
+	if sum > rep.Wall {
+		t.Fatalf("stage walls sum to %v, beyond job wall %v", sum, rep.Wall)
+	}
+
+	// The sleeping task must be flagged, attributed to its executor.
+	var mapStage *obs.StageStats
+	for i := range rep.Stages {
+		if rep.Stages[i].Tasks == parts {
+			mapStage = &rep.Stages[i]
+		}
+	}
+	if mapStage == nil {
+		t.Fatalf("no %d-task map stage in %+v", parts, rep.Stages)
+	}
+	if len(mapStage.Stragglers) == 0 {
+		t.Fatalf("no stragglers detected in map stage %+v", mapStage)
+	}
+	top := mapStage.Stragglers[0]
+	if !strings.Contains(top.Task, "p0") {
+		t.Fatalf("top straggler is %q, want the sleeping task p0", top.Task)
+	}
+	if top.Track == "" || top.Ratio < 2 {
+		t.Fatalf("straggler = %+v", top)
+	}
+
+	// The hot key concentrates ~95% of bytes in one of 4 partitions, an
+	// imbalance of ~3.8x; the report must see at least 2x.
+	if len(rep.Shuffles) == 0 {
+		t.Fatal("no shuffle skew summary in report")
+	}
+	sh := rep.Shuffles[0]
+	if sh.Partitions != 4 {
+		t.Fatalf("shuffle partitions = %d, want 4", sh.Partitions)
+	}
+	if sh.Imbalance < 2 {
+		t.Fatalf("imbalance = %.2f, want >= 2 for the injected hot key", sh.Imbalance)
+	}
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (see ROADMAP.md), plus the hygiene and race
+# checks added with the observability layer. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent instrumentation) =="
+go test -race ./internal/metrics/... ./internal/trace/... \
+    ./internal/obs/... ./internal/core/... ./internal/shuffle/... \
+    ./internal/dfs/... ./internal/sched/... ./internal/netsim/...
+
+echo "verify: OK"
