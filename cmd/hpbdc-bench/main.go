@@ -29,7 +29,20 @@ func main() {
 		"serve /metrics, /debug/trace and /debug/jobs on this address (e.g. :9090)")
 	traceOut := flag.String("trace-out", "",
 		"write a Chrome/Perfetto trace JSON of all instrumented jobs to this file")
+	seed := flag.Uint64("seed", 0, "fault-injection seed for the EFT experiment (0: default)")
+	failProb := flag.Float64("fail-prob", 0, "global transient task failure probability for EFT")
+	chaosSpec := flag.String("chaos", "",
+		"chaos schedule for EFT: a preset name (crash, partition, straggler, flaky, mixed) or a schedule file")
 	flag.Parse()
+
+	if *seed != 0 || *failProb != 0 || *chaosSpec != "" {
+		spec, err := loadChaosSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetFaultConfig(*seed, *failProb, spec)
+	}
 
 	var (
 		reg   *metrics.Registry
@@ -104,4 +117,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "done; still serving on %s — Ctrl-C to exit\n", *metricsAddr)
 		select {}
 	}
+}
+
+// loadChaosSpec resolves the -chaos flag: a path to a schedule file is
+// read, anything else (a preset name or inline schedule text) passes
+// through for the experiment to parse against its cluster size.
+func loadChaosSpec(spec string) (string, error) {
+	if spec == "" {
+		return "", nil
+	}
+	if b, err := os.ReadFile(spec); err == nil {
+		return string(b), nil
+	}
+	return spec, nil
 }

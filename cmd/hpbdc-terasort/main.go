@@ -13,6 +13,7 @@ import (
 	"time"
 
 	hpbdc "repro"
+	"repro/internal/chaos"
 	"repro/internal/workload"
 )
 
@@ -21,7 +22,11 @@ func main() {
 	nodes := flag.Int("nodes", 8, "cluster size")
 	transport := flag.String("transport", "rdma", "network model: rdma, tcp, ipoib")
 	codec := flag.String("codec", "none", "shuffle compression: none, rle, lz, flate")
-	seed := flag.Uint64("seed", 1, "workload seed")
+	seed := flag.Uint64("seed", 1, "workload, fault-injection and chaos seed")
+	failProb := flag.Float64("fail-prob", 0, "transient task failure probability")
+	chaosSpec := flag.String("chaos", "",
+		"chaos schedule: a preset name (crash, partition, straggler, flaky, mixed), schedule text or a schedule file")
+	speculation := flag.Bool("speculation", false, "launch speculative backups for straggler tasks")
 	report := flag.Bool("report", false, "print the job report (stage breakdown, stragglers, shuffle skew)")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace JSON to this file")
 	flag.Parse()
@@ -30,12 +35,27 @@ func main() {
 	if racks < 1 {
 		racks = 1
 	}
+	var sched chaos.Schedule
+	if *chaosSpec != "" {
+		spec := *chaosSpec
+		if b, err := os.ReadFile(spec); err == nil {
+			spec = string(b)
+		}
+		var err error
+		sched, err = chaos.Load(spec, *nodes)
+		if err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+	}
 	ctx := hpbdc.New(hpbdc.Config{
 		Racks:         racks,
 		NodesPerRack:  *nodes / racks,
 		Transport:     *transport,
 		ShuffleCodec:  *codec,
 		Seed:          *seed,
+		TaskFailProb:  *failProb,
+		Speculation:   *speculation,
+		Chaos:         sched,
 		EnableTracing: *report || *traceOut != "",
 	})
 	parts := *nodes * 2
@@ -77,6 +97,14 @@ func main() {
 		reg.Counter("shuffle_raw_bytes").Value(),
 		reg.Counter("shuffle_wire_bytes").Value(),
 		reg.Counter("shuffle_spills").Value())
+	if sched != nil || *failProb > 0 {
+		fmt.Printf("recovery: %d retries, %d speculative wins, %d quarantined nodes, %d blocked fetches, %d/%d chaos events\n",
+			reg.Counter("task_retries").Value(),
+			reg.Counter("speculative_wins").Value(),
+			reg.Counter("quarantined_nodes").Value(),
+			reg.Counter("partition_blocked_fetches").Value(),
+			ctx.Chaos().Applied(), len(sched))
+	}
 	if *report {
 		fmt.Print(ctx.Report("terasort").String())
 	}

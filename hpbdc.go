@@ -25,7 +25,9 @@ package hpbdc
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/compress"
 	"repro/internal/core"
@@ -61,8 +63,21 @@ type Config struct {
 	ForceSortShuffle bool
 	// TaskFailProb injects transient task failures (fault experiments).
 	TaskFailProb float64
-	// Seed drives all randomness (placement, failures). Default 1.
+	// Seed drives all randomness (placement, failures, chaos wildcards,
+	// retry jitter). Default 1.
 	Seed uint64
+	// Speculation enables backup launches for straggler tasks; the first
+	// copy to finish wins. See core.Config.Speculation.
+	Speculation bool
+	// JobDeadline bounds each job; past it the job aborts cleanly with
+	// core.ErrDeadlineExceeded and a partial report can still be cut.
+	JobDeadline time.Duration
+	// Chaos, when non-nil, replays the fault schedule against the whole
+	// context (executors, DFS, network fabric, per-node task faults) as
+	// the engine advances virtual time. Runs are reproducible from
+	// (Chaos, Seed). Build schedules with chaos.Parse, chaos.Preset or
+	// chaos.Load.
+	Chaos chaos.Schedule
 	// EnableTracing attaches a span recorder to the engine so every task
 	// and stage is recorded. Required for Context.Report and Chrome-trace
 	// export; off by default because span recording allocates per task.
@@ -77,6 +92,7 @@ type Context struct {
 	fs      *dfs.DFS
 	engine  *core.Engine
 	tracer  *trace.Recorder
+	chaos   *chaos.Controller
 	seed    uint64
 }
 
@@ -142,6 +158,8 @@ func New(cfg Config) *Context {
 		ForceSortShuffle: cfg.ForceSortShuffle,
 		TaskFailProb:     cfg.TaskFailProb,
 		Seed:             cfg.Seed,
+		Speculation:      cfg.Speculation,
+		JobDeadline:      cfg.JobDeadline,
 	})
 	// One registry for the whole context: the DFS and fabric feed their
 	// counters into the engine's registry so a single scrape sees compute,
@@ -149,6 +167,16 @@ func New(cfg Config) *Context {
 	fs.Instrument(eng.Reg)
 	fabric.Instrument(eng.Reg)
 	c := &Context{top: top, fabric: fabric, cluster: cl, fs: fs, engine: eng, seed: cfg.Seed}
+	if len(cfg.Chaos) > 0 {
+		c.chaos = chaos.New(cfg.Chaos, cfg.Seed, chaos.Targets{
+			Nodes:   top.Size(),
+			Compute: cl,
+			Storage: fs,
+			Network: fabric,
+			Faults:  eng,
+		}, eng.Reg)
+		eng.SetChaos(c.chaos)
+	}
 	if cfg.EnableTracing {
 		c.tracer = trace.New()
 		eng.SetTracer(c.tracer)
@@ -177,6 +205,10 @@ func (c *Context) Tracer() *trace.Recorder { return c.tracer }
 func (c *Context) Report(job string) *obs.Report {
 	return obs.Build(job, c.tracer.Spans(), c.engine.Reg.Snapshot(), obs.Options{})
 }
+
+// Chaos exposes the fault-schedule controller, or nil unless Config.Chaos
+// was set. Useful for asserting Done() after a run and for manual ticks.
+func (c *Context) Chaos() *chaos.Controller { return c.chaos }
 
 // Cluster exposes the executor cluster (failure injection, capacity).
 func (c *Context) Cluster() *cluster.Cluster { return c.cluster }

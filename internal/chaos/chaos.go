@@ -1,0 +1,300 @@
+// Package chaos is a deterministic, seed-driven fault scheduler. A
+// declarative Schedule of events — node crash/revive, network partition
+// and link degradation, per-node slowdown (stragglers), membership
+// message loss, transient task faults — is applied against a set of
+// Targets (executor cluster, network fabric, DFS, SWIM membership, Raft
+// consensus) as virtual time advances.
+//
+// Virtual time is a plain counter the host system advances at its own
+// deterministic points: the dataflow engine ticks once per scheduling
+// wave and once per job attempt, protocol harnesses tick once per round.
+// Because events fire only inside Tick — always from the driver thread —
+// a run is exactly reproducible from (schedule, seed): the seed resolves
+// wildcard ("*") target nodes at construction, and everything else is
+// explicit in the schedule. See DESIGN.md "Chaos engineering".
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// ComputeTarget is the executor-cluster surface chaos drives
+// (implemented by *cluster.Cluster).
+type ComputeTarget interface {
+	Kill(topology.NodeID) error
+	Revive(topology.NodeID) error
+	SetSlowdown(topology.NodeID, time.Duration) error
+}
+
+// StorageTarget is the DFS surface (implemented by *dfs.DFS): a crashed
+// machine loses its replicas until revival or re-replication.
+type StorageTarget interface {
+	KillNode(topology.NodeID) error
+	ReviveNode(topology.NodeID) error
+}
+
+// NetworkTarget is the fabric surface (implemented by *netsim.Fabric).
+type NetworkTarget interface {
+	SetPartition(groups ...[]topology.NodeID)
+	Heal()
+	SetNodeDegrade(topology.NodeID, float64)
+}
+
+// MembershipTarget is the SWIM surface (implemented by *gossip.Cluster).
+type MembershipTarget interface {
+	Crash(id int)
+	Revive(id int)
+	SetLossProb(p float64)
+}
+
+// ConsensusTarget is the Raft surface (implemented by
+// *consensus.Cluster).
+type ConsensusTarget interface {
+	Crash(id int)
+	Restart(id int)
+	Partition(groups ...[]int)
+	Heal()
+}
+
+// FaultInjector receives per-node transient task fault probabilities
+// (implemented by *core.Engine).
+type FaultInjector interface {
+	SetNodeFailProb(topology.NodeID, float64)
+}
+
+// Targets wires a controller to the systems it acts on. Any field may be
+// nil; events silently skip absent targets, so one schedule drives
+// whatever subset a test or experiment assembles.
+type Targets struct {
+	// Nodes is the cluster size, used to resolve wildcard ("*") event
+	// nodes. Required only when the schedule contains wildcards.
+	Nodes      int
+	Compute    ComputeTarget
+	Storage    StorageTarget
+	Network    NetworkTarget
+	Membership MembershipTarget
+	Consensus  ConsensusTarget
+	Faults     FaultInjector
+}
+
+// Controller replays a schedule against its targets as virtual time
+// advances. Safe for concurrent use, though deterministic replay depends
+// on the host ticking from one driver thread.
+type Controller struct {
+	mu      sync.Mutex
+	sched   Schedule
+	idx     int
+	now     int64
+	targets Targets
+
+	applied *metrics.CounterVec // chaos_events_applied{kind}
+	heals   *metrics.Counter    // partition_heals
+	vtime   *metrics.Gauge      // chaos_vtime
+}
+
+// New builds a controller over a schedule. Wildcard event nodes are
+// resolved immediately from seed (see WildcardNode), so two controllers
+// built from the same (schedule, seed) apply identical events. reg
+// receives chaos_events_applied{kind}, partition_heals and chaos_vtime;
+// nil disables counting.
+func New(sched Schedule, seed uint64, targets Targets, reg *metrics.Registry) *Controller {
+	c := &Controller{
+		sched:   resolveWildcards(sched.sorted(), seed, targets.Nodes),
+		targets: targets,
+	}
+	if reg != nil {
+		c.applied = reg.CounterVec("chaos_events_applied", "kind")
+		c.heals = reg.Counter("partition_heals")
+		c.vtime = reg.Gauge("chaos_vtime")
+	}
+	return c
+}
+
+// resolveWildcards replaces WildcardNode targets with seeded picks. An
+// "undo" kind (revive/unslow/unflaky/undegrade) wildcard reuses the node
+// of the most recent resolved wildcard of its starting kind, so
+// crash/revive pairs stay paired.
+func resolveWildcards(sched Schedule, seed uint64, nodes int) Schedule {
+	r := rng.New(seed)
+	last := map[Kind]topology.NodeID{}
+	undoOf := map[Kind]Kind{
+		Revive:    Crash,
+		Unslow:    Slow,
+		Unflaky:   Flaky,
+		Undegrade: Degrade,
+	}
+	out := append(Schedule(nil), sched...)
+	for i := range out {
+		if out[i].Node != WildcardNode {
+			continue
+		}
+		if start, ok := undoOf[out[i].Kind]; ok {
+			if n, ok := last[start]; ok {
+				out[i].Node = n
+				continue
+			}
+		}
+		if nodes <= 0 {
+			panic("chaos: wildcard node in schedule but Targets.Nodes is 0")
+		}
+		n := topology.NodeID(r.Intn(nodes))
+		out[i].Node = n
+		last[out[i].Kind] = n
+	}
+	return out
+}
+
+// Tick advances virtual time by one and applies every event now due.
+func (c *Controller) Tick() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceToLocked(c.now + 1)
+}
+
+// AdvanceTo moves virtual time forward to t (never backward), applying
+// due events in schedule order.
+func (c *Controller) AdvanceTo(t int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.advanceToLocked(t)
+	}
+}
+
+func (c *Controller) advanceToLocked(t int64) {
+	c.now = t
+	for c.idx < len(c.sched) && c.sched[c.idx].At <= c.now {
+		c.apply(c.sched[c.idx])
+		c.idx++
+	}
+	c.vtime.Set(c.now)
+}
+
+// Now returns the current virtual time.
+func (c *Controller) Now() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Applied returns how many events have fired.
+func (c *Controller) Applied() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx
+}
+
+// Done reports whether every scheduled event has fired.
+func (c *Controller) Done() bool {
+	if c == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx >= len(c.sched)
+}
+
+// apply fires one event against every wired target.
+func (c *Controller) apply(e Event) {
+	t := c.targets
+	switch e.Kind {
+	case Crash:
+		if t.Compute != nil {
+			_ = t.Compute.Kill(e.Node)
+		}
+		if t.Storage != nil {
+			_ = t.Storage.KillNode(e.Node)
+		}
+		if t.Membership != nil {
+			t.Membership.Crash(int(e.Node))
+		}
+		if t.Consensus != nil {
+			t.Consensus.Crash(int(e.Node))
+		}
+	case Revive:
+		if t.Compute != nil {
+			_ = t.Compute.Revive(e.Node)
+		}
+		if t.Storage != nil {
+			_ = t.Storage.ReviveNode(e.Node)
+		}
+		if t.Membership != nil {
+			t.Membership.Revive(int(e.Node))
+		}
+		if t.Consensus != nil {
+			t.Consensus.Restart(int(e.Node))
+		}
+	case Partition:
+		if t.Network != nil {
+			t.Network.SetPartition(e.Group...)
+		}
+		if t.Consensus != nil {
+			groups := make([][]int, len(e.Group))
+			for i, g := range e.Group {
+				groups[i] = make([]int, len(g))
+				for j, n := range g {
+					groups[i][j] = int(n)
+				}
+			}
+			t.Consensus.Partition(groups...)
+		}
+	case Heal:
+		if t.Network != nil {
+			t.Network.Heal()
+		}
+		if t.Consensus != nil {
+			t.Consensus.Heal()
+		}
+		c.heals.Inc()
+	case Slow:
+		if t.Compute != nil {
+			_ = t.Compute.SetSlowdown(e.Node, e.Delay)
+		}
+	case Unslow:
+		if t.Compute != nil {
+			_ = t.Compute.SetSlowdown(e.Node, 0)
+		}
+	case Flaky:
+		if t.Faults != nil {
+			t.Faults.SetNodeFailProb(e.Node, e.Value)
+		}
+	case Unflaky:
+		if t.Faults != nil {
+			t.Faults.SetNodeFailProb(e.Node, 0)
+		}
+	case Drop:
+		if t.Membership != nil {
+			t.Membership.SetLossProb(e.Value)
+		}
+	case Undrop:
+		if t.Membership != nil {
+			t.Membership.SetLossProb(0)
+		}
+	case Degrade:
+		if t.Network != nil {
+			t.Network.SetNodeDegrade(e.Node, e.Value)
+		}
+	case Undegrade:
+		if t.Network != nil {
+			t.Network.SetNodeDegrade(e.Node, 1)
+		}
+	}
+	c.applied.With(string(e.Kind)).Inc()
+}

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Preset builds a named canned schedule sized for a cluster of n nodes.
+// Presets are what the CLI -chaos flag and scripts/chaos.sh use; every
+// preset leaves the cluster fully healthy once its last event fires, so a
+// job that outlives the schedule can always finish. Known names: crash,
+// partition, straggler, flaky, mixed.
+func Preset(name string, n int) (Schedule, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("chaos: preset needs >= 2 nodes, got %d", n)
+	}
+	victim := topology.NodeID(n / 2)
+	last := topology.NodeID(n - 1)
+	half := firstHalf(n)
+	rest := secondHalf(n)
+	switch name {
+	case "crash":
+		return Schedule{
+			{At: 2, Kind: Crash, Node: victim},
+			{At: 8, Kind: Revive, Node: victim},
+		}, nil
+	case "partition":
+		return Schedule{
+			{At: 2, Kind: Partition, Group: [][]topology.NodeID{half, rest}},
+			{At: 6, Kind: Heal},
+		}, nil
+	case "straggler":
+		return Schedule{
+			{At: 1, Kind: Slow, Node: last, Delay: 25 * time.Millisecond},
+			{At: 12, Kind: Unslow, Node: last},
+		}, nil
+	case "flaky":
+		return Schedule{
+			{At: 1, Kind: Flaky, Node: victim, Value: 0.8},
+			{At: 10, Kind: Unflaky, Node: victim},
+		}, nil
+	case "mixed":
+		return Schedule{
+			{At: 1, Kind: Slow, Node: last, Delay: 20 * time.Millisecond},
+			{At: 2, Kind: Flaky, Node: victim, Value: 0.9},
+			{At: 3, Kind: Crash, Node: topology.NodeID(1)},
+			{At: 4, Kind: Partition, Group: [][]topology.NodeID{half, rest}},
+			{At: 6, Kind: Heal},
+			{At: 8, Kind: Revive, Node: topology.NodeID(1)},
+			{At: 10, Kind: Unflaky, Node: victim},
+			{At: 14, Kind: Unslow, Node: last},
+		}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown preset %q (want %s)", name, strings.Join(PresetNames(), ", "))
+	}
+}
+
+// PresetNames lists the available presets, sorted.
+func PresetNames() []string {
+	names := []string{"crash", "partition", "straggler", "flaky", "mixed"}
+	sort.Strings(names)
+	return names
+}
+
+// Load resolves spec as a preset name first, then as a schedule text.
+// CLIs call it with either a preset name or the contents of a schedule
+// file.
+func Load(spec string, nodes int) (Schedule, error) {
+	if !strings.ContainsAny(spec, " \n\t") {
+		if s, err := Preset(spec, nodes); err == nil {
+			return s, nil
+		}
+	}
+	return Parse(spec)
+}
+
+func firstHalf(n int) []topology.NodeID {
+	out := make([]topology.NodeID, 0, n/2)
+	for i := 0; i < n/2; i++ {
+		out = append(out, topology.NodeID(i))
+	}
+	return out
+}
+
+func secondHalf(n int) []topology.NodeID {
+	out := make([]topology.NodeID, 0, n-n/2)
+	for i := n / 2; i < n; i++ {
+		out = append(out, topology.NodeID(i))
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Kind names a fault event type.
+type Kind string
+
+// Event kinds. Crash/Revive hit a whole machine across every wired target
+// (executors, DFS replicas, membership, consensus). Partition/Heal act on
+// the network fabric and consensus transport. Slow/Unslow inject compute
+// stragglers, Degrade/Undegrade network stragglers, Flaky/Unflaky
+// transient task faults, Drop/Undrop membership message loss.
+const (
+	Crash     Kind = "crash"
+	Revive    Kind = "revive"
+	Partition Kind = "partition"
+	Heal      Kind = "heal"
+	Slow      Kind = "slow"
+	Unslow    Kind = "unslow"
+	Flaky     Kind = "flaky"
+	Unflaky   Kind = "unflaky"
+	Drop      Kind = "drop"
+	Undrop    Kind = "undrop"
+	Degrade   Kind = "degrade"
+	Undegrade Kind = "undegrade"
+)
+
+// WildcardNode marks an event whose target node is chosen by the
+// controller's seeded RNG at construction time (written "*" in the text
+// form). A revive/unslow/unflaky/undegrade wildcard resolves to the node
+// picked by the most recent wildcard of its starting kind, so
+// "crash * ... revive *" always pairs up.
+const WildcardNode = topology.NodeID(-1)
+
+// Event is one scheduled fault, fired when virtual time reaches At.
+type Event struct {
+	At    int64
+	Kind  Kind
+	Node  topology.NodeID     // crash/revive/slow/unslow/flaky/unflaky/degrade/undegrade
+	Value float64             // flaky probability, drop probability, degrade factor
+	Delay time.Duration       // slow delay
+	Group [][]topology.NodeID // partition groups
+}
+
+// Schedule is an ordered fault plan. Build one with Parse, a Preset, or
+// literal Events; the controller sorts it stably by At.
+type Schedule []Event
+
+// sorted returns a stable At-ordered copy.
+func (s Schedule) sorted() Schedule {
+	out := append(Schedule(nil), s...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// String renders the schedule in the text format Parse accepts.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, e := range s {
+		fmt.Fprintf(&b, "%d %s", e.At, e.Kind)
+		switch e.Kind {
+		case Crash, Revive, Unslow, Unflaky, Undegrade:
+			b.WriteString(" " + nodeString(e.Node))
+		case Slow:
+			fmt.Fprintf(&b, " %s %s", nodeString(e.Node), e.Delay)
+		case Flaky:
+			fmt.Fprintf(&b, " %s %g", nodeString(e.Node), e.Value)
+		case Degrade:
+			fmt.Fprintf(&b, " %s %g", nodeString(e.Node), e.Value)
+		case Drop:
+			fmt.Fprintf(&b, " %g", e.Value)
+		case Partition:
+			parts := make([]string, len(e.Group))
+			for i, g := range e.Group {
+				ids := make([]string, len(g))
+				for j, n := range g {
+					ids[j] = strconv.Itoa(int(n))
+				}
+				parts[i] = strings.Join(ids, ",")
+			}
+			b.WriteString(" " + strings.Join(parts, "|"))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func nodeString(n topology.NodeID) string {
+	if n == WildcardNode {
+		return "*"
+	}
+	return strconv.Itoa(int(n))
+}
+
+// Parse reads the text schedule format: one event per line,
+//
+//	<at> <kind> [args]
+//
+// with '#' comments and blank lines ignored. Examples:
+//
+//	2 crash 3          # kill node 3 at virtual time 2
+//	8 revive 3
+//	3 partition 0-3|4-7
+//	9 heal
+//	1 slow 1 40ms      # node 1 tasks take 40ms longer
+//	5 flaky 2 0.8      # tasks on node 2 fail with p=0.8
+//	4 drop 0.2         # membership messages lost with p=0.2
+//	6 degrade 5 4      # transfers touching node 5 cost 4x
+//
+// A node written "*" is a wildcard resolved from the controller seed; see
+// WildcardNode.
+func Parse(text string) (Schedule, error) {
+	var s Schedule
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(why string) (Schedule, error) {
+			return nil, fmt.Errorf("chaos: line %d %q: %s", lineNo+1, strings.TrimSpace(raw), why)
+		}
+		at, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || at < 0 {
+			return bad("want non-negative integer virtual time first")
+		}
+		if len(fields) < 2 {
+			return bad("missing event kind")
+		}
+		e := Event{At: at, Kind: Kind(fields[1])}
+		args := fields[2:]
+		needNode := func() error {
+			if len(args) < 1 {
+				return fmt.Errorf("missing node")
+			}
+			n, err := parseNode(args[0])
+			if err != nil {
+				return err
+			}
+			e.Node = n
+			return nil
+		}
+		switch e.Kind {
+		case Crash, Revive, Unslow, Unflaky, Undegrade:
+			if err := needNode(); err != nil {
+				return bad(err.Error())
+			}
+		case Slow:
+			if err := needNode(); err != nil {
+				return bad(err.Error())
+			}
+			if len(args) < 2 {
+				return bad("slow wants <node> <duration>")
+			}
+			d, err := time.ParseDuration(args[1])
+			if err != nil || d < 0 {
+				return bad("bad duration")
+			}
+			e.Delay = d
+		case Flaky, Degrade:
+			if err := needNode(); err != nil {
+				return bad(err.Error())
+			}
+			if len(args) < 2 {
+				return bad(string(e.Kind) + " wants <node> <value>")
+			}
+			v, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || v < 0 {
+				return bad("bad value")
+			}
+			e.Value = v
+		case Drop:
+			if len(args) < 1 {
+				return bad("drop wants <probability>")
+			}
+			v, err := strconv.ParseFloat(args[0], 64)
+			if err != nil || v < 0 || v > 1 {
+				return bad("bad probability")
+			}
+			e.Value = v
+		case Undrop, Heal:
+			// no args
+		case Partition:
+			if len(args) < 1 {
+				return bad("partition wants groups like 0-3|4-7")
+			}
+			groups, err := parseGroups(args[0])
+			if err != nil {
+				return bad(err.Error())
+			}
+			e.Group = groups
+		default:
+			return bad("unknown event kind")
+		}
+		s = append(s, e)
+	}
+	return s, nil
+}
+
+func parseNode(tok string) (topology.NodeID, error) {
+	if tok == "*" {
+		return WildcardNode, nil
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad node %q", tok)
+	}
+	return topology.NodeID(n), nil
+}
+
+// parseGroups reads "0-3|4-7" or "0,2|1,3" style partition specs: groups
+// separated by '|', each a comma list of ids or lo-hi ranges.
+func parseGroups(spec string) ([][]topology.NodeID, error) {
+	var groups [][]topology.NodeID
+	for _, part := range strings.Split(spec, "|") {
+		var g []topology.NodeID
+		for _, tok := range strings.Split(part, ",") {
+			if tok == "" {
+				continue
+			}
+			if lo, hi, ok := strings.Cut(tok, "-"); ok {
+				a, err1 := strconv.Atoi(lo)
+				b, err2 := strconv.Atoi(hi)
+				if err1 != nil || err2 != nil || a < 0 || b < a {
+					return nil, fmt.Errorf("bad range %q", tok)
+				}
+				for n := a; n <= b; n++ {
+					g = append(g, topology.NodeID(n))
+				}
+			} else {
+				n, err := strconv.Atoi(tok)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("bad node %q", tok)
+				}
+				g = append(g, topology.NodeID(n))
+			}
+		}
+		if len(g) == 0 {
+			return nil, fmt.Errorf("empty partition group in %q", spec)
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("partition wants at least two groups, got %q", spec)
+	}
+	return groups, nil
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -41,7 +42,8 @@ type Cluster struct {
 }
 
 // Node is one machine: a slot-limited executor with an epoch that advances
-// when the node is killed, invalidating in-flight work.
+// when the node is killed, invalidating in-flight work, and an optional
+// straggler slowdown every task on the node pays.
 type Node struct {
 	id    topology.NodeID
 	slots chan struct{}
@@ -51,6 +53,7 @@ type Node struct {
 	epoch uint64
 
 	tasksRun atomic.Int64
+	slowNs   atomic.Int64
 }
 
 // New builds a cluster with one node per topology member.
@@ -141,6 +144,24 @@ func (c *Cluster) Revive(id topology.NodeID) error {
 	return nil
 }
 
+// SetSlowdown makes every task on the node take at least d longer — the
+// straggler injection the chaos engine and speculative-execution tests
+// use. Pass 0 to restore full speed.
+func (c *Cluster) SetSlowdown(id topology.NodeID, d time.Duration) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	if d < 0 {
+		d = 0
+	}
+	n.slowNs.Store(int64(d))
+	return nil
+}
+
+// Slowdown returns the node's current straggler delay.
+func (n *Node) Slowdown() time.Duration { return time.Duration(n.slowNs.Load()) }
+
 // LiveNodes returns the IDs of nodes currently up.
 func (c *Cluster) LiveNodes() []topology.NodeID {
 	var out []topology.NodeID
@@ -201,6 +222,14 @@ func (c *Cluster) Submit(id topology.NodeID, f func() error) *Future {
 		}
 
 		err := f()
+
+		// A straggler node drags out every task; the sleep sits before the
+		// epoch re-check so a kill during the stall loses the output, just
+		// like a kill during the computation.
+		if slow := n.slowNs.Load(); slow > 0 {
+			c.Reg.Counter("tasks_slowed").Inc()
+			time.Sleep(time.Duration(slow))
+		}
 
 		n.mu.Lock()
 		lostOutput := !n.alive || n.epoch != startEpoch

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// TestConcurrentKillReviveDuringSubmission hammers the epoch-invalidation
+// path: submitter goroutines keep launching tasks while another goroutine
+// kills and revives the same nodes. Every future must resolve to either
+// success or ErrNodeDead — never hang, never a stale success after the
+// node's epoch advanced mid-task. Run under -race (scripts/verify.sh does).
+func TestConcurrentKillReviveDuringSubmission(t *testing.T) {
+	c := New(Config{
+		Fabric:       netsim.NewFabric(topology.TwoTier(1, 4, 1), netsim.RDMA40G),
+		SlotsPerNode: 2,
+	})
+
+	const (
+		submitters    = 4
+		tasksPer      = 200
+		chaosFlips    = 120
+		killedNode    = topology.NodeID(1)
+		survivingNode = topology.NodeID(0)
+	)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Chaos goroutine: flip node 1 (and occasionally node 2) dead/alive.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < chaosFlips; i++ {
+			if err := c.Kill(killedNode); err != nil {
+				t.Errorf("Kill: %v", err)
+			}
+			if i%3 == 0 {
+				_ = c.Kill(topology.NodeID(2))
+			}
+			time.Sleep(50 * time.Microsecond)
+			if err := c.Revive(killedNode); err != nil {
+				t.Errorf("Revive: %v", err)
+			}
+			_ = c.Revive(topology.NodeID(2))
+		}
+		close(stop)
+	}()
+
+	var mu sync.Mutex
+	var ok, dead int
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < tasksPer; i++ {
+				target := killedNode
+				if i%4 == 0 {
+					target = survivingNode
+				}
+				fut := c.Submit(target, func() error {
+					time.Sleep(10 * time.Microsecond)
+					return nil
+				})
+				err := fut.Wait()
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, ErrNodeDead):
+					dead++
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	<-stop
+
+	if ok == 0 {
+		t.Fatal("no task ever succeeded")
+	}
+	if total := ok + dead; total != submitters*tasksPer {
+		t.Fatalf("resolved %d futures, want %d", total, submitters*tasksPer)
+	}
+	// The always-live node must have completed its share.
+	n, err := c.Node(survivingNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.TasksRun() == 0 {
+		t.Fatal("surviving node ran nothing")
+	}
+}
+
+// TestSlowdownDelaysTasks checks SetSlowdown stretches task latency and
+// that clearing it restores full speed.
+func TestSlowdownDelaysTasks(t *testing.T) {
+	c := New(Config{
+		Fabric: netsim.NewFabric(topology.Single(2), netsim.RDMA40G),
+	})
+	if err := c.SetSlowdown(1, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Submit(1, func() error { return nil }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slowed task finished in %v, want >= 20ms", d)
+	}
+	if err := c.SetSlowdown(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if err := c.Submit(1, func() error { return nil }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("cleared slowdown still slow: %v", d)
+	}
+	if got := c.Reg.Counter("tasks_slowed").Value(); got != 1 {
+		t.Fatalf("tasks_slowed = %d, want 1", got)
+	}
+}

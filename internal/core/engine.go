@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -21,21 +23,34 @@ import (
 
 // Errors surfaced by the engine.
 var (
-	ErrNoLiveNodes = errors.New("core: no live executor nodes")
-	ErrJobAborted  = errors.New("core: job aborted after exhausting retries")
-	errInjected    = errors.New("core: injected task failure")
+	ErrNoLiveNodes      = errors.New("core: no live executor nodes")
+	ErrJobAborted       = errors.New("core: job aborted after exhausting retries")
+	ErrDeadlineExceeded = errors.New("core: job deadline exceeded")
+	errInjected         = errors.New("core: injected task failure")
 )
 
-// fetchError reports that a reduce task could not fetch a map output
-// because its owner died — the signal that triggers lineage recomputation.
+// fetchError reports that a reduce task could not fetch a map output:
+// either its owner died (the signal that triggers lineage recomputation)
+// or a network partition currently separates the reader from the owner
+// (the data is intact; the retry loop waits for a heal).
 type fetchError struct {
-	planID  int
-	mapPart int
+	planID      int
+	mapPart     int
+	unreachable bool
 }
 
 func (f *fetchError) Error() string {
+	if f.unreachable {
+		return fmt.Sprintf("core: shuffle %d map partition %d unreachable across network partition", f.planID, f.mapPart)
+	}
 	return fmt.Sprintf("core: fetch failed for shuffle %d map partition %d", f.planID, f.mapPart)
 }
+
+// ChaosTicker is the hook the chaos controller plugs into: the engine
+// advances fault-schedule virtual time once per job attempt and once per
+// scheduling wave, always from the driver thread, which keeps chaos runs
+// reproducible. Satisfied by *chaos.Controller.
+type ChaosTicker interface{ Tick() }
 
 // Config tunes the engine.
 type Config struct {
@@ -58,8 +73,40 @@ type Config struct {
 	// TaskFailProb injects transient task failures with this probability
 	// (fault-tolerance experiments). Default 0.
 	TaskFailProb float64
-	// Seed drives fault injection.
+	// Seed drives fault injection and retry-backoff jitter.
 	Seed uint64
+	// Speculation enables backup launches for straggler tasks: once half a
+	// wave has finished, any task running longer than
+	// max(SpeculationK×median, SpeculationMin) gets a second copy on
+	// another node and the first copy to succeed wins. Default off —
+	// speculative timing is inherently racy, so deterministic-replay runs
+	// leave it disabled.
+	Speculation bool
+	// SpeculationK is the straggler multiple over the median completed
+	// task duration. Default 2 (matches the obs straggler detector).
+	SpeculationK float64
+	// SpeculationMin is the floor below which tasks are never considered
+	// stragglers. Default 5ms.
+	SpeculationMin time.Duration
+	// RetryBackoff is the base delay before a retry wave; it doubles per
+	// attempt with seeded jitter in [0.5, 1.5). Default 1ms; negative
+	// disables backoff entirely.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential growth. Default 50ms.
+	MaxRetryBackoff time.Duration
+	// QuarantineThreshold is how many task failures in a row a node may
+	// accumulate before placement stops using it. Default 3; negative
+	// disables quarantining.
+	QuarantineThreshold int
+	// QuarantineWaves is how many scheduling waves a quarantined node sits
+	// out before being given another chance. Default 8.
+	QuarantineWaves int
+	// JobDeadline bounds each RunCtx call; past it the job aborts cleanly
+	// with ErrDeadlineExceeded. Default 0 (none).
+	JobDeadline time.Duration
+	// Chaos, when non-nil, has Tick called once per job attempt and once
+	// per scheduling wave from the driver thread (see ChaosTicker).
+	Chaos ChaosTicker
 }
 
 // shuffleState tracks the materialized map outputs of one shuffled plan.
@@ -86,6 +133,12 @@ type Engine struct {
 	ckptDone map[int]bool
 	rand     *rng.RNG
 	tracer   *trace.Recorder
+
+	// Graceful-degradation state, all driven from the driver thread.
+	wave            int64                       // scheduling-wave counter
+	nodeFails       map[topology.NodeID]int     // consecutive failure strikes
+	quarantinedTill map[topology.NodeID]int64   // node -> wave when released
+	nodeFailProb    map[topology.NodeID]float64 // chaos per-node flakiness
 }
 
 // SetTracer attaches an execution tracer; every task records a span on
@@ -119,13 +172,47 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.MaxStageRetries <= 0 {
 		cfg.MaxStageRetries = 8
 	}
+	if cfg.SpeculationK <= 0 {
+		cfg.SpeculationK = 2
+	}
+	if cfg.SpeculationMin <= 0 {
+		cfg.SpeculationMin = 5 * time.Millisecond
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	if cfg.MaxRetryBackoff <= 0 {
+		cfg.MaxRetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.QuarantineThreshold == 0 {
+		cfg.QuarantineThreshold = 3
+	}
+	if cfg.QuarantineWaves <= 0 {
+		cfg.QuarantineWaves = 8
+	}
 	return &Engine{
-		cfg:      cfg,
-		Reg:      metrics.NewRegistry(),
-		shuffles: map[int]*shuffleState{},
-		caches:   map[int][][]Row{},
-		ckptDone: map[int]bool{},
-		rand:     rng.New(cfg.Seed),
+		cfg:             cfg,
+		Reg:             metrics.NewRegistry(),
+		shuffles:        map[int]*shuffleState{},
+		caches:          map[int][][]Row{},
+		ckptDone:        map[int]bool{},
+		rand:            rng.New(cfg.Seed),
+		nodeFails:       map[topology.NodeID]int{},
+		quarantinedTill: map[topology.NodeID]int64{},
+		nodeFailProb:    map[topology.NodeID]float64{},
+	}
+}
+
+// SetNodeFailProb sets the transient-failure probability for tasks placed
+// on one node (the chaos "flaky" event; p <= 0 clears it). The effective
+// probability for a task is max(Config.TaskFailProb, its node's value).
+func (e *Engine) SetNodeFailProb(n topology.NodeID, p float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p <= 0 {
+		delete(e.nodeFailProb, n)
+	} else {
+		e.nodeFailProb[n] = p
 	}
 }
 
@@ -143,18 +230,40 @@ func (e *Engine) nextPlanID() int {
 // node failure it retries tasks and recomputes lost lineage, up to the
 // configured bounds.
 func (e *Engine) Run(p *Plan) ([][]Row, error) {
+	return e.RunCtx(context.Background(), p)
+}
+
+// RunCtx is Run bounded by a context: cancellation (or the configured
+// JobDeadline) stops retries promptly and the job aborts cleanly, leaving
+// the metrics registry consistent so a partial report can still be cut.
+func (e *Engine) RunCtx(ctx context.Context, p *Plan) ([][]Row, error) {
+	if e.cfg.JobDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.JobDeadline)
+		defer cancel()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= e.cfg.MaxStageRetries; attempt++ {
-		if err := e.ensure(p, map[int]bool{}); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, e.abortErr(err, lastErr)
+		}
+		e.tickChaos()
+		if err := e.ensure(ctx, p, map[int]bool{}); err != nil {
+			if ctx.Err() != nil {
+				return nil, e.abortErr(ctx.Err(), err)
+			}
 			if e.recoverable(err) {
 				lastErr = err
 				continue
 			}
 			return nil, err
 		}
-		out, err := e.runResult(p)
+		out, err := e.runResult(ctx, p)
 		if err == nil {
 			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, e.abortErr(ctx.Err(), err)
 		}
 		if !e.recoverable(err) {
 			return nil, err
@@ -162,6 +271,40 @@ func (e *Engine) Run(p *Plan) ([][]Row, error) {
 		lastErr = err
 	}
 	return nil, fmt.Errorf("%w: %v", ErrJobAborted, lastErr)
+}
+
+// abortErr converts a context error into the engine's abort error,
+// counting deadline aborts so the partial job report shows why it ended.
+func (e *Engine) abortErr(ctxErr, lastErr error) error {
+	if errors.Is(ctxErr, context.DeadlineExceeded) {
+		e.Reg.Counter("jobs_deadline_aborted").Inc()
+		if lastErr != nil {
+			return fmt.Errorf("%w after %v (last failure: %v)", ErrDeadlineExceeded, e.cfg.JobDeadline, lastErr)
+		}
+		return fmt.Errorf("%w after %v", ErrDeadlineExceeded, e.cfg.JobDeadline)
+	}
+	return ctxErr
+}
+
+// SetChaos attaches a chaos ticker after construction. The chaos
+// controller targets the engine for fault injection, so the two cannot be
+// built in one shot; hosts build the engine, then the controller, then
+// call SetChaos before submitting jobs.
+func (e *Engine) SetChaos(t ChaosTicker) {
+	e.mu.Lock()
+	e.cfg.Chaos = t
+	e.mu.Unlock()
+}
+
+// tickChaos advances fault-schedule virtual time; always called from the
+// driver thread so chaos runs replay deterministically.
+func (e *Engine) tickChaos() {
+	e.mu.Lock()
+	t := e.cfg.Chaos
+	e.mu.Unlock()
+	if t != nil {
+		t.Tick()
+	}
 }
 
 // Collect flattens Run's output.
@@ -190,11 +333,16 @@ func (e *Engine) Count(p *Plan) (int64, error) {
 	return n, nil
 }
 
-// recoverable reports whether err warrants invalidation + retry. Fetch
-// failures invalidate the lost map outputs as a side effect.
+// recoverable reports whether err warrants retry. A dead-owner fetch
+// failure invalidates the lost map outputs as a side effect; a
+// partition-blocked fetch leaves them intact (the data still exists — the
+// retry loop just has to outlast the partition).
 func (e *Engine) recoverable(err error) bool {
 	var fe *fetchError
 	if errors.As(err, &fe) {
+		if fe.unreachable {
+			return true
+		}
 		e.invalidateMapOutput(fe.planID, fe.mapPart)
 		e.Reg.Counter("fetch_failures").Inc()
 		return true
@@ -228,7 +376,7 @@ func (e *Engine) invalidateMapOutput(planID, mapPart int) {
 }
 
 // ensure materializes every shuffle boundary in p's subtree.
-func (e *Engine) ensure(p *Plan, visited map[int]bool) error {
+func (e *Engine) ensure(ctx context.Context, p *Plan, visited map[int]bool) error {
 	if visited[p.id] {
 		return nil
 	}
@@ -240,19 +388,19 @@ func (e *Engine) ensure(p *Plan, visited map[int]bool) error {
 	case kindSource:
 		return nil
 	case kindNarrow:
-		return e.ensure(p.parent, visited)
+		return e.ensure(ctx, p.parent, visited)
 	case kindUnion:
 		for _, parent := range p.parents {
-			if err := e.ensure(parent, visited); err != nil {
+			if err := e.ensure(ctx, parent, visited); err != nil {
 				return err
 			}
 		}
 		return nil
 	case kindShuffled:
-		if err := e.ensure(p.parent, visited); err != nil {
+		if err := e.ensure(ctx, p.parent, visited); err != nil {
 			return err
 		}
-		return e.runMapStage(p)
+		return e.runMapStage(ctx, p)
 	default:
 		panic("core: unknown plan kind")
 	}
@@ -303,7 +451,7 @@ func (e *Engine) shuffleStateFor(p *Plan) *shuffleState {
 }
 
 // runMapStage computes missing map outputs for shuffled plan p.
-func (e *Engine) runMapStage(p *Plan) error {
+func (e *Engine) runMapStage(ctx context.Context, p *Plan) error {
 	st := e.shuffleStateFor(p)
 	st.mu.Lock()
 	var pending []int
@@ -322,8 +470,8 @@ func (e *Engine) runMapStage(p *Plan) error {
 	shuffleID := strconv.Itoa(p.id)
 	partBytes := e.Reg.CounterVec("shuffle_partition_bytes", "shuffle", "partition")
 	partRecords := e.Reg.CounterVec("shuffle_partition_records", "shuffle", "partition")
-	err := e.runTasks(stage, pending, e.prefsOf(p.parent), func(ctx *TaskContext) error {
-		rows, err := e.computePartition(p.parent, ctx)
+	err := e.runTasks(ctx, stage, pending, e.prefsOf(p.parent), func(tc *TaskContext) error {
+		rows, err := e.computePartition(p.parent, tc)
 		if err != nil {
 			return err
 		}
@@ -355,9 +503,9 @@ func (e *Engine) runMapStage(p *Plan) error {
 			partRecords.With(shuffleID, strconv.Itoa(part)).Add(int64(n))
 		}
 		st.mu.Lock()
-		st.outputs[ctx.Partition] = blocks
-		st.owner[ctx.Partition] = ctx.Node
-		st.done[ctx.Partition] = true
+		st.outputs[tc.Partition] = blocks
+		st.owner[tc.Partition] = tc.Node
+		st.done[tc.Partition] = true
 		st.mu.Unlock()
 		return nil
 	})
@@ -380,7 +528,7 @@ func (e *Engine) newWriter(dep *ShuffleDep) (shuffle.Writer, error) {
 }
 
 // runResult executes the final stage, returning partition rows.
-func (e *Engine) runResult(p *Plan) ([][]Row, error) {
+func (e *Engine) runResult(ctx context.Context, p *Plan) ([][]Row, error) {
 	out := make([][]Row, p.parts)
 	var outMu sync.Mutex
 	parts := make([]int, p.parts)
@@ -390,13 +538,13 @@ func (e *Engine) runResult(p *Plan) ([][]Row, error) {
 	e.Reg.Counter("stages_run").Inc()
 	stage := fmt.Sprintf("result s%d", p.id)
 	endStage := e.tracerRef().Begin(stage, "stage", "driver")
-	err := e.runTasks(stage, parts, e.prefsOf(p), func(ctx *TaskContext) error {
-		rows, err := e.computePartition(p, ctx)
+	err := e.runTasks(ctx, stage, parts, e.prefsOf(p), func(tc *TaskContext) error {
+		rows, err := e.computePartition(p, tc)
 		if err != nil {
 			return err
 		}
 		outMu.Lock()
-		out[ctx.Partition] = rows
+		out[tc.Partition] = rows
 		outMu.Unlock()
 		return nil
 	})
@@ -427,112 +575,382 @@ func (e *Engine) prefsOf(p *Plan) func(part int) []topology.NodeID {
 	}
 }
 
-// runTasks executes fn once per partition on the cluster, honouring
-// locality preferences, retrying transient failures, and failing fast on
-// fetch errors (which the caller converts into lineage recomputation).
-// stage labels the spans recorded for each task; panics inside fn are
-// converted into task errors with the span still recorded.
-func (e *Engine) runTasks(stage string, parts []int, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) error {
+// runTasks executes fn once per partition on the cluster in scheduling
+// waves, honouring locality preferences, retrying transient failures with
+// exponential backoff, quarantining flaky nodes, optionally launching
+// speculative backups for stragglers, and failing fast on fetch errors
+// (which the caller converts into lineage recomputation). stage labels
+// the spans recorded for each task; panics inside fn are converted into
+// task errors with the span still recorded. ctx cancellation stops the
+// retry loop promptly — including mid-backoff and mid-wave.
+func (e *Engine) runTasks(ctx context.Context, stage string, parts []int, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) error {
 	attempts := map[int]int{}
 	pending := append([]int(nil), parts...)
 	for len(pending) > 0 {
-		live := e.cfg.Cluster.LiveNodes()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.tickWave()
+		if err := e.backoff(ctx, pending, attempts); err != nil {
+			return err
+		}
+		live := e.placementNodes()
 		if len(live) == 0 {
 			return ErrNoLiveNodes
 		}
-		liveSet := map[topology.NodeID]bool{}
-		for _, n := range live {
-			liveSet[n] = true
-		}
-		type result struct {
-			part int
-			err  error
-		}
-		futures := make([]*cluster.Future, len(pending))
-		ctxs := make([]*TaskContext, len(pending))
-		for i, part := range pending {
-			node := live[part%len(live)]
-			if prefs != nil {
-				for _, pref := range prefs(part) {
-					if liveSet[pref] {
-						node = pref
-						break
-					}
-				}
-			}
-			ctx := &TaskContext{Node: node, Partition: part, Attempt: attempts[part]}
-			ctxs[i] = ctx
-			e.Reg.Counter("tasks_launched").Inc()
-			injected := e.injectFailure()
-			start := time.Now()
-			tracer := e.tracerRef()
-			futures[i] = e.cfg.Cluster.Submit(node, func() (err error) {
-				end := tracer.Begin(
-					fmt.Sprintf("task p%d a%d", ctx.Partition, ctx.Attempt),
-					"task", fmt.Sprintf("node-%02d", node))
-				defer func() {
-					e.Reg.Histogram("task_duration_ns").ObserveDuration(time.Since(start))
-					if p := recover(); p != nil {
-						// end is idempotent, so the span is recorded even
-						// when fn panicked mid-task.
-						end(map[string]string{"outcome": fmt.Sprintf("panic: %v", p), "stage": stage})
-						err = fmt.Errorf("core: task panicked: %v", p)
-					}
-				}()
-				if injected {
-					end(map[string]string{"outcome": "injected-failure", "stage": stage})
-					return errInjected
-				}
-				err = fn(ctx)
-				outcome := "ok"
-				if err != nil {
-					outcome = err.Error()
-				}
-				end(map[string]string{"outcome": outcome, "stage": stage})
-				return err
-			})
-		}
-		var failed []int
-		var fetchErr *fetchError
-		for i, fut := range futures {
-			err := fut.Wait()
-			if err == nil {
-				continue
-			}
-			var fe *fetchError
-			if errors.As(err, &fe) {
-				fetchErr = fe
-				continue
-			}
-			if errors.Is(err, cluster.ErrNodeDead) || errors.Is(err, errInjected) {
-				part := pending[i]
-				attempts[part]++
-				e.Reg.Counter("task_retries").Inc()
-				if attempts[part] > e.cfg.MaxTaskRetries {
-					return fmt.Errorf("%w: partition %d failed %d times: %v",
-						ErrJobAborted, part, attempts[part], err)
-				}
-				failed = append(failed, part)
-				continue
-			}
-			return err // user error: abort
-		}
-		if fetchErr != nil {
-			return fetchErr
+		failed, err := e.runWave(ctx, stage, pending, attempts, live, prefs, fn)
+		if err != nil {
+			return err
 		}
 		pending = failed
 	}
 	return nil
 }
 
-// injectFailure decides whether the next task fails artificially.
-func (e *Engine) injectFailure() bool {
-	if e.cfg.TaskFailProb <= 0 {
-		return false
+// tickWave advances chaos virtual time and the wave counter, releasing
+// quarantined nodes whose sentence has expired. A released node keeps
+// threshold-1 strikes: one more failure re-quarantines it, while a single
+// success clears it entirely ("proven healthy").
+func (e *Engine) tickWave() {
+	e.tickChaos()
+	e.mu.Lock()
+	e.wave++
+	for n, till := range e.quarantinedTill {
+		if e.wave >= till {
+			delete(e.quarantinedTill, n)
+			e.nodeFails[n] = e.cfg.QuarantineThreshold - 1
+			e.Reg.Counter("quarantine_releases").Inc()
+		}
+	}
+	e.Reg.Gauge("quarantined_now").Set(int64(len(e.quarantinedTill)))
+	e.mu.Unlock()
+}
+
+// placementNodes returns the live nodes eligible for task placement:
+// quarantined nodes are excluded unless that would leave nothing to run
+// on (degrade gracefully, never wedge the job).
+func (e *Engine) placementNodes() []topology.NodeID {
+	live := e.cfg.Cluster.LiveNodes()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.quarantinedTill) == 0 {
+		return live
+	}
+	eligible := make([]topology.NodeID, 0, len(live))
+	for _, n := range live {
+		if _, q := e.quarantinedTill[n]; !q {
+			eligible = append(eligible, n)
+		}
+	}
+	if len(eligible) == 0 {
+		return live
+	}
+	return eligible
+}
+
+// backoff sleeps before a retry wave: exponential in the worst pending
+// attempt count, capped, with seeded jitter in [0.5, 1.5). Interruptible
+// by ctx so a deadline abort never waits out a backoff.
+func (e *Engine) backoff(ctx context.Context, pending []int, attempts map[int]int) error {
+	if e.cfg.RetryBackoff <= 0 {
+		return nil
+	}
+	maxAttempt := 0
+	for _, part := range pending {
+		if attempts[part] > maxAttempt {
+			maxAttempt = attempts[part]
+		}
+	}
+	if maxAttempt == 0 {
+		return nil
+	}
+	d := e.cfg.RetryBackoff << (maxAttempt - 1)
+	if d > e.cfg.MaxRetryBackoff || d <= 0 {
+		d = e.cfg.MaxRetryBackoff
+	}
+	e.mu.Lock()
+	jitter := 0.5 + e.rand.Float64()
+	e.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	e.Reg.Counter("task_backoffs").Inc()
+	e.Reg.Counter("backoff_ns_total").Add(int64(d))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// copyResult reports the outcome of one running copy (primary or
+// speculative backup) of a task.
+type copyResult struct {
+	idx    int // index into the wave's pending slice
+	backup bool
+	node   topology.NodeID
+	err    error
+}
+
+// taskState tracks one task across its copies within a wave.
+type taskState struct {
+	node           topology.NodeID // primary placement
+	start          time.Time
+	outstanding    int
+	backupLaunched bool
+	resolved       bool
+	succeeded      bool
+	failedNodes    []topology.NodeID
+	errs           []error
+}
+
+// runWave launches one wave of tasks, monitors for stragglers when
+// speculation is on, and resolves outcomes deterministically in partition
+// index order once every copy has reported. It returns the partitions
+// that must retry.
+func (e *Engine) runWave(ctx context.Context, stage string, pending []int, attempts map[int]int, live []topology.NodeID, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) ([]int, error) {
+	n := len(pending)
+	liveSet := map[topology.NodeID]bool{}
+	for _, nd := range live {
+		liveSet[nd] = true
+	}
+	// Buffered for every possible copy (primary + one backup per task) so
+	// abandoning the wave on ctx cancellation leaks no goroutines.
+	results := make(chan copyResult, 2*n)
+	states := make([]*taskState, n)
+
+	launch := func(i int, node topology.NodeID, backup bool) {
+		part := pending[i]
+		tc := &TaskContext{Node: node, Partition: part, Attempt: attempts[part]}
+		e.Reg.Counter("tasks_launched").Inc()
+		if backup {
+			e.Reg.Counter("speculative_launches").Inc()
+		}
+		injected := e.injectFailure(node)
+		start := time.Now()
+		tracer := e.tracerRef()
+		fut := e.cfg.Cluster.Submit(node, func() (err error) {
+			end := tracer.Begin(
+				fmt.Sprintf("task p%d a%d", tc.Partition, tc.Attempt),
+				"task", fmt.Sprintf("node-%02d", node))
+			defer func() {
+				e.Reg.Histogram("task_duration_ns").ObserveDuration(time.Since(start))
+				if p := recover(); p != nil {
+					// end is idempotent, so the span is recorded even
+					// when fn panicked mid-task.
+					end(map[string]string{"outcome": fmt.Sprintf("panic: %v", p), "stage": stage})
+					err = fmt.Errorf("core: task panicked: %v", p)
+				}
+			}()
+			if injected {
+				end(map[string]string{"outcome": "injected-failure", "stage": stage})
+				return errInjected
+			}
+			err = fn(tc)
+			outcome := "ok"
+			if err != nil {
+				outcome = err.Error()
+			}
+			end(map[string]string{"outcome": outcome, "stage": stage})
+			return err
+		})
+		go func() {
+			results <- copyResult{idx: i, backup: backup, node: node, err: fut.Wait()}
+		}()
+	}
+
+	for i, part := range pending {
+		node := live[part%len(live)]
+		if prefs != nil {
+			for _, pref := range prefs(part) {
+				if liveSet[pref] {
+					node = pref
+					break
+				}
+			}
+		}
+		states[i] = &taskState{node: node, start: time.Now(), outstanding: 1}
+		launch(i, node, false)
+	}
+
+	var durations []time.Duration
+	var specTick <-chan time.Time
+	if e.cfg.Speculation {
+		t := time.NewTicker(500 * time.Microsecond)
+		defer t.Stop()
+		specTick = t.C
+	}
+	unresolved := n
+	for unresolved > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-results:
+			st := states[r.idx]
+			st.outstanding--
+			if r.err == nil {
+				if !st.resolved {
+					st.resolved = true
+					st.succeeded = true
+					unresolved--
+					durations = append(durations, time.Since(st.start))
+					e.recordTaskSuccess(r.node)
+					if st.backupLaunched {
+						if r.backup {
+							e.Reg.Counter("speculative_wins").Inc()
+						} else {
+							e.Reg.Counter("speculative_losses").Inc()
+						}
+					}
+				}
+			} else {
+				st.errs = append(st.errs, r.err)
+				st.failedNodes = append(st.failedNodes, r.node)
+				if !st.resolved && st.outstanding == 0 {
+					st.resolved = true
+					unresolved--
+				}
+			}
+		case <-specTick:
+			e.speculate(states, durations, live, launch)
+		}
+	}
+
+	// Deterministic end-of-wave resolution: scan tasks in index order so
+	// the classification outcome never depends on channel receive order.
+	var failed []int
+	var fetchErr *fetchError
+	for i, st := range states {
+		if st.succeeded {
+			continue
+		}
+		part := pending[i]
+		for _, nd := range st.failedNodes {
+			e.recordTaskFailure(nd)
+		}
+		retryable := false
+		var taskErr error
+		for _, err := range st.errs {
+			var fe *fetchError
+			if errors.As(err, &fe) {
+				if fetchErr == nil {
+					fetchErr = fe
+				}
+				if taskErr == nil {
+					taskErr = err
+				}
+				continue
+			}
+			if errors.Is(err, cluster.ErrNodeDead) || errors.Is(err, errInjected) {
+				retryable = true
+				if taskErr == nil {
+					taskErr = err
+				}
+				continue
+			}
+			return nil, err // user error: abort
+		}
+		if !retryable {
+			continue // fetch errors only; surfaced below
+		}
+		attempts[part]++
+		e.Reg.Counter("task_retries").Inc()
+		if attempts[part] > e.cfg.MaxTaskRetries {
+			return nil, fmt.Errorf("%w: partition %d failed %d times: %v",
+				ErrJobAborted, part, attempts[part], taskErr)
+		}
+		failed = append(failed, part)
+	}
+	if fetchErr != nil {
+		return nil, fetchErr
+	}
+	return failed, nil
+}
+
+// speculate launches one backup copy for each straggler: a task still
+// running past max(SpeculationK×median, SpeculationMin) once at least
+// half the wave (and at least two tasks) have finished. The backup goes
+// to the next live node after the primary; whichever copy succeeds first
+// wins, and the task only fails if every copy fails.
+func (e *Engine) speculate(states []*taskState, durations []time.Duration, live []topology.NodeID, launch func(int, topology.NodeID, bool)) {
+	done := len(durations)
+	if done < 2 || done < (len(states)+1)/2 {
+		return
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	threshold := time.Duration(e.cfg.SpeculationK * float64(sorted[len(sorted)/2]))
+	if threshold < e.cfg.SpeculationMin {
+		threshold = e.cfg.SpeculationMin
+	}
+	for i, st := range states {
+		if st.resolved || st.backupLaunched || time.Since(st.start) < threshold {
+			continue
+		}
+		backupNode := topology.NodeID(-1)
+		primaryAt := -1
+		for j, nd := range live {
+			if nd == st.node {
+				primaryAt = j
+				break
+			}
+		}
+		if len(live) > 1 {
+			backupNode = live[(primaryAt+1)%len(live)]
+		}
+		if backupNode < 0 || backupNode == st.node {
+			continue
+		}
+		st.backupLaunched = true
+		st.outstanding++
+		launch(i, backupNode, true)
+	}
+}
+
+// recordTaskSuccess clears a node's failure strikes.
+func (e *Engine) recordTaskSuccess(n topology.NodeID) {
+	e.mu.Lock()
+	if e.nodeFails[n] != 0 {
+		e.nodeFails[n] = 0
+	}
+	e.mu.Unlock()
+}
+
+// recordTaskFailure adds a strike against a node; crossing the threshold
+// quarantines it from placement for QuarantineWaves waves.
+func (e *Engine) recordTaskFailure(n topology.NodeID) {
+	if e.cfg.QuarantineThreshold < 0 {
+		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.rand.Float64() < e.cfg.TaskFailProb
+	if _, q := e.quarantinedTill[n]; q {
+		return
+	}
+	e.nodeFails[n]++
+	if e.nodeFails[n] >= e.cfg.QuarantineThreshold {
+		e.quarantinedTill[n] = e.wave + int64(e.cfg.QuarantineWaves)
+		e.Reg.Counter("quarantined_nodes").Inc()
+	}
+}
+
+// injectFailure decides whether the next task on node fails artificially,
+// at probability max(Config.TaskFailProb, the node's chaos flakiness).
+// The RNG is only consumed when the probability is non-zero, so enabling
+// fault injection on one node does not perturb an otherwise identical
+// run's random sequence elsewhere.
+func (e *Engine) injectFailure(node topology.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := e.cfg.TaskFailProb
+	if np := e.nodeFailProb[node]; np > p {
+		p = np
+	}
+	if p <= 0 {
+		return false
+	}
+	return e.rand.Float64() < p
 }
 
 // computePartition evaluates plan partition ctx.Partition, recursing
@@ -619,6 +1037,11 @@ func (e *Engine) readShuffle(p *Plan, ctx *TaskContext) ([]Row, error) {
 		if n, err := e.cfg.Cluster.Node(owner); err == nil && !n.Alive() {
 			st.mu.Unlock()
 			return nil, &fetchError{planID: p.id, mapPart: mapPart}
+		}
+		if !fabric.Reachable(owner, ctx.Node) {
+			st.mu.Unlock()
+			e.Reg.Counter("partition_blocked_fetches").Inc()
+			return nil, &fetchError{planID: p.id, mapPart: mapPart, unreachable: true}
 		}
 		for _, b := range st.outputs[mapPart] {
 			if b.Partition != ctx.Partition {

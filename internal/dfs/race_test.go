@@ -1,0 +1,109 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestReadsRaceKillAndRereplication hammers concurrent reads while nodes
+// are killed, blocks re-replicated, and nodes revived. Run under -race.
+// Every read must either return the correct bytes or fail with
+// ErrBlockLost — never corrupt data, never deadlock.
+func TestReadsRaceKillAndRereplication(t *testing.T) {
+	top := topology.TwoTier(2, 4, 2)
+	d := New(Config{BlockSize: 1 << 10, Replication: 2, Topology: top, Seed: 7})
+
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 1<<10) // 16 KiB, 16 blocks
+	const files = 4
+	for i := 0; i < files; i++ {
+		w, err := d.Create(fmt.Sprintf("/race/f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: loop over every file from every node until told to stop.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := fmt.Sprintf("/race/f%d", i%files)
+				at := topology.NodeID((i + r) % top.Size())
+				rd, err := d.Open(path, at)
+				if err != nil {
+					t.Errorf("Open(%s): %v", path, err)
+					return
+				}
+				got, err := io.ReadAll(rd)
+				if err != nil {
+					if errors.Is(err, ErrBlockLost) {
+						continue // acceptable while both replicas are down
+					}
+					t.Errorf("Read(%s): %v", path, err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("Read(%s): corrupt data (%d bytes)", path, len(got))
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Chaos loop: kill a rotating node, re-replicate, revive, repeat.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for round := 0; round < 40; round++ {
+			victim := topology.NodeID(round % top.Size())
+			if err := d.KillNode(victim); err != nil {
+				t.Errorf("KillNode(%d): %v", victim, err)
+				return
+			}
+			d.Rereplicate()
+			if err := d.ReviveNode(victim); err != nil {
+				t.Errorf("ReviveNode(%d): %v", victim, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// After the dust settles every file must read back whole.
+	for i := 0; i < files; i++ {
+		rd, err := d.Open(fmt.Sprintf("/race/f%d", i), -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("file %d corrupt after chaos", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	hpbdc "repro"
+	"repro/internal/chaos"
+	"repro/internal/workload"
+)
+
+// faultCfg carries the CLI fault-injection overrides (-seed, -fail-prob,
+// -chaos) into the E-FT experiment.
+var faultCfg = struct {
+	mu       sync.Mutex
+	seed     uint64
+	failProb float64
+	spec     string
+}{seed: 11}
+
+// SetFaultConfig overrides the E-FT experiment's fault injection: the
+// chaos/jitter seed, a global transient task failure probability, and an
+// optional chaos schedule (a preset name or schedule text) that replaces
+// the default preset sweep. Zero values keep the defaults.
+func SetFaultConfig(seed uint64, failProb float64, spec string) {
+	faultCfg.mu.Lock()
+	defer faultCfg.mu.Unlock()
+	if seed != 0 {
+		faultCfg.seed = seed
+	}
+	faultCfg.failProb = failProb
+	faultCfg.spec = spec
+}
+
+// EFTChaos measures graceful degradation under scheduled faults: the same
+// shuffled wordcount job runs under each chaos preset with speculation
+// off and on, against a clean baseline. Slowdown is wall clock relative
+// to the clean run; recovery effort shows up as retries, speculative
+// wins, quarantined nodes and partition-blocked fetches.
+func EFTChaos(s Scale) *Table {
+	faultCfg.mu.Lock()
+	seed, failProb, spec := faultCfg.seed, faultCfg.failProb, faultCfg.spec
+	faultCfg.mu.Unlock()
+
+	t := &Table{
+		ID:    "EFT",
+		Title: "Fault tolerance: chaos schedules vs recovery machinery",
+		Note:  fmt.Sprintf("8 nodes, shuffled wordcount, seed %d; wall is relative to a clean run", seed),
+		Cols: []string{"schedule", "spec", "wall", "vs-clean", "retries",
+			"spec-wins", "quarantined", "blocked-fetch", "chaos-events"},
+	}
+	lines := pick(s, 1_000, 10_000)
+	corpus := workload.Text(lines, 10, 500, 0.9, 3)
+	const nodes = 8
+
+	run := func(job string, sched chaos.Schedule, speculation bool) (time.Duration, *hpbdc.Context) {
+		ctx := hpbdc.New(hpbdc.Config{
+			Racks:         2,
+			NodesPerRack:  4,
+			Seed:          seed,
+			TaskFailProb:  failProb,
+			Speculation:   speculation,
+			Chaos:         sched,
+			EnableTracing: true,
+		})
+		words := hpbdc.FlatMap(hpbdc.Parallelize(ctx, corpus, 16), strings.Fields)
+		pairs := hpbdc.KeyBy(words, func(w string) string { return w })
+		ones := hpbdc.MapValues(pairs, func(string) int64 { return 1 })
+		counts := hpbdc.ReduceByKey(ones, hpbdc.StringCodec, hpbdc.Int64Codec, 8,
+			func(a, b int64) int64 { return a + b })
+		start := time.Now()
+		if _, err := counts.Collect(); err != nil {
+			panic(fmt.Sprintf("%s: %v", job, err))
+		}
+		return time.Since(start), ctx
+	}
+
+	clean, _ := run("EFT/clean", nil, false)
+	t.AddRow("none", "off", clean.Round(time.Millisecond).String(), "1.00x",
+		"0", "0", "0", "0", "0")
+
+	type entry struct {
+		name  string
+		sched chaos.Schedule
+	}
+	var entries []entry
+	if spec != "" {
+		sched, err := chaos.Load(spec, nodes)
+		if err != nil {
+			panic(fmt.Sprintf("EFT: -chaos: %v", err))
+		}
+		entries = []entry{{"custom", sched}}
+	} else {
+		for _, name := range chaos.PresetNames() {
+			sched, err := chaos.Preset(name, nodes)
+			if err != nil {
+				panic(err)
+			}
+			entries = append(entries, entry{name, sched})
+		}
+	}
+
+	for _, e := range entries {
+		for _, speculation := range []bool{false, true} {
+			mode := "off"
+			if speculation {
+				mode = "on"
+			}
+			job := fmt.Sprintf("EFT/%s/spec-%s", e.name, mode)
+			wall, ctx := run(job, e.sched, speculation)
+			reg := ctx.Metrics()
+			t.AddRow(e.name, mode,
+				wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.2fx", float64(wall)/float64(clean)),
+				fmt.Sprintf("%d", reg.Counter("task_retries").Value()),
+				fmt.Sprintf("%d", reg.Counter("speculative_wins").Value()),
+				fmt.Sprintf("%d", reg.Counter("quarantined_nodes").Value()),
+				fmt.Sprintf("%d", reg.Counter("partition_blocked_fetches").Value()),
+				fmt.Sprintf("%d", ctx.Chaos().Applied()))
+			if speculation {
+				observe(t, job, ctx)
+			}
+		}
+	}
+	return t
+}

@@ -170,8 +170,8 @@ func TestE12Shapes(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {

@@ -22,5 +22,6 @@ func All() []Runner {
 		{"E10", "parameter server modes", E10ParamServer},
 		{"E11", "autoscaling", E11Autoscale},
 		{"E12", "raft commit latency", E12Raft},
+		{"EFT", "fault tolerance under chaos", EFTChaos},
 	}
 }

@@ -160,6 +160,19 @@ func NewCluster(n int, cfg Config) *Cluster {
 // Crash kills a member silently (it stops responding).
 func (c *Cluster) Crash(id int) { c.crashed[id] = true }
 
+// SetLossProb changes the per-message loss probability mid-run — the knob
+// the chaos engine turns for lossy-network phases. The harness is
+// single-threaded (the driver calls Round), so no locking is needed.
+func (c *Cluster) SetLossProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.cfg.LossProb = p
+}
+
 // Revive restarts a crashed member with a higher incarnation so it can
 // refute its own death.
 func (c *Cluster) Revive(id int) {

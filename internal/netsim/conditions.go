@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/topology"
+)
+
+// conditions is the mutable fault layer over a fabric's immutable cost
+// model: a network partition (nodes in different groups cannot reach each
+// other) and per-node link degradation factors (a factor f > 1 slows every
+// transfer touching that node by f). The struct is immutable once built;
+// Fabric swaps whole snapshots through an atomic pointer, so condition
+// changes are safe against concurrent Cost queries without locking the
+// query path.
+type conditions struct {
+	// groupOf maps node -> partition group; nil means no partition.
+	groupOf []int
+	// degrade maps node -> slowdown factor; nil or factor <= 1 means clean.
+	degrade map[topology.NodeID]float64
+}
+
+func (c *conditions) clone(size int) *conditions {
+	out := &conditions{}
+	if c != nil && c.groupOf != nil {
+		out.groupOf = append([]int(nil), c.groupOf...)
+	}
+	if c != nil && len(c.degrade) > 0 {
+		out.degrade = make(map[topology.NodeID]float64, len(c.degrade))
+		for k, v := range c.degrade {
+			out.degrade[k] = v
+		}
+	}
+	_ = size
+	return out
+}
+
+// SetPartition splits the fabric into the given groups: transfers between
+// nodes in different groups are blocked (Reachable reports false) until
+// Heal. Nodes not mentioned in any group are isolated in their own
+// singleton group, mirroring consensus.Cluster.Partition semantics.
+func (f *Fabric) SetPartition(groups ...[]topology.NodeID) {
+	size := f.top.Size()
+	c := f.cond.Load().clone(size)
+	c.groupOf = make([]int, size)
+	for i := range c.groupOf {
+		c.groupOf[i] = -1
+	}
+	for gi, g := range groups {
+		for _, n := range g {
+			if int(n) >= 0 && int(n) < size {
+				c.groupOf[n] = gi
+			}
+		}
+	}
+	next := len(groups)
+	for i, g := range c.groupOf {
+		if g < 0 {
+			c.groupOf[i] = next
+			next++
+		}
+	}
+	f.cond.Store(c)
+	if im := f.m.Load(); im != nil {
+		im.partitionsSet.Inc()
+	}
+}
+
+// Heal removes any partition, leaving degradation factors in place.
+func (f *Fabric) Heal() {
+	c := f.cond.Load().clone(f.top.Size())
+	if c.groupOf == nil {
+		return // nothing to heal; keep the heal counter honest
+	}
+	c.groupOf = nil
+	f.cond.Store(c)
+	if im := f.m.Load(); im != nil {
+		im.partitionHeals.Inc()
+	}
+}
+
+// Partitioned reports whether a partition is currently in effect.
+func (f *Fabric) Partitioned() bool {
+	c := f.cond.Load()
+	return c != nil && c.groupOf != nil
+}
+
+// Reachable reports whether src can currently transfer to dst. Same-node
+// transfers are always reachable (local memory never partitions away).
+func (f *Fabric) Reachable(src, dst topology.NodeID) bool {
+	if src == dst {
+		return true
+	}
+	c := f.cond.Load()
+	if c == nil || c.groupOf == nil {
+		return true
+	}
+	if int(src) < 0 || int(src) >= len(c.groupOf) ||
+		int(dst) < 0 || int(dst) >= len(c.groupOf) {
+		return true
+	}
+	return c.groupOf[src] == c.groupOf[dst]
+}
+
+// SetNodeDegrade multiplies the cost of every transfer touching node n by
+// factor (a straggler link, a flapping NIC, an overloaded ToR port).
+// factor <= 1 clears the degradation.
+func (f *Fabric) SetNodeDegrade(n topology.NodeID, factor float64) {
+	c := f.cond.Load().clone(f.top.Size())
+	if factor <= 1 {
+		delete(c.degrade, n)
+		if len(c.degrade) == 0 {
+			c.degrade = nil
+		}
+	} else {
+		if c.degrade == nil {
+			c.degrade = map[topology.NodeID]float64{}
+		}
+		c.degrade[n] = factor
+	}
+	f.cond.Store(c)
+}
+
+// ClearConditions drops every partition and degradation, restoring the
+// clean fabric.
+func (f *Fabric) ClearConditions() {
+	f.cond.Store(&conditions{})
+}
+
+// degradeFactor returns the slowdown multiplier for a src->dst transfer:
+// the worst factor of the two endpoints, at least 1.
+func (f *Fabric) degradeFactor(src, dst topology.NodeID) float64 {
+	c := f.cond.Load()
+	if c == nil || c.degrade == nil {
+		return 1
+	}
+	factor := 1.0
+	if v, ok := c.degrade[src]; ok && v > factor {
+		factor = v
+	}
+	if v, ok := c.degrade[dst]; ok && v > factor {
+		factor = v
+	}
+	return factor
+}
+
+// nodeDegrade returns node n's own degradation factor, at least 1; the
+// flow simulator divides NIC capacity by it.
+func (f *Fabric) nodeDegrade(n topology.NodeID) float64 {
+	c := f.cond.Load()
+	if c == nil || c.degrade == nil {
+		return 1
+	}
+	if v, ok := c.degrade[n]; ok && v > 1 {
+		return v
+	}
+	return 1
+}
+
+// applyConditions scales a computed transfer duration by the current link
+// degradation and counts degraded queries.
+func (f *Fabric) applyConditions(src, dst topology.NodeID, d time.Duration) time.Duration {
+	factor := f.degradeFactor(src, dst)
+	if factor <= 1 {
+		return d
+	}
+	if im := f.m.Load(); im != nil {
+		im.degradedQueries.Inc()
+	}
+	return time.Duration(float64(d) * factor)
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func TestPartitionReachability(t *testing.T) {
+	top := topology.TwoTier(2, 4, 2)
+	f := NewFabric(top, RDMA40G)
+	reg := metrics.NewRegistry()
+	f.Instrument(reg)
+
+	if !f.Reachable(0, 7) || f.Partitioned() {
+		t.Fatal("clean fabric must be fully reachable")
+	}
+	f.SetPartition(
+		[]topology.NodeID{0, 1, 2, 3},
+		[]topology.NodeID{4, 5, 6},
+	)
+	if !f.Partitioned() {
+		t.Fatal("partition not in effect")
+	}
+	if f.Reachable(0, 4) {
+		t.Fatal("cross-group transfer must be blocked")
+	}
+	if !f.Reachable(0, 3) || !f.Reachable(4, 6) {
+		t.Fatal("same-group transfers must stay reachable")
+	}
+	// Node 7 was not mentioned: isolated in its own group.
+	if f.Reachable(7, 6) || f.Reachable(0, 7) {
+		t.Fatal("unmentioned node must be isolated")
+	}
+	if !f.Reachable(7, 7) {
+		t.Fatal("same-node transfers never partition away")
+	}
+	f.Heal()
+	if f.Partitioned() || !f.Reachable(0, 4) {
+		t.Fatal("heal must restore reachability")
+	}
+	if got := reg.Counter("net_partitions_set").Value(); got != 1 {
+		t.Fatalf("net_partitions_set = %d, want 1", got)
+	}
+	if got := reg.Counter("net_partition_heals").Value(); got != 1 {
+		t.Fatalf("net_partition_heals = %d, want 1", got)
+	}
+	// Healing a healthy fabric is a no-op, not a phantom heal.
+	f.Heal()
+	if got := reg.Counter("net_partition_heals").Value(); got != 1 {
+		t.Fatalf("redundant heal counted: %d", got)
+	}
+}
+
+func TestNodeDegradeScalesCost(t *testing.T) {
+	top := topology.TwoTier(2, 4, 2)
+	f := NewFabric(top, TCP40G)
+	const bytes = 1 << 20
+	clean := f.Cost(0, 5, bytes)
+	cleanLocalRack := f.Cost(0, 1, bytes)
+	f.SetNodeDegrade(5, 4)
+	degraded := f.Cost(0, 5, bytes)
+	if degraded < 3*clean || degraded > 5*clean {
+		t.Fatalf("degraded cost %v not ~4x clean %v", degraded, clean)
+	}
+	// Transfers not touching node 5 are unaffected.
+	if got := f.Cost(0, 1, bytes); got != cleanLocalRack {
+		t.Fatalf("unrelated link degraded: %v vs %v", got, cleanLocalRack)
+	}
+	// Same-node copies never degrade.
+	local := f.Cost(5, 5, bytes)
+	f.SetNodeDegrade(5, 1) // clears
+	if got := f.Cost(5, 5, bytes); got != local {
+		t.Fatalf("local copy changed under degradation: %v vs %v", got, local)
+	}
+	if got := f.Cost(0, 5, bytes); got != clean {
+		t.Fatalf("clear failed: %v vs %v", got, clean)
+	}
+}
+
+func TestDegradeSlowsSimulatedFlows(t *testing.T) {
+	top := topology.TwoTier(1, 4, 1)
+	f := NewFabric(top, RDMA40G)
+	flows := []Flow{{Src: 0, Dst: 1, Bytes: 8 << 20}}
+	clean := f.Simulate(flows)[0].Finish
+	f.SetNodeDegrade(1, 8)
+	slow := f.Simulate(flows)[0].Finish
+	if slow < 4*clean {
+		t.Fatalf("degraded flow finished in %v, clean %v; want >= 4x slower", slow, clean)
+	}
+	f.ClearConditions()
+	if got := f.Simulate(flows)[0].Finish; got != clean {
+		t.Fatalf("ClearConditions failed: %v vs %v", got, clean)
+	}
+}

@@ -190,11 +190,12 @@ func (f *Fabric) fixedLatency(src, dst topology.NodeID, bytes int64) time.Durati
 		time.Duration(f.top.Hops(src, dst))*m.PerHopLatency
 }
 
-// capacity returns the bytes/sec capacity of a shared resource.
+// capacity returns the bytes/sec capacity of a shared resource. Degraded
+// nodes (see conditions.go) present proportionally thinner NICs.
 func (f *Fabric) capacity(r resKey) float64 {
 	switch r.kind {
 	case resEgress, resIngress:
-		return f.model.BandwidthBps
+		return f.model.BandwidthBps / f.nodeDegrade(topology.NodeID(r.id))
 	default:
 		// A rack uplink aggregates its members' NICs, thinned by the core
 		// oversubscription factor.

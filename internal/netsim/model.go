@@ -73,20 +73,25 @@ const memBandwidthBps = 20e9
 
 // fabricMetrics holds the optional counters; nil fields are no-ops.
 type fabricMetrics struct {
-	costQueries  *metrics.Counter
-	costBytes    *metrics.Counter
-	costTimeNs   *metrics.Counter
-	simFlows     *metrics.Counter
-	simFlowBytes *metrics.Counter
+	costQueries     *metrics.Counter
+	costBytes       *metrics.Counter
+	costTimeNs      *metrics.Counter
+	simFlows        *metrics.Counter
+	simFlowBytes    *metrics.Counter
+	partitionsSet   *metrics.Counter
+	partitionHeals  *metrics.Counter
+	degradedQueries *metrics.Counter
 }
 
 // Fabric combines a topology with a transport model and answers cost
-// queries. The cost model is immutable; instrumentation attaches through
-// an atomic pointer, so Fabric stays safe for concurrent use.
+// queries. The cost model is immutable; instrumentation and mutable fault
+// conditions (partitions, degraded links — see conditions.go) attach
+// through atomic pointers, so Fabric stays safe for concurrent use.
 type Fabric struct {
 	top   *topology.Topology
 	model Model
 	m     atomic.Pointer[fabricMetrics]
+	cond  atomic.Pointer[conditions]
 }
 
 // Instrument attaches transfer counters to reg: cost-query volume
@@ -99,11 +104,14 @@ func (f *Fabric) Instrument(reg *metrics.Registry) {
 		return
 	}
 	f.m.Store(&fabricMetrics{
-		costQueries:  reg.Counter("net_cost_queries"),
-		costBytes:    reg.Counter("net_cost_payload_bytes"),
-		costTimeNs:   reg.Counter("net_cost_time_ns"),
-		simFlows:     reg.Counter("net_sim_flows"),
-		simFlowBytes: reg.Counter("net_sim_payload_bytes"),
+		costQueries:     reg.Counter("net_cost_queries"),
+		costBytes:       reg.Counter("net_cost_payload_bytes"),
+		costTimeNs:      reg.Counter("net_cost_time_ns"),
+		simFlows:        reg.Counter("net_sim_flows"),
+		simFlowBytes:    reg.Counter("net_sim_payload_bytes"),
+		partitionsSet:   reg.Counter("net_partitions_set"),
+		partitionHeals:  reg.Counter("net_partition_heals"),
+		degradedQueries: reg.Counter("net_degraded_queries"),
 	})
 }
 
@@ -123,7 +131,9 @@ func (f *Fabric) Model() Model { return f.model }
 
 // Cost returns the uncontended one-way latency to move `bytes` of payload
 // from src to dst: setup + per-hop latency + serialization at line rate +
-// sender CPU. Same-node transfers cost a memcpy.
+// sender CPU, scaled by any link degradation in effect. Same-node
+// transfers cost a memcpy. Cost does not model partitions — callers that
+// care whether the transfer can happen at all check Reachable first.
 func (f *Fabric) Cost(src, dst topology.NodeID, bytes int64) time.Duration {
 	if bytes < 0 {
 		bytes = 0
@@ -139,6 +149,7 @@ func (f *Fabric) Cost(src, dst topology.NodeID, bytes int64) time.Duration {
 		// The host CPU pipeline (copies, protocol processing) overlaps with
 		// NIC transmission; the transfer proceeds at whichever is slower.
 		d += time.Duration(wire / f.effectiveRate() * float64(time.Second))
+		d = f.applyConditions(src, dst, d)
 	}
 	if im := f.m.Load(); im != nil {
 		im.costQueries.Inc()

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Multi-seed chaos smoke sweep: run the TeraSort binary under each fault
+# preset with several seeds, all with the race detector enabled, and fail
+# on any incorrect or aborted run. This is the long-form confidence check
+# behind `CHAOS=1 scripts/verify.sh`; run directly for a quick sweep:
+#
+#   scripts/chaos.sh               # default presets x seeds
+#   SEEDS="1 2 3 4" scripts/chaos.sh
+#   PRESETS="mixed" scripts/chaos.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEEDS=${SEEDS:-"1 7 42"}
+PRESETS=${PRESETS:-"crash partition straggler flaky mixed"}
+RECORDS=${RECORDS:-20000}
+
+echo "== chaos acceptance tests (race) =="
+go test -race -run 'TestChaos' . -count=1
+
+echo "== building race-enabled terasort =="
+tmpbin=$(mktemp -d)
+trap 'rm -rf "$tmpbin"' EXIT
+go build -race -o "$tmpbin/hpbdc-terasort" ./cmd/hpbdc-terasort
+
+for preset in $PRESETS; do
+    for seed in $SEEDS; do
+        echo "== chaos sweep: preset=$preset seed=$seed =="
+        "$tmpbin/hpbdc-terasort" -records "$RECORDS" -seed "$seed" \
+            -chaos "$preset" -speculation
+    done
+done
+
+echo "chaos sweep: OK"

@@ -25,6 +25,12 @@ go test ./...
 echo "== go test -race (concurrent instrumentation) =="
 go test -race ./internal/metrics/... ./internal/trace/... \
     ./internal/obs/... ./internal/core/... ./internal/shuffle/... \
-    ./internal/dfs/... ./internal/sched/... ./internal/netsim/...
+    ./internal/dfs/... ./internal/sched/... ./internal/netsim/... \
+    ./internal/cluster/... ./internal/chaos/...
+
+if [ "${CHAOS:-0}" = "1" ]; then
+    echo "== chaos sweep (CHAOS=1) =="
+    sh scripts/chaos.sh
+fi
 
 echo "verify: OK"
