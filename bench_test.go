@@ -132,3 +132,14 @@ func BenchmarkE12Raft(b *testing.B) {
 	t := runExperiment(b, experiments.E12Raft)
 	b.ReportMetric(cell(t, 0, 4), "3node-proposals/s")
 }
+
+func BenchmarkESFTStream(b *testing.B) {
+	t := runExperiment(b, experiments.ESFTStream)
+	// The exactly-once claim holds in every sweep cell.
+	for i := range t.Rows {
+		if t.Rows[i][len(t.Cols)-1] != "yes" {
+			b.Fatalf("E-SFT row %d: faulted output diverged from clean run", i)
+		}
+	}
+	b.ReportMetric(cell(t, 4, 6), "replayed-ckpt-1crash")
+}

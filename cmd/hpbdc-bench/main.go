@@ -33,6 +33,10 @@ func main() {
 	failProb := flag.Float64("fail-prob", 0, "global transient task failure probability for EFT")
 	chaosSpec := flag.String("chaos", "",
 		"chaos schedule for EFT: a preset name (crash, partition, straggler, flaky, mixed) or a schedule file")
+	ckptInterval := flag.Int("ckpt-interval", 0,
+		"fixed checkpoint interval (events) for E-SFT, replacing its interval sweep (0: sweep)")
+	streamChaos := flag.String("stream-chaos", "",
+		"chaos schedule for E-SFT: the stream preset or a schedule file with stream-crash/stream-restore events")
 	flag.Parse()
 
 	if *seed != 0 || *failProb != 0 || *chaosSpec != "" {
@@ -42,6 +46,14 @@ func main() {
 			os.Exit(2)
 		}
 		experiments.SetFaultConfig(*seed, *failProb, spec)
+	}
+	if *seed != 0 || *ckptInterval != 0 || *streamChaos != "" {
+		spec, err := loadChaosSpec(*streamChaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-stream-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetStreamFaultConfig(*seed, *ckptInterval, spec)
 	}
 
 	var (

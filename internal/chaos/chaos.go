@@ -67,6 +67,15 @@ type FaultInjector interface {
 	SetNodeFailProb(topology.NodeID, float64)
 }
 
+// StreamTarget is the stream-engine surface (implemented by
+// *stream.Runner): CrashWorker kills one stream worker's state,
+// RestoreWorker triggers recovery from the last committed checkpoint
+// with source-tail replay. The id is the worker index.
+type StreamTarget interface {
+	CrashWorker(id int) error
+	RestoreWorker(id int) error
+}
+
 // Targets wires a controller to the systems it acts on. Any field may be
 // nil; events silently skip absent targets, so one schedule drives
 // whatever subset a test or experiment assembles.
@@ -80,6 +89,7 @@ type Targets struct {
 	Membership MembershipTarget
 	Consensus  ConsensusTarget
 	Faults     FaultInjector
+	Stream     StreamTarget
 }
 
 // Controller replays a schedule against its targets as virtual time
@@ -123,10 +133,11 @@ func resolveWildcards(sched Schedule, seed uint64, nodes int) Schedule {
 	r := rng.New(seed)
 	last := map[Kind]topology.NodeID{}
 	undoOf := map[Kind]Kind{
-		Revive:    Crash,
-		Unslow:    Slow,
-		Unflaky:   Flaky,
-		Undegrade: Degrade,
+		Revive:        Crash,
+		Unslow:        Slow,
+		Unflaky:       Flaky,
+		Undegrade:     Degrade,
+		StreamRestore: StreamCrash,
 	}
 	out := append(Schedule(nil), sched...)
 	for i := range out {
@@ -294,6 +305,14 @@ func (c *Controller) apply(e Event) {
 	case Undegrade:
 		if t.Network != nil {
 			t.Network.SetNodeDegrade(e.Node, 1)
+		}
+	case StreamCrash:
+		if t.Stream != nil {
+			_ = t.Stream.CrashWorker(int(e.Node))
+		}
+	case StreamRestore:
+		if t.Stream != nil {
+			_ = t.Stream.RestoreWorker(int(e.Node))
 		}
 	}
 	c.applied.With(string(e.Kind)).Inc()

@@ -96,9 +96,17 @@ func (f *fakeTargets) SetNodeDegrade(n topology.NodeID, v float64) {
 func (f *fakeTargets) SetNodeFailProb(n topology.NodeID, p float64) {
 	f.log = append(f.log, "flaky", nodeString(n))
 }
+func (f *fakeTargets) CrashWorker(id int) error {
+	f.log = append(f.log, "stream-crash", nodeString(topology.NodeID(id)))
+	return nil
+}
+func (f *fakeTargets) RestoreWorker(id int) error {
+	f.log = append(f.log, "stream-restore", nodeString(topology.NodeID(id)))
+	return nil
+}
 
 func targetsOf(f *fakeTargets) Targets {
-	return Targets{Nodes: 8, Compute: f, Storage: f, Network: f, Faults: f}
+	return Targets{Nodes: 8, Compute: f, Storage: f, Network: f, Faults: f, Stream: f}
 }
 
 func run(t *testing.T, sched Schedule, seed uint64, ticks int) ([]string, *metrics.Registry) {
@@ -189,6 +197,46 @@ func TestControllerCountersAndNilSafety(t *testing.T) {
 	nc.AdvanceTo(3)
 	if nc.Now() != 0 || nc.Applied() != 0 || !nc.Done() {
 		t.Fatal("nil controller misbehaved")
+	}
+}
+
+func TestStreamEventKinds(t *testing.T) {
+	sched, err := Parse("2 stream-crash 1\n5 stream-restore 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(sched.String()); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	f := &fakeTargets{}
+	c := New(sched, 1, targetsOf(f), nil)
+	c.AdvanceTo(6)
+	want := []string{"stream-crash", "1", "stream-restore", "1"}
+	if !reflect.DeepEqual(f.log, want) {
+		t.Fatalf("log = %v, want %v", f.log, want)
+	}
+	// Wildcard restore pairs with the wildcard crash's worker.
+	sched, err = Parse("1 stream-crash *\n4 stream-restore *\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = &fakeTargets{}
+	New(sched, 7, targetsOf(f), nil).AdvanceTo(5)
+	if len(f.log) != 4 || f.log[1] != f.log[3] {
+		t.Fatalf("wildcard stream crash/restore unpaired: %v", f.log)
+	}
+	// The stream preset round-trips and stays out of the compute sweep.
+	s, err := Preset("stream", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(s.String()); err != nil {
+		t.Fatalf("stream preset round trip: %v", err)
+	}
+	for _, name := range PresetNames() {
+		if name == "stream" {
+			t.Fatal("stream preset leaked into the compute preset sweep")
+		}
 	}
 }
 

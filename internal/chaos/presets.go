@@ -13,7 +13,10 @@ import (
 // Presets are what the CLI -chaos flag and scripts/chaos.sh use; every
 // preset leaves the cluster fully healthy once its last event fires, so a
 // job that outlives the schedule can always finish. Known names: crash,
-// partition, straggler, flaky, mixed.
+// partition, straggler, flaky, mixed — plus "stream", which targets the
+// stream engine (stream-crash/stream-restore of one worker) and is kept
+// out of PresetNames so the compute-preset sweeps (EFT, chaos.sh) skip
+// it; the E-SFT experiment and -stream-chaos flag use it.
 func Preset(name string, n int) (Schedule, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("chaos: preset needs >= 2 nodes, got %d", n)
@@ -42,6 +45,11 @@ func Preset(name string, n int) (Schedule, error) {
 		return Schedule{
 			{At: 1, Kind: Flaky, Node: victim, Value: 0.8},
 			{At: 10, Kind: Unflaky, Node: victim},
+		}, nil
+	case "stream":
+		return Schedule{
+			{At: 4, Kind: StreamCrash, Node: victim},
+			{At: 10, Kind: StreamRestore, Node: victim},
 		}, nil
 	case "mixed":
 		return Schedule{

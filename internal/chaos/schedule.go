@@ -18,19 +18,24 @@ type Kind string
 // the network fabric and consensus transport. Slow/Unslow inject compute
 // stragglers, Degrade/Undegrade network stragglers, Flaky/Unflaky
 // transient task faults, Drop/Undrop membership message loss.
+// StreamCrash/StreamRestore kill and recover one stream-engine worker
+// (the node id is the worker index); recovery restores from the last
+// committed checkpoint and replays the source tail.
 const (
-	Crash     Kind = "crash"
-	Revive    Kind = "revive"
-	Partition Kind = "partition"
-	Heal      Kind = "heal"
-	Slow      Kind = "slow"
-	Unslow    Kind = "unslow"
-	Flaky     Kind = "flaky"
-	Unflaky   Kind = "unflaky"
-	Drop      Kind = "drop"
-	Undrop    Kind = "undrop"
-	Degrade   Kind = "degrade"
-	Undegrade Kind = "undegrade"
+	Crash         Kind = "crash"
+	Revive        Kind = "revive"
+	Partition     Kind = "partition"
+	Heal          Kind = "heal"
+	Slow          Kind = "slow"
+	Unslow        Kind = "unslow"
+	Flaky         Kind = "flaky"
+	Unflaky       Kind = "unflaky"
+	Drop          Kind = "drop"
+	Undrop        Kind = "undrop"
+	Degrade       Kind = "degrade"
+	Undegrade     Kind = "undegrade"
+	StreamCrash   Kind = "stream-crash"
+	StreamRestore Kind = "stream-restore"
 )
 
 // WildcardNode marks an event whose target node is chosen by the
@@ -67,7 +72,7 @@ func (s Schedule) String() string {
 	for _, e := range s {
 		fmt.Fprintf(&b, "%d %s", e.At, e.Kind)
 		switch e.Kind {
-		case Crash, Revive, Unslow, Unflaky, Undegrade:
+		case Crash, Revive, Unslow, Unflaky, Undegrade, StreamCrash, StreamRestore:
 			b.WriteString(" " + nodeString(e.Node))
 		case Slow:
 			fmt.Fprintf(&b, " %s %s", nodeString(e.Node), e.Delay)
@@ -114,6 +119,8 @@ func nodeString(n topology.NodeID) string {
 //	5 flaky 2 0.8      # tasks on node 2 fail with p=0.8
 //	4 drop 0.2         # membership messages lost with p=0.2
 //	6 degrade 5 4      # transfers touching node 5 cost 4x
+//	7 stream-crash 2   # kill stream worker 2 (state lost)
+//	9 stream-restore 2 # recover from the last committed checkpoint
 //
 // A node written "*" is a wildcard resolved from the controller seed; see
 // WildcardNode.
@@ -152,7 +159,7 @@ func Parse(text string) (Schedule, error) {
 			return nil
 		}
 		switch e.Kind {
-		case Crash, Revive, Unslow, Unflaky, Undegrade:
+		case Crash, Revive, Unslow, Unflaky, Undegrade, StreamCrash, StreamRestore:
 			if err := needNode(); err != nil {
 				return bad(err.Error())
 			}

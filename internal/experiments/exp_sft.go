@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// streamCfg carries the CLI overrides (-seed, -ckpt-interval, -stream-chaos)
+// into the E-SFT experiment.
+var streamCfg = struct {
+	mu       sync.Mutex
+	seed     uint64
+	interval int
+	spec     string
+}{seed: 11}
+
+// SetStreamFaultConfig overrides the E-SFT experiment's sweep: the chaos
+// seed, a fixed checkpoint interval replacing the interval sweep, and a
+// chaos schedule (preset name or schedule text) replacing the crash-count
+// sweep. Zero values keep the defaults.
+func SetStreamFaultConfig(seed uint64, interval int, spec string) {
+	streamCfg.mu.Lock()
+	defer streamCfg.mu.Unlock()
+	if seed != 0 {
+		streamCfg.seed = seed
+	}
+	streamCfg.interval = interval
+	streamCfg.spec = spec
+}
+
+// ESFTStream measures exactly-once streaming recovery: the same generated
+// event stream runs under a sweep of checkpoint intervals crossed with
+// worker crash/restore schedules, and every faulted run's output must be
+// byte-identical to the clean run's. The cost axes are checkpoint volume
+// (barriers committed, snapshot bytes) against recovery work (events
+// replayed from the source, duplicate panes suppressed at the sink):
+// frequent checkpoints pay bytes to shrink replay, sparse ones the
+// reverse, and interval 0 falls back to full replay from offset zero.
+func ESFTStream(s Scale) *Table {
+	streamCfg.mu.Lock()
+	seed, fixedInterval, spec := streamCfg.seed, streamCfg.interval, streamCfg.spec
+	streamCfg.mu.Unlock()
+
+	const workers = 4
+	events := int64(pick(s, 6_000, 48_000))
+	t := &Table{
+		ID:    "E-SFT",
+		Title: "Streaming fault tolerance: checkpoint interval vs recovery cost",
+		Note: fmt.Sprintf("%d events, %d workers, 250ms windows, seed %d; identical = output equals clean run",
+			events, workers, seed),
+		Cols: []string{"ckpt-every", "crashes", "wall", "vs-clean", "ckpts",
+			"ckpt-bytes", "replayed", "deduped", "identical"},
+	}
+
+	intervals := []int{0, pick(s, 500, 4_000), pick(s, 2_000, 16_000)}
+	if fixedInterval > 0 {
+		intervals = []int{fixedInterval}
+	}
+	type entry struct {
+		name  string
+		sched chaos.Schedule
+	}
+	entries := []entry{
+		{"0", nil},
+		{"1", streamCrashSchedule(1)},
+		{"3", streamCrashSchedule(3)},
+	}
+	if spec != "" {
+		sched, err := chaos.Load(spec, workers)
+		if err != nil {
+			panic(fmt.Sprintf("E-SFT: -stream-chaos: %v", err))
+		}
+		entries = []entry{{"custom", sched}}
+	}
+
+	run := func(interval int, sched chaos.Schedule) ([]stream.Result, *stream.Runner, time.Duration) {
+		rec := trace.New()
+		src := stream.NewGeneratorSource(seed, events, 32, time.Millisecond, 4*time.Millisecond)
+		r := stream.NewRunner(stream.RunConfig{
+			Pipeline: stream.Config{
+				Workers: workers,
+				Window:  250 * time.Millisecond,
+				Tracer:  rec,
+			},
+			CheckpointEvery: interval,
+			WatermarkEvery:  200,
+			WatermarkLag:    5 * time.Millisecond,
+			TickEvery:       int(events / 32),
+		}, src)
+		if len(sched) > 0 {
+			ctl := chaos.New(sched, seed, chaos.Targets{Nodes: workers, Stream: r}, r.Metrics())
+			r.OnTick(ctl.Tick)
+		}
+		start := time.Now()
+		out, err := r.Run()
+		if err != nil {
+			panic(fmt.Sprintf("E-SFT: %v", err))
+		}
+		return out, r, time.Since(start)
+	}
+
+	// The clean reference: no checkpoints, no faults.
+	baseline, baseRunner, cleanWall := run(0, nil)
+	publishStream("E-SFT/clean", baseRunner)
+
+	for _, interval := range intervals {
+		for _, e := range entries {
+			if interval == 0 && e.sched == nil {
+				t.AddRow("0", "0", cleanWall.Round(time.Millisecond).String(), "1.00x",
+					"0", "0", "0", "0", "yes")
+				continue
+			}
+			out, r, wall := run(interval, e.sched)
+			reg := r.Metrics()
+			identical := "yes"
+			if !reflect.DeepEqual(out, baseline) {
+				identical = "NO"
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", interval),
+				e.name,
+				wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.2fx", float64(wall)/float64(cleanWall)),
+				fmt.Sprintf("%d", reg.Counter("checkpoints_committed").Value()),
+				fmt.Sprintf("%d", reg.Counter("checkpoint_bytes").Value()),
+				fmt.Sprintf("%d", reg.Counter("recovery_replayed_events").Value()),
+				fmt.Sprintf("%d", reg.Counter("panes_deduped").Value()),
+				identical,
+			)
+			publishStream(fmt.Sprintf("E-SFT/ckpt-%d/crashes-%s", interval, e.name), r)
+		}
+	}
+	return t
+}
+
+// streamCrashSchedule crashes a seeded wildcard worker c times, restoring
+// it a few virtual ticks later each time.
+func streamCrashSchedule(c int) chaos.Schedule {
+	var sched chaos.Schedule
+	for i := 0; i < c; i++ {
+		sched = append(sched,
+			chaos.Event{At: int64(4 + i*8), Kind: chaos.StreamCrash, Node: chaos.WildcardNode},
+			chaos.Event{At: int64(7 + i*8), Kind: chaos.StreamRestore, Node: chaos.WildcardNode},
+		)
+	}
+	return sched
+}
+
+// publishStream merges one stream run's counters, gauges and spans into
+// the observability hub (job-labeled), mirroring observe() for runs that
+// have no batch job context.
+func publishStream(job string, r *stream.Runner) {
+	hub.mu.Lock()
+	reg, rec := hub.reg, hub.rec
+	hub.mu.Unlock()
+	if reg != nil {
+		snap := r.Metrics().Snapshot()
+		for _, c := range snap.Counters {
+			keys, vals := labelArgs(c.Labels, job)
+			reg.CounterVec(c.Name, keys...).With(vals...).Add(c.Value)
+		}
+		for _, g := range snap.Gauges {
+			keys, vals := labelArgs(g.Labels, job)
+			reg.GaugeVec(g.Name, keys...).With(vals...).Set(g.Value)
+		}
+	}
+	if rec != nil && r.Tracer() != nil {
+		for _, s := range r.Tracer().Spans() {
+			if s.Args == nil {
+				s.Args = map[string]string{}
+			}
+			s.Args["job"] = job
+			s.Track = job + "/" + s.Track
+			rec.Add(s)
+		}
+	}
+}

@@ -170,8 +170,8 @@ func TestE12Shapes(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -193,5 +193,32 @@ func TestE7Runs(t *testing.T) {
 	table := runAndCheck(t, E7Stream)
 	if len(table.Rows) != 6 {
 		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}
+
+func TestESFTShapes(t *testing.T) {
+	table := runAndCheck(t, ESFTStream)
+	// 3 intervals x 3 crash counts.
+	if len(table.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(table.Rows))
+	}
+	for i, row := range table.Rows {
+		if got := row[len(row)-1]; got != "yes" {
+			t.Fatalf("row %d (%v): faulted output diverged from clean run", i, row)
+		}
+	}
+	// Every faulted run must have actually recovered (replayed a tail) and
+	// suppressed duplicates at the sink; checkpointed faulted runs must
+	// replay less than the ones restarting from offset zero.
+	for _, row := range table.Rows {
+		if row[1] == "0" {
+			continue
+		}
+		if parse(t, row[6]) <= 0 {
+			t.Fatalf("faulted row %v replayed nothing", row)
+		}
+		if parse(t, row[7]) <= 0 {
+			t.Fatalf("faulted row %v deduped nothing", row)
+		}
 	}
 }

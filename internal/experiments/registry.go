@@ -23,5 +23,6 @@ func All() []Runner {
 		{"E11", "autoscaling", E11Autoscale},
 		{"E12", "raft commit latency", E12Raft},
 		{"EFT", "fault tolerance under chaos", EFTChaos},
+		{"E-SFT", "streaming exactly-once fault tolerance", ESFTStream},
 	}
 }

@@ -1,0 +1,474 @@
+// Checkpointing and recovery for the stream engine: aligned barriers flow
+// through the worker queues like watermarks, each worker snapshots its
+// state when the barrier arrives, and the coordinator commits a
+// checkpoint only once every worker has acked. On failure the Runner
+// rolls every worker back to the last committed checkpoint, rewinds the
+// replayable source to the checkpoint's offset, and replays the tail; the
+// result sink's per-worker sequence high-water drops the panes the replay
+// re-fires, so recovered output is byte-identical to a fault-free run.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+type ctlOp int
+
+const (
+	ctlBarrier ctlOp = iota // snapshot state and ack
+	ctlCrash                // drop state, enter dead mode
+	ctlRestore              // load snapshot, leave dead mode
+)
+
+// control is one control-plane message. It rides the same per-worker
+// queues as events and watermarks, which is what makes barrier alignment
+// trivial here: each worker has exactly one ordered input channel, so a
+// barrier cleanly splits the stream into pre- and post-checkpoint events.
+type control struct {
+	op   ctlOp
+	id   int64  // checkpoint id (barrier)
+	snap []byte // encoded worker state (restore)
+	ack  chan workerAck
+}
+
+type workerAck struct {
+	worker int
+	state  []byte // encoded snapshot (barrier acks)
+	err    error
+}
+
+// Checkpoint is one committed, globally consistent snapshot: the source
+// offset the barrier was injected at, the source-side watermark
+// high-water, and every worker's encoded state. Offset and Watermark
+// belong to the driver (Runner) side of the snapshot; States to the
+// worker side.
+type Checkpoint struct {
+	ID        int64
+	Offset    int64
+	Watermark time.Duration
+	States    [][]byte
+	Bytes     int64
+}
+
+// ---- binary state encoding ------------------------------------------------
+
+// Snapshots cross the worker/coordinator boundary as flat byte blobs, the
+// same way they would cross a process boundary to durable storage: the
+// encoding both isolates the snapshot from later mutation and makes the
+// checkpoint_bytes metric honest. Panes are sorted before encoding so a
+// given state always produces identical bytes.
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func readU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("stream: truncated snapshot")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, rest, err := readU64(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("stream: truncated snapshot string")
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+func (st *pipeState) encode() []byte {
+	keys := make([]paneKey, 0, len(st.panes))
+	for pk := range st.panes {
+		keys = append(keys, pk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].start != keys[j].start {
+			return keys[i].start < keys[j].start
+		}
+		return keys[i].key < keys[j].key
+	})
+	b := make([]byte, 0, 24+len(keys)*40)
+	b = appendU64(b, uint64(st.watermark))
+	b = appendU64(b, uint64(st.seq))
+	b = appendU64(b, uint64(len(keys)))
+	for _, pk := range keys {
+		agg := st.panes[pk]
+		b = appendU64(b, uint64(pk.start))
+		b = appendU64(b, uint64(len(pk.key)))
+		b = append(b, pk.key...)
+		b = appendU64(b, math.Float64bits(agg.sum))
+		b = appendU64(b, uint64(agg.count))
+	}
+	return b
+}
+
+func decodePipeState(b []byte) (*pipeState, error) {
+	st := newPipeState()
+	var v uint64
+	var err error
+	if v, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	st.watermark = time.Duration(v)
+	if v, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	st.seq = int64(v)
+	var n uint64
+	if n, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var start uint64
+		if start, b, err = readU64(b); err != nil {
+			return nil, err
+		}
+		var key string
+		if key, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		var sum, count uint64
+		if sum, b, err = readU64(b); err != nil {
+			return nil, err
+		}
+		if count, b, err = readU64(b); err != nil {
+			return nil, err
+		}
+		st.panes[paneKey{start: time.Duration(start), key: key}] = &paneAgg{
+			sum:   math.Float64frombits(sum),
+			count: int64(count),
+		}
+	}
+	return st, nil
+}
+
+// ---- coordinator methods on Pipeline --------------------------------------
+
+// sendCtl injects one control message per target queue under the
+// lifecycle read lock, so the injection can never race Close closing the
+// channels. The acks arrive on mk's channel after the lock is released.
+func sendCtl(mu *sync.RWMutex, closed *bool, queues []chan message, targets []int, mk func(i int) *control) error {
+	mu.RLock()
+	defer mu.RUnlock()
+	if *closed {
+		return ErrClosed
+	}
+	for _, i := range targets {
+		queues[i] <- message{watermark: -1, ctl: mk(i)}
+	}
+	return nil
+}
+
+func allWorkers(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TriggerCheckpoint injects an aligned barrier into every worker queue
+// and blocks until all workers ack with their snapshots, then commits.
+// offset and wm are the driver-side cut (source offset and watermark
+// high-water at injection time). A barrier reaching a crashed worker
+// aborts the whole checkpoint — a down task cannot snapshot — and counts
+// checkpoints_aborted; the caller keeps its previous committed checkpoint.
+func (p *Pipeline) TriggerCheckpoint(offset int64, wm time.Duration) (*Checkpoint, error) {
+	p.ckptMu.Lock()
+	p.nextCkpt++
+	id := p.nextCkpt
+	p.ckptMu.Unlock()
+
+	start := time.Now()
+	end := p.cfg.Tracer.Begin(fmt.Sprintf("checkpoint-%d", id), "checkpoint", "stream-coordinator")
+	ack := make(chan workerAck, len(p.queues))
+	if err := sendCtl(&p.mu, &p.closed, p.queues, allWorkers(len(p.queues)), func(int) *control {
+		return &control{op: ctlBarrier, id: id, ack: ack}
+	}); err != nil {
+		end(map[string]string{"error": err.Error()})
+		return nil, err
+	}
+	states := make([][]byte, len(p.queues))
+	var total int64
+	var firstErr error
+	for range p.queues {
+		a := <-ack
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			continue
+		}
+		states[a.worker] = a.state
+		total += int64(len(a.state))
+	}
+	if firstErr != nil {
+		p.Reg.Counter("checkpoints_aborted").Inc()
+		end(map[string]string{"aborted": firstErr.Error()})
+		return nil, firstErr
+	}
+	p.Reg.Counter("checkpoints_committed").Inc()
+	p.Reg.Counter("checkpoint_bytes").Add(total)
+	p.Reg.Histogram("checkpoint_duration_ns").ObserveDuration(time.Since(start))
+	end(map[string]string{"bytes": fmt.Sprint(total), "offset": fmt.Sprint(offset)})
+	return &Checkpoint{ID: id, Offset: offset, Watermark: wm, States: states, Bytes: total}, nil
+}
+
+// GenesisCheckpoint is the implicit empty checkpoint every run starts
+// from: recovery before the first commit rolls back to empty state and
+// offset zero (replay from the beginning).
+func (p *Pipeline) GenesisCheckpoint() *Checkpoint {
+	states := make([][]byte, len(p.queues))
+	for i := range states {
+		states[i] = newPipeState().encode()
+	}
+	return &Checkpoint{States: states}
+}
+
+// CrashWorker simulates the loss of one worker process: its in-memory
+// pane state is dropped and it stops processing events and watermarks
+// (replay after RestoreFrom re-reads what it misses from the source).
+// The call blocks until the worker has acked the transition.
+func (p *Pipeline) CrashWorker(i int) error {
+	if i < 0 || i >= len(p.queues) {
+		return fmt.Errorf("stream: no worker %d (have %d)", i, len(p.queues))
+	}
+	ack := make(chan workerAck, 1)
+	if err := sendCtl(&p.mu, &p.closed, p.queues, []int{i}, func(int) *control {
+		return &control{op: ctlCrash, ack: ack}
+	}); err != nil {
+		return err
+	}
+	<-ack
+	p.Reg.Counter("stream_worker_crashes").Inc()
+	return nil
+}
+
+// RestoreFrom rolls every worker back to the given committed checkpoint
+// (a global rollback, like Flink's full-restart strategy): each worker —
+// crashed or healthy — replaces its state with its snapshot and leaves
+// dead mode. The result sink's sequence high-waters are deliberately NOT
+// rolled back; they are what dedups the re-fired panes during replay.
+func (p *Pipeline) RestoreFrom(ck *Checkpoint) error {
+	if len(ck.States) != len(p.queues) {
+		return fmt.Errorf("stream: checkpoint has %d worker states, pipeline has %d workers",
+			len(ck.States), len(p.queues))
+	}
+	end := p.cfg.Tracer.Begin(fmt.Sprintf("restore-ckpt-%d", ck.ID), "recovery", "stream-coordinator")
+	ack := make(chan workerAck, len(p.queues))
+	if err := sendCtl(&p.mu, &p.closed, p.queues, allWorkers(len(p.queues)), func(i int) *control {
+		return &control{op: ctlRestore, snap: ck.States[i], ack: ack}
+	}); err != nil {
+		end(map[string]string{"error": err.Error()})
+		return err
+	}
+	var firstErr error
+	for range p.queues {
+		if a := <-ack; a.err != nil && firstErr == nil {
+			firstErr = a.err
+		}
+	}
+	if firstErr != nil {
+		end(map[string]string{"error": firstErr.Error()})
+		return firstErr
+	}
+	p.Reg.Counter("stream_recoveries").Inc()
+	end(map[string]string{"offset": fmt.Sprint(ck.Offset)})
+	return nil
+}
+
+// ---- Runner ----------------------------------------------------------------
+
+// RunConfig drives a checkpointed pipeline run from a replayable source.
+type RunConfig struct {
+	Pipeline Config
+	// CheckpointEvery injects an aligned barrier every N source records;
+	// 0 disables checkpointing (recovery then replays from offset zero).
+	CheckpointEvery int
+	// WatermarkEvery advances the watermark every N records. Default 256.
+	WatermarkEvery int
+	// WatermarkLag is subtracted from the maximum seen event time when
+	// advancing; set it at or above the source's disorder bound to avoid
+	// late drops.
+	WatermarkLag time.Duration
+	// TickEvery is how many records pass between Tick callbacks (the
+	// chaos virtual-time hook). Default 1000.
+	TickEvery int
+	// Tick, when set, is called every TickEvery records — wire a chaos
+	// controller's Tick here. Prefer OnTick for post-construction wiring.
+	Tick func()
+}
+
+// Runner owns the driver loop of a fault-tolerant streaming job: it pulls
+// events from a replayable Source, paces watermarks and checkpoint
+// barriers, ticks chaos virtual time, and performs recovery (global
+// rollback + source rewind + tail replay) when chaos crashes a worker.
+// It implements the chaos StreamTarget surface (CrashWorker /
+// RestoreWorker); faults requested from inside a Tick are deferred to the
+// next record boundary so the driver loop stays the only thread touching
+// the source.
+type Runner struct {
+	cfg RunConfig
+	src Source
+	p   *Pipeline
+
+	mu             sync.Mutex
+	pendingCrash   []int
+	pendingRestore bool
+
+	dead   map[int]bool
+	last   *Checkpoint // latest committed checkpoint (genesis at start)
+	wmHigh time.Duration
+}
+
+// NewRunner builds a runner over a fresh pipeline.
+func NewRunner(cfg RunConfig, src Source) *Runner {
+	if cfg.WatermarkEvery <= 0 {
+		cfg.WatermarkEvery = 256
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 1000
+	}
+	p := New(cfg.Pipeline)
+	return &Runner{cfg: cfg, src: src, p: p, dead: map[int]bool{}, last: p.GenesisCheckpoint()}
+}
+
+// Pipeline exposes the underlying pipeline (for QueueDepth etc).
+func (r *Runner) Pipeline() *Pipeline { return r.p }
+
+// Metrics exposes the pipeline registry, including the checkpoint and
+// recovery counters the Runner maintains.
+func (r *Runner) Metrics() *metrics.Registry { return r.p.Reg }
+
+// Tracer exposes the pipeline's span recorder (nil when tracing is off).
+func (r *Runner) Tracer() *trace.Recorder { return r.p.cfg.Tracer }
+
+// CrashWorker implements the chaos stream target: the crash is applied at
+// the next record boundary of the driver loop. Safe to call from a chaos
+// Tick. Crashing an already-dead worker is a no-op.
+func (r *Runner) CrashWorker(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pendingCrash = append(r.pendingCrash, i)
+	return nil
+}
+
+// RestoreWorker implements the chaos stream target: at the next record
+// boundary the runner restores ALL workers from the last committed
+// checkpoint and replays the source tail (recovery is global under
+// aligned checkpoints). The worker id is accepted for schedule symmetry
+// with stream-crash. A restore with no dead workers is a no-op.
+func (r *Runner) RestoreWorker(int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pendingRestore = true
+	return nil
+}
+
+// OnTick wires the chaos virtual-time hook after construction (the
+// controller needs the Runner as its target, so it is built second).
+func (r *Runner) OnTick(fn func()) { r.cfg.Tick = fn }
+
+// Run drives the source to exhaustion and returns the pipeline's final
+// results. If workers are still dead when the source runs dry (a schedule
+// with a crash but no restore), Run recovers once more before closing, so
+// a crashed run never silently loses data.
+func (r *Runner) Run() ([]Result, error) {
+	for {
+		if err := r.applyPending(); err != nil {
+			return nil, err
+		}
+		ev, ok := r.src.Next()
+		if !ok {
+			if len(r.dead) > 0 {
+				if err := r.recoverNow(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		off := r.src.Offset()
+		if ev.EventTime > r.wmHigh {
+			r.wmHigh = ev.EventTime
+		}
+		if err := r.p.Send(ev); err != nil {
+			return nil, err
+		}
+		if off%int64(r.cfg.WatermarkEvery) == 0 {
+			if wm := r.wmHigh - r.cfg.WatermarkLag; wm > 0 {
+				if err := r.p.Advance(wm); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if r.cfg.CheckpointEvery > 0 && off%int64(r.cfg.CheckpointEvery) == 0 {
+			// An abort (dead worker mid-crash-window) keeps the previous
+			// committed checkpoint; the aborted counter tracks it.
+			if ck, err := r.p.TriggerCheckpoint(off, r.wmHigh); err == nil {
+				r.last = ck
+			}
+		}
+		if r.cfg.Tick != nil && off%int64(r.cfg.TickEvery) == 0 {
+			r.cfg.Tick()
+		}
+	}
+	return r.p.Close(), nil
+}
+
+// applyPending applies chaos faults queued by CrashWorker/RestoreWorker
+// at a record boundary.
+func (r *Runner) applyPending() error {
+	r.mu.Lock()
+	crashes := r.pendingCrash
+	restore := r.pendingRestore
+	r.pendingCrash, r.pendingRestore = nil, false
+	r.mu.Unlock()
+	for _, i := range crashes {
+		if i < 0 || i >= r.p.Workers() || r.dead[i] {
+			continue
+		}
+		if err := r.p.CrashWorker(i); err != nil {
+			return err
+		}
+		r.dead[i] = true
+	}
+	if restore && len(r.dead) > 0 {
+		return r.recoverNow()
+	}
+	return nil
+}
+
+// recoverNow performs recovery: global rollback to the last committed
+// checkpoint, source rewind to its offset, and driver-state rollback (the
+// watermark high-water), after which the main loop replays the tail.
+func (r *Runner) recoverNow() error {
+	end := r.cfg.Pipeline.Tracer.Begin(
+		fmt.Sprintf("recovery-from-ckpt-%d", r.last.ID), "recovery", "stream-coordinator")
+	if err := r.p.RestoreFrom(r.last); err != nil {
+		end(map[string]string{"error": err.Error()})
+		return err
+	}
+	replayed := r.src.Offset() - r.last.Offset
+	if err := r.src.SeekTo(r.last.Offset); err != nil {
+		end(map[string]string{"error": err.Error()})
+		return err
+	}
+	r.wmHigh = r.last.Watermark
+	r.dead = map[int]bool{}
+	r.p.Reg.Counter("recovery_replayed_events").Add(replayed)
+	end(map[string]string{"replayed": fmt.Sprint(replayed)})
+	return nil
+}

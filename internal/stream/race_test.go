@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests exist for the -race build: the old Send/Advance checked
+// closed, released the lock, then sent — a concurrent Close could close
+// the channel first and panic the send. Senders now hold the read lock
+// across the send, so the only acceptable outcomes here are success or
+// ErrClosed.
+
+func TestPipelineCloseRace(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		p := New(Config{Workers: 2, Window: 10 * time.Millisecond})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					ev := Event{Key: fmt.Sprintf("k%d", (g*31+i)%8), Value: 1,
+						EventTime: time.Duration(i) * time.Millisecond}
+					if err := p.Send(ev); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("Send: %v", err)
+						}
+						return
+					}
+					if i%5 == 0 {
+						if err := p.Advance(time.Duration(i) * time.Millisecond); err != nil {
+							if !errors.Is(err, ErrClosed) {
+								t.Errorf("Advance: %v", err)
+							}
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := p.TriggerCheckpoint(0, 0); err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("TriggerCheckpoint: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p.Close()
+		}()
+		close(start)
+		wg.Wait()
+		p.Close() // idempotent
+	}
+}
+
+func TestSessionizerCloseRace(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		s := NewSessionizer(SessionConfig{Gap: 10 * time.Millisecond, Workers: 2})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					ev := Event{Key: fmt.Sprintf("k%d", (g*17+i)%8), Value: 1,
+						EventTime: time.Duration(i) * time.Millisecond}
+					if err := s.Send(ev); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("Send: %v", err)
+						}
+						return
+					}
+					if i%5 == 0 {
+						if err := s.Advance(time.Duration(i) * time.Millisecond); err != nil {
+							if !errors.Is(err, ErrClosed) {
+								t.Errorf("Advance: %v", err)
+							}
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := s.TriggerCheckpoint(0, 0); err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("TriggerCheckpoint: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Close()
+		}()
+		close(start)
+		wg.Wait()
+		s.Close()
+	}
+}

@@ -1,9 +1,13 @@
 package stream
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // SessionResult is one closed session: a burst of activity for a key with
@@ -30,24 +34,50 @@ type SessionConfig struct {
 // time: events within Gap of an open session extend it (in any arrival
 // order, merging sessions that a late event bridges); watermarks close
 // sessions whose end precedes wm - Gap. This is the sessionization
-// workload behind funnel/engagement analytics.
+// workload behind funnel/engagement analytics. Like Pipeline, it
+// supports aligned checkpoint barriers, worker crash/restore, and
+// exactly-once output via per-worker sequence dedup at the sink — a
+// session's identity is not unique (the same (key, start) can close
+// twice in one run), so sequences, not content, are the dedup key.
 type Sessionizer struct {
 	cfg    SessionConfig
 	queues []chan message
 	wg     sync.WaitGroup
-	mu     sync.Mutex
+	mu     sync.RWMutex // queue lifecycle; see Pipeline.mu
 	closed bool
+
+	nextCkpt int64
+	ckptMu   sync.Mutex
 
 	out struct {
 		sync.Mutex
 		sessions []SessionResult
+		hwm      []int64 // per-worker delivered sequence high-water
 	}
+
+	// Reg exposes the sessionizer's fault-tolerance counters
+	// (sessions_deduped, checkpoints_committed, checkpoint_bytes, ...).
+	Reg *metrics.Registry
+
+	deduped        *metrics.Counter
+	crashedDropped *metrics.Counter
 }
 
 type session struct {
 	start, end time.Duration
 	sum        float64
 	count      int64
+}
+
+// sessState is one session worker's volatile state.
+type sessState struct {
+	watermark time.Duration
+	seq       int64
+	open      map[string][]*session
+}
+
+func newSessState() *sessState {
+	return &sessState{open: map[string][]*session{}}
 }
 
 // NewSessionizer starts the workers.
@@ -62,24 +92,29 @@ func NewSessionizer(cfg SessionConfig) *Sessionizer {
 	if buf <= 0 {
 		buf = 1 << 20
 	}
-	s := &Sessionizer{cfg: cfg}
+	s := &Sessionizer{cfg: cfg, Reg: metrics.NewRegistry()}
+	s.deduped = s.Reg.Counter("sessions_deduped")
+	s.crashedDropped = s.Reg.Counter("crashed_dropped_events")
 	s.queues = make([]chan message, cfg.Workers)
+	s.out.hwm = make([]int64, cfg.Workers)
 	for i := range s.queues {
 		s.queues[i] = make(chan message, buf)
 		s.wg.Add(1)
-		go s.worker(s.queues[i])
+		go s.worker(i, s.queues[i])
 	}
 	return s
 }
 
+// Workers returns the keyed parallelism.
+func (s *Sessionizer) Workers() int { return len(s.queues) }
+
 // Send routes one event to its key's worker.
 func (s *Sessionizer) Send(ev Event) error {
-	s.mu.Lock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
-		s.mu.Unlock()
 		return ErrClosed
 	}
-	s.mu.Unlock()
 	q := s.queues[int(hashKey(ev.Key))%len(s.queues)]
 	q <- message{ev: ev, watermark: -1}
 	return nil
@@ -91,12 +126,11 @@ func (s *Sessionizer) Advance(wm time.Duration) error {
 	if wm < 0 {
 		wm = 0
 	}
-	s.mu.Lock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
-		s.mu.Unlock()
 		return ErrClosed
 	}
-	s.mu.Unlock()
 	for _, q := range s.queues {
 		q <- message{watermark: wm}
 	}
@@ -130,17 +164,122 @@ func (s *Sessionizer) Close() []SessionResult {
 	return out
 }
 
-func (s *Sessionizer) worker(q chan message) {
+// TriggerCheckpoint injects an aligned barrier and commits once every
+// worker acked its snapshot; see Pipeline.TriggerCheckpoint.
+func (s *Sessionizer) TriggerCheckpoint(offset int64, wm time.Duration) (*Checkpoint, error) {
+	s.ckptMu.Lock()
+	s.nextCkpt++
+	id := s.nextCkpt
+	s.ckptMu.Unlock()
+
+	start := time.Now()
+	ack := make(chan workerAck, len(s.queues))
+	if err := sendCtl(&s.mu, &s.closed, s.queues, allWorkers(len(s.queues)), func(int) *control {
+		return &control{op: ctlBarrier, id: id, ack: ack}
+	}); err != nil {
+		return nil, err
+	}
+	states := make([][]byte, len(s.queues))
+	var total int64
+	var firstErr error
+	for range s.queues {
+		a := <-ack
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			continue
+		}
+		states[a.worker] = a.state
+		total += int64(len(a.state))
+	}
+	if firstErr != nil {
+		s.Reg.Counter("checkpoints_aborted").Inc()
+		return nil, firstErr
+	}
+	s.Reg.Counter("checkpoints_committed").Inc()
+	s.Reg.Counter("checkpoint_bytes").Add(total)
+	s.Reg.Histogram("checkpoint_duration_ns").ObserveDuration(time.Since(start))
+	return &Checkpoint{ID: id, Offset: offset, Watermark: wm, States: states, Bytes: total}, nil
+}
+
+// GenesisCheckpoint is the empty checkpoint a run implicitly starts from.
+func (s *Sessionizer) GenesisCheckpoint() *Checkpoint {
+	states := make([][]byte, len(s.queues))
+	for i := range states {
+		states[i] = newSessState().encode()
+	}
+	return &Checkpoint{States: states}
+}
+
+// CrashWorker drops one worker's open sessions and stops it processing
+// until RestoreFrom; see Pipeline.CrashWorker.
+func (s *Sessionizer) CrashWorker(i int) error {
+	if i < 0 || i >= len(s.queues) {
+		return fmt.Errorf("stream: no worker %d (have %d)", i, len(s.queues))
+	}
+	ack := make(chan workerAck, 1)
+	if err := sendCtl(&s.mu, &s.closed, s.queues, []int{i}, func(int) *control {
+		return &control{op: ctlCrash, ack: ack}
+	}); err != nil {
+		return err
+	}
+	<-ack
+	s.Reg.Counter("stream_worker_crashes").Inc()
+	return nil
+}
+
+// RestoreFrom rolls every worker back to the checkpoint; the sink's
+// sequence high-waters stay put and dedup the replay. See
+// Pipeline.RestoreFrom.
+func (s *Sessionizer) RestoreFrom(ck *Checkpoint) error {
+	if len(ck.States) != len(s.queues) {
+		return fmt.Errorf("stream: checkpoint has %d worker states, sessionizer has %d workers",
+			len(ck.States), len(s.queues))
+	}
+	ack := make(chan workerAck, len(s.queues))
+	if err := sendCtl(&s.mu, &s.closed, s.queues, allWorkers(len(s.queues)), func(i int) *control {
+		return &control{op: ctlRestore, snap: ck.States[i], ack: ack}
+	}); err != nil {
+		return err
+	}
+	var firstErr error
+	for range s.queues {
+		if a := <-ack; a.err != nil && firstErr == nil {
+			firstErr = a.err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	s.Reg.Counter("stream_recoveries").Inc()
+	return nil
+}
+
+func (s *Sessionizer) worker(idx int, q chan message) {
 	defer s.wg.Done()
-	// Open sessions per key, kept sorted by start (few per key).
-	open := map[string][]*session{}
+	st := newSessState()
+	dead := false
 	for m := range q {
+		if m.ctl != nil {
+			st, dead = s.handleControl(idx, st, dead, m.ctl)
+			continue
+		}
+		if dead {
+			if m.watermark < 0 {
+				s.crashedDropped.Inc()
+			}
+			continue
+		}
 		if m.watermark >= 0 {
-			s.fire(open, m.watermark)
+			if m.watermark > st.watermark {
+				st.watermark = m.watermark
+				s.fire(idx, st)
+			}
 			continue
 		}
 		ev := m.ev
-		sess := open[ev.Key]
+		sess := st.open[ev.Key]
 		// Find all sessions this event touches ([start-Gap, end+Gap]).
 		var touched []*session
 		var rest []*session
@@ -162,18 +301,42 @@ func (s *Sessionizer) worker(q chan message) {
 			merged.sum += x.sum
 			merged.count += x.count
 		}
-		open[ev.Key] = append(rest, merged)
+		st.open[ev.Key] = append(rest, merged)
 	}
 }
 
-// fire emits sessions that can no longer grow.
-func (s *Sessionizer) fire(open map[string][]*session, wm time.Duration) {
-	var done []SessionResult
-	for key, sess := range open {
+func (s *Sessionizer) handleControl(idx int, st *sessState, dead bool, c *control) (*sessState, bool) {
+	switch c.op {
+	case ctlBarrier:
+		if dead {
+			c.ack <- workerAck{worker: idx, err: errWorkerDown}
+			return st, dead
+		}
+		c.ack <- workerAck{worker: idx, state: st.encode()}
+	case ctlCrash:
+		c.ack <- workerAck{worker: idx}
+		return newSessState(), true
+	case ctlRestore:
+		ns, err := decodeSessState(c.snap)
+		if err != nil {
+			c.ack <- workerAck{worker: idx, err: err}
+			return st, dead
+		}
+		c.ack <- workerAck{worker: idx}
+		return ns, false
+	}
+	return st, dead
+}
+
+// fire emits sessions that can no longer grow, each carrying the worker's
+// next output sequence for sink-side dedup.
+func (s *Sessionizer) fire(worker int, st *sessState) {
+	for key, sess := range st.open {
 		var keep []*session
 		for _, x := range sess {
-			if x.end+s.cfg.Gap <= wm {
-				done = append(done, SessionResult{
+			if x.end+s.cfg.Gap <= st.watermark {
+				st.seq++
+				s.emit(worker, st.seq, SessionResult{
 					Key: key, Start: x.start, End: x.end, Sum: x.sum, Count: x.count,
 				})
 			} else {
@@ -181,14 +344,100 @@ func (s *Sessionizer) fire(open map[string][]*session, wm time.Duration) {
 			}
 		}
 		if len(keep) == 0 {
-			delete(open, key)
+			delete(st.open, key)
 		} else {
-			open[key] = keep
+			st.open[key] = keep
 		}
 	}
-	if len(done) > 0 {
-		s.out.Lock()
-		s.out.sessions = append(s.out.sessions, done...)
-		s.out.Unlock()
+}
+
+func (s *Sessionizer) emit(worker int, seq int64, r SessionResult) {
+	s.out.Lock()
+	defer s.out.Unlock()
+	if seq <= s.out.hwm[worker] {
+		s.deduped.Inc()
+		return
 	}
+	s.out.hwm[worker] = seq
+	s.out.sessions = append(s.out.sessions, r)
+}
+
+// encode serializes a session worker's state; keys and sessions are
+// sorted so identical state yields identical bytes.
+func (st *sessState) encode() []byte {
+	keys := make([]string, 0, len(st.open))
+	for k := range st.open {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := make([]byte, 0, 24)
+	b = appendU64(b, uint64(st.watermark))
+	b = appendU64(b, uint64(st.seq))
+	b = appendU64(b, uint64(len(keys)))
+	for _, k := range keys {
+		sess := append([]*session(nil), st.open[k]...)
+		sort.Slice(sess, func(i, j int) bool { return sess[i].start < sess[j].start })
+		b = appendU64(b, uint64(len(k)))
+		b = append(b, k...)
+		b = appendU64(b, uint64(len(sess)))
+		for _, x := range sess {
+			b = appendU64(b, uint64(x.start))
+			b = appendU64(b, uint64(x.end))
+			b = appendU64(b, math.Float64bits(x.sum))
+			b = appendU64(b, uint64(x.count))
+		}
+	}
+	return b
+}
+
+func decodeSessState(b []byte) (*sessState, error) {
+	st := newSessState()
+	var v uint64
+	var err error
+	if v, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	st.watermark = time.Duration(v)
+	if v, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	st.seq = int64(v)
+	var nKeys uint64
+	if nKeys, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nKeys; i++ {
+		var key string
+		if key, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		var n uint64
+		if n, b, err = readU64(b); err != nil {
+			return nil, err
+		}
+		sess := make([]*session, 0, n)
+		for j := uint64(0); j < n; j++ {
+			var start, end, sum, count uint64
+			if start, b, err = readU64(b); err != nil {
+				return nil, err
+			}
+			if end, b, err = readU64(b); err != nil {
+				return nil, err
+			}
+			if sum, b, err = readU64(b); err != nil {
+				return nil, err
+			}
+			if count, b, err = readU64(b); err != nil {
+				return nil, err
+			}
+			sess = append(sess, &session{
+				start: time.Duration(start),
+				end:   time.Duration(end),
+				sum:   math.Float64frombits(sum),
+				count: int64(count),
+			})
+		}
+		st.open[key] = sess
+	}
+	return st, nil
 }

@@ -4,6 +4,14 @@
 // long closed windows accept stragglers; and bounded worker queues provide
 // backpressure (the ablation of experiment E7 — unbounded queues let
 // latency grow without limit as offered load approaches capacity).
+//
+// The engine is fault tolerant with exactly-once output: aligned
+// checkpoint barriers (checkpoint.go) snapshot worker state, a replayable
+// Source (source.go) rewinds to the last committed checkpoint's offset on
+// failure, and per-worker output sequence numbers let the result sink
+// deduplicate panes re-fired during replay, so a run that crashes and
+// recovers produces output byte-identical to a fault-free run. See
+// DESIGN.md "Exactly-once streaming fault tolerance".
 package stream
 
 import (
@@ -14,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Event is one keyed, event-timestamped element.
@@ -50,15 +59,23 @@ type Config struct {
 	// WorkSpin burns roughly this many iterations of CPU per event to
 	// model per-event processing cost in load experiments.
 	WorkSpin int
+	// Tracer, when set, records checkpoint and recovery spans.
+	Tracer *trace.Recorder
 }
 
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("stream: pipeline closed")
 
+// errWorkerDown aborts a checkpoint whose barrier reached a crashed
+// worker: a down task cannot contribute a snapshot, so the coordinator
+// must not commit (mirrors Flink's checkpoint-decline path).
+var errWorkerDown = errors.New("stream: worker is down, checkpoint aborted")
+
 type message struct {
 	ev        Event
 	watermark time.Duration // >= 0 means watermark message, ev ignored
 	ingest    time.Time
+	ctl       *control // non-nil: control-plane message (barrier/crash/restore)
 }
 
 type paneKey struct {
@@ -69,11 +86,24 @@ type paneKey struct {
 type paneAgg struct {
 	sum   float64
 	count int64
-	fired bool
+}
+
+// pipeState is one worker's volatile state: the open panes, the watermark
+// high-water, and the output sequence number of the last pane this worker
+// fired (the exactly-once cursor the sink dedups against).
+type pipeState struct {
+	watermark time.Duration
+	seq       int64
+	panes     map[paneKey]*paneAgg
+}
+
+func newPipeState() *pipeState {
+	return &pipeState{panes: map[paneKey]*paneAgg{}}
 }
 
 // Pipeline is a running streaming job. Create with New, feed with Send and
-// Advance, terminate with Close.
+// Advance, terminate with Close. For fault-tolerant runs use a Runner
+// (checkpoint.go), which layers checkpointing and recovery on top.
 type Pipeline struct {
 	cfg     Config
 	queues  []chan message
@@ -81,13 +111,32 @@ type Pipeline struct {
 	results struct {
 		mu  sync.Mutex
 		out []Result
+		// hwm is the per-worker delivered output sequence high-water.
+		// It models a durable, idempotent sink: it survives worker
+		// crash/rollback, so panes re-fired during replay (seq <= hwm)
+		// are recognized as duplicates and dropped.
+		hwm []int64
 	}
 	closed bool
-	mu     sync.Mutex
+	// mu guards the queue lifecycle: senders (Send/Advance/control
+	// injection) hold the read lock across the channel send, Close takes
+	// the write lock to flip closed, so a send can never race the channel
+	// close (the old TOCTOU released the lock before `q <-` and a
+	// concurrent Close could panic the send).
+	mu sync.RWMutex
 
-	// Reg exposes latency/lateness metrics: sojourn_ns histogram,
-	// late_dropped counter, queue_depth gauge.
+	nextCkpt int64 // checkpoint id allocator (guarded by ckptMu)
+	ckptMu   sync.Mutex
+
+	// Reg exposes latency/lateness metrics (sojourn_ns, late_dropped,
+	// events_processed) plus the fault-tolerance counters:
+	// checkpoints_committed, checkpoints_aborted, checkpoint_bytes,
+	// checkpoint_duration_ns, panes_deduped, stream_worker_crashes,
+	// stream_recoveries, crashed_dropped_events.
 	Reg *metrics.Registry
+
+	deduped        *metrics.Counter
+	crashedDropped *metrics.Counter
 }
 
 // New starts a pipeline's workers.
@@ -103,14 +152,20 @@ func New(cfg Config) *Pipeline {
 		buf = 1 << 20 // "unbounded": larger than any test load
 	}
 	p := &Pipeline{cfg: cfg, Reg: metrics.NewRegistry()}
+	p.deduped = p.Reg.Counter("panes_deduped")
+	p.crashedDropped = p.Reg.Counter("crashed_dropped_events")
 	p.queues = make([]chan message, cfg.Workers)
+	p.results.hwm = make([]int64, cfg.Workers)
 	for i := range p.queues {
 		p.queues[i] = make(chan message, buf)
 		p.wg.Add(1)
-		go p.worker(p.queues[i])
+		go p.worker(i, p.queues[i])
 	}
 	return p
 }
+
+// Workers returns the keyed parallelism the pipeline runs with.
+func (p *Pipeline) Workers() int { return len(p.queues) }
 
 func hashKey(k string) uint32 {
 	h := fnv.New32a()
@@ -122,12 +177,11 @@ func hashKey(k string) uint32 {
 // blocks when the worker is saturated — that wait is the backpressure the
 // experiments measure (it is included in the event's sojourn time).
 func (p *Pipeline) Send(ev Event) error {
-	p.mu.Lock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.closed {
-		p.mu.Unlock()
 		return ErrClosed
 	}
-	p.mu.Unlock()
 	q := p.queues[int(hashKey(ev.Key))%len(p.queues)]
 	q <- message{ev: ev, watermark: -1, ingest: time.Now()}
 	return nil
@@ -140,12 +194,11 @@ func (p *Pipeline) Advance(wm time.Duration) error {
 	if wm < 0 {
 		wm = 0
 	}
-	p.mu.Lock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.closed {
-		p.mu.Unlock()
 		return ErrClosed
 	}
-	p.mu.Unlock()
 	for _, q := range p.queues {
 		q <- message{watermark: wm, ingest: time.Now()}
 	}
@@ -162,6 +215,9 @@ func (p *Pipeline) Close() []Result {
 		return p.snapshotResults()
 	}
 	p.closed = true
+	// The write lock was held until every in-flight sender (read lock)
+	// drained, and new senders observe closed, so closing the channels
+	// below cannot race a send.
 	p.mu.Unlock()
 	for _, q := range p.queues {
 		q <- message{watermark: 1<<62 - 1, ingest: time.Now()}
@@ -204,20 +260,33 @@ func (p *Pipeline) panesFor(t time.Duration) []time.Duration {
 	return starts
 }
 
-func (p *Pipeline) worker(q chan message) {
+func (p *Pipeline) worker(idx int, q chan message) {
 	defer p.wg.Done()
-	panes := map[paneKey]*paneAgg{}
-	var watermark time.Duration
+	st := newPipeState()
+	dead := false
 	sojourn := p.Reg.Histogram("sojourn_ns")
 	late := p.Reg.Counter("late_dropped")
 	processed := p.Reg.Counter("events_processed")
 
 	spinSink := 0
 	for m := range q {
+		if m.ctl != nil {
+			st, dead = p.handleControl(idx, st, dead, m.ctl)
+			continue
+		}
+		if dead {
+			// A crashed worker loses everything delivered to it; the
+			// replay after recovery re-reads these events from the
+			// source, so dropping here is safe (and counted).
+			if m.watermark < 0 {
+				p.crashedDropped.Inc()
+			}
+			continue
+		}
 		if m.watermark >= 0 {
-			if m.watermark > watermark {
-				watermark = m.watermark
-				p.fire(panes, watermark)
+			if m.watermark > st.watermark {
+				st.watermark = m.watermark
+				p.fire(idx, st)
 			}
 			continue
 		}
@@ -226,7 +295,7 @@ func (p *Pipeline) worker(q chan message) {
 			spinSink += i ^ (spinSink << 1)
 		}
 		ev := m.ev
-		if ev.EventTime+p.cfg.AllowedLateness < watermark-p.cfg.Window {
+		if ev.EventTime+p.cfg.AllowedLateness < st.watermark-p.cfg.Window {
 			// Beyond lateness horizon for every possible pane: drop.
 			late.Inc()
 			sojourn.ObserveDuration(time.Since(m.ingest))
@@ -235,14 +304,14 @@ func (p *Pipeline) worker(q chan message) {
 		accepted := false
 		for _, start := range p.panesFor(ev.EventTime) {
 			end := start + p.cfg.Window
-			if end+p.cfg.AllowedLateness <= watermark {
+			if end+p.cfg.AllowedLateness <= st.watermark {
 				continue // this pane is closed for good
 			}
 			pk := paneKey{start: start, key: ev.Key}
-			agg, ok := panes[pk]
+			agg, ok := st.panes[pk]
 			if !ok {
 				agg = &paneAgg{}
-				panes[pk] = agg
+				st.panes[pk] = agg
 			}
 			agg.sum += ev.Value
 			agg.count++
@@ -257,29 +326,68 @@ func (p *Pipeline) worker(q chan message) {
 	_ = spinSink
 }
 
-// fire emits panes whose lateness horizon passed and emits (once) panes
-// whose end passed; a pane that receives late events before its horizon is
-// re-emitted with the updated aggregate at horizon time.
-func (p *Pipeline) fire(panes map[paneKey]*paneAgg, wm time.Duration) {
-	var fired []Result
-	for pk, agg := range panes {
+// handleControl processes a control-plane message on the worker
+// goroutine, so snapshots and restores are naturally serialized against
+// event processing: a barrier snapshot reflects exactly the events queued
+// before it (aligned-barrier semantics with one input channel per worker).
+func (p *Pipeline) handleControl(idx int, st *pipeState, dead bool, c *control) (*pipeState, bool) {
+	switch c.op {
+	case ctlBarrier:
+		if dead {
+			c.ack <- workerAck{worker: idx, err: errWorkerDown}
+			return st, dead
+		}
+		c.ack <- workerAck{worker: idx, state: st.encode()}
+	case ctlCrash:
+		c.ack <- workerAck{worker: idx}
+		return newPipeState(), true
+	case ctlRestore:
+		ns, err := decodePipeState(c.snap)
+		if err != nil {
+			c.ack <- workerAck{worker: idx, err: err}
+			return st, dead
+		}
+		c.ack <- workerAck{worker: idx}
+		return ns, false
+	}
+	return st, dead
+}
+
+// fire emits panes whose lateness horizon passed; each carries the
+// worker's next output sequence number. Within one firing batch the map
+// iteration order is random, but the sink dedups whole rolled-back
+// batches by sequence count, so replay correctness does not depend on
+// intra-batch order (see DESIGN.md).
+func (p *Pipeline) fire(worker int, st *pipeState) {
+	for pk, agg := range st.panes {
 		end := pk.start + p.cfg.Window
-		if end+p.cfg.AllowedLateness <= wm {
-			fired = append(fired, Result{
+		if end+p.cfg.AllowedLateness <= st.watermark {
+			st.seq++
+			p.emit(worker, st.seq, Result{
 				WindowStart: pk.start,
 				WindowEnd:   end,
 				Key:         pk.key,
 				Sum:         agg.sum,
 				Count:       agg.count,
 			})
-			delete(panes, pk)
+			delete(st.panes, pk)
 		}
 	}
-	if len(fired) > 0 {
-		p.results.mu.Lock()
-		p.results.out = append(p.results.out, fired...)
-		p.results.mu.Unlock()
+}
+
+// emit delivers one fired pane to the result sink. The sink is durable
+// and idempotent: a pane whose sequence is at or below the worker's
+// delivered high-water was already emitted before a rollback, so the
+// replayed copy (identical by determinism) is dropped and counted.
+func (p *Pipeline) emit(worker int, seq int64, r Result) {
+	p.results.mu.Lock()
+	defer p.results.mu.Unlock()
+	if seq <= p.results.hwm[worker] {
+		p.deduped.Inc()
+		return
 	}
+	p.results.hwm[worker] = seq
+	p.results.out = append(p.results.out, r)
 }
 
 // QueueDepth reports the total buffered events across workers (for the

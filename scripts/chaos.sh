@@ -18,6 +18,11 @@ RECORDS=${RECORDS:-20000}
 echo "== chaos acceptance tests (race) =="
 go test -race -run 'TestChaos' . -count=1
 
+echo "== stream exactly-once recovery sweep (race, seeds: $SEEDS) =="
+STREAM_SEEDS="$SEEDS" go test -race -run 'TestStream' . -count=1
+go test -race -run 'TestPipelineCloseRace|TestSessionizerCloseRace|TestRunner' \
+    ./internal/stream/ -count=1
+
 echo "== building race-enabled terasort =="
 tmpbin=$(mktemp -d)
 trap 'rm -rf "$tmpbin"' EXIT

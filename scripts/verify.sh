@@ -26,7 +26,7 @@ echo "== go test -race (concurrent instrumentation) =="
 go test -race ./internal/metrics/... ./internal/trace/... \
     ./internal/obs/... ./internal/core/... ./internal/shuffle/... \
     ./internal/dfs/... ./internal/sched/... ./internal/netsim/... \
-    ./internal/cluster/... ./internal/chaos/...
+    ./internal/cluster/... ./internal/chaos/... ./internal/stream/...
 
 if [ "${CHAOS:-0}" = "1" ]; then
     echo "== chaos sweep (CHAOS=1) =="
