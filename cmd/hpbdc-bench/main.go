@@ -37,6 +37,8 @@ func main() {
 		"fixed checkpoint interval (events) for E-SFT, replacing its interval sweep (0: sweep)")
 	streamChaos := flag.String("stream-chaos", "",
 		"chaos schedule for E-SFT: the stream preset or a schedule file with stream-crash/stream-restore events")
+	checkFlag := flag.Bool("check", false,
+		"after the run, print the oracle/linearizability harness verdict and exit nonzero on any mismatch")
 	flag.Parse()
 
 	if *seed != 0 || *failProb != 0 || *chaosSpec != "" {
@@ -105,6 +107,18 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n%d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+
+	if *checkFlag {
+		summary, ok := experiments.CheckReport()
+		fmt.Println(summary)
+		if experiments.CheckCount() == 0 {
+			fmt.Fprintln(os.Stderr, "-check: no oracle comparisons ran (include EFT, E-SFT or E5 in -run)")
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

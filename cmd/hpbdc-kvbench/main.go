@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
 	"repro/internal/topology"
@@ -28,6 +30,10 @@ func main() {
 	valueSize := flag.Int("value", 128, "value size in bytes")
 	transport := flag.String("transport", "tcp", "network model: rdma, tcp, ipoib")
 	nodes := flag.Int("nodes", 8, "cluster size")
+	checkFlag := flag.Bool("check", false,
+		"after the benchmark, capture a concurrent client history and verify linearizability; exit nonzero on violation")
+	stale := flag.Bool("stale", false,
+		"enable the stale-read fault injection (with -check, demonstrates the checker catching the violation)")
 	flag.Parse()
 
 	var model netsim.Model
@@ -85,4 +91,21 @@ func main() {
 	fmt.Printf("read repairs: %d, hinted handoffs: %d\n",
 		store.Reg.Counter("read_repairs").Value(),
 		store.Reg.Counter("hinted_handoffs").Value())
+
+	if *checkFlag {
+		if *stale {
+			store.SetStaleReads(true)
+			fmt.Println("stale-read fault injection ENABLED — the check below should fail")
+		}
+		h := check.CaptureHistory(store, check.CaptureConfig{
+			Clients: 4, Waves: 50, Keys: 8, Nodes: *nodes,
+			ReadFraction: 0.4, DeleteFraction: 0.1, Seed: 7,
+			IsNotFound: func(err error) bool { return err == kvstore.ErrNotFound },
+		})
+		verdict := check.Linearizable(h)
+		fmt.Printf("linearizability: %s\n", verdict)
+		if !verdict.OK {
+			os.Exit(1)
+		}
+	}
 }

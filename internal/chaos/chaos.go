@@ -76,6 +76,15 @@ type StreamTarget interface {
 	RestoreWorker(id int) error
 }
 
+// KVTarget is the quorum KV store surface (implemented by
+// *kvstore.Store): a crashed node stops serving reads and writes (its
+// share of the ring rides on hinted handoff) until recovery delivers
+// the hints held for it.
+type KVTarget interface {
+	FailNode(topology.NodeID) error
+	RecoverNode(topology.NodeID) error
+}
+
 // Targets wires a controller to the systems it acts on. Any field may be
 // nil; events silently skip absent targets, so one schedule drives
 // whatever subset a test or experiment assembles.
@@ -90,6 +99,7 @@ type Targets struct {
 	Consensus  ConsensusTarget
 	Faults     FaultInjector
 	Stream     StreamTarget
+	KV         KVTarget
 }
 
 // Controller replays a schedule against its targets as virtual time
@@ -239,6 +249,9 @@ func (c *Controller) apply(e Event) {
 		if t.Consensus != nil {
 			t.Consensus.Crash(int(e.Node))
 		}
+		if t.KV != nil {
+			_ = t.KV.FailNode(e.Node)
+		}
 	case Revive:
 		if t.Compute != nil {
 			_ = t.Compute.Revive(e.Node)
@@ -251,6 +264,9 @@ func (c *Controller) apply(e Event) {
 		}
 		if t.Consensus != nil {
 			t.Consensus.Restart(int(e.Node))
+		}
+		if t.KV != nil {
+			_ = t.KV.RecoverNode(e.Node)
 		}
 	case Partition:
 		if t.Network != nil {

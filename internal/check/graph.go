@@ -1,0 +1,47 @@
+// Dense power-iteration reference for the Pregel-style PageRank
+// program. The BSP engine computes ranks vertex-centrically with
+// per-worker message buckets; the reference iterates a plain dense
+// rank vector over the raw edge list. Both drop dangling mass (a
+// vertex with no out-edges contributes nothing), both apply the
+// damping update to every vertex each round, and both run `iters`
+// send rounds — so the two agree up to floating-point summation order,
+// which DiffFloats absorbs with a relative tolerance.
+package check
+
+import "repro/internal/workload"
+
+// ReferencePageRank runs iters rounds of damped PageRank over the edge
+// list and returns the per-vertex ranks. Edges referencing vertices
+// outside [0, n) are dropped, mirroring graph.FromEdges.
+func ReferencePageRank(n int64, edges []workload.Edge, damping float64, iters int) []float64 {
+	outDeg := make([]int64, n)
+	valid := make([]workload.Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			continue
+		}
+		valid = append(valid, e)
+		outDeg[e.From]++
+	}
+	rank := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		inbox := make([]float64, n)
+		for _, e := range valid {
+			inbox[e.To] += rank[e.From] / float64(outDeg[e.From])
+		}
+		base := (1 - damping) / float64(n)
+		for v := range rank {
+			rank[v] = base + damping*inbox[v]
+		}
+	}
+	return rank
+}
+
+// DiffPageRank compares an engine run's rank vector to the dense
+// reference within a relative tolerance.
+func DiffPageRank(name string, got []float64, n int64, edges []workload.Edge, damping float64, iters int, tol float64) Diff {
+	return DiffFloats(name, got, ReferencePageRank(n, edges, damping, iters), tol)
+}

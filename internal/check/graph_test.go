@@ -1,0 +1,70 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestReferencePageRankAgainstEngine(t *testing.T) {
+	edges := workload.RMAT(8, 4, 3) // 256 vertices
+	n := int64(256)
+	g := graph.FromEdges(n, edges)
+	for _, part := range []graph.Partitioning{graph.Contiguous, graph.Hashed} {
+		res := g.PageRankWith(0.85, 10, graph.RunConfig{Workers: 4, Partitioning: part})
+		d := DiffPageRank("pagerank/"+part.String(), res.State, n, edges, 0.85, 10, 1e-9)
+		if !d.OK {
+			t.Fatalf("%s: %s", part, d)
+		}
+		if d.Compared != int(n) {
+			t.Fatalf("Compared = %d, want %d", d.Compared, n)
+		}
+	}
+}
+
+func TestReferencePageRankSmallGraph(t *testing.T) {
+	// 3-cycle: stationary ranks are exactly uniform at every iteration.
+	edges := []workload.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}}
+	ranks := ReferencePageRank(3, edges, 0.85, 20)
+	for v, r := range ranks {
+		if abs(r-1.0/3) > 1e-12 {
+			t.Fatalf("rank[%d] = %g, want 1/3", v, r)
+		}
+	}
+}
+
+func TestReferencePageRankDropsBadEdges(t *testing.T) {
+	edges := []workload.Edge{
+		{From: 0, To: 1},
+		{From: 1, To: 0},
+		{From: 5, To: 0},  // out of range: dropped
+		{From: 0, To: -1}, // out of range: dropped
+	}
+	got := ReferencePageRank(2, edges, 0.85, 5)
+	want := ReferencePageRank(2, edges[:2], 0.85, 5)
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("bad edges changed ranks: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestReferencePageRankDanglingMass(t *testing.T) {
+	// Vertex 1 is dangling; its mass is dropped, matching the engine.
+	edges := []workload.Edge{{From: 0, To: 1}}
+	g := graph.FromEdges(2, edges)
+	res := g.PageRank(0.85, 5, 2)
+	if d := DiffPageRank("dangling", res.State, 2, edges, 0.85, 5, 1e-12); !d.OK {
+		t.Fatalf("dangling graph: %s", d)
+	}
+}
+
+func TestDiffPageRankCatchesCorruption(t *testing.T) {
+	edges := []workload.Edge{{From: 0, To: 1}, {From: 1, To: 0}}
+	ranks := ReferencePageRank(2, edges, 0.85, 5)
+	ranks[0] *= 1.5
+	if d := DiffPageRank("corrupt", ranks, 2, edges, 0.85, 5, 1e-9); d.OK {
+		t.Fatal("corrupted rank vector not detected")
+	}
+}

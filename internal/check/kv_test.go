@@ -1,0 +1,134 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func newTestStore(t *testing.T, n, r, w int) *kvstore.Store {
+	t.Helper()
+	fab := netsim.NewFabric(topology.TwoTier(2, 4, 2), netsim.TCP40G)
+	store, err := kvstore.New(kvstore.Config{Fabric: fab, N: n, R: r, W: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func isNotFound(err error) bool { return errors.Is(err, kvstore.ErrNotFound) }
+
+func TestCaptureHistoryLinearizable(t *testing.T) {
+	store := newTestStore(t, 3, 2, 2)
+	h := CaptureHistory(store, CaptureConfig{
+		Clients: 4, Waves: 30, Keys: 6, Nodes: 8,
+		ReadFraction: 0.4, DeleteFraction: 0.1,
+		Seed: 1, IsNotFound: isNotFound,
+	})
+	ops := h.Ops()
+	if len(ops) == 0 {
+		t.Fatal("no operations captured")
+	}
+	kinds := map[OpKind]int{}
+	for _, op := range ops {
+		kinds[op.Kind]++
+	}
+	if kinds[OpRead] == 0 || kinds[OpWrite] == 0 || kinds[OpDelete] == 0 {
+		t.Fatalf("workload mix missing a kind: %v", kinds)
+	}
+	if out := Linearizable(h); !out.OK {
+		t.Fatalf("healthy store produced non-linearizable history: %s", out)
+	}
+}
+
+func TestCaptureHistoryUnderChaos(t *testing.T) {
+	store := newTestStore(t, 3, 2, 2)
+	sched := chaos.Schedule{
+		{At: 3, Kind: chaos.Crash, Node: 2},
+		{At: 8, Kind: chaos.Revive, Node: 2},
+		{At: 12, Kind: chaos.Crash, Node: 5},
+		{At: 18, Kind: chaos.Revive, Node: 5},
+	}
+	ctl := chaos.New(sched, 1, chaos.Targets{Nodes: 8, KV: store}, store.Reg)
+	h := CaptureHistory(store, CaptureConfig{
+		Clients: 4, Waves: 25, Keys: 6, Nodes: 8,
+		ReadFraction: 0.5, Seed: 2, IsNotFound: isNotFound,
+		BetweenWaves: func(int) { ctl.Tick() },
+	})
+	if !ctl.Done() {
+		t.Fatalf("chaos schedule incomplete: %d applied", ctl.Applied())
+	}
+	if out := Linearizable(h); !out.OK {
+		t.Fatalf("crash/revive chaos broke linearizability: %s", out)
+	}
+}
+
+func TestStaleReadsFailChecker(t *testing.T) {
+	// The self-test that proves the checker has teeth: a sequential
+	// put/put/get under the stale-read fault yields a history with no
+	// sequential witness.
+	store := newTestStore(t, 3, 2, 2)
+	h := NewHistory()
+	record := func(kind OpKind, key, value string, found bool, inv, ret int64) {
+		h.Append(Op{Kind: kind, Key: key, Value: value, Found: found, Invoke: inv, Return: ret})
+	}
+	if _, err := store.Put(0, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	record(OpWrite, "k", "v1", false, h.Stamp(), h.Stamp())
+	if _, err := store.Put(0, "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	record(OpWrite, "k", "v2", false, h.Stamp(), h.Stamp())
+
+	store.SetStaleReads(true)
+	val, _, err := store.Get(0, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(OpRead, "k", string(val), true, h.Stamp(), h.Stamp())
+	if string(val) != "v1" {
+		t.Fatalf("stale read served %q, want the overwritten v1", val)
+	}
+	out := Linearizable(h)
+	if out.OK {
+		t.Fatal("checker accepted a stale read — it has no teeth")
+	}
+
+	// Clearing the fault restores linearizable reads.
+	store.SetStaleReads(false)
+	val, _, err = store.Get(0, "k")
+	if err != nil || string(val) != "v2" {
+		t.Fatalf("healthy read: %q, %v", val, err)
+	}
+}
+
+func TestCaptureHistoryDefaultsAndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing IsNotFound must panic")
+		}
+	}()
+	CaptureHistory(newTestStore(t, 3, 2, 2), CaptureConfig{})
+}
+
+func TestCaptureHistoryDefaultReadFraction(t *testing.T) {
+	store := newTestStore(t, 3, 1, 1)
+	h := CaptureHistory(store, CaptureConfig{
+		Clients: 2, Waves: 10, Keys: 2, Seed: 3, IsNotFound: isNotFound,
+	})
+	kinds := map[OpKind]int{}
+	for _, op := range h.Ops() {
+		kinds[op.Kind]++
+	}
+	if kinds[OpRead] == 0 || kinds[OpWrite] == 0 {
+		t.Fatalf("default 50/50 mix missing a kind: %v", kinds)
+	}
+	if out := Linearizable(h); !out.OK {
+		t.Fatalf("R=W=1 store (writes reach all live replicas synchronously) must still check out: %s", out)
+	}
+}

@@ -1,0 +1,277 @@
+// Porcupine-style linearizability checking for the quorum KV store.
+// Concurrent clients record invoke/return-stamped operations into a
+// History; the checker partitions the history by key (keys of a KV map
+// are independent registers) and searches each key's operations for a
+// valid sequential witness under the register model, using the
+// Wing & Gong algorithm with the (linearized-set, register-state)
+// memoization of Lowe/porcupine.
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// OpKind distinguishes history operations.
+type OpKind int
+
+// Operation kinds over the register model.
+const (
+	// OpRead observed (Value, Found) for Key.
+	OpRead OpKind = iota
+	// OpWrite set Key to Value.
+	OpWrite
+	// OpDelete removed Key (a read after it observes Found=false).
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "delete"
+	}
+}
+
+// InfTime is the Return stamp of an operation that never completed
+// (e.g. a write that failed its quorum but may have partially applied).
+// Such an operation is never real-time-ordered before anything, and the
+// checker may either linearize it (its effect was observed) or omit it
+// (it never took effect) — both are legal for a pending operation.
+const InfTime = int64(math.MaxInt64)
+
+// Op is one recorded client operation.
+type Op struct {
+	// Client identifies the issuing client (diagnostic only).
+	Client int
+	// Kind is the operation type.
+	Kind OpKind
+	// Key is the register the operation touched.
+	Key string
+	// Value is the written value (OpWrite) or observed value (OpRead).
+	Value string
+	// Found reports, for OpRead, whether a value was observed.
+	Found bool
+	// Invoke and Return are logical timestamps from History.Stamp.
+	// A is real-time-before B iff A.Return < B.Invoke.
+	Invoke, Return int64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRead:
+		if !o.Found {
+			return fmt.Sprintf("c%d read(%s)=absent [%d,%d]", o.Client, o.Key, o.Invoke, o.Return)
+		}
+		return fmt.Sprintf("c%d read(%s)=%q [%d,%d]", o.Client, o.Key, o.Value, o.Invoke, o.Return)
+	case OpWrite:
+		return fmt.Sprintf("c%d write(%s,%q) [%d,%d]", o.Client, o.Key, o.Value, o.Invoke, o.Return)
+	default:
+		return fmt.Sprintf("c%d delete(%s) [%d,%d]", o.Client, o.Key, o.Invoke, o.Return)
+	}
+}
+
+// History is a concurrent-safe operation log with a shared logical
+// clock. Clients call Stamp around each operation and Append the result.
+type History struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Stamp returns the next logical timestamp. Stamps are totally ordered
+// and strictly increasing across all clients.
+func (h *History) Stamp() int64 { return h.clock.Add(1) }
+
+// Append records one completed (or pending, Return=InfTime) operation.
+func (h *History) Append(op Op) {
+	h.mu.Lock()
+	h.ops = append(h.ops, op)
+	h.mu.Unlock()
+}
+
+// Ops returns a snapshot of the recorded operations.
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Op(nil), h.ops...)
+}
+
+// Outcome is a linearizability verdict.
+type Outcome struct {
+	// OK reports whether a sequential witness exists for every key.
+	OK bool
+	// Ops and Keys count what was checked.
+	Ops, Keys int
+	// BadKey names the first key with no witness (empty when OK).
+	BadKey string
+	// Detail explains the failure (empty when OK).
+	Detail string
+}
+
+// String renders the verdict.
+func (o Outcome) String() string {
+	if o.OK {
+		return fmt.Sprintf("linearizable (%d ops over %d keys)", o.Ops, o.Keys)
+	}
+	return fmt.Sprintf("NOT linearizable: key %q: %s", o.BadKey, o.Detail)
+}
+
+// Linearizable checks h against the per-key register model.
+func Linearizable(h *History) Outcome { return CheckOps(h.Ops()) }
+
+// CheckOps checks a raw operation list against the per-key register
+// model: for every key there must exist a total order of its operations
+// that (a) respects real time (A before B whenever A.Return < B.Invoke),
+// (b) starts from an absent register, and (c) gives every read exactly
+// the value of the latest preceding write (or absent after none or a
+// delete). Operations with Return=InfTime are pending and may be
+// omitted from the witness.
+func CheckOps(ops []Op) Outcome {
+	out := Outcome{OK: true, Ops: len(ops)}
+	byKey := map[string][]Op{}
+	for _, op := range ops {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	out.Keys = len(byKey)
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic BadKey across runs
+	for _, k := range keys {
+		if detail, ok := checkKey(byKey[k]); !ok {
+			return Outcome{OK: false, Ops: len(ops), Keys: len(byKey), BadKey: k, Detail: detail}
+		}
+	}
+	return out
+}
+
+// regState is the sequential register value during the witness search.
+type regState struct {
+	value string
+	found bool
+}
+
+// checkKey searches one key's operations for a sequential witness.
+func checkKey(ops []Op) (string, bool) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+	n := len(ops)
+	// preds[i] lists operations that must precede i in any witness.
+	preds := make([][]int, n)
+	required := 0
+	for i := range ops {
+		if ops[i].Return != InfTime {
+			required++
+		}
+		for j := range ops {
+			if j != i && ops[j].Return < ops[i].Invoke {
+				preds[i] = append(preds[i], j)
+			}
+		}
+	}
+
+	words := (n + 63) / 64
+	chosen := make([]uint64, words)
+	has := func(i int) bool { return chosen[i/64]&(1<<(i%64)) != 0 }
+	set := func(i int) { chosen[i/64] |= 1 << (i % 64) }
+	unset := func(i int) { chosen[i/64] &^= 1 << (i % 64) }
+
+	visited := map[string]struct{}{}
+	memoKey := func(st regState) string {
+		b := make([]byte, 0, words*8+len(st.value)+2)
+		for _, w := range chosen {
+			for s := 0; s < 64; s += 8 {
+				b = append(b, byte(w>>s))
+			}
+		}
+		if st.found {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		return string(append(b, st.value...))
+	}
+
+	bestDepth := 0
+	var dfs func(st regState, done int) bool
+	dfs = func(st regState, done int) bool {
+		if done > bestDepth {
+			bestDepth = done
+		}
+		if done == required {
+			return true
+		}
+		mk := memoKey(st)
+		if _, seen := visited[mk]; seen {
+			return false
+		}
+		visited[mk] = struct{}{}
+		for i := 0; i < n; i++ {
+			if has(i) {
+				continue
+			}
+			eligible := true
+			for _, j := range preds[i] {
+				if !has(j) {
+					eligible = false
+					break
+				}
+			}
+			if !eligible {
+				continue
+			}
+			next := st
+			switch ops[i].Kind {
+			case OpWrite:
+				next = regState{value: ops[i].Value, found: true}
+			case OpDelete:
+				next = regState{}
+			case OpRead:
+				if ops[i].Found != st.found || (st.found && ops[i].Value != st.value) {
+					continue // this read cannot fire in the current state
+				}
+			}
+			nd := done
+			if ops[i].Return != InfTime {
+				nd++
+			}
+			set(i)
+			if dfs(next, nd) {
+				return true
+			}
+			unset(i)
+		}
+		return false
+	}
+	if dfs(regState{}, 0) {
+		return "", true
+	}
+	return fmt.Sprintf("no sequential witness over %d ops (longest valid prefix: %d ops); first ops: %s",
+		n, bestDepth, sampleOps(ops)), false
+}
+
+// sampleOps renders up to four operations for failure diagnostics.
+func sampleOps(ops []Op) string {
+	s := ""
+	for i, op := range ops {
+		if i == 4 {
+			s += ", ..."
+			break
+		}
+		if i > 0 {
+			s += ", "
+		}
+		s += op.String()
+	}
+	return s
+}

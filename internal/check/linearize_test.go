@@ -1,0 +1,328 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// seq builds a sequential (non-overlapping) history from op templates,
+// assigning increasing invoke/return stamps.
+func seq(ops ...Op) []Op {
+	t := int64(0)
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		t++
+		op.Invoke = t
+		t++
+		op.Return = t
+		out[i] = op
+	}
+	return out
+}
+
+func TestSequentialLinearizable(t *testing.T) {
+	ops := seq(
+		Op{Kind: OpWrite, Key: "k", Value: "v1"},
+		Op{Kind: OpRead, Key: "k", Value: "v1", Found: true},
+		Op{Kind: OpWrite, Key: "k", Value: "v2"},
+		Op{Kind: OpRead, Key: "k", Value: "v2", Found: true},
+		Op{Kind: OpDelete, Key: "k"},
+		Op{Kind: OpRead, Key: "k", Found: false},
+	)
+	out := CheckOps(ops)
+	if !out.OK {
+		t.Fatalf("sequential history rejected: %s", out)
+	}
+	if out.Ops != 6 || out.Keys != 1 {
+		t.Fatalf("Ops=%d Keys=%d", out.Ops, out.Keys)
+	}
+	if !strings.Contains(out.String(), "linearizable") {
+		t.Fatalf("String() = %q", out.String())
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// The shape the kvstore stale-read self-test produces: both writes
+	// completed before the read began, yet the read observed the older
+	// value. No sequential witness exists.
+	ops := seq(
+		Op{Kind: OpWrite, Key: "k", Value: "v1"},
+		Op{Kind: OpWrite, Key: "k", Value: "v2"},
+		Op{Kind: OpRead, Key: "k", Value: "v1", Found: true},
+	)
+	out := CheckOps(ops)
+	if out.OK {
+		t.Fatal("stale read accepted")
+	}
+	if out.BadKey != "k" || out.Detail == "" {
+		t.Fatalf("BadKey=%q Detail=%q", out.BadKey, out.Detail)
+	}
+	if !strings.Contains(out.String(), "NOT linearizable") {
+		t.Fatalf("String() = %q", out.String())
+	}
+}
+
+func TestReadAbsentBeforeAnyWrite(t *testing.T) {
+	ops := seq(
+		Op{Kind: OpRead, Key: "k", Found: false},
+		Op{Kind: OpWrite, Key: "k", Value: "v"},
+		Op{Kind: OpRead, Key: "k", Value: "v", Found: true},
+	)
+	if out := CheckOps(ops); !out.OK {
+		t.Fatalf("initial absent read rejected: %s", out)
+	}
+	// An absent read after a completed write is a violation.
+	bad := seq(
+		Op{Kind: OpWrite, Key: "k", Value: "v"},
+		Op{Kind: OpRead, Key: "k", Found: false},
+	)
+	if out := CheckOps(bad); out.OK {
+		t.Fatal("lost write accepted")
+	}
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping writes; a later read may observe either one.
+	for _, observed := range []string{"a", "b"} {
+		ops := []Op{
+			{Client: 0, Kind: OpWrite, Key: "k", Value: "a", Invoke: 1, Return: 4},
+			{Client: 1, Kind: OpWrite, Key: "k", Value: "b", Invoke: 2, Return: 3},
+			{Client: 2, Kind: OpRead, Key: "k", Value: observed, Found: true, Invoke: 5, Return: 6},
+		}
+		if out := CheckOps(ops); !out.OK {
+			t.Fatalf("read of %q after concurrent writes rejected: %s", observed, out)
+		}
+	}
+	// But it cannot observe a value nobody wrote.
+	ops := []Op{
+		{Kind: OpWrite, Key: "k", Value: "a", Invoke: 1, Return: 4},
+		{Kind: OpWrite, Key: "k", Value: "b", Invoke: 2, Return: 3},
+		{Kind: OpRead, Key: "k", Value: "c", Found: true, Invoke: 5, Return: 6},
+	}
+	if out := CheckOps(ops); out.OK {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestReadReadInversionRejected(t *testing.T) {
+	// A write concurrent with both reads; the first read sees the new
+	// value, the second (strictly after the first) sees the old one.
+	ops := []Op{
+		{Kind: OpWrite, Key: "k", Value: "old", Invoke: 1, Return: 2},
+		{Kind: OpWrite, Key: "k", Value: "new", Invoke: 3, Return: 10},
+		{Kind: OpRead, Key: "k", Value: "new", Found: true, Invoke: 4, Return: 5},
+		{Kind: OpRead, Key: "k", Value: "old", Found: true, Invoke: 6, Return: 7},
+	}
+	if out := CheckOps(ops); out.OK {
+		t.Fatal("read-read inversion accepted")
+	}
+}
+
+func TestPendingWriteMayBeOmitted(t *testing.T) {
+	// A failed write (pending forever) whose effect was never observed.
+	ops := []Op{
+		{Kind: OpWrite, Key: "k", Value: "v1", Invoke: 1, Return: 2},
+		{Kind: OpWrite, Key: "k", Value: "lost", Invoke: 3, Return: InfTime},
+		{Kind: OpRead, Key: "k", Value: "v1", Found: true, Invoke: 4, Return: 5},
+	}
+	if out := CheckOps(ops); !out.OK {
+		t.Fatalf("unobserved pending write rejected: %s", out)
+	}
+}
+
+func TestPendingWriteMayTakeEffect(t *testing.T) {
+	// A failed write whose effect WAS observed: legal, it may have
+	// partially applied.
+	ops := []Op{
+		{Kind: OpWrite, Key: "k", Value: "v1", Invoke: 1, Return: 2},
+		{Kind: OpWrite, Key: "k", Value: "maybe", Invoke: 3, Return: InfTime},
+		{Kind: OpRead, Key: "k", Value: "maybe", Found: true, Invoke: 4, Return: 5},
+	}
+	if out := CheckOps(ops); !out.OK {
+		t.Fatalf("observed pending write rejected: %s", out)
+	}
+	// The pending write is still not a license for arbitrary values.
+	ops[2].Value = "other"
+	if out := CheckOps(ops); out.OK {
+		t.Fatal("phantom value accepted alongside pending write")
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	ops := seq(
+		Op{Kind: OpWrite, Key: "k", Value: "v"},
+		Op{Kind: OpDelete, Key: "k"},
+		Op{Kind: OpRead, Key: "k", Found: false},
+	)
+	if out := CheckOps(ops); !out.OK {
+		t.Fatalf("delete then absent read rejected: %s", out)
+	}
+	bad := seq(
+		Op{Kind: OpWrite, Key: "k", Value: "v"},
+		Op{Kind: OpDelete, Key: "k"},
+		Op{Kind: OpRead, Key: "k", Value: "v", Found: true},
+	)
+	if out := CheckOps(bad); out.OK {
+		t.Fatal("read of deleted value accepted")
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	ops := append(
+		seq(
+			Op{Kind: OpWrite, Key: "a", Value: "1"},
+			Op{Kind: OpRead, Key: "a", Value: "1", Found: true},
+		),
+		seq(
+			Op{Kind: OpWrite, Key: "b", Value: "2"},
+			Op{Kind: OpRead, Key: "b", Value: "2", Found: true},
+		)...,
+	)
+	out := CheckOps(ops)
+	if !out.OK || out.Keys != 2 {
+		t.Fatalf("independent keys: %s", out)
+	}
+	// Violation on b only; BadKey must name it.
+	ops = append(ops, seq(Op{Kind: OpRead, Key: "b", Value: "stale", Found: true})...)
+	// Fix up stamps: seq restarts at 1, so re-stamp after the existing ops.
+	ops[len(ops)-1].Invoke = 100
+	ops[len(ops)-1].Return = 101
+	out = CheckOps(ops)
+	if out.OK || out.BadKey != "b" {
+		t.Fatalf("OK=%v BadKey=%q", out.OK, out.BadKey)
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if out := CheckOps(nil); !out.OK || out.Ops != 0 || out.Keys != 0 {
+		t.Fatalf("empty history: %+v", out)
+	}
+}
+
+func TestManyOpsOneKey(t *testing.T) {
+	// More than 64 ops on one key exercises the multi-word bitmask.
+	var ops []Op
+	tstamp := int64(0)
+	for i := 0; i < 40; i++ {
+		v := fmt.Sprintf("v%d", i)
+		tstamp++
+		w := Op{Kind: OpWrite, Key: "k", Value: v, Invoke: tstamp}
+		tstamp++
+		w.Return = tstamp
+		tstamp++
+		r := Op{Kind: OpRead, Key: "k", Value: v, Found: true, Invoke: tstamp}
+		tstamp++
+		r.Return = tstamp
+		ops = append(ops, w, r)
+	}
+	if out := CheckOps(ops); !out.OK {
+		t.Fatalf("80-op sequential history rejected: %s", out)
+	}
+}
+
+func TestConcurrentWavesLinearizable(t *testing.T) {
+	// A synthetic wave-structured history: within a wave ops overlap
+	// arbitrarily, but only one client writes per wave and reads in the
+	// NEXT wave observe that write. This mirrors what CaptureHistory
+	// records against a correct store.
+	var ops []Op
+	tstamp := int64(0)
+	last := ""
+	for wave := 0; wave < 20; wave++ {
+		inv := make([]int64, 4)
+		for c := 0; c < 4; c++ {
+			tstamp++
+			inv[c] = tstamp
+		}
+		v := fmt.Sprintf("w%d", wave)
+		for c := 0; c < 4; c++ {
+			tstamp++
+			if c == 0 {
+				ops = append(ops, Op{Client: c, Kind: OpWrite, Key: "k", Value: v, Invoke: inv[c], Return: tstamp})
+			} else if wave > 0 {
+				ops = append(ops, Op{Client: c, Kind: OpRead, Key: "k", Value: last, Found: true, Invoke: inv[c], Return: tstamp})
+			}
+		}
+		last = v
+	}
+	if out := CheckOps(ops); !out.OK {
+		t.Fatalf("wave history rejected: %s", out)
+	}
+}
+
+func TestHistoryStampAppend(t *testing.T) {
+	h := NewHistory()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				inv := h.Stamp()
+				ret := h.Stamp()
+				h.Append(Op{Client: c, Kind: OpWrite, Key: "k", Invoke: inv, Return: ret})
+			}
+		}(c)
+	}
+	wg.Wait()
+	ops := h.Ops()
+	if len(ops) != 400 {
+		t.Fatalf("len(ops) = %d", len(ops))
+	}
+	seen := map[int64]bool{}
+	for _, op := range ops {
+		if op.Invoke >= op.Return {
+			t.Fatalf("stamps not increasing: %+v", op)
+		}
+		if seen[op.Invoke] || seen[op.Return] {
+			t.Fatalf("duplicate stamp: %+v", op)
+		}
+		seen[op.Invoke], seen[op.Return] = true, true
+	}
+	if out := Linearizable(h); !out.OK {
+		t.Fatalf("write-only history rejected: %s", out)
+	}
+}
+
+func TestOpKindAndOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Client: 1, Kind: OpRead, Key: "k", Value: "v", Found: true, Invoke: 1, Return: 2}, `read(k)="v"`},
+		{Op{Client: 1, Kind: OpRead, Key: "k", Invoke: 1, Return: 2}, "read(k)=absent"},
+		{Op{Client: 2, Kind: OpWrite, Key: "k", Value: "v", Invoke: 3, Return: 4}, `write(k,"v")`},
+		{Op{Client: 3, Kind: OpDelete, Key: "k", Invoke: 5, Return: 6}, "delete(k)"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.op.String(), c.want) {
+			t.Errorf("%+v.String() = %q, want contains %q", c.op, c.op.String(), c.want)
+		}
+	}
+	for k, want := range map[OpKind]string{OpRead: "read", OpWrite: "write", OpDelete: "delete"} {
+		if k.String() != want {
+			t.Errorf("OpKind(%d).String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestFailureDetailSamplesOps(t *testing.T) {
+	var ops []Op
+	tstamp := int64(0)
+	for i := 0; i < 6; i++ {
+		tstamp++
+		op := Op{Kind: OpRead, Key: "k", Value: "ghost", Found: true, Invoke: tstamp}
+		tstamp++
+		op.Return = tstamp
+		ops = append(ops, op)
+	}
+	out := CheckOps(ops)
+	if out.OK {
+		t.Fatal("ghost reads accepted")
+	}
+	if !strings.Contains(out.Detail, "...") || !strings.Contains(out.Detail, "ghost") {
+		t.Fatalf("Detail = %q", out.Detail)
+	}
+}

@@ -1,0 +1,130 @@
+// Lockstep sequential reference for parameter-server SGD under BSP.
+// The real trainer runs workers as goroutines with a staleness-0 clock
+// barrier; within one round, pushes and pulls still interleave (worker
+// A's push may land before worker B's pull of the same round), so the
+// trained weights are not bit-reproducible. The reference removes all
+// interleaving: each round, every worker computes its gradient from the
+// same round-start weights (reusing the trainer's exact per-worker RNG
+// streams and sharding), then the gradients apply sequentially. The two
+// runs are different executions of the same stochastic process, so they
+// are compared on aggregate quality — final loss and accuracy within a
+// tolerance — not on weights.
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// ReferenceSGD trains logistic regression with a strict lockstep
+// schedule equivalent to an idealized BSP round structure. Mirrors
+// ml.Train's defaults, sharding (round-robin), per-worker RNG seeding
+// (Seed + me*7919) and gradient math.
+func ReferenceSGD(data workload.LogisticData, cfg ml.Config) ml.Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 100
+	}
+	dim := len(data.TrueWeights)
+	w := make([]float64, dim)
+
+	shards := make([][]int, cfg.Workers)
+	for i := range data.X {
+		shards[i%cfg.Workers] = append(shards[i%cfg.Workers], i)
+	}
+	rngs := make([]*rng.RNG, cfg.Workers)
+	for me := range rngs {
+		rngs[me] = rng.New(cfg.Seed + uint64(me)*7919)
+	}
+
+	grads := make([][]float64, cfg.Workers)
+	for me := range grads {
+		grads[me] = make([]float64, dim)
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		snapshot := append([]float64(nil), w...)
+		for me := 0; me < cfg.Workers; me++ {
+			grad := grads[me]
+			for j := range grad {
+				grad[j] = 0
+			}
+			shard := shards[me]
+			r := rngs[me]
+			for b := 0; b < cfg.BatchSize; b++ {
+				idx := shard[r.Intn(len(shard))]
+				x, y := data.X[idx], data.Y[idx]
+				err := sigmoidRef(dotRef(x, snapshot)) - y
+				for j := range grad {
+					grad[j] += err * x[j]
+				}
+			}
+			inv := 1 / float64(cfg.BatchSize)
+			for j := range grad {
+				grad[j] *= inv
+			}
+		}
+		for me := 0; me < cfg.Workers; me++ {
+			for j := range w {
+				w[j] -= cfg.LearningRate * grads[me][j]
+			}
+		}
+	}
+	return ml.Result{
+		Weights:   w,
+		FinalLoss: ml.Loss(data, w),
+		Accuracy:  ml.Accuracy(data, w),
+	}
+}
+
+// DiffSGD compares a BSP training run's quality against the lockstep
+// reference: |loss - refLoss| <= lossTol and |acc - refAcc| <= accTol.
+// This is a statistical oracle — it catches broken gradients, sharding
+// or divergence, not scheduling nondeterminism.
+func DiffSGD(name string, got ml.Result, data workload.LogisticData, cfg ml.Config, lossTol, accTol float64) Diff {
+	ref := ReferenceSGD(data, cfg)
+	d := Diff{Name: name, OK: true, Compared: 2}
+	if dl := abs(got.FinalLoss - ref.FinalLoss); dl > lossTol {
+		d.OK = false
+		d.Details = append(d.Details,
+			fmt.Sprintf("final loss %g vs reference %g (|diff| %g > %g)", got.FinalLoss, ref.FinalLoss, dl, lossTol))
+	}
+	if da := abs(got.Accuracy - ref.Accuracy); da > accTol {
+		d.OK = false
+		d.Details = append(d.Details,
+			fmt.Sprintf("accuracy %g vs reference %g (|diff| %g > %g)", got.Accuracy, ref.Accuracy, da, accTol))
+	}
+	return d
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func sigmoidRef(z float64) float64 {
+	// Mirrors ml.sigmoid; duplicated because the oracle must not share
+	// the trainer's code path.
+	return 1 / (1 + math.Exp(-z))
+}
+
+func dotRef(x, w []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * w[i]
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/workload"
+)
+
+func TestReferenceSGDAgainstBSPTrainer(t *testing.T) {
+	data := workload.Logistic(800, 8, 5)
+	cfg := ml.Config{Workers: 4, Mode: ml.BSP, Steps: 60, Seed: 9}
+	got := ml.Train(data, cfg)
+	// BSP and the lockstep reference are different executions of the
+	// same stochastic process: compare on aggregate quality.
+	d := DiffSGD("bsp", got, data, cfg, 0.05, 0.05)
+	if !d.OK {
+		t.Fatalf("trainer vs reference: %s", d)
+	}
+}
+
+func TestReferenceSGDLearns(t *testing.T) {
+	data := workload.Logistic(600, 6, 3)
+	res := ReferenceSGD(data, ml.Config{Seed: 1})
+	if res.Accuracy < 0.8 {
+		t.Fatalf("reference failed to learn: accuracy %g", res.Accuracy)
+	}
+	if len(res.Weights) != 6 {
+		t.Fatalf("len(Weights) = %d", len(res.Weights))
+	}
+	// Deterministic: same data + config, same weights.
+	again := ReferenceSGD(data, ml.Config{Seed: 1})
+	for i := range res.Weights {
+		if res.Weights[i] != again.Weights[i] {
+			t.Fatal("reference not deterministic")
+		}
+	}
+}
+
+func TestDiffSGDCatchesDivergence(t *testing.T) {
+	data := workload.Logistic(400, 4, 7)
+	cfg := ml.Config{Workers: 2, Steps: 40, Seed: 7}
+	bogus := ml.Result{FinalLoss: 99, Accuracy: 0.5}
+	d := DiffSGD("bogus", bogus, data, cfg, 0.05, 0.05)
+	if d.OK {
+		t.Fatal("divergent result not detected")
+	}
+	if len(d.Details) != 2 {
+		t.Fatalf("expected loss and accuracy details, got %v", d.Details)
+	}
+}

@@ -1,0 +1,151 @@
+// Reference oracles for the streaming engine: direct pane and session
+// computation from the replayable source. The real engine routes events
+// through hash-partitioned workers, fires on watermarks, and (under
+// chaos) checkpoints, crashes, rolls back and replays; the oracle just
+// folds every event into its panes in one pass. The two must agree
+// exactly whenever the run drops no events — which the engine
+// guarantees when the watermark lag is at least the source's
+// out-of-orderness bound (RunConfig.WatermarkLag docs); callers should
+// assert the run's late_dropped counter is zero before trusting an
+// exact comparison.
+package check
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// DrainSource materializes a replayable source from offset zero. The
+// cursor is rewound first and left at the end, so draining a source the
+// engine already consumed yields the same events the engine saw.
+func DrainSource(src stream.Source) ([]stream.Event, error) {
+	if err := src.SeekTo(0); err != nil {
+		return nil, err
+	}
+	var out []stream.Event
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, ev)
+	}
+}
+
+// ReferenceWindows computes every (window, key) pane directly: each
+// event lands in its tumbling pane (slide <= 0 or >= window) or in each
+// sliding pane covering its event time, and results are ordered by
+// (WindowStart, Key) — the same order Pipeline.Close reports.
+func ReferenceWindows(events []stream.Event, window, slide time.Duration) []stream.Result {
+	type pane struct {
+		start time.Duration
+		key   string
+	}
+	aggs := map[pane]*stream.Result{}
+	for _, ev := range events {
+		for _, start := range paneStarts(ev.EventTime, window, slide) {
+			pk := pane{start: start, key: ev.Key}
+			agg, ok := aggs[pk]
+			if !ok {
+				agg = &stream.Result{WindowStart: start, WindowEnd: start + window, Key: ev.Key}
+				aggs[pk] = agg
+			}
+			agg.Sum += ev.Value
+			agg.Count++
+		}
+	}
+	out := make([]stream.Result, 0, len(aggs))
+	for _, agg := range aggs {
+		out = append(out, *agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WindowStart != out[j].WindowStart {
+			return out[i].WindowStart < out[j].WindowStart
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// paneStarts lists the window starts covering event time t.
+func paneStarts(t, window, slide time.Duration) []time.Duration {
+	if slide <= 0 || slide >= window {
+		return []time.Duration{(t / window) * window}
+	}
+	var starts []time.Duration
+	for start := (t / slide) * slide; start >= 0 && start+window > t; start -= slide {
+		starts = append(starts, start)
+	}
+	return starts
+}
+
+// ReferenceSessions computes gap-merged sessions per key directly: sort
+// each key's events by time, then a linear scan closes a session
+// whenever the next event is more than gap after the current end. The
+// engine merges in arrival order instead, but gap-merging is
+// order-independent (sessions are the connected components of the
+// "within gap" relation), so the results coincide. Ordered by
+// (Key, Start), matching Sessionizer.Close.
+func ReferenceSessions(events []stream.Event, gap time.Duration) []stream.SessionResult {
+	byKey := map[string][]stream.Event{}
+	for _, ev := range events {
+		byKey[ev.Key] = append(byKey[ev.Key], ev)
+	}
+	var out []stream.SessionResult
+	for key, evs := range byKey {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].EventTime < evs[j].EventTime })
+		var cur *stream.SessionResult
+		for _, ev := range evs {
+			if cur != nil && ev.EventTime-cur.End <= gap {
+				cur.End = ev.EventTime
+				cur.Sum += ev.Value
+				cur.Count++
+				continue
+			}
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			cur = &stream.SessionResult{
+				Key: key, Start: ev.EventTime, End: ev.EventTime, Sum: ev.Value, Count: 1,
+			}
+		}
+		if cur != nil {
+			out = append(out, *cur)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// DiffWindows compares a pipeline run's panes against the reference.
+func DiffWindows(name string, got []stream.Result, events []stream.Event, window, slide time.Duration) Diff {
+	want := ReferenceWindows(events, window, slide)
+	return DiffOrdered(name, got, want, func(r stream.Result) string {
+		return resultString(r)
+	})
+}
+
+// DiffSessions compares a sessionizer run against the reference.
+func DiffSessions(name string, got []stream.SessionResult, events []stream.Event, gap time.Duration) Diff {
+	want := ReferenceSessions(events, gap)
+	return DiffOrdered(name, got, want, func(r stream.SessionResult) string {
+		return sessionString(r)
+	})
+}
+
+func resultString(r stream.Result) string {
+	return r.WindowStart.String() + "/" + r.WindowEnd.String() + "/" + r.Key + "/" +
+		floatString(r.Sum) + "/" + intString(r.Count)
+}
+
+func sessionString(r stream.SessionResult) string {
+	return r.Key + "/" + r.Start.String() + "/" + r.End.String() + "/" +
+		floatString(r.Sum) + "/" + intString(r.Count)
+}

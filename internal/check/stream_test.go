@@ -1,0 +1,176 @@
+package check
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func TestDrainSourceDeterministic(t *testing.T) {
+	src := stream.NewGeneratorSource(7, 500, 16, time.Millisecond, 4*time.Millisecond)
+	// Consume part of the source first: DrainSource must rewind.
+	for i := 0; i < 100; i++ {
+		src.Next()
+	}
+	evs, err := DrainSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 500 {
+		t.Fatalf("len = %d, want 500", len(evs))
+	}
+	again, err := DrainSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		if evs[i] != again[i] {
+			t.Fatalf("drain not deterministic at %d: %+v vs %+v", i, evs[i], again[i])
+		}
+	}
+}
+
+type badSource struct{ stream.Source }
+
+func (badSource) SeekTo(int64) error { return errors.New("no rewind") }
+
+func TestDrainSourceSeekError(t *testing.T) {
+	if _, err := DrainSource(badSource{}); err == nil {
+		t.Fatal("SeekTo error not propagated")
+	}
+}
+
+// runPipeline feeds events through a real Pipeline with a final
+// watermark that fires everything.
+func runPipeline(t *testing.T, cfg stream.Config, evs []stream.Event) []stream.Result {
+	t.Helper()
+	p := stream.New(cfg)
+	for _, ev := range evs {
+		if err := p.Send(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p.Close()
+}
+
+func TestReferenceWindowsTumbling(t *testing.T) {
+	evs := []stream.Event{
+		{Key: "a", Value: 1, EventTime: 10 * time.Millisecond},
+		{Key: "a", Value: 2, EventTime: 90 * time.Millisecond},
+		{Key: "b", Value: 3, EventTime: 110 * time.Millisecond},
+		{Key: "a", Value: 4, EventTime: 150 * time.Millisecond},
+	}
+	got := runPipeline(t, stream.Config{Workers: 3, Window: 100 * time.Millisecond}, evs)
+	d := DiffWindows("tumbling", got, evs, 100*time.Millisecond, 0)
+	if !d.OK {
+		t.Fatalf("engine vs oracle: %s", d)
+	}
+	// Spot-check the oracle itself: pane [0,100ms) for "a" sums 1+2.
+	ref := ReferenceWindows(evs, 100*time.Millisecond, 0)
+	if ref[0].Key != "a" || ref[0].Sum != 3 || ref[0].Count != 2 {
+		t.Fatalf("ref[0] = %+v", ref[0])
+	}
+}
+
+func TestReferenceWindowsSliding(t *testing.T) {
+	src := stream.NewGeneratorSource(11, 800, 8, time.Millisecond, 3*time.Millisecond)
+	evs, err := DrainSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window, slide := 100*time.Millisecond, 25*time.Millisecond
+	got := runPipeline(t, stream.Config{Workers: 4, Window: window, Slide: slide}, evs)
+	if d := DiffWindows("sliding", got, evs, window, slide); !d.OK {
+		t.Fatalf("engine vs oracle: %s", d)
+	}
+	// Every event covered by exactly window/slide panes (away from t=0).
+	starts := paneStarts(200*time.Millisecond, window, slide)
+	if len(starts) != 4 {
+		t.Fatalf("paneStarts(200ms) = %v", starts)
+	}
+	// Clamped near the epoch: no negative pane starts.
+	for _, s := range paneStarts(10*time.Millisecond, window, slide) {
+		if s < 0 {
+			t.Fatalf("negative pane start %v", s)
+		}
+	}
+}
+
+func TestReferenceWindowsAgainstGeneratedRun(t *testing.T) {
+	src := stream.NewGeneratorSource(42, 2000, 32, time.Millisecond, 4*time.Millisecond)
+	evs, err := DrainSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runPipeline(t, stream.Config{Workers: 4, Window: 250 * time.Millisecond}, evs)
+	if d := DiffWindows("generated", got, evs, 250*time.Millisecond, 0); !d.OK {
+		t.Fatalf("engine vs oracle: %s", d)
+	}
+}
+
+func TestReferenceWindowsCatchesTampering(t *testing.T) {
+	evs := []stream.Event{
+		{Key: "a", Value: 1, EventTime: 10 * time.Millisecond},
+		{Key: "a", Value: 2, EventTime: 20 * time.Millisecond},
+	}
+	got := runPipeline(t, stream.Config{Workers: 2, Window: 100 * time.Millisecond}, evs)
+	got[0].Sum += 1 // corrupt one pane
+	if d := DiffWindows("tampered", got, evs, 100*time.Millisecond, 0); d.OK {
+		t.Fatal("tampered pane not detected")
+	}
+}
+
+func TestReferenceSessions(t *testing.T) {
+	gap := 30 * time.Millisecond
+	evs := []stream.Event{
+		// Key a: two bursts separated by > gap.
+		{Key: "a", Value: 1, EventTime: 10 * time.Millisecond},
+		{Key: "a", Value: 2, EventTime: 25 * time.Millisecond},
+		{Key: "a", Value: 3, EventTime: 100 * time.Millisecond},
+		// Key b: one session bridged by an out-of-order arrival below.
+		{Key: "b", Value: 5, EventTime: 80 * time.Millisecond},
+		{Key: "b", Value: 4, EventTime: 50 * time.Millisecond},
+	}
+	ref := ReferenceSessions(evs, gap)
+	if len(ref) != 3 {
+		t.Fatalf("sessions = %+v", ref)
+	}
+	if ref[0].Key != "a" || ref[0].Start != 10*time.Millisecond || ref[0].End != 25*time.Millisecond || ref[0].Count != 2 {
+		t.Fatalf("ref[0] = %+v", ref[0])
+	}
+	if ref[2].Key != "b" || ref[2].Start != 50*time.Millisecond || ref[2].End != 80*time.Millisecond || ref[2].Sum != 9 {
+		t.Fatalf("ref[2] = %+v", ref[2])
+	}
+
+	s := stream.NewSessionizer(stream.SessionConfig{Gap: gap, Workers: 3})
+	for _, ev := range evs {
+		if err := s.Send(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Close()
+	if d := DiffSessions("sessions", got, evs, gap); !d.OK {
+		t.Fatalf("engine vs oracle: %s", d)
+	}
+}
+
+func TestReferenceSessionsAgainstGeneratedRun(t *testing.T) {
+	src := stream.NewGeneratorSource(13, 1500, 12, time.Millisecond, 4*time.Millisecond)
+	evs, err := DrainSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := 20 * time.Millisecond
+	s := stream.NewSessionizer(stream.SessionConfig{Gap: gap, Workers: 4})
+	for _, ev := range evs {
+		if err := s.Send(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Close()
+	if d := DiffSessions("gen-sessions", got, evs, gap); !d.OK {
+		t.Fatalf("engine vs oracle: %s", d)
+	}
+}

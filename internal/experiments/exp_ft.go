@@ -8,6 +8,7 @@ import (
 
 	hpbdc "repro"
 	"repro/internal/chaos"
+	"repro/internal/check"
 	"repro/internal/workload"
 )
 
@@ -47,15 +48,24 @@ func EFTChaos(s Scale) *Table {
 	t := &Table{
 		ID:    "EFT",
 		Title: "Fault tolerance: chaos schedules vs recovery machinery",
-		Note:  fmt.Sprintf("8 nodes, shuffled wordcount, seed %d; wall is relative to a clean run", seed),
+		Note:  fmt.Sprintf("8 nodes, shuffled wordcount, seed %d; wall is relative to a clean run; oracle compares output to the sequential reference", seed),
 		Cols: []string{"schedule", "spec", "wall", "vs-clean", "retries",
-			"spec-wins", "quarantined", "blocked-fetch", "chaos-events"},
+			"spec-wins", "quarantined", "blocked-fetch", "chaos-events", "oracle"},
 	}
 	lines := pick(s, 1_000, 10_000)
 	corpus := workload.Text(lines, 10, 500, 0.9, 3)
 	const nodes = 8
 
-	run := func(job string, sched chaos.Schedule, speculation bool) (time.Duration, *hpbdc.Context) {
+	encodePair := func(p hpbdc.Pair[string, int64]) string {
+		return fmt.Sprintf("%s=%d", p.Key, p.Value)
+	}
+	// want is the sequential reference output, computed once from the
+	// clean run's plan: every faulted run must reproduce it exactly
+	// (recovery may permute records across partitions, so the comparison
+	// is a multiset).
+	var want []hpbdc.Pair[string, int64]
+
+	run := func(job string, sched chaos.Schedule, speculation bool) (time.Duration, *hpbdc.Context, check.Diff) {
 		ctx := hpbdc.New(hpbdc.Config{
 			Racks:         2,
 			NodesPerRack:  4,
@@ -71,15 +81,21 @@ func EFTChaos(s Scale) *Table {
 		counts := hpbdc.ReduceByKey(ones, hpbdc.StringCodec, hpbdc.Int64Codec, 8,
 			func(a, b int64) int64 { return a + b })
 		start := time.Now()
-		if _, err := counts.Collect(); err != nil {
+		rows, err := counts.Collect()
+		if err != nil {
 			panic(fmt.Sprintf("%s: %v", job, err))
 		}
-		return time.Since(start), ctx
+		wall := time.Since(start)
+		if want == nil {
+			want = hpbdc.ReferenceCollect(counts)
+		}
+		diff := recordCheck(check.DiffMultiset(job, rows, want, encodePair))
+		return wall, ctx, diff
 	}
 
-	clean, _ := run("EFT/clean", nil, false)
+	clean, _, cleanDiff := run("EFT/clean", nil, false)
 	t.AddRow("none", "off", clean.Round(time.Millisecond).String(), "1.00x",
-		"0", "0", "0", "0", "0")
+		"0", "0", "0", "0", "0", verdictCell(cleanDiff))
 
 	type entry struct {
 		name  string
@@ -109,7 +125,7 @@ func EFTChaos(s Scale) *Table {
 				mode = "on"
 			}
 			job := fmt.Sprintf("EFT/%s/spec-%s", e.name, mode)
-			wall, ctx := run(job, e.sched, speculation)
+			wall, ctx, diff := run(job, e.sched, speculation)
 			reg := ctx.Metrics()
 			t.AddRow(e.name, mode,
 				wall.Round(time.Millisecond).String(),
@@ -118,7 +134,8 @@ func EFTChaos(s Scale) *Table {
 				fmt.Sprintf("%d", reg.Counter("speculative_wins").Value()),
 				fmt.Sprintf("%d", reg.Counter("quarantined_nodes").Value()),
 				fmt.Sprintf("%d", reg.Counter("partition_blocked_fetches").Value()),
-				fmt.Sprintf("%d", ctx.Chaos().Applied()))
+				fmt.Sprintf("%d", ctx.Chaos().Applied()),
+				verdictCell(diff))
 			if speculation {
 				observe(t, job, ctx)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
 	"repro/internal/topology"
@@ -17,8 +18,9 @@ func E5KVQuorum(s Scale) *Table {
 	t := &Table{
 		ID:    "E5",
 		Title: "KV store: throughput and latency vs (R,W) quorum and skew",
-		Note:  "N=3 replicas on 8 nodes, 90% reads, 128B values, TCP fabric (network-dominated regime)",
-		Cols:  []string{"R", "W", "zipf-s", "ops/s", "get-mean", "get-p99", "put-mean", "repairs"},
+		Note: "N=3 replicas on 8 nodes, 90% reads, 128B values, TCP fabric (network-dominated regime); " +
+			"linear is a per-config linearizability verdict over a captured concurrent history",
+		Cols: []string{"R", "W", "zipf-s", "ops/s", "get-mean", "get-p99", "put-mean", "repairs", "linear"},
 	}
 	ops := pick(s, 5_000, 50_000)
 	quorums := [][2]int{{1, 1}, {1, 3}, {2, 2}, {3, 1}}
@@ -47,6 +49,26 @@ func E5KVQuorum(s Scale) *Table {
 			elapsed := time.Since(start)
 			getH := store.Reg.Histogram("get_latency_ns").Snapshot()
 			putH := store.Reg.Histogram("put_latency_ns").Snapshot()
+
+			// Linearizability check: capture a concurrent client history
+			// against the same (already loaded) store and search for a
+			// sequential witness. Runs for every quorum config — in this
+			// simulation writes reach every live preference replica
+			// synchronously, so even R+W <= N configs must check out.
+			name := fmt.Sprintf("E5/r%dw%d/zipf-%.2f", rw[0], rw[1], skew)
+			h := check.CaptureHistory(store, check.CaptureConfig{
+				Clients: 4, Waves: 20, Keys: 6, Nodes: 8,
+				ReadFraction: 0.4, DeleteFraction: 0.1,
+				Seed:       uint64(rw[0]*10 + rw[1]),
+				IsNotFound: func(err error) bool { return err == kvstore.ErrNotFound },
+			})
+			verdict := check.Linearizable(h)
+			diff := check.Diff{Name: name, OK: verdict.OK, Compared: verdict.Ops}
+			if !verdict.OK {
+				diff.Details = []string{verdict.String()}
+			}
+			recordCheck(diff)
+
 			t.AddRow(
 				fmt.Sprintf("%d", rw[0]), fmt.Sprintf("%d", rw[1]),
 				fmt.Sprintf("%.2f", skew),
@@ -55,6 +77,7 @@ func E5KVQuorum(s Scale) *Table {
 				time.Duration(getH.P99).Round(time.Microsecond).String(),
 				time.Duration(int64(putH.Mean)).Round(time.Microsecond).String(),
 				fmt.Sprintf("%d", store.Reg.Counter("read_repairs").Value()),
+				verdictCell(diff),
 			)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/check"
 	"repro/internal/stream"
 	"repro/internal/trace"
 )
@@ -55,7 +56,26 @@ func ESFTStream(s Scale) *Table {
 		Note: fmt.Sprintf("%d events, %d workers, 250ms windows, seed %d; identical = output equals clean run",
 			events, workers, seed),
 		Cols: []string{"ckpt-every", "crashes", "wall", "vs-clean", "ckpts",
-			"ckpt-bytes", "replayed", "deduped", "identical"},
+			"ckpt-bytes", "replayed", "deduped", "identical", "oracle"},
+	}
+
+	// The event stream is replayable from its (seed, params), so the
+	// oracle drains an identical source and computes every pane directly.
+	// Exactness precondition: WatermarkLag (5ms) covers the source jitter
+	// (4ms), so a correct run drops nothing — a nonzero late_dropped
+	// counter is itself a failure.
+	refEvents, err := check.DrainSource(
+		stream.NewGeneratorSource(seed, events, 32, time.Millisecond, 4*time.Millisecond))
+	if err != nil {
+		panic(fmt.Sprintf("E-SFT: drain reference source: %v", err))
+	}
+	oracle := func(job string, out []stream.Result, r *stream.Runner) check.Diff {
+		d := check.DiffWindows(job, out, refEvents, 250*time.Millisecond, 0)
+		if late := r.Metrics().Counter("late_dropped").Value(); late > 0 {
+			d.OK = false
+			d.Details = append(d.Details, fmt.Sprintf("%d late events dropped (lag must cover jitter)", late))
+		}
+		return recordCheck(d)
 	}
 
 	intervals := []int{0, pick(s, 500, 4_000), pick(s, 2_000, 16_000)}
@@ -105,15 +125,18 @@ func ESFTStream(s Scale) *Table {
 		return out, r, time.Since(start)
 	}
 
-	// The clean reference: no checkpoints, no faults.
+	// The clean reference: no checkpoints, no faults. Its own output is
+	// oracle-checked too — "identical to clean" proves nothing if the
+	// clean run itself was wrong.
 	baseline, baseRunner, cleanWall := run(0, nil)
+	cleanDiff := oracle("E-SFT/clean", baseline, baseRunner)
 	publishStream("E-SFT/clean", baseRunner)
 
 	for _, interval := range intervals {
 		for _, e := range entries {
 			if interval == 0 && e.sched == nil {
 				t.AddRow("0", "0", cleanWall.Round(time.Millisecond).String(), "1.00x",
-					"0", "0", "0", "0", "yes")
+					"0", "0", "0", "0", "yes", verdictCell(cleanDiff))
 				continue
 			}
 			out, r, wall := run(interval, e.sched)
@@ -122,6 +145,7 @@ func ESFTStream(s Scale) *Table {
 			if !reflect.DeepEqual(out, baseline) {
 				identical = "NO"
 			}
+			diff := oracle(fmt.Sprintf("E-SFT/ckpt-%d/crashes-%s", interval, e.name), out, r)
 			t.AddRow(
 				fmt.Sprintf("%d", interval),
 				e.name,
@@ -132,6 +156,7 @@ func ESFTStream(s Scale) *Table {
 				fmt.Sprintf("%d", reg.Counter("recovery_replayed_events").Value()),
 				fmt.Sprintf("%d", reg.Counter("panes_deduped").Value()),
 				identical,
+				verdictCell(diff),
 			)
 			publishStream(fmt.Sprintf("E-SFT/ckpt-%d/crashes-%s", interval, e.name), r)
 		}

@@ -45,6 +45,9 @@ func parse(t *testing.T, s string) float64 {
 
 func TestE1Shapes(t *testing.T) {
 	table := runAndCheck(t, E1Transport)
+	// These latency ratios come from the deterministic fabric cost model
+	// (netsim.Fabric.Cost), not wall clock, so asserting on them is not a
+	// flakiness risk — this one stays numeric by design.
 	// RDMA advantage shrinks as messages grow (overhead- to
 	// bandwidth-bound transition).
 	first := parse(t, table.Rows[0][len(table.Cols)-1])
@@ -72,19 +75,34 @@ func TestE2Shapes(t *testing.T) {
 
 func TestE3Shapes(t *testing.T) {
 	table := runAndCheck(t, E3TeraSort)
-	// Throughput at 8 nodes stays within 2x of the 2-node baseline
-	// (flat-ish weak scaling before fan-in overhead).
-	rel8 := parse(t, table.Rows[2][5])
-	if rel8 < 0.5 {
-		t.Fatalf("8-node relative throughput %v collapsed", rel8)
+	// Weak scaling, asserted on record counts rather than throughput:
+	// each row doubles the node count at fixed records per node, so the
+	// sorted output must double too (the experiment itself panics if the
+	// output is unsorted). Wall-clock relative throughput varies with
+	// host load and is reported, not asserted.
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	prev := 0.0
+	for i, row := range table.Rows {
+		n := parse(t, row[1])
+		if i > 0 && n != 2*prev {
+			t.Fatalf("row %d sorted %v records, want double the previous %v", i, n, prev)
+		}
+		prev = n
 	}
 }
 
 func TestE4Shapes(t *testing.T) {
 	table := runAndCheck(t, E4WordCount)
-	ratio := parse(t, table.Rows[1][4])
-	if ratio > 1.2 {
-		t.Fatalf("materializing baseline beat dataflow by %vx", ratio)
+	// The materializing baseline must move strictly more bytes than the
+	// pipelined dataflow run (it pays DFS materialization and runs no
+	// combiner) — a deterministic data-volume assertion; the wall-clock
+	// speedup column varies with host load and is reported, not asserted.
+	dfBytes := parse(t, table.Rows[0][3])
+	mrBytes := parse(t, table.Rows[1][3])
+	if mrBytes <= dfBytes {
+		t.Fatalf("materializing baseline moved %v bytes <= dataflow's %v", mrBytes, dfBytes)
 	}
 }
 
@@ -92,6 +110,12 @@ func TestE5Shapes(t *testing.T) {
 	table := runAndCheck(t, E5KVQuorum)
 	if len(table.Rows) != 8 {
 		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Every quorum config's captured history must be linearizable.
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("row %v failed the linearizability check", row)
+		}
 	}
 }
 
@@ -196,6 +220,29 @@ func TestE7Runs(t *testing.T) {
 	}
 }
 
+func TestEFTShapes(t *testing.T) {
+	ResetChecks()
+	table := runAndCheck(t, EFTChaos)
+	// Clean run + every chaos preset x speculation off/on.
+	if len(table.Rows) < 3 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Every run — clean and faulted alike — must reproduce the
+	// sequential reference output exactly.
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("row %v failed the oracle diff", row)
+		}
+	}
+	// The diffs also land in the process-wide harness for the -check CLIs.
+	if CheckCount() != len(table.Rows) {
+		t.Fatalf("harness recorded %d verdicts for %d rows", CheckCount(), len(table.Rows))
+	}
+	if summary, ok := CheckReport(); !ok {
+		t.Fatalf("harness verdict: %s", summary)
+	}
+}
+
 func TestESFTShapes(t *testing.T) {
 	table := runAndCheck(t, ESFTStream)
 	// 3 intervals x 3 crash counts.
@@ -203,8 +250,11 @@ func TestESFTShapes(t *testing.T) {
 		t.Fatalf("rows = %d, want 9", len(table.Rows))
 	}
 	for i, row := range table.Rows {
-		if got := row[len(row)-1]; got != "yes" {
+		if got := row[len(row)-2]; got != "yes" {
 			t.Fatalf("row %d (%v): faulted output diverged from clean run", i, row)
+		}
+		if got := row[len(row)-1]; got != "ok" {
+			t.Fatalf("row %d (%v): output failed the window oracle", i, row)
 		}
 	}
 	// Every faulted run must have actually recovered (replayed a tail) and

@@ -41,6 +41,11 @@ type versioned struct {
 type replica struct {
 	mu   sync.RWMutex
 	data map[string]versioned
+	// prev retains the overwritten version of each key. It exists only
+	// to power the stale-read fault injection (Store.SetStaleReads),
+	// the deliberate linearizability violation the checker's self-test
+	// must catch.
+	prev map[string]versioned
 }
 
 func (rp *replica) get(key string) (versioned, bool) {
@@ -50,11 +55,23 @@ func (rp *replica) get(key string) (versioned, bool) {
 	return v, ok
 }
 
-// put stores v if it is newer than what the replica holds.
+// getPrev returns the last overwritten version of key, if any.
+func (rp *replica) getPrev(key string) (versioned, bool) {
+	rp.mu.RLock()
+	defer rp.mu.RUnlock()
+	v, ok := rp.prev[key]
+	return v, ok
+}
+
+// put stores v if it is newer than what the replica holds, retaining
+// the displaced version for the stale-read fault injection.
 func (rp *replica) put(key string, v versioned) {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
 	if cur, ok := rp.data[key]; !ok || v.version > cur.version {
+		if ok {
+			rp.prev[key] = cur
+		}
 		rp.data[key] = v
 	}
 }
@@ -72,10 +89,11 @@ type Store struct {
 	ring    *ring
 	replica []*replica
 
-	mu    sync.Mutex // guards alive, hints, clock
+	mu    sync.Mutex // guards alive, hints, clock, stale
 	alive []bool
 	hints map[topology.NodeID][]hint // held-by-node -> hints it carries
 	clock int64
+	stale bool // fault injection: serve overwritten versions (SetStaleReads)
 
 	// Metrics observed by the experiments.
 	Reg *metrics.Registry
@@ -114,10 +132,28 @@ func New(cfg Config) (*Store, error) {
 		Reg:     metrics.NewRegistry(),
 	}
 	for i := range s.replica {
-		s.replica[i] = &replica{data: map[string]versioned{}}
+		s.replica[i] = &replica{data: map[string]versioned{}, prev: map[string]versioned{}}
 		s.alive[i] = true
 	}
 	return s, nil
+}
+
+// SetStaleReads toggles a deliberate fault: reads serve each replica's
+// previously overwritten version when one exists, and skip the
+// read-back that makes reads linearizable. This exists so the
+// linearizability checker's self-test can prove it has teeth — a
+// sequential put/put/get under stale reads yields a history with no
+// sequential witness.
+func (s *Store) SetStaleReads(enabled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stale = enabled
+}
+
+func (s *Store) staleReads() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stale
 }
 
 // Config returns the effective configuration.
@@ -192,10 +228,18 @@ func (s *Store) write(coordinator topology.NodeID, key string, v versioned) (tim
 }
 
 // Get reads key from the given coordinator node, contacting R live
-// replicas, returning the newest version, and repairing stale replicas in
-// the background (read repair). The latency is the R-th fastest replica
-// response (reads fan out in parallel).
+// replicas and returning the newest version. The latency is the R-th
+// fastest replica response (reads fan out in parallel).
+//
+// Before returning, the winning version is written back to every live
+// replica in the preference list that lacks it (read repair, upgraded
+// to the ABD second phase): once a read returns version v, every
+// subsequent read observes a version >= v, which closes the read-read
+// inversion a concurrent, partially applied write could otherwise
+// expose. The linearizability checker (internal/check) verifies exactly
+// this property against captured histories.
 func (s *Store) Get(coordinator topology.NodeID, key string) ([]byte, time.Duration, error) {
+	stale := s.staleReads()
 	prefs := s.ring.preferenceList(key, s.cfg.N)
 	type resp struct {
 		node topology.NodeID
@@ -209,6 +253,13 @@ func (s *Store) Get(coordinator topology.NodeID, key string) ([]byte, time.Durat
 			continue
 		}
 		v, ok := s.replica[n].get(key)
+		if stale {
+			// Fault injection: serve the overwritten version if the
+			// replica retains one (see SetStaleReads).
+			if pv, pok := s.replica[n].getPrev(key); pok {
+				v, ok = pv, true
+			}
+		}
 		sz := int64(64)
 		if ok {
 			sz += int64(len(v.value))
@@ -233,9 +284,11 @@ func (s *Store) Get(coordinator topology.NodeID, key string) ([]byte, time.Durat
 			found = true
 		}
 	}
-	// Read repair: push the winning version to contacted stale replicas.
-	if found {
-		for _, r := range contacted {
+	// Read write-back: the winning version must be durable at every
+	// live preference replica before the read returns (the stale-read
+	// fault skips this, which is part of what makes it a fault).
+	if found && !stale {
+		for _, r := range resps {
 			if !r.ok || r.v.version < newest.version {
 				s.replica[r.node].put(key, newest)
 				s.Reg.Counter("read_repairs").Inc()

@@ -1,0 +1,101 @@
+package topology
+
+import "testing"
+
+// Table-driven locality-distance tests: every (data, exec) placement
+// class on a 2x4 two-tier topology, with the Hops/Locality/CrossCore
+// answers pinned explicitly. Node layout: rack 0 holds 0-3, rack 1
+// holds 4-7.
+func TestLocalityDistanceTable(t *testing.T) {
+	top := TwoTier(2, 4, 2.0)
+	cases := []struct {
+		name       string
+		data, exec NodeID
+		hops       int
+		locality   Locality
+		sameRack   bool
+		crossCore  bool
+	}{
+		{"same-node", 0, 0, 0, LocalNode, true, false},
+		{"same-node-last", 7, 7, 0, LocalNode, true, false},
+		{"same-rack-adjacent", 0, 1, 2, LocalRack, true, false},
+		{"same-rack-ends", 4, 7, 2, LocalRack, true, false},
+		{"cross-rack", 0, 4, 4, Remote, false, true},
+		{"cross-rack-reverse", 7, 3, 4, Remote, false, true},
+		{"rack-boundary", 3, 4, 4, Remote, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := top.Hops(tc.data, tc.exec); got != tc.hops {
+				t.Errorf("Hops(%d,%d) = %d, want %d", tc.data, tc.exec, got, tc.hops)
+			}
+			if got := top.LocalityOf(tc.data, tc.exec); got != tc.locality {
+				t.Errorf("LocalityOf(%d,%d) = %v, want %v", tc.data, tc.exec, got, tc.locality)
+			}
+			if got := top.SameRack(tc.data, tc.exec); got != tc.sameRack {
+				t.Errorf("SameRack(%d,%d) = %v, want %v", tc.data, tc.exec, got, tc.sameRack)
+			}
+			if got := top.CrossCore(tc.data, tc.exec); got != tc.crossCore {
+				t.Errorf("CrossCore(%d,%d) = %v, want %v", tc.data, tc.exec, got, tc.crossCore)
+			}
+			// Distance is symmetric in every representation.
+			if top.Hops(tc.exec, tc.data) != tc.hops {
+				t.Errorf("Hops(%d,%d) not symmetric", tc.exec, tc.data)
+			}
+			if top.CrossCore(tc.exec, tc.data) != tc.crossCore {
+				t.Errorf("CrossCore(%d,%d) not symmetric", tc.exec, tc.data)
+			}
+		})
+	}
+}
+
+// Locality ordering must track physical distance: the scheduler compares
+// Locality values directly when ranking placements.
+func TestLocalityOrderAndStrings(t *testing.T) {
+	if !(LocalNode < LocalRack && LocalRack < Remote) {
+		t.Fatal("locality constants out of distance order")
+	}
+	for _, tc := range []struct {
+		l    Locality
+		want string
+	}{
+		{LocalNode, "node-local"},
+		{LocalRack, "rack-local"},
+		{Remote, "remote"},
+		{Locality(99), "remote"}, // anything past LocalRack reads as remote
+	} {
+		if got := tc.l.String(); got != tc.want {
+			t.Errorf("Locality(%d).String() = %q, want %q", tc.l, got, tc.want)
+		}
+	}
+}
+
+// Shape invariants across topology sizes: rack membership, rack count
+// and node count must agree for every cell in the table.
+func TestTwoTierShapeTable(t *testing.T) {
+	cases := []struct {
+		racks, perRack int
+	}{
+		{1, 1}, {1, 8}, {2, 4}, {4, 4}, {8, 2},
+	}
+	for _, tc := range cases {
+		top := TwoTier(tc.racks, tc.perRack, 1.0)
+		if top.Size() != tc.racks*tc.perRack {
+			t.Errorf("TwoTier(%d,%d).Size() = %d", tc.racks, tc.perRack, top.Size())
+		}
+		if top.Racks() != tc.racks {
+			t.Errorf("TwoTier(%d,%d).Racks() = %d", tc.racks, tc.perRack, top.Racks())
+		}
+		for r := 0; r < tc.racks; r++ {
+			nodes := top.NodesInRack(r)
+			if len(nodes) != tc.perRack {
+				t.Errorf("rack %d has %d nodes, want %d", r, len(nodes), tc.perRack)
+			}
+			for _, n := range nodes {
+				if top.RackOf(n) != r {
+					t.Errorf("RackOf(%d) = %d, want %d", n, top.RackOf(n), r)
+				}
+			}
+		}
+	}
+}

@@ -15,8 +15,11 @@ SEEDS=${SEEDS:-"1 7 42"}
 PRESETS=${PRESETS:-"crash partition straggler flaky mixed"}
 RECORDS=${RECORDS:-20000}
 
-echo "== chaos acceptance tests (race) =="
-go test -race -run 'TestChaos' . -count=1
+echo "== chaos acceptance tests (race, seeds: $SEEDS) =="
+# Includes the checked sweep (TestChaosCheckedSweep: every preset x seed
+# diffed against the sequential reference oracle), the KV
+# linearizability sweep and the stale-read checker self-test.
+CHAOS_SEEDS="$SEEDS" go test -race -run 'TestChaos' . -count=1
 
 echo "== stream exactly-once recovery sweep (race, seeds: $SEEDS) =="
 STREAM_SEEDS="$SEEDS" go test -race -run 'TestStream' . -count=1
@@ -35,5 +38,19 @@ for preset in $PRESETS; do
             -chaos "$preset" -speculation
     done
 done
+
+echo "== oracle-checked experiment pass (EFT, E-SFT, E5) =="
+# Every chaos run above re-ran the job; this pass ends the sweep with the
+# experiment suite's own verdicts: batch oracle diffs (EFT), stream
+# window oracles (E-SFT) and linearizability (E5). -check exits nonzero
+# on any mismatch.
+go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E5 -check
+
+echo "== linearizability checker self-test (must fail under -stale) =="
+if go run ./cmd/hpbdc-kvbench -ops 2000 -keys 200 -check -stale >/dev/null 2>&1; then
+    echo "chaos sweep: stale-read injection was NOT caught by the checker" >&2
+    exit 1
+fi
+echo "stale-read injection correctly rejected"
 
 echo "chaos sweep: OK"

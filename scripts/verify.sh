@@ -26,7 +26,20 @@ echo "== go test -race (concurrent instrumentation) =="
 go test -race ./internal/metrics/... ./internal/trace/... \
     ./internal/obs/... ./internal/core/... ./internal/shuffle/... \
     ./internal/dfs/... ./internal/sched/... ./internal/netsim/... \
-    ./internal/cluster/... ./internal/chaos/... ./internal/stream/...
+    ./internal/cluster/... ./internal/chaos/... ./internal/stream/... \
+    ./internal/check/... ./internal/kvstore/...
+
+sh scripts/coverage.sh
+
+if [ "${FUZZ:-0}" = "1" ]; then
+    echo "== fuzz smoke (FUZZ=1) =="
+    # ~10s of wall clock spread over the decode/round-trip targets; the
+    # checked-in corpora under testdata/fuzz run on every plain `go test`.
+    go test -fuzz=FuzzReaderDecode -fuzztime=3s -run '^$' ./internal/serde
+    go test -fuzz=FuzzIntColumnDecode -fuzztime=2s -run '^$' ./internal/serde
+    go test -fuzz=FuzzRoundTrip -fuzztime=3s -run '^$' ./internal/compress
+    go test -fuzz=FuzzDecompress -fuzztime=2s -run '^$' ./internal/compress
+fi
 
 if [ "${CHAOS:-0}" = "1" ]; then
     echo "== chaos sweep (CHAOS=1) =="
