@@ -37,9 +37,26 @@ func main() {
 		"fixed checkpoint interval (events) for E-SFT, replacing its interval sweep (0: sweep)")
 	streamChaos := flag.String("stream-chaos", "",
 		"chaos schedule for E-SFT: the stream preset or a schedule file with stream-crash/stream-restore events")
+	haFlag := flag.Bool("ha", false,
+		"run the E-HA control-plane HA experiment (alone unless -run adds more); "+
+			"-seed and -chaos override its seed and schedule sweeps, -check verifies the oracle")
 	checkFlag := flag.Bool("check", false,
 		"after the run, print the oracle/linearizability harness verdict and exit nonzero on any mismatch")
 	flag.Parse()
+
+	if *haFlag {
+		spec, err := loadChaosSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetHAConfig(*seed, spec)
+		if *runList == "" {
+			*runList = "E-HA"
+		} else {
+			*runList += ",E-HA"
+		}
+	}
 
 	if *seed != 0 || *failProb != 0 || *chaosSpec != "" {
 		spec, err := loadChaosSpec(*chaosSpec)
@@ -112,7 +129,7 @@ func main() {
 		summary, ok := experiments.CheckReport()
 		fmt.Println(summary)
 		if experiments.CheckCount() == 0 {
-			fmt.Fprintln(os.Stderr, "-check: no oracle comparisons ran (include EFT, E-SFT or E5 in -run)")
+			fmt.Fprintln(os.Stderr, "-check: no oracle comparisons ran (include EFT, E-SFT, E-HA or E5 in -run)")
 			os.Exit(1)
 		}
 		if !ok {

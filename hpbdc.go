@@ -32,6 +32,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/ha"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -82,6 +83,13 @@ type Config struct {
 	// and stage is recorded. Required for Context.Report and Chrome-trace
 	// export; off by default because span recording allocates per task.
 	EnableTracing bool
+	// HA replicates the control plane: the DFS namenode runs as a Raft
+	// state machine on a 3-member group (metadata survives a leader
+	// crash), and the job coordinator journals stage completions into the
+	// same group so a coordinator crash resumes from the last completed
+	// stage. Chaos schedules gain nn-crash/nn-revive/coord-crash targets;
+	// the datanode/block layer is unchanged.
+	HA bool
 }
 
 // Context owns one simulated cluster and its engine. Create with New.
@@ -93,8 +101,13 @@ type Context struct {
 	engine  *core.Engine
 	tracer  *trace.Recorder
 	chaos   *chaos.Controller
+	group   *ha.Group
 	seed    uint64
 }
+
+// jobMachine names the coordinator-journal state machine inside the
+// replicated control-plane group ("nn" hosts the namenode).
+const jobMachine = "job"
 
 // TransportModel resolves a transport name to its cost model.
 func TransportModel(name string) (netsim.Model, error) {
@@ -145,15 +158,14 @@ func New(cfg Config) *Context {
 	top := topology.TwoTier(cfg.Racks, cfg.NodesPerRack, cfg.Oversub)
 	fabric := netsim.NewFabric(top, model)
 	cl := cluster.New(cluster.Config{Fabric: fabric, SlotsPerNode: cfg.SlotsPerNode})
-	fs := dfs.New(dfs.Config{
+	dfsCfg := dfs.Config{
 		BlockSize:   cfg.BlockSize,
 		Replication: cfg.Replication,
 		Topology:    top,
 		Seed:        cfg.Seed,
-	})
+	}
 	eng := core.NewEngine(core.Config{
 		Cluster:          cl,
-		DFS:              fs,
 		Codec:            codec,
 		ForceSortShuffle: cfg.ForceSortShuffle,
 		TaskFailProb:     cfg.TaskFailProb,
@@ -161,20 +173,47 @@ func New(cfg Config) *Context {
 		Speculation:      cfg.Speculation,
 		JobDeadline:      cfg.JobDeadline,
 	})
+	// With HA the namenode state machine and the coordinator journal share
+	// one replicated group; without it the namenode is embedded and the
+	// coordinator keeps no journal. Either way the engine sees the same
+	// DFS API — placement is seed-identical across the two modes.
+	var group *ha.Group
+	var fs *dfs.DFS
+	if cfg.HA {
+		group = ha.NewGroup(ha.Config{
+			Seed: cfg.Seed,
+			Machines: map[string]func() ha.StateMachine{
+				dfs.MachineName: dfs.NameMachine(dfsCfg),
+				jobMachine:      func() ha.StateMachine { return ha.NewJournalMachine() },
+			},
+			Metrics: eng.Reg,
+		})
+		fs = dfs.NewReplicated(dfsCfg, group)
+		eng.SetJournal(ha.NewJournal(group, jobMachine))
+	} else {
+		fs = dfs.New(dfsCfg)
+	}
+	eng.SetDFS(fs)
 	// One registry for the whole context: the DFS and fabric feed their
 	// counters into the engine's registry so a single scrape sees compute,
 	// storage and network side by side.
 	fs.Instrument(eng.Reg)
 	fabric.Instrument(eng.Reg)
-	c := &Context{top: top, fabric: fabric, cluster: cl, fs: fs, engine: eng, seed: cfg.Seed}
+	c := &Context{top: top, fabric: fabric, cluster: cl, fs: fs, engine: eng, group: group, seed: cfg.Seed}
 	if len(cfg.Chaos) > 0 {
-		c.chaos = chaos.New(cfg.Chaos, cfg.Seed, chaos.Targets{
-			Nodes:   top.Size(),
-			Compute: cl,
-			Storage: fs,
-			Network: fabric,
-			Faults:  eng,
-		}, eng.Reg)
+		targets := chaos.Targets{
+			Nodes:       top.Size(),
+			Compute:     cl,
+			Storage:     fs,
+			Network:     fabric,
+			Faults:      eng,
+			Coordinator: eng,
+			Corrupt:     fs,
+		}
+		if group != nil {
+			targets.Namenode = group
+		}
+		c.chaos = chaos.New(cfg.Chaos, cfg.Seed, targets, eng.Reg)
 		eng.SetChaos(c.chaos)
 	}
 	if cfg.EnableTracing {
@@ -209,6 +248,11 @@ func (c *Context) Report(job string) *obs.Report {
 // Chaos exposes the fault-schedule controller, or nil unless Config.Chaos
 // was set. Useful for asserting Done() after a run and for manual ticks.
 func (c *Context) Chaos() *chaos.Controller { return c.chaos }
+
+// ControlPlane exposes the replicated control-plane group, or nil unless
+// Config.HA was set. Useful for crashing/reviving members and reading
+// failover metrics in tests and experiments.
+func (c *Context) ControlPlane() *ha.Group { return c.group }
 
 // Cluster exposes the executor cluster (failure injection, capacity).
 func (c *Context) Cluster() *cluster.Cluster { return c.cluster }

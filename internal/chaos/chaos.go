@@ -67,6 +67,28 @@ type FaultInjector interface {
 	SetNodeFailProb(topology.NodeID, float64)
 }
 
+// NamenodeTarget is the replicated control-plane surface (implemented
+// by *ha.Group). Member ids are consensus replica indices, not cluster
+// nodes; a negative id means "the current leader" for CrashMember and
+// "the most recently crashed member" for ReviveMember.
+type NamenodeTarget interface {
+	CrashMember(id int) error
+	ReviveMember(id int) error
+}
+
+// CoordinatorTarget is the job-coordinator surface (implemented by
+// *core.Engine): CrashCoordinator discards the driver's volatile state
+// at its next recovery point and the progress journal takes over.
+type CoordinatorTarget interface {
+	CrashCoordinator()
+}
+
+// BlockCorrupter flips bits in one stored DFS replica (implemented by
+// *dfs.DFS), exercising checksum verification and read-repair.
+type BlockCorrupter interface {
+	CorruptBlock(topology.NodeID) error
+}
+
 // StreamTarget is the stream-engine surface (implemented by
 // *stream.Runner): CrashWorker kills one stream worker's state,
 // RestoreWorker triggers recovery from the last committed checkpoint
@@ -91,15 +113,18 @@ type KVTarget interface {
 type Targets struct {
 	// Nodes is the cluster size, used to resolve wildcard ("*") event
 	// nodes. Required only when the schedule contains wildcards.
-	Nodes      int
-	Compute    ComputeTarget
-	Storage    StorageTarget
-	Network    NetworkTarget
-	Membership MembershipTarget
-	Consensus  ConsensusTarget
-	Faults     FaultInjector
-	Stream     StreamTarget
-	KV         KVTarget
+	Nodes       int
+	Compute     ComputeTarget
+	Storage     StorageTarget
+	Network     NetworkTarget
+	Membership  MembershipTarget
+	Consensus   ConsensusTarget
+	Faults      FaultInjector
+	Stream      StreamTarget
+	KV          KVTarget
+	Namenode    NamenodeTarget
+	Coordinator CoordinatorTarget
+	Corrupt     BlockCorrupter
 }
 
 // Controller replays a schedule against its targets as virtual time
@@ -330,6 +355,32 @@ func (c *Controller) apply(e Event) {
 		if t.Stream != nil {
 			_ = t.Stream.RestoreWorker(int(e.Node))
 		}
+	case NNCrash:
+		if t.Namenode != nil {
+			_ = t.Namenode.CrashMember(memberID(e.Node))
+		}
+	case NNRevive:
+		if t.Namenode != nil {
+			_ = t.Namenode.ReviveMember(memberID(e.Node))
+		}
+	case CoordCrash:
+		if t.Coordinator != nil {
+			t.Coordinator.CrashCoordinator()
+		}
+	case CorruptBlock:
+		if t.Corrupt != nil {
+			_ = t.Corrupt.CorruptBlock(e.Node)
+		}
 	}
 	c.applied.With(string(e.Kind)).Inc()
+}
+
+// memberID translates a schedule member token into the ha.Group call
+// convention: "leader" becomes -1 (crash the leader / revive the most
+// recently crashed member).
+func memberID(n topology.NodeID) int {
+	if n == LeaderNode {
+		return -1
+	}
+	return int(n)
 }

@@ -14,9 +14,11 @@ import (
 // preset leaves the cluster fully healthy once its last event fires, so a
 // job that outlives the schedule can always finish. Known names: crash,
 // partition, straggler, flaky, mixed — plus "stream", which targets the
-// stream engine (stream-crash/stream-restore of one worker) and is kept
-// out of PresetNames so the compute-preset sweeps (EFT, chaos.sh) skip
-// it; the E-SFT experiment and -stream-chaos flag use it.
+// stream engine (stream-crash/stream-restore of one worker), and the
+// control-plane presets "nn-crash" (kill + revive the namenode leader),
+// "coord-crash" (kill the job coordinator) and "ha" (both). Those are
+// kept out of PresetNames so the compute-preset sweeps (EFT, chaos.sh)
+// skip them; E-SFT/E-HA and the -stream-chaos/-ha flags use them.
 func Preset(name string, n int) (Schedule, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("chaos: preset needs >= 2 nodes, got %d", n)
@@ -50,6 +52,21 @@ func Preset(name string, n int) (Schedule, error) {
 		return Schedule{
 			{At: 4, Kind: StreamCrash, Node: victim},
 			{At: 10, Kind: StreamRestore, Node: victim},
+		}, nil
+	case "nn-crash":
+		return Schedule{
+			{At: 2, Kind: NNCrash, Node: LeaderNode},
+			{At: 4, Kind: NNRevive, Node: LeaderNode},
+		}, nil
+	case "coord-crash":
+		return Schedule{
+			{At: 4, Kind: CoordCrash},
+		}, nil
+	case "ha":
+		return Schedule{
+			{At: 2, Kind: NNCrash, Node: LeaderNode},
+			{At: 4, Kind: CoordCrash},
+			{At: 5, Kind: NNRevive, Node: LeaderNode},
 		}, nil
 	case "mixed":
 		return Schedule{

@@ -21,6 +21,11 @@ type Kind string
 // StreamCrash/StreamRestore kill and recover one stream-engine worker
 // (the node id is the worker index); recovery restores from the last
 // committed checkpoint and replays the source tail.
+// NNCrash/NNRevive kill and restart one member of the replicated
+// control-plane group (the node id is the member index, or "leader");
+// CoordCrash kills the job coordinator (volatile driver state is lost
+// and the journal takes over); CorruptBlock flips bits in one stored
+// DFS replica on the target node, exercising checksum read-repair.
 const (
 	Crash         Kind = "crash"
 	Revive        Kind = "revive"
@@ -36,6 +41,10 @@ const (
 	Undegrade     Kind = "undegrade"
 	StreamCrash   Kind = "stream-crash"
 	StreamRestore Kind = "stream-restore"
+	NNCrash       Kind = "nn-crash"
+	NNRevive      Kind = "nn-revive"
+	CoordCrash    Kind = "coord-crash"
+	CorruptBlock  Kind = "corrupt-block"
 )
 
 // WildcardNode marks an event whose target node is chosen by the
@@ -44,6 +53,12 @@ const (
 // picked by the most recent wildcard of its starting kind, so
 // "crash * ... revive *" always pairs up.
 const WildcardNode = topology.NodeID(-1)
+
+// LeaderNode marks an nn-crash/nn-revive event targeting whichever
+// member currently leads the control-plane group (written "leader" in
+// the text form). For nn-revive it resolves to the most recently
+// crashed member, so "nn-crash leader ... nn-revive leader" pairs up.
+const LeaderNode = topology.NodeID(-2)
 
 // Event is one scheduled fault, fired when virtual time reaches At.
 type Event struct {
@@ -72,7 +87,8 @@ func (s Schedule) String() string {
 	for _, e := range s {
 		fmt.Fprintf(&b, "%d %s", e.At, e.Kind)
 		switch e.Kind {
-		case Crash, Revive, Unslow, Unflaky, Undegrade, StreamCrash, StreamRestore:
+		case Crash, Revive, Unslow, Unflaky, Undegrade, StreamCrash, StreamRestore,
+			NNCrash, NNRevive, CorruptBlock:
 			b.WriteString(" " + nodeString(e.Node))
 		case Slow:
 			fmt.Fprintf(&b, " %s %s", nodeString(e.Node), e.Delay)
@@ -99,10 +115,97 @@ func (s Schedule) String() string {
 }
 
 func nodeString(n topology.NodeID) string {
-	if n == WildcardNode {
+	switch n {
+	case WildcardNode:
 		return "*"
+	case LeaderNode:
+		return "leader"
 	}
 	return strconv.Itoa(int(n))
+}
+
+// kindSpec drives the parser: the exact argument count, the usage shown
+// in errors, and the function consuming the arguments. Adding a fault
+// kind is one table entry plus an apply case in the controller.
+type kindSpec struct {
+	usage string
+	nargs int
+	parse func(e *Event, args []string) error
+}
+
+func nodeArg(e *Event, args []string) error {
+	n, err := parseNode(args[0])
+	if err != nil {
+		return err
+	}
+	e.Node = n
+	return nil
+}
+
+func memberArg(e *Event, args []string) error {
+	n, err := parseMember(args[0])
+	if err != nil {
+		return err
+	}
+	e.Node = n
+	return nil
+}
+
+func valueArg(e *Event, args []string) error {
+	if err := nodeArg(e, args); err != nil {
+		return err
+	}
+	v, err := strconv.ParseFloat(args[1], 64)
+	if err != nil || v < 0 {
+		return fmt.Errorf("bad value %q", args[1])
+	}
+	e.Value = v
+	return nil
+}
+
+var kindTable = map[Kind]kindSpec{
+	Crash:         {"<node>", 1, nodeArg},
+	Revive:        {"<node>", 1, nodeArg},
+	Unslow:        {"<node>", 1, nodeArg},
+	Unflaky:       {"<node>", 1, nodeArg},
+	Undegrade:     {"<node>", 1, nodeArg},
+	StreamCrash:   {"<worker>", 1, nodeArg},
+	StreamRestore: {"<worker>", 1, nodeArg},
+	CorruptBlock:  {"<node>", 1, nodeArg},
+	NNCrash:       {"<member|leader>", 1, memberArg},
+	NNRevive:      {"<member|leader>", 1, memberArg},
+	Slow: {"<node> <duration>", 2, func(e *Event, args []string) error {
+		if err := nodeArg(e, args); err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d < 0 {
+			return fmt.Errorf("bad duration %q", args[1])
+		}
+		e.Delay = d
+		return nil
+	}},
+	Flaky:   {"<node> <probability>", 2, valueArg},
+	Degrade: {"<node> <factor>", 2, valueArg},
+	Drop: {"<probability>", 1, func(e *Event, args []string) error {
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || v < 0 || v > 1 {
+			return fmt.Errorf("bad probability %q", args[0])
+		}
+		e.Value = v
+		return nil
+	}},
+	Undrop:     {"", 0, nil},
+	Heal:       {"", 0, nil},
+	CoordCrash: {"", 0, nil},
+	Partition: {"<groups like 0-3|4-7>", 1, func(e *Event, args []string) error {
+		groups, err := parseGroups(args[0])
+		if err != nil {
+			return err
+		}
+		e.Group = groups
+		return nil
+	}},
 }
 
 // Parse reads the text schedule format: one event per line,
@@ -121,9 +224,14 @@ func nodeString(n topology.NodeID) string {
 //	6 degrade 5 4      # transfers touching node 5 cost 4x
 //	7 stream-crash 2   # kill stream worker 2 (state lost)
 //	9 stream-restore 2 # recover from the last committed checkpoint
+//	2 nn-crash leader  # kill the control-plane leader member
+//	9 nn-revive leader # restart the most recently crashed member
+//	5 coord-crash      # kill the job coordinator (journal recovers)
+//	3 corrupt-block 4  # flip bits in one replica stored on node 4
 //
-// A node written "*" is a wildcard resolved from the controller seed; see
-// WildcardNode.
+// Unknown kinds, wrong argument counts and trailing junk are all
+// rejected with the offending line number. A node written "*" is a
+// wildcard resolved from the controller seed; see WildcardNode.
 func Parse(text string) (Schedule, error) {
 	var s Schedule
 	for lineNo, raw := range strings.Split(text, "\n") {
@@ -147,68 +255,20 @@ func Parse(text string) (Schedule, error) {
 		}
 		e := Event{At: at, Kind: Kind(fields[1])}
 		args := fields[2:]
-		needNode := func() error {
-			if len(args) < 1 {
-				return fmt.Errorf("missing node")
-			}
-			n, err := parseNode(args[0])
-			if err != nil {
-				return err
-			}
-			e.Node = n
-			return nil
+		spec, ok := kindTable[e.Kind]
+		if !ok {
+			return bad(fmt.Sprintf("unknown event kind %q", fields[1]))
 		}
-		switch e.Kind {
-		case Crash, Revive, Unslow, Unflaky, Undegrade, StreamCrash, StreamRestore:
-			if err := needNode(); err != nil {
+		if len(args) != spec.nargs {
+			if spec.nargs == 0 {
+				return bad(fmt.Sprintf("%s takes no arguments", e.Kind))
+			}
+			return bad(fmt.Sprintf("%s wants %s", e.Kind, spec.usage))
+		}
+		if spec.parse != nil {
+			if err := spec.parse(&e, args); err != nil {
 				return bad(err.Error())
 			}
-		case Slow:
-			if err := needNode(); err != nil {
-				return bad(err.Error())
-			}
-			if len(args) < 2 {
-				return bad("slow wants <node> <duration>")
-			}
-			d, err := time.ParseDuration(args[1])
-			if err != nil || d < 0 {
-				return bad("bad duration")
-			}
-			e.Delay = d
-		case Flaky, Degrade:
-			if err := needNode(); err != nil {
-				return bad(err.Error())
-			}
-			if len(args) < 2 {
-				return bad(string(e.Kind) + " wants <node> <value>")
-			}
-			v, err := strconv.ParseFloat(args[1], 64)
-			if err != nil || v < 0 {
-				return bad("bad value")
-			}
-			e.Value = v
-		case Drop:
-			if len(args) < 1 {
-				return bad("drop wants <probability>")
-			}
-			v, err := strconv.ParseFloat(args[0], 64)
-			if err != nil || v < 0 || v > 1 {
-				return bad("bad probability")
-			}
-			e.Value = v
-		case Undrop, Heal:
-			// no args
-		case Partition:
-			if len(args) < 1 {
-				return bad("partition wants groups like 0-3|4-7")
-			}
-			groups, err := parseGroups(args[0])
-			if err != nil {
-				return bad(err.Error())
-			}
-			e.Group = groups
-		default:
-			return bad("unknown event kind")
 		}
 		s = append(s, e)
 	}
@@ -222,6 +282,20 @@ func parseNode(tok string) (topology.NodeID, error) {
 	n, err := strconv.Atoi(tok)
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("bad node %q", tok)
+	}
+	return topology.NodeID(n), nil
+}
+
+// parseMember reads a control-plane member id: a non-negative index or
+// "leader" (the wildcard "*" makes no sense for a 3-member group whose
+// ids are unrelated to cluster nodes, so it is rejected).
+func parseMember(tok string) (topology.NodeID, error) {
+	if tok == "leader" {
+		return LeaderNode, nil
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad member %q (want an index or \"leader\")", tok)
 	}
 	return topology.NodeID(n), nil
 }

@@ -1,0 +1,170 @@
+package consensus
+
+import (
+	"testing"
+)
+
+// TestTransferDuringPartitionFails exercises leadership transfer while a
+// partition is active: the TimeoutNow can never reach the isolated
+// target, so the handoff must not complete, the incumbent must keep
+// leading its majority, and after healing the transfer goes through
+// with no committed entry lost.
+func TestTransferDuringPartitionFails(t *testing.T) {
+	c := NewCluster(5, 31)
+	l := c.RunUntilLeader(300)
+	for i := 0; i < 5; i++ {
+		if !c.Propose([]byte{byte(i)}) {
+			t.Fatalf("propose %d failed", i)
+		}
+	}
+	// Isolate the transfer target; the leader keeps a 4-node majority.
+	target := (l + 1) % 5
+	var majority []int
+	for id := 0; id < 5; id++ {
+		if id != target {
+			majority = append(majority, id)
+		}
+	}
+	c.Partition(majority, []int{target})
+	if c.TransferLeadership(target, 30) {
+		t.Fatal("transfer to an unreachable target reported success")
+	}
+	if c.Leader() != l {
+		t.Fatalf("leader = %d after failed transfer, want incumbent %d", c.Leader(), l)
+	}
+	// The abandoned transfer must not wedge the leader: the majority side
+	// still commits.
+	if !c.Propose([]byte("during-partition")) {
+		t.Fatal("majority could not commit during the partition")
+	}
+	c.Heal()
+	// With the partition healed the same transfer succeeds, and the new
+	// leader holds every committed entry.
+	if !c.TransferLeadership(target, 100) {
+		t.Fatal("transfer after heal failed")
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	applied := c.Applied(target)
+	if len(applied) != 6 {
+		t.Fatalf("new leader applied %d entries, want 6", len(applied))
+	}
+	for i := 0; i < 5; i++ {
+		if applied[i].Data[0] != byte(i) {
+			t.Fatalf("entry %d corrupted across partition + transfer", i)
+		}
+	}
+	if string(applied[5].Data) != "during-partition" {
+		t.Fatalf("entry 5 = %q, want the mid-partition commit", applied[5].Data)
+	}
+}
+
+// TestSnapshotInstallMidFailover rejoins a compacted-away follower while
+// the cluster is electing a replacement leader: every live node has
+// compacted past the follower's log, the old leader is gone, and the
+// new leader must bring the rejoiner up to date via snapshot install.
+func TestSnapshotInstallMidFailover(t *testing.T) {
+	c := NewCluster(5, 32)
+	l := c.RunUntilLeader(300)
+	follower := (l + 1) % 5
+	c.Crash(follower)
+	for i := 0; i < 40; i++ {
+		if !c.Propose([]byte{byte(i)}) {
+			t.Fatalf("propose %d failed", i)
+		}
+	}
+	// Let lagging followers finish applying, then every live node compacts
+	// its whole applied log, so nothing short of a snapshot can catch the
+	// dead follower up.
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	for id := 0; id < 5; id++ {
+		if id == follower {
+			continue
+		}
+		n := c.Node(id)
+		if err := n.Compact(n.applied, []byte("compacted-state")); err != nil {
+			t.Fatalf("compact node %d: %v", id, err)
+		}
+		if n.LogLen() != 0 {
+			t.Fatalf("node %d log not empty after compact", id)
+		}
+	}
+	// Kill the leader and rejoin the stale follower mid-failover: the
+	// remaining nodes are electing a new leader at this very moment.
+	c.Crash(l)
+	c.Restart(follower)
+	newLeader := -1
+	for i := 0; i < 300 && newLeader < 0; i++ {
+		c.Tick()
+		for id := 0; id < 5; id++ {
+			if id != l && c.Node(id).State() == Leader {
+				newLeader = id
+			}
+		}
+	}
+	if newLeader < 0 {
+		t.Fatal("no new leader elected after crash")
+	}
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	// The rejoiner was caught up by snapshot, not log replay.
+	idx, data := c.Node(follower).Snapshot()
+	if idx == 0 || string(data) != "compacted-state" {
+		t.Fatalf("follower snapshot = (%d, %q), want a compacted-state install", idx, data)
+	}
+	// And it keeps receiving post-snapshot entries from the new leader.
+	if !c.Propose([]byte("post-failover")) {
+		t.Fatal("propose under new leader failed")
+	}
+	c.Tick()
+	applied := c.Applied(follower)
+	if len(applied) == 0 || string(applied[len(applied)-1].Data) != "post-failover" {
+		t.Fatal("rejoined follower did not apply post-failover entries")
+	}
+}
+
+// TestCommittedSince covers the replica-rebuild read path: committed
+// entries after a given index, no cursor movement, no-ops excluded,
+// compaction capping.
+func TestCommittedSince(t *testing.T) {
+	c := NewCluster(3, 33)
+	l := c.RunUntilLeader(300)
+	for i := 0; i < 6; i++ {
+		if !c.Propose([]byte{byte(i)}) {
+			t.Fatalf("propose %d failed", i)
+		}
+	}
+	n := c.Node(l)
+	all := n.CommittedSince(0)
+	if len(all) != 6 {
+		t.Fatalf("CommittedSince(0) = %d entries, want 6 (no-ops must be excluded)", len(all))
+	}
+	for i, e := range all {
+		if e.Data[0] != byte(i) {
+			t.Fatalf("entry %d has data %v", i, e.Data)
+		}
+	}
+	// Reading is side-effect free: a second call sees the same entries.
+	if again := n.CommittedSince(0); len(again) != len(all) {
+		t.Fatalf("second CommittedSince(0) = %d entries, want %d", len(again), len(all))
+	}
+	// A mid-log cursor returns the strict suffix.
+	mid := all[2].Index
+	suffix := n.CommittedSince(mid)
+	if len(suffix) != 3 || suffix[0].Index != all[3].Index {
+		t.Fatalf("CommittedSince(%d) = %d entries starting at %d", mid, len(suffix), suffix[0].Index)
+	}
+	// Compaction caps the range: entries folded into the snapshot are no
+	// longer returned (hosts must restore from Snapshot first).
+	if err := n.Compact(all[3].Index, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	tail := n.CommittedSince(0)
+	if len(tail) != 2 || tail[0].Index != all[4].Index {
+		t.Fatalf("post-compact CommittedSince(0) = %d entries starting at %d, want the 2 surviving entries", len(tail), tail[0].Index)
+	}
+}

@@ -578,6 +578,28 @@ func (n *Node) CommittedEntries() []Entry {
 	return out
 }
 
+// CommittedSince returns the committed entries with index > from (capped
+// at the compaction offset — entries compacted away are only available
+// through Snapshot), excluding leader-change no-ops. Unlike
+// CommittedEntries it does not advance the applied cursor: hosts use it to
+// rebuild a state-machine replica from the durable log after a restart.
+func (n *Node) CommittedSince(from uint64) []Entry {
+	if from < n.offset {
+		from = n.offset
+	}
+	if n.commit <= from {
+		return nil
+	}
+	raw := n.entriesFrom(from+1, int(n.commit-from))
+	out := raw[:0]
+	for _, e := range raw {
+		if e.Data != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Compact discards log entries up to and including index, recording the
 // state machine snapshot. Index must be applied already.
 func (n *Node) Compact(index uint64, snapshot []byte) error {

@@ -107,6 +107,9 @@ type Config struct {
 	// Chaos, when non-nil, has Tick called once per job attempt and once
 	// per scheduling wave from the driver thread (see ChaosTicker).
 	Chaos ChaosTicker
+	// Journal, when non-nil, records completed stages and checkpoints so a
+	// coordinator crash (CrashCoordinator) resumes instead of recomputing.
+	Journal Journal
 }
 
 // shuffleState tracks the materialized map outputs of one shuffled plan.
@@ -133,6 +136,14 @@ type Engine struct {
 	ckptDone map[int]bool
 	rand     *rng.RNG
 	tracer   *trace.Recorder
+
+	// Coordinator-crash state: exec outlives a crash (executors keep their
+	// map outputs); everything keyed off e.shuffles/caches/ckptDone is
+	// volatile driver memory and is wiped by recoverCoordinator.
+	exec         *executorStore
+	coordCrashed bool
+	jobPlans     map[int]*Plan
+	jobFPs       map[int]uint64
 
 	// Graceful-degradation state, all driven from the driver thread.
 	wave            int64                       // scheduling-wave counter
@@ -196,6 +207,7 @@ func NewEngine(cfg Config) *Engine {
 		shuffles:        map[int]*shuffleState{},
 		caches:          map[int][][]Row{},
 		ckptDone:        map[int]bool{},
+		exec:            newExecutorStore(),
 		rand:            rng.New(cfg.Seed),
 		nodeFails:       map[topology.NodeID]int{},
 		quarantinedTill: map[topology.NodeID]int64{},
@@ -242,12 +254,14 @@ func (e *Engine) RunCtx(ctx context.Context, p *Plan) ([][]Row, error) {
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.JobDeadline)
 		defer cancel()
 	}
+	e.setJobPlans(p)
 	var lastErr error
 	for attempt := 0; attempt <= e.cfg.MaxStageRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, e.abortErr(err, lastErr)
 		}
 		e.tickChaos()
+		e.recoverCoordinator(p)
 		if err := e.ensure(ctx, p, map[int]bool{}); err != nil {
 			if ctx.Err() != nil {
 				return nil, e.abortErr(ctx.Err(), err)
@@ -347,7 +361,8 @@ func (e *Engine) recoverable(err error) bool {
 		e.Reg.Counter("fetch_failures").Inc()
 		return true
 	}
-	return errors.Is(err, cluster.ErrNodeDead) || errors.Is(err, errInjected)
+	return errors.Is(err, cluster.ErrNodeDead) || errors.Is(err, errInjected) ||
+		errors.Is(err, errCoordCrashed)
 }
 
 func (e *Engine) invalidateMapOutput(planID, mapPart int) {
@@ -362,6 +377,7 @@ func (e *Engine) invalidateMapOutput(planID, mapPart int) {
 	if mapPart >= 0 && mapPart < len(st.done) {
 		st.done[mapPart] = false
 		st.outputs[mapPart] = nil
+		e.exec.drop(planID, mapPart)
 	}
 	// Also drop every output owned by now-dead nodes; one fetch failure
 	// usually means the node lost all its blocks.
@@ -370,6 +386,7 @@ func (e *Engine) invalidateMapOutput(planID, mapPart int) {
 			if n, err := e.cfg.Cluster.Node(owner); err == nil && !n.Alive() {
 				st.done[i] = false
 				st.outputs[i] = nil
+				e.exec.drop(planID, i)
 			}
 		}
 	}
@@ -502,6 +519,9 @@ func (e *Engine) runMapStage(ctx context.Context, p *Plan) error {
 		for part, n := range stats.PartitionRecords {
 			partRecords.With(shuffleID, strconv.Itoa(part)).Add(int64(n))
 		}
+		// The blocks live with the executor (they survive a coordinator
+		// crash); st is the driver's volatile view of them.
+		e.exec.put(p.id, tc.Partition, p.parent.parts, blocks)
 		st.mu.Lock()
 		st.outputs[tc.Partition] = blocks
 		st.owner[tc.Partition] = tc.Node
@@ -510,6 +530,9 @@ func (e *Engine) runMapStage(ctx context.Context, p *Plan) error {
 		return nil
 	})
 	endStage(map[string]string{"tasks": strconv.Itoa(len(pending))})
+	if err == nil {
+		e.journalStage(p, st)
+	}
 	return err
 }
 
@@ -591,6 +614,9 @@ func (e *Engine) runTasks(ctx context.Context, stage string, parts []int, prefs 
 			return err
 		}
 		e.tickWave()
+		if e.coordDown() {
+			return errCoordCrashed
+		}
 		if err := e.backoff(ctx, pending, attempts); err != nil {
 			return err
 		}
@@ -1095,6 +1121,7 @@ func (e *Engine) Checkpoint(p *Plan, path string, enc func(Row) []byte, dec func
 	e.ckptDone[p.id] = true
 	e.mu.Unlock()
 	e.Reg.Counter("checkpoints_written").Inc()
+	e.journalCheckpoint(p)
 	return nil
 }
 

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/serde"
+	"repro/internal/shuffle"
+	"repro/internal/topology"
+)
+
+// memJournal is an in-process Journal for tests; production uses the
+// Raft-replicated ha.Journal behind the same interface.
+type memJournal struct {
+	mu   sync.Mutex
+	recs [][]byte
+}
+
+func (j *memJournal) Append(rec []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = append(j.recs, append([]byte(nil), rec...))
+	return nil
+}
+
+func (j *memJournal) Replay() ([][]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([][]byte, len(j.recs))
+	for i, r := range j.recs {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out, nil
+}
+
+// crashAt crashes the coordinator on one specific chaos tick.
+type crashAt struct {
+	e    *Engine
+	at   int
+	tick int
+}
+
+func (c *crashAt) Tick() {
+	c.tick++
+	if c.tick == c.at {
+		c.e.CrashCoordinator()
+	}
+}
+
+// twoStagePlan builds wordcount over two shuffle boundaries: count per
+// word, then re-key words by their count (a second full shuffle).
+func twoStagePlan(e *Engine, lines []string) *Plan {
+	counts := wordCountPlan(e, lines, 4, 3)
+	return e.NewShuffled(counts, ShuffleDep{
+		Partitions: 2,
+		KeyOf:      func(r Row) []byte { return serde.EncodeInt64(r.([2]any)[1].(int64)) },
+		ValueOf:    func(r Row) []byte { return []byte(r.([2]any)[0].(string)) },
+		Post: func(ctx *TaskContext, recs []shuffle.Record) []Row {
+			group := map[int64][]string{}
+			for _, rec := range recs {
+				c, _ := serde.DecodeInt64(rec.Key)
+				group[c] = append(group[c], string(rec.Value))
+			}
+			var out []Row
+			for c, words := range group {
+				sort.Strings(words)
+				out = append(out, [2]any{c, words})
+			}
+			return out
+		},
+	})
+}
+
+var journalLines = []string{
+	"the quick brown fox", "jumps over the lazy dog",
+	"the dog barks", "quick quick fox",
+}
+
+// runTwoStage runs the plan and flattens results into word -> count
+// group for comparison across engines.
+func runTwoStage(t *testing.T, e *Engine, p *Plan) map[string]int64 {
+	t.Helper()
+	rows, err := e.Collect(p)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	out := map[string]int64{}
+	for _, r := range rows {
+		pair := r.([2]any)
+		for _, w := range pair[1].([]string) {
+			out[w] = pair[0].(int64)
+		}
+	}
+	return out
+}
+
+func TestCoordinatorCrashResumesFromJournal(t *testing.T) {
+	// Reference run without faults.
+	ref := testEngine(t, 4, Config{Seed: 7})
+	want := runTwoStage(t, ref, twoStagePlan(ref, journalLines))
+
+	e := testEngine(t, 4, Config{Seed: 7})
+	e.SetJournal(&memJournal{})
+	p := twoStagePlan(e, journalLines)
+	// Tick 1 = attempt start, tick 2 = first map stage's wave. Crash on
+	// tick 3: after stage one completed and journaled, before stage two.
+	e.SetChaos(&crashAt{e: e, at: 3})
+	got := runTwoStage(t, e, p)
+	if len(got) != len(want) {
+		t.Fatalf("result size %d, want %d", len(got), len(want))
+	}
+	for w, c := range want {
+		if got[w] != c {
+			t.Errorf("word %q: count group %d, want %d", w, got[w], c)
+		}
+	}
+	if n := e.Reg.Counter("coord_crashes").Value(); n != 1 {
+		t.Errorf("coord_crashes = %d, want 1", n)
+	}
+	if n := e.Reg.Counter("coord_stages_resumed").Value(); n != 1 {
+		t.Errorf("coord_stages_resumed = %d, want 1 (first shuffle stage)", n)
+	}
+	if n := e.Reg.Counter("coord_stages_restarted").Value(); n != 0 {
+		t.Errorf("coord_stages_restarted = %d, want 0", n)
+	}
+}
+
+func TestCoordinatorCrashWithoutJournalRestartsJob(t *testing.T) {
+	e := testEngine(t, 4, Config{Seed: 7})
+	p := twoStagePlan(e, journalLines)
+	e.SetChaos(&crashAt{e: e, at: 3})
+	got := runTwoStage(t, e, p)
+	if len(got) == 0 {
+		t.Fatal("job produced no output after coordinator crash")
+	}
+	if n := e.Reg.Counter("coord_crashes").Value(); n != 1 {
+		t.Errorf("coord_crashes = %d, want 1", n)
+	}
+	if n := e.Reg.Counter("coord_stages_resumed").Value(); n != 0 {
+		t.Errorf("coord_stages_resumed = %d, want 0 without a journal", n)
+	}
+}
+
+func TestCoordinatorCrashDeadOwnerRestartsStage(t *testing.T) {
+	e := testEngine(t, 8, Config{Seed: 7})
+	e.SetJournal(&memJournal{})
+	p := twoStagePlan(e, journalLines)
+	want := runTwoStage(t, e, p) // clean run, journal fully populated
+
+	// Kill every node that owns a map output of the first shuffle stage,
+	// then crash the coordinator: the journaled record fails owner
+	// verification and the stage recomputes from lineage.
+	firstShuffle := p.parent // the wordcount shuffle feeding the final one
+	e.mu.Lock()
+	st := e.shuffles[firstShuffle.id]
+	e.mu.Unlock()
+	killed := map[topology.NodeID]bool{}
+	st.mu.Lock()
+	for _, owner := range st.owner {
+		killed[owner] = true
+	}
+	st.mu.Unlock()
+	for n := range killed {
+		if err := e.cfg.Cluster.Kill(n); err != nil {
+			t.Fatalf("Kill(%d): %v", n, err)
+		}
+	}
+	e.CrashCoordinator()
+	got := runTwoStage(t, e, p)
+	if len(got) != len(want) {
+		t.Fatalf("post-recovery result size %d, want %d", len(got), len(want))
+	}
+	if n := e.Reg.Counter("coord_stages_restarted").Value(); n == 0 {
+		t.Error("coord_stages_restarted = 0, want > 0 (owners were killed)")
+	}
+}
+
+func TestJournaledStagesResumeAcrossRuns(t *testing.T) {
+	e := testEngine(t, 4, Config{Seed: 7})
+	e.SetJournal(&memJournal{})
+	p := twoStagePlan(e, journalLines)
+	want := runTwoStage(t, e, p)
+	// Crash between runs: the rerun should resume both shuffle stages
+	// from the journal and recompute nothing but the result stage.
+	e.CrashCoordinator()
+	stagesBefore := e.Reg.Counter("stages_run").Value()
+	got := runTwoStage(t, e, p)
+	if len(got) != len(want) {
+		t.Fatalf("rerun result size %d, want %d", len(got), len(want))
+	}
+	if n := e.Reg.Counter("coord_stages_resumed").Value(); n != 2 {
+		t.Errorf("coord_stages_resumed = %d, want 2", n)
+	}
+	if n := e.Reg.Counter("stages_run").Value() - stagesBefore; n != 1 {
+		t.Errorf("stages_run delta = %d, want 1 (result stage only)", n)
+	}
+}
+
+func TestForeignJournalRecordsIgnored(t *testing.T) {
+	j := &memJournal{}
+	e := testEngine(t, 4, Config{Seed: 7})
+	e.SetJournal(j)
+	pA := twoStagePlan(e, journalLines)
+	runTwoStage(t, e, pA) // fills the journal with job A's records
+
+	// A different job on the same engine + journal: job A's records must
+	// not be mistaken for job B's stages during recovery.
+	pB := sliceSource(e, ints(40), 4)
+	e.CrashCoordinator()
+	got := collectInts(t, e, pB)
+	if len(got) != 40 {
+		t.Fatalf("job B rows = %d, want 40", len(got))
+	}
+	if n := e.Reg.Counter("coord_stages_resumed").Value(); n != 0 {
+		t.Errorf("coord_stages_resumed = %d, want 0 (job B has no journaled stages)", n)
+	}
+	if n := e.Reg.Counter("coord_stages_restarted").Value(); n != 0 {
+		t.Errorf("coord_stages_restarted = %d, want 0 (foreign records are ignored)", n)
+	}
+}

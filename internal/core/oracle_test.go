@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/shuffle"
@@ -172,9 +173,11 @@ func TestReferenceSkipsCombiner(t *testing.T) {
 
 func TestReferenceCustomPartitionerAndMemo(t *testing.T) {
 	e := testEngine(t, 4, Config{})
-	calls := 0
+	// The source fn runs sequentially under Reference but concurrently
+	// once the engine executes the plan, so the call count is atomic.
+	var calls atomic.Int64
 	src := e.NewSource(3, func(ctx *TaskContext, part int) []Row {
-		calls++
+		calls.Add(1)
 		var rows []Row
 		for i := 0; i < 10; i++ {
 			rows = append(rows, part*10+i)
@@ -185,8 +188,8 @@ func TestReferenceCustomPartitionerAndMemo(t *testing.T) {
 	dep.Partitioner = func(key []byte) int { return int(key[len(key)-1]-'0') % 5 }
 	p := e.NewShuffled(src, dep)
 	ref := Reference(p)
-	if calls != 3 {
-		t.Fatalf("map side ran %d source evaluations, want 3 (memoized per shuffle, not per reduce partition)", calls)
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("map side ran %d source evaluations, want 3 (memoized per shuffle, not per reduce partition)", n)
 	}
 	got, err := e.Run(p)
 	if err != nil {

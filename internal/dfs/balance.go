@@ -1,86 +1,32 @@
 package dfs
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/topology"
 )
 
 // Decommission drains a node gracefully: every replica it holds is copied
 // to another live node first, then the node is marked dead. Unlike
 // KillNode, no block loses a replica. It returns the bytes migrated.
+//
+// The namenode plans and commits the reassignment as one command (so it
+// is atomic even across a leader failover); the data copies then execute
+// against the stores.
 func (d *DFS) Decommission(n topology.NodeID) (int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if int(n) < 0 || int(n) >= len(d.alive) {
-		return 0, ErrNodeUnknown
-	}
-	if !d.alive[n] {
-		return 0, fmt.Errorf("dfs: node %d is already down", n)
+	plan, err := d.meta.decommission(n)
+	if err != nil {
+		return 0, err
 	}
 	var moved int64
-	ids := make([]BlockID, 0, len(d.nodes[n].store))
-	for id := range d.nodes[n].store {
-		ids = append(ids, id)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, mv := range plan {
+		if d.copyReplicaLocked(mv.id, mv.src, mv.dst) {
+			moved += mv.length
+		}
+		delete(d.nodes[n].store, mv.id)
+		delete(d.nodes[n].sums, mv.id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		bm := d.blocks[id]
-		if bm == nil {
-			delete(d.nodes[n].store, id)
-			continue
-		}
-		dst, ok := d.pickMigrationTargetLocked(bm, n)
-		if !ok {
-			return moved, fmt.Errorf("%w: no target for block %d", ErrNoLiveNode, id)
-		}
-		data := d.nodes[n].store[id]
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		d.nodes[dst].store[id] = cp
-		delete(d.nodes[n].store, id)
-		for i, r := range bm.replicas {
-			if r == n {
-				bm.replicas[i] = dst
-				break
-			}
-		}
-		moved += bm.length
-	}
-	d.alive[n] = false
 	return moved, nil
-}
-
-// pickMigrationTargetLocked finds a live node that does not already hold
-// the block, preferring the emptiest.
-func (d *DFS) pickMigrationTargetLocked(bm *blockMeta, exclude topology.NodeID) (topology.NodeID, bool) {
-	holds := map[topology.NodeID]bool{exclude: true}
-	for _, r := range bm.replicas {
-		holds[r] = true
-	}
-	best := topology.NodeID(-1)
-	var bestBytes int64
-	for i := range d.nodes {
-		n := topology.NodeID(i)
-		if !d.alive[n] || holds[n] {
-			continue
-		}
-		b := d.storedBytesLocked(n)
-		if best < 0 || b < bestBytes {
-			best = n
-			bestBytes = b
-		}
-	}
-	return best, best >= 0
-}
-
-func (d *DFS) storedBytesLocked(n topology.NodeID) int64 {
-	var total int64
-	for _, b := range d.nodes[n].store {
-		total += int64(len(b))
-	}
-	return total
 }
 
 // StoredBytes returns the bytes node n currently holds.
@@ -90,7 +36,11 @@ func (d *DFS) StoredBytes(n topology.NodeID) int64 {
 	if int(n) < 0 || int(n) >= len(d.nodes) {
 		return 0
 	}
-	return d.storedBytesLocked(n)
+	var total int64
+	for _, b := range d.nodes[n].store {
+		total += int64(len(b))
+	}
+	return total
 }
 
 // Balance migrates replicas from the fullest live nodes to the emptiest
@@ -98,80 +48,19 @@ func (d *DFS) StoredBytes(n topology.NodeID) int64 {
 // mean, or no legal move remains. It returns the moves made and bytes
 // migrated — the HDFS balancer, simplified to a deterministic greedy pass.
 func (d *DFS) Balance(slack float64) (moves int, migrated int64) {
-	if slack <= 0 {
-		slack = 0.1
+	plan, err := d.meta.balance(slack)
+	if err != nil {
+		return 0, 0
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for iter := 0; iter < 10_000; iter++ {
-		// Compute live-node utilizations.
-		var live []topology.NodeID
-		var total int64
-		for i := range d.nodes {
-			n := topology.NodeID(i)
-			if d.alive[n] {
-				live = append(live, n)
-				total += d.storedBytesLocked(n)
-			}
+	for _, mv := range plan {
+		if d.copyReplicaLocked(mv.id, mv.src, mv.dst) {
+			migrated += mv.length
 		}
-		if len(live) < 2 {
-			return moves, migrated
-		}
-		mean := float64(total) / float64(len(live))
-		var fullest, emptiest topology.NodeID = -1, -1
-		var maxB, minB int64
-		for _, n := range live {
-			b := d.storedBytesLocked(n)
-			if fullest < 0 || b > maxB {
-				fullest, maxB = n, b
-			}
-			if emptiest < 0 || b < minB {
-				emptiest, minB = n, b
-			}
-		}
-		if float64(maxB) <= mean*(1+slack) || fullest == emptiest {
-			return moves, migrated
-		}
-		// Move one block from fullest to emptiest (one it doesn't hold),
-		// smallest block that still helps, deterministic order.
-		var candidates []BlockID
-		for id := range d.nodes[fullest].store {
-			if _, has := d.nodes[emptiest].store[id]; !has {
-				candidates = append(candidates, id)
-			}
-		}
-		if len(candidates) == 0 {
-			return moves, migrated
-		}
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-		// Pick the smallest candidate block; a move only proceeds when it
-		// strictly shrinks the max-min gap, otherwise indivisible blocks
-		// ping-pong between nodes forever.
-		id := candidates[0]
-		for _, c := range candidates {
-			if int64(len(d.nodes[fullest].store[c])) < int64(len(d.nodes[fullest].store[id])) {
-				id = c
-			}
-		}
-		if maxB-minB <= int64(len(d.nodes[fullest].store[id])) {
-			return moves, migrated
-		}
-		bm := d.blocks[id]
-		data := d.nodes[fullest].store[id]
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		d.nodes[emptiest].store[id] = cp
-		delete(d.nodes[fullest].store, id)
-		if bm != nil {
-			for i, r := range bm.replicas {
-				if r == fullest {
-					bm.replicas[i] = emptiest
-					break
-				}
-			}
-		}
+		delete(d.nodes[mv.src].store, mv.id)
+		delete(d.nodes[mv.src].sums, mv.id)
 		moves++
-		migrated += int64(len(cp))
 	}
 	return moves, migrated
 }

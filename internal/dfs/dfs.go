@@ -6,6 +6,14 @@
 // BlockLocations for locality, and the recovery experiments kill nodes and
 // re-replicate.
 //
+// The namenode metadata lives behind a backend interface: New embeds it
+// in-process (one namenode, the availability gap real HDFS had before
+// QJM-based HA), while NewReplicated runs it as a deterministic state
+// machine on a Raft group from internal/ha, so a namenode-leader crash
+// fails over without losing the block map. The datanode layer — block
+// stores plus CRC32 per-replica checksums with read-repair — is
+// identical in both modes.
+//
 // Data is held in memory because the experiments measure placement,
 // locality and recovery behaviour — structural properties — rather than
 // disk throughput; see DESIGN.md's substitution table.
@@ -14,12 +22,13 @@ package dfs
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"sync"
 
+	"repro/internal/ha"
 	"repro/internal/metrics"
-	"repro/internal/rng"
 	"repro/internal/topology"
 )
 
@@ -29,6 +38,7 @@ var (
 	ErrNotFound     = errors.New("dfs: file not found")
 	ErrNoLiveNode   = errors.New("dfs: no live node available for placement")
 	ErrBlockLost    = errors.New("dfs: all replicas of a block are dead")
+	ErrCorrupt      = errors.New("dfs: block fails checksum on every live replica")
 	ErrNodeUnknown  = errors.New("dfs: unknown node")
 	ErrWriterClosed = errors.New("dfs: writer is closed")
 )
@@ -78,8 +88,12 @@ type fileMeta struct {
 	repl   int
 }
 
+// datanode stores block replicas plus the CRC32 recorded at write time;
+// every read re-computes the sum and repairs from a healthy replica on
+// mismatch.
 type datanode struct {
 	store map[BlockID][]byte
+	sums  map[BlockID]uint32
 }
 
 // dfsMetrics holds the optional instrumentation hooks. All fields are
@@ -93,25 +107,24 @@ type dfsMetrics struct {
 	readsByLocality   *metrics.CounterVec // label: locality = local|rack|remote
 	replicasCreated   *metrics.Counter
 	rereplicatedBytes *metrics.Counter
+	checksumFailures  *metrics.Counter
+	readRepairs       *metrics.Counter
 }
 
-// DFS is the whole filesystem: namenode plus all datanodes. Safe for
-// concurrent use.
+// DFS is the whole filesystem: the namenode backend plus all datanodes.
+// Safe for concurrent use.
 type DFS struct {
-	mu        sync.RWMutex
-	cfg       Config
-	files     map[string]*fileMeta
-	blocks    map[BlockID]*blockMeta
-	nodes     []*datanode
-	alive     []bool
-	nextBlock BlockID
-	rand      *rng.RNG
-	m         dfsMetrics
+	mu    sync.RWMutex // guards the datanode stores and checksums
+	cfg   Config
+	meta  metaBackend
+	nodes []*datanode
+	m     dfsMetrics
 }
 
 // Instrument attaches the filesystem's counters to reg: block/byte
 // write and read volume, read locality (dfs_reads_by_locality, labeled
-// local/rack/remote) and re-replication work. Call before serving
+// local/rack/remote), re-replication work, and block integrity
+// (dfs_checksum_failures, dfs_read_repairs). Call before serving
 // traffic; a nil reg detaches.
 func (d *DFS) Instrument(reg *metrics.Registry) {
 	d.mu.Lock()
@@ -128,34 +141,36 @@ func (d *DFS) Instrument(reg *metrics.Registry) {
 		readsByLocality:   reg.CounterVec("dfs_reads_by_locality", "locality"),
 		replicasCreated:   reg.Counter("dfs_replicas_created"),
 		rereplicatedBytes: reg.Counter("dfs_rereplicated_bytes"),
+		checksumFailures:  reg.Counter("dfs_checksum_failures"),
+		readRepairs:       reg.Counter("dfs_read_repairs"),
 	}
 }
 
-// New creates an empty filesystem over cfg.Topology.
+// New creates an empty filesystem over cfg.Topology with an in-process
+// (single, unreplicated) namenode.
 func New(cfg Config) *DFS {
-	if cfg.Topology == nil {
-		panic("dfs: Config.Topology is required")
-	}
-	if cfg.BlockSize <= 0 {
-		cfg.BlockSize = 8 << 20
-	}
-	if cfg.Replication <= 0 {
-		cfg.Replication = 3
-	}
-	if cfg.Replication > cfg.Topology.Size() {
-		cfg.Replication = cfg.Topology.Size()
-	}
+	cfg = cfg.withDefaults()
+	return newDFS(cfg, &localMeta{st: newNameState(cfg)})
+}
+
+// NewReplicated creates a filesystem whose namenode metadata is
+// replicated on g: every mutation is proposed as a command on the
+// group's MachineName state machine (register NameMachine(cfg) there),
+// so a namenode-leader crash fails over without losing the block map.
+// The group must be built with the same cfg the filesystem uses.
+func NewReplicated(cfg Config, g *ha.Group) *DFS {
+	cfg = cfg.withDefaults()
+	return newDFS(cfg, &raftMeta{g: g})
+}
+
+func newDFS(cfg Config, meta metaBackend) *DFS {
 	d := &DFS{
-		cfg:    cfg,
-		files:  map[string]*fileMeta{},
-		blocks: map[BlockID]*blockMeta{},
-		nodes:  make([]*datanode, cfg.Topology.Size()),
-		alive:  make([]bool, cfg.Topology.Size()),
-		rand:   rng.New(cfg.Seed),
+		cfg:   cfg,
+		meta:  meta,
+		nodes: make([]*datanode, cfg.Topology.Size()),
 	}
 	for i := range d.nodes {
-		d.nodes[i] = &datanode{store: map[BlockID][]byte{}}
-		d.alive[i] = true
+		d.nodes[i] = &datanode{store: map[BlockID][]byte{}, sums: map[BlockID]uint32{}}
 	}
 	return d
 }
@@ -173,26 +188,16 @@ func (d *DFS) Create(path string) (*Writer, error) {
 // placement hint: the writer's node, which receives the first replica of
 // every block (the HDFS write-local rule). Pass hint -1 for no affinity.
 func (d *DFS) CreateWith(path string, replication int, hint topology.NodeID) (*Writer, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.files[path]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrExists, path)
+	if err := d.meta.create(path, replication); err != nil {
+		return nil, err
 	}
-	if replication <= 0 {
-		replication = d.cfg.Replication
-	}
-	if replication > len(d.nodes) {
-		replication = len(d.nodes)
-	}
-	// Reserve the name so concurrent creators conflict deterministically.
-	d.files[path] = &fileMeta{path: path, repl: replication}
-	return &Writer{d: d, meta: d.files[path], hint: hint}, nil
+	return &Writer{d: d, path: path, hint: hint}, nil
 }
 
 // Writer streams data into a file, sealing a block every BlockSize bytes.
 type Writer struct {
 	d      *DFS
-	meta   *fileMeta
+	path   string
 	hint   topology.NodeID
 	buf    []byte
 	closed bool
@@ -221,30 +226,27 @@ func (w *Writer) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// seal commits the current buffer as a block.
+// seal commits the current buffer as a block: the namenode registers the
+// block and chooses replicas, then the data lands on those stores.
 func (w *Writer) seal() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
 	data := w.buf
 	w.buf = nil
-	w.d.mu.Lock()
-	defer w.d.mu.Unlock()
-	id := w.d.nextBlock
-	w.d.nextBlock++
-	replicas, err := w.d.placeLocked(w.meta.repl, w.hint)
+	id, replicas, err := w.d.meta.seal(w.path, w.hint, int64(len(data)))
 	if err != nil {
 		return err
 	}
-	bm := &blockMeta{id: id, length: int64(len(data)), replicas: replicas}
-	w.d.blocks[id] = bm
+	sum := crc32.ChecksumIEEE(data)
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
 	for _, n := range replicas {
 		stored := make([]byte, len(data))
 		copy(stored, data)
 		w.d.nodes[n].store[id] = stored
+		w.d.nodes[n].sums[id] = sum
 	}
-	w.meta.blocks = append(w.meta.blocks, id)
-	w.meta.size += int64(len(data))
 	w.d.m.blocksWritten.Inc()
 	w.d.m.bytesWritten.Add(int64(len(data)))
 	return nil
@@ -259,100 +261,53 @@ func (w *Writer) Close() error {
 	return w.seal()
 }
 
-// placeLocked chooses repl distinct live nodes using the rack-aware policy.
-func (d *DFS) placeLocked(repl int, hint topology.NodeID) ([]topology.NodeID, error) {
-	top := d.cfg.Topology
-	var chosen []topology.NodeID
-	used := map[topology.NodeID]bool{}
-	pick := func(ok func(topology.NodeID) bool) bool {
-		// Random start, linear probe: deterministic given the seed.
-		start := d.rand.Intn(top.Size())
-		for i := 0; i < top.Size(); i++ {
-			n := topology.NodeID((start + i) % top.Size())
-			if d.alive[n] && !used[n] && (ok == nil || ok(n)) {
-				chosen = append(chosen, n)
-				used[n] = true
-				return true
-			}
-		}
-		return false
-	}
-
-	// First replica: the writer's node when live, else anywhere.
-	if hint >= 0 && int(hint) < top.Size() && d.alive[hint] {
-		chosen = append(chosen, hint)
-		used[hint] = true
-	} else if !pick(nil) {
-		return nil, ErrNoLiveNode
-	}
-	// Second replica: a different rack when possible.
-	if len(chosen) < repl {
-		firstRack := top.RackOf(chosen[0])
-		if !pick(func(n topology.NodeID) bool { return top.RackOf(n) != firstRack }) {
-			if !pick(nil) {
-				return chosen, nil // degraded: fewer replicas than asked
-			}
-		}
-	}
-	// Third replica: same rack as the second.
-	if len(chosen) < repl {
-		secondRack := top.RackOf(chosen[1])
-		if !pick(func(n topology.NodeID) bool { return top.RackOf(n) == secondRack }) {
-			pick(nil)
-		}
-	}
-	// Any further replicas: anywhere.
-	for len(chosen) < repl {
-		if !pick(nil) {
-			break
-		}
-	}
-	return chosen, nil
-}
-
 // Stat returns file metadata.
 func (d *DFS) Stat(path string) (FileInfo, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	f, ok := d.files[path]
+	var info FileInfo
+	var ok bool
+	if err := d.meta.view(func(st *nameState) {
+		f, found := st.files[path]
+		if !found {
+			return
+		}
+		ok = true
+		info = FileInfo{Path: f.path, Size: f.size, Blocks: len(f.blocks)}
+	}); err != nil {
+		return FileInfo{}, err
+	}
 	if !ok {
 		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	return FileInfo{Path: f.path, Size: f.size, Blocks: len(f.blocks)}, nil
+	return info, nil
 }
 
 // List returns the paths with the given prefix, sorted.
 func (d *DFS) List(prefix string) []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	var out []string
-	for p := range d.files {
-		if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
-			out = append(out, p)
+	_ = d.meta.view(func(st *nameState) {
+		for p := range st.files {
+			if len(p) >= len(prefix) && p[:len(prefix)] == prefix {
+				out = append(out, p)
+			}
 		}
-	}
+	})
 	sort.Strings(out)
 	return out
 }
 
 // Delete removes a file and frees replicas whose blocks belong to no file.
 func (d *DFS) Delete(path string) error {
+	freed, err := d.meta.deleteFile(path)
+	if err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	f, ok := d.files[path]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, path)
-	}
-	delete(d.files, path)
-	for _, id := range f.blocks {
-		bm := d.blocks[id]
-		if bm == nil {
-			continue
+	for _, ref := range freed {
+		for _, n := range ref.replicas {
+			delete(d.nodes[n].store, ref.id)
+			delete(d.nodes[n].sums, ref.id)
 		}
-		for _, n := range bm.replicas {
-			delete(d.nodes[n].store, id)
-		}
-		delete(d.blocks, id)
 	}
 	return nil
 }
@@ -360,57 +315,91 @@ func (d *DFS) Delete(path string) error {
 // BlockLocations returns the live replica placement of every block of path,
 // in file order.
 func (d *DFS) BlockLocations(path string) ([]BlockInfo, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	f, ok := d.files[path]
+	var out []BlockInfo
+	var ok bool
+	if err := d.meta.view(func(st *nameState) {
+		f, found := st.files[path]
+		if !found {
+			return
+		}
+		ok = true
+		out = make([]BlockInfo, 0, len(f.blocks))
+		for _, id := range f.blocks {
+			bm := st.blocks[id]
+			var live []topology.NodeID
+			for _, n := range bm.replicas {
+				if st.alive[n] {
+					live = append(live, n)
+				}
+			}
+			out = append(out, BlockInfo{ID: id, Length: bm.length, Replicas: live})
+		}
+	}); err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
-	}
-	out := make([]BlockInfo, 0, len(f.blocks))
-	for _, id := range f.blocks {
-		bm := d.blocks[id]
-		var live []topology.NodeID
-		for _, n := range bm.replicas {
-			if d.alive[n] {
-				live = append(live, n)
-			}
-		}
-		out = append(out, BlockInfo{ID: id, Length: bm.length, Replicas: live})
 	}
 	return out, nil
 }
 
-// ReadBlock returns a copy of block id from any live replica, preferring
-// one close to `at` (node-local, then rack-local, then remote). It also
-// returns the node served from, so callers can charge network cost.
+// ReadBlock returns a copy of block id from a live replica, preferring
+// one close to `at` (node-local, then rack-local, then remote). Every
+// read verifies the replica's CRC32; a corrupt replica is skipped, the
+// read served from the next-closest healthy one, and the corrupt copy
+// overwritten in place (read-repair). It also returns the node served
+// from, so callers can charge network cost.
 func (d *DFS) ReadBlock(id BlockID, at topology.NodeID) ([]byte, topology.NodeID, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	bm, ok := d.blocks[id]
-	if !ok {
+	var candidates []topology.NodeID
+	var known bool
+	var length int64
+	if err := d.meta.view(func(st *nameState) {
+		bm, ok := st.blocks[id]
+		if !ok {
+			return
+		}
+		known = true
+		length = bm.length
+		for _, n := range bm.replicas {
+			if st.alive[n] {
+				candidates = append(candidates, n)
+			}
+		}
+	}); err != nil {
+		return nil, -1, err
+	}
+	if !known {
 		return nil, -1, fmt.Errorf("%w: block %d", ErrNotFound, id)
 	}
-	best := topology.NodeID(-1)
-	bestLoc := topology.Remote + 1
-	for _, n := range bm.replicas {
-		if !d.alive[n] {
-			continue
-		}
-		loc := topology.Remote
-		if at >= 0 && at < topology.NodeID(d.cfg.Topology.Size()) {
-			loc = d.cfg.Topology.LocalityOf(n, at)
-		}
-		if loc < bestLoc {
-			bestLoc = loc
-			best = n
-		}
-	}
-	if best < 0 {
+	if len(candidates) == 0 {
 		return nil, -1, fmt.Errorf("%w: block %d", ErrBlockLost, id)
 	}
+	// Closest-first, ties by node id for determinism.
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return d.localityOf(candidates[i], at) < d.localityOf(candidates[j], at)
+	})
+
+	d.mu.RLock()
+	serve, _, corrupt := d.scanReplicasLocked(id, candidates)
+	d.mu.RUnlock()
+	if serve < 0 || len(corrupt) > 0 {
+		// Slow path: repair corrupt replicas (or conclude the block is
+		// unreadable) under the write lock, re-scanning since the world
+		// may have changed between the locks.
+		var err error
+		if serve, err = d.repairLocked(id, candidates); err != nil {
+			return nil, -1, err
+		}
+	}
+	d.mu.RLock()
+	data := d.nodes[serve].store[id]
+	out := make([]byte, len(data))
+	copy(out, data)
+	d.mu.RUnlock()
+
 	d.m.blocksRead.Inc()
-	d.m.bytesRead.Add(bm.length)
-	switch bestLoc {
+	d.m.bytesRead.Add(length)
+	switch d.localityOf(serve, at) {
 	case topology.LocalNode:
 		d.m.readsByLocality.With("local").Inc()
 	case topology.LocalRack:
@@ -418,24 +407,107 @@ func (d *DFS) ReadBlock(id BlockID, at topology.NodeID) ([]byte, topology.NodeID
 	default:
 		d.m.readsByLocality.With("remote").Inc()
 	}
-	data := d.nodes[best].store[id]
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out, best, nil
+	return out, serve, nil
+}
+
+func (d *DFS) localityOf(n, at topology.NodeID) topology.Locality {
+	if at >= 0 && at < topology.NodeID(d.cfg.Topology.Size()) {
+		return d.cfg.Topology.LocalityOf(n, at)
+	}
+	return topology.Remote
+}
+
+// scanReplicasLocked walks candidates closest-first and returns the
+// first healthy replica, how many had the data stored at all, and which
+// stored copies failed their checksum.
+func (d *DFS) scanReplicasLocked(id BlockID, candidates []topology.NodeID) (serve topology.NodeID, stored int, corrupt []topology.NodeID) {
+	serve = -1
+	for _, n := range candidates {
+		data, ok := d.nodes[n].store[id]
+		if !ok {
+			// Replica registered but data not landed yet (a planned copy
+			// in flight); another candidate holds it.
+			continue
+		}
+		stored++
+		if crc32.ChecksumIEEE(data) != d.nodes[n].sums[id] {
+			corrupt = append(corrupt, n)
+			continue
+		}
+		if serve < 0 {
+			serve = n
+		}
+	}
+	return serve, stored, corrupt
+}
+
+// repairLocked re-scans under the write lock, overwrites corrupt
+// replicas from the closest healthy one, and returns the serving node.
+func (d *DFS) repairLocked(id BlockID, candidates []topology.NodeID) (topology.NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	serve, stored, corrupt := d.scanReplicasLocked(id, candidates)
+	d.m.checksumFailures.Add(int64(len(corrupt)))
+	if serve < 0 {
+		if stored > 0 {
+			return -1, fmt.Errorf("%w: block %d", ErrCorrupt, id)
+		}
+		return -1, fmt.Errorf("%w: block %d", ErrBlockLost, id)
+	}
+	healthy := d.nodes[serve].store[id]
+	sum := d.nodes[serve].sums[id]
+	for _, n := range corrupt {
+		cp := make([]byte, len(healthy))
+		copy(cp, healthy)
+		d.nodes[n].store[id] = cp
+		d.nodes[n].sums[id] = sum
+		d.m.readRepairs.Inc()
+	}
+	return serve, nil
+}
+
+// CorruptBlock flips a data byte of the lowest-id block stored on node n
+// without updating the recorded checksum — a silent bit-rot fault for
+// chaos schedules; detection shows up as dfs_checksum_failures and the
+// fix as dfs_read_repairs.
+func (d *DFS) CorruptBlock(n topology.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(n) < 0 || int(n) >= len(d.nodes) {
+		return ErrNodeUnknown
+	}
+	victim := BlockID(-1)
+	for id, data := range d.nodes[n].store {
+		if len(data) > 0 && (victim < 0 || id < victim) {
+			victim = id
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("dfs: node %d stores no blocks to corrupt", n)
+	}
+	d.nodes[n].store[victim][0] ^= 0xFF
+	return nil
 }
 
 // Open returns a sequential reader over the whole file, served from
 // replicas closest to `at` (pass -1 for no affinity).
 func (d *DFS) Open(path string, at topology.NodeID) (io.Reader, error) {
-	d.mu.RLock()
-	f, ok := d.files[path]
+	var ids []BlockID
+	var ok bool
+	if err := d.meta.view(func(st *nameState) {
+		f, found := st.files[path]
+		if !found {
+			return
+		}
+		ok = true
+		ids = make([]BlockID, len(f.blocks))
+		copy(ids, f.blocks)
+	}); err != nil {
+		return nil, err
+	}
 	if !ok {
-		d.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
-	ids := make([]BlockID, len(f.blocks))
-	copy(ids, f.blocks)
-	d.mu.RUnlock()
 	return &reader{d: d, ids: ids, at: at}, nil
 }
 
@@ -466,50 +538,21 @@ func (r *reader) Read(p []byte) (int, error) {
 // KillNode marks a node dead: its replicas become unreadable until revival
 // or re-replication.
 func (d *DFS) KillNode(n topology.NodeID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if int(n) < 0 || int(n) >= len(d.alive) {
-		return ErrNodeUnknown
-	}
-	d.alive[n] = false
-	return nil
+	return d.meta.setAlive(n, false)
 }
 
 // ReviveNode brings a dead node back with its stored replicas intact.
 func (d *DFS) ReviveNode(n topology.NodeID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if int(n) < 0 || int(n) >= len(d.alive) {
-		return ErrNodeUnknown
-	}
-	d.alive[n] = true
-	return nil
+	return d.meta.setAlive(n, true)
 }
 
 // UnderReplicated returns blocks whose live replica count is below their
 // file's target, sorted by id.
 func (d *DFS) UnderReplicated() []BlockID {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	target := map[BlockID]int{}
-	for _, f := range d.files {
-		for _, id := range f.blocks {
-			target[id] = f.repl
-		}
-	}
 	var out []BlockID
-	for id, bm := range d.blocks {
-		live := 0
-		for _, n := range bm.replicas {
-			if d.alive[n] {
-				live++
-			}
-		}
-		if live < target[id] && live > 0 {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	_ = d.meta.view(func(st *nameState) {
+		out = st.underReplicated()
+	})
 	return out
 }
 
@@ -517,62 +560,65 @@ func (d *DFS) UnderReplicated() []BlockID {
 // live nodes until targets are met. It returns the number of new replicas
 // created and the total bytes copied (for recovery-cost accounting).
 func (d *DFS) Rereplicate() (newReplicas int, bytesCopied int64) {
-	ids := d.UnderReplicated()
+	plan, err := d.meta.rereplicate()
+	if err != nil {
+		return 0, 0
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	target := map[BlockID]int{}
-	for _, f := range d.files {
-		for _, id := range f.blocks {
-			target[id] = f.repl
-		}
-	}
-	for _, id := range ids {
-		bm := d.blocks[id]
-		if bm == nil {
+	for _, mv := range plan {
+		if !d.copyReplicaLocked(mv.id, mv.src, mv.dst) {
 			continue
 		}
-		var src topology.NodeID = -1
-		liveSet := map[topology.NodeID]bool{}
-		var liveReplicas []topology.NodeID
-		for _, n := range bm.replicas {
-			if d.alive[n] {
-				liveSet[n] = true
-				liveReplicas = append(liveReplicas, n)
-				src = n
-			}
-		}
-		if src < 0 {
-			continue // lost block; nothing to copy from
-		}
-		for len(liveReplicas) < target[id] {
-			// Place one more replica, avoiding nodes already holding one.
-			start := d.rand.Intn(len(d.nodes))
-			placed := false
-			for i := 0; i < len(d.nodes); i++ {
-				n := topology.NodeID((start + i) % len(d.nodes))
-				if !d.alive[n] || liveSet[n] {
-					continue
-				}
-				data := d.nodes[src].store[id]
-				cp := make([]byte, len(data))
-				copy(cp, data)
-				d.nodes[n].store[id] = cp
-				bm.replicas = append(bm.replicas, n)
-				liveSet[n] = true
-				liveReplicas = append(liveReplicas, n)
-				newReplicas++
-				bytesCopied += bm.length
-				d.m.replicasCreated.Inc()
-				d.m.rereplicatedBytes.Add(bm.length)
-				placed = true
-				break
-			}
-			if !placed {
-				break
-			}
-		}
+		newReplicas++
+		bytesCopied += mv.length
+		d.m.replicasCreated.Inc()
+		d.m.rereplicatedBytes.Add(mv.length)
 	}
 	return newReplicas, bytesCopied
+}
+
+// copyReplicaLocked lands block id on dst from a healthy source,
+// preferring src. A corrupt preferred source falls back to any replica
+// whose data still matches its checksum, so re-replication never
+// propagates bit-rot.
+func (d *DFS) copyReplicaLocked(id BlockID, src, dst topology.NodeID) bool {
+	data, sum, ok := d.healthyDataLocked(id, src)
+	if !ok {
+		return false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.nodes[dst].store[id] = cp
+	d.nodes[dst].sums[id] = sum
+	return true
+}
+
+// healthyDataLocked finds a stored copy of id whose CRC matches,
+// checking prefer first then every node.
+func (d *DFS) healthyDataLocked(id BlockID, prefer topology.NodeID) ([]byte, uint32, bool) {
+	check := func(n topology.NodeID) ([]byte, uint32, bool) {
+		data, ok := d.nodes[n].store[id]
+		if !ok {
+			return nil, 0, false
+		}
+		sum := d.nodes[n].sums[id]
+		if crc32.ChecksumIEEE(data) != sum {
+			return nil, 0, false
+		}
+		return data, sum, true
+	}
+	if prefer >= 0 && int(prefer) < len(d.nodes) {
+		if data, sum, ok := check(prefer); ok {
+			return data, sum, true
+		}
+	}
+	for i := range d.nodes {
+		if data, sum, ok := check(topology.NodeID(i)); ok {
+			return data, sum, true
+		}
+	}
+	return nil, 0, false
 }
 
 // TotalStoredBytes returns the bytes held across all datanodes (replicas

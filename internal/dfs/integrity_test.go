@@ -1,0 +1,156 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// corruptTestFS builds a 6-node fs with one 3-replica file of a single
+// block and returns the fs, the block, and the written payload.
+func corruptTestFS(t *testing.T) (*DFS, BlockInfo, []byte) {
+	t.Helper()
+	top := topology.TwoTier(2, 3, 4)
+	d := New(Config{Topology: top, BlockSize: 1 << 10, Replication: 3, Seed: 11})
+	payload := bytes.Repeat([]byte("integrity!"), 50)
+	w, err := d.Create("/f")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	locs, err := d.BlockLocations("/f")
+	if err != nil {
+		t.Fatalf("BlockLocations: %v", err)
+	}
+	if len(locs) != 1 || len(locs[0].Replicas) != 3 {
+		t.Fatalf("want 1 block with 3 replicas, got %+v", locs)
+	}
+	return d, locs[0], payload
+}
+
+func TestCorruptReplicaDetectedAndRepaired(t *testing.T) {
+	d, blk, payload := corruptTestFS(t)
+	reg := metrics.NewRegistry()
+	d.Instrument(reg)
+	victim := blk.Replicas[0]
+	if err := d.CorruptBlock(victim); err != nil {
+		t.Fatalf("CorruptBlock(%d): %v", victim, err)
+	}
+	// Read at the corrupt replica's node: it is the closest copy, so the
+	// read must detect the mismatch and serve from a healthy replica.
+	data, served, err := d.ReadBlock(blk.ID, victim)
+	if err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("read returned corrupt data")
+	}
+	if served == victim {
+		t.Fatalf("read served from the corrupt replica %d", victim)
+	}
+	if got := reg.Counter("dfs_checksum_failures").Value(); got != 1 {
+		t.Errorf("dfs_checksum_failures = %d, want 1", got)
+	}
+	if got := reg.Counter("dfs_read_repairs").Value(); got != 1 {
+		t.Errorf("dfs_read_repairs = %d, want 1", got)
+	}
+	// The repair rewrote the corrupt copy: a second read at the same node
+	// is served locally again and counts no new failures.
+	data, served, err = d.ReadBlock(blk.ID, victim)
+	if err != nil {
+		t.Fatalf("ReadBlock after repair: %v", err)
+	}
+	if !bytes.Equal(data, payload) || served != victim {
+		t.Fatalf("after repair: served=%d (want %d), data ok=%v", served, victim, bytes.Equal(data, payload))
+	}
+	if got := reg.Counter("dfs_checksum_failures").Value(); got != 1 {
+		t.Errorf("dfs_checksum_failures after repair = %d, want still 1", got)
+	}
+}
+
+func TestAllReplicasCorruptFailsRead(t *testing.T) {
+	d, blk, _ := corruptTestFS(t)
+	for _, n := range blk.Replicas {
+		if err := d.CorruptBlock(n); err != nil {
+			t.Fatalf("CorruptBlock(%d): %v", n, err)
+		}
+	}
+	if _, _, err := d.ReadBlock(blk.ID, -1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadBlock with all replicas corrupt: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRereplicateSkipsCorruptSource(t *testing.T) {
+	d, blk, payload := corruptTestFS(t)
+	// Corrupt one replica, then kill a different one so the block becomes
+	// under-replicated; the new copy must come from a healthy replica.
+	corrupt := blk.Replicas[0]
+	if err := d.CorruptBlock(corrupt); err != nil {
+		t.Fatalf("CorruptBlock: %v", err)
+	}
+	if err := d.KillNode(blk.Replicas[1]); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	added, bytesCopied := d.Rereplicate()
+	if added != 1 || bytesCopied != int64(len(payload)) {
+		t.Fatalf("Rereplicate = (%d, %d), want (1, %d)", added, bytesCopied, len(payload))
+	}
+	locs, err := d.BlockLocations("/f")
+	if err != nil {
+		t.Fatalf("BlockLocations: %v", err)
+	}
+	var fresh topology.NodeID = -1
+	for _, n := range locs[0].Replicas {
+		if n != blk.Replicas[0] && n != blk.Replicas[2] {
+			fresh = n
+		}
+	}
+	if fresh < 0 {
+		t.Fatalf("no fresh replica found in %v", locs[0].Replicas)
+	}
+	data, _, err := d.ReadBlock(blk.ID, fresh)
+	if err != nil {
+		t.Fatalf("ReadBlock at fresh replica: %v", err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("re-replication propagated corrupt data")
+	}
+}
+
+func TestCorruptBlockErrors(t *testing.T) {
+	top := topology.TwoTier(1, 3, 4)
+	d := New(Config{Topology: top, Seed: 1})
+	if err := d.CorruptBlock(99); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("CorruptBlock(99) = %v, want ErrNodeUnknown", err)
+	}
+	if err := d.CorruptBlock(0); err == nil {
+		t.Fatal("CorruptBlock on an empty node succeeded, want error")
+	}
+}
+
+func TestOpenReadsThroughRepair(t *testing.T) {
+	d, blk, payload := corruptTestFS(t)
+	if err := d.CorruptBlock(blk.Replicas[0]); err != nil {
+		t.Fatalf("CorruptBlock: %v", err)
+	}
+	r, err := d.Open("/f", blk.Replicas[0])
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("file contents differ after corruption + repair")
+	}
+}

@@ -194,8 +194,8 @@ func TestE12Shapes(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -269,6 +269,36 @@ func TestESFTShapes(t *testing.T) {
 		}
 		if parse(t, row[7]) <= 0 {
 			t.Fatalf("faulted row %v deduped nothing", row)
+		}
+	}
+}
+
+func TestEHAShapes(t *testing.T) {
+	table := runAndCheck(t, EHAControlPlane)
+	// 3 control-plane schedules x 3 seeds.
+	if len(table.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		// Headline claim: no control-plane fault schedule fails the job or
+		// corrupts its output.
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("row %v failed the oracle diff", row)
+		}
+		sched := row[0]
+		failovers, resumed := parse(t, row[3]), parse(t, row[7])
+		if sched != "coord-crash" && failovers < 1 {
+			t.Fatalf("row %v: namenode leader crash recorded no failover", row)
+		}
+		if sched != "nn-crash" {
+			if parse(t, row[6]) < 1 {
+				t.Fatalf("row %v: coordinator crash never fired", row)
+			}
+			// The journal must salvage work: at least one stage resumed
+			// rather than recomputed.
+			if resumed < 1 {
+				t.Fatalf("row %v: no journaled stage was resumed", row)
+			}
 		}
 	}
 }

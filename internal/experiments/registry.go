@@ -24,5 +24,6 @@ func All() []Runner {
 		{"E12", "raft commit latency", E12Raft},
 		{"EFT", "fault tolerance under chaos", EFTChaos},
 		{"E-SFT", "streaming exactly-once fault tolerance", ESFTStream},
+		{"E-HA", "control-plane HA failover", EHAControlPlane},
 	}
 }

@@ -1,0 +1,614 @@
+// Package ha turns the tested Raft in internal/consensus into a usable
+// replicated control plane: a Group runs one state-machine replica per
+// consensus member, feeds every committed log entry through a
+// deterministic Apply, snapshots replicas for log compaction and
+// crash rebuild, and gives clients a Propose/Query API with leader
+// discovery, retry-and-redirect and exactly-once command application
+// (a sequence-numbered envelope deduplicates re-proposals that race a
+// leader failover).
+//
+// The framework hosts two control-plane machines on one group: the DFS
+// namenode metadata (package dfs) and the batch coordinator's job
+// journal (package core via the Journal client) — both named machines
+// multiplexed over the same command log, so a single 3-member group is
+// the whole control plane. Chaos drives member crashes through
+// CrashMember/ReviveMember (the nn-crash/nn-revive fault kinds) and the
+// E-HA experiment reads the failover counters recorded here.
+package ha
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/consensus"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// StateMachine is a deterministic state machine replicated by a Group.
+// Apply must be a pure function of the machine's state and cmd (no wall
+// clock, no unseeded randomness): every replica applies the same command
+// sequence and must land in the same state. Snapshot serializes the full
+// state; Restore replaces the state from a snapshot. Apply's return
+// value is the client response, computed identically on every replica.
+type StateMachine interface {
+	Apply(cmd []byte) []byte
+	Snapshot() []byte
+	Restore(snap []byte)
+}
+
+// Config configures a replicated group.
+type Config struct {
+	// Members is the consensus group size. Default 3.
+	Members int
+	// Seed drives the members' election timers.
+	Seed uint64
+	// Machines maps machine names to replica factories. Every member
+	// instantiates each machine once; commands are routed by name.
+	// Required, non-empty.
+	Machines map[string]func() StateMachine
+	// CompactEvery compacts a member's log (recording a state-machine
+	// snapshot) whenever its live length exceeds this. Default 128.
+	CompactEvery int
+	// MaxOpTicks bounds how many virtual ticks one Propose or Query may
+	// spend waiting out elections before giving up. Default 500.
+	MaxOpTicks int
+	// Metrics, when non-nil, receives the group's counters: ha_proposals,
+	// ha_queries, ha_redirects, ha_failovers, the ha_failover_ticks
+	// histogram (ticks from leader loss to the next leader), member
+	// crash/restart counts and snapshot restores. Optional.
+	Metrics *metrics.Registry
+}
+
+type groupMetrics struct {
+	proposals     *metrics.Counter
+	queries       *metrics.Counter
+	redirects     *metrics.Counter
+	failovers     *metrics.Counter
+	failoverTicks *metrics.Histogram
+	crashes       *metrics.Counter
+	restarts      *metrics.Counter
+	snapRestores  *metrics.Counter
+}
+
+// replica is one member's set of state machines plus the command-dedup
+// session state that makes re-proposed commands apply exactly once.
+type replica struct {
+	machines map[string]StateMachine
+	applied  uint64 // log index of the last applied entry
+	lastSeq  uint64 // highest command sequence applied
+	lastResp []byte // response of lastSeq
+}
+
+// Group is a replicated-state-machine group. Safe for concurrent use:
+// every operation runs under one mutex, so commands are linearized and
+// virtual time advances deterministically relative to the operation
+// order.
+type Group struct {
+	mu    sync.Mutex
+	cfg   Config
+	names []string // machine names, sorted (snapshot order)
+
+	nodes   []*consensus.Node
+	reps    []*replica
+	crashed []bool
+	part    map[int]int // nil = fully connected
+	inbox   []consensus.Message
+
+	seq         uint64
+	ticks       int64
+	lastCrashed int
+
+	// Failover accounting: once the group has had a leader, losing it
+	// starts the clock; the next elected leader stops it.
+	hadLeader    bool
+	failingSince int64
+	endFailSpan  func(map[string]string)
+	tracer       *trace.Recorder
+
+	m groupMetrics
+}
+
+// NewGroup builds a group with Members replicas of every configured
+// machine and runs the boot election before returning, so the group is
+// serving (and a chaos nn-crash targeting "the leader" has a real
+// victim) from the first client operation. The boot election is not
+// counted as a failover.
+func NewGroup(cfg Config) *Group {
+	if cfg.Members <= 0 {
+		cfg.Members = 3
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 128
+	}
+	if cfg.MaxOpTicks <= 0 {
+		cfg.MaxOpTicks = 500
+	}
+	if len(cfg.Machines) == 0 {
+		panic("ha: Config.Machines is required")
+	}
+	names := make([]string, 0, len(cfg.Machines))
+	for name := range cfg.Machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	peers := make([]int, cfg.Members)
+	for i := range peers {
+		peers[i] = i
+	}
+	g := &Group{
+		cfg:          cfg,
+		names:        names,
+		nodes:        make([]*consensus.Node, cfg.Members),
+		reps:         make([]*replica, cfg.Members),
+		crashed:      make([]bool, cfg.Members),
+		lastCrashed:  -1,
+		failingSince: -1,
+	}
+	for i := 0; i < cfg.Members; i++ {
+		g.nodes[i] = consensus.NewNode(consensus.Config{ID: i, Peers: peers, Seed: cfg.Seed})
+		g.reps[i] = g.newReplica()
+	}
+	if reg := cfg.Metrics; reg != nil {
+		g.m = groupMetrics{
+			proposals:     reg.Counter("ha_proposals"),
+			queries:       reg.Counter("ha_queries"),
+			redirects:     reg.Counter("ha_redirects"),
+			failovers:     reg.Counter("ha_failovers"),
+			failoverTicks: reg.Histogram("ha_failover_ticks"),
+			crashes:       reg.Counter("ha_member_crashes"),
+			restarts:      reg.Counter("ha_member_restarts"),
+			snapRestores:  reg.Counter("ha_snapshot_restores"),
+		}
+	}
+	for t := 0; t < cfg.MaxOpTicks && g.leaderLocked() < 0; t++ {
+		g.tickLocked()
+	}
+	return g
+}
+
+func (g *Group) newReplica() *replica {
+	r := &replica{machines: make(map[string]StateMachine, len(g.cfg.Machines))}
+	for name, factory := range g.cfg.Machines {
+		r.machines[name] = factory()
+	}
+	return r
+}
+
+// SetTracer attaches a span recorder: each failover records one span on
+// the "ha" track from leader loss to the next election. Pass nil to
+// disable.
+func (g *Group) SetTracer(r *trace.Recorder) {
+	g.mu.Lock()
+	g.tracer = r
+	g.mu.Unlock()
+}
+
+// Members returns the group size.
+func (g *Group) Members() int { return len(g.nodes) }
+
+// Leader returns the current leader's member id, or -1.
+func (g *Group) Leader() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.leaderLocked()
+}
+
+// Ticks returns the virtual time the group has consumed.
+func (g *Group) Ticks() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ticks
+}
+
+func (g *Group) leaderLocked() int {
+	leader := -1
+	var topTerm uint64
+	for i, n := range g.nodes {
+		if g.crashed[i] {
+			continue
+		}
+		if n.State() == consensus.Leader && n.Term() >= topTerm {
+			topTerm = n.Term()
+			leader = i
+		}
+	}
+	return leader
+}
+
+func (g *Group) blocked(from, to int) bool {
+	if g.crashed[from] || g.crashed[to] {
+		return true
+	}
+	if g.part == nil {
+		return false
+	}
+	return g.part[from] != g.part[to]
+}
+
+func (g *Group) sendLocked(msgs []consensus.Message) {
+	g.inbox = append(g.inbox, msgs...)
+}
+
+// tickLocked advances virtual time one unit on every live member, then
+// drains the network and updates failover accounting.
+func (g *Group) tickLocked() {
+	g.ticks++
+	for i, n := range g.nodes {
+		if g.crashed[i] {
+			continue
+		}
+		g.sendLocked(n.Tick())
+	}
+	g.drainLocked()
+}
+
+// drainLocked delivers message rounds until quiet, applying newly
+// committed entries to the replicas after every round.
+func (g *Group) drainLocked() {
+	for len(g.inbox) > 0 {
+		batch := g.inbox
+		g.inbox = nil
+		for _, m := range batch {
+			if g.blocked(m.From, m.To) {
+				continue
+			}
+			g.sendLocked(g.nodes[m.To].Step(m))
+		}
+		g.applyCommittedLocked()
+	}
+	g.trackFailoverLocked()
+}
+
+// applyCommittedLocked feeds each live member's newly committed entries
+// (or an installed snapshot) into its replica, then compacts long logs.
+func (g *Group) applyCommittedLocked() {
+	for i, n := range g.nodes {
+		if g.crashed[i] {
+			continue
+		}
+		rep := g.reps[i]
+		if off, snap := n.Snapshot(); off > rep.applied {
+			// The log below off was compacted away and a snapshot
+			// installed: replace the replica state wholesale.
+			rep.restore(snap)
+			rep.applied = off
+			g.m.snapRestores.Inc()
+		}
+		for _, e := range n.CommittedEntries() {
+			if e.Index <= rep.applied {
+				continue
+			}
+			rep.apply(e.Data)
+			rep.applied = e.Index
+		}
+		if n.LogLen() > g.cfg.CompactEvery {
+			_ = n.Compact(rep.applied, rep.snapshot())
+		}
+	}
+}
+
+// trackFailoverLocked records leader-loss -> next-leader intervals.
+func (g *Group) trackFailoverLocked() {
+	l := g.leaderLocked()
+	if l >= 0 {
+		if g.failingSince >= 0 {
+			ticks := g.ticks - g.failingSince
+			g.m.failovers.Inc()
+			g.m.failoverTicks.Observe(ticks)
+			if g.endFailSpan != nil {
+				g.endFailSpan(map[string]string{
+					"ticks":  strconv.FormatInt(ticks, 10),
+					"leader": strconv.Itoa(l),
+				})
+				g.endFailSpan = nil
+			}
+			g.failingSince = -1
+		}
+		g.hadLeader = true
+		return
+	}
+	if g.hadLeader && g.failingSince < 0 {
+		g.failingSince = g.ticks
+		if g.tracer != nil {
+			g.endFailSpan = g.tracer.Begin("ha failover", "failover", "ha")
+		}
+	}
+}
+
+// responseLocked reports whether command seq has been applied by any
+// live replica, returning its response. Commands are serialized under
+// the group mutex, so a replica whose lastSeq matches holds the answer.
+func (g *Group) responseLocked(seq uint64) ([]byte, bool) {
+	for i, rep := range g.reps {
+		if g.crashed[i] {
+			continue
+		}
+		if rep.lastSeq == seq {
+			return rep.lastResp, true
+		}
+	}
+	return nil, false
+}
+
+// Propose submits one command to the named machine and blocks until it
+// is committed and applied, surviving leader crashes by re-proposing
+// through each newly discovered leader (the sequence envelope makes the
+// retries idempotent). It returns the machine's Apply response.
+//
+// An error means the command did not observably commit within the tick
+// budget — typically a lost quorum. The command may still commit later
+// if the quorum returns; callers treat the operation's outcome as
+// unknown, exactly as with a real lost client connection.
+func (g *Group) Propose(machine string, payload []byte) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.cfg.Machines[machine]; !ok {
+		return nil, fmt.Errorf("ha: unknown machine %q", machine)
+	}
+	g.seq++
+	seq := g.seq
+	cmd := encodeEnvelope(seq, machine, payload)
+	proposedTo := -1
+	var proposedTerm uint64
+	for t := 0; t < g.cfg.MaxOpTicks; t++ {
+		if resp, ok := g.responseLocked(seq); ok {
+			g.m.proposals.Inc()
+			return resp, nil
+		}
+		if l := g.leaderLocked(); l >= 0 && (proposedTo != l || proposedTerm != g.nodes[l].Term()) {
+			if _, msgs, ok := g.nodes[l].Propose(cmd); ok {
+				if proposedTo >= 0 && proposedTo != l {
+					g.m.redirects.Inc()
+				}
+				proposedTo, proposedTerm = l, g.nodes[l].Term()
+				g.sendLocked(msgs)
+				g.drainLocked()
+				continue
+			}
+		}
+		g.tickLocked()
+	}
+	return nil, fmt.Errorf("ha: command %d for %q not committed within %d ticks (quorum lost?)",
+		seq, machine, g.cfg.MaxOpTicks)
+}
+
+// Query runs fn against the current leader's replica of the named
+// machine, waiting out an election first when there is no leader. fn
+// must not retain the machine past the call (the group mutex is held).
+func (g *Group) Query(machine string, fn func(StateMachine) error) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for t := 0; t < g.cfg.MaxOpTicks; t++ {
+		if l := g.leaderLocked(); l >= 0 {
+			sm, ok := g.reps[l].machines[machine]
+			if !ok {
+				return fmt.Errorf("ha: unknown machine %q", machine)
+			}
+			g.m.queries.Inc()
+			return fn(sm)
+		}
+		g.tickLocked()
+	}
+	return fmt.Errorf("ha: no leader for query of %q within %d ticks", machine, g.cfg.MaxOpTicks)
+}
+
+// CrashMember stops a member: it drops out of elections and replication
+// and its replica's volatile state is discarded (the durable Raft log
+// and compaction snapshot survive, per the consensus crash model). id <
+// 0 crashes the current leader — the worst case chaos aims for — or the
+// lowest live member when there is no leader.
+func (g *Group) CrashMember(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 {
+		if id = g.leaderLocked(); id < 0 {
+			for i := range g.nodes {
+				if !g.crashed[i] {
+					id = i
+					break
+				}
+			}
+		}
+	}
+	if id < 0 || id >= len(g.nodes) {
+		return fmt.Errorf("ha: unknown member %d", id)
+	}
+	if g.crashed[id] {
+		return nil
+	}
+	g.crashed[id] = true
+	g.lastCrashed = id
+	// Volatile state dies with the process; ReviveMember rebuilds it
+	// from the durable snapshot + log.
+	g.reps[id] = nil
+	g.m.crashes.Inc()
+	g.trackFailoverLocked()
+	return nil
+}
+
+// ReviveMember restarts a crashed member, rebuilding its state-machine
+// replica from its durable compaction snapshot plus the committed tail
+// of its log. id < 0 revives the most recently crashed member.
+func (g *Group) ReviveMember(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 {
+		id = g.lastCrashed
+	}
+	if id < 0 || id >= len(g.nodes) {
+		return fmt.Errorf("ha: unknown member %d", id)
+	}
+	if !g.crashed[id] {
+		return nil
+	}
+	rep := g.newReplica()
+	n := g.nodes[id]
+	if off, snap := n.Snapshot(); off > 0 {
+		rep.restore(snap)
+		rep.applied = off
+	}
+	for _, e := range n.CommittedSince(rep.applied) {
+		rep.apply(e.Data)
+		rep.applied = e.Index
+	}
+	g.reps[id] = rep
+	g.crashed[id] = false
+	g.m.restarts.Inc()
+	return nil
+}
+
+// Partition splits the members into groups (members not listed are
+// isolated); Heal reconnects everyone. Test and chaos hooks.
+func (g *Group) Partition(groups ...[]int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.part = map[int]int{}
+	next := 0
+	for gi, grp := range groups {
+		for _, id := range grp {
+			g.part[id] = gi
+		}
+		next = gi + 1
+	}
+	for id := range g.nodes {
+		if _, ok := g.part[id]; !ok {
+			g.part[id] = next
+			next++
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (g *Group) Heal() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.part = nil
+}
+
+// apply decodes one committed envelope and applies it to the named
+// machine, deduplicating by sequence number: a command re-proposed
+// around a failover commits twice in the log but applies once.
+func (r *replica) apply(cmd []byte) {
+	seq, machine, payload, err := decodeEnvelope(cmd)
+	if err != nil {
+		// A corrupt envelope would mean the log itself is corrupt;
+		// applying nothing keeps replicas consistent (they all see the
+		// same bytes).
+		return
+	}
+	if seq <= r.lastSeq {
+		return
+	}
+	var resp []byte
+	if sm, ok := r.machines[machine]; ok {
+		resp = sm.Apply(payload)
+	}
+	r.lastSeq = seq
+	r.lastResp = resp
+}
+
+// snapshot serializes the replica: dedup session state plus every
+// machine's snapshot in sorted-name order.
+func (r *replica) snapshot() []byte {
+	names := make([]string, 0, len(r.machines))
+	for name := range r.machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf := binary.BigEndian.AppendUint64(nil, r.lastSeq)
+	buf = appendBytes(buf, r.lastResp)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+	for _, name := range names {
+		buf = appendBytes(buf, []byte(name))
+		buf = appendBytes(buf, r.machines[name].Snapshot())
+	}
+	return buf
+}
+
+// restore replaces the replica's state from a snapshot.
+func (r *replica) restore(snap []byte) {
+	d := &decoder{buf: snap}
+	r.lastSeq = d.u64()
+	r.lastResp = d.bytes()
+	n := int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		name := string(d.bytes())
+		smSnap := d.bytes()
+		if sm, ok := r.machines[name]; ok && d.err == nil {
+			sm.Restore(smSnap)
+		}
+	}
+}
+
+// Command envelope: sequence number, machine name, payload.
+
+func encodeEnvelope(seq uint64, machine string, payload []byte) []byte {
+	buf := binary.BigEndian.AppendUint64(nil, seq)
+	buf = appendBytes(buf, []byte(machine))
+	return append(buf, payload...)
+}
+
+func decodeEnvelope(cmd []byte) (seq uint64, machine string, payload []byte, err error) {
+	d := &decoder{buf: cmd}
+	seq = d.u64()
+	machine = string(d.bytes())
+	if d.err != nil {
+		return 0, "", nil, d.err
+	}
+	return seq, machine, d.buf[d.off:], nil
+}
+
+// appendBytes appends a length-prefixed byte string.
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// decoder reads the length-prefixed binary format; the first error
+// sticks and zero values flow out, so callers check err once.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("ha: truncated encoding at offset %d", d.off)
+	}
+}

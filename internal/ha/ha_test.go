@@ -1,0 +1,277 @@
+package ha
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// addSM is a deterministic accumulator: each command adds a u64 and the
+// response is the running total. applies counts Apply calls so tests
+// can assert exactly-once application under re-proposal and restart.
+type addSM struct {
+	total   uint64
+	applies int
+}
+
+func newAddSM() StateMachine { return &addSM{} }
+
+func (s *addSM) Apply(cmd []byte) []byte {
+	s.total += binary.BigEndian.Uint64(cmd)
+	s.applies++
+	return binary.BigEndian.AppendUint64(nil, s.total)
+}
+
+func (s *addSM) Snapshot() []byte {
+	buf := binary.BigEndian.AppendUint64(nil, s.total)
+	return binary.BigEndian.AppendUint32(buf, uint32(s.applies))
+}
+
+func (s *addSM) Restore(snap []byte) {
+	s.total = binary.BigEndian.Uint64(snap)
+	s.applies = int(binary.BigEndian.Uint32(snap[8:]))
+}
+
+func encAdd(v uint64) []byte { return binary.BigEndian.AppendUint64(nil, v) }
+
+func addGroup(t *testing.T, cfg Config) *Group {
+	t.Helper()
+	if cfg.Machines == nil {
+		cfg.Machines = map[string]func() StateMachine{"add": newAddSM}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return NewGroup(cfg)
+}
+
+// settle advances virtual time so followers learn the commit index and
+// apply the tail.
+func settle(g *Group, ticks int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < ticks; i++ {
+		g.tickLocked()
+	}
+}
+
+// addState returns (total, applies) of member id's add machine.
+func addState(t *testing.T, g *Group, id int) (uint64, int) {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := g.reps[id]
+	if rep == nil {
+		t.Fatalf("member %d has no replica (crashed?)", id)
+	}
+	sm := rep.machines["add"].(*addSM)
+	return sm.total, sm.applies
+}
+
+func TestProposeAppliesOnAllReplicas(t *testing.T) {
+	g := addGroup(t, Config{})
+	var want uint64
+	for v := uint64(1); v <= 5; v++ {
+		want += v
+		resp, err := g.Propose("add", encAdd(v))
+		if err != nil {
+			t.Fatalf("Propose(%d): %v", v, err)
+		}
+		if got := binary.BigEndian.Uint64(resp); got != want {
+			t.Fatalf("Propose(%d) resp = %d, want %d", v, got, want)
+		}
+	}
+	settle(g, 20)
+	for id := 0; id < g.Members(); id++ {
+		total, applies := addState(t, g, id)
+		if total != want || applies != 5 {
+			t.Errorf("member %d: total=%d applies=%d, want total=%d applies=5",
+				id, total, applies, want)
+		}
+	}
+}
+
+func TestLeaderCrashFailsOver(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := addGroup(t, Config{Metrics: reg})
+	for v := uint64(1); v <= 3; v++ {
+		if _, err := g.Propose("add", encAdd(v)); err != nil {
+			t.Fatalf("Propose(%d): %v", v, err)
+		}
+	}
+	lead := g.Leader()
+	if lead < 0 {
+		t.Fatal("no leader after proposals")
+	}
+	if err := g.CrashMember(-1); err != nil { // -1 = current leader
+		t.Fatalf("CrashMember: %v", err)
+	}
+	for v := uint64(4); v <= 5; v++ {
+		if _, err := g.Propose("add", encAdd(v)); err != nil {
+			t.Fatalf("Propose(%d) after leader crash: %v", v, err)
+		}
+	}
+	if got := g.Leader(); got < 0 || got == lead {
+		t.Fatalf("leader after crash = %d, want a new live leader (crashed %d)", got, lead)
+	}
+	if n := reg.Counter("ha_failovers").Value(); n < 1 {
+		t.Errorf("ha_failovers = %d, want >= 1", n)
+	}
+	if reg.Histogram("ha_failover_ticks").Count() < 1 {
+		t.Error("ha_failover_ticks recorded no observations")
+	}
+	settle(g, 20)
+	for id := 0; id < g.Members(); id++ {
+		if id == lead {
+			continue
+		}
+		total, applies := addState(t, g, id)
+		if total != 15 || applies != 5 {
+			t.Errorf("member %d: total=%d applies=%d, want total=15 applies=5",
+				id, total, applies)
+		}
+	}
+}
+
+func TestReviveRebuildsFromDurableState(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := addGroup(t, Config{CompactEvery: 8, Metrics: reg})
+	for v := 0; v < 20; v++ {
+		if _, err := g.Propose("add", encAdd(1)); err != nil {
+			t.Fatalf("Propose: %v", err)
+		}
+	}
+	settle(g, 20)
+	victim := (g.Leader() + 1) % g.Members() // a follower
+	if err := g.CrashMember(victim); err != nil {
+		t.Fatalf("CrashMember(%d): %v", victim, err)
+	}
+	// Enough traffic while the follower is down that the leader compacts
+	// past the follower's log tail, forcing a snapshot install on rejoin.
+	for v := 0; v < 20; v++ {
+		if _, err := g.Propose("add", encAdd(1)); err != nil {
+			t.Fatalf("Propose with member down: %v", err)
+		}
+	}
+	if err := g.ReviveMember(-1); err != nil { // -1 = last crashed
+		t.Fatalf("ReviveMember: %v", err)
+	}
+	settle(g, 60)
+	for id := 0; id < g.Members(); id++ {
+		total, applies := addState(t, g, id)
+		if total != 40 || applies != 40 {
+			t.Errorf("member %d: total=%d applies=%d, want total=40 applies=40",
+				id, total, applies)
+		}
+	}
+	if reg.Counter("ha_member_restarts").Value() != 1 {
+		t.Errorf("ha_member_restarts = %d, want 1",
+			reg.Counter("ha_member_restarts").Value())
+	}
+}
+
+func TestPartitionedLeaderReproposesExactlyOnce(t *testing.T) {
+	g := addGroup(t, Config{})
+	if err := g.Query("add", func(StateMachine) error { return nil }); err != nil {
+		t.Fatalf("initial election: %v", err)
+	}
+	lead := g.Leader()
+	var rest []int
+	for id := 0; id < g.Members(); id++ {
+		if id != lead {
+			rest = append(rest, id)
+		}
+	}
+	g.Partition([]int{lead}, rest) // isolate the leader; majority elects a new one
+	resp, err := g.Propose("add", encAdd(7))
+	if err != nil {
+		t.Fatalf("Propose during leader partition: %v", err)
+	}
+	if got := binary.BigEndian.Uint64(resp); got != 7 {
+		t.Fatalf("resp = %d, want 7", got)
+	}
+	if got := g.Leader(); got == lead {
+		t.Fatalf("leader still %d after partition, expected a new leader", lead)
+	}
+	g.Heal()
+	settle(g, 40)
+	for id := 0; id < g.Members(); id++ {
+		total, applies := addState(t, g, id)
+		if total != 7 || applies != 1 {
+			t.Errorf("member %d: total=%d applies=%d, want total=7 applies=1 (dedup)",
+				id, total, applies)
+		}
+	}
+}
+
+func TestReplicaDeduplicatesBySequence(t *testing.T) {
+	g := addGroup(t, Config{})
+	rep := g.newReplica()
+	cmd := encodeEnvelope(1, "add", encAdd(9))
+	rep.apply(cmd)
+	rep.apply(cmd) // duplicate commit of the same command
+	sm := rep.machines["add"].(*addSM)
+	if sm.total != 9 || sm.applies != 1 {
+		t.Fatalf("total=%d applies=%d after duplicate apply, want total=9 applies=1",
+			sm.total, sm.applies)
+	}
+	if got := binary.BigEndian.Uint64(rep.lastResp); got != 9 {
+		t.Fatalf("lastResp = %d, want 9", got)
+	}
+}
+
+func TestMachinesAreIsolated(t *testing.T) {
+	g := addGroup(t, Config{Machines: map[string]func() StateMachine{
+		"a": newAddSM,
+		"b": newAddSM,
+	}})
+	if _, err := g.Propose("a", encAdd(5)); err != nil {
+		t.Fatalf("Propose(a): %v", err)
+	}
+	if _, err := g.Propose("b", encAdd(7)); err != nil {
+		t.Fatalf("Propose(b): %v", err)
+	}
+	check := func(name string, want uint64) {
+		t.Helper()
+		err := g.Query(name, func(sm StateMachine) error {
+			if got := sm.(*addSM).total; got != want {
+				t.Errorf("machine %s total = %d, want %d", name, got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Query(%s): %v", name, err)
+		}
+	}
+	check("a", 5)
+	check("b", 7)
+}
+
+func TestProposeFailsWithoutQuorum(t *testing.T) {
+	g := addGroup(t, Config{MaxOpTicks: 50})
+	if _, err := g.Propose("add", encAdd(1)); err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	lead := g.Leader()
+	for id := 0; id < g.Members(); id++ {
+		if id != lead {
+			if err := g.CrashMember(id); err != nil {
+				t.Fatalf("CrashMember(%d): %v", id, err)
+			}
+		}
+	}
+	if _, err := g.Propose("add", encAdd(2)); err == nil {
+		t.Fatal("Propose with quorum lost succeeded, want error")
+	}
+}
+
+func TestUnknownMachineRejected(t *testing.T) {
+	g := addGroup(t, Config{})
+	if _, err := g.Propose("nope", nil); err == nil {
+		t.Fatal("Propose to unknown machine succeeded")
+	}
+	if err := g.Query("nope", func(StateMachine) error { return nil }); err == nil {
+		t.Fatal("Query of unknown machine succeeded")
+	}
+}

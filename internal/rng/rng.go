@@ -43,6 +43,14 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's internal state for serialization; restore
+// it with SetState to resume the exact sequence. Replicated state machines
+// use this so a snapshot captures in-flight placement randomness.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously returned by State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

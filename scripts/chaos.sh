@@ -21,6 +21,12 @@ echo "== chaos acceptance tests (race, seeds: $SEEDS) =="
 # linearizability sweep and the stale-read checker self-test.
 CHAOS_SEEDS="$SEEDS" go test -race -run 'TestChaos' . -count=1
 
+echo "== control-plane HA sweep (race, seeds: $SEEDS) =="
+# Namenode leader crash + coordinator crash mid-job under the "ha"
+# preset: the job must finish, record a failover and resume journaled
+# stages (TestHAAcceptance), deterministically (TestHADeterministicReplay).
+HA_SEEDS="$SEEDS" go test -race -run 'TestHA' . -count=1
+
 echo "== stream exactly-once recovery sweep (race, seeds: $SEEDS) =="
 STREAM_SEEDS="$SEEDS" go test -race -run 'TestStream' . -count=1
 go test -race -run 'TestPipelineCloseRace|TestSessionizerCloseRace|TestRunner' \
@@ -39,12 +45,12 @@ for preset in $PRESETS; do
     done
 done
 
-echo "== oracle-checked experiment pass (EFT, E-SFT, E5) =="
+echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E5) =="
 # Every chaos run above re-ran the job; this pass ends the sweep with the
 # experiment suite's own verdicts: batch oracle diffs (EFT), stream
-# window oracles (E-SFT) and linearizability (E5). -check exits nonzero
-# on any mismatch.
-go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E5 -check
+# window oracles (E-SFT), control-plane failover oracles (E-HA) and
+# linearizability (E5). -check exits nonzero on any mismatch.
+go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E5 -check
 
 echo "== linearizability checker self-test (must fail under -stale) =="
 if go run ./cmd/hpbdc-kvbench -ops 2000 -keys 200 -check -stale >/dev/null 2>&1; then

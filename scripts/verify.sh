@@ -27,7 +27,8 @@ go test -race ./internal/metrics/... ./internal/trace/... \
     ./internal/obs/... ./internal/core/... ./internal/shuffle/... \
     ./internal/dfs/... ./internal/sched/... ./internal/netsim/... \
     ./internal/cluster/... ./internal/chaos/... ./internal/stream/... \
-    ./internal/check/... ./internal/kvstore/...
+    ./internal/check/... ./internal/kvstore/... ./internal/ha/... \
+    ./internal/consensus/...
 
 sh scripts/coverage.sh
 
