@@ -1,11 +1,18 @@
 // Command hpbdc-bench runs the reconstructed evaluation suite (DESIGN.md,
-// experiments E1..E12) and prints each experiment's table.
+// experiments E1..E12) and prints each experiment's table. With -bench it
+// instead runs the perf-trajectory families and reads/writes the
+// BENCH_<family>.json baselines.
 //
 //	hpbdc-bench                 # run everything at full scale
 //	hpbdc-bench -small          # quick pass (CI-sized inputs)
 //	hpbdc-bench -run E1,E5,E12  # a subset
 //	hpbdc-bench -metrics-addr :9090 -trace-out run.json
 //	                            # scrapeable /metrics + Perfetto trace file
+//	hpbdc-bench -bench all -bench-quick -bench-out .
+//	                            # regenerate the committed quick baselines
+//	hpbdc-bench -bench all -bench-quick -bench-diff .
+//	                            # compare a fresh run against them; exit 1
+//	                            # on any shape break or regression
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/trace"
 )
 
@@ -42,7 +50,25 @@ func main() {
 			"-seed and -chaos override its seed and schedule sweeps, -check verifies the oracle")
 	checkFlag := flag.Bool("check", false,
 		"after the run, print the oracle/linearizability harness verdict and exit nonzero on any mismatch")
+	bench := flag.String("bench", "",
+		"run perf-trajectory families instead of experiments: a comma list of "+
+			strings.Join(perf.Families(), ",")+" or 'all'")
+	benchOut := flag.String("bench-out", "",
+		"directory to write BENCH_<family>.json results into (with -bench)")
+	benchDiff := flag.String("bench-diff", "",
+		"directory holding baseline BENCH_<family>.json files to diff against; exit 1 on regression (with -bench)")
+	benchQuick := flag.Bool("bench-quick", false, "CI-sized bench inputs (quick baselines only diff against quick runs)")
+	benchSeed := flag.Uint64("bench-seed", 42, "workload seed for -bench")
+	benchThreshold := flag.Float64("bench-threshold", perf.DefaultThreshold,
+		"relative metric change treated as a regression by -bench-diff")
+	benchInject := flag.Float64("bench-inject", 0,
+		"TESTING: scale measured throughput metrics by this factor before diffing "+
+			"(e.g. 0.3 fakes a 70% slowdown so the gate can be self-tested)")
 	flag.Parse()
+
+	if *bench != "" {
+		os.Exit(runBench(*bench, *benchOut, *benchDiff, *benchQuick, *benchSeed, *benchThreshold, *benchInject))
+	}
 
 	if *haFlag {
 		spec, err := loadChaosSpec(*chaosSpec)
@@ -160,6 +186,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "done; still serving on %s — Ctrl-C to exit\n", *metricsAddr)
 		select {}
 	}
+}
+
+// runBench executes the selected perf families, optionally writes their
+// BENCH_<family>.json files and/or diffs them against a baseline
+// directory. Returns the process exit code: 0 clean, 1 on regression or
+// shape break, 2 on usage/run errors.
+func runBench(list, outDir, diffDir string, quickMode bool, seed uint64, threshold, inject float64) int {
+	var fams []string
+	if list == "all" {
+		fams = perf.Families()
+	} else {
+		for _, f := range strings.Split(list, ",") {
+			fams = append(fams, strings.TrimSpace(f))
+		}
+	}
+	failed := false
+	for _, fam := range fams {
+		t0 := time.Now()
+		res, err := perf.Run(fam, perf.Options{Quick: quickMode, Seed: seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench %s: %v\n", fam, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "bench %s: %d windows in %v\n",
+			fam, len(res.Windows), time.Since(t0).Round(time.Millisecond))
+		if inject > 0 && inject != 1 {
+			for k, v := range res.Metrics {
+				if strings.HasSuffix(k, "_per_sec") {
+					res.Metrics[k] = v * inject
+				}
+			}
+			fmt.Fprintf(os.Stderr, "bench %s: throughput metrics scaled by %g (-bench-inject)\n", fam, inject)
+		}
+		if outDir != "" {
+			path, err := res.WriteFile(outDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench %s: %v\n", fam, err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "bench %s: wrote %s\n", fam, path)
+		}
+		if diffDir != "" {
+			basePath := diffDir + string(os.PathSeparator) + perf.Filename(fam)
+			base, err := perf.Load(basePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench %s: baseline: %v\n", fam, err)
+				return 2
+			}
+			rep := perf.Diff(base, res, perf.DiffOptions{Threshold: threshold})
+			fmt.Print(rep.String())
+			if !rep.OK() {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // loadChaosSpec resolves the -chaos flag: a path to a schedule file is

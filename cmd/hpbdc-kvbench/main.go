@@ -3,6 +3,8 @@
 // activity.
 //
 //	hpbdc-kvbench -ops 500000 -r 2 -w 2 -skew 0.99 -transport tcp
+//	hpbdc-kvbench -json -ops 20000 > kv.json   # perf-schema result JSON
+//	hpbdc-kvbench -json -bench-diff .          # diff against BENCH_kv.json
 package main
 
 import (
@@ -10,11 +12,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/check"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
+	"repro/internal/perf"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -34,8 +38,94 @@ func main() {
 		"after the benchmark, capture a concurrent client history and verify linearizability; exit nonzero on violation")
 	stale := flag.Bool("stale", false,
 		"enable the stale-read fault injection (with -check, demonstrates the checker catching the violation)")
+	jsonOut := flag.Bool("json", false,
+		"run through the perf harness and print a BENCH-schema result JSON instead of the human summary "+
+			"(uses the shared perf topology and quorum so results are comparable to BENCH_kv.json)")
+	benchSeed := flag.Uint64("seed", 42, "workload seed (with -json)")
+	quick := flag.Bool("quick", false, "CI-sized workload defaults (with -json)")
+	benchOut := flag.String("bench-out", "", "also write BENCH_kv.json into this directory (with -json)")
+	benchDiff := flag.String("bench-diff", "",
+		"diff the result against BENCH_kv.json in this directory; exit 1 on regression (with -json)")
 	flag.Parse()
 
+	if *jsonOut {
+		// Workload-shaping flags only carry over when the user set them
+		// explicitly; otherwise the perf harness defaults apply, keeping the
+		// result comparable to the committed baseline.
+		opts := perf.Options{Quick: *quick, Seed: *benchSeed}
+		if flagWasSet("ops") {
+			opts.Ops = *ops
+		}
+		if flagWasSet("keys") {
+			opts.Keys = *keys
+		}
+		if flagWasSet("skew") {
+			opts.Skew = *skew
+		}
+		if flagWasSet("reads") {
+			opts.ReadFrac = *readFrac
+		}
+		if flagWasSet("value") {
+			opts.ValueSize = *valueSize
+		}
+		if flagWasSet("transport") {
+			opts.Transport = *transport
+		}
+		os.Exit(emitPerfResult("kv", opts, *benchOut, *benchDiff))
+	}
+
+	runClassic(ops, keys, n, r, w, skew, readFrac, valueSize, transport, nodes, checkFlag, stale)
+}
+
+// flagWasSet reports whether the named flag was passed explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// emitPerfResult runs a perf family and prints its BENCH-schema JSON to
+// stdout; optionally writes/diffs the baseline file. Returns the exit
+// code.
+func emitPerfResult(family string, opts perf.Options, outDir, diffDir string) int {
+	res, err := perf.Run(family, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	b, err := res.Encode()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	os.Stdout.Write(b)
+	if outDir != "" {
+		if _, err := res.WriteFile(outDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if diffDir != "" {
+		base, err := perf.Load(filepath.Join(diffDir, perf.Filename(family)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		rep := perf.Diff(base, res, perf.DiffOptions{})
+		fmt.Fprint(os.Stderr, rep.String())
+		if !rep.OK() {
+			return 1
+		}
+	}
+	return 0
+}
+
+func runClassic(ops, keys, n, r, w *int, skew, readFrac *float64, valueSize *int,
+	transport *string, nodes *int, checkFlag, stale *bool) {
 	var model netsim.Model
 	switch *transport {
 	case "rdma":

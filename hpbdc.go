@@ -219,6 +219,17 @@ func New(cfg Config) *Context {
 	if cfg.EnableTracing {
 		c.tracer = trace.New()
 		eng.SetTracer(c.tracer)
+		// The same recorder reaches every layer that emits causally
+		// linked spans: the fabric records shuffle fetches under the
+		// fetching task, the control-plane group records failovers and
+		// journal proposals, and the chaos controller marks injected
+		// faults as instant events on the affected track — one merged
+		// cross-node timeline per job.
+		fabric.SetTracer(c.tracer)
+		if group != nil {
+			group.SetTracer(c.tracer)
+		}
+		c.chaos.SetTracer(c.tracer)
 	}
 	return c
 }

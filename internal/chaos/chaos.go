@@ -15,12 +15,14 @@
 package chaos
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // ComputeTarget is the executor-cluster surface chaos drives
@@ -140,6 +142,38 @@ type Controller struct {
 	applied *metrics.CounterVec // chaos_events_applied{kind}
 	heals   *metrics.Counter    // partition_heals
 	vtime   *metrics.Gauge      // chaos_vtime
+
+	tracer *trace.Recorder // optional: instant events per injected fault
+}
+
+// SetTracer attaches a trace recorder: every applied fault is recorded
+// as an instant event on the track of the component it hits (the node's
+// executor track, "network", "ha", the driver), so injections appear
+// inline on the cross-node timeline next to the work they disrupted.
+// Nil detaches.
+func (c *Controller) SetTracer(r *trace.Recorder) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.tracer = r
+	c.mu.Unlock()
+}
+
+// trackOf maps an event to the timeline track it annotates.
+func trackOf(e Event) string {
+	switch e.Kind {
+	case Partition, Heal, Drop, Undrop:
+		return "network"
+	case StreamCrash, StreamRestore:
+		return fmt.Sprintf("stream-worker-%02d", int(e.Node))
+	case NNCrash, NNRevive:
+		return "ha"
+	case CoordCrash:
+		return "driver"
+	default:
+		return fmt.Sprintf("node-%02d", int(e.Node))
+	}
 }
 
 // New builds a controller over a schedule. Wildcard event nodes are
@@ -373,6 +407,10 @@ func (c *Controller) apply(e Event) {
 		}
 	}
 	c.applied.With(string(e.Kind)).Inc()
+	c.tracer.Instant(fmt.Sprintf("chaos %s", e.Kind), "chaos", trackOf(e), map[string]string{
+		"kind":  string(e.Kind),
+		"vtime": fmt.Sprint(e.At),
+	})
 }
 
 // memberID translates a schedule member token into the ha.Group call

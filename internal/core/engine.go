@@ -255,6 +255,23 @@ func (e *Engine) RunCtx(ctx context.Context, p *Plan) ([][]Row, error) {
 		defer cancel()
 	}
 	e.setJobPlans(p)
+	// The job root span opens a fresh trace; stages (and through them
+	// tasks, fetches, journal appends) parent under it via the context,
+	// so one RunCtx = one cross-node trace id.
+	endJob, jobTC := e.tracerRef().BeginCtx(
+		fmt.Sprintf("job p%d", p.id), "job", "driver", trace.TraceContext{})
+	out, err := e.runJob(withJobTrace(ctx, jobTC), p)
+	outcome := "ok"
+	if err != nil {
+		outcome = err.Error()
+	}
+	endJob(map[string]string{"outcome": outcome})
+	return out, err
+}
+
+// runJob is RunCtx's retry loop, split out so the job span cleanly
+// brackets it.
+func (e *Engine) runJob(ctx context.Context, p *Plan) ([][]Row, error) {
 	var lastErr error
 	for attempt := 0; attempt <= e.cfg.MaxStageRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -285,6 +302,25 @@ func (e *Engine) RunCtx(ctx context.Context, p *Plan) ([][]Row, error) {
 		lastErr = err
 	}
 	return nil, fmt.Errorf("%w: %v", ErrJobAborted, lastErr)
+}
+
+// jobTraceKey carries the running job's TraceContext through the
+// context.Context already threaded into every stage runner, so causal
+// linkage needs no extra plumbing through ensure's recursion.
+type jobTraceKeyType struct{}
+
+var jobTraceKey jobTraceKeyType
+
+func withJobTrace(ctx context.Context, tc trace.TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, jobTraceKey, tc)
+}
+
+func jobTraceFrom(ctx context.Context) trace.TraceContext {
+	tc, _ := ctx.Value(jobTraceKey).(trace.TraceContext)
+	return tc
 }
 
 // abortErr converts a context error into the engine's abort error,
@@ -483,11 +519,11 @@ func (e *Engine) runMapStage(ctx context.Context, p *Plan) error {
 	}
 	e.Reg.Counter("stages_run").Inc()
 	stage := fmt.Sprintf("map s%d", p.id)
-	endStage := e.tracerRef().Begin(stage, "stage", "driver")
+	endStage, stageTC := e.tracerRef().BeginCtx(stage, "stage", "driver", jobTraceFrom(ctx))
 	shuffleID := strconv.Itoa(p.id)
 	partBytes := e.Reg.CounterVec("shuffle_partition_bytes", "shuffle", "partition")
 	partRecords := e.Reg.CounterVec("shuffle_partition_records", "shuffle", "partition")
-	err := e.runTasks(ctx, stage, pending, e.prefsOf(p.parent), func(tc *TaskContext) error {
+	err := e.runTasks(ctx, stage, stageTC, pending, e.prefsOf(p.parent), func(tc *TaskContext) error {
 		rows, err := e.computePartition(p.parent, tc)
 		if err != nil {
 			return err
@@ -531,7 +567,7 @@ func (e *Engine) runMapStage(ctx context.Context, p *Plan) error {
 	})
 	endStage(map[string]string{"tasks": strconv.Itoa(len(pending))})
 	if err == nil {
-		e.journalStage(p, st)
+		e.journalStage(p, st, stageTC)
 	}
 	return err
 }
@@ -560,8 +596,8 @@ func (e *Engine) runResult(ctx context.Context, p *Plan) ([][]Row, error) {
 	}
 	e.Reg.Counter("stages_run").Inc()
 	stage := fmt.Sprintf("result s%d", p.id)
-	endStage := e.tracerRef().Begin(stage, "stage", "driver")
-	err := e.runTasks(ctx, stage, parts, e.prefsOf(p), func(tc *TaskContext) error {
+	endStage, stageTC := e.tracerRef().BeginCtx(stage, "stage", "driver", jobTraceFrom(ctx))
+	err := e.runTasks(ctx, stage, stageTC, parts, e.prefsOf(p), func(tc *TaskContext) error {
 		rows, err := e.computePartition(p, tc)
 		if err != nil {
 			return err
@@ -606,7 +642,7 @@ func (e *Engine) prefsOf(p *Plan) func(part int) []topology.NodeID {
 // the spans recorded for each task; panics inside fn are converted into
 // task errors with the span still recorded. ctx cancellation stops the
 // retry loop promptly — including mid-backoff and mid-wave.
-func (e *Engine) runTasks(ctx context.Context, stage string, parts []int, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) error {
+func (e *Engine) runTasks(ctx context.Context, stage string, stageTC trace.TraceContext, parts []int, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) error {
 	attempts := map[int]int{}
 	pending := append([]int(nil), parts...)
 	for len(pending) > 0 {
@@ -624,7 +660,7 @@ func (e *Engine) runTasks(ctx context.Context, stage string, parts []int, prefs 
 		if len(live) == 0 {
 			return ErrNoLiveNodes
 		}
-		failed, err := e.runWave(ctx, stage, pending, attempts, live, prefs, fn)
+		failed, err := e.runWave(ctx, stage, stageTC, pending, attempts, live, prefs, fn)
 		if err != nil {
 			return err
 		}
@@ -735,7 +771,7 @@ type taskState struct {
 // speculation is on, and resolves outcomes deterministically in partition
 // index order once every copy has reported. It returns the partitions
 // that must retry.
-func (e *Engine) runWave(ctx context.Context, stage string, pending []int, attempts map[int]int, live []topology.NodeID, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) ([]int, error) {
+func (e *Engine) runWave(ctx context.Context, stage string, stageTC trace.TraceContext, pending []int, attempts map[int]int, live []topology.NodeID, prefs func(int) []topology.NodeID, fn func(*TaskContext) error) ([]int, error) {
 	n := len(pending)
 	liveSet := map[topology.NodeID]bool{}
 	for _, nd := range live {
@@ -757,9 +793,10 @@ func (e *Engine) runWave(ctx context.Context, stage string, pending []int, attem
 		start := time.Now()
 		tracer := e.tracerRef()
 		fut := e.cfg.Cluster.Submit(node, func() (err error) {
-			end := tracer.Begin(
+			end, taskTC := tracer.BeginCtx(
 				fmt.Sprintf("task p%d a%d", tc.Partition, tc.Attempt),
-				"task", fmt.Sprintf("node-%02d", node))
+				"task", fmt.Sprintf("node-%02d", node), stageTC)
+			tc.Trace = taskTC
 			defer func() {
 				e.Reg.Histogram("task_duration_ns").ObserveDuration(time.Since(start))
 				if p := recover(); p != nil {
@@ -1074,7 +1111,8 @@ func (e *Engine) readShuffle(p *Plan, ctx *TaskContext) ([]Row, error) {
 				continue
 			}
 			blocks = append(blocks, b)
-			cost := fabric.Cost(owner, ctx.Node, int64(len(b.Data)))
+			cost := fabric.CostCtx(owner, ctx.Node, int64(len(b.Data)), ctx.Trace,
+				fmt.Sprintf("fetch s%d m%d", p.id, mapPart))
 			e.Reg.Counter("net_time_ns").Add(int64(cost))
 			e.Reg.Counter("shuffle_bytes_fetched").Add(int64(len(b.Data)))
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/shuffle"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // errCoordCrashed aborts the current attempt when a chaos schedule
@@ -26,6 +27,15 @@ type Journal interface {
 	Append(rec []byte) error
 	// Replay returns every record in append order.
 	Replay() ([][]byte, error)
+}
+
+// CtxJournal is optionally implemented by journals that can carry the
+// causal trace context of the stage whose completion is being recorded
+// — ha.Journal threads it onto the underlying Raft proposal so the
+// consensus round appears in the job's cross-node timeline. Journals
+// without it get plain Append.
+type CtxJournal interface {
+	AppendCtx(rec []byte, tc trace.TraceContext) error
 }
 
 // SetJournal attaches a progress journal after construction (the
@@ -167,7 +177,7 @@ func (e *Engine) fingerprintOf(planID int) uint64 {
 // plan id, and the owner node of each map partition. Journaling is
 // best-effort — a failed append (e.g. the control-plane quorum is
 // briefly lost) degrades recovery, not the running job.
-func (e *Engine) journalStage(p *Plan, st *shuffleState) {
+func (e *Engine) journalStage(p *Plan, st *shuffleState, tc trace.TraceContext) {
 	j := e.journalRef()
 	if j == nil {
 		return
@@ -179,7 +189,13 @@ func (e *Engine) journalStage(p *Plan, st *shuffleState) {
 	}
 	st.mu.Unlock()
 	rec := fmt.Sprintf("stage %d %d %s", e.fingerprintOf(p.id), p.id, strings.Join(owners, ","))
-	if err := j.Append([]byte(rec)); err != nil {
+	var err error
+	if cj, ok := j.(CtxJournal); ok && tc.Valid() {
+		err = cj.AppendCtx([]byte(rec), tc)
+	} else {
+		err = j.Append([]byte(rec))
+	}
+	if err != nil {
 		e.Reg.Counter("journal_append_failures").Inc()
 	}
 }

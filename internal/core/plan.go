@@ -12,6 +12,7 @@ package core
 import (
 	"repro/internal/shuffle"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Row is one element of a dataset partition. The engine is untyped; the
@@ -26,6 +27,11 @@ type TaskContext struct {
 	Partition int
 	// Attempt counts retries of this partition (0 = first try).
 	Attempt int
+	// Trace is the task's causal context: shuffle fetches and any other
+	// downstream work issued by the task parent their spans under it, so
+	// the cross-node timeline links executor work back to the stage and
+	// job that caused it. Zero when tracing is off.
+	Trace trace.TraceContext
 }
 
 // ShuffleDep describes how a plan's input is redistributed: how rows of the

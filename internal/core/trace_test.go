@@ -20,13 +20,13 @@ func TestEngineEmitsTaskSpans(t *testing.T) {
 	if len(spans) == 0 {
 		t.Fatal("no spans recorded")
 	}
-	// Map stage (3 tasks) + result stage (2 tasks), plus one driver-side
-	// stage span each.
-	if len(spans) != 7 {
-		t.Fatalf("spans = %d, want 7", len(spans))
+	// Map stage (3 tasks) + result stage (2 tasks), one driver-side stage
+	// span each, plus the job root span.
+	if len(spans) != 8 {
+		t.Fatalf("spans = %d, want 8", len(spans))
 	}
 	tracks := map[string]bool{}
-	taskSpans, stageSpans := 0, 0
+	taskSpans, stageSpans, jobSpans := 0, 0, 0
 	for _, s := range spans {
 		switch s.Category {
 		case "task":
@@ -43,12 +43,34 @@ func TestEngineEmitsTaskSpans(t *testing.T) {
 			if s.Track != "driver" {
 				t.Fatalf("stage span track %q", s.Track)
 			}
+		case "job":
+			jobSpans++
+			if s.Track != "driver" || s.Parent != 0 {
+				t.Fatalf("job span = %+v", s)
+			}
 		default:
 			t.Fatalf("span category %q", s.Category)
 		}
 	}
-	if taskSpans != 5 || stageSpans != 2 {
-		t.Fatalf("tasks=%d stages=%d", taskSpans, stageSpans)
+	if taskSpans != 5 || stageSpans != 2 || jobSpans != 1 {
+		t.Fatalf("tasks=%d stages=%d jobs=%d", taskSpans, stageSpans, jobSpans)
+	}
+	// Every span belongs to one trace, and parent links resolve: task →
+	// stage → job.
+	if ids := trace.TraceIDs(spans); len(ids) != 1 {
+		t.Fatalf("trace ids = %v, want exactly 1", ids)
+	}
+	tl := trace.BuildTimeline(spans, spans[0].Trace)
+	if len(tl.Roots) != 1 || tl.Roots[0].Span.Category != "job" {
+		t.Fatalf("timeline roots = %+v", tl.Roots)
+	}
+	for _, s := range spans {
+		if s.Category == "task" {
+			path := tl.PathToRoot(s.ID)
+			if len(path) != 3 || path[1].Span.Category != "stage" || path[2].Span.Category != "job" {
+				t.Fatalf("task %q path len=%d, want task→stage→job", s.Name, len(path))
+			}
+		}
 	}
 	if len(tracks) == 0 {
 		t.Fatal("no executor tracks")

@@ -344,6 +344,34 @@ func (g *Group) responseLocked(seq uint64) ([]byte, bool) {
 // if the quorum returns; callers treat the operation's outcome as
 // unknown, exactly as with a real lost client connection.
 func (g *Group) Propose(machine string, payload []byte) ([]byte, error) {
+	return g.ProposeCtx(machine, payload, trace.TraceContext{})
+}
+
+// ProposeCtx is Propose with causal linkage: when a tracer is attached
+// and parent carries a live trace, the consensus round is recorded as a
+// "propose <machine>" span on the "ha" track parented under the caller
+// (e.g. the engine stage whose journal record rides this proposal), so
+// control-plane commits appear in the job's cross-node timeline.
+func (g *Group) ProposeCtx(machine string, payload []byte, parent trace.TraceContext) ([]byte, error) {
+	g.mu.Lock()
+	tr := g.tracer
+	g.mu.Unlock()
+	var end func(map[string]string)
+	if tr != nil && parent.Valid() {
+		end, _ = tr.BeginCtx("propose "+machine, "consensus", "ha", parent)
+	}
+	resp, err := g.propose(machine, payload)
+	if end != nil {
+		outcome := "committed"
+		if err != nil {
+			outcome = err.Error()
+		}
+		end(map[string]string{"outcome": outcome, "bytes": fmt.Sprintf("%d", len(payload))})
+	}
+	return resp, err
+}
+
+func (g *Group) propose(machine string, payload []byte) ([]byte, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if _, ok := g.cfg.Machines[machine]; !ok {

@@ -1,6 +1,10 @@
 package ha
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"repro/internal/trace"
+)
 
 // JournalMachine is an append-only record log as a replicated state
 // machine: the batch coordinator writes job-progress records (plan
@@ -64,6 +68,15 @@ func NewJournal(g *Group, machine string) *Journal {
 // Append replicates one record.
 func (j *Journal) Append(rec []byte) error {
 	_, err := j.g.Propose(j.machine, rec)
+	return err
+}
+
+// AppendCtx replicates one record with the caller's trace context
+// threaded onto the Raft proposal, satisfying core.CtxJournal: the
+// stage-completion commit shows up in the job's timeline as a consensus
+// span under the stage that journaled it.
+func (j *Journal) AppendCtx(rec []byte, tc trace.TraceContext) error {
+	_, err := j.g.ProposeCtx(j.machine, rec, tc)
 	return err
 }
 

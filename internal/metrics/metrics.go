@@ -240,16 +240,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 	}
 }
 
 // HistogramSnapshot is a point-in-time summary of a Histogram.
 type HistogramSnapshot struct {
-	Count         int64
-	Sum           int64
-	Mean          float64
-	Min, Max      int64
-	P50, P95, P99 int64
+	Count               int64
+	Sum                 int64
+	Mean                float64
+	Min, Max            int64
+	P50, P95, P99, P999 int64
 }
 
 // String renders the snapshot treating values as nanoseconds.

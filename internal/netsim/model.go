@@ -13,11 +13,13 @@
 package netsim
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Model is a transport cost model. All transfers over a fabric built with
@@ -88,10 +90,42 @@ type fabricMetrics struct {
 // conditions (partitions, degraded links — see conditions.go) attach
 // through atomic pointers, so Fabric stays safe for concurrent use.
 type Fabric struct {
-	top   *topology.Topology
-	model Model
-	m     atomic.Pointer[fabricMetrics]
-	cond  atomic.Pointer[conditions]
+	top    *topology.Topology
+	model  Model
+	m      atomic.Pointer[fabricMetrics]
+	cond   atomic.Pointer[conditions]
+	tracer atomic.Pointer[trace.Recorder]
+}
+
+// SetTracer attaches a trace recorder: CostCtx calls record each
+// simulated transfer as a causally-linked span on the destination
+// node's track. Nil detaches. Plain Cost stays untraced — per-query
+// span overhead is only paid where a caller opted in with context.
+func (f *Fabric) SetTracer(r *trace.Recorder) { f.tracer.Store(r) }
+
+// CostCtx is Cost plus causal tracing: when a tracer is attached and
+// parent carries a live trace, the transfer is recorded as a "net"
+// span on dst's track, parented under the task (or barrier, or
+// proposal) that issued it. The span's Duration is the simulated
+// transfer time, not wall time — the trace shows what the fabric
+// charged. label names the transfer (e.g. "fetch s1 p3 b0").
+func (f *Fabric) CostCtx(src, dst topology.NodeID, bytes int64, parent trace.TraceContext, label string) time.Duration {
+	d := f.Cost(src, dst, bytes)
+	if r := f.tracer.Load(); r != nil && parent.Valid() {
+		r.AddCtx(trace.Span{
+			Name:     label,
+			Category: "net",
+			Track:    fmt.Sprintf("node-%02d", int(dst)),
+			Start:    r.Now(),
+			Duration: d,
+			Args: map[string]string{
+				"src":   fmt.Sprintf("%d", int(src)),
+				"dst":   fmt.Sprintf("%d", int(dst)),
+				"bytes": fmt.Sprintf("%d", bytes),
+			},
+		}, parent)
+	}
+	return d
 }
 
 // Instrument attaches transfer counters to reg: cost-query volume

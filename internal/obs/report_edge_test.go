@@ -1,0 +1,96 @@
+package obs
+
+// Degenerate-input coverage for report construction: stages with no
+// tasks (a driver span for a stage whose work was all journal-resumed or
+// deadline-aborted), single-task stages (straggler detection has no peer
+// population), and shuffles whose partitions are all empty (a filter
+// that dropped every record still registers the partition counters).
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func TestBuildZeroTaskStage(t *testing.T) {
+	spans := []trace.Span{
+		{Name: "map s1 (resumed)", Category: CategoryStage, Track: "driver", Start: 0, Duration: ms(4)},
+	}
+	r := Build("resumed", spans, metrics.Snapshot{}, Options{})
+	if len(r.Stages) != 1 {
+		t.Fatalf("stages = %+v", r.Stages)
+	}
+	st := r.Stages[0]
+	if st.Tasks != 0 || st.Busy != 0 || len(st.Stragglers) != 0 {
+		t.Fatalf("zero-task stage = %+v", st)
+	}
+	// The driver-side span still supplies the wall clock.
+	if st.Wall != ms(4) {
+		t.Fatalf("wall = %v, want 4ms", st.Wall)
+	}
+	if st.P50 != 0 || st.P95 != 0 || st.Max != 0 {
+		t.Fatalf("percentiles of an empty population must be zero: %+v", st)
+	}
+	// Rendering must not divide by the zero task count.
+	if out := r.String(); !strings.Contains(out, "map s1 (resumed)") {
+		t.Fatalf("String() missing stage:\n%s", out)
+	}
+}
+
+func TestBuildSingleTaskStage(t *testing.T) {
+	spans := []trace.Span{
+		{Name: "result", Category: CategoryStage, Track: "driver", Start: ms(1), Duration: ms(20)},
+		taskSpan("task p0 a0", "node-03", "result", ms(2), ms(18)),
+	}
+	r := Build("tiny", spans, metrics.Snapshot{}, Options{})
+	if len(r.Stages) != 1 {
+		t.Fatalf("stages = %+v", r.Stages)
+	}
+	st := r.Stages[0]
+	if st.Tasks != 1 || st.Busy != ms(18) {
+		t.Fatalf("single-task stage = %+v", st)
+	}
+	// With one sample every percentile is that sample.
+	if st.P50 != ms(18) || st.P95 != ms(18) || st.Max != ms(18) {
+		t.Fatalf("percentiles = p50 %v p95 %v max %v", st.P50, st.P95, st.Max)
+	}
+	// One task has no peers to lag behind — never a straggler, even at an
+	// aggressive threshold.
+	if len(st.Stragglers) != 0 {
+		t.Fatalf("stragglers = %+v", st.Stragglers)
+	}
+	r2 := Build("tiny", spans, metrics.Snapshot{}, Options{StragglerK: 1.01, MinStragglerTasks: 1})
+	for _, sg := range r2.Stages[0].Stragglers {
+		if sg.Ratio > 1.01 {
+			t.Fatalf("single task flagged as straggler of itself: %+v", sg)
+		}
+	}
+}
+
+func TestShuffleSkewAllEmptyPartitions(t *testing.T) {
+	reg := metrics.NewRegistry()
+	bytesVec := reg.CounterVec(MetricPartitionBytes, "shuffle", "partition")
+	recsVec := reg.CounterVec(MetricPartitionRecords, "shuffle", "partition")
+	// Every partition registered, nothing written to any of them.
+	for _, p := range []string{"0", "1", "2", "3"} {
+		bytesVec.With("7", p).Add(0)
+		recsVec.With("7", p).Add(0)
+	}
+	r := Build("empty-shuffle", nil, reg.Snapshot(), Options{})
+	if len(r.Shuffles) != 1 {
+		t.Fatalf("shuffles = %+v", r.Shuffles)
+	}
+	ss := r.Shuffles[0]
+	if ss.Partitions != 4 || ss.TotalBytes != 0 || ss.TotalRecords != 0 || ss.MaxBytes != 0 {
+		t.Fatalf("empty shuffle = %+v", ss)
+	}
+	// Zero mean must not produce an Inf/NaN imbalance.
+	if ss.Imbalance != 0 {
+		t.Fatalf("imbalance of an all-empty shuffle = %v, want 0", ss.Imbalance)
+	}
+	if out := r.String(); !strings.Contains(out, "empty-shuffle") {
+		t.Fatalf("String():\n%s", out)
+	}
+}

@@ -1,0 +1,139 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseResult() *Result {
+	return &Result{
+		Schema: SchemaVersion,
+		Family: "kv",
+		Params: map[string]string{"ops": "1000", "seed": "42"},
+		Shape:  map[string]int64{"ops": 1000, "checksum": 77},
+		Metrics: map[string]float64{
+			"ops_per_sec": 1000,
+			"get_p99_ns":  5000,
+		},
+		Windows: []Window{{Count: 500}, {Count: 500}},
+	}
+}
+
+func TestDiffIdenticalPasses(t *testing.T) {
+	rep := Diff(baseResult(), baseResult(), DiffOptions{})
+	if !rep.OK() {
+		t.Fatalf("identical results should pass:\n%s", rep)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("no fields checked")
+	}
+}
+
+func TestDiffFlagsThroughputRegression(t *testing.T) {
+	cur := baseResult()
+	cur.Metrics["ops_per_sec"] = 400 // -60%, past the 50% threshold
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if rep.OK() {
+		t.Fatal("60% throughput drop must be flagged")
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Kind != KindRegression ||
+		rep.Findings[0].Field != "ops_per_sec" {
+		t.Fatalf("findings = %+v", rep.Findings)
+	}
+}
+
+func TestDiffFlagsLatencyRegression(t *testing.T) {
+	cur := baseResult()
+	cur.Metrics["get_p99_ns"] = 9000 // +80%
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if rep.OK() || rep.Findings[0].Field != "get_p99_ns" {
+		t.Fatalf("latency rise must be flagged: %+v", rep.Findings)
+	}
+}
+
+func TestDiffImprovementsPass(t *testing.T) {
+	cur := baseResult()
+	cur.Metrics["ops_per_sec"] = 5000 // 5x faster
+	cur.Metrics["get_p99_ns"] = 100   // 50x lower latency
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if !rep.OK() {
+		t.Fatalf("improvements must pass silently:\n%s", rep)
+	}
+}
+
+func TestDiffInThresholdDriftPasses(t *testing.T) {
+	cur := baseResult()
+	cur.Metrics["ops_per_sec"] = 700 // -30%, inside 50%
+	cur.Metrics["get_p99_ns"] = 7000 // +40%, inside 50%
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if !rep.OK() {
+		t.Fatalf("in-threshold drift must pass:\n%s", rep)
+	}
+}
+
+func TestDiffThresholdOption(t *testing.T) {
+	cur := baseResult()
+	cur.Metrics["ops_per_sec"] = 850 // -15%
+	if rep := Diff(baseResult(), cur, DiffOptions{Threshold: 0.10}); rep.OK() {
+		t.Fatal("tightened threshold must flag a 15% drop")
+	}
+	if rep := Diff(baseResult(), cur, DiffOptions{Threshold: 0.20}); !rep.OK() {
+		t.Fatal("15% drop is inside a 20% threshold")
+	}
+}
+
+func TestDiffShapeMismatchFails(t *testing.T) {
+	cur := baseResult()
+	cur.Shape["checksum"] = 78
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if rep.OK() {
+		t.Fatal("shape mismatch must fail")
+	}
+	if rep.Findings[0].Kind != KindShape {
+		t.Fatalf("kind = %q, want shape", rep.Findings[0].Kind)
+	}
+}
+
+func TestDiffParamMismatchFails(t *testing.T) {
+	cur := baseResult()
+	cur.Params["ops"] = "2000"
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if rep.OK() {
+		t.Fatal("param mismatch must fail — different workloads are not comparable")
+	}
+	if !strings.Contains(rep.String(), "params.ops") {
+		t.Fatalf("report missing params.ops:\n%s", rep)
+	}
+}
+
+func TestDiffMissingAndExtraFields(t *testing.T) {
+	cur := baseResult()
+	delete(cur.Metrics, "get_p99_ns")
+	cur.Metrics["brand_new_ns"] = 1
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %+v, want missing + extra", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind != KindShape {
+			t.Fatalf("asymmetric metric sets are shape findings, got %q", f.Kind)
+		}
+	}
+}
+
+func TestDiffWindowCountMismatch(t *testing.T) {
+	cur := baseResult()
+	cur.Windows = cur.Windows[:1]
+	rep := Diff(baseResult(), cur, DiffOptions{})
+	if rep.OK() {
+		t.Fatal("window count change must fail as shape")
+	}
+}
+
+func TestDiffSchemaMismatch(t *testing.T) {
+	cur := baseResult()
+	cur.Schema = SchemaVersion + 1
+	if rep := Diff(baseResult(), cur, DiffOptions{}); rep.OK() {
+		t.Fatal("schema mismatch must fail")
+	}
+}

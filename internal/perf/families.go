@@ -1,0 +1,579 @@
+// The benchmark families. Each runs a fixed-seed workload against the
+// simulated cluster and reduces it to a Result: a per-window trajectory
+// plus Shape (seed-deterministic invariants, exact-matched by the
+// differ) and Metrics (wall- or cost-model-dependent numbers, threshold
+// compared). Families:
+//
+//	shuffle  — ShuffleBench-style matching records: generate records,
+//	           select the ~1/16 that match a rule, key by rule, count
+//	           per rule through a full shuffle. One window per round.
+//	stream   — sustained-throughput run of the checkpointed stream
+//	           engine over a replayable generator source, measuring
+//	           event throughput and checkpoint cost.
+//	kv       — YCSB-ish zipf read/write mix against the quorum KV
+//	           store. Latencies are fully simulated (deterministic), so
+//	           the trajectory is windowed by accumulated virtual time.
+//	terasort — rounds of TeraGen + sampled range-partitioned sort.
+package perf
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	hpbdc "repro"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/stream"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Options configures a family run. Zero values take family defaults;
+// the binaries map their flags here so all three share one harness.
+type Options struct {
+	// Quick shrinks the workload for CI (same shape of measurement,
+	// smaller sizes — quick results diff only against quick baselines,
+	// enforced through Params).
+	Quick bool
+	// Seed drives all workload randomness. Default 42.
+	Seed uint64
+	// Transport is the netsim model name ("rdma", "tcp", "ipoib").
+	// Default "rdma".
+	Transport string
+
+	// KV family: operation count, key-space size, zipf skew, read
+	// fraction, value size.
+	Ops, Keys int
+	Skew      float64
+	ReadFrac  float64
+	ValueSize int
+
+	// Shuffle/terasort: rounds and records per round.
+	Rounds, Records int
+
+	// Stream: total events and barrier cadence.
+	Events          int64
+	CheckpointEvery int
+}
+
+// Families lists the runnable family names in canonical order.
+func Families() []string { return []string{"shuffle", "stream", "kv", "terasort"} }
+
+// Run executes one named family and returns its result.
+func Run(family string, o Options) (*Result, error) {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Transport == "" {
+		o.Transport = "rdma"
+	}
+	switch family {
+	case "shuffle":
+		return runShuffle(o)
+	case "stream":
+		return runStream(o)
+	case "kv":
+		return runKV(o)
+	case "terasort":
+		return runTerasort(o)
+	default:
+		return nil, fmt.Errorf("perf: unknown family %q (have %v)", family, Families())
+	}
+}
+
+// newResult stamps the invariant header fields.
+func newResult(family string, o Options, params map[string]string) *Result {
+	params["seed"] = fmt.Sprint(o.Seed)
+	params["transport"] = o.Transport
+	params["quick"] = fmt.Sprint(o.Quick)
+	return &Result{
+		Schema:  SchemaVersion,
+		Family:  family,
+		Params:  params,
+		Env:     CaptureEnv(),
+		Shape:   map[string]int64{},
+		Metrics: map[string]float64{},
+	}
+}
+
+// windowsFromSamples converts a WindowedHistogram series.
+func windowsFromSamples(samples []metrics.WindowSample) []Window {
+	out := make([]Window, len(samples))
+	for i, s := range samples {
+		out[i] = Window{
+			StartNs: int64(s.Start),
+			Count:   s.Count,
+			PerSec:  s.PerSec,
+			MeanNs:  s.Mean,
+			P50Ns:   s.P50,
+			P95Ns:   s.P95,
+			P99Ns:   s.P99,
+			P999Ns:  s.P999,
+			MaxNs:   s.Max,
+		}
+	}
+	return out
+}
+
+// ---- kv --------------------------------------------------------------------
+
+// runKV replays a zipf-skewed read/write mix against the quorum store.
+// Every operation's latency is computed by the fabric cost model, so
+// the whole trajectory — windows included — is a pure function of the
+// seed: windows advance by accumulated virtual time, not wall clock.
+func runKV(o Options) (*Result, error) {
+	if o.Ops <= 0 {
+		o.Ops = 20_000
+		if o.Quick {
+			o.Ops = 5_000
+		}
+	}
+	if o.Keys <= 0 {
+		o.Keys = 512
+	}
+	if o.Skew == 0 {
+		o.Skew = 0.99
+	}
+	if o.ReadFrac == 0 {
+		o.ReadFrac = 0.8
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 128
+	}
+	model, err := transportModel(o.Transport)
+	if err != nil {
+		return nil, err
+	}
+	top := topology.TwoTier(2, 4, 2)
+	fabric := netsim.NewFabric(top, model)
+	store, err := kvstore.New(kvstore.Config{Fabric: fabric, N: 3, R: 2, W: 2})
+	if err != nil {
+		return nil, err
+	}
+	ops := workload.KVOps(o.Ops, o.Keys, o.Skew, o.ReadFrac, o.ValueSize, o.Seed)
+
+	// Window by virtual time so the series is deterministic. Width is
+	// sized to the op count so both modes produce a useful handful of
+	// windows; it is pinned in Params, so baselines stay comparable.
+	width := 5 * time.Millisecond
+	if o.Quick {
+		width = 2 * time.Millisecond
+	}
+	reads := metrics.NewWindowedHistogram(width)
+	writes := metrics.NewWindowedHistogram(width)
+	all := metrics.NewWindowedHistogram(width)
+
+	var virtual time.Duration
+	var nGet, nPut, hits, misses int64
+	sum := fnv.New64a()
+	nodes := top.Size()
+	for i, op := range ops {
+		coord := topology.NodeID(i % nodes)
+		switch op.Kind {
+		case workload.OpPut:
+			lat, err := store.Put(coord, op.Key, op.Value)
+			if err != nil {
+				return nil, fmt.Errorf("perf: kv put: %w", err)
+			}
+			virtual += lat
+			writes.ObserveDuration(virtual, lat)
+			all.ObserveDuration(virtual, lat)
+			nPut++
+		case workload.OpGet:
+			v, lat, err := store.Get(coord, op.Key)
+			switch {
+			case err == nil:
+				hits++
+				sum.Write([]byte(op.Key))
+				sum.Write(v)
+			case err == kvstore.ErrNotFound:
+				misses++
+			default:
+				return nil, fmt.Errorf("perf: kv get: %w", err)
+			}
+			virtual += lat
+			reads.ObserveDuration(virtual, lat)
+			all.ObserveDuration(virtual, lat)
+			nGet++
+		}
+	}
+
+	r := newResult("kv", o, map[string]string{
+		"ops":        fmt.Sprint(o.Ops),
+		"keys":       fmt.Sprint(o.Keys),
+		"skew":       fmt.Sprint(o.Skew),
+		"read_frac":  fmt.Sprint(o.ReadFrac),
+		"value_size": fmt.Sprint(o.ValueSize),
+		"window_ms":  fmt.Sprint(width.Milliseconds()),
+		"quorum":     "n3r2w2",
+	})
+	r.Windows = windowsFromSamples(all.Series())
+	r.Shape["ops"] = int64(o.Ops)
+	r.Shape["reads"] = nGet
+	r.Shape["writes"] = nPut
+	r.Shape["hits"] = hits
+	r.Shape["misses"] = misses
+	r.Shape["read_checksum"] = int64(sum.Sum64() >> 1) // >>1: stay positive in JSON
+	r.Shape["windows"] = int64(len(r.Windows))
+	rt, wt := reads.Total(), writes.Total()
+	r.Metrics["get_p50_ns"] = float64(rt.P50)
+	r.Metrics["get_p99_ns"] = float64(rt.P99)
+	r.Metrics["get_p999_ns"] = float64(rt.P999)
+	r.Metrics["put_p50_ns"] = float64(wt.P50)
+	r.Metrics["put_p99_ns"] = float64(wt.P99)
+	r.Metrics["put_p999_ns"] = float64(wt.P999)
+	r.Metrics["virtual_elapsed_ns"] = float64(virtual)
+	if virtual > 0 {
+		r.Metrics["ops_per_sec"] = float64(o.Ops) / virtual.Seconds()
+	}
+	return r, nil
+}
+
+func transportModel(name string) (netsim.Model, error) {
+	switch name {
+	case "rdma", "":
+		return netsim.RDMA40G, nil
+	case "tcp":
+		return netsim.TCP40G, nil
+	case "ipoib":
+		return netsim.IPoIB40G, nil
+	default:
+		return netsim.Model{}, fmt.Errorf("perf: unknown transport %q", name)
+	}
+}
+
+// ---- shuffle ---------------------------------------------------------------
+
+// runShuffle is the matching-records workload: each round generates
+// seeded records across source partitions, keeps the ~1/16 that match,
+// keys the matches by rule id and counts per rule through a full
+// shuffle. One round = one window; the checksum folds every round's
+// sorted (rule, count) pairs, so any change in what got shuffled is a
+// shape break.
+func runShuffle(o Options) (*Result, error) {
+	if o.Rounds <= 0 {
+		o.Rounds = 5
+		if o.Quick {
+			o.Rounds = 3
+		}
+	}
+	if o.Records <= 0 {
+		o.Records = 48_000
+		if o.Quick {
+			o.Records = 16_000
+		}
+	}
+	const parts = 8
+	const reduceParts = 4
+	const rules = 64
+
+	var windows []Window
+	var totalRecords, totalMatched, totalGroups int64
+	sum := fnv.New64a()
+	var totalWall time.Duration
+	var lastFetches fetchCost
+
+	for round := 0; round < o.Rounds; round++ {
+		ctx := hpbdc.New(hpbdc.Config{
+			Racks: 2, NodesPerRack: 4,
+			Transport: o.Transport,
+			Seed:      o.Seed + uint64(round),
+		})
+		roundSeed := o.Seed + uint64(round)*1_000_003
+		perPart := o.Records / parts
+		src := hpbdc.SourceFunc(ctx, parts, func(part int) []uint64 {
+			out := make([]uint64, perPart)
+			// SplitMix-style stream decorrelated per (round, partition).
+			x := roundSeed + uint64(part)*0x9e3779b97f4a7c15
+			for i := range out {
+				x += 0x9e3779b97f4a7c15
+				z := x
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				out[i] = z ^ (z >> 31)
+			}
+			return out
+		})
+		matched := hpbdc.FlatMap(src, func(rec uint64) []hpbdc.Pair[int64, int64] {
+			if rec%16 != 0 { // the matching rule: ~1/16 selectivity
+				return nil
+			}
+			return []hpbdc.Pair[int64, int64]{{Key: int64(rec % rules), Value: 1}}
+		})
+		counts := hpbdc.ReduceByKey(matched, hpbdc.Int64Codec, hpbdc.Int64Codec, reduceParts,
+			func(a, b int64) int64 { return a + b })
+
+		start := time.Now()
+		got, err := counts.Collect()
+		if err != nil {
+			return nil, fmt.Errorf("perf: shuffle round %d: %w", round, err)
+		}
+		wall := time.Since(start)
+		totalWall += wall
+
+		sort.Slice(got, func(i, j int) bool { return got[i].Key < got[j].Key })
+		var matchedN int64
+		for _, p := range got {
+			matchedN += p.Value
+			fmt.Fprintf(sum, "%d=%d;", p.Key, p.Value)
+		}
+		roundRecords := int64(perPart * parts)
+		totalRecords += roundRecords
+		totalMatched += matchedN
+		totalGroups += int64(len(got))
+
+		lastFetches = readFetchCost(ctx)
+		lastTasks := ctx.Metrics().Histogram("task_duration_ns").Snapshot()
+		windows = append(windows, Window{
+			StartNs: int64(totalWall - wall),
+			Count:   roundRecords,
+			PerSec:  float64(roundRecords) / wall.Seconds(),
+			MeanNs:  lastTasks.Mean,
+			P50Ns:   lastTasks.P50,
+			P95Ns:   lastTasks.P95,
+			P99Ns:   lastTasks.P99,
+			P999Ns:  lastTasks.P999,
+			MaxNs:   lastTasks.Max,
+		})
+	}
+
+	r := newResult("shuffle", o, map[string]string{
+		"rounds":       fmt.Sprint(o.Rounds),
+		"records":      fmt.Sprint(o.Records),
+		"parts":        fmt.Sprint(parts),
+		"reduce_parts": fmt.Sprint(reduceParts),
+		"rules":        fmt.Sprint(rules),
+		"selectivity":  "1/16",
+	})
+	r.Windows = windows
+	r.Shape["records"] = totalRecords
+	r.Shape["matched"] = totalMatched
+	r.Shape["groups"] = totalGroups
+	r.Shape["match_checksum"] = int64(sum.Sum64() >> 1)
+	r.Shape["windows"] = int64(len(windows))
+	// Summary metrics are the robust ones: wall throughput (threshold-
+	// compared) and the cost model's simulated per-fetch time (stable).
+	// Task wall percentiles live in Windows only — at microsecond task
+	// sizes they carry too much scheduler noise to gate CI on.
+	r.Metrics["records_per_sec"] = float64(totalRecords) / totalWall.Seconds()
+	if q := lastFetches.queries; q > 0 {
+		r.Metrics["sim_fetch_mean_ns"] = float64(lastFetches.timeNs) / float64(q)
+	}
+	return r, nil
+}
+
+// fetchCost is the fabric's simulated shuffle-fetch aggregate for one
+// round, read from the context registry. Simulated time is a pure
+// function of (topology, model, placement), so it is far more stable
+// across runs than any wall-clock latency.
+type fetchCost struct {
+	queries, timeNs int64
+}
+
+func readFetchCost(ctx *hpbdc.Context) fetchCost {
+	reg := ctx.Metrics()
+	return fetchCost{
+		queries: reg.Counter("net_cost_queries").Value(),
+		timeNs:  reg.Counter("net_cost_time_ns").Value(),
+	}
+}
+
+// ---- stream ----------------------------------------------------------------
+
+// runStream drives the checkpointed stream engine to source exhaustion
+// and measures sustained event throughput alongside checkpoint cost.
+// Wall throughput is windowed by event blocks via the Runner's tick
+// hook; the result set, its checksum and the committed checkpoint
+// bytes are seed-deterministic shape.
+func runStream(o Options) (*Result, error) {
+	if o.Events <= 0 {
+		o.Events = 60_000
+		if o.Quick {
+			o.Events = 20_000
+		}
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 2_000
+	}
+	const keys = 64
+	const workers = 4
+	src := stream.NewGeneratorSource(o.Seed, o.Events, keys, time.Millisecond, 4*time.Millisecond)
+
+	blockEvery := int(o.Events / 12)
+	if blockEvery < 1 {
+		blockEvery = 1
+	}
+	var windows []Window
+	start := time.Now()
+	lastBoundary := time.Duration(0)
+	runner := stream.NewRunner(stream.RunConfig{
+		Pipeline: stream.Config{
+			Workers: workers,
+			Buffer:  256,
+			Window:  50 * time.Millisecond,
+		},
+		CheckpointEvery: o.CheckpointEvery,
+		WatermarkEvery:  256,
+		WatermarkLag:    5 * time.Millisecond,
+		TickEvery:       blockEvery,
+		Tick: func() {
+			now := time.Since(start)
+			wall := now - lastBoundary
+			if wall <= 0 {
+				wall = time.Nanosecond
+			}
+			windows = append(windows, Window{
+				StartNs: int64(lastBoundary),
+				Count:   int64(blockEvery),
+				PerSec:  float64(blockEvery) / wall.Seconds(),
+			})
+			lastBoundary = now
+		},
+	}, src)
+
+	results, err := runner.Run()
+	if err != nil {
+		return nil, fmt.Errorf("perf: stream: %w", err)
+	}
+	totalWall := time.Since(start)
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].WindowStart != results[j].WindowStart {
+			return results[i].WindowStart < results[j].WindowStart
+		}
+		return results[i].Key < results[j].Key
+	})
+	sum := fnv.New64a()
+	for _, res := range results {
+		fmt.Fprintf(sum, "%d|%s|%.6f|%d;", res.WindowStart, res.Key, res.Sum, res.Count)
+	}
+
+	reg := runner.Metrics()
+	ckpt := reg.Histogram("checkpoint_duration_ns").Snapshot()
+
+	r := newResult("stream", o, map[string]string{
+		"events":           fmt.Sprint(o.Events),
+		"keys":             fmt.Sprint(keys),
+		"workers":          fmt.Sprint(workers),
+		"checkpoint_every": fmt.Sprint(o.CheckpointEvery),
+		"window_ms":        "50",
+	})
+	r.Windows = windows
+	r.Shape["events"] = o.Events
+	r.Shape["results"] = int64(len(results))
+	r.Shape["results_checksum"] = int64(sum.Sum64() >> 1)
+	r.Shape["checkpoints_committed"] = reg.Counter("checkpoints_committed").Value()
+	r.Shape["checkpoint_bytes"] = reg.Counter("checkpoint_bytes").Value()
+	r.Shape["windows"] = int64(len(windows))
+	// Throughput gates; checkpoint encode time is wall-measured over few
+	// samples, so only its mean is summarized (percentiles stay in the
+	// run's histogram for interactive inspection).
+	r.Metrics["events_per_sec"] = float64(o.Events) / totalWall.Seconds()
+	r.Metrics["checkpoint_mean_ns"] = ckpt.Mean
+	return r, nil
+}
+
+// ---- terasort --------------------------------------------------------------
+
+// runTerasort runs rounds of TeraGen + sampled range-partitioned sort.
+// The checksum folds the first and last key of every output partition
+// — enough to pin both the partition boundaries and the sort order.
+func runTerasort(o Options) (*Result, error) {
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+		if o.Quick {
+			o.Rounds = 2
+		}
+	}
+	if o.Records <= 0 {
+		o.Records = 60_000
+		if o.Quick {
+			o.Records = 24_000
+		}
+	}
+	const parts = 8
+
+	var windows []Window
+	var totalRecords int64
+	sum := fnv.New64a()
+	var totalWall time.Duration
+	var lastFetches fetchCost
+
+	for round := 0; round < o.Rounds; round++ {
+		ctx := hpbdc.New(hpbdc.Config{
+			Racks: 2, NodesPerRack: 4,
+			Transport: o.Transport,
+			Seed:      o.Seed + uint64(round),
+		})
+		perPart := o.Records / parts
+		roundSeed := o.Seed + uint64(round)*7_919
+		gen := hpbdc.SourceFunc(ctx, parts, func(part int) []hpbdc.Pair[string, string] {
+			recs := workload.TeraGen(perPart, roundSeed+uint64(part))
+			out := make([]hpbdc.Pair[string, string], len(recs))
+			for i, rec := range recs {
+				out[i] = hpbdc.Pair[string, string]{Key: string(rec.Key), Value: string(rec.Value)}
+			}
+			return out
+		})
+
+		start := time.Now()
+		sorted, err := hpbdc.SortByKey(gen, hpbdc.StringCodec, hpbdc.StringCodec, parts, 128)
+		if err != nil {
+			return nil, fmt.Errorf("perf: terasort round %d: %w", round, err)
+		}
+		out, err := sorted.CollectPartitions()
+		if err != nil {
+			return nil, fmt.Errorf("perf: terasort round %d: %w", round, err)
+		}
+		wall := time.Since(start)
+		totalWall += wall
+
+		var n int64
+		prev := ""
+		for _, part := range out {
+			if len(part) > 0 {
+				fmt.Fprintf(sum, "%x|%x;", part[0].Key, part[len(part)-1].Key)
+			}
+			for _, p := range part {
+				if p.Key < prev {
+					return nil, fmt.Errorf("perf: terasort round %d: output not sorted", round)
+				}
+				prev = p.Key
+				n++
+			}
+		}
+		totalRecords += n
+
+		lastFetches = readFetchCost(ctx)
+		lastTasks := ctx.Metrics().Histogram("task_duration_ns").Snapshot()
+		windows = append(windows, Window{
+			StartNs: int64(totalWall - wall),
+			Count:   n,
+			PerSec:  float64(n) / wall.Seconds(),
+			MeanNs:  lastTasks.Mean,
+			P50Ns:   lastTasks.P50,
+			P95Ns:   lastTasks.P95,
+			P99Ns:   lastTasks.P99,
+			P999Ns:  lastTasks.P999,
+			MaxNs:   lastTasks.Max,
+		})
+	}
+
+	r := newResult("terasort", o, map[string]string{
+		"rounds":  fmt.Sprint(o.Rounds),
+		"records": fmt.Sprint(o.Records),
+		"parts":   fmt.Sprint(parts),
+	})
+	r.Windows = windows
+	r.Shape["records"] = totalRecords
+	r.Shape["order_checksum"] = int64(sum.Sum64() >> 1)
+	r.Shape["windows"] = int64(len(windows))
+	r.Metrics["records_per_sec"] = float64(totalRecords) / totalWall.Seconds()
+	if q := lastFetches.queries; q > 0 {
+		r.Metrics["sim_fetch_mean_ns"] = float64(lastFetches.timeNs) / float64(q)
+	}
+	return r, nil
+}

@@ -37,6 +37,10 @@ type control struct {
 	id   int64  // checkpoint id (barrier)
 	snap []byte // encoded worker state (restore)
 	ack  chan workerAck
+	// tc is the coordinator-side barrier/restore span: worker-side
+	// snapshot and restore spans parent under it, linking each worker's
+	// contribution into the run's cross-node timeline.
+	tc trace.TraceContext
 }
 
 type workerAck struct {
@@ -186,16 +190,24 @@ func allWorkers(n int) []int {
 // aborts the whole checkpoint — a down task cannot snapshot — and counts
 // checkpoints_aborted; the caller keeps its previous committed checkpoint.
 func (p *Pipeline) TriggerCheckpoint(offset int64, wm time.Duration) (*Checkpoint, error) {
+	return p.TriggerCheckpointCtx(offset, wm, trace.TraceContext{})
+}
+
+// TriggerCheckpointCtx is TriggerCheckpoint with causal linkage: the
+// coordinator's checkpoint span parents under the caller (normally the
+// Runner's run-root span), and the barrier carries the checkpoint
+// span's context to every worker, whose snapshot spans parent under it.
+func (p *Pipeline) TriggerCheckpointCtx(offset int64, wm time.Duration, parent trace.TraceContext) (*Checkpoint, error) {
 	p.ckptMu.Lock()
 	p.nextCkpt++
 	id := p.nextCkpt
 	p.ckptMu.Unlock()
 
 	start := time.Now()
-	end := p.cfg.Tracer.Begin(fmt.Sprintf("checkpoint-%d", id), "checkpoint", "stream-coordinator")
+	end, ckptTC := p.cfg.Tracer.BeginCtx(fmt.Sprintf("checkpoint-%d", id), "checkpoint", "stream-coordinator", parent)
 	ack := make(chan workerAck, len(p.queues))
 	if err := sendCtl(&p.mu, &p.closed, p.queues, allWorkers(len(p.queues)), func(int) *control {
-		return &control{op: ctlBarrier, id: id, ack: ack}
+		return &control{op: ctlBarrier, id: id, ack: ack, tc: ckptTC}
 	}); err != nil {
 		end(map[string]string{"error": err.Error()})
 		return nil, err
@@ -262,14 +274,21 @@ func (p *Pipeline) CrashWorker(i int) error {
 // dead mode. The result sink's sequence high-waters are deliberately NOT
 // rolled back; they are what dedups the re-fired panes during replay.
 func (p *Pipeline) RestoreFrom(ck *Checkpoint) error {
+	return p.RestoreFromCtx(ck, trace.TraceContext{})
+}
+
+// RestoreFromCtx is RestoreFrom with causal linkage: the restore span
+// parents under the caller's recovery span, and each worker's restore
+// parents under the coordinator restore span.
+func (p *Pipeline) RestoreFromCtx(ck *Checkpoint, parent trace.TraceContext) error {
 	if len(ck.States) != len(p.queues) {
 		return fmt.Errorf("stream: checkpoint has %d worker states, pipeline has %d workers",
 			len(ck.States), len(p.queues))
 	}
-	end := p.cfg.Tracer.Begin(fmt.Sprintf("restore-ckpt-%d", ck.ID), "recovery", "stream-coordinator")
+	end, restTC := p.cfg.Tracer.BeginCtx(fmt.Sprintf("restore-ckpt-%d", ck.ID), "recovery", "stream-coordinator", parent)
 	ack := make(chan workerAck, len(p.queues))
 	if err := sendCtl(&p.mu, &p.closed, p.queues, allWorkers(len(p.queues)), func(i int) *control {
-		return &control{op: ctlRestore, snap: ck.States[i], ack: ack}
+		return &control{op: ctlRestore, snap: ck.States[i], ack: ack, tc: restTC}
 	}); err != nil {
 		end(map[string]string{"error": err.Error()})
 		return err
@@ -331,6 +350,7 @@ type Runner struct {
 	dead   map[int]bool
 	last   *Checkpoint // latest committed checkpoint (genesis at start)
 	wmHigh time.Duration
+	runTC  trace.TraceContext // run-root span; checkpoints and recoveries parent under it
 }
 
 // NewRunner builds a runner over a fresh pipeline.
@@ -386,6 +406,21 @@ func (r *Runner) OnTick(fn func()) { r.cfg.Tick = fn }
 // with a crash but no restore), Run recovers once more before closing, so
 // a crashed run never silently loses data.
 func (r *Runner) Run() ([]Result, error) {
+	// One Run = one trace: the run-root span on the coordinator track is
+	// what checkpoint barriers (and through them worker snapshots) and
+	// recoveries causally chain back to.
+	endRun, runTC := r.cfg.Pipeline.Tracer.BeginCtx("stream run", "job", "stream-coordinator", trace.TraceContext{})
+	r.runTC = runTC
+	res, err := r.run()
+	outcome := "ok"
+	if err != nil {
+		outcome = err.Error()
+	}
+	endRun(map[string]string{"outcome": outcome})
+	return res, err
+}
+
+func (r *Runner) run() ([]Result, error) {
 	for {
 		if err := r.applyPending(); err != nil {
 			return nil, err
@@ -417,7 +452,7 @@ func (r *Runner) Run() ([]Result, error) {
 		if r.cfg.CheckpointEvery > 0 && off%int64(r.cfg.CheckpointEvery) == 0 {
 			// An abort (dead worker mid-crash-window) keeps the previous
 			// committed checkpoint; the aborted counter tracks it.
-			if ck, err := r.p.TriggerCheckpoint(off, r.wmHigh); err == nil {
+			if ck, err := r.p.TriggerCheckpointCtx(off, r.wmHigh, r.runTC); err == nil {
 				r.last = ck
 			}
 		}
@@ -455,9 +490,9 @@ func (r *Runner) applyPending() error {
 // checkpoint, source rewind to its offset, and driver-state rollback (the
 // watermark high-water), after which the main loop replays the tail.
 func (r *Runner) recoverNow() error {
-	end := r.cfg.Pipeline.Tracer.Begin(
-		fmt.Sprintf("recovery-from-ckpt-%d", r.last.ID), "recovery", "stream-coordinator")
-	if err := r.p.RestoreFrom(r.last); err != nil {
+	end, recTC := r.cfg.Pipeline.Tracer.BeginCtx(
+		fmt.Sprintf("recovery-from-ckpt-%d", r.last.ID), "recovery", "stream-coordinator", r.runTC)
+	if err := r.p.RestoreFromCtx(r.last, recTC); err != nil {
 		end(map[string]string{"error": err.Error()})
 		return err
 	}

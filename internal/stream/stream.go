@@ -16,6 +16,7 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
@@ -337,16 +338,27 @@ func (p *Pipeline) handleControl(idx int, st *pipeState, dead bool, c *control) 
 			c.ack <- workerAck{worker: idx, err: errWorkerDown}
 			return st, dead
 		}
-		c.ack <- workerAck{worker: idx, state: st.encode()}
+		// The snapshot span parents under the coordinator's checkpoint
+		// span carried on the barrier, so each worker's contribution is
+		// causally visible in the run timeline.
+		end, _ := p.cfg.Tracer.BeginCtx(fmt.Sprintf("snapshot ckpt-%d", c.id),
+			"checkpoint", fmt.Sprintf("stream-worker-%02d", idx), c.tc)
+		state := st.encode()
+		end(map[string]string{"bytes": fmt.Sprint(len(state))})
+		c.ack <- workerAck{worker: idx, state: state}
 	case ctlCrash:
 		c.ack <- workerAck{worker: idx}
 		return newPipeState(), true
 	case ctlRestore:
+		end, _ := p.cfg.Tracer.BeginCtx("restore state",
+			"recovery", fmt.Sprintf("stream-worker-%02d", idx), c.tc)
 		ns, err := decodePipeState(c.snap)
 		if err != nil {
+			end(map[string]string{"error": err.Error()})
 			c.ack <- workerAck{worker: idx, err: err}
 			return st, dead
 		}
+		end(map[string]string{"bytes": fmt.Sprint(len(c.snap))})
 		c.ack <- workerAck{worker: idx}
 		return ns, false
 	}

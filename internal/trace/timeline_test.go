@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpansTieBreakDeterministic(t *testing.T) {
+	// Equal starts must order by track, then name, then id, so exports
+	// are byte-stable and usable as goldens.
+	r := New()
+	r.Add(Span{Name: "b", Track: "node-01", Start: time.Second})
+	r.Add(Span{Name: "a", Track: "node-01", Start: time.Second})
+	r.Add(Span{Name: "z", Track: "node-00", Start: time.Second})
+	spans := r.Spans()
+	got := []string{spans[0].Name, spans[1].Name, spans[2].Name}
+	want := []string{"z", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChromeTraceByteStable(t *testing.T) {
+	build := func() *Recorder {
+		r := New()
+		// Insert in different orders; equal-start ties exercise the sort.
+		r.Add(Span{Name: "t2", Category: "task", Track: "node-01", Start: time.Millisecond, Duration: time.Millisecond})
+		r.Add(Span{Name: "t1", Category: "task", Track: "node-00", Start: time.Millisecond, Duration: time.Millisecond})
+		r.Add(Span{Name: "s", Category: "stage", Track: "driver", Duration: 3 * time.Millisecond})
+		return r
+	}
+	build2 := func() *Recorder {
+		r := New()
+		r.Add(Span{Name: "s", Category: "stage", Track: "driver", Duration: 3 * time.Millisecond})
+		r.Add(Span{Name: "t1", Category: "task", Track: "node-00", Start: time.Millisecond, Duration: time.Millisecond})
+		r.Add(Span{Name: "t2", Category: "task", Track: "node-01", Start: time.Millisecond, Duration: time.Millisecond})
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build2().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("export not byte-stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestBeginCtxLinksParent(t *testing.T) {
+	r := New()
+	endJob, jobTC := r.BeginCtx("job", "job", "driver", TraceContext{})
+	if !jobTC.Valid() {
+		t.Fatal("job context invalid")
+	}
+	endTask, taskTC := r.BeginCtx("task", "task", "node-00", jobTC)
+	if taskTC.Trace != jobTC.Trace {
+		t.Fatalf("task trace %d != job trace %d", taskTC.Trace, jobTC.Trace)
+	}
+	endTask(nil)
+	endJob(nil)
+	var task Span
+	for _, s := range r.Spans() {
+		if s.Name == "task" {
+			task = s
+		}
+	}
+	if task.Name == "" {
+		t.Fatal("task span missing")
+	}
+	if task.Parent != jobTC.Span {
+		t.Fatalf("task parent = %d, want %d", task.Parent, jobTC.Span)
+	}
+}
+
+func TestAddCtxAllocatesIdentity(t *testing.T) {
+	r := New()
+	_, root := r.BeginCtx("root", "job", "driver", TraceContext{})
+	tc := r.AddCtx(Span{Name: "net", Category: "net", Track: "fabric",
+		Start: time.Millisecond, Duration: time.Microsecond}, root)
+	if tc.Trace != root.Trace || tc.Span == 0 {
+		t.Fatalf("AddCtx context = %+v", tc)
+	}
+	// Nil recorder: no-op, zero context.
+	var nr *Recorder
+	if got := nr.AddCtx(Span{}, root); got.Valid() {
+		t.Fatalf("nil AddCtx = %+v", got)
+	}
+	nr.Instant("x", "y", "z", nil)
+	if _, tc2 := nr.BeginCtx("a", "b", "c", root); tc2.Valid() {
+		t.Fatalf("nil BeginCtx = %+v", tc2)
+	}
+}
+
+func TestInstantExportsAsInstantEvent(t *testing.T) {
+	r := New()
+	r.Instant("crash node-02", "chaos", "node-02", map[string]string{"kind": "crash"})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range events {
+		if e["ph"] == "i" {
+			found = true
+			if e["s"] != "t" {
+				t.Fatalf("instant scope = %v", e["s"])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no instant event in export: %s", buf.String())
+	}
+}
+
+// buildSampleTrace records a job → stage → {task on node-00, task on
+// node-01} → fetch tree with virtual timings, plus a chaos instant.
+func buildSampleTrace(r *Recorder) (jobTC TraceContext) {
+	endJob, jobTC := r.BeginCtx("job p9", "job", "driver", TraceContext{})
+	endStage, stageTC := r.BeginCtx("map s1", "stage", "driver", jobTC)
+	endT0, t0 := r.BeginCtx("task p0 a0", "task", "node-00", stageTC)
+	r.AddCtx(Span{Name: "fetch s0 p0", Category: "net", Track: "node-00",
+		Start: time.Millisecond, Duration: 40 * time.Microsecond}, t0)
+	endT0(nil)
+	endT1, _ := r.BeginCtx("task p1 a0", "task", "node-01", stageTC)
+	endT1(nil)
+	r.Instant("crash node-01", "chaos", "node-01", map[string]string{"kind": "crash"})
+	endStage(nil)
+	endJob(nil)
+	return jobTC
+}
+
+func TestBuildTimelineReconstructsTree(t *testing.T) {
+	r := New()
+	jobTC := buildSampleTrace(r)
+	ids := TraceIDs(r.Spans())
+	if len(ids) != 1 || ids[0] != jobTC.Trace {
+		t.Fatalf("trace ids = %v, want [%d]", ids, jobTC.Trace)
+	}
+	tl := BuildTimeline(r.Spans(), jobTC.Trace)
+	if len(tl.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tl.Roots))
+	}
+	if tl.Roots[0].Span.Name != "job p9" {
+		t.Fatalf("root = %q", tl.Roots[0].Span.Name)
+	}
+	if tl.Len() != 5 {
+		t.Fatalf("timeline spans = %d, want 5", tl.Len())
+	}
+	// The fetch span must path back to the stage span on the driver.
+	var fetchID uint64
+	for _, s := range r.Spans() {
+		if s.Category == "net" {
+			fetchID = s.ID
+		}
+	}
+	path := tl.PathToRoot(fetchID)
+	if len(path) != 4 {
+		t.Fatalf("path len = %d, want 4 (fetch→task→stage→job)", len(path))
+	}
+	if path[2].Span.Category != "stage" || path[2].Span.Track != "driver" {
+		t.Fatalf("path[2] = %+v, want the driver stage span", path[2].Span)
+	}
+	// The chaos instant must be attached as an annotation.
+	if len(tl.Annotations) != 1 || tl.Annotations[0].Name != "crash node-01" {
+		t.Fatalf("annotations = %+v", tl.Annotations)
+	}
+	// Render must mention every span and the annotation.
+	out := tl.String()
+	for _, want := range []string{"job p9", "map s1", "task p0 a0", "fetch s0 p0", "! crash node-01"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildTimelineOrphanPromotedToRoot(t *testing.T) {
+	r := New()
+	_, root := r.BeginCtx("root", "job", "driver", TraceContext{})
+	// A child whose parent span was never ended/recorded (e.g. the
+	// parent's component crashed): parent id points at nothing.
+	ghost := TraceContext{Trace: root.Trace, Span: 9999}
+	end, _ := r.BeginCtx("orphan", "task", "node-00", ghost)
+	end(nil)
+	tl := BuildTimeline(r.Spans(), root.Trace)
+	// Only the orphan was recorded (root never ended) — it must surface
+	// as a root, not vanish.
+	if tl.Len() != 1 || len(tl.Roots) != 1 || tl.Roots[0].Span.Name != "orphan" {
+		t.Fatalf("timeline = %s", tl.String())
+	}
+	if tl.Lookup(tl.Roots[0].Span.ID) == nil {
+		t.Fatal("Lookup failed for recorded span")
+	}
+	if got := tl.PathToRoot(12345); got != nil {
+		t.Fatalf("PathToRoot(unknown) = %v", got)
+	}
+}
+
+func TestBuildTimelineEmptyTrace(t *testing.T) {
+	tl := BuildTimeline(nil, 7)
+	if tl.Len() != 0 || len(tl.Roots) != 0 || len(tl.Annotations) != 0 {
+		t.Fatalf("empty timeline = %+v", tl)
+	}
+}

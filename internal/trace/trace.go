@@ -4,6 +4,15 @@
 // recovery behaviour can be inspected visually. Recording is lock-cheap
 // and disabled by default; the engine emits events when a Recorder is
 // configured.
+//
+// Spans can be causally linked across process and message boundaries: a
+// TraceContext (trace id + span id) is handed to downstream work — a
+// task launched by a stage, a shuffle fetch issued by a task, a
+// checkpoint barrier riding a worker queue, a Raft proposal carrying a
+// journal record — and the child span records the parent's id. Package
+// timeline.go reconstructs one merged cross-node tree per trace from
+// those links. Instant events (zero-duration annotations, e.g. chaos
+// fault injections) mark a moment on a track without parenting.
 package trace
 
 import (
@@ -14,6 +23,18 @@ import (
 	"time"
 )
 
+// TraceContext identifies a span as a potential parent for downstream
+// work. The zero value means "no parent": beginning a span under it
+// starts a fresh trace. TraceContext is a small value type — carry it
+// on messages by copy, never by pointer.
+type TraceContext struct {
+	Trace uint64 // trace (job) id; 0 = none
+	Span  uint64 // parent span id within the trace; 0 = root
+}
+
+// Valid reports whether the context belongs to a trace.
+func (tc TraceContext) Valid() bool { return tc.Trace != 0 }
+
 // Span is one completed interval on some named track (e.g. a task on an
 // executor node).
 type Span struct {
@@ -23,14 +44,27 @@ type Span struct {
 	Start    time.Duration // relative to the recorder epoch
 	Duration time.Duration
 	Args     map[string]string // extra key/values shown on click
+
+	// Causal identity: Trace groups spans of one job, ID names this span,
+	// Parent names the span that caused it (0 = root). Zero values mean
+	// the span was recorded without causal context (legacy Begin/Add).
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+
+	// Instant marks a zero-duration annotation (chaos fault injection,
+	// barrier arrival); exported as a Chrome instant event (ph="i").
+	Instant bool
 }
 
 // Recorder collects spans. Safe for concurrent use. The zero value is NOT
 // usable; call New.
 type Recorder struct {
-	mu    sync.Mutex
-	epoch time.Time
-	spans []Span
+	mu       sync.Mutex
+	epoch    time.Time
+	spans    []Span
+	traceSeq uint64
+	spanSeq  uint64
 }
 
 // New returns an empty recorder with its epoch at now.
@@ -38,34 +72,74 @@ func New() *Recorder {
 	return &Recorder{epoch: time.Now()}
 }
 
+// nextIDs allocates a span id, and a trace id when parent carries none.
+func (r *Recorder) nextIDs(parent TraceContext) TraceContext {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spanSeq++
+	tc := TraceContext{Trace: parent.Trace, Span: r.spanSeq}
+	if tc.Trace == 0 {
+		r.traceSeq++
+		tc.Trace = r.traceSeq
+	}
+	return tc
+}
+
+// Now returns the current offset from the recorder's epoch — the Start
+// value a caller should stamp on a virtual-duration span recorded via
+// Add/AddCtx so it lines up with wall-clock spans on the same timeline.
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.epoch)
+}
+
 // Begin starts a span now; call the returned func to end it. Args are
 // attached at end time (a nil args map is fine — panic-recovery paths end
 // spans with nil). The closure is idempotent: the span is recorded exactly
 // once even if both a deferred recovery handler and the normal path call it.
 func (r *Recorder) Begin(name, category, track string) func(args map[string]string) {
+	end, _ := r.BeginCtx(name, category, track, TraceContext{})
+	return end
+}
+
+// BeginCtx is Begin with causal linkage: the new span records parent as
+// its cause (a zero parent starts a fresh trace), and the returned
+// TraceContext identifies the new span so downstream work — tasks,
+// fetches, barriers, proposals — can parent under it. On a nil recorder
+// the end func is a no-op and the context is zero.
+func (r *Recorder) BeginCtx(name, category, track string, parent TraceContext) (func(args map[string]string), TraceContext) {
 	if r == nil {
-		return func(map[string]string) {}
+		return func(map[string]string) {}, TraceContext{}
 	}
+	tc := r.nextIDs(parent)
 	start := time.Now()
 	var once sync.Once
-	return func(args map[string]string) {
+	end := func(args map[string]string) {
 		once.Do(func() {
-			end := time.Now()
+			endT := time.Now()
 			r.mu.Lock()
 			r.spans = append(r.spans, Span{
 				Name:     name,
 				Category: category,
 				Track:    track,
 				Start:    start.Sub(r.epoch),
-				Duration: end.Sub(start),
+				Duration: endT.Sub(start),
 				Args:     args,
+				Trace:    tc.Trace,
+				ID:       tc.Span,
+				Parent:   parent.Span,
 			})
 			r.mu.Unlock()
 		})
 	}
+	return end, tc
 }
 
-// Add records a fully-formed span (for virtual-time simulations).
+// Add records a fully-formed span (for virtual-time simulations). Causal
+// ids already present on s are preserved; otherwise the span stays
+// unlinked.
 func (r *Recorder) Add(s Span) {
 	if r == nil {
 		return
@@ -75,8 +149,47 @@ func (r *Recorder) Add(s Span) {
 	r.mu.Unlock()
 }
 
-// Spans returns a copy of everything recorded, ordered by start time. A
-// nil recorder returns nil.
+// AddCtx records a fully-formed span linked under parent, allocating its
+// causal ids, and returns the new span's context. Virtual-duration spans
+// (e.g. simulated network transfers) use this: the caller supplies Start
+// and Duration, the recorder supplies identity.
+func (r *Recorder) AddCtx(s Span, parent TraceContext) TraceContext {
+	if r == nil {
+		return TraceContext{}
+	}
+	tc := r.nextIDs(parent)
+	s.Trace, s.ID, s.Parent = tc.Trace, tc.Span, parent.Span
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return tc
+}
+
+// Instant records a zero-duration annotation on a track at now — the
+// shape chaos fault injections use to mark "a crash happened HERE" on
+// the affected node's row. Instants carry no causal parent (they are
+// external interventions, not effects of the traced work).
+func (r *Recorder) Instant(name, category, track string, args map[string]string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.spans = append(r.spans, Span{
+		Name:     name,
+		Category: category,
+		Track:    track,
+		Start:    now.Sub(r.epoch),
+		Args:     args,
+		Instant:  true,
+	})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded, in deterministic order:
+// by start time, with ties broken by track, then name, then span id —
+// so exports are byte-stable for virtual-time recordings and usable in
+// golden tests.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
@@ -84,7 +197,18 @@ func (r *Recorder) Spans() []Span {
 	r.mu.Lock()
 	out := append([]Span(nil), r.spans...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Track != out[j].Track {
+			return out[i].Track < out[j].Track
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].ID < out[j].ID
+	})
 	return out
 }
 
@@ -98,16 +222,18 @@ func (r *Recorder) Len() int {
 	return len(r.spans)
 }
 
-// chromeEvent is the trace-event format's "complete event" (ph=X).
+// chromeEvent is the trace-event format's "complete event" (ph=X) or
+// "instant event" (ph=i).
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"` // instant scope ("t")
+	Args  map[string]string `json:"args,omitempty"`
 }
 
 type chromeMeta struct {
@@ -119,7 +245,9 @@ type chromeMeta struct {
 }
 
 // WriteChromeTrace emits the spans as a Chrome trace-event JSON array.
-// Tracks map to thread rows, named via metadata events. A nil or empty
+// Tracks map to thread rows, named via metadata events; instant spans
+// become thread-scoped instant events; causal ids ride the args
+// (trace/span/parent) so the linkage survives export. A nil or empty
 // recorder writes an empty (but valid) event array.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	spans := r.Spans()
@@ -143,7 +271,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		})
 	}
 	for _, s := range spans {
-		events = append(events, chromeEvent{
+		ev := chromeEvent{
 			Name: s.Name,
 			Cat:  s.Category,
 			Ph:   "X",
@@ -152,8 +280,44 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Pid:  1,
 			Tid:  tid[s.Track],
 			Args: s.Args,
-		})
+		}
+		if s.Instant {
+			ev.Ph, ev.Dur, ev.Scope = "i", 0, "t"
+		}
+		if s.Trace != 0 {
+			ev.Args = argsWithIDs(s)
+		}
+		events = append(events, ev)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// argsWithIDs copies a span's args and adds its causal identity, leaving
+// the recorded span untouched.
+func argsWithIDs(s Span) map[string]string {
+	out := make(map[string]string, len(s.Args)+3)
+	for k, v := range s.Args {
+		out[k] = v
+	}
+	out["trace"] = u64str(s.Trace)
+	out["span"] = u64str(s.ID)
+	if s.Parent != 0 {
+		out["parent"] = u64str(s.Parent)
+	}
+	return out
+}
+
+func u64str(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
 }

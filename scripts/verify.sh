@@ -28,7 +28,7 @@ go test -race ./internal/metrics/... ./internal/trace/... \
     ./internal/dfs/... ./internal/sched/... ./internal/netsim/... \
     ./internal/cluster/... ./internal/chaos/... ./internal/stream/... \
     ./internal/check/... ./internal/kvstore/... ./internal/ha/... \
-    ./internal/consensus/...
+    ./internal/consensus/... ./internal/perf/...
 
 sh scripts/coverage.sh
 

@@ -1,0 +1,109 @@
+package hpbdc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/trace"
+)
+
+// TestCrossNodeTraceAcceptance is the causal-tracing acceptance
+// criterion: a chaos run (crash preset) must produce a single merged
+// cross-node trace in which the shuffle fetch spans of the recovered
+// stage causally link back to the coordinator's stage span, and the
+// injected crash appears as an annotated instant event on the victim
+// node's track.
+func TestCrossNodeTraceAcceptance(t *testing.T) {
+	sched, err := chaos.Preset("crash", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := New(Config{Racks: 2, NodesPerRack: 4, Seed: 11,
+		EnableTracing: true, Chaos: sched})
+
+	lines := Parallelize(ctx, []string{
+		"a b c", "b c d", "c d e", "d e f", "e f g", "f g h",
+	}, 6)
+	words := FlatMap(lines, func(l string) []string { return strings.Fields(l) })
+	pairs := KeyBy(words, func(w string) string { return w })
+	ones := MapValues(pairs, func(string) int64 { return 1 })
+	counts := ReduceByKey(ones, StringCodec, Int64Codec, 4,
+		func(a, b int64) int64 { return a + b })
+	got, err := counts.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[string]int64{}
+	for _, p := range got {
+		sum[p.Key] = p.Value
+	}
+	if sum["c"] != 3 {
+		t.Fatalf("counts = %v", sum)
+	}
+	// The crash (vtime 2) must have landed mid-job; the revive (vtime 8)
+	// may still be pending after a short job, so flush it.
+	if ctx.Chaos().Applied() < 1 {
+		t.Fatal("crash event never applied")
+	}
+	ctx.Chaos().AdvanceTo(16)
+	if !ctx.Chaos().Done() {
+		t.Fatalf("chaos schedule incomplete: %d events applied", ctx.Chaos().Applied())
+	}
+
+	spans := ctx.Tracer().Spans()
+
+	// One merged trace: every causally-linked span shares one trace id.
+	ids := trace.TraceIDs(spans)
+	if len(ids) != 1 {
+		t.Fatalf("trace ids = %v, want exactly one merged trace", ids)
+	}
+	tl := trace.BuildTimeline(spans, ids[0])
+	if len(tl.Roots) != 1 || tl.Roots[0].Span.Category != "job" {
+		t.Fatalf("timeline roots = %d (root category %q), want single job root",
+			len(tl.Roots), tl.Roots[0].Span.Category)
+	}
+
+	// Fetch spans exist (the reduce stage pulled shuffle blocks over the
+	// fabric) and each links back through its task to a driver-side stage
+	// span.
+	fetches := 0
+	for _, s := range spans {
+		if s.Category != "net" {
+			continue
+		}
+		fetches++
+		path := tl.PathToRoot(s.ID)
+		foundStage := false
+		for _, n := range path {
+			if n.Span.Category == "stage" && n.Span.Track == "driver" {
+				foundStage = true
+			}
+		}
+		if !foundStage {
+			t.Fatalf("fetch span %q (id %d) does not path back to a driver stage span; path len %d",
+				s.Name, s.ID, len(path))
+		}
+	}
+	if fetches == 0 {
+		t.Fatal("no shuffle fetch spans recorded")
+	}
+
+	// The injected crash is an instant event annotated on a node track,
+	// attached to the job timeline as an annotation.
+	crashAnnotated := false
+	for _, a := range tl.Annotations {
+		if a.Category == "chaos" && a.Args["kind"] == "crash" &&
+			strings.HasPrefix(a.Track, "node-") {
+			crashAnnotated = true
+		}
+	}
+	if !crashAnnotated {
+		t.Fatalf("crash instant event missing from timeline annotations: %+v", tl.Annotations)
+	}
+
+	// The rendered timeline mentions the fault inline.
+	if out := tl.String(); !strings.Contains(out, "! chaos crash") {
+		t.Fatalf("timeline render missing chaos annotation:\n%s", out)
+	}
+}
