@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/check"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
@@ -34,6 +36,10 @@ func main() {
 	valueSize := flag.Int("value", 128, "value size in bytes")
 	transport := flag.String("transport", "tcp", "network model: rdma, tcp, ipoib")
 	nodes := flag.Int("nodes", 8, "cluster size")
+	deadline := flag.Duration("deadline", 0,
+		"per-op virtual budget: run the mix through GetCtx/PutCtx with this deadline; overruns count as timeouts instead of results")
+	admissionMult := flag.Float64("admission", 0,
+		"after the mix, drive an open-loop overload run at this multiple of the measured capacity through the admission stack and print goodput/shed")
 	checkFlag := flag.Bool("check", false,
 		"after the benchmark, capture a concurrent client history and verify linearizability; exit nonzero on violation")
 	stale := flag.Bool("stale", false,
@@ -74,7 +80,8 @@ func main() {
 		os.Exit(emitPerfResult("kv", opts, *benchOut, *benchDiff))
 	}
 
-	runClassic(ops, keys, n, r, w, skew, readFrac, valueSize, transport, nodes, checkFlag, stale)
+	runClassic(ops, keys, n, r, w, skew, readFrac, valueSize, transport, nodes, checkFlag, stale,
+		*deadline, *admissionMult)
 }
 
 // flagWasSet reports whether the named flag was passed explicitly.
@@ -125,7 +132,8 @@ func emitPerfResult(family string, opts perf.Options, outDir, diffDir string) in
 }
 
 func runClassic(ops, keys, n, r, w *int, skew, readFrac *float64, valueSize *int,
-	transport *string, nodes *int, checkFlag, stale *bool) {
+	transport *string, nodes *int, checkFlag, stale *bool,
+	deadline time.Duration, admissionMult float64) {
 	var model netsim.Model
 	switch *transport {
 	case "rdma":
@@ -147,22 +155,36 @@ func runClassic(ops, keys, n, r, w *int, skew, readFrac *float64, valueSize *int
 
 	trace := workload.KVOps(*ops, *keys, *skew, *readFrac, *valueSize, 7)
 	start := time.Now()
-	notFound := 0
+	notFound, timeouts := 0, 0
 	for i, op := range trace {
 		coord := topology.NodeID(i % *nodes)
+		ctx := context.Background()
+		if deadline > 0 {
+			ctx = admission.WithBudget(ctx, deadline)
+		}
+		var err error
 		switch op.Kind {
 		case workload.OpPut:
-			if _, err := store.Put(coord, op.Key, op.Value); err != nil {
-				log.Fatal(err)
+			if deadline > 0 {
+				_, err = store.PutCtx(ctx, coord, op.Key, op.Value)
+			} else {
+				_, err = store.Put(coord, op.Key, op.Value)
 			}
 		case workload.OpGet:
-			if _, _, err := store.Get(coord, op.Key); err != nil {
-				if err == kvstore.ErrNotFound {
-					notFound++
-					continue
-				}
-				log.Fatal(err)
+			if deadline > 0 {
+				_, _, err = store.GetCtx(ctx, coord, op.Key)
+			} else {
+				_, _, err = store.Get(coord, op.Key)
 			}
+		}
+		switch {
+		case err == nil:
+		case err == kvstore.ErrNotFound:
+			notFound++
+		case admission.IsDeadline(err):
+			timeouts++
+		default:
+			log.Fatal(err)
 		}
 	}
 	elapsed := time.Since(start)
@@ -181,6 +203,14 @@ func runClassic(ops, keys, n, r, w *int, skew, readFrac *float64, valueSize *int
 	fmt.Printf("read repairs: %d, hinted handoffs: %d\n",
 		store.Reg.Counter("read_repairs").Value(),
 		store.Reg.Counter("hinted_handoffs").Value())
+	if deadline > 0 {
+		fmt.Printf("deadline %v: %d timeouts (%.2f%%)\n",
+			deadline, timeouts, 100*float64(timeouts)/float64(*ops))
+	}
+
+	if admissionMult > 0 {
+		runOverload(store, *nodes, admissionMult)
+	}
 
 	if *checkFlag {
 		if *stale {
@@ -198,4 +228,76 @@ func runClassic(ops, keys, n, r, w *int, skew, readFrac *float64, valueSize *int
 			os.Exit(1)
 		}
 	}
+}
+
+// runOverload measures the store's closed-loop capacity from the mix it
+// just served and then drives an open-loop multi-tenant arrival stream
+// at mult x that capacity through the admission stack (WFQ quotas, CoDel
+// shedding, retry budgets, deadline propagation) — the E-OVL regime,
+// against this CLI's store build.
+func runOverload(store *kvstore.Store, nodes int, mult float64) {
+	get := store.Reg.Histogram("get_latency_ns").Snapshot()
+	put := store.Reg.Histogram("put_latency_ns").Snapshot()
+	var mean time.Duration
+	if n := get.Count + put.Count; n > 0 {
+		mean = time.Duration((get.Sum + put.Sum) / n)
+	}
+	if mean <= 0 {
+		mean = time.Microsecond
+	}
+	capacity := float64(time.Second) / float64(mean)
+
+	tenants := make([]workload.TenantSpec, 3)
+	ids := make([]string, 3)
+	weights := make([]float64, 3)
+	prios := make([]int, 3)
+	for i, m := range []string{"A", "B", "C"} {
+		rf, _ := workload.YCSBMix(m)
+		tenants[i] = workload.TenantSpec{
+			ID: "ycsb-" + m, RatePerSec: mult * capacity / 3,
+			Weight: 1, Priority: i, ReadFrac: rf, Keys: 512, Skew: 0.99, ValueSize: 128,
+		}
+		ids[i], weights[i], prios[i] = tenants[i].ID, 1, i
+	}
+	quotas := admission.QuotasFor(ids, weights, prios, 0.95*capacity)
+	for i := range quotas {
+		quotas[i].Burst = quotas[i].Rate * 0.02
+	}
+	res := admission.NewSim(admission.SimConfig{
+		Tenants:     tenants,
+		Duration:    time.Second,
+		Seed:        7,
+		Nodes:       nodes,
+		Deadline:    50 * mean,
+		MaxAttempts: 3,
+		Backoff:     5 * mean,
+		RetryRatio:  0.1,
+		Admission: &admission.Config{
+			Tenants:  quotas,
+			Target:   4 * mean,
+			Interval: 40 * mean,
+			MaxQueue: 256,
+		},
+		Serve: func(ctx context.Context, op workload.Op, coord topology.NodeID) (time.Duration, error) {
+			if op.Kind == workload.OpPut {
+				return store.PutCtx(ctx, coord, op.Key, op.Value)
+			}
+			_, lat, err := store.GetCtx(ctx, coord, op.Key)
+			if err == kvstore.ErrNotFound {
+				err = nil
+			}
+			return lat, err
+		},
+	}).Run()
+
+	fmt.Printf("overload %.1fx capacity (%.0f ops/s, mean %v, deadline %v):\n",
+		mult, capacity, mean, 50*mean)
+	fmt.Printf("  offered %d, goodput %d (%.0f/s), shed %d (quota %d, queue %d, sojourn %d)\n",
+		res.Offered, res.Goodput, res.GoodputPerSec,
+		res.ShedQuota+res.ShedQueue+res.ShedSojourn,
+		res.ShedQuota, res.ShedQueue, res.ShedSojourn)
+	fmt.Printf("  timeouts %d, retries %d (suppressed %d), admitted p99 %v p999 %v\n",
+		res.Timeouts, res.Retries, res.RetriesSuppressed,
+		time.Duration(res.AdmittedLatency.P99).Round(time.Microsecond),
+		time.Duration(res.AdmittedLatency.P999).Round(time.Microsecond))
 }

@@ -1,0 +1,276 @@
+// Circuit breakers for per-node downstream calls. Two granularities:
+// Breaker is a single virtual-time breaker (the overload simulator keeps
+// one per KV coordinator node); BreakerSet is a wave-ticked per-node set
+// implementing the dataflow engine's core.NodeBreaker hook, where it
+// composes with the three-strike quarantine — the breaker reacts within
+// a wave and recovers through half-open probes, while quarantine is the
+// slower wave-count sentence for repeat offenders. Both layers consult
+// the same success/failure stream, so a node that trips the breaker and
+// keeps failing its probes accumulates quarantine strikes too.
+package admission
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// BreakerState is the classic three-state breaker lifecycle.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: calls flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are refused until the cooldown expires.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is allowed through; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig configures a Breaker or BreakerSet.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures trip the breaker.
+	// Default 5.
+	Threshold int
+	// Cooldown is how long an open breaker refuses calls before
+	// half-opening (virtual time for Breaker; ignored by BreakerSet,
+	// which uses CooldownTicks). Default 100ms.
+	Cooldown time.Duration
+	// CooldownTicks is the BreakerSet cooldown in Tick calls (scheduling
+	// waves). Default 8, matching the engine's QuarantineWaves default.
+	CooldownTicks int64
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	if c.CooldownTicks <= 0 {
+		c.CooldownTicks = 8
+	}
+}
+
+// Breaker is a virtual-time circuit breaker. Safe for concurrent use;
+// the deterministic simulators drive it from one goroutine.
+type Breaker struct {
+	mu      sync.Mutex
+	cfg     BreakerConfig
+	state   BreakerState
+	fails   int
+	until   time.Duration // open expiry (virtual)
+	probing bool
+	opens   int64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.fill()
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed at virtual time now. An open
+// breaker half-opens once its cooldown expires, admitting exactly one
+// probe until Success or Failure settles it.
+func (b *Breaker) Allow(now time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now < b.until {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Success records a successful call: the breaker closes and strikes
+// clear.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed (or timed-out) call at virtual time now. A
+// half-open probe failure re-opens immediately; a closed breaker trips
+// after Threshold consecutive failures.
+func (b *Breaker) Failure(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trip(now)
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.cfg.Threshold {
+		b.trip(now)
+	}
+}
+
+func (b *Breaker) trip(now time.Duration) {
+	b.state = BreakerOpen
+	b.until = now + b.cfg.Cooldown
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// BreakerSet is a per-node breaker set paced by Tick calls (the engine
+// ticks it once per scheduling wave). It implements core.NodeBreaker:
+// placement skips nodes whose breaker is open, task outcomes feed the
+// breakers, and the engine's quarantine remains the outer, slower layer.
+// Safe for concurrent use.
+type BreakerSet struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	tick  int64
+	nodes map[topology.NodeID]*nodeBreaker
+	opens int64
+}
+
+type nodeBreaker struct {
+	state   BreakerState
+	fails   int
+	until   int64 // open expiry tick
+	probing bool
+}
+
+// NewBreakerSet builds an empty set; node breakers materialize on first
+// report.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	cfg.fill()
+	return &BreakerSet{cfg: cfg, nodes: map[topology.NodeID]*nodeBreaker{}}
+}
+
+// Tick advances breaker time by one scheduling wave.
+func (s *BreakerSet) Tick() {
+	s.mu.Lock()
+	s.tick++
+	s.mu.Unlock()
+}
+
+func (s *BreakerSet) node(n topology.NodeID) *nodeBreaker {
+	nb := s.nodes[n]
+	if nb == nil {
+		nb = &nodeBreaker{}
+		s.nodes[n] = nb
+	}
+	return nb
+}
+
+// Allow implements core.NodeBreaker: whether placement may use node n.
+func (s *BreakerSet) Allow(n topology.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nb := s.node(n)
+	switch nb.state {
+	case BreakerOpen:
+		if s.tick < nb.until {
+			return false
+		}
+		nb.state = BreakerHalfOpen
+		nb.probing = false
+		fallthrough
+	case BreakerHalfOpen:
+		if nb.probing {
+			return false
+		}
+		nb.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// ReportSuccess implements core.NodeBreaker.
+func (s *BreakerSet) ReportSuccess(n topology.NodeID) {
+	s.mu.Lock()
+	nb := s.node(n)
+	nb.state = BreakerClosed
+	nb.fails = 0
+	nb.probing = false
+	s.mu.Unlock()
+}
+
+// ReportFailure implements core.NodeBreaker.
+func (s *BreakerSet) ReportFailure(n topology.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nb := s.node(n)
+	if nb.state == BreakerHalfOpen {
+		s.tripLocked(nb)
+		return
+	}
+	nb.fails++
+	if nb.state == BreakerClosed && nb.fails >= s.cfg.Threshold {
+		s.tripLocked(nb)
+	}
+}
+
+func (s *BreakerSet) tripLocked(nb *nodeBreaker) {
+	nb.state = BreakerOpen
+	nb.until = s.tick + s.cfg.CooldownTicks
+	nb.fails = 0
+	nb.probing = false
+	s.opens++
+}
+
+// Opens returns how many node breakers have tripped in total.
+func (s *BreakerSet) Opens() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opens
+}
+
+// NodeState returns node n's breaker state (closed for unseen nodes).
+func (s *BreakerSet) NodeState(n topology.NodeID) BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nb := s.nodes[n]; nb != nil {
+		return nb.state
+	}
+	return BreakerClosed
+}

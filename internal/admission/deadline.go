@@ -1,0 +1,106 @@
+// Virtual-deadline propagation and client-side retry budgets. Deadlines
+// here are *budgets of simulated time*: the serving paths (kvstore quorum
+// ops, stream sources) compute their latency from the netsim cost model,
+// so a wall-clock context deadline is meaningless — instead the remaining
+// virtual budget rides the context, each layer subtracts what it spends,
+// and an operation whose simulated cost exceeds the budget fails with the
+// callee's typed deadline error instead of queueing uselessly.
+package admission
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrDeadline is the sentinel every layer's typed deadline error wraps
+// (kvstore.ErrDeadlineExceeded, stream's deadline source), so callers can
+// errors.Is a timeout apart from a quorum failure regardless of which
+// layer gave up first.
+var ErrDeadline = errors.New("admission: virtual deadline exceeded")
+
+// IsDeadline reports whether err is (or wraps) a virtual-deadline
+// overrun from any layer.
+func IsDeadline(err error) bool { return errors.Is(err, ErrDeadline) }
+
+type budgetKey struct{}
+
+// WithBudget attaches the remaining virtual-time budget to ctx. A layer
+// that spends simulated time d passes WithBudget(ctx, remaining-d) down;
+// a layer whose own simulated cost exceeds the budget must fail with its
+// typed deadline error rather than doing the work.
+func WithBudget(ctx context.Context, remaining time.Duration) context.Context {
+	return context.WithValue(ctx, budgetKey{}, remaining)
+}
+
+// Budget returns the remaining virtual-time budget carried by ctx, and
+// whether one was set.
+func Budget(ctx context.Context) (time.Duration, bool) {
+	d, ok := ctx.Value(budgetKey{}).(time.Duration)
+	return d, ok
+}
+
+// RetryBudget caps client retries at a fixed fraction of fresh traffic:
+// every first-attempt request deposits `ratio` credits (up to a cap) and
+// every retry withdraws one whole credit. Under overload the deposit
+// stream shrinks as requests fail, so the retry stream shrinks with it —
+// the amplification factor is bounded by 1+ratio and a latency excursion
+// cannot feed itself into metastable collapse. A nil *RetryBudget allows
+// every retry (the control-run behaviour). Safe for concurrent use.
+type RetryBudget struct {
+	mu         sync.Mutex
+	ratio      float64
+	cap        float64
+	credit     float64
+	suppressed int64
+}
+
+// NewRetryBudget builds a budget allowing retries for ratio of fresh
+// requests (e.g. 0.1 = 10%). The credit cap is max(10, 100*ratio), so a
+// quiet period cannot bank an unbounded retry burst. Starts with one
+// credit so an isolated failure may always retry once.
+func NewRetryBudget(ratio float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	c := math.Max(10, 100*ratio)
+	return &RetryBudget{ratio: ratio, cap: c, credit: 1}
+}
+
+// Deposit records one fresh (first-attempt) request.
+func (b *RetryBudget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.credit = math.Min(b.cap, b.credit+b.ratio)
+	b.mu.Unlock()
+}
+
+// Withdraw spends one retry credit, reporting whether the retry may
+// proceed. A nil budget always allows.
+func (b *RetryBudget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.credit >= 1 {
+		b.credit--
+		return true
+	}
+	b.suppressed++
+	return false
+}
+
+// Suppressed returns how many retries the budget refused.
+func (b *RetryBudget) Suppressed() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.suppressed
+}

@@ -109,6 +109,14 @@ type KVTarget interface {
 	RecoverNode(topology.NodeID) error
 }
 
+// OverloadTarget is the open-loop traffic surface (implemented by
+// *admission.Sim): SetBurst scales every tenant's arrival rate, and
+// SetTenantFlood scales one tenant's. Factor 1 restores normal traffic.
+type OverloadTarget interface {
+	SetBurst(factor float64)
+	SetTenantFlood(tenant int, factor float64)
+}
+
 // Targets wires a controller to the systems it acts on. Any field may be
 // nil; events silently skip absent targets, so one schedule drives
 // whatever subset a test or experiment assembles.
@@ -127,6 +135,7 @@ type Targets struct {
 	Namenode    NamenodeTarget
 	Coordinator CoordinatorTarget
 	Corrupt     BlockCorrupter
+	Overload    OverloadTarget
 }
 
 // Controller replays a schedule against its targets as virtual time
@@ -171,6 +180,10 @@ func trackOf(e Event) string {
 		return "ha"
 	case CoordCrash:
 		return "driver"
+	case Burst, Unburst:
+		return "clients"
+	case TenantFlood, Unflood:
+		return fmt.Sprintf("tenant-%02d", int(e.Node))
 	default:
 		return fmt.Sprintf("node-%02d", int(e.Node))
 	}
@@ -404,6 +417,22 @@ func (c *Controller) apply(e Event) {
 	case CorruptBlock:
 		if t.Corrupt != nil {
 			_ = t.Corrupt.CorruptBlock(e.Node)
+		}
+	case Burst:
+		if t.Overload != nil {
+			t.Overload.SetBurst(e.Value)
+		}
+	case Unburst:
+		if t.Overload != nil {
+			t.Overload.SetBurst(1)
+		}
+	case TenantFlood:
+		if t.Overload != nil {
+			t.Overload.SetTenantFlood(int(e.Node), e.Value)
+		}
+	case Unflood:
+		if t.Overload != nil {
+			t.Overload.SetTenantFlood(int(e.Node), 1)
 		}
 	}
 	c.applied.With(string(e.Kind)).Inc()

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func (f *fakeTargets) SetBurst(factor float64) {
+	f.log = append(f.log, "burst", fmt.Sprintf("%g", factor))
+}
+func (f *fakeTargets) SetTenantFlood(tenant int, factor float64) {
+	f.log = append(f.log, "flood", fmt.Sprintf("%d:%g", tenant, factor))
+}
+
+func TestOverloadEventKinds(t *testing.T) {
+	sched, err := Parse("2 burst 3\n4 tenant-flood 1 5\n8 unflood 1\n9 unburst\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(sched.String()); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	f := &fakeTargets{}
+	targets := targetsOf(f)
+	targets.Overload = f
+	New(sched, 1, targets, nil).AdvanceTo(10)
+	want := []string{"burst", "3", "flood", "1:5", "flood", "1:1", "burst", "1"}
+	if !reflect.DeepEqual(f.log, want) {
+		t.Fatalf("log = %v, want %v", f.log, want)
+	}
+
+	// Absent target: events are silently skipped, never panic.
+	New(sched, 1, targetsOf(&fakeTargets{}), nil).AdvanceTo(10)
+
+	// The strict parser rejects malformed overload lines.
+	for _, bad := range []string{
+		"1 burst",            // missing factor
+		"1 burst 0",          // non-positive factor
+		"1 burst -2",         // negative factor
+		"1 burst 2 3",        // trailing junk
+		"1 unburst 2",        // unburst takes no args
+		"1 tenant-flood 1",   // missing factor
+		"1 tenant-flood * 2", // tenants are not wildcardable
+		"1 tenant-flood -1 2",
+		"1 unflood",
+		"1 unflood *",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("parser accepted %q", bad)
+		}
+	}
+}
+
+func TestOverloadPreset(t *testing.T) {
+	s, err := Preset("overload", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(s.String()); err != nil {
+		t.Fatalf("overload preset round trip: %v", err)
+	}
+	// Every disturbance must be undone so the system ends healthy.
+	undo := map[Kind]Kind{Burst: Unburst, TenantFlood: Unflood, Degrade: Undegrade}
+	open := map[string]bool{}
+	for _, e := range s {
+		if _, ok := undo[e.Kind]; ok {
+			open[string(e.Kind)+nodeString(e.Node)] = true
+		}
+		switch e.Kind {
+		case Unburst:
+			delete(open, string(Burst)+nodeString(e.Node))
+		case Unflood:
+			delete(open, string(TenantFlood)+nodeString(e.Node))
+		case Undegrade:
+			delete(open, string(Degrade)+nodeString(e.Node))
+		}
+	}
+	if len(open) != 0 {
+		t.Fatalf("overload preset leaves faults active: %v", open)
+	}
+	// Kept out of the compute sweep, like stream/ha.
+	if strings.Contains(strings.Join(PresetNames(), " "), "overload") {
+		t.Fatal("overload preset leaked into the compute preset sweep")
+	}
+}

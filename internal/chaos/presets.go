@@ -16,9 +16,11 @@ import (
 // partition, straggler, flaky, mixed — plus "stream", which targets the
 // stream engine (stream-crash/stream-restore of one worker), and the
 // control-plane presets "nn-crash" (kill + revive the namenode leader),
-// "coord-crash" (kill the job coordinator) and "ha" (both). Those are
-// kept out of PresetNames so the compute-preset sweeps (EFT, chaos.sh)
-// skip them; E-SFT/E-HA and the -stream-chaos/-ha flags use them.
+// "coord-crash" (kill the job coordinator) and "ha" (both), and
+// "overload" (traffic burst + tenant flood + per-node slowdown against
+// the admission layer). Those are kept out of PresetNames so the
+// compute-preset sweeps (EFT, chaos.sh) skip them; E-SFT/E-HA/E-OVL and
+// the -stream-chaos/-ha flags use them.
 func Preset(name string, n int) (Schedule, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("chaos: preset needs >= 2 nodes, got %d", n)
@@ -67,6 +69,22 @@ func Preset(name string, n int) (Schedule, error) {
 			{At: 2, Kind: NNCrash, Node: LeaderNode},
 			{At: 4, Kind: CoordCrash},
 			{At: 5, Kind: NNRevive, Node: LeaderNode},
+		}, nil
+	case "overload":
+		// Traffic burst + tenant flood + a per-node slowdown on the
+		// serving path. The slow node is modelled with degrade (a fabric
+		// cost multiplier) rather than the compute Slow kind, because the
+		// KV quorum path is network-bound: every rtt through the victim
+		// rises 4x, which is what a saturated server looks like to its
+		// clients. Kept out of PresetNames like stream/ha so compute
+		// sweeps skip it; E-OVL and the overload acceptance test use it.
+		return Schedule{
+			{At: 2, Kind: Burst, Value: 3},
+			{At: 4, Kind: TenantFlood, Node: 0, Value: 5},
+			{At: 5, Kind: Degrade, Node: victim, Value: 4},
+			{At: 8, Kind: Undegrade, Node: victim},
+			{At: 9, Kind: Unflood, Node: 0},
+			{At: 10, Kind: Unburst},
 		}, nil
 	case "mixed":
 		return Schedule{

@@ -45,6 +45,14 @@ const (
 	NNRevive      Kind = "nn-revive"
 	CoordCrash    Kind = "coord-crash"
 	CorruptBlock  Kind = "corrupt-block"
+	// Burst/Unburst scale every tenant's open-loop arrival rate by a
+	// factor (traffic burst); TenantFlood/Unflood scale one tenant's rate
+	// (a noisy neighbour flooding its share). Both act on the Overload
+	// target; the Node field carries the tenant index for floods.
+	Burst       Kind = "burst"
+	Unburst     Kind = "unburst"
+	TenantFlood Kind = "tenant-flood"
+	Unflood     Kind = "unflood"
 )
 
 // WildcardNode marks an event whose target node is chosen by the
@@ -96,8 +104,12 @@ func (s Schedule) String() string {
 			fmt.Fprintf(&b, " %s %g", nodeString(e.Node), e.Value)
 		case Degrade:
 			fmt.Fprintf(&b, " %s %g", nodeString(e.Node), e.Value)
-		case Drop:
+		case Drop, Burst:
 			fmt.Fprintf(&b, " %g", e.Value)
+		case TenantFlood:
+			fmt.Fprintf(&b, " %d %g", int(e.Node), e.Value)
+		case Unflood:
+			fmt.Fprintf(&b, " %d", int(e.Node))
 		case Partition:
 			parts := make([]string, len(e.Group))
 			for i, g := range e.Group {
@@ -151,6 +163,17 @@ func memberArg(e *Event, args []string) error {
 	return nil
 }
 
+// tenantArg reads a tenant index into Node. Tenants are workload
+// indices, not cluster nodes, so the "*" wildcard is rejected.
+func tenantArg(e *Event, args []string) error {
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad tenant %q", args[0])
+	}
+	e.Node = topology.NodeID(n)
+	return nil
+}
+
 func valueArg(e *Event, args []string) error {
 	if err := nodeArg(e, args); err != nil {
 		return err
@@ -198,6 +221,27 @@ var kindTable = map[Kind]kindSpec{
 	Undrop:     {"", 0, nil},
 	Heal:       {"", 0, nil},
 	CoordCrash: {"", 0, nil},
+	Unburst:    {"", 0, nil},
+	Burst: {"<factor>", 1, func(e *Event, args []string) error {
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad factor %q", args[0])
+		}
+		e.Value = v
+		return nil
+	}},
+	TenantFlood: {"<tenant> <factor>", 2, func(e *Event, args []string) error {
+		if err := tenantArg(e, args); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad factor %q", args[1])
+		}
+		e.Value = v
+		return nil
+	}},
+	Unflood: {"<tenant>", 1, tenantArg},
 	Partition: {"<groups like 0-3|4-7>", 1, func(e *Event, args []string) error {
 		groups, err := parseGroups(args[0])
 		if err != nil {

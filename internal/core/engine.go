@@ -52,6 +52,20 @@ func (f *fetchError) Error() string {
 // reproducible. Satisfied by *chaos.Controller.
 type ChaosTicker interface{ Tick() }
 
+// NodeBreaker is a per-node circuit breaker the engine consults at task
+// placement, composing with the three-strike quarantine as a faster
+// inner layer: the breaker reacts to consecutive failures within a wave
+// and recovers through half-open probes, while quarantine is the slower
+// wave-count sentence for repeat offenders. Both observe the same task
+// outcome stream. Tick is called once per scheduling wave from the
+// driver thread. Satisfied by *admission.BreakerSet.
+type NodeBreaker interface {
+	Allow(topology.NodeID) bool
+	ReportSuccess(topology.NodeID)
+	ReportFailure(topology.NodeID)
+	Tick()
+}
+
 // Config tunes the engine.
 type Config struct {
 	// Cluster supplies executors, topology and the network fabric; required.
@@ -101,6 +115,11 @@ type Config struct {
 	// QuarantineWaves is how many scheduling waves a quarantined node sits
 	// out before being given another chance. Default 8.
 	QuarantineWaves int
+	// Breaker, when non-nil, is the per-node circuit breaker consulted at
+	// placement alongside quarantine (see NodeBreaker). Task successes
+	// and failures are reported to it; nodes it refuses are skipped
+	// unless that would leave nothing to run on.
+	Breaker NodeBreaker
 	// JobDeadline bounds each RunCtx call; past it the job aborts cleanly
 	// with ErrDeadlineExceeded. Default 0 (none).
 	JobDeadline time.Duration
@@ -675,6 +694,9 @@ func (e *Engine) runTasks(ctx context.Context, stage string, stageTC trace.Trace
 // success clears it entirely ("proven healthy").
 func (e *Engine) tickWave() {
 	e.tickChaos()
+	if e.cfg.Breaker != nil {
+		e.cfg.Breaker.Tick()
+	}
 	e.mu.Lock()
 	e.wave++
 	for n, till := range e.quarantinedTill {
@@ -689,20 +711,26 @@ func (e *Engine) tickWave() {
 }
 
 // placementNodes returns the live nodes eligible for task placement:
-// quarantined nodes are excluded unless that would leave nothing to run
-// on (degrade gracefully, never wedge the job).
+// quarantined and breaker-refused nodes are excluded unless that would
+// leave nothing to run on (degrade gracefully, never wedge the job).
 func (e *Engine) placementNodes() []topology.NodeID {
 	live := e.cfg.Cluster.LiveNodes()
+	breaker := e.cfg.Breaker
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.quarantinedTill) == 0 {
+	if len(e.quarantinedTill) == 0 && breaker == nil {
 		return live
 	}
 	eligible := make([]topology.NodeID, 0, len(live))
 	for _, n := range live {
-		if _, q := e.quarantinedTill[n]; !q {
-			eligible = append(eligible, n)
+		if _, q := e.quarantinedTill[n]; q {
+			continue
 		}
+		if breaker != nil && !breaker.Allow(n) {
+			e.Reg.Counter("breaker_skips").Inc()
+			continue
+		}
+		eligible = append(eligible, n)
 	}
 	if len(eligible) == 0 {
 		return live
@@ -971,8 +999,12 @@ func (e *Engine) speculate(states []*taskState, durations []time.Duration, live 
 	}
 }
 
-// recordTaskSuccess clears a node's failure strikes.
+// recordTaskSuccess clears a node's failure strikes and closes its
+// breaker.
 func (e *Engine) recordTaskSuccess(n topology.NodeID) {
+	if e.cfg.Breaker != nil {
+		e.cfg.Breaker.ReportSuccess(n)
+	}
 	e.mu.Lock()
 	if e.nodeFails[n] != 0 {
 		e.nodeFails[n] = 0
@@ -981,8 +1013,12 @@ func (e *Engine) recordTaskSuccess(n topology.NodeID) {
 }
 
 // recordTaskFailure adds a strike against a node; crossing the threshold
-// quarantines it from placement for QuarantineWaves waves.
+// quarantines it from placement for QuarantineWaves waves. The breaker
+// sees the same failure and may trip sooner — it is the faster layer.
 func (e *Engine) recordTaskFailure(n topology.NodeID) {
+	if e.cfg.Breaker != nil {
+		e.cfg.Breaker.ReportFailure(n)
+	}
 	if e.cfg.QuarantineThreshold < 0 {
 		return
 	}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/admission"
+)
+
+// TestBreakerComposesWithQuarantine runs a job against a node that fails
+// every task, with a per-node circuit breaker wired in under the
+// three-strike quarantine. The breaker (threshold 2) trips before the
+// quarantine sentence lands, placement skips the node, and the job still
+// completes correctly — the two layers observe the same outcome stream
+// without fighting each other.
+func TestBreakerComposesWithQuarantine(t *testing.T) {
+	br := admission.NewBreakerSet(admission.BreakerConfig{Threshold: 2, CooldownTicks: 4})
+	e := testEngine(t, 4, Config{Breaker: br})
+	e.SetNodeFailProb(1, 1)
+	got := collectInts(t, e, sliceSource(e, ints(200), 8))
+	sort.Ints(got)
+	want := ints(200)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if v := br.Opens(); v < 1 {
+		t.Fatalf("breaker opens = %d, want >= 1", v)
+	}
+	if v := e.Reg.Counter("breaker_skips").Value(); v < 1 {
+		t.Fatalf("breaker_skips = %d, want >= 1", v)
+	}
+	// A healthy node's breaker stays closed throughout.
+	if st := br.NodeState(0); st != admission.BreakerClosed {
+		t.Fatalf("healthy node breaker state = %v", st)
+	}
+}
+
+// TestBreakerProbeRecovery verifies the half-open path end to end: once
+// the failing node heals, the cooldown expires, a probe succeeds and the
+// node returns to service. Quarantine is disabled so the breaker alone
+// controls placement — with both on, the longer quarantine sentence
+// holds the node out past this short job (see the composition test
+// above).
+func TestBreakerProbeRecovery(t *testing.T) {
+	br := admission.NewBreakerSet(admission.BreakerConfig{Threshold: 2, CooldownTicks: 2})
+	e := testEngine(t, 2, Config{Breaker: br, QuarantineThreshold: -1})
+	e.SetNodeFailProb(1, 1)
+	if got := collectInts(t, e, sliceSource(e, ints(50), 4)); len(got) != 50 {
+		t.Fatalf("got %d rows, want 50", len(got))
+	}
+	if br.Opens() < 1 {
+		t.Fatal("breaker never tripped")
+	}
+	e.SetNodeFailProb(1, 0) // node heals
+	// The breaker half-opens once its cooldown ticks pass; each job runs
+	// at least one wave, so within a few jobs a probe lands on the
+	// healed node, succeeds and closes the breaker.
+	for i := 0; i < 5 && br.NodeState(1) != admission.BreakerClosed; i++ {
+		if got := collectInts(t, e, sliceSource(e, ints(50), 4)); len(got) != 50 {
+			t.Fatalf("got %d rows after heal, want 50", len(got))
+		}
+	}
+	if st := br.NodeState(1); st != admission.BreakerClosed {
+		t.Fatalf("healed node breaker state = %v, want closed", st)
+	}
+}

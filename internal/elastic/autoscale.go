@@ -7,7 +7,9 @@ package elastic
 
 import (
 	"math"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -25,6 +27,16 @@ type Policy struct {
 	// ProvisionDelaySteps is how long a launched node takes to come up.
 	// Default 2.
 	ProvisionDelaySteps int
+	// SLOTargetP99, when positive, switches the scaler from utilization
+	// tracking to SLO tracking: each step's request latency is modeled
+	// from the fleet's load and observed into a windowed histogram
+	// (metrics.WindowedHistogram), and the scaler reacts to the window's
+	// p99 — up 25% on a breach, down one node when p99 sits below half
+	// the target. Latency is the signal users actually feel; utilization
+	// is only a proxy for it, and the proxy misreads workloads whose
+	// per-request cost varies (the admission layer's shed decisions are
+	// p99-driven for the same reason).
+	SLOTargetP99 time.Duration
 	// Disabled freezes the fleet at Min (static provisioning baseline).
 	Disabled bool
 }
@@ -62,7 +74,10 @@ type Config struct {
 	// SpotPreemptProb is the per-step, per-node probability of losing a
 	// node to a spot reclaim.
 	SpotPreemptProb float64
-	// Seed drives preemption randomness.
+	// BaseLatency is the unloaded per-request latency of the modeled
+	// service, used by the SLO-driven policy (SLOTargetP99). Default 2ms.
+	BaseLatency time.Duration
+	// Seed drives preemption and latency-jitter randomness.
 	Seed uint64
 }
 
@@ -86,6 +101,9 @@ type Result struct {
 	UtilSeries []float64
 	// NodeSeries is the per-step active fleet size.
 	NodeSeries []int
+	// P99Series is the per-step windowed p99 of modeled request latency
+	// (only populated when the SLO-driven policy runs).
+	P99Series []time.Duration
 }
 
 // Simulate runs the trace under cfg.
@@ -97,14 +115,20 @@ func Simulate(trace []workload.LoadPoint, cfg Config) Result {
 		cfg.SLOUtil = 0.9
 	}
 	cfg.Policy.fill()
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 2 * time.Millisecond
+	}
 	r := rng.New(cfg.Seed)
+	// One trace step is one virtual second; the latency histogram
+	// windows at the same width so each step reads its own window's p99.
+	hist := metrics.NewWindowedHistogram(time.Second)
 
 	active := cfg.Policy.Min
 	pending := make([]int, 0) // steps remaining until each pending node is up
 	cooldown := 0
 	res := Result{}
 
-	for _, pt := range trace {
+	for step, pt := range trace {
 		// Pending nodes come up.
 		var still []int
 		for _, left := range pending {
@@ -146,11 +170,55 @@ func Simulate(trace []workload.LoadPoint, cfg Config) Result {
 			res.PeakNodes = active
 		}
 
-		// Autoscaler reacts to the observed utilization.
+		// The SLO-driven policy observes modeled request latency for this
+		// step regardless of whether it will scale, so P99Series and the
+		// histogram reflect the whole run.
+		var p99 time.Duration
+		if cfg.Policy.SLOTargetP99 > 0 {
+			p99 = observeStepLatency(hist, r, step, util, cfg.BaseLatency)
+			res.P99Series = append(res.P99Series, p99)
+		}
+
+		// Autoscaler reacts to the observed signal.
 		if cooldown > 0 {
 			cooldown--
 		}
-		if !cfg.Policy.Disabled {
+		switch {
+		case cfg.Policy.Disabled:
+			if active < cfg.Policy.Min {
+				// Static fleets replace preempted nodes immediately.
+				active = cfg.Policy.Min
+			}
+		case cfg.Policy.SLOTargetP99 > 0:
+			// SLO tracking: scale on the windowed p99, not utilization.
+			provisioned := active + len(pending)
+			switch {
+			case p99 > cfg.Policy.SLOTargetP99 && provisioned < cfg.Policy.Max:
+				add := provisioned / 4
+				if add < 1 {
+					add = 1
+				}
+				if provisioned+add > cfg.Policy.Max {
+					add = cfg.Policy.Max - provisioned
+				}
+				for i := 0; i < add; i++ {
+					if cfg.Policy.ProvisionDelaySteps == 0 {
+						active++
+					} else {
+						pending = append(pending, cfg.Policy.ProvisionDelaySteps)
+					}
+				}
+				res.ScaleUps++
+			case p99 < cfg.Policy.SLOTargetP99/2 && cooldown == 0 && active > cfg.Policy.Min && len(pending) == 0:
+				// Latency holds far under target: shed one node at a
+				// time, gated by cooldown — scale-down mistakes cost
+				// SLO breaches, so the policy is deliberately slower
+				// downhill than uphill.
+				active--
+				cooldown = cfg.Policy.CooldownSteps
+				res.ScaleDowns++
+			}
+		default:
 			desired := int(math.Ceil(pt.Rate / (cfg.PerNodeCapacity * cfg.Policy.TargetUtil)))
 			if desired < cfg.Policy.Min {
 				desired = cfg.Policy.Min
@@ -174,9 +242,6 @@ func Simulate(trace []workload.LoadPoint, cfg Config) Result {
 				cooldown = cfg.Policy.CooldownSteps
 				res.ScaleDowns++
 			}
-		} else if active < cfg.Policy.Min {
-			// Static fleets replace preempted nodes immediately.
-			active = cfg.Policy.Min
 		}
 	}
 	if len(trace) > 0 {
@@ -184,6 +249,33 @@ func Simulate(trace []workload.LoadPoint, cfg Config) Result {
 		res.ViolationFrac = float64(res.Violations) / float64(len(trace))
 	}
 	return res
+}
+
+// observeStepLatency models one step of request latency on a fleet at
+// the given utilization and returns the step window's p99. The model is
+// the M/M/1 queueing curve lat = base/(1-rho) with rho capped at 0.98
+// (past saturation the backlog term below takes over), plus a linear
+// backlog penalty once offered load exceeds capacity, sampled with
+// seeded uniform jitter so the window has a distribution rather than a
+// point.
+func observeStepLatency(hist *metrics.WindowedHistogram, r *rng.RNG, step int, util float64, base time.Duration) time.Duration {
+	rho := math.Min(util, 0.98)
+	lat := float64(base) / (1 - rho)
+	if util > 1 {
+		lat += float64(base) * (util - 1) * 25
+	}
+	at := time.Duration(step) * time.Second
+	const samples = 24
+	for k := 0; k < samples; k++ {
+		f := 0.75 + 0.5*r.Float64()
+		hist.Observe(at, int64(lat*f))
+	}
+	for _, w := range hist.Series() {
+		if w.Start == at {
+			return time.Duration(w.P99)
+		}
+	}
+	return 0
 }
 
 // Static runs the trace with a fixed fleet of n nodes.

@@ -152,6 +152,97 @@ func TestPeakNodesFor(t *testing.T) {
 	}
 }
 
+func TestSLOPolicyTracksLatency(t *testing.T) {
+	tr := trace()
+	res := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{Min: 2, Max: 64, SLOTargetP99: 20 * time.Millisecond},
+		Seed:            8,
+	})
+	if len(res.P99Series) != len(tr) {
+		t.Fatalf("P99Series has %d points, want %d", len(res.P99Series), len(tr))
+	}
+	if res.ScaleUps == 0 || res.ScaleDowns == 0 {
+		t.Fatalf("no scaling activity: ups=%d downs=%d", res.ScaleUps, res.ScaleDowns)
+	}
+	// Once the fleet settles, the windowed p99 must sit at or under the
+	// target for the vast majority of steps. A 20ms target on a 2ms base
+	// latency puts the breach point just under the rho=0.9 utilization SLO
+	// line, so the policy reacts before a utilization violation lands.
+	breaches := 0
+	for _, p := range res.P99Series {
+		if p > 20*time.Millisecond {
+			breaches++
+		}
+	}
+	if frac := float64(breaches) / float64(len(res.P99Series)); frac > 0.15 {
+		t.Fatalf("p99 over target on %.1f%% of steps", frac*100)
+	}
+	if res.ViolationFrac > 0.1 {
+		t.Fatalf("SLO violations %.1f%% under latency-driven scaling", res.ViolationFrac*100)
+	}
+}
+
+func TestSLOPolicyScalesUpOnBreach(t *testing.T) {
+	// Step-function load: latency blows past target at the step, and the
+	// SLO policy must react by growing the fleet.
+	var tr []workload.LoadPoint
+	for i := 0; i < 30; i++ {
+		rate := 100.0
+		if i >= 10 {
+			rate = 1200
+		}
+		tr = append(tr, workload.LoadPoint{Time: time.Duration(i) * time.Minute, Rate: rate})
+	}
+	res := Simulate(tr, Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{Min: 2, Max: 64, SLOTargetP99: 40 * time.Millisecond, ProvisionDelaySteps: 1},
+		Seed:            9,
+	})
+	if res.ScaleUps == 0 {
+		t.Fatal("SLO policy never scaled up across a 12x load step")
+	}
+	// p99 must breach at the step and recover by the end.
+	if res.P99Series[10] <= 40*time.Millisecond {
+		t.Fatalf("p99 at the load step = %v, expected a breach", res.P99Series[10])
+	}
+	if last := res.P99Series[len(res.P99Series)-1]; last > 40*time.Millisecond {
+		t.Fatalf("p99 never recovered: %v at end of trace", last)
+	}
+	if res.PeakNodes < 20 {
+		t.Fatalf("peak fleet %d never approached the 1200 r/s demand", res.PeakNodes)
+	}
+}
+
+func TestSLOPolicyDeterministic(t *testing.T) {
+	tr := trace()
+	cfg := Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{Min: 2, Max: 64, SLOTargetP99: 40 * time.Millisecond},
+		Seed:            10,
+	}
+	a, b := Simulate(tr, cfg), Simulate(tr, cfg)
+	if a.NodeSteps != b.NodeSteps || a.ScaleUps != b.ScaleUps || a.ScaleDowns != b.ScaleDowns {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.P99Series {
+		if a.P99Series[i] != b.P99Series[i] {
+			t.Fatalf("P99Series diverged at step %d: %v vs %v", i, a.P99Series[i], b.P99Series[i])
+		}
+	}
+}
+
+func TestUtilizationPolicySkipsP99Series(t *testing.T) {
+	res := Simulate(trace(), Config{
+		PerNodeCapacity: 50,
+		Policy:          Policy{TargetUtil: 0.65, Min: 2, Max: 64},
+		Seed:            11,
+	})
+	if len(res.P99Series) != 0 {
+		t.Fatalf("utilization policy populated P99Series (%d points)", len(res.P99Series))
+	}
+}
+
 func BenchmarkSimulate(b *testing.B) {
 	tr := workload.DiurnalTrace(2016, 5*time.Minute, 100, 1000, 2.5, 1)
 	cfg := Config{PerNodeCapacity: 50, Policy: Policy{TargetUtil: 0.65, Min: 2, Max: 64}}

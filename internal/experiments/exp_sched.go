@@ -116,5 +116,10 @@ func E11Autoscale(s Scale) *Table {
 		SpotPreemptProb: 0.005,
 		Seed:            11,
 	}))
+	add("slo-p99", elastic.Simulate(trace, elastic.Config{
+		PerNodeCapacity: 50,
+		Policy:          elastic.Policy{Min: 2, Max: peak + 8, SLOTargetP99: 20 * time.Millisecond},
+		Seed:            11,
+	}))
 	return t
 }

@@ -181,6 +181,14 @@ func TestE11Shapes(t *testing.T) {
 	if autoViol >= meanViol {
 		t.Fatalf("autoscaler violations %v%% >= mean-static %v%%", autoViol, meanViol)
 	}
+	// The SLO-driven policy must appear and also beat mean-static.
+	slo, ok := byName["slo-p99"]
+	if !ok {
+		t.Fatal("slo-p99 row missing")
+	}
+	if sloViol := parse(t, strings.TrimSuffix(slo[3], "%")); sloViol >= meanViol {
+		t.Fatalf("slo-p99 violations %v%% >= mean-static %v%%", sloViol, meanViol)
+	}
 }
 
 func TestE12Shapes(t *testing.T) {
@@ -194,8 +202,8 @@ func TestE12Shapes(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -300,5 +308,43 @@ func TestEHAShapes(t *testing.T) {
 				t.Fatalf("row %v: no journaled stage was resumed", row)
 			}
 		}
+	}
+}
+
+func TestEOVLShapes(t *testing.T) {
+	table := runAndCheck(t, EOVLOverload)
+	// 4 offered-load multiples x {admission, control} + one chaos row.
+	if len(table.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(table.Rows))
+	}
+	goodput := map[string]float64{} // "mult/mode" -> goodput/s
+	for _, row := range table.Rows {
+		key := row[0] + "/" + row[1]
+		goodput[key] = parse(t, row[3])
+		if row[1] != "control" {
+			// Every defended row (chaos included) must pass the
+			// linearizability oracle.
+			if row[len(row)-1] != "ok" {
+				t.Fatalf("row %v failed the linearizability check", row)
+			}
+			// ...and keep sheds flowing past saturation.
+			if mult := parse(t, row[0]); mult > 1 && parse(t, strings.TrimSuffix(row[6], "%")) <= 0 {
+				t.Fatalf("row %v: overloaded defended run shed nothing", row)
+			}
+		}
+	}
+	// Headline: defended goodput is flat past saturation (2x within 10%
+	// of the best defended point), while the control run collapses.
+	peak := 0.0
+	for _, m := range []string{"0.5x", "1.0x", "1.5x", "2.0x"} {
+		if g := goodput[m+"/admission"]; g > peak {
+			peak = g
+		}
+	}
+	if at2x := goodput["2.0x/admission"]; at2x < 0.9*peak {
+		t.Fatalf("defended goodput at 2x = %.0f, below 90%% of peak %.0f", at2x, peak)
+	}
+	if ctrl, def := goodput["2.0x/control"], goodput["2.0x/admission"]; ctrl >= 0.5*def {
+		t.Fatalf("control goodput %.0f did not collapse vs defended %.0f", ctrl, def)
 	}
 }

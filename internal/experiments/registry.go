@@ -25,5 +25,6 @@ func All() []Runner {
 		{"EFT", "fault tolerance under chaos", EFTChaos},
 		{"E-SFT", "streaming exactly-once fault tolerance", ESFTStream},
 		{"E-HA", "control-plane HA failover", EHAControlPlane},
+		{"E-OVL", "overload admission control", EOVLOverload},
 	}
 }

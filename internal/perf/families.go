@@ -17,12 +17,14 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"time"
 
 	hpbdc "repro"
+	"repro/internal/admission"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -229,7 +231,98 @@ func runKV(o Options) (*Result, error) {
 	if virtual > 0 {
 		r.Metrics["ops_per_sec"] = float64(o.Ops) / virtual.Seconds()
 	}
+
+	// Overload segment: drive the same store build at 2x its measured
+	// closed-loop capacity through the admission stack, open-loop. The
+	// whole segment is virtual time, so goodput-at-saturation and the
+	// admitted tail are seed-deterministic; its windows are appended
+	// after the mix's, offset by the mix's virtual elapsed time.
+	mean := virtual / time.Duration(o.Ops)
+	if mean <= 0 {
+		mean = time.Microsecond
+	}
+	capacity := float64(time.Second) / float64(mean)
+	ovlDur := 500 * time.Millisecond
+	if o.Quick {
+		ovlDur = 200 * time.Millisecond
+	}
+	ovlStore, err := kvstore.New(kvstore.Config{Fabric: netsim.NewFabric(top, model), N: 3, R: 2, W: 2})
+	if err != nil {
+		return nil, err
+	}
+	ovl := admission.NewSim(overloadSimConfig(ovlStore, nodes, capacity, mean, ovlDur, o.Seed)).Run()
+	for _, w := range windowsFromSamples(ovl.Windows) {
+		w.StartNs += int64(virtual)
+		r.Windows = append(r.Windows, w)
+	}
+	r.Params["overload_mult"] = "2"
+	r.Params["overload_ms"] = fmt.Sprint(ovlDur.Milliseconds())
+	r.Shape["overload_offered"] = ovl.Offered
+	r.Shape["overload_goodput"] = ovl.Goodput
+	r.Shape["overload_shed"] = ovl.ShedQuota + ovl.ShedQueue + ovl.ShedSojourn
+	r.Shape["overload_checksum"] = int64(ovl.Checksum >> 1)
+	r.Shape["windows"] = int64(len(r.Windows)) // recount: overload windows included
+	r.Metrics["overload_goodput_per_sec"] = ovl.GoodputPerSec
+	r.Metrics["overload_admitted_p999_ns"] = float64(ovl.AdmittedLatency.P999)
 	return r, nil
+}
+
+// overloadSimConfig assembles the kv family's fixed overload run: three
+// equal-weight YCSB tenants at twice the measured capacity, quotas at
+// 95% of capacity, CoDel and deadline knobs scaled off the measured
+// mean service latency (the same sizing rule E-OVL uses).
+func overloadSimConfig(store *kvstore.Store, nodes int, capacity float64, mean, dur time.Duration, seed uint64) admission.SimConfig {
+	tenants := make([]workload.TenantSpec, 3)
+	for i, m := range []string{"A", "B", "C"} {
+		rf, _ := workload.YCSBMix(m)
+		tenants[i] = workload.TenantSpec{
+			ID:         "ycsb-" + m,
+			RatePerSec: 2 * capacity / 3,
+			Weight:     1,
+			Priority:   i,
+			ReadFrac:   rf,
+			Keys:       512,
+			Skew:       0.99,
+			ValueSize:  128,
+		}
+	}
+	ids := make([]string, len(tenants))
+	weights := make([]float64, len(tenants))
+	prios := make([]int, len(tenants))
+	for i, t := range tenants {
+		ids[i], weights[i], prios[i] = t.ID, t.Weight, t.Priority
+	}
+	quotas := admission.QuotasFor(ids, weights, prios, 0.95*capacity)
+	for i := range quotas {
+		quotas[i].Burst = quotas[i].Rate * 0.02
+	}
+	return admission.SimConfig{
+		Tenants:     tenants,
+		Duration:    dur,
+		Seed:        seed,
+		Nodes:       nodes,
+		Deadline:    50 * mean,
+		MaxAttempts: 3,
+		Backoff:     5 * mean,
+		RetryRatio:  0.1,
+		WindowWidth: dur / 8,
+		Admission: &admission.Config{
+			Tenants:  quotas,
+			Target:   4 * mean,
+			Interval: 40 * mean,
+			MaxQueue: 256,
+		},
+		Serve: func(ctx context.Context, op workload.Op, coord topology.NodeID) (time.Duration, error) {
+			if op.Kind == workload.OpPut {
+				return store.PutCtx(ctx, coord, op.Key, op.Value)
+			}
+			_, lat, err := store.GetCtx(ctx, coord, op.Key)
+			if err == kvstore.ErrNotFound {
+				err = nil
+			}
+			return lat, err
+		},
+	}
 }
 
 func transportModel(name string) (netsim.Model, error) {

@@ -9,13 +9,16 @@
 package stream
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -401,17 +404,36 @@ func (r *Runner) RestoreWorker(int) error {
 // controller needs the Runner as its target, so it is built second).
 func (r *Runner) OnTick(fn func()) { r.cfg.Tick = fn }
 
+// ErrRunDeadline is returned by RunCtx when the run overruns its
+// context deadline or virtual admission budget. It wraps
+// admission.ErrDeadline, so admission.IsDeadline matches it the same
+// way it matches kvstore deadline overruns.
+var ErrRunDeadline = fmt.Errorf("stream: run deadline exceeded: %w", admission.ErrDeadline)
+
 // Run drives the source to exhaustion and returns the pipeline's final
 // results. If workers are still dead when the source runs dry (a schedule
 // with a crash but no restore), Run recovers once more before closing, so
 // a crashed run never silently loses data.
 func (r *Runner) Run() ([]Result, error) {
+	return r.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation and deadline propagation: the context
+// is checked at every record boundary (never mid-record, so aborts leave
+// no half-applied event). A cancelled context aborts with ctx.Err(); a
+// context deadline, or a virtual admission budget (admission.WithBudget)
+// that the stream's event-time progress has exhausted, aborts with
+// ErrRunDeadline. Aborting closes the pipeline so its worker goroutines
+// never outlive the run; partial results are discarded — callers who
+// want a graceful drain at a deadline should wrap the source in a
+// DeadlineSource instead.
+func (r *Runner) RunCtx(ctx context.Context) ([]Result, error) {
 	// One Run = one trace: the run-root span on the coordinator track is
 	// what checkpoint barriers (and through them worker snapshots) and
 	// recoveries causally chain back to.
 	endRun, runTC := r.cfg.Pipeline.Tracer.BeginCtx("stream run", "job", "stream-coordinator", trace.TraceContext{})
 	r.runTC = runTC
-	res, err := r.run()
+	res, err := r.run(ctx)
 	outcome := "ok"
 	if err != nil {
 		outcome = err.Error()
@@ -420,8 +442,31 @@ func (r *Runner) Run() ([]Result, error) {
 	return res, err
 }
 
-func (r *Runner) run() ([]Result, error) {
+// gate reports whether the run may process another record: real
+// cancellation and deadline from ctx, plus the virtual budget measured
+// against how far the run's event time has advanced.
+func (r *Runner) gate(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return ErrRunDeadline
+		}
+		return ctx.Err()
+	default:
+	}
+	if b, ok := admission.Budget(ctx); ok && r.wmHigh > b {
+		return ErrRunDeadline
+	}
+	return nil
+}
+
+func (r *Runner) run(ctx context.Context) ([]Result, error) {
 	for {
+		if err := r.gate(ctx); err != nil {
+			r.p.Reg.Counter("stream_run_aborted").Inc()
+			r.p.Close()
+			return nil, err
+		}
 		if err := r.applyPending(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+)
+
+// waitStreamGoroutines polls until the goroutine count falls back to the
+// baseline — pipeline workers shut down asynchronously after Close, so a
+// plain count right after an abort races the teardown.
+func waitStreamGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+}
+
+func deadlineRunner(src Source) *Runner {
+	return NewRunner(RunConfig{
+		Pipeline:        Config{Workers: 4, Window: 200 * time.Millisecond},
+		CheckpointEvery: 1000,
+		WatermarkEvery:  100,
+		WatermarkLag:    5 * time.Millisecond,
+	}, src)
+}
+
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	a, err := deadlineRunner(NewGeneratorSource(5, 3000, 16, time.Millisecond, 4*time.Millisecond)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := deadlineRunner(NewGeneratorSource(5, 3000, 16, time.Millisecond, 4*time.Millisecond)).RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("RunCtx(Background) diverged from Run: %d vs %d results", len(b), len(a))
+	}
+}
+
+func TestRunCtxAbortsOnBudget(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	src := NewGeneratorSource(5, 6000, 16, time.Millisecond, 4*time.Millisecond)
+	r := deadlineRunner(src)
+	// 6000 events at 1ms/step run to ~6s of event time; a 1s budget must
+	// cut the run short with the typed deadline error.
+	res, err := r.RunCtx(admission.WithBudget(context.Background(), time.Second))
+	if err == nil {
+		t.Fatal("run with a 1s event-time budget completed")
+	}
+	if !errors.Is(err, ErrRunDeadline) || !admission.IsDeadline(err) {
+		t.Fatalf("error = %v, want ErrRunDeadline wrapping admission.ErrDeadline", err)
+	}
+	if res != nil {
+		t.Fatalf("aborted run returned %d results, want none", len(res))
+	}
+	if got := r.Metrics().Counter("stream_run_aborted").Value(); got != 1 {
+		t.Fatalf("stream_run_aborted = %d, want 1", got)
+	}
+	// The abort only stopped the driver between records.
+	if off := src.Offset(); off <= 0 || off >= 6000 {
+		t.Fatalf("source offset %d, want a partial read", off)
+	}
+	waitStreamGoroutines(t, baseline)
+}
+
+func TestRunCtxCancelPassesThrough(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := deadlineRunner(NewGeneratorSource(5, 3000, 16, time.Millisecond, 0)).RunCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if admission.IsDeadline(err) {
+		t.Fatal("cancellation must not read as a deadline")
+	}
+	waitStreamGoroutines(t, baseline)
+}
+
+func TestDeadlineSourceGracefulDrain(t *testing.T) {
+	inner := NewGeneratorSource(5, 6000, 16, time.Millisecond, 0)
+	src := NewDeadlineSource(inner, time.Second)
+	res, err := deadlineRunner(src).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Tripped() {
+		t.Fatal("budget never tripped on a 6s stream")
+	}
+	if len(res) == 0 {
+		t.Fatal("graceful drain discarded all results")
+	}
+	// Only the in-budget prefix was read; the over-budget event was left
+	// unread (offsets stay honest for replay).
+	if off := inner.Offset(); off != 1001 {
+		t.Fatalf("inner offset = %d, want 1001 (events 0..1000 fit a 1s budget at 1ms steps)", off)
+	}
+	for _, w := range res {
+		if w.WindowStart > time.Second {
+			t.Fatalf("result window at %v past the 1s budget", w.WindowStart)
+		}
+	}
+}
+
+func TestDeadlineSourceUnlimitedAndReplay(t *testing.T) {
+	// budget <= 0 is a no-op wrapper.
+	plain, err := deadlineRunner(NewGeneratorSource(5, 3000, 16, time.Millisecond, 4*time.Millisecond)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := deadlineRunner(NewDeadlineSource(
+		NewGeneratorSource(5, 3000, 16, time.Millisecond, 4*time.Millisecond), 0)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) == 0 || len(plain) != len(wrapped) {
+		t.Fatalf("unlimited DeadlineSource diverged: %d vs %d results", len(wrapped), len(plain))
+	}
+
+	// A crash forces recovery to rewind through the wrapper; the replayed
+	// run must still drain exactly at the budget.
+	src := NewDeadlineSource(NewGeneratorSource(5, 6000, 16, time.Millisecond, 0), time.Second)
+	r := deadlineRunner(src)
+	tick := 0
+	r.OnTick(func() {
+		tick++
+		if tick == 2 {
+			_ = r.CrashWorker(1)
+		}
+		if tick == 4 {
+			_ = r.RestoreWorker(1)
+		}
+	})
+	r.cfg.TickEvery = 200
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Tripped() {
+		t.Fatal("budget never tripped after replay")
+	}
+	if len(res) == 0 {
+		t.Fatal("no results after crash + budget drain")
+	}
+}

@@ -125,6 +125,160 @@ func KVOps(n, keys int, s, readFrac float64, valueSize int, seed uint64) []Op {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-tenant open-loop arrival traces
+
+// YCSBMix returns the read fraction of the named YCSB core-workload mix:
+// A (update-heavy, 50% reads), B (read-mostly, 95%) or C (read-only).
+func YCSBMix(name string) (readFrac float64, ok bool) {
+	switch name {
+	case "A", "a":
+		return 0.5, true
+	case "B", "b":
+		return 0.95, true
+	case "C", "c":
+		return 1.0, true
+	}
+	return 0, false
+}
+
+// TenantSpec describes one tenant of a multi-tenant serving workload:
+// its open-loop arrival rate, its fair-queueing weight and shedding
+// priority at admission, and its YCSB-style operation mix over a private
+// Zipf-skewed keyspace.
+type TenantSpec struct {
+	// ID names the tenant and prefixes its keys (tenants never collide).
+	ID string
+	// RatePerSec is the open-loop mean arrival rate (Poisson).
+	RatePerSec float64
+	// Weight is the tenant's weighted-fair share at admission (default 1).
+	Weight float64
+	// Priority is the shedding tier (lower sheds first).
+	Priority int
+	// ReadFrac is the read fraction of the op mix (see YCSBMix).
+	ReadFrac float64
+	// Keys is the tenant keyspace size (default 1024); Skew the Zipf
+	// exponent over it (0 = uniform); ValueSize the write payload bytes
+	// (default 128).
+	Keys      int
+	Skew      float64
+	ValueSize int
+}
+
+func (t *TenantSpec) fill() {
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.Keys <= 0 {
+		t.Keys = 1024
+	}
+	if t.ValueSize <= 0 {
+		t.ValueSize = 128
+	}
+}
+
+// Arrival is one event of a multi-tenant arrival trace.
+type Arrival struct {
+	At     time.Duration
+	Tenant int
+	Op     Op
+}
+
+// ArrivalGen generates one tenant's open-loop arrival stream
+// incrementally: exponential inter-arrival gaps at RatePerSec scaled by
+// a mutable rate factor (the hook traffic-burst and tenant-flood chaos
+// events turn), operations drawn Zipf(Skew) over the tenant keyspace
+// with the tenant's read fraction. Deterministic given the seed and the
+// virtual times at which SetFactor is called. Not safe for concurrent
+// use; the simulator drives it from its single event loop.
+type ArrivalGen struct {
+	spec   TenantSpec
+	tenant int
+	r      *rng.RNG
+	z      *rng.Zipf
+	next   time.Duration
+	factor float64
+}
+
+// NewArrivalGen builds a generator for tenant (an index the trace
+// carries through to admission) from spec. The first arrival is one
+// exponential gap after the epoch.
+func NewArrivalGen(tenant int, spec TenantSpec, seed uint64) *ArrivalGen {
+	spec.fill()
+	r := rng.New(seed + uint64(tenant)*0x9e3779b97f4a7c15)
+	g := &ArrivalGen{
+		spec:   spec,
+		tenant: tenant,
+		r:      r,
+		z:      rng.NewZipf(r, spec.Keys, spec.Skew),
+		factor: 1,
+	}
+	g.next = g.gap()
+	return g
+}
+
+func (g *ArrivalGen) gap() time.Duration {
+	rate := g.spec.RatePerSec * g.factor
+	if rate <= 0 {
+		rate = 1e-9 // effectively paused
+	}
+	return time.Duration(g.r.ExpFloat64() / rate * float64(time.Second))
+}
+
+// Peek returns the next arrival time without consuming it.
+func (g *ArrivalGen) Peek() time.Duration { return g.next }
+
+// SetFactor scales the tenant's arrival rate from now on (burst and
+// flood injection); factor 1 restores the configured rate.
+func (g *ArrivalGen) SetFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	g.factor = f
+}
+
+// Next consumes and returns the next arrival.
+func (g *ArrivalGen) Next() Arrival {
+	at := g.next
+	g.next += g.gap()
+	key := fmt.Sprintf("%s-%07d", g.spec.ID, g.z.Next())
+	op := Op{Kind: OpGet, Key: key}
+	if g.r.Float64() >= g.spec.ReadFrac {
+		v := make([]byte, g.spec.ValueSize)
+		g.r.Bytes(v)
+		op = Op{Kind: OpPut, Key: key, Value: v}
+	}
+	return Arrival{At: at, Tenant: g.tenant, Op: op}
+}
+
+// MultiTenantArrivals materializes the merged, time-ordered arrival
+// trace of all tenants over [0, duration) — the open-loop equivalent of
+// KVOps for million-client multi-tenant serving. Rates are fixed at
+// their configured values; simulators that need mid-run bursts drive
+// ArrivalGen directly.
+func MultiTenantArrivals(tenants []TenantSpec, duration time.Duration, seed uint64) []Arrival {
+	gens := make([]*ArrivalGen, len(tenants))
+	for i, t := range tenants {
+		gens[i] = NewArrivalGen(i, t, seed)
+	}
+	var out []Arrival
+	for {
+		best := -1
+		for i, g := range gens {
+			if g.Peek() >= duration {
+				continue
+			}
+			if best < 0 || g.Peek() < gens[best].Peek() {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, gens[best].Next())
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Graphs
 
 // Edge is a directed, weighted graph edge.

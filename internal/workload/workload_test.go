@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"math"
 	"sort"
 	"strings"
 	"testing"
@@ -234,5 +235,140 @@ func BenchmarkTeraGen(b *testing.B) {
 func BenchmarkRMAT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = RMAT(12, 8, uint64(i))
+	}
+}
+
+// TestKVOpsSkewZeroUniform verifies the hpbdc-kvbench `-skew 0` claim:
+// a zero Zipf exponent must produce near-uniform key frequencies.
+func TestKVOpsSkewZeroUniform(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		keys int
+	}{
+		{"small-keyspace", 40000, 16},
+		{"medium-keyspace", 60000, 64},
+		{"wide-keyspace", 100000, 256},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ops := KVOps(tc.n, tc.keys, 0, 0.5, 16, 99)
+			freq := map[string]int{}
+			for _, op := range ops {
+				freq[op.Key]++
+			}
+			if len(freq) != tc.keys {
+				t.Fatalf("saw %d distinct keys, want %d", len(freq), tc.keys)
+			}
+			expect := float64(tc.n) / float64(tc.keys)
+			for k, c := range freq {
+				// 4-sigma binomial bound around the uniform expectation.
+				sigma := math.Sqrt(expect * (1 - 1/float64(tc.keys)))
+				if d := float64(c) - expect; d > 4*sigma || d < -4*sigma {
+					t.Fatalf("key %s count %d deviates from uniform %f beyond 4 sigma", k, c, expect)
+				}
+			}
+		})
+	}
+	// Sanity contrast: heavy skew must NOT be uniform.
+	ops := KVOps(40000, 16, 1.2, 0.5, 16, 99)
+	freq := map[string]int{}
+	for _, op := range ops {
+		freq[op.Key]++
+	}
+	max, min := 0, 1<<30
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 4*min {
+		t.Fatalf("zipf 1.2 looks uniform: max %d min %d", max, min)
+	}
+}
+
+func TestArrivalGenRateAndFactor(t *testing.T) {
+	spec := TenantSpec{ID: "t0", RatePerSec: 1000, ReadFrac: 0.95, Keys: 64}
+	g := NewArrivalGen(0, spec, 5)
+	var last time.Duration
+	n := 0
+	for g.Peek() < time.Second {
+		a := g.Next()
+		if a.At < last {
+			t.Fatalf("arrivals out of order: %v after %v", a.At, last)
+		}
+		if !strings.HasPrefix(a.Op.Key, "t0-") {
+			t.Fatalf("key %q not tenant-prefixed", a.Op.Key)
+		}
+		last = a.At
+		n++
+	}
+	// Poisson(1000) over 1s: 4-sigma is ~±127.
+	if n < 850 || n > 1150 {
+		t.Fatalf("1s at 1000/s produced %d arrivals", n)
+	}
+	// Doubling the factor doubles the rate from here on.
+	g.SetFactor(2)
+	n2 := 0
+	for g.Peek() < 2*time.Second {
+		g.Next()
+		n2++
+	}
+	if n2 < 1700 || n2 > 2300 {
+		t.Fatalf("1s at factor 2 produced %d arrivals", n2)
+	}
+	// Determinism.
+	h1 := NewArrivalGen(0, spec, 5)
+	h2 := NewArrivalGen(0, spec, 5)
+	for i := 0; i < 100; i++ {
+		a, b := h1.Next(), h2.Next()
+		if a.At != b.At || a.Op.Key != b.Op.Key || a.Op.Kind != b.Op.Kind {
+			t.Fatalf("arrival %d differs between same-seed generators", i)
+		}
+	}
+}
+
+func TestMultiTenantArrivals(t *testing.T) {
+	rfA, _ := YCSBMix("A")
+	rfC, ok := YCSBMix("C")
+	if !ok || rfA != 0.5 || rfC != 1.0 {
+		t.Fatalf("YCSB mixes wrong: A=%v C=%v", rfA, rfC)
+	}
+	if _, ok := YCSBMix("Z"); ok {
+		t.Fatal("unknown mix accepted")
+	}
+	tenants := []TenantSpec{
+		{ID: "alpha", RatePerSec: 500, ReadFrac: rfA, Keys: 32},
+		{ID: "beta", RatePerSec: 250, ReadFrac: rfC, Keys: 32},
+	}
+	trace := MultiTenantArrivals(tenants, time.Second, 21)
+	if len(trace) < 600 || len(trace) > 900 {
+		t.Fatalf("trace length %d for 750/s over 1s", len(trace))
+	}
+	counts := map[int]int{}
+	writes := map[int]int{}
+	for i, a := range trace {
+		if i > 0 && a.At < trace[i-1].At {
+			t.Fatalf("merged trace out of order at %d", i)
+		}
+		if a.At >= time.Second {
+			t.Fatalf("arrival %v past the horizon", a.At)
+		}
+		counts[a.Tenant]++
+		if a.Op.Kind == OpPut {
+			writes[a.Tenant]++
+		}
+	}
+	if counts[0] < counts[1] {
+		t.Fatalf("rate 500 tenant produced fewer arrivals (%d) than rate 250 (%d)", counts[0], counts[1])
+	}
+	if writes[1] != 0 {
+		t.Fatalf("read-only YCSB-C tenant issued %d writes", writes[1])
+	}
+	if writes[0] == 0 {
+		t.Fatal("YCSB-A tenant issued no writes")
 	}
 }

@@ -32,6 +32,11 @@ STREAM_SEEDS="$SEEDS" go test -race -run 'TestStream' . -count=1
 go test -race -run 'TestPipelineCloseRace|TestSessionizerCloseRace|TestRunner' \
     ./internal/stream/ -count=1
 
+echo "== overload admission sweep (race, seeds: $SEEDS) =="
+# The defended stack must hold goodput flat and histories linearizable
+# at 2x saturation for every seed; the control run must collapse.
+OVL_SEEDS=$(echo "$SEEDS" | tr ' ' ',') go test -race -run 'TestOverload' . -count=1
+
 echo "== building race-enabled terasort =="
 tmpbin=$(mktemp -d)
 trap 'rm -rf "$tmpbin"' EXIT
@@ -48,9 +53,10 @@ done
 echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E5) =="
 # Every chaos run above re-ran the job; this pass ends the sweep with the
 # experiment suite's own verdicts: batch oracle diffs (EFT), stream
-# window oracles (E-SFT), control-plane failover oracles (E-HA) and
+# window oracles (E-SFT), control-plane failover oracles (E-HA),
+# overload-with-shedding linearizability (E-OVL) and plain quorum
 # linearizability (E5). -check exits nonzero on any mismatch.
-go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E5 -check
+go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E-OVL,E5 -check
 
 echo "== linearizability checker self-test (must fail under -stale) =="
 if go run ./cmd/hpbdc-kvbench -ops 2000 -keys 200 -check -stale >/dev/null 2>&1; then

@@ -28,7 +28,10 @@ go test -race ./internal/metrics/... ./internal/trace/... \
     ./internal/dfs/... ./internal/sched/... ./internal/netsim/... \
     ./internal/cluster/... ./internal/chaos/... ./internal/stream/... \
     ./internal/check/... ./internal/kvstore/... ./internal/ha/... \
-    ./internal/consensus/... ./internal/perf/...
+    ./internal/consensus/... ./internal/perf/... ./internal/admission/...
+
+echo "== overload acceptance (race) =="
+go test -race -run 'TestOverloadAcceptance' . -count=1
 
 sh scripts/coverage.sh
 
