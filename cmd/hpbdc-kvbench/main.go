@@ -5,10 +5,13 @@
 //	hpbdc-kvbench -ops 500000 -r 2 -w 2 -skew 0.99 -transport tcp
 //	hpbdc-kvbench -json -ops 20000 > kv.json   # perf-schema result JSON
 //	hpbdc-kvbench -json -bench-diff .          # diff against BENCH_kv.json
+//	hpbdc-kvbench -txn -ops 2000 -check        # sharded 2PC mix + strict serializability
+//	hpbdc-kvbench -txn -txn-chaos -check       # same, under the "txn" chaos preset
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/chaos"
 	"repro/internal/check"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
@@ -52,7 +56,19 @@ func main() {
 	benchOut := flag.String("bench-out", "", "also write BENCH_kv.json into this directory (with -json)")
 	benchDiff := flag.String("bench-diff", "",
 		"diff the result against BENCH_kv.json in this directory; exit 1 on regression (with -json)")
+	txnMode := flag.Bool("txn", false,
+		"drive the range-sharded transactional plane instead of the quorum store: multi-key 2PC mix "+
+			"with a mid-run split and merge; -check verifies strict serializability, -stale injects dirty reads")
+	txnSpan := flag.Int("txn-span", 2, "distinct keys touched per transaction (with -txn)")
+	txnGroups := flag.Int("txn-groups", 2, "raft replication groups backing the ranges (with -txn)")
+	txnChaos := flag.Bool("txn-chaos", false,
+		"replay the \"txn\" chaos preset (coordinator crashes bracketing the commit point) during the run (with -txn)")
 	flag.Parse()
+
+	if *txnMode {
+		runTxn(*ops, *keys, *skew, *valueSize, *txnSpan, *txnGroups, *benchSeed, *txnChaos, *checkFlag, *stale)
+		return
+	}
 
 	if *jsonOut {
 		// Workload-shaping flags only carry over when the user set them
@@ -82,6 +98,121 @@ func main() {
 
 	runClassic(ops, keys, n, r, w, skew, readFrac, valueSize, transport, nodes, checkFlag, stale,
 		*deadline, *admissionMult)
+}
+
+// runTxn drives the range-sharded transactional plane: a read-modify-write
+// 2PC mix from workload.TxnOps with a split and a merge mid-run, optionally
+// under the "txn" chaos preset, finishing with orphan recovery and the
+// zero-locks / zero-records invariants. With -check it additionally captures
+// a concurrent multi-client history and verdicts strict serializability.
+func runTxn(ops, keys int, skew float64, valueSize, span, groups int, seed uint64,
+	withChaos, checkFlag, dirty bool) {
+	if !flagWasSet("ops") {
+		ops = 2000 // 2PC through the raft sim is heavier than a quorum op
+	}
+	s := kvstore.NewSharded(kvstore.ShardedConfig{
+		Seed: seed, Groups: groups,
+		InitialSplits: []string{fmt.Sprintf("key-%08d", keys/2)},
+		MaxOpAttempts: 16, MaxTxnAttempts: 8,
+	})
+
+	var ctl *chaos.Controller
+	if withChaos {
+		sched, err := chaos.Preset("txn", groups)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctl = chaos.New(sched, seed, chaos.Targets{Nodes: groups, Txn: s}, s.Reg)
+	}
+
+	trace := workload.TxnOps(workload.TxnSpec{
+		N: ops, Keys: keys, Span: span, Skew: skew, ValueSize: valueSize, Seed: seed,
+	})
+	ctx := context.Background()
+	conflicts, orphaned := 0, 0
+	tickEvery := ops / 12
+	if tickEvery < 1 {
+		tickEvery = 1
+	}
+	for i, tx := range trace {
+		if ctl != nil && i%tickEvery == 0 {
+			ctl.Tick()
+		}
+		switch i {
+		case ops / 3:
+			if err := s.Split(fmt.Sprintf("key-%08d", keys/4)); err != nil && err != kvstore.ErrRangeBusy {
+				log.Fatalf("split: %v", err)
+			}
+		case 2 * ops / 3:
+			if err := s.Merge(fmt.Sprintf("key-%08d", keys/4)); err != nil && err != kvstore.ErrRangeBusy {
+				log.Fatalf("merge: %v", err)
+			}
+		}
+		switch _, err := s.Txn(ctx, tx.Reads, tx.Writes); {
+		case err == nil:
+		case errors.Is(err, kvstore.ErrTxnConflict),
+			errors.Is(err, kvstore.ErrTxnAborted),
+			errors.Is(err, kvstore.ErrKeyLocked),
+			errors.Is(err, kvstore.ErrDeadlineExceeded):
+			conflicts++
+		case errors.Is(err, kvstore.ErrTxnOrphaned):
+			orphaned++ // ambiguous: resolved below by recovery, never dangling
+		default:
+			log.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	for ctl != nil && !ctl.Done() {
+		ctl.Tick()
+	}
+	if err := s.Recover(); err != nil {
+		log.Fatalf("recover: %v", err)
+	}
+	locks, err := s.LockCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pending, err := s.PendingTxnRecords()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	virtual := s.VirtualCost()
+	committed := s.Reg.Counter("txn_committed").Value()
+	recovered := s.Reg.Counter("txn_recovered_aborted").Value() +
+		s.Reg.Counter("txn_recovered_resumed").Value()
+	fmt.Printf("%d txns (span %d) over %d ranges x %d groups in %v virtual: %.0f txn/s\n",
+		ops, span, s.RangeCount(), groups, virtual.Round(time.Millisecond),
+		float64(ops)/virtual.Seconds())
+	fmt.Printf("committed %d, clean aborts %d, ambiguous %d (recovery resolved %d)\n",
+		committed, conflicts, orphaned, recovered)
+	fmt.Printf("after recovery: %d locks, %d pending txn records\n", locks, pending)
+	if locks != 0 || pending != 0 {
+		fmt.Println("INVARIANT VIOLATION: locks/records left dangling")
+		os.Exit(1)
+	}
+
+	if checkFlag {
+		if dirty {
+			s.SetDirtyReads(true)
+			fmt.Println("dirty-read fault injection ENABLED — the check below should fail")
+		}
+		ops := check.CaptureTxnHistory(s, check.TxnCaptureConfig{
+			Clients: 4, Waves: 20, Keys: 8, TxnKeys: span,
+			ReadFraction: 0.3, TxnFraction: 0.4, Seed: seed,
+			NoEffect: func(err error) bool {
+				return errors.Is(err, kvstore.ErrTxnConflict) ||
+					errors.Is(err, kvstore.ErrTxnAborted) ||
+					errors.Is(err, kvstore.ErrKeyLocked) ||
+					errors.Is(err, kvstore.ErrDeadlineExceeded)
+			},
+		})
+		s.SetDirtyReads(false)
+		verdict := check.CheckTxns(ops)
+		fmt.Printf("strict serializability: %s\n", verdict)
+		if !verdict.OK {
+			os.Exit(1)
+		}
+	}
 }
 
 // flagWasSet reports whether the named flag was passed explicitly.

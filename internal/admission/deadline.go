@@ -15,8 +15,9 @@ import (
 	"time"
 )
 
-// ErrDeadline is the sentinel every layer's typed deadline error wraps
-// (kvstore.ErrDeadlineExceeded, stream's deadline source), so callers can
+// ErrDeadline is the one shared deadline sentinel: every layer's typed
+// deadline error wraps it (kvstore.ErrDeadlineExceeded,
+// stream.ErrRunDeadline, core.ErrDeadlineExceeded), so callers can
 // errors.Is a timeout apart from a quorum failure regardless of which
 // layer gave up first.
 var ErrDeadline = errors.New("admission: virtual deadline exceeded")

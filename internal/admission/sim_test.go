@@ -3,12 +3,30 @@ package admission
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+// waitSimGoroutines polls until the goroutine count falls back to the
+// baseline — the sim's retry and shed paths hand work to goroutines that
+// shut down asynchronously, so a plain count right after Run races the
+// teardown.
+func waitSimGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+}
 
 // simTenants is the standard three-tenant YCSB A/B/C mix at the given
 // aggregate offered rate.
@@ -84,6 +102,8 @@ func overloadConfig(mult float64, admissionOn bool, seed uint64) SimConfig {
 }
 
 func TestSimDeterministic(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	defer waitSimGoroutines(t, baseline)
 	for _, on := range []bool{true, false} {
 		a := NewSim(overloadConfig(1.5, on, 42)).Run()
 		b := NewSim(overloadConfig(1.5, on, 42)).Run()
@@ -104,6 +124,8 @@ func TestSimDeterministic(t *testing.T) {
 // within 10% of peak and admitted p999 stays bounded; the undefended
 // control run collapses.
 func TestSimFlatPastSaturation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	defer waitSimGoroutines(t, baseline)
 	peak := 0.0
 	var at2x SimResult
 	for _, mult := range []float64{0.5, 1.0, 1.5, 2.0} {
@@ -141,6 +163,8 @@ func TestSimFlatPastSaturation(t *testing.T) {
 }
 
 func TestSimBreakerRoutesAroundBadNode(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	defer waitSimGoroutines(t, baseline)
 	const bad = topology.NodeID(2)
 	var badCalls int64
 	serve := func(ctx context.Context, op workload.Op, coord topology.NodeID) (time.Duration, error) {
@@ -172,6 +196,8 @@ func TestSimBreakerRoutesAroundBadNode(t *testing.T) {
 }
 
 func TestSimChaosHooks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	defer waitSimGoroutines(t, baseline)
 	base := overloadConfig(0.5, true, 13)
 	quiet := NewSim(base).Run()
 

@@ -117,6 +117,17 @@ type OverloadTarget interface {
 	SetTenantFlood(tenant int, factor float64)
 }
 
+// TxnTarget is the sharded transactional plane surface (implemented by
+// *kvstore.Sharded): OrphanNext arms a one-shot coordinator crash at a
+// named protocol point (begin, prepare, before-commit, commit, apply,
+// split, split-copy, split-commit, merge), and Recover drives every
+// orphaned transaction and half-done topology change to its
+// deterministic resolution from replicated state.
+type TxnTarget interface {
+	OrphanNext(point string) error
+	Recover() error
+}
+
 // Targets wires a controller to the systems it acts on. Any field may be
 // nil; events silently skip absent targets, so one schedule drives
 // whatever subset a test or experiment assembles.
@@ -136,6 +147,7 @@ type Targets struct {
 	Coordinator CoordinatorTarget
 	Corrupt     BlockCorrupter
 	Overload    OverloadTarget
+	Txn         TxnTarget
 }
 
 // Controller replays a schedule against its targets as virtual time
@@ -182,6 +194,8 @@ func trackOf(e Event) string {
 		return "driver"
 	case Burst, Unburst:
 		return "clients"
+	case TxnCrash, TxnRecover:
+		return "txn"
 	case TenantFlood, Unflood:
 		return fmt.Sprintf("tenant-%02d", int(e.Node))
 	default:
@@ -433,6 +447,14 @@ func (c *Controller) apply(e Event) {
 	case Unflood:
 		if t.Overload != nil {
 			t.Overload.SetTenantFlood(int(e.Node), 1)
+		}
+	case TxnCrash:
+		if t.Txn != nil {
+			_ = t.Txn.OrphanNext(e.Point)
+		}
+	case TxnRecover:
+		if t.Txn != nil {
+			_ = t.Txn.Recover()
 		}
 	}
 	c.applied.With(string(e.Kind)).Inc()

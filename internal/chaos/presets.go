@@ -16,11 +16,13 @@ import (
 // partition, straggler, flaky, mixed — plus "stream", which targets the
 // stream engine (stream-crash/stream-restore of one worker), and the
 // control-plane presets "nn-crash" (kill + revive the namenode leader),
-// "coord-crash" (kill the job coordinator) and "ha" (both), and
+// "coord-crash" (kill the job coordinator) and "ha" (both),
 // "overload" (traffic burst + tenant flood + per-node slowdown against
-// the admission layer). Those are kept out of PresetNames so the
-// compute-preset sweeps (EFT, chaos.sh) skip them; E-SFT/E-HA/E-OVL and
-// the -stream-chaos/-ha flags use them.
+// the admission layer), and "txn" (transaction-coordinator crashes
+// bracketing the 2PC commit point, each followed by recovery). Those are
+// kept out of PresetNames so the compute-preset sweeps (EFT, chaos.sh)
+// skip them; E-SFT/E-HA/E-OVL/E-TXN and the -stream-chaos/-ha flags use
+// them.
 func Preset(name string, n int) (Schedule, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("chaos: preset needs >= 2 nodes, got %d", n)
@@ -85,6 +87,18 @@ func Preset(name string, n int) (Schedule, error) {
 			{At: 8, Kind: Undegrade, Node: victim},
 			{At: 9, Kind: Unflood, Node: 0},
 			{At: 10, Kind: Unburst},
+		}, nil
+	case "txn":
+		// Coordinator crashes bracketing the 2PC commit point, each
+		// followed by a recovery pass: the pre-commit orphan must resolve
+		// as an abort, the post-commit one as a resumed apply. Kept out of
+		// PresetNames like stream/ha/overload so compute sweeps skip it;
+		// E-TXN and the txn acceptance test use it.
+		return Schedule{
+			{At: 2, Kind: TxnCrash, Point: "before-commit"},
+			{At: 4, Kind: TxnRecover},
+			{At: 6, Kind: TxnCrash, Point: "commit"},
+			{At: 8, Kind: TxnRecover},
 		}, nil
 	case "mixed":
 		return Schedule{

@@ -53,6 +53,13 @@ const (
 	Unburst     Kind = "unburst"
 	TenantFlood Kind = "tenant-flood"
 	Unflood     Kind = "unflood"
+	// TxnCrash arms a one-shot transaction-coordinator crash at a named
+	// 2PC/topology protocol point on the sharded KV plane; the next
+	// operation through that point dies there, leaving its replicated
+	// record behind. TxnRecover drives every orphaned transaction and
+	// half-done range split/merge to its deterministic resolution.
+	TxnCrash   Kind = "txn-crash"
+	TxnRecover Kind = "txn-recover"
 )
 
 // WildcardNode marks an event whose target node is chosen by the
@@ -76,6 +83,7 @@ type Event struct {
 	Value float64             // flaky probability, drop probability, degrade factor
 	Delay time.Duration       // slow delay
 	Group [][]topology.NodeID // partition groups
+	Point string              // txn-crash protocol point
 }
 
 // Schedule is an ordered fault plan. Build one with Parse, a Preset, or
@@ -110,6 +118,8 @@ func (s Schedule) String() string {
 			fmt.Fprintf(&b, " %d %g", int(e.Node), e.Value)
 		case Unflood:
 			fmt.Fprintf(&b, " %d", int(e.Node))
+		case TxnCrash:
+			b.WriteString(" " + e.Point)
 		case Partition:
 			parts := make([]string, len(e.Group))
 			for i, g := range e.Group {
@@ -241,7 +251,14 @@ var kindTable = map[Kind]kindSpec{
 		e.Value = v
 		return nil
 	}},
-	Unflood: {"<tenant>", 1, tenantArg},
+	Unflood:    {"<tenant>", 1, tenantArg},
+	TxnRecover: {"", 0, nil},
+	TxnCrash: {"<point>", 1, func(e *Event, args []string) error {
+		// Point names are validated by the target (kvstore.Sharded
+		// rejects unknown ones); the parser only requires one token.
+		e.Point = args[0]
+		return nil
+	}},
 	Partition: {"<groups like 0-3|4-7>", 1, func(e *Event, args []string) error {
 		groups, err := parseGroups(args[0])
 		if err != nil {

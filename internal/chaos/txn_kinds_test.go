@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func (f *fakeTargets) OrphanNext(point string) error {
+	f.log = append(f.log, "orphan", point)
+	return nil
+}
+func (f *fakeTargets) Recover() error {
+	f.log = append(f.log, "recover")
+	return nil
+}
+
+func TestTxnEventKinds(t *testing.T) {
+	sched, err := Parse("2 txn-crash before-commit\n4 txn-recover\n6 txn-crash split-copy\n8 txn-recover\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(sched.String()); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	f := &fakeTargets{}
+	targets := targetsOf(f)
+	targets.Txn = f
+	New(sched, 1, targets, nil).AdvanceTo(10)
+	want := []string{"orphan", "before-commit", "recover", "orphan", "split-copy", "recover"}
+	if !reflect.DeepEqual(f.log, want) {
+		t.Fatalf("log = %v, want %v", f.log, want)
+	}
+
+	// Absent target: events are silently skipped, never panic.
+	New(sched, 1, targetsOf(&fakeTargets{}), nil).AdvanceTo(10)
+
+	// The strict parser rejects malformed txn lines.
+	for _, bad := range []string{
+		"1 txn-crash",              // missing point
+		"1 txn-crash commit extra", // trailing junk
+		"1 txn-recover commit",     // takes no arguments
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTxnPresetHiddenFromComputeSweeps(t *testing.T) {
+	sched, err := Preset("txn", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 4 {
+		t.Fatalf("txn preset has %d events, want 4", len(sched))
+	}
+	for _, name := range PresetNames() {
+		if name == "txn" {
+			t.Fatal("txn preset leaked into PresetNames")
+		}
+	}
+	// Load resolves it like any named preset.
+	if _, err := Load("txn", 8); err != nil {
+		t.Fatalf("Load(txn): %v", err)
+	}
+	if !strings.Contains(sched.String(), "txn-crash before-commit") {
+		t.Fatalf("preset text missing crash point:\n%s", sched.String())
+	}
+}

@@ -1,0 +1,252 @@
+// Strict serializability checking for multi-key transactional histories.
+// Unlike the per-key register model in linearize.go, transactions touch
+// several keys atomically, so the history cannot be partitioned: the
+// checker searches for ONE total order of all transactions that respects
+// real time (strictness) and gives every transactional read the value of
+// the latest preceding write to its key (serializability). Single-key
+// gets and puts are degenerate one-operation transactions in the same
+// order, which is what makes the verdict end-to-end: a dirty read leaks
+// into the order as a read no serial witness can satisfy.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TxnRead is one key observation inside a transaction.
+type TxnRead struct {
+	// Key is the observed register.
+	Key string
+	// Value is the observed value; meaningful only when Found.
+	Value string
+	// Found reports whether the key existed at observation time.
+	Found bool
+}
+
+// TxnWrite is one key mutation inside a transaction.
+type TxnWrite struct {
+	// Key is the mutated register.
+	Key string
+	// Value is the new value (ignored when Del).
+	Value string
+	// Del marks a transactional delete.
+	Del bool
+}
+
+// TxnOp is one recorded transaction: all Reads observed and all Writes
+// applied atomically at a single point between Invoke and Return.
+type TxnOp struct {
+	// Client identifies the issuing client (diagnostic only).
+	Client int
+	// Reads lists the observations; empty for blind writes.
+	Reads []TxnRead
+	// Writes lists the mutations; empty for read-only transactions.
+	Writes []TxnWrite
+	// Invoke and Return are logical timestamps from History.Stamp.
+	// Return=InfTime marks a pending transaction whose effects are
+	// unknown: the checker may order it (it committed) or omit it (it
+	// aborted) — reads of a pending transaction are dropped by the
+	// capture harness since they were never reported to the client.
+	Invoke, Return int64
+}
+
+func (o TxnOp) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d txn{", o.Client)
+	for i, r := range o.Reads {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if r.Found {
+			fmt.Fprintf(&b, "r(%s)=%q", r.Key, r.Value)
+		} else {
+			fmt.Fprintf(&b, "r(%s)=absent", r.Key)
+		}
+	}
+	if len(o.Reads) > 0 && len(o.Writes) > 0 {
+		b.WriteString(" ")
+	}
+	for i, w := range o.Writes {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		if w.Del {
+			fmt.Fprintf(&b, "del(%s)", w.Key)
+		} else {
+			fmt.Fprintf(&b, "w(%s,%q)", w.Key, w.Value)
+		}
+	}
+	if o.Return == InfTime {
+		fmt.Fprintf(&b, "} [%d,∞]", o.Invoke)
+	} else {
+		fmt.Fprintf(&b, "} [%d,%d]", o.Invoke, o.Return)
+	}
+	return b.String()
+}
+
+// CheckTxns checks a transactional history for strict serializability:
+// there must exist a total order of the transactions that (a) respects
+// real time — A before B whenever A.Return < B.Invoke — and (b) starts
+// from an empty store and gives every read exactly the value of the
+// latest preceding write to its key (or absent after none or a delete).
+// Transactions with Return=InfTime are pending and may be omitted.
+func CheckTxns(ops []TxnOp) Outcome {
+	keys := map[string]struct{}{}
+	for _, op := range ops {
+		for _, r := range op.Reads {
+			keys[r.Key] = struct{}{}
+		}
+		for _, w := range op.Writes {
+			keys[w.Key] = struct{}{}
+		}
+	}
+	out := Outcome{OK: true, Ops: len(ops), Keys: len(keys)}
+	if detail, ok := checkTxnOrder(ops); !ok {
+		return Outcome{OK: false, Ops: len(ops), Keys: len(keys), Detail: detail}
+	}
+	return out
+}
+
+// checkTxnOrder runs the witness search over the whole history. The
+// state is the full store image (every key's register), serialized into
+// the memo key alongside the chosen-set bitmask, the direct analogue of
+// checkKey's (linearized-set, register-state) memoization.
+func checkTxnOrder(ops []TxnOp) (string, bool) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+	n := len(ops)
+	preds := make([][]int, n)
+	required := 0
+	for i := range ops {
+		if ops[i].Return != InfTime {
+			required++
+		}
+		for j := range ops {
+			if j != i && ops[j].Return < ops[i].Invoke {
+				preds[i] = append(preds[i], j)
+			}
+		}
+	}
+
+	words := (n + 63) / 64
+	chosen := make([]uint64, words)
+	has := func(i int) bool { return chosen[i/64]&(1<<(i%64)) != 0 }
+	set := func(i int) { chosen[i/64] |= 1 << (i % 64) }
+	unset := func(i int) { chosen[i/64] &^= 1 << (i % 64) }
+
+	state := map[string]regState{}
+	visited := map[string]struct{}{}
+	memoKey := func() string {
+		var b strings.Builder
+		for _, w := range chosen {
+			for s := 0; s < 64; s += 8 {
+				b.WriteByte(byte(w >> s))
+			}
+		}
+		ks := make([]string, 0, len(state))
+		for k := range state {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			st := state[k]
+			if !st.found {
+				continue // absent keys are not part of the image
+			}
+			b.WriteString(k)
+			b.WriteByte(0)
+			b.WriteString(st.value)
+			b.WriteByte(0)
+		}
+		return b.String()
+	}
+
+	// fires reports whether op i's reads all hold in the current state.
+	fires := func(i int) bool {
+		for _, r := range ops[i].Reads {
+			st := state[r.Key]
+			if r.Found != st.found || (st.found && r.Value != st.value) {
+				return false
+			}
+		}
+		return true
+	}
+
+	bestDepth := 0
+	var dfs func(done int) bool
+	dfs = func(done int) bool {
+		if done > bestDepth {
+			bestDepth = done
+		}
+		if done == required {
+			return true
+		}
+		mk := memoKey()
+		if _, seen := visited[mk]; seen {
+			return false
+		}
+		visited[mk] = struct{}{}
+		for i := 0; i < n; i++ {
+			if has(i) {
+				continue
+			}
+			eligible := true
+			for _, j := range preds[i] {
+				if !has(j) {
+					eligible = false
+					break
+				}
+			}
+			if !eligible || !fires(i) {
+				continue
+			}
+			// Apply writes, remembering the displaced image for undo.
+			undo := make(map[string]regState, len(ops[i].Writes))
+			for _, w := range ops[i].Writes {
+				if _, dup := undo[w.Key]; !dup {
+					undo[w.Key] = state[w.Key]
+				}
+				if w.Del {
+					state[w.Key] = regState{}
+				} else {
+					state[w.Key] = regState{value: w.Value, found: true}
+				}
+			}
+			nd := done
+			if ops[i].Return != InfTime {
+				nd++
+			}
+			set(i)
+			if dfs(nd) {
+				return true
+			}
+			unset(i)
+			for k, st := range undo {
+				state[k] = st
+			}
+		}
+		return false
+	}
+	if dfs(0) {
+		return "", true
+	}
+	return fmt.Sprintf("no serial witness over %d txns (longest valid prefix: %d); first txns: %s",
+		n, bestDepth, sampleTxns(ops)), false
+}
+
+// sampleTxns renders up to four transactions for failure diagnostics.
+func sampleTxns(ops []TxnOp) string {
+	s := ""
+	for i, op := range ops {
+		if i == 4 {
+			s += ", ..."
+			break
+		}
+		if i > 0 {
+			s += ", "
+		}
+		s += op.String()
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kvstore"
+)
+
+func TestCheckTxnsSerialHistoryOK(t *testing.T) {
+	ops := []TxnOp{
+		{Client: 0, Writes: []TxnWrite{{Key: "a", Value: "1"}, {Key: "b", Value: "1"}}, Invoke: 1, Return: 2},
+		{Client: 1, Reads: []TxnRead{{Key: "a", Value: "1", Found: true}, {Key: "b", Value: "1", Found: true}}, Invoke: 3, Return: 4},
+		{Client: 0, Writes: []TxnWrite{{Key: "a", Del: true}}, Invoke: 5, Return: 6},
+		{Client: 1, Reads: []TxnRead{{Key: "a", Found: false}}, Invoke: 7, Return: 8},
+	}
+	if out := CheckTxns(ops); !out.OK {
+		t.Fatalf("serial history rejected: %s", out.Detail)
+	}
+}
+
+func TestCheckTxnsFracturedReadRejected(t *testing.T) {
+	// a and b are written atomically; a read seeing the new a with the
+	// old b observes a state no serial order produces.
+	ops := []TxnOp{
+		{Client: 0, Writes: []TxnWrite{{Key: "a", Value: "old"}, {Key: "b", Value: "old"}}, Invoke: 1, Return: 2},
+		{Client: 0, Writes: []TxnWrite{{Key: "a", Value: "new"}, {Key: "b", Value: "new"}}, Invoke: 3, Return: 4},
+		{Client: 1, Reads: []TxnRead{{Key: "a", Value: "new", Found: true}, {Key: "b", Value: "old", Found: true}}, Invoke: 5, Return: 6},
+	}
+	if out := CheckTxns(ops); out.OK {
+		t.Fatal("fractured read accepted as strictly serializable")
+	}
+}
+
+func TestCheckTxnsLostUpdateRejected(t *testing.T) {
+	// Two increments both read 0 and both commit — a lost update. The
+	// overlap makes either order real-time legal, but no serial order
+	// lets both reads see 0.
+	ops := []TxnOp{
+		{Client: 0, Writes: []TxnWrite{{Key: "x", Value: "0"}}, Invoke: 1, Return: 2},
+		{Client: 1, Reads: []TxnRead{{Key: "x", Value: "0", Found: true}}, Writes: []TxnWrite{{Key: "x", Value: "1a"}}, Invoke: 3, Return: 6},
+		{Client: 2, Reads: []TxnRead{{Key: "x", Value: "0", Found: true}}, Writes: []TxnWrite{{Key: "x", Value: "1b"}}, Invoke: 4, Return: 7},
+	}
+	if out := CheckTxns(ops); out.OK {
+		t.Fatal("lost update accepted as strictly serializable")
+	}
+}
+
+func TestCheckTxnsRealTimeOrderEnforced(t *testing.T) {
+	// Strictness: a read that starts after a committed write returned
+	// must observe it (plain serializability would allow reordering).
+	ops := []TxnOp{
+		{Client: 0, Writes: []TxnWrite{{Key: "x", Value: "1"}}, Invoke: 1, Return: 2},
+		{Client: 1, Reads: []TxnRead{{Key: "x", Found: false}}, Invoke: 3, Return: 4},
+	}
+	if out := CheckTxns(ops); out.OK {
+		t.Fatal("stale read after real-time-ordered write accepted")
+	}
+	// The same observation is fine when the operations overlap.
+	ops[1].Invoke = 1
+	ops[1].Return = 3
+	ops[0].Invoke = 2
+	ops[0].Return = 4
+	if out := CheckTxns(ops); !out.OK {
+		t.Fatalf("overlapping stale read rejected: %s", out.Detail)
+	}
+}
+
+func TestCheckTxnsPendingMayCommitOrAbort(t *testing.T) {
+	// A pending txn's write may be observed...
+	ops := []TxnOp{
+		{Client: 0, Writes: []TxnWrite{{Key: "x", Value: "maybe"}}, Invoke: 1, Return: InfTime},
+		{Client: 1, Reads: []TxnRead{{Key: "x", Value: "maybe", Found: true}}, Invoke: 2, Return: 3},
+	}
+	if out := CheckTxns(ops); !out.OK {
+		t.Fatalf("pending write observed but rejected: %s", out.Detail)
+	}
+	// ...or never take effect.
+	ops[1].Reads[0] = TxnRead{Key: "x", Found: false}
+	if out := CheckTxns(ops); !out.OK {
+		t.Fatalf("pending write omitted but rejected: %s", out.Detail)
+	}
+}
+
+// shardedNoEffect classifies the sharded plane's clean-abort errors.
+func shardedNoEffect(err error) bool {
+	return errors.Is(err, kvstore.ErrTxnConflict) ||
+		errors.Is(err, kvstore.ErrTxnAborted) ||
+		errors.Is(err, kvstore.ErrKeyLocked) ||
+		errors.Is(err, kvstore.ErrDeadlineExceeded)
+}
+
+func TestCaptureTxnHistoryCleanRunIsStrictlySerializable(t *testing.T) {
+	s := kvstore.NewSharded(kvstore.ShardedConfig{Seed: 21, Groups: 2, InitialSplits: []string{"k04"}})
+	ops := CaptureTxnHistory(s, TxnCaptureConfig{
+		Clients: 4, Waves: 12, Keys: 8, TxnKeys: 2, Seed: 21,
+		NoEffect: shardedNoEffect,
+	})
+	if len(ops) == 0 {
+		t.Fatal("empty history")
+	}
+	out := CheckTxns(ops)
+	if !out.OK {
+		t.Fatalf("clean sharded run not strictly serializable: %s", out.Detail)
+	}
+	if out.Ops != len(ops) || out.Keys == 0 {
+		t.Fatalf("outcome counts wrong: %+v over %d ops", out, len(ops))
+	}
+}
+
+func TestCaptureTxnHistoryDirtyReadsCaught(t *testing.T) {
+	// Teeth: with dirty reads injected mid-run the verdict must flip.
+	// Reads served from overwritten versions produce observations no
+	// serial witness reproduces.
+	s := kvstore.NewSharded(kvstore.ShardedConfig{Seed: 33, Groups: 2})
+	caught := false
+	for seed := uint64(33); seed < 37 && !caught; seed++ {
+		ops := CaptureTxnHistory(s, TxnCaptureConfig{
+			Clients: 4, Waves: 10, Keys: 4, TxnKeys: 2, Seed: seed,
+			ReadFraction: 0.5, TxnFraction: 0.3,
+			NoEffect:     shardedNoEffect,
+			BetweenWaves: func(wave int) { s.SetDirtyReads(wave >= 2) },
+		})
+		caught = !CheckTxns(ops).OK
+		s.SetDirtyReads(false)
+	}
+	if !caught {
+		t.Fatal("dirty-read injection never produced a non-serializable history")
+	}
+}

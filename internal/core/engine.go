@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/compress"
 	"repro/internal/dfs"
@@ -25,7 +26,7 @@ import (
 var (
 	ErrNoLiveNodes      = errors.New("core: no live executor nodes")
 	ErrJobAborted       = errors.New("core: job aborted after exhausting retries")
-	ErrDeadlineExceeded = errors.New("core: job deadline exceeded")
+	ErrDeadlineExceeded = fmt.Errorf("core: job deadline exceeded: %w", admission.ErrDeadline)
 	errInjected         = errors.New("core: injected task failure")
 )
 

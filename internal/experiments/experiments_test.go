@@ -202,8 +202,8 @@ func TestE12Shapes(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("registry has %d experiments, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -346,5 +346,39 @@ func TestEOVLShapes(t *testing.T) {
 	}
 	if ctrl, def := goodput["2.0x/control"], goodput["2.0x/admission"]; ctrl >= 0.5*def {
 		t.Fatalf("control goodput %.0f did not collapse vs defended %.0f", ctrl, def)
+	}
+}
+
+func TestETXNShapes(t *testing.T) {
+	table := runAndCheck(t, ETXNTransactions)
+	// 5 scenarios + the chaos-preset row.
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		// Every row — the dirty-read one included, whose check asserts
+		// the verdict flipped — must score ok, with locks and pending
+		// transaction records drained to zero.
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("row %v failed its invariant check", row)
+		}
+		if row[5] != "0" || row[6] != "0" {
+			t.Fatalf("row %v left locks/pending behind", row)
+		}
+		if parse(t, row[1]) == 0 || parse(t, row[2]) == 0 {
+			t.Fatalf("row %v recorded no ops or no commits", row)
+		}
+	}
+	// The coordinator-crash and chaos-preset scenarios must actually have
+	// exercised recovery.
+	recovered := map[string]float64{}
+	for _, row := range table.Rows {
+		recovered[row[0]] = parse(t, row[4])
+	}
+	if recovered["coord-crash"] == 0 {
+		t.Fatal("coord-crash scenario recovered no transactions")
+	}
+	if recovered["chaos-preset"] == 0 {
+		t.Fatal("chaos-preset scenario recovered no transactions")
 	}
 }

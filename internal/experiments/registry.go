@@ -26,5 +26,6 @@ func All() []Runner {
 		{"E-SFT", "streaming exactly-once fault tolerance", ESFTStream},
 		{"E-HA", "control-plane HA failover", EHAControlPlane},
 		{"E-OVL", "overload admission control", EOVLOverload},
+		{"E-TXN", "sharded KV transactions under chaos", ETXNTransactions},
 	}
 }

@@ -1,0 +1,123 @@
+package ha
+
+import (
+	"strings"
+	"testing"
+)
+
+// dynGroup builds a group with no static machines: every machine is
+// minted through Dynamic on first committed command.
+func dynGroup(seed uint64) *Group {
+	return NewGroup(Config{
+		Seed:    seed,
+		Dynamic: func(string) StateMachine { return &addSM{} },
+	})
+}
+
+// dynState returns (total, applies, exists) of member id's named machine.
+func dynState(t *testing.T, g *Group, id int, name string) (uint64, int, bool) {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := g.reps[id]
+	if rep == nil {
+		t.Fatalf("member %d has no replica (crashed?)", id)
+	}
+	sm, ok := rep.machines[name]
+	if !ok {
+		return 0, 0, false
+	}
+	a := sm.(*addSM)
+	return a.total, a.applies, true
+}
+
+func TestDynamicMachineMintedOnAllReplicas(t *testing.T) {
+	g := dynGroup(42)
+	for _, name := range []string{"range-0", "range-1", "range-7"} {
+		if _, err := g.Propose(name, encAdd(3)); err != nil {
+			t.Fatalf("Propose(%s): %v", name, err)
+		}
+	}
+	if _, err := g.Propose("range-1", encAdd(4)); err != nil {
+		t.Fatalf("Propose(range-1, 4): %v", err)
+	}
+	settle(g, 20)
+	for id := 0; id < 3; id++ {
+		for name, want := range map[string]uint64{"range-0": 3, "range-1": 7, "range-7": 3} {
+			total, _, ok := dynState(t, g, id, name)
+			if !ok {
+				t.Fatalf("member %d: machine %q never minted", id, name)
+			}
+			if total != want {
+				t.Fatalf("member %d %s: total = %d, want %d", id, name, total, want)
+			}
+		}
+	}
+}
+
+func TestDynamicMachineSurvivesCrashRebuild(t *testing.T) {
+	g := dynGroup(7)
+	if _, err := g.Propose("range-3", encAdd(11)); err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	victim := g.Leader()
+	g.CrashMember(victim)
+	if _, err := g.Propose("range-3", encAdd(5)); err != nil {
+		t.Fatalf("Propose after crash: %v", err)
+	}
+	// Force compaction so the revived member rebuilds from a snapshot
+	// that contains the dynamically minted machine.
+	for i := 0; i < 130; i++ {
+		if _, err := g.Propose("range-3", encAdd(0)); err != nil {
+			t.Fatalf("Propose(fill %d): %v", i, err)
+		}
+	}
+	g.ReviveMember(victim)
+	if _, err := g.Propose("range-3", encAdd(1)); err != nil {
+		t.Fatalf("Propose after revive: %v", err)
+	}
+	settle(g, 40)
+	total, _, ok := dynState(t, g, victim, "range-3")
+	if !ok {
+		t.Fatalf("revived member %d: dynamic machine not rebuilt from snapshot", victim)
+	}
+	if total != 17 {
+		t.Fatalf("revived member total = %d, want 17", total)
+	}
+}
+
+func TestDynamicQueryOfUnseenMachineIsEmptyAndUnstored(t *testing.T) {
+	g := dynGroup(1)
+	if _, err := g.Propose("range-0", encAdd(2)); err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	var total uint64
+	if err := g.Query("range-99", func(sm StateMachine) error {
+		total = sm.(*addSM).total
+		return nil
+	}); err != nil {
+		t.Fatalf("Query of unseen dynamic machine: %v", err)
+	}
+	if total != 0 {
+		t.Fatalf("unseen machine total = %d, want 0 (fresh instance)", total)
+	}
+	// The throwaway instance must not be stored: storing it only on the
+	// queried member would diverge that replica's snapshot.
+	for id := 0; id < 3; id++ {
+		if _, _, ok := dynState(t, g, id, "range-99"); ok {
+			t.Fatalf("member %d stored a query-created machine", id)
+		}
+	}
+}
+
+func TestUnknownMachineStillRejectedWithoutDynamic(t *testing.T) {
+	g := addGroup(t, Config{})
+	if _, err := g.Propose("nope", encAdd(1)); err == nil ||
+		!strings.Contains(err.Error(), "unknown machine") {
+		t.Fatalf("Propose(nope) err = %v, want unknown machine", err)
+	}
+	if err := g.Query("nope", func(StateMachine) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), "unknown machine") {
+		t.Fatalf("Query(nope) err = %v, want unknown machine", err)
+	}
+}

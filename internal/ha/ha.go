@@ -48,8 +48,16 @@ type Config struct {
 	Seed uint64
 	// Machines maps machine names to replica factories. Every member
 	// instantiates each machine once; commands are routed by name.
-	// Required, non-empty.
+	// Required unless Dynamic is set.
 	Machines map[string]func() StateMachine
+	// Dynamic, when non-nil, is the fallback factory for machine names
+	// absent from Machines: the first committed command (or restored
+	// snapshot chunk) naming an unknown machine instantiates it through
+	// Dynamic on every replica, at the same log position, so dynamically
+	// created machines stay replica-identical without pre-registration.
+	// This is what lets a sharded data plane mint per-range state
+	// machines ("range-7") on demand over a fixed set of Raft groups.
+	Dynamic func(name string) StateMachine
 	// CompactEvery compacts a member's log (recording a state-machine
 	// snapshot) whenever its live length exceeds this. Default 128.
 	CompactEvery int
@@ -78,9 +86,10 @@ type groupMetrics struct {
 // session state that makes re-proposed commands apply exactly once.
 type replica struct {
 	machines map[string]StateMachine
-	applied  uint64 // log index of the last applied entry
-	lastSeq  uint64 // highest command sequence applied
-	lastResp []byte // response of lastSeq
+	dynamic  func(name string) StateMachine // fallback factory (may be nil)
+	applied  uint64                         // log index of the last applied entry
+	lastSeq  uint64                         // highest command sequence applied
+	lastResp []byte                         // response of lastSeq
 }
 
 // Group is a replicated-state-machine group. Safe for concurrent use:
@@ -127,8 +136,8 @@ func NewGroup(cfg Config) *Group {
 	if cfg.MaxOpTicks <= 0 {
 		cfg.MaxOpTicks = 500
 	}
-	if len(cfg.Machines) == 0 {
-		panic("ha: Config.Machines is required")
+	if len(cfg.Machines) == 0 && cfg.Dynamic == nil {
+		panic("ha: Config.Machines or Config.Dynamic is required")
 	}
 	names := make([]string, 0, len(cfg.Machines))
 	for name := range cfg.Machines {
@@ -171,7 +180,10 @@ func NewGroup(cfg Config) *Group {
 }
 
 func (g *Group) newReplica() *replica {
-	r := &replica{machines: make(map[string]StateMachine, len(g.cfg.Machines))}
+	r := &replica{
+		machines: make(map[string]StateMachine, len(g.cfg.Machines)),
+		dynamic:  g.cfg.Dynamic,
+	}
 	for name, factory := range g.cfg.Machines {
 		r.machines[name] = factory()
 	}
@@ -374,7 +386,7 @@ func (g *Group) ProposeCtx(machine string, payload []byte, parent trace.TraceCon
 func (g *Group) propose(machine string, payload []byte) ([]byte, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, ok := g.cfg.Machines[machine]; !ok {
+	if _, ok := g.cfg.Machines[machine]; !ok && g.cfg.Dynamic == nil {
 		return nil, fmt.Errorf("ha: unknown machine %q", machine)
 	}
 	g.seq++
@@ -414,7 +426,13 @@ func (g *Group) Query(machine string, fn func(StateMachine) error) error {
 		if l := g.leaderLocked(); l >= 0 {
 			sm, ok := g.reps[l].machines[machine]
 			if !ok {
-				return fmt.Errorf("ha: unknown machine %q", machine)
+				if g.cfg.Dynamic == nil {
+					return fmt.Errorf("ha: unknown machine %q", machine)
+				}
+				// A dynamic machine no command has reached yet: query a
+				// fresh, unstored instance so the read sees the empty
+				// state without perturbing replica snapshots.
+				sm = g.cfg.Dynamic(machine)
 			}
 			g.m.queries.Inc()
 			return fn(sm)
@@ -532,11 +550,27 @@ func (r *replica) apply(cmd []byte) {
 		return
 	}
 	var resp []byte
-	if sm, ok := r.machines[machine]; ok {
+	if sm := r.machine(machine); sm != nil {
 		resp = sm.Apply(payload)
 	}
 	r.lastSeq = seq
 	r.lastResp = resp
+}
+
+// machine resolves a machine name, minting it through the dynamic
+// factory on first reference. Minting happens while applying a
+// committed log entry (or restoring a snapshot), so every replica
+// creates the same machine at the same log position.
+func (r *replica) machine(name string) StateMachine {
+	if sm, ok := r.machines[name]; ok {
+		return sm
+	}
+	if r.dynamic == nil {
+		return nil
+	}
+	sm := r.dynamic(name)
+	r.machines[name] = sm
+	return sm
 }
 
 // snapshot serializes the replica: dedup session state plus every
@@ -566,7 +600,10 @@ func (r *replica) restore(snap []byte) {
 	for i := 0; i < n && d.err == nil; i++ {
 		name := string(d.bytes())
 		smSnap := d.bytes()
-		if sm, ok := r.machines[name]; ok && d.err == nil {
+		if d.err != nil {
+			break
+		}
+		if sm := r.machine(name); sm != nil {
 			sm.Restore(smSnap)
 		}
 	}

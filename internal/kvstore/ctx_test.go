@@ -68,6 +68,18 @@ func TestCtxDeadline(t *testing.T) {
 		t.Fatalf("ample budget: %v", err)
 	}
 
+	// DeleteCtx carries the same contract: expired budget is O(1)
+	// rejection, an overrun is ambiguous but here durable.
+	if _, err := s.DeleteCtx(dead, 0, "k"); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired-budget delete: %v", err)
+	}
+	if _, err := s.DeleteCtx(tiny, 0, "k"); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("tiny-budget delete: %v", err)
+	}
+	if _, _, err := s.Get(0, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ambiguous delete not durable: %v", err)
+	}
+
 	// Cancellation maps to context.Canceled, distinct from deadline.
 	cctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,352 @@
+// dirMachine is the replicated range directory: the authoritative map
+// from key spans to range ids, plus the pending split/merge records
+// that make topology changes crash-resumable. It runs as the "dir"
+// machine on the control group, so routing survives coordinator crashes
+// exactly like the data it routes.
+//
+// A split or merge is a three-phase replicated protocol:
+//
+//	reserve — allocate the new topology and record a pending change
+//	          (no routing change yet; data copy happens in between)
+//	commit  — atomically switch routing to the new topology
+//	finish  — drop the pending record once cleanup (trim) is done
+//
+// Any coordinator can re-drive an interrupted change from the pending
+// record: every data-plane step in between (freeze, adopt, trim) is
+// idempotent, so recovery simply replays the remaining phases.
+package kvstore
+
+import "sort"
+
+const (
+	dirMachineName = "dir"
+	txnMachineName = "txn"
+)
+
+// Directory command opcodes.
+const (
+	dirOpInit         = 0x01 // groups, split points
+	dirOpSplitReserve = 0x02 // old range id, split key
+	dirOpSplitCommit  = 0x03 // new range id
+	dirOpSplitFinish  = 0x04 // new range id
+	dirOpSplitAbort   = 0x05 // new range id
+	dirOpMergeReserve = 0x06 // left range id
+	dirOpMergeCommit  = 0x07 // left range id
+	dirOpMergeFinish  = 0x08 // left range id
+	dirOpMergeAbort   = 0x09 // left range id
+)
+
+// RangeInfo describes one key range [Start, End) (End "" = +inf) and
+// the Raft group hosting its machine. Group is derived: a range's
+// machine always lives on group ID % Groups, so any node can route to a
+// range id without a directory round trip.
+type RangeInfo struct {
+	ID    uint64
+	Start string
+	End   string
+	Group int
+}
+
+// pendingChange is an in-flight split or merge.
+type pendingChange struct {
+	Split     bool
+	Old       uint64 // split: source range; merge: surviving left range
+	Right     uint64 // merge: absorbed right range
+	New       uint64 // split: newly created range
+	Key       string // split point
+	Committed bool   // routing switched; only cleanup remains
+}
+
+type dirMachine struct {
+	groups int
+	nextID uint64
+	epoch  uint64      // bumped on every routing change
+	ranges []RangeInfo // sorted by Start
+	pend   []pendingChange
+}
+
+func newDirMachine() *dirMachine { return &dirMachine{} }
+
+func (m *dirMachine) rangeIdx(id uint64) int {
+	for i, r := range m.ranges {
+		if r.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *dirMachine) pendIdx(match func(pendingChange) bool) int {
+	for i, p := range m.pend {
+		if match(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// touched reports whether any pending change involves range id —
+// concurrent topology changes on the same range are serialized by
+// refusing the reserve.
+func (m *dirMachine) touched(id uint64) bool {
+	for _, p := range m.pend {
+		if p.Old == id || (!p.Split && p.Right == id) || (p.Split && p.New == id) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *dirMachine) Apply(cmd []byte) []byte {
+	d := &wdec{buf: cmd}
+	op := d.u8()
+	switch op {
+	case dirOpInit:
+		groups := int(d.u32())
+		splits := decodeStrs(d)
+		if d.err || groups <= 0 {
+			return []byte{rspConflict}
+		}
+		if m.epoch > 0 {
+			return []byte{rspOK} // idempotent re-init
+		}
+		m.groups = groups
+		bounds := append([]string{""}, splits...)
+		for i, lo := range bounds {
+			hi := ""
+			if i+1 < len(bounds) {
+				hi = bounds[i+1]
+			}
+			m.ranges = append(m.ranges, RangeInfo{
+				ID: uint64(i), Start: lo, End: hi, Group: i % groups,
+			})
+		}
+		m.nextID = uint64(len(bounds))
+		m.epoch = 1
+		return []byte{rspOK}
+
+	case dirOpSplitReserve:
+		old := d.u64()
+		key := d.str()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		i := m.rangeIdx(old)
+		if i < 0 || m.touched(old) {
+			return []byte{rspConflict}
+		}
+		r := m.ranges[i]
+		if key <= r.Start || (r.End != "" && key >= r.End) {
+			return []byte{rspConflict} // split point must be interior
+		}
+		newID := m.nextID
+		m.nextID++
+		m.pend = append(m.pend, pendingChange{Split: true, Old: old, New: newID, Key: key})
+		b := wAppendU64([]byte{rspOK}, newID)
+		return wAppendU32(b, uint32(newID)%uint32(m.groups))
+
+	case dirOpSplitCommit:
+		id := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		pi := m.pendIdx(func(p pendingChange) bool { return p.Split && p.New == id })
+		if pi < 0 {
+			return []byte{rspOK} // already finished elsewhere
+		}
+		p := &m.pend[pi]
+		if p.Committed {
+			return []byte{rspOK}
+		}
+		oi := m.rangeIdx(p.Old)
+		if oi < 0 {
+			return []byte{rspConflict}
+		}
+		oldEnd := m.ranges[oi].End
+		m.ranges[oi].End = p.Key
+		m.ranges = append(m.ranges, RangeInfo{
+			ID: p.New, Start: p.Key, End: oldEnd, Group: int(p.New % uint64(m.groups)),
+		})
+		sort.Slice(m.ranges, func(a, b int) bool { return m.ranges[a].Start < m.ranges[b].Start })
+		p.Committed = true
+		m.epoch++
+		return []byte{rspOK}
+
+	case dirOpSplitFinish:
+		id := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		pi := m.pendIdx(func(p pendingChange) bool { return p.Split && p.New == id })
+		if pi < 0 {
+			return []byte{rspOK}
+		}
+		if !m.pend[pi].Committed {
+			return []byte{rspConflict} // finish before commit is a protocol bug
+		}
+		m.pend = append(m.pend[:pi], m.pend[pi+1:]...)
+		return []byte{rspOK}
+
+	case dirOpSplitAbort:
+		id := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		pi := m.pendIdx(func(p pendingChange) bool { return p.Split && p.New == id })
+		if pi < 0 {
+			return []byte{rspOK}
+		}
+		if m.pend[pi].Committed {
+			return []byte{rspConflict} // routing already switched; must roll forward
+		}
+		m.pend = append(m.pend[:pi], m.pend[pi+1:]...)
+		return []byte{rspOK}
+
+	case dirOpMergeReserve:
+		left := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		li := m.rangeIdx(left)
+		if li < 0 || li == len(m.ranges)-1 {
+			return []byte{rspConflict} // no right neighbor
+		}
+		right := m.ranges[li+1]
+		if m.touched(left) || m.touched(right.ID) {
+			return []byte{rspConflict}
+		}
+		// Key records the absorbed range's lower bound: after commit the
+		// range leaves the routing table, but recovery still needs the
+		// bound to retire its machine.
+		m.pend = append(m.pend, pendingChange{Old: left, Right: right.ID, Key: right.Start})
+		b := wAppendU64([]byte{rspOK}, right.ID)
+		b = wAppendU32(b, uint32(right.Group))
+		return wAppendStr(b, right.Start)
+
+	case dirOpMergeCommit:
+		left := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		pi := m.pendIdx(func(p pendingChange) bool { return !p.Split && p.Old == left })
+		if pi < 0 {
+			return []byte{rspOK}
+		}
+		p := &m.pend[pi]
+		if p.Committed {
+			return []byte{rspOK}
+		}
+		li := m.rangeIdx(p.Old)
+		ri := m.rangeIdx(p.Right)
+		if li < 0 || ri < 0 {
+			return []byte{rspConflict}
+		}
+		m.ranges[li].End = m.ranges[ri].End
+		m.ranges = append(m.ranges[:ri], m.ranges[ri+1:]...)
+		p.Committed = true
+		m.epoch++
+		return []byte{rspOK}
+
+	case dirOpMergeFinish:
+		left := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		pi := m.pendIdx(func(p pendingChange) bool { return !p.Split && p.Old == left })
+		if pi < 0 {
+			return []byte{rspOK}
+		}
+		if !m.pend[pi].Committed {
+			return []byte{rspConflict}
+		}
+		m.pend = append(m.pend[:pi], m.pend[pi+1:]...)
+		return []byte{rspOK}
+
+	case dirOpMergeAbort:
+		left := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		pi := m.pendIdx(func(p pendingChange) bool { return !p.Split && p.Old == left })
+		if pi < 0 {
+			return []byte{rspOK}
+		}
+		if m.pend[pi].Committed {
+			return []byte{rspConflict}
+		}
+		m.pend = append(m.pend[:pi], m.pend[pi+1:]...)
+		return []byte{rspOK}
+	}
+	return []byte{rspConflict}
+}
+
+// Query-side accessors.
+
+func (m *dirMachine) snapshotRanges() []RangeInfo {
+	return append([]RangeInfo(nil), m.ranges...)
+}
+
+func (m *dirMachine) pendingChanges() []pendingChange {
+	return append([]pendingChange(nil), m.pend...)
+}
+
+func (m *dirMachine) epochVal() uint64 { return m.epoch }
+
+func (m *dirMachine) Snapshot() []byte {
+	buf := wAppendU32(nil, uint32(m.groups))
+	buf = wAppendU64(buf, m.nextID)
+	buf = wAppendU64(buf, m.epoch)
+	buf = wAppendU32(buf, uint32(len(m.ranges)))
+	for _, r := range m.ranges {
+		buf = wAppendU64(buf, r.ID)
+		buf = wAppendStr(buf, r.Start)
+		buf = wAppendStr(buf, r.End)
+		buf = wAppendU32(buf, uint32(r.Group))
+	}
+	buf = wAppendU32(buf, uint32(len(m.pend)))
+	for _, p := range m.pend {
+		buf = wAppendBool(buf, p.Split)
+		buf = wAppendU64(buf, p.Old)
+		buf = wAppendU64(buf, p.Right)
+		buf = wAppendU64(buf, p.New)
+		buf = wAppendStr(buf, p.Key)
+		buf = wAppendBool(buf, p.Committed)
+	}
+	return buf
+}
+
+func (m *dirMachine) Restore(snap []byte) {
+	d := &wdec{buf: snap}
+	m.groups = int(d.u32())
+	m.nextID = d.u64()
+	m.epoch = d.u64()
+	m.ranges = nil
+	m.pend = nil
+	n := int(d.u32())
+	for i := 0; i < n && !d.err; i++ {
+		r := RangeInfo{ID: d.u64(), Start: d.str(), End: d.str()}
+		r.Group = int(d.u32())
+		m.ranges = append(m.ranges, r)
+	}
+	n = int(d.u32())
+	for i := 0; i < n && !d.err; i++ {
+		p := pendingChange{Split: d.boolv(), Old: d.u64(), Right: d.u64(), New: d.u64()}
+		p.Key = d.str()
+		p.Committed = d.boolv()
+		m.pend = append(m.pend, p)
+	}
+}
+
+// Command encoders.
+
+func encDirInit(groups int, splits []string) []byte {
+	b := wAppendU32([]byte{dirOpInit}, uint32(groups))
+	return appendStrs(b, splits)
+}
+
+func encDirSplitReserve(old uint64, key string) []byte {
+	b := wAppendU64([]byte{dirOpSplitReserve}, old)
+	return wAppendStr(b, key)
+}
+
+func encDirU64(op byte, id uint64) []byte { return wAppendU64([]byte{op}, id) }

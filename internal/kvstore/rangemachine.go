@@ -1,0 +1,602 @@
+// rangeMachine is the replicated state machine behind one key range of
+// the sharded data plane. Each range is a deterministic LWW-versioned
+// map plus a transaction lock table, replicated as a named machine
+// ("range-<id>") on a 3-member Raft group (internal/ha). All mutation
+// goes through Apply, so the three replicas stay byte-identical; the
+// Sharded coordinator talks to it only via Propose/Query.
+//
+// The machine knows its own key bounds [lo, hi). Every client-facing
+// command (put/get/del/prepare) is bounds-checked, which is what makes
+// splits and merges safe against stale client routing caches: after a
+// split trims this machine, a client still routing an old key here gets
+// rspMoved and refreshes its directory — the write is never silently
+// accepted by a non-owner.
+package kvstore
+
+// Range command opcodes (first byte of every Apply payload).
+const (
+	rmOpPut      = 0x01 // key, ver, val
+	rmOpGet      = 0x02 // key, dirty
+	rmOpDel      = 0x03 // key, ver
+	rmOpPrepare  = 0x04 // txn, dirty, lockKeys, readKeys
+	rmOpApply    = 0x05 // txn, ver, writes
+	rmOpAbort    = 0x06 // txn
+	rmOpAdopt    = 0x07 // lo, hi, pairs — set bounds + LWW upsert
+	rmOpFreeze   = 0x08 // from — fence [from, +inf), return its pairs
+	rmOpTrim     = 0x09 // from — delete [from, +inf), shrink hi
+	rmOpMigrate  = 0x0a // pairs — LWW upsert (anti-entropy repair)
+	rmOpTrimKeys = 0x0b // (key, maxVer) list — conditional delete
+)
+
+// Response status codes, shared by the range, directory and txn
+// machines (first byte of every Apply response).
+const (
+	rspOK        = 0x00
+	rspMoved     = 0x01 // key outside bounds or fenced by a freeze
+	rspLocked    = 0x02 // key locked by another in-flight transaction
+	rspConflict  = 0x03 // prepare/freeze/reserve lost a conflict check
+	rspAborted   = 0x04 // transaction already finished as aborted
+	rspCommitted = 0x05 // transaction already finished as committed
+)
+
+// Transaction terminal states recorded per range (dedup + late-message
+// guard: a prepare arriving after recovery aborted the txn is refused).
+const (
+	txnApplied byte = 1
+	txnAborted byte = 2
+)
+
+// rval is one versioned cell. dead marks a tombstone: versioned
+// deletions must round-trip through freeze/migrate or a merged range
+// could resurrect a deleted key from a stale live copy.
+type rval struct {
+	val  []byte
+	ver  uint64
+	dead bool
+}
+
+// kvPair is a key plus its cell, the unit of range migration.
+type kvPair struct {
+	key string
+	rval
+}
+
+// rmWrite is one write inside a transaction.
+type rmWrite struct {
+	Key string
+	Val []byte
+	Del bool
+}
+
+// rmRead is one observed value from a prepare.
+type rmRead struct {
+	Key   string
+	Val   []byte
+	Found bool
+}
+
+type rangeMachine struct {
+	lo, hi string // owned bounds [lo, hi); hi "" = +inf
+	init   bool   // bounds assigned (adopt seen)
+	fenced bool   // split/merge in progress: [fence, +inf) refused
+	fence  string
+
+	data  map[string]rval
+	prev  map[string]rval   // last overwritten cell per key (dirty reads)
+	locks map[string]uint64 // key -> owning txn id
+	done  map[uint64]byte   // txn id -> txnApplied | txnAborted
+}
+
+func newRangeMachine() *rangeMachine {
+	return &rangeMachine{
+		data:  map[string]rval{},
+		prev:  map[string]rval{},
+		locks: map[string]uint64{},
+		done:  map[uint64]byte{},
+	}
+}
+
+// owns reports whether key is inside the machine's current bounds and
+// not fenced by an in-progress split/merge.
+func (m *rangeMachine) owns(key string) bool {
+	if !m.init || key < m.lo || (m.hi != "" && key >= m.hi) {
+		return false
+	}
+	if m.fenced && key >= m.fence {
+		return false
+	}
+	return true
+}
+
+// upsert installs a cell if it is newer than the current one, retaining
+// the overwritten cell in prev. Returns whether it was installed.
+func (m *rangeMachine) upsert(key string, v rval) bool {
+	cur, ok := m.data[key]
+	if ok && v.ver <= cur.ver {
+		return false
+	}
+	if ok {
+		m.prev[key] = cur
+	}
+	m.data[key] = v
+	return true
+}
+
+func (m *rangeMachine) Apply(cmd []byte) []byte {
+	d := &wdec{buf: cmd}
+	op := d.u8()
+	switch op {
+	case rmOpPut, rmOpDel:
+		key := d.str()
+		ver := d.u64()
+		var val []byte
+		if op == rmOpPut {
+			val = d.blob()
+		}
+		if d.err {
+			return []byte{rspConflict}
+		}
+		if !m.owns(key) {
+			return []byte{rspMoved}
+		}
+		if owner, locked := m.locks[key]; locked {
+			return wAppendU64([]byte{rspLocked}, owner)
+		}
+		m.upsert(key, rval{val: val, ver: ver, dead: op == rmOpDel})
+		return []byte{rspOK}
+
+	case rmOpGet:
+		key := d.str()
+		dirty := d.boolv()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		if !m.owns(key) {
+			return []byte{rspMoved}
+		}
+		if _, locked := m.locks[key]; locked && !dirty {
+			return []byte{rspLocked}
+		}
+		return m.readResp(key, dirty)
+
+	case rmOpPrepare:
+		return m.applyPrepare(d)
+	case rmOpApply:
+		return m.applyCommit(d)
+	case rmOpAbort:
+		txn := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		if m.done[txn] == txnApplied {
+			return []byte{rspCommitted}
+		}
+		m.releaseLocks(txn)
+		m.done[txn] = txnAborted
+		return []byte{rspOK}
+
+	case rmOpAdopt:
+		lo, hi := d.str(), d.str()
+		pairs := decodePairs(d)
+		if d.err {
+			return []byte{rspConflict}
+		}
+		m.lo, m.hi, m.init = lo, hi, true
+		installed := uint32(0)
+		for _, p := range pairs {
+			if m.upsert(p.key, p.rval) {
+				installed++
+			}
+		}
+		return wAppendU32([]byte{rspOK}, installed)
+
+	case rmOpFreeze:
+		from := d.str()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		if m.fenced && m.fence != from {
+			return []byte{rspConflict}
+		}
+		for k := range m.locks {
+			if k >= from {
+				return []byte{rspConflict} // in-flight txn holds the span
+			}
+		}
+		m.fenced, m.fence = true, from
+		resp := []byte{rspOK}
+		return appendPairs(resp, m.pairsFrom(from))
+
+	case rmOpTrim:
+		from := d.str()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		n := uint32(0)
+		for k := range m.data {
+			if k >= from {
+				delete(m.data, k)
+				delete(m.prev, k)
+				n++
+			}
+		}
+		for k := range m.prev {
+			if k >= from {
+				delete(m.prev, k)
+			}
+		}
+		m.hi = from
+		if m.fenced && m.fence == from {
+			m.fenced, m.fence = false, ""
+		}
+		return wAppendU32([]byte{rspOK}, n)
+
+	case rmOpMigrate:
+		pairs := decodePairs(d)
+		if d.err {
+			return []byte{rspConflict}
+		}
+		installed := uint32(0)
+		for _, p := range pairs {
+			if m.upsert(p.key, p.rval) {
+				installed++
+			}
+		}
+		return wAppendU32([]byte{rspOK}, installed)
+
+	case rmOpTrimKeys:
+		n := int(d.u32())
+		removed := uint32(0)
+		for i := 0; i < n && !d.err; i++ {
+			key := d.str()
+			maxVer := d.u64()
+			if d.err {
+				break
+			}
+			if cur, ok := m.data[key]; ok && cur.ver <= maxVer {
+				delete(m.data, key)
+				delete(m.prev, key)
+				removed++
+			}
+		}
+		return wAppendU32([]byte{rspOK}, removed)
+	}
+	return []byte{rspConflict}
+}
+
+// applyPrepare locks the txn's keys (all-or-nothing within this range)
+// and returns the observed read values. Conflicts abort immediately —
+// no lock waiting, so cross-range deadlock is impossible by
+// construction and contention resolves by coordinator retry.
+func (m *rangeMachine) applyPrepare(d *wdec) []byte {
+	txn := d.u64()
+	dirty := d.boolv()
+	lockKeys := decodeStrs(d)
+	readKeys := decodeStrs(d)
+	if d.err {
+		return []byte{rspConflict}
+	}
+	switch m.done[txn] {
+	case txnAborted:
+		// Recovery already aborted this txn (coordinator presumed dead);
+		// refusing the late prepare keeps its locks from resurrecting.
+		return []byte{rspAborted}
+	case txnApplied:
+		return []byte{rspCommitted}
+	}
+	for _, k := range lockKeys {
+		if !m.owns(k) {
+			return []byte{rspMoved}
+		}
+		if owner, locked := m.locks[k]; locked && owner != txn {
+			return []byte{rspConflict}
+		}
+	}
+	for _, k := range lockKeys {
+		m.locks[k] = txn
+	}
+	resp := wAppendU32([]byte{rspOK}, uint32(len(readKeys)))
+	for _, k := range readKeys {
+		resp = append(resp, m.readResp(k, dirty)[1:]...)
+	}
+	return resp
+}
+
+// applyCommit installs a committed txn's writes at the commit version
+// and releases its locks. Idempotent: recovery may replay it.
+func (m *rangeMachine) applyCommit(d *wdec) []byte {
+	txn := d.u64()
+	ver := d.u64()
+	writes := decodeWrites(d)
+	if d.err {
+		return []byte{rspConflict}
+	}
+	if m.done[txn] == txnApplied {
+		return []byte{rspOK}
+	}
+	for _, w := range writes {
+		m.upsert(w.Key, rval{val: w.Val, ver: ver, dead: w.Del})
+	}
+	m.releaseLocks(txn)
+	m.done[txn] = txnApplied
+	return []byte{rspOK}
+}
+
+func (m *rangeMachine) releaseLocks(txn uint64) {
+	for k, owner := range m.locks {
+		if owner == txn {
+			delete(m.locks, k)
+		}
+	}
+}
+
+// readResp renders a cell as status+found+value. A dirty read serves
+// the retained overwritten cell when one exists — the deliberately
+// broken isolation mode that proves the txn checker has teeth.
+func (m *rangeMachine) readResp(key string, dirty bool) []byte {
+	cell, ok := m.data[key]
+	if dirty {
+		if p, stale := m.prev[key]; stale {
+			cell, ok = p, true
+		}
+	}
+	resp := []byte{rspOK}
+	found := ok && !cell.dead
+	resp = wAppendBool(resp, found)
+	if found {
+		return wAppendBlob(resp, cell.val)
+	}
+	return wAppendBlob(resp, nil)
+}
+
+// pairsFrom returns the cells (tombstones included) at or above from,
+// in sorted key order.
+func (m *rangeMachine) pairsFrom(from string) []kvPair {
+	var pairs []kvPair
+	for k, v := range m.data {
+		if k >= from {
+			pairs = append(pairs, kvPair{key: k, rval: v})
+		}
+	}
+	sortPairs(pairs)
+	return pairs
+}
+
+// Query-side accessors (called under the group mutex via ha.Query; must
+// not mutate).
+
+func (m *rangeMachine) allPairs() []kvPair { return m.pairsFrom("") }
+
+func (m *rangeMachine) lockCount() int { return len(m.locks) }
+
+// liveSize counts live (non-tombstone) keys — the size signal for
+// load-driven split/merge.
+func (m *rangeMachine) liveSize() int {
+	n := 0
+	for _, v := range m.data {
+		if !v.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// liveKeys returns the sorted live keys (split-point selection).
+func (m *rangeMachine) liveKeys() []string {
+	keys := make([]string, 0, len(m.data))
+	for k, v := range m.data {
+		if !v.dead {
+			keys = append(keys, k)
+		}
+	}
+	sortStrs(keys)
+	return keys
+}
+
+// Snapshot/Restore: deterministic serialization in sorted order, so all
+// replicas produce identical snapshots for identical state.
+
+func (m *rangeMachine) Snapshot() []byte {
+	buf := wAppendStr(nil, m.lo)
+	buf = wAppendStr(buf, m.hi)
+	buf = wAppendBool(buf, m.init)
+	buf = wAppendBool(buf, m.fenced)
+	buf = wAppendStr(buf, m.fence)
+	buf = appendPairs(buf, m.allPairs())
+	prevPairs := make([]kvPair, 0, len(m.prev))
+	for k, v := range m.prev {
+		prevPairs = append(prevPairs, kvPair{key: k, rval: v})
+	}
+	sortPairs(prevPairs)
+	buf = appendPairs(buf, prevPairs)
+	lockKeys := make([]string, 0, len(m.locks))
+	for k := range m.locks {
+		lockKeys = append(lockKeys, k)
+	}
+	sortStrs(lockKeys)
+	buf = wAppendU32(buf, uint32(len(lockKeys)))
+	for _, k := range lockKeys {
+		buf = wAppendStr(buf, k)
+		buf = wAppendU64(buf, m.locks[k])
+	}
+	doneIDs := make([]uint64, 0, len(m.done))
+	for id := range m.done {
+		doneIDs = append(doneIDs, id)
+	}
+	sortU64s(doneIDs)
+	buf = wAppendU32(buf, uint32(len(doneIDs)))
+	for _, id := range doneIDs {
+		buf = wAppendU64(buf, id)
+		buf = append(buf, m.done[id])
+	}
+	return buf
+}
+
+func (m *rangeMachine) Restore(snap []byte) {
+	d := &wdec{buf: snap}
+	m.lo = d.str()
+	m.hi = d.str()
+	m.init = d.boolv()
+	m.fenced = d.boolv()
+	m.fence = d.str()
+	m.data = map[string]rval{}
+	m.prev = map[string]rval{}
+	m.locks = map[string]uint64{}
+	m.done = map[uint64]byte{}
+	for _, p := range decodePairs(d) {
+		m.data[p.key] = p.rval
+	}
+	for _, p := range decodePairs(d) {
+		m.prev[p.key] = p.rval
+	}
+	n := int(d.u32())
+	for i := 0; i < n && !d.err; i++ {
+		k := d.str()
+		m.locks[k] = d.u64()
+	}
+	n = int(d.u32())
+	for i := 0; i < n && !d.err; i++ {
+		id := d.u64()
+		m.done[id] = d.u8()
+	}
+}
+
+// Command encoders (coordinator side).
+
+func encRmPut(key string, val []byte, ver uint64) []byte {
+	b := wAppendStr([]byte{rmOpPut}, key)
+	b = wAppendU64(b, ver)
+	return wAppendBlob(b, val)
+}
+
+func encRmGet(key string, dirty bool) []byte {
+	b := wAppendStr([]byte{rmOpGet}, key)
+	return wAppendBool(b, dirty)
+}
+
+func encRmDel(key string, ver uint64) []byte {
+	b := wAppendStr([]byte{rmOpDel}, key)
+	return wAppendU64(b, ver)
+}
+
+func encRmPrepare(txn uint64, dirty bool, lockKeys, readKeys []string) []byte {
+	b := wAppendU64([]byte{rmOpPrepare}, txn)
+	b = wAppendBool(b, dirty)
+	b = appendStrs(b, lockKeys)
+	return appendStrs(b, readKeys)
+}
+
+func encRmApply(txn, ver uint64, writes []rmWrite) []byte {
+	b := wAppendU64([]byte{rmOpApply}, txn)
+	b = wAppendU64(b, ver)
+	return appendWrites(b, writes)
+}
+
+func encRmAbort(txn uint64) []byte { return wAppendU64([]byte{rmOpAbort}, txn) }
+
+func encRmAdopt(lo, hi string, pairs []kvPair) []byte {
+	b := wAppendStr([]byte{rmOpAdopt}, lo)
+	b = wAppendStr(b, hi)
+	return appendPairs(b, pairs)
+}
+
+func encRmFreeze(from string) []byte { return wAppendStr([]byte{rmOpFreeze}, from) }
+func encRmTrim(from string) []byte   { return wAppendStr([]byte{rmOpTrim}, from) }
+
+func encRmMigrate(pairs []kvPair) []byte { return appendPairs([]byte{rmOpMigrate}, pairs) }
+
+func encRmTrimKeys(pairs []kvPair) []byte {
+	b := wAppendU32([]byte{rmOpTrimKeys}, uint32(len(pairs)))
+	for _, p := range pairs {
+		b = wAppendStr(b, p.key)
+		b = wAppendU64(b, p.ver)
+	}
+	return b
+}
+
+// Shared sub-encodings.
+
+func appendPairs(b []byte, pairs []kvPair) []byte {
+	b = wAppendU32(b, uint32(len(pairs)))
+	for _, p := range pairs {
+		b = wAppendStr(b, p.key)
+		b = wAppendU64(b, p.ver)
+		b = wAppendBool(b, p.dead)
+		b = wAppendBlob(b, p.val)
+	}
+	return b
+}
+
+func decodePairs(d *wdec) []kvPair {
+	n := int(d.u32())
+	var pairs []kvPair
+	for i := 0; i < n && !d.err; i++ {
+		p := kvPair{key: d.str()}
+		p.ver = d.u64()
+		p.dead = d.boolv()
+		p.val = d.blob()
+		if d.err {
+			break
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+func appendStrs(b []byte, ss []string) []byte {
+	b = wAppendU32(b, uint32(len(ss)))
+	for _, s := range ss {
+		b = wAppendStr(b, s)
+	}
+	return b
+}
+
+func decodeStrs(d *wdec) []string {
+	n := int(d.u32())
+	var ss []string
+	for i := 0; i < n && !d.err; i++ {
+		ss = append(ss, d.str())
+	}
+	return ss
+}
+
+func appendWrites(b []byte, ws []rmWrite) []byte {
+	b = wAppendU32(b, uint32(len(ws)))
+	for _, w := range ws {
+		b = wAppendStr(b, w.Key)
+		b = wAppendBool(b, w.Del)
+		b = wAppendBlob(b, w.Val)
+	}
+	return b
+}
+
+func decodeWrites(d *wdec) []rmWrite {
+	n := int(d.u32())
+	var ws []rmWrite
+	for i := 0; i < n && !d.err; i++ {
+		w := rmWrite{Key: d.str()}
+		w.Del = d.boolv()
+		w.Val = d.blob()
+		if d.err {
+			break
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// decodeReads parses the prepare response payload after its status byte.
+func decodeReads(d *wdec, keys []string) []rmRead {
+	n := int(d.u32())
+	var rs []rmRead
+	for i := 0; i < n && i < len(keys) && !d.err; i++ {
+		r := rmRead{Key: keys[i]}
+		r.Found = d.boolv()
+		r.Val = d.blob()
+		if d.err {
+			break
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}

@@ -7,12 +7,18 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 
 	"repro/internal/topology"
 )
+
+// ErrNoReplicas reports that a ring walk found no eligible physical node:
+// every candidate was excluded. Callers must treat this as a hard routing
+// failure rather than silently proceeding with a shrunken replica set.
+var ErrNoReplicas = errors.New("kvstore: no eligible replicas on ring")
 
 // ring is a consistent-hash ring with virtual nodes. Immutable after build.
 type ring struct {
@@ -76,8 +82,10 @@ func (r *ring) preferenceList(key string, n int) []topology.NodeID {
 
 // successors returns up to n distinct physical nodes clockwise from the
 // preference list's end, excluding the given set — the hinted-handoff
-// targets.
-func (r *ring) successors(key string, exclude map[topology.NodeID]bool, n int) []topology.NodeID {
+// targets. When n > 0 and every physical node is excluded it returns
+// ErrNoReplicas so the caller can surface the exhausted ring instead of
+// quietly operating on fewer replicas than requested.
+func (r *ring) successors(key string, exclude map[topology.NodeID]bool, n int) ([]topology.NodeID, error) {
 	h := hashString(key)
 	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	seen := map[topology.NodeID]bool{}
@@ -90,5 +98,8 @@ func (r *ring) successors(key string, exclude map[topology.NodeID]bool, n int) [
 		seen[p.node] = true
 		out = append(out, p.node)
 	}
-	return out
+	if n > 0 && len(out) == 0 {
+		return nil, ErrNoReplicas
+	}
+	return out, nil
 }

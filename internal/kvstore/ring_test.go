@@ -1,0 +1,101 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func TestSuccessorsSkipsExcluded(t *testing.T) {
+	r := newRing(5, 16)
+	prefs := r.preferenceList("some-key", 3)
+	exclude := map[topology.NodeID]bool{}
+	for _, n := range prefs {
+		exclude[n] = true
+	}
+	succ, err := r.successors("some-key", exclude, 2)
+	if err != nil {
+		t.Fatalf("successors: %v", err)
+	}
+	if len(succ) != 2 {
+		t.Fatalf("successors = %v, want 2 nodes", succ)
+	}
+	for _, n := range succ {
+		if exclude[n] {
+			t.Fatalf("successors returned excluded node %d", n)
+		}
+	}
+}
+
+func TestSuccessorsExhaustedRingIsTypedError(t *testing.T) {
+	r := newRing(3, 8)
+	exclude := map[topology.NodeID]bool{0: true, 1: true, 2: true}
+	succ, err := r.successors("k", exclude, 1)
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("successors with all nodes excluded = (%v, %v), want ErrNoReplicas", succ, err)
+	}
+	if len(succ) != 0 {
+		t.Fatalf("successors returned nodes alongside error: %v", succ)
+	}
+	// n == 0 asks for nothing and is not an error.
+	if _, err := r.successors("k", exclude, 0); err != nil {
+		t.Fatalf("successors(n=0) = %v, want nil", err)
+	}
+}
+
+func TestWriteSurfacesNoReplicasCause(t *testing.T) {
+	// 4 nodes, N=4: the preference list covers the whole ring, so with
+	// dead replicas there is no handoff target left and the quorum
+	// failure must carry ErrNoReplicas as its cause.
+	fab := netsim.NewFabric(topology.TwoTier(1, 4, 1), netsim.RDMA40G)
+	s, err := New(Config{Fabric: fab, N: 4, R: 2, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNode(3); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Put(0, "k", []byte("v"))
+	if !errors.Is(err, ErrQuorumFailed) {
+		t.Fatalf("Put = %v, want ErrQuorumFailed", err)
+	}
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("Put = %v, want ErrNoReplicas cause attached", err)
+	}
+}
+
+// TestStaleReadInjectionServesOverwrittenVersion pins the quorum
+// store's planted fault: under SetStaleReads, replicas serve their
+// displaced version and skip read write-back — the behaviour the
+// linearizability checker's self-test must catch.
+func TestStaleReadInjectionServesOverwrittenVersion(t *testing.T) {
+	fab := netsim.NewFabric(topology.TwoTier(1, 4, 1), netsim.RDMA40G)
+	s, err := New(Config{Fabric: fab, N: 3, R: 2, W: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config(); got.N != 3 || got.R != 2 || got.W != 2 {
+		t.Fatalf("Config = %+v, want N3 R2 W2", got)
+	}
+	if _, err := s.Put(0, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(0, "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetStaleReads(true)
+	v, _, err := s.Get(0, "k")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("stale Get = (%q, %v), want overwritten v1", v, err)
+	}
+	s.SetStaleReads(false)
+	v, _, err = s.Get(0, "k")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("Get after disabling injection = (%q, %v), want v2", v, err)
+	}
+}

@@ -198,13 +198,21 @@ func (s *Store) write(coordinator topology.NodeID, key string, v versioned) (tim
 			deadTargets = append(deadTargets, n)
 		}
 	}
-	// Hinted handoff: sloppy quorum via ring successors.
+	// Hinted handoff: sloppy quorum via ring successors. An exhausted
+	// ring (ErrNoReplicas) means no handoff target exists outside the
+	// preference list; the quorum check below then decides the outcome
+	// with that cause attached rather than a silently shrunken quorum.
+	var handoffErr error
 	if len(deadTargets) > 0 {
 		exclude := map[topology.NodeID]bool{}
 		for _, n := range prefs {
 			exclude[n] = true
 		}
-		succ := s.ring.successors(key, exclude, len(deadTargets))
+		succ, err := s.ring.successors(key, exclude, len(deadTargets))
+		if err != nil {
+			handoffErr = err
+			s.Reg.Counter("handoff_no_replicas").Inc()
+		}
 		for i, holder := range succ {
 			if i >= len(deadTargets) || !s.isAlive(holder) {
 				continue
@@ -219,6 +227,9 @@ func (s *Store) write(coordinator topology.NodeID, key string, v versioned) (tim
 	}
 	if len(acks) < s.cfg.W {
 		s.Reg.Counter("put_failures").Inc()
+		if handoffErr != nil {
+			return 0, fmt.Errorf("%w: %d/%d write acks: %w", ErrQuorumFailed, len(acks), s.cfg.W, handoffErr)
+		}
 		return 0, fmt.Errorf("%w: %d/%d write acks", ErrQuorumFailed, len(acks), s.cfg.W)
 	}
 	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })

@@ -1,0 +1,371 @@
+// Cross-range transactions: two-phase commit over the range machines,
+// with the transaction record replicated in the txn machine (see
+// txnmachine.go). The protocol, per transaction:
+//
+//	begin    — replicate the record: participants + write set (pending)
+//	prepare  — per range, in sorted range order: take exclusive locks on
+//	           every touched key and observe the read values. A lock
+//	           conflict aborts immediately (no waiting → no deadlocks)
+//	           and the coordinator retries the whole transaction.
+//	commit   — replicate tMarkCommit(id, version). THE commit point.
+//	apply    — per range: install writes at the commit version, release
+//	           locks (idempotent — recovery may replay it).
+//	done     — retire the record.
+//
+// A coordinator crash at any point leaves the replicated record as the
+// single source of truth: RecoverTxns aborts pending records (releasing
+// their locks) and re-drives committed ones to completion. Locks can
+// therefore never leak past a recovery pass, and the commit/abort
+// decision is deterministic — exactly one of the two, decided by
+// whether tMarkCommit reached the Raft log.
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ha"
+)
+
+// errRetryTxn signals the Txn retry loop that the attempt aborted
+// cleanly (conflict or stale routing) and should be retried.
+var errRetryTxn = errors.New("kvstore: retry transaction")
+
+// txnPart groups one range's share of a transaction.
+type txnPart struct {
+	lockKeys []string // every touched key, sorted
+	readKeys []string // subset to observe
+	writes   []rmWrite
+}
+
+// Txn atomically reads the `reads` keys and applies `writes` (a nil
+// value writes a tombstone). It returns the read values — absent keys
+// are omitted from the map — observed at the serialization point.
+//
+// Error semantics (the capture harness and callers rely on these):
+//   - ErrTxnConflict, ErrTxnAborted, ErrDeadlineExceeded: no effect,
+//     guaranteed — locks released before returning.
+//   - ErrTxnOrphaned: outcome deferred to RecoverTxns (abort or resume).
+//   - other errors: outcome unknown (treat as pending).
+func (s *Sharded) Txn(ctx context.Context, reads []string, writes map[string][]byte) (map[string][]byte, error) {
+	b, err := newOpBudget(ctx)
+	if err != nil {
+		s.Reg.Counter("deadline_exceeded").Inc()
+		return nil, err
+	}
+	for attempt := 0; attempt < s.cfg.MaxTxnAttempts; attempt++ {
+		res, err := s.tryTxn(b, reads, writes)
+		if errors.Is(err, errRetryTxn) {
+			s.Reg.Counter("txn_retries").Inc()
+			continue
+		}
+		return res, err
+	}
+	s.Reg.Counter("txn_conflict_exhausted").Inc()
+	return nil, ErrTxnConflict
+}
+
+// partition routes the transaction's keys into per-range parts.
+func (s *Sharded) partition(reads []string, writes map[string][]byte) (map[uint64]*txnPart, []uint64, error) {
+	keys := map[string]bool{}
+	for _, k := range reads {
+		keys[k] = true
+	}
+	for k := range writes {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sortStrs(sorted)
+	readSet := map[string]bool{}
+	for _, k := range reads {
+		readSet[k] = true
+	}
+	parts := map[uint64]*txnPart{}
+	for _, k := range sorted {
+		r, err := s.locate(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := parts[r.ID]
+		if p == nil {
+			p = &txnPart{}
+			parts[r.ID] = p
+		}
+		p.lockKeys = append(p.lockKeys, k)
+		if readSet[k] {
+			p.readKeys = append(p.readKeys, k)
+		}
+		if v, ok := writes[k]; ok {
+			p.writes = append(p.writes, rmWrite{Key: k, Val: v, Del: v == nil})
+		}
+	}
+	ids := make([]uint64, 0, len(parts))
+	for id := range parts {
+		ids = append(ids, id)
+	}
+	sortU64s(ids)
+	return parts, ids, nil
+}
+
+func (s *Sharded) tryTxn(b *opBudget, reads []string, writes map[string][]byte) (map[string][]byte, error) {
+	if b.exhausted() {
+		s.Reg.Counter("deadline_exceeded").Inc()
+		return nil, ErrDeadlineExceeded
+	}
+	parts, partIDs, err := s.partition(reads, writes)
+	if err != nil {
+		return nil, err
+	}
+	var flatWrites []rmWrite
+	for _, id := range partIDs {
+		flatWrites = append(flatWrites, parts[id].writes...)
+	}
+	id := s.nextTxnID()
+
+	// 1. Replicate the transaction record.
+	resp, c, err := s.propose(0, txnMachineName, encTxBegin(id, partIDs, flatWrites))
+	if err != nil {
+		// The record may or may not exist; either way nothing is locked
+		// and nothing can commit it — recovery retires it as aborted.
+		return nil, fmt.Errorf("kvstore: txn %d begin: %w", id, ErrTxnOrphaned)
+	}
+	if resp[0] != rspOK {
+		return nil, fmt.Errorf("kvstore: txn %d begin: status %d", id, resp[0])
+	}
+	if cerr := b.charge(c); cerr != nil {
+		s.abortTxn(id, nil)
+		s.Reg.Counter("deadline_exceeded").Inc()
+		return nil, cerr
+	}
+	if s.takeCrash("begin") {
+		s.Reg.Counter("txn_orphaned").Inc()
+		return nil, ErrTxnOrphaned
+	}
+
+	// 2. Prepare every participant in sorted range order.
+	readVals := map[string][]byte{}
+	var prepared []uint64
+	for _, rid := range partIDs {
+		p := parts[rid]
+		resp, c, err := s.propose(s.groupOf(rid), rangeName(rid), encRmPrepare(id, s.dirtyReads(), p.lockKeys, p.readKeys))
+		if err != nil {
+			// Unknown outcome: this range may hold our locks.
+			s.Reg.Counter("txn_orphaned").Inc()
+			return nil, fmt.Errorf("kvstore: txn %d prepare range %d: %w", id, rid, ErrTxnOrphaned)
+		}
+		switch resp[0] {
+		case rspOK:
+			d := &wdec{buf: resp[1:]}
+			for _, r := range decodeReads(d, p.readKeys) {
+				if r.Found {
+					readVals[r.Key] = r.Val
+				}
+			}
+			prepared = append(prepared, rid)
+		case rspConflict, rspLocked:
+			s.Reg.Counter("txn_conflicts").Inc()
+			s.abortTxn(id, prepared)
+			return nil, errRetryTxn
+		case rspMoved:
+			s.Reg.Counter("txn_moved").Inc()
+			s.abortTxn(id, prepared)
+			if err := s.refreshDir(); err != nil {
+				return nil, err
+			}
+			return nil, errRetryTxn
+		case rspAborted:
+			// Recovery raced us and aborted the record; earlier locks
+			// are already released by its rAbort pass.
+			return nil, ErrTxnAborted
+		default:
+			s.abortTxn(id, prepared)
+			return nil, fmt.Errorf("kvstore: txn %d prepare range %d: status %d", id, rid, resp[0])
+		}
+		if cerr := b.charge(c); cerr != nil {
+			s.abortTxn(id, prepared)
+			s.Reg.Counter("deadline_exceeded").Inc()
+			return nil, cerr
+		}
+		if s.takeCrash("prepare") {
+			s.Reg.Counter("txn_orphaned").Inc()
+			return nil, ErrTxnOrphaned
+		}
+	}
+	if s.takeCrash("before-commit") {
+		s.Reg.Counter("txn_orphaned").Inc()
+		return nil, ErrTxnOrphaned
+	}
+	if b.exhausted() {
+		// Last budget check before the point of no return: abort clean.
+		s.abortTxn(id, prepared)
+		s.Reg.Counter("deadline_exceeded").Inc()
+		return nil, ErrDeadlineExceeded
+	}
+
+	// 3. Commit point: one replicated record flips the transaction from
+	// abortable to unabortable.
+	ver := s.nextVersion()
+	resp, c, err = s.propose(0, txnMachineName, encTxCommit(id, ver))
+	if err != nil {
+		// The commit record may or may not be in the log — the classic
+		// "partition spanning the commit point". Only recovery, reading
+		// the replicated record, can tell.
+		s.Reg.Counter("txn_orphaned").Inc()
+		return nil, fmt.Errorf("kvstore: txn %d commit: %w", id, ErrTxnOrphaned)
+	}
+	if resp[0] == rspAborted {
+		return nil, ErrTxnAborted
+	}
+	b.charge(c) // post-commit: account but never abandon
+	s.Reg.Counter("txn_committed").Inc()
+	if s.takeCrash("commit") {
+		s.Reg.Counter("txn_orphaned").Inc()
+		return nil, ErrTxnOrphaned
+	}
+
+	// 4. Apply on every participant, then retire the record. Failures
+	// here leave a committed record that recovery re-drives.
+	for _, rid := range partIDs {
+		resp, _, err := s.propose(s.groupOf(rid), rangeName(rid), encRmApply(id, ver, parts[rid].writes))
+		if err != nil || resp[0] != rspOK {
+			s.Reg.Counter("txn_orphaned").Inc()
+			return nil, fmt.Errorf("kvstore: txn %d apply range %d: %w", id, rid, ErrTxnOrphaned)
+		}
+		if s.takeCrash("apply") {
+			s.Reg.Counter("txn_orphaned").Inc()
+			return nil, ErrTxnOrphaned
+		}
+	}
+	if _, _, err := s.propose(0, txnMachineName, encTxDone(id)); err != nil {
+		// Effects are fully applied; the lingering record is retired by
+		// the next recovery pass. The transaction still succeeded.
+		s.Reg.Counter("txn_done_deferred").Inc()
+	}
+	return readVals, nil
+}
+
+// abortTxn cleanly aborts an attempt: mark the record aborted, release
+// locks on every prepared range, retire the record. Errors are ignored
+// — recovery finishes whatever this pass could not.
+func (s *Sharded) abortTxn(id uint64, prepared []uint64) {
+	if resp, _, err := s.propose(0, txnMachineName, encTxAbort(id)); err != nil || resp[0] == rspCommitted {
+		return // unreachable record or already committed: recovery's job
+	}
+	for _, rid := range prepared {
+		s.propose(s.groupOf(rid), rangeName(rid), encRmAbort(id)) //nolint:errcheck
+	}
+	s.propose(0, txnMachineName, encTxDone(id)) //nolint:errcheck
+	s.Reg.Counter("txn_aborted").Inc()
+}
+
+// TxnRecovery reports what RecoverTxns resolved.
+type TxnRecovery struct {
+	// Resumed transactions had a commit record: their writes were
+	// re-applied to every participant and the record retired.
+	Resumed int
+	// Aborted transactions were still pending: every participant's
+	// locks were released and the record retired.
+	Aborted int
+}
+
+// RecoverTxns scans the replicated transaction table and resolves every
+// record: pending → abort, committed → resume. Idempotent — a recovery
+// pass that itself crashes is simply re-run; every step it replays is a
+// no-op on ranges that already saw it.
+func (s *Sharded) RecoverTxns() (TxnRecovery, error) {
+	var out TxnRecovery
+	var recs []txnRecSnap
+	err := s.groups[0].Query(txnMachineName, func(sm ha.StateMachine) error {
+		recs = sm.(*txnMachine).snapshotRecs()
+		return nil
+	})
+	if err != nil {
+		return out, fmt.Errorf("kvstore: txn recovery scan: %w", err)
+	}
+	for _, rec := range recs {
+		switch rec.Status {
+		case txnStPending:
+			// Abort-first: replicating the abort decision closes the
+			// race with a live coordinator — its tMarkCommit afterwards
+			// gets rspAborted and it gives up.
+			resp, _, err := s.propose(0, txnMachineName, encTxAbort(rec.ID))
+			if err != nil {
+				return out, fmt.Errorf("kvstore: recover txn %d: %w", rec.ID, err)
+			}
+			if resp[0] == rspCommitted {
+				// The coordinator committed between our scan and now.
+				d := &wdec{buf: resp[1:]}
+				rec.Ver = d.u64()
+				if err := s.resumeTxn(rec); err != nil {
+					return out, err
+				}
+				out.Resumed++
+				continue
+			}
+			for _, rid := range rec.Parts {
+				if _, _, err := s.propose(s.groupOf(rid), rangeName(rid), encRmAbort(rec.ID)); err != nil {
+					return out, fmt.Errorf("kvstore: recover txn %d abort range %d: %w", rec.ID, rid, err)
+				}
+			}
+			if _, _, err := s.propose(0, txnMachineName, encTxDone(rec.ID)); err != nil {
+				return out, err
+			}
+			s.Reg.Counter("txn_recovered_aborted").Inc()
+			out.Aborted++
+		case txnStCommitted:
+			if err := s.resumeTxn(rec); err != nil {
+				return out, err
+			}
+			out.Resumed++
+		case txnStAborted:
+			// A previous recovery pass crashed mid-abort: finish it.
+			for _, rid := range rec.Parts {
+				if _, _, err := s.propose(s.groupOf(rid), rangeName(rid), encRmAbort(rec.ID)); err != nil {
+					return out, err
+				}
+			}
+			if _, _, err := s.propose(0, txnMachineName, encTxDone(rec.ID)); err != nil {
+				return out, err
+			}
+			s.Reg.Counter("txn_recovered_aborted").Inc()
+			out.Aborted++
+		}
+	}
+	return out, nil
+}
+
+// resumeTxn re-drives a committed transaction to completion. The write
+// set is routed through the current directory — safe because every
+// touched key is still locked by this txn, and ranges with locks cannot
+// have split or merged away from under it (freeze refuses spans with
+// live locks).
+func (s *Sharded) resumeTxn(rec txnRecSnap) error {
+	byRange := map[uint64][]rmWrite{}
+	for _, w := range rec.Writes {
+		r, err := s.locate(w.Key)
+		if err != nil {
+			return err
+		}
+		byRange[r.ID] = append(byRange[r.ID], w)
+	}
+	// Apply to every recorded participant — including read-only ones,
+	// whose locks must be released too.
+	for _, rid := range rec.Parts {
+		resp, _, err := s.propose(s.groupOf(rid), rangeName(rid), encRmApply(rec.ID, rec.Ver, byRange[rid]))
+		if err != nil {
+			return fmt.Errorf("kvstore: resume txn %d range %d: %w", rec.ID, rid, err)
+		}
+		if resp[0] != rspOK {
+			return fmt.Errorf("kvstore: resume txn %d range %d: status %d", rec.ID, rid, resp[0])
+		}
+	}
+	if _, _, err := s.propose(0, txnMachineName, encTxDone(rec.ID)); err != nil {
+		return err
+	}
+	s.Reg.Counter("txn_recovered_resumed").Inc()
+	return nil
+}

@@ -1,0 +1,195 @@
+// txnMachine is the replicated transaction-record table: the 2PC
+// coordinator's durable state, run as the "txn" machine on the control
+// group. The commit point of every cross-range transaction is the
+// single Raft commit of its tMarkCommit record here — participants
+// apply writes only after that record exists, and recovery resolves any
+// orphaned transaction purely from this table: pending → abort
+// everywhere, committed → re-apply everywhere. A coordinator crash can
+// therefore delay a transaction but never leave it dangling.
+package kvstore
+
+// Transaction record opcodes.
+const (
+	txOpBegin  = 0x01 // id, participant range ids, writes
+	txOpCommit = 0x02 // id, commit version
+	txOpAbort  = 0x03 // id
+	txOpDone   = 0x04 // id — record retired after cleanup
+)
+
+// Transaction record states.
+const (
+	txnStPending   byte = 1
+	txnStCommitted byte = 2
+	txnStAborted   byte = 3
+)
+
+// txnRec is one transaction's replicated record.
+type txnRec struct {
+	status byte
+	ver    uint64 // commit version (set at commit)
+	parts  []uint64
+	writes []rmWrite
+}
+
+// txnRecSnap is the query-side copy handed to recovery.
+type txnRecSnap struct {
+	ID     uint64
+	Status byte
+	Ver    uint64
+	Parts  []uint64
+	Writes []rmWrite
+}
+
+type txnMachine struct {
+	recs map[uint64]*txnRec
+}
+
+func newTxnMachine() *txnMachine { return &txnMachine{recs: map[uint64]*txnRec{}} }
+
+func (m *txnMachine) Apply(cmd []byte) []byte {
+	d := &wdec{buf: cmd}
+	op := d.u8()
+	id := d.u64()
+	switch op {
+	case txOpBegin:
+		parts := decodeU64s(d)
+		writes := decodeWrites(d)
+		if d.err {
+			return []byte{rspConflict}
+		}
+		if _, ok := m.recs[id]; ok {
+			return []byte{rspOK}
+		}
+		m.recs[id] = &txnRec{status: txnStPending, parts: parts, writes: writes}
+		return []byte{rspOK}
+
+	case txOpCommit:
+		ver := d.u64()
+		if d.err {
+			return []byte{rspConflict}
+		}
+		rec, ok := m.recs[id]
+		if !ok {
+			// Unknown id: the record was aborted and retired (recovery
+			// raced the coordinator). The txn must not apply.
+			return []byte{rspAborted}
+		}
+		switch rec.status {
+		case txnStAborted:
+			return []byte{rspAborted}
+		case txnStPending:
+			rec.status = txnStCommitted
+			rec.ver = ver
+		}
+		return []byte{rspOK}
+
+	case txOpAbort:
+		if d.err {
+			return []byte{rspConflict}
+		}
+		rec, ok := m.recs[id]
+		if !ok {
+			return []byte{rspOK} // already retired
+		}
+		switch rec.status {
+		case txnStCommitted:
+			// Too late: the commit record is the point of no return.
+			return wAppendU64([]byte{rspCommitted}, rec.ver)
+		case txnStPending:
+			rec.status = txnStAborted
+		}
+		return []byte{rspOK}
+
+	case txOpDone:
+		if d.err {
+			return []byte{rspConflict}
+		}
+		delete(m.recs, id)
+		return []byte{rspOK}
+	}
+	return []byte{rspConflict}
+}
+
+// Query-side accessors.
+
+func (m *txnMachine) snapshotRecs() []txnRecSnap {
+	ids := make([]uint64, 0, len(m.recs))
+	for id := range m.recs {
+		ids = append(ids, id)
+	}
+	sortU64s(ids)
+	out := make([]txnRecSnap, 0, len(ids))
+	for _, id := range ids {
+		r := m.recs[id]
+		out = append(out, txnRecSnap{
+			ID: id, Status: r.status, Ver: r.ver,
+			Parts:  append([]uint64(nil), r.parts...),
+			Writes: append([]rmWrite(nil), r.writes...),
+		})
+	}
+	return out
+}
+
+func (m *txnMachine) recordCount() int { return len(m.recs) }
+
+func (m *txnMachine) Snapshot() []byte {
+	recs := m.snapshotRecs()
+	buf := wAppendU32(nil, uint32(len(recs)))
+	for _, r := range recs {
+		buf = wAppendU64(buf, r.ID)
+		buf = append(buf, r.Status)
+		buf = wAppendU64(buf, r.Ver)
+		buf = appendU64s(buf, r.Parts)
+		buf = appendWrites(buf, r.Writes)
+	}
+	return buf
+}
+
+func (m *txnMachine) Restore(snap []byte) {
+	d := &wdec{buf: snap}
+	m.recs = map[uint64]*txnRec{}
+	n := int(d.u32())
+	for i := 0; i < n && !d.err; i++ {
+		id := d.u64()
+		rec := &txnRec{status: d.u8(), ver: d.u64()}
+		rec.parts = decodeU64s(d)
+		rec.writes = decodeWrites(d)
+		if d.err {
+			break
+		}
+		m.recs[id] = rec
+	}
+}
+
+// Command encoders.
+
+func encTxBegin(id uint64, parts []uint64, writes []rmWrite) []byte {
+	b := wAppendU64([]byte{txOpBegin}, id)
+	b = appendU64s(b, parts)
+	return appendWrites(b, writes)
+}
+
+func encTxCommit(id, ver uint64) []byte {
+	b := wAppendU64([]byte{txOpCommit}, id)
+	return wAppendU64(b, ver)
+}
+
+func encTxAbort(id uint64) []byte { return wAppendU64([]byte{txOpAbort}, id) }
+func encTxDone(id uint64) []byte  { return wAppendU64([]byte{txOpDone}, id) }
+
+func appendU64s(b []byte, vs []uint64) []byte {
+	b = wAppendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = wAppendU64(b, v)
+	}
+	return b
+}
+
+func decodeU64s(d *wdec) []uint64 {
+	n := int(d.u32())
+	var vs []uint64
+	for i := 0; i < n && !d.err; i++ {
+		vs = append(vs, d.u64())
+	}
+	return vs
+}

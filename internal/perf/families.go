@@ -18,6 +18,7 @@ package perf
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -261,9 +262,77 @@ func runKV(o Options) (*Result, error) {
 	r.Shape["overload_goodput"] = ovl.Goodput
 	r.Shape["overload_shed"] = ovl.ShedQuota + ovl.ShedQueue + ovl.ShedSojourn
 	r.Shape["overload_checksum"] = int64(ovl.Checksum >> 1)
-	r.Shape["windows"] = int64(len(r.Windows)) // recount: overload windows included
 	r.Metrics["overload_goodput_per_sec"] = ovl.GoodputPerSec
 	r.Metrics["overload_admitted_p999_ns"] = float64(ovl.AdmittedLatency.P999)
+
+	// Transactional segment: the same zipf key pressure as multi-key 2PC
+	// against the range-sharded plane, with a mid-run split and merge so
+	// the trajectory crosses topology changes. The plane's virtual cost
+	// model is the clock, so windows, counters and the read checksum are
+	// all seed-deterministic; windows append after the overload segment's.
+	txnN := 600
+	if o.Quick {
+		txnN = 200
+	}
+	sh := kvstore.NewSharded(kvstore.ShardedConfig{
+		Seed: o.Seed, Groups: 2, InitialSplits: []string{"key-00000040"},
+		MaxOpAttempts: 16, MaxTxnAttempts: 8,
+	})
+	txns := workload.TxnOps(workload.TxnSpec{
+		N: txnN, Keys: 128, Span: 2, Skew: o.Skew, ValueSize: 32, Seed: o.Seed,
+	})
+	txnWindows := metrics.NewWindowedHistogram(width)
+	txnSum := fnv.New64a()
+	txnBase := int64(virtual) + int64(ovlDur)
+	prevCost := sh.VirtualCost()
+	ctx := context.Background()
+	for i, tx := range txns {
+		got, err := sh.Txn(ctx, tx.Reads, tx.Writes)
+		cost := sh.VirtualCost()
+		lat := cost - prevCost
+		prevCost = cost
+		if err != nil {
+			if errors.Is(err, kvstore.ErrTxnConflict) || errors.Is(err, kvstore.ErrTxnAborted) {
+				continue // clean aborts are part of the measured mix
+			}
+			return nil, fmt.Errorf("perf: kv txn %d: %w", i, err)
+		}
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			txnSum.Write([]byte(k))
+			txnSum.Write(got[k])
+		}
+		txnWindows.ObserveDuration(cost, lat)
+		switch i {
+		case txnN / 3:
+			if err := sh.Split("key-00000020"); err != nil && !errors.Is(err, kvstore.ErrRangeBusy) {
+				return nil, fmt.Errorf("perf: kv txn split: %w", err)
+			}
+		case 2 * txnN / 3:
+			if err := sh.Merge("key-00000020"); err != nil && !errors.Is(err, kvstore.ErrRangeBusy) {
+				return nil, fmt.Errorf("perf: kv txn merge: %w", err)
+			}
+		}
+	}
+	for _, w := range windowsFromSamples(txnWindows.Series()) {
+		w.StartNs += txnBase
+		r.Windows = append(r.Windows, w)
+	}
+	r.Params["txn_ops"] = fmt.Sprint(txnN)
+	r.Params["txn_span"] = "2"
+	r.Shape["txn_committed"] = sh.Reg.Counter("txn_committed").Value()
+	r.Shape["txn_conflicts"] = sh.Reg.Counter("txn_conflicts").Value()
+	r.Shape["txn_checksum"] = int64(txnSum.Sum64() >> 1)
+	r.Shape["txn_ranges"] = int64(sh.RangeCount())
+	r.Shape["windows"] = int64(len(r.Windows)) // recount: overload + txn windows included
+	txnTotal := txnWindows.Total()
+	r.Metrics["txn_p50_ns"] = float64(txnTotal.P50)
+	r.Metrics["txn_p99_ns"] = float64(txnTotal.P99)
+	r.Metrics["txn_virtual_elapsed_ns"] = float64(sh.VirtualCost())
 	return r, nil
 }
 

@@ -124,6 +124,62 @@ func KVOps(n, keys int, s, readFrac float64, valueSize int, seed uint64) []Op {
 	return out
 }
 
+// TxnSpec parameterizes a transactional trace: each transaction reads
+// and writes Span distinct keys drawn Zipf(Skew) from Keys.
+type TxnSpec struct {
+	// N is the transaction count.
+	N int
+	// Keys is the keyspace size; Span the distinct keys per transaction.
+	Keys, Span int
+	// Skew is the Zipf exponent (0 = uniform).
+	Skew float64
+	// ValueSize is the written value length in bytes.
+	ValueSize int
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// TxnOp is one generated multi-key transaction: read all Reads, write
+// all Writes atomically.
+type TxnOp struct {
+	Reads  []string
+	Writes map[string][]byte
+}
+
+// TxnOps generates a deterministic transactional trace from spec. Every
+// transaction touches spec.Span distinct keys, reading each and writing
+// each — the classic read-modify-write shape that maximizes conflict
+// pressure under skew.
+func TxnOps(spec TxnSpec) []TxnOp {
+	if spec.Span <= 0 {
+		spec.Span = 2
+	}
+	if spec.Span > spec.Keys {
+		spec.Span = spec.Keys
+	}
+	r := rng.New(spec.Seed)
+	z := rng.NewZipf(r, spec.Keys, spec.Skew)
+	out := make([]TxnOp, spec.N)
+	for i := range out {
+		seen := map[string]bool{}
+		reads := make([]string, 0, spec.Span)
+		writes := make(map[string][]byte, spec.Span)
+		for len(reads) < spec.Span {
+			k := fmt.Sprintf("key-%08d", z.Next())
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			reads = append(reads, k)
+			v := make([]byte, spec.ValueSize)
+			r.Bytes(v)
+			writes[k] = v
+		}
+		out[i] = TxnOp{Reads: reads, Writes: writes}
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Multi-tenant open-loop arrival traces
 

@@ -372,3 +372,27 @@ func TestMultiTenantArrivals(t *testing.T) {
 		t.Fatal("YCSB-A tenant issued no writes")
 	}
 }
+
+func TestTxnOpsDeterministicAndDistinct(t *testing.T) {
+	spec := TxnSpec{N: 50, Keys: 64, Span: 3, Skew: 0.9, ValueSize: 16, Seed: 5}
+	a := TxnOps(spec)
+	b := TxnOps(spec)
+	if len(a) != 50 {
+		t.Fatalf("len = %d, want 50", len(a))
+	}
+	for i := range a {
+		if len(a[i].Reads) != 3 || len(a[i].Writes) != 3 {
+			t.Fatalf("txn %d spans %d/%d keys, want 3/3", i, len(a[i].Reads), len(a[i].Writes))
+		}
+		seen := map[string]bool{}
+		for _, k := range a[i].Reads {
+			if seen[k] {
+				t.Fatalf("txn %d repeats key %s", i, k)
+			}
+			seen[k] = true
+			if b[i].Reads == nil || string(a[i].Writes[k]) != string(b[i].Writes[k]) {
+				t.Fatalf("txn %d not deterministic at key %s", i, k)
+			}
+		}
+	}
+}

@@ -37,6 +37,13 @@ echo "== overload admission sweep (race, seeds: $SEEDS) =="
 # at 2x saturation for every seed; the control run must collapse.
 OVL_SEEDS=$(echo "$SEEDS" | tr ' ' ',') go test -race -run 'TestOverload' . -count=1
 
+echo "== sharded txn gauntlet (race, seeds: $SEEDS) =="
+# Cross-range 2PC under rotating coordinator crash points, partitions
+# spanning the commit point and splits racing live transactions: every
+# history strictly serializable, zero dangling locks/records, and the
+# dirty-read injection caught (TestTxnAcceptance*).
+TXN_SEEDS=$(echo "$SEEDS" | tr ' ' ',') go test -race -run 'TestTxnAcceptance' . -count=1
+
 echo "== building race-enabled terasort =="
 tmpbin=$(mktemp -d)
 trap 'rm -rf "$tmpbin"' EXIT
@@ -50,13 +57,14 @@ for preset in $PRESETS; do
     done
 done
 
-echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E5) =="
+echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E-OVL, E-TXN, E5) =="
 # Every chaos run above re-ran the job; this pass ends the sweep with the
 # experiment suite's own verdicts: batch oracle diffs (EFT), stream
 # window oracles (E-SFT), control-plane failover oracles (E-HA),
-# overload-with-shedding linearizability (E-OVL) and plain quorum
-# linearizability (E5). -check exits nonzero on any mismatch.
-go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E-OVL,E5 -check
+# overload-with-shedding linearizability (E-OVL), sharded-txn strict
+# serializability (E-TXN) and plain quorum linearizability (E5).
+# -check exits nonzero on any mismatch.
+go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E-OVL,E-TXN,E5 -check
 
 echo "== linearizability checker self-test (must fail under -stale) =="
 if go run ./cmd/hpbdc-kvbench -ops 2000 -keys 200 -check -stale >/dev/null 2>&1; then

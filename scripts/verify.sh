@@ -33,6 +33,9 @@ go test -race ./internal/metrics/... ./internal/trace/... \
 echo "== overload acceptance (race) =="
 go test -race -run 'TestOverloadAcceptance' . -count=1
 
+echo "== txn acceptance (race) =="
+go test -race -run 'TestTxnAcceptance' . -count=1
+
 sh scripts/coverage.sh
 
 if [ "${FUZZ:-0}" = "1" ]; then
