@@ -202,8 +202,8 @@ func TestE12Shapes(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -380,5 +380,47 @@ func TestETXNShapes(t *testing.T) {
 	}
 	if recovered["chaos-preset"] == 0 {
 		t.Fatal("chaos-preset scenario recovered no transactions")
+	}
+}
+
+func TestESQLShapes(t *testing.T) {
+	table := runAndCheck(t, ESQLPlanner)
+	// 8 suite queries + the chaos-crash replay.
+	if len(table.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(table.Rows))
+	}
+	byID := map[string][]string{}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("row %v failed its oracle check", row)
+		}
+		byID[row[0]] = row
+	}
+	// Cost-based join strategy: the small product dimension broadcasts,
+	// the fact-to-fact shipments join shuffles.
+	if got := byID["q3_dim_join"][2]; got != "1bc" {
+		t.Fatalf("q3_dim_join joins = %q, want 1bc", got)
+	}
+	if got := byID["q5_fact_fact"][2]; got != "1sh" {
+		t.Fatalf("q5_fact_fact joins = %q, want 1sh", got)
+	}
+	// Pushdown must shrink the decoded bytes on the projection-friendly
+	// scan query, and skip encoded bytes outright.
+	q1 := byID["q1_pushdown"]
+	if parse(t, q1[6]) >= parse(t, q1[5]) {
+		t.Fatalf("q1_pushdown decoded opt %s not below naive %s", q1[6], q1[5])
+	}
+	if parse(t, q1[7]) == 0 {
+		t.Fatal("q1_pushdown skipped no encoded bytes")
+	}
+	// The chaos replay must have injected its events.
+	var sawChaos bool
+	for _, o := range table.Obs {
+		if strings.HasPrefix(o, "chaos: 2/2 events applied") {
+			sawChaos = true
+		}
+	}
+	if !sawChaos {
+		t.Fatalf("chaos events not applied: %v", table.Obs)
 	}
 }

@@ -27,5 +27,6 @@ func All() []Runner {
 		{"E-HA", "control-plane HA failover", EHAControlPlane},
 		{"E-OVL", "overload admission control", EOVLOverload},
 		{"E-TXN", "sharded KV transactions under chaos", ETXNTransactions},
+		{"E-SQL", "sql planner differential suite", ESQLPlanner},
 	}
 }

@@ -14,6 +14,9 @@
 //	           store. Latencies are fully simulated (deterministic), so
 //	           the trajectory is windowed by accumulated virtual time.
 //	terasort — rounds of TeraGen + sampled range-partitioned sort.
+//	query    — the E-SQL star-schema suite through the cost-based
+//	           planner: one round per window, outputs checksummed and
+//	           the columnar pushdown counters pinned as shape.
 package perf
 
 import (
@@ -26,10 +29,15 @@ import (
 
 	hpbdc "repro"
 	"repro/internal/admission"
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/query"
 	"repro/internal/stream"
+	qtable "repro/internal/table"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -63,7 +71,7 @@ type Options struct {
 }
 
 // Families lists the runnable family names in canonical order.
-func Families() []string { return []string{"shuffle", "stream", "kv", "terasort"} }
+func Families() []string { return []string{"shuffle", "stream", "kv", "terasort", "query"} }
 
 // Run executes one named family and returns its result.
 func Run(family string, o Options) (*Result, error) {
@@ -82,6 +90,8 @@ func Run(family string, o Options) (*Result, error) {
 		return runKV(o)
 	case "terasort":
 		return runTerasort(o)
+	case "query":
+		return runQuery(o)
 	default:
 		return nil, fmt.Errorf("perf: unknown family %q (have %v)", family, Families())
 	}
@@ -738,4 +748,138 @@ func runTerasort(o Options) (*Result, error) {
 		r.Metrics["sim_fetch_mean_ns"] = float64(lastFetches.timeNs) / float64(q)
 	}
 	return r, nil
+}
+
+// ---- query -----------------------------------------------------------------
+
+// runQuery executes the E-SQL star-schema suite through the cost-based
+// planner, one round (fresh engine + regenerated star data) per window.
+// The result rows fold into a checksum — any planner change that alters
+// a relational answer is a shape break, caught without the oracle in
+// the loop — and the columnar scan counters (rows pruned, bytes
+// decoded/skipped) pin pushdown behavior, which is a pure function of
+// the seed. Wall throughput is threshold-compared.
+func runQuery(o Options) (*Result, error) {
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+		if o.Quick {
+			o.Rounds = 2
+		}
+	}
+	if o.Records <= 0 {
+		o.Records = 6_000
+		if o.Quick {
+			o.Records = 2_000
+		}
+	}
+	model, err := transportModel(o.Transport)
+	if err != nil {
+		return nil, err
+	}
+	const parts = 4
+	custN, prodN, dateN := 120, 40, 48
+	broadcastRows := int64(o.Records / 4)
+
+	var windows []Window
+	var totalRows, totalQueries int64
+	var scans perfScanCost
+	sum := fnv.New64a()
+	var totalWall time.Duration
+
+	suite := query.StarQueries()
+	for round := 0; round < o.Rounds; round++ {
+		fab := netsim.NewFabric(topology.TwoTier(2, 4, 2), model)
+		cl := cluster.New(cluster.Config{Fabric: fab, SlotsPerNode: 2})
+		eng := core.NewEngine(core.Config{Cluster: cl, Seed: o.Seed})
+		env := query.NewEnv(eng, nil)
+		rels := query.GenStar(o.Seed+uint64(round)*1_000_003, o.Records, custN, prodN, dateN)
+		if err := query.RegisterStar(env, rels, parts); err != nil {
+			return nil, fmt.Errorf("perf: query round %d: %w", round, err)
+		}
+
+		start := time.Now()
+		var roundRows int64
+		for _, q := range suite {
+			plan, err := env.SQL(q.SQL, query.Options{Optimize: true, Parts: parts, BroadcastRows: broadcastRows})
+			if err != nil {
+				return nil, fmt.Errorf("perf: query %s: %w", q.ID, err)
+			}
+			rows, err := plan.Execute()
+			if err != nil {
+				return nil, fmt.Errorf("perf: query %s: %w", q.ID, err)
+			}
+			roundRows += int64(len(rows))
+			// Ordered plans have one valid order; unordered ones are
+			// multisets — sort the encoded rows so the fold is stable.
+			enc := make([]string, len(rows))
+			for i, r := range rows {
+				enc[i] = check.FormatRow(r)
+			}
+			if !plan.Ordered() {
+				sort.Strings(enc)
+			}
+			fmt.Fprintf(sum, "%s:", q.ID)
+			for _, e := range enc {
+				fmt.Fprintf(sum, "%s;", e)
+			}
+		}
+		wall := time.Since(start)
+		totalWall += wall
+		totalRows += roundRows
+		totalQueries += int64(len(suite))
+		scans = scans.add(readScanCost(eng.Reg))
+
+		tasks := eng.Reg.Histogram("task_duration_ns").Snapshot()
+		windows = append(windows, Window{
+			StartNs: int64(totalWall - wall),
+			Count:   int64(len(suite)),
+			PerSec:  float64(len(suite)) / wall.Seconds(),
+			MeanNs:  tasks.Mean,
+			P50Ns:   tasks.P50,
+			P95Ns:   tasks.P95,
+			P99Ns:   tasks.P99,
+			P999Ns:  tasks.P999,
+			MaxNs:   tasks.Max,
+		})
+	}
+
+	r := newResult("query", o, map[string]string{
+		"rounds":         fmt.Sprint(o.Rounds),
+		"fact_rows":      fmt.Sprint(o.Records),
+		"parts":          fmt.Sprint(parts),
+		"queries":        fmt.Sprint(len(suite)),
+		"broadcast_rows": fmt.Sprint(broadcastRows),
+	})
+	r.Windows = windows
+	r.Shape["queries"] = totalQueries
+	r.Shape["result_rows"] = totalRows
+	r.Shape["result_checksum"] = int64(sum.Sum64() >> 1)
+	r.Shape["rows_scanned"] = scans.scanned
+	r.Shape["rows_pruned"] = scans.pruned
+	r.Shape["bytes_decoded"] = scans.decoded
+	r.Shape["bytes_skipped"] = scans.skipped
+	r.Shape["windows"] = int64(len(windows))
+	r.Metrics["queries_per_sec"] = float64(totalQueries) / totalWall.Seconds()
+	r.Metrics["result_rows_per_sec"] = float64(totalRows) / totalWall.Seconds()
+	return r, nil
+}
+
+// perfScanCost aggregates the columnar scan counters across rounds; all
+// four are seed-deterministic (encoding and plans are pure functions of
+// the generated data), so they gate as shape.
+type perfScanCost struct {
+	scanned, pruned, decoded, skipped int64
+}
+
+func (a perfScanCost) add(b perfScanCost) perfScanCost {
+	return perfScanCost{a.scanned + b.scanned, a.pruned + b.pruned, a.decoded + b.decoded, a.skipped + b.skipped}
+}
+
+func readScanCost(reg *metrics.Registry) perfScanCost {
+	return perfScanCost{
+		scanned: reg.Counter(qtable.CtrRowsScanned).Value(),
+		pruned:  reg.Counter(qtable.CtrRowsPruned).Value(),
+		decoded: reg.Counter(qtable.CtrBytesDecoded).Value(),
+		skipped: reg.Counter(qtable.CtrBytesSkipped).Value(),
+	}
 }

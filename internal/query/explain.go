@@ -1,0 +1,52 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the physical plan tree with per-operator estimated
+// rows and, once the plan has executed, the actual rows observed.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	mode := "optimizer=off"
+	if p.Opts.Optimize {
+		mode = "optimizer=on"
+	}
+	fmt.Fprintf(&b, "plan (%s)\n", mode)
+	var walk func(n *Node, prefix string, last bool)
+	walk = func(n *Node, prefix string, last bool) {
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		actual := "-"
+		if n.Ran() {
+			actual = fmt.Sprintf("%d", n.Actual())
+		}
+		fmt.Fprintf(&b, "%s%s%s %s est=%.0f actual=%s\n", prefix, branch, n.Kind, n.Detail, n.Est, actual)
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	walk(p.Root, "", true)
+	return b.String()
+}
+
+// FindNodes returns every node of the given kind, depth-first — test
+// hooks assert on join strategy and scan pushdown without parsing the
+// rendered tree.
+func (p *Plan) FindNodes(kind string) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Kind == kind {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return out
+}

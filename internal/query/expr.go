@@ -1,0 +1,348 @@
+// Package query is a SQL-ish query layer over internal/table and
+// internal/core: a logical plan (scan, filter, project, join,
+// aggregate, sort, limit) parsed from text or built with a fluent API,
+// compiled onto the dataflow engine by a cost-based optimizer that
+// pushes predicates and projections into the columnar scan, reorders
+// star joins, and picks broadcast vs shuffle join strategies from
+// per-table statistics.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// CmpOp is a comparison operator in a predicate leaf.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// ExprKind discriminates predicate nodes.
+type ExprKind int
+
+// Predicate node kinds.
+const (
+	ExprCmp ExprKind = iota
+	ExprAnd
+	ExprOr
+)
+
+// Expr is a boolean predicate over one row: a comparison of a column
+// against a literal, or AND/OR of two sub-predicates. Exprs are plain
+// data so the optimizer can split conjuncts, the columnar scan can
+// derive zone-map ranges, and the differential oracle can evaluate the
+// same predicate on its own rows.
+type Expr struct {
+	Kind        ExprKind
+	Left, Right *Expr // And/Or children
+
+	// Cmp leaf: Col <op> Val with Val an int64, float64 or string.
+	Col string
+	Cmp CmpOp
+	Val any
+}
+
+// Cmp builds a comparison leaf.
+func Cmp(col string, op CmpOp, val any) *Expr {
+	return &Expr{Kind: ExprCmp, Col: col, Cmp: op, Val: val}
+}
+
+// And conjoins two predicates.
+func And(a, b *Expr) *Expr { return &Expr{Kind: ExprAnd, Left: a, Right: b} }
+
+// Or disjoins two predicates.
+func Or(a, b *Expr) *Expr { return &Expr{Kind: ExprOr, Left: a, Right: b} }
+
+// Cols returns the distinct column names the predicate reads, sorted.
+func (e *Expr) Cols() []string {
+	set := map[string]bool{}
+	e.walk(func(leaf *Expr) { set[leaf.Col] = true })
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Expr) walk(f func(leaf *Expr)) {
+	if e == nil {
+		return
+	}
+	if e.Kind == ExprCmp {
+		f(e)
+		return
+	}
+	e.Left.walk(f)
+	e.Right.walk(f)
+}
+
+// String renders the predicate in SQL-ish syntax.
+func (e *Expr) String() string {
+	if e == nil {
+		return "true"
+	}
+	switch e.Kind {
+	case ExprCmp:
+		if s, ok := e.Val.(string); ok {
+			return fmt.Sprintf("%s %s '%s'", e.Col, e.Cmp, s)
+		}
+		if f, ok := e.Val.(float64); ok {
+			return fmt.Sprintf("%s %s %s", e.Col, e.Cmp, strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		return fmt.Sprintf("%s %s %v", e.Col, e.Cmp, e.Val)
+	case ExprAnd:
+		return fmt.Sprintf("(%s AND %s)", e.Left, e.Right)
+	default:
+		return fmt.Sprintf("(%s OR %s)", e.Left, e.Right)
+	}
+}
+
+// conjuncts splits a top-level AND tree into its factors.
+func (e *Expr) conjuncts() []*Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Kind == ExprAnd {
+		return append(e.Left.conjuncts(), e.Right.conjuncts()...)
+	}
+	return []*Expr{e}
+}
+
+// conjoin rebuilds an AND tree from factors (nil when empty).
+func conjoin(es []*Expr) *Expr {
+	var out *Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = And(out, e)
+		}
+	}
+	return out
+}
+
+// renamed returns a deep copy with column names mapped through m
+// (names absent from m are kept).
+func (e *Expr) renamed(m map[string]string) *Expr {
+	if e == nil {
+		return nil
+	}
+	cp := *e
+	if e.Kind == ExprCmp {
+		if n, ok := m[e.Col]; ok {
+			cp.Col = n
+		}
+		return &cp
+	}
+	cp.Left = e.Left.renamed(m)
+	cp.Right = e.Right.renamed(m)
+	return &cp
+}
+
+// coerce adapts a literal to a column type: int literals promote to
+// Float64 columns; everything else must match exactly.
+func coerce(typ table.Type, val any) (any, error) {
+	switch typ {
+	case table.Int64:
+		if v, ok := val.(int64); ok {
+			return v, nil
+		}
+	case table.Float64:
+		switch v := val.(type) {
+		case float64:
+			return v, nil
+		case int64:
+			return float64(v), nil
+		}
+	case table.String:
+		if v, ok := val.(string); ok {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("query: literal %v (%T) does not match column type %v", val, val, typ)
+}
+
+// keepFunc builds the per-value predicate for a comparison leaf against
+// an already-coerced literal. Float comparisons use Go semantics (every
+// comparison with NaN is false except col != NaN, which is true for
+// non-NaN values) — the oracle evaluates predicates through this same
+// function, so both sides agree by construction.
+func keepFunc(op CmpOp, typ table.Type, lit any) func(v any) bool {
+	switch typ {
+	case table.Int64:
+		l := lit.(int64)
+		switch op {
+		case Eq:
+			return func(v any) bool { return v.(int64) == l }
+		case Ne:
+			return func(v any) bool { return v.(int64) != l }
+		case Lt:
+			return func(v any) bool { return v.(int64) < l }
+		case Le:
+			return func(v any) bool { return v.(int64) <= l }
+		case Gt:
+			return func(v any) bool { return v.(int64) > l }
+		default:
+			return func(v any) bool { return v.(int64) >= l }
+		}
+	case table.Float64:
+		l := lit.(float64)
+		switch op {
+		case Eq:
+			return func(v any) bool { return v.(float64) == l }
+		case Ne:
+			return func(v any) bool { return v.(float64) != l }
+		case Lt:
+			return func(v any) bool { return v.(float64) < l }
+		case Le:
+			return func(v any) bool { return v.(float64) <= l }
+		case Gt:
+			return func(v any) bool { return v.(float64) > l }
+		default:
+			return func(v any) bool { return v.(float64) >= l }
+		}
+	default:
+		l := lit.(string)
+		switch op {
+		case Eq:
+			return func(v any) bool { return v.(string) == l }
+		case Ne:
+			return func(v any) bool { return v.(string) != l }
+		case Lt:
+			return func(v any) bool { return v.(string) < l }
+		case Le:
+			return func(v any) bool { return v.(string) <= l }
+		case Gt:
+			return func(v any) bool { return v.(string) > l }
+		default:
+			return func(v any) bool { return v.(string) >= l }
+		}
+	}
+}
+
+// Bind resolves the predicate against a schema and returns a row
+// filter. Errors on unknown columns or literal/column type mismatches.
+func (e *Expr) Bind(s table.Schema) (func(table.Row) bool, error) {
+	if e == nil {
+		return func(table.Row) bool { return true }, nil
+	}
+	switch e.Kind {
+	case ExprCmp:
+		i, err := s.MustIndex(e.Col)
+		if err != nil {
+			return nil, err
+		}
+		typ := s.Cols[i].Type
+		lit, err := coerce(typ, e.Val)
+		if err != nil {
+			return nil, fmt.Errorf("query: %s: %w", e.Col, err)
+		}
+		keep := keepFunc(e.Cmp, typ, lit)
+		return func(r table.Row) bool { return keep(r[i]) }, nil
+	case ExprAnd:
+		l, err := e.Left.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.Right.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		return func(row table.Row) bool { return l(row) && r(row) }, nil
+	default:
+		l, err := e.Left.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.Right.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+		return func(row table.Row) bool { return l(row) || r(row) }, nil
+	}
+}
+
+// cmpAny totally orders two same-typed values (floats by value with
+// NaN high, used only for zone-map math where NaN never appears).
+func cmpAny(a, b any) int {
+	switch av := a.(type) {
+	case int64:
+		bv := b.(int64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case float64:
+		bv := b.(float64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(a.(string), b.(string))
+	}
+}
+
+// skipAllFunc derives a zone-map pruning function for a simple
+// comparison leaf: given a partition's [min, max] for the column, it
+// reports that no value can satisfy the predicate. Returns nil when the
+// leaf has no usable range form (Ne, or non-Cmp nodes).
+func skipAllFunc(op CmpOp, typ table.Type, val any) func(min, max any) bool {
+	lit, err := coerce(typ, val)
+	if err != nil {
+		return nil
+	}
+	if f, ok := lit.(float64); ok && f != f {
+		return nil // NaN never orders against a zone map
+	}
+	switch op {
+	case Eq:
+		return func(min, max any) bool { return cmpAny(lit, min) < 0 || cmpAny(lit, max) > 0 }
+	case Lt:
+		return func(min, _ any) bool { return cmpAny(min, lit) >= 0 }
+	case Le:
+		return func(min, _ any) bool { return cmpAny(min, lit) > 0 }
+	case Gt:
+		return func(_, max any) bool { return cmpAny(max, lit) <= 0 }
+	case Ge:
+		return func(_, max any) bool { return cmpAny(max, lit) < 0 }
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package query_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// fuzzGen consumes fuzz bytes as a decision stream: every structural
+// choice (schema shape, row values, plan operators, predicates) is a
+// deterministic function of the input, so any failure reproduces from
+// its corpus entry.
+type fuzzGen struct {
+	data []byte
+	pos  int
+}
+
+func (g *fuzzGen) byte() byte {
+	if g.pos >= len(g.data) {
+		g.pos++
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *fuzzGen) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.byte()) % n
+}
+
+// Small value domains force key collisions, empty filter results and
+// duplicate join keys. Floats are multiples of 0.25 so sums are exact
+// in any combination order.
+func (g *fuzzGen) value(typ table.Type) any {
+	switch typ {
+	case table.Int64:
+		return int64(g.intn(13) - 4)
+	case table.Float64:
+		return float64(g.intn(25)-8) * 0.25
+	default:
+		return string(rune('a' + g.intn(4)))
+	}
+}
+
+var fuzzTypes = []table.Type{table.Int64, table.String, table.Float64, table.Int64}
+
+func (g *fuzzGen) schema(prefix string) table.Schema {
+	n := 2 + g.intn(3)
+	cols := make([]table.Col, n)
+	for i := range cols {
+		cols[i] = table.Col{
+			Name: prefix + string(rune('a'+i)),
+			Type: fuzzTypes[(i+g.intn(2))%len(fuzzTypes)],
+		}
+	}
+	return table.Schema{Cols: cols}
+}
+
+func (g *fuzzGen) rows(s table.Schema, max int) []table.Row {
+	n := g.intn(max + 1)
+	rows := make([]table.Row, n)
+	for i := range rows {
+		r := make(table.Row, len(s.Cols))
+		for c, col := range s.Cols {
+			r[c] = g.value(col.Type)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func (g *fuzzGen) pred(s table.Schema, depth int) *query.Expr {
+	if depth > 0 && g.intn(3) == 0 {
+		l := g.pred(s, depth-1)
+		r := g.pred(s, depth-1)
+		if g.intn(2) == 0 {
+			return query.And(l, r)
+		}
+		return query.Or(l, r)
+	}
+	col := s.Cols[g.intn(len(s.Cols))]
+	op := query.CmpOp(g.intn(6))
+	return query.Cmp(col.Name, op, g.value(col.Type))
+}
+
+// plan grows a valid logical plan over the current schema, tracking
+// the schema as operators stack.
+func (g *fuzzGen) plan(scan *query.Logical, schema table.Schema, joinable *query.Logical, joinSchema table.Schema) *query.Logical {
+	lp := scan
+	steps := g.intn(4)
+	for i := 0; i < steps; i++ {
+		switch g.intn(3) {
+		case 0:
+			lp = lp.Where(g.pred(schema, 1))
+		case 1:
+			// Project a random non-empty subset, possibly renamed.
+			var cols, aliases []string
+			for _, c := range schema.Cols {
+				if g.intn(2) == 0 {
+					cols = append(cols, c.Name)
+					aliases = append(aliases, c.Name)
+				}
+			}
+			if len(cols) == 0 {
+				cols = []string{schema.Cols[0].Name}
+				aliases = []string{schema.Cols[0].Name}
+			}
+			if g.intn(3) == 0 {
+				aliases[0] = "r_" + aliases[0]
+			}
+			lp = lp.Project(cols, aliases)
+			out := make([]table.Col, len(cols))
+			for k, c := range cols {
+				out[k] = table.Col{Name: aliases[k], Type: schema.Cols[schema.Index(c)].Type}
+			}
+			schema = table.Schema{Cols: out}
+		case 2:
+			if joinable == nil {
+				continue
+			}
+			// Join on a type-compatible column pair, if any exists.
+			var pairs [][2]string
+			for _, lc := range schema.Cols {
+				for _, rc := range joinSchema.Cols {
+					if lc.Type == rc.Type {
+						pairs = append(pairs, [2]string{lc.Name, rc.Name})
+					}
+				}
+			}
+			if len(pairs) == 0 {
+				continue
+			}
+			p := pairs[g.intn(len(pairs))]
+			lp = lp.Join(joinable, p[0], p[1])
+			out := append([]table.Col(nil), schema.Cols...)
+			for _, c := range joinSchema.Cols {
+				name := c.Name
+				if (table.Schema{Cols: out}).Index(name) >= 0 {
+					name = "right_" + name
+				}
+				out = append(out, table.Col{Name: name, Type: c.Type})
+			}
+			schema = table.Schema{Cols: out}
+			joinable = nil
+		}
+	}
+	// Optional aggregate.
+	if g.intn(2) == 0 {
+		var keys []string
+		for _, c := range schema.Cols {
+			if g.intn(3) == 0 {
+				keys = append(keys, c.Name)
+			}
+		}
+		var aggs []table.Agg
+		out := make([]table.Col, 0, len(keys)+4)
+		for _, k := range keys {
+			out = append(out, schema.Cols[schema.Index(k)])
+		}
+		aggs = append(aggs, table.Agg{Op: table.Count})
+		out = append(out, table.Col{Name: "count", Type: table.Int64})
+		for _, c := range schema.Cols {
+			isKey := false
+			for _, k := range keys {
+				if k == c.Name {
+					isKey = true
+				}
+			}
+			if isKey || g.intn(2) == 0 {
+				continue
+			}
+			ops := []table.AggOp{table.Min, table.Max}
+			if c.Type != table.String {
+				ops = append(ops, table.Sum, table.Avg)
+			}
+			op := ops[g.intn(len(ops))]
+			aggs = append(aggs, table.Agg{Op: op, Col: c.Name, As: "agg_" + c.Name})
+			typ := c.Type
+			if op == table.Avg {
+				typ = table.Float64
+			}
+			out = append(out, table.Col{Name: "agg_" + c.Name, Type: typ})
+		}
+		lp = lp.GroupBy(keys, aggs...)
+		schema = table.Schema{Cols: out}
+	}
+	// Optional sort (+ limit). The sort column must come from the
+	// current schema; after an aggregate keys and aggregate outputs
+	// both survive.
+	if len(schema.Cols) > 0 && g.intn(2) == 0 {
+		col := schema.Cols[g.intn(len(schema.Cols))].Name
+		lp = lp.OrderBy(col, g.intn(2) == 0)
+		if g.intn(2) == 0 {
+			lp = lp.Limit(g.intn(9))
+		}
+	}
+	return lp
+}
+
+// FuzzPlanEquivalence generates random schemas, rows and logical plans
+// and checks three-way agreement: optimizer-on output == optimizer-off
+// output == the naive reference evaluator, as multisets (ordered when
+// the plan sorts).
+func FuzzPlanEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{7, 0, 7, 0, 7, 0, 7, 0, 200, 100, 50, 25, 12, 6, 3, 1, 7, 0, 7, 0})
+	f.Add([]byte{255, 254, 253, 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6})
+	f.Add([]byte{42, 42, 42, 42, 0, 0, 0, 0, 42, 42, 42, 42, 17, 17, 17, 17, 99, 99})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &fuzzGen{data: data}
+		s0 := g.schema("")
+		s1 := g.schema("q")
+		r0 := g.rows(s0, 24)
+		r1 := g.rows(s1, 12)
+
+		env := query.NewEnv(testEngine(), nil)
+		if err := env.Register("t0", s0, r0, 1+g.intn(4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Register("t1", s1, r1, 1+g.intn(4)); err != nil {
+			t.Fatal(err)
+		}
+		lp := g.plan(query.Scan("t0"), s0, query.Scan("t1"), s1)
+		if _, err := lp.OutSchema(env.Schema); err != nil {
+			return // generator built an invalid plan (duplicate aliases etc.)
+		}
+
+		var outputs [][]table.Row
+		for _, optimize := range []bool{false, true} {
+			plan, err := env.Build(lp, query.Options{Optimize: optimize, BroadcastRows: int64(g.intn(2) * 1000)})
+			if err != nil {
+				t.Fatalf("build optimize=%v: %v", optimize, err)
+			}
+			rows, err := plan.Execute()
+			if err != nil {
+				t.Fatalf("execute optimize=%v: %v\n%s", optimize, err, plan.Explain())
+			}
+			if d := check.DiffQueryEnv("fuzz", rows, lp, env); !d.OK {
+				t.Fatalf("optimize=%v diverges from oracle: %s\n%s", optimize, d, plan.Explain())
+			}
+			outputs = append(outputs, rows)
+		}
+		var d check.Diff
+		if lp.Ordered() {
+			d = check.DiffOrdered("on-vs-off", outputs[1], outputs[0], check.FormatRow)
+		} else {
+			d = check.DiffMultiset("on-vs-off", outputs[1], outputs[0], check.FormatRow)
+		}
+		if !d.OK {
+			t.Fatalf("optimizer changed the result: %s", d)
+		}
+	})
+}

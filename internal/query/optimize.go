@@ -1,0 +1,370 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// optimize rewrites a logical plan: filters pushed toward scans, star
+// joins reordered cheapest-dimension-first. The rewritten plan is
+// validated against the original's output schema; any failure falls
+// back to the unrewritten plan, so optimization can only change cost,
+// never results.
+func (e *Env) optimize(lp *Logical) *Logical {
+	resolver := e.Schema
+	orig, err := lp.OutSchema(resolver)
+	if err != nil {
+		return lp
+	}
+	rw := e.pushFilters(lp.clone(), nil)
+	rw = e.reorderJoins(rw)
+	rw = e.narrowProjects(rw, orig.Names(), true)
+	got, err := rw.OutSchema(resolver)
+	if err != nil {
+		return lp
+	}
+	if !sameSchema(orig, got) {
+		return lp
+	}
+	return rw
+}
+
+func sameSchema(a, b table.Schema) bool {
+	if len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pushFilters pushes the pending conjuncts (plus any Filter nodes met
+// on the way) as close to the scans as possible.
+func (e *Env) pushFilters(l *Logical, pending []*Expr) *Logical {
+	wrap := func(node *Logical, stuck []*Expr) *Logical {
+		if len(stuck) == 0 {
+			return node
+		}
+		return &Logical{Op: OpFilter, Input: node, Pred: conjoin(stuck)}
+	}
+	switch l.Op {
+	case OpFilter:
+		return e.pushFilters(l.Input, append(append([]*Expr(nil), pending...), l.Pred.conjuncts()...))
+	case OpScan:
+		return wrap(l, pending)
+	case OpSort:
+		l.Input = e.pushFilters(l.Input, pending)
+		return l
+	case OpLimit:
+		// A filter above LIMIT changes which rows survive the cap; never
+		// push through it.
+		l.Input = e.pushFilters(l.Input, nil)
+		return wrap(l, pending)
+	case OpProject:
+		// A conjunct referencing only aliased pass-through columns moves
+		// below the projection under the source names.
+		toSource := map[string]string{}
+		for i, c := range l.Cols {
+			toSource[l.Aliases[i]] = c
+		}
+		var push, stuck []*Expr
+		for _, c := range pending {
+			ok := true
+			for _, col := range c.Cols() {
+				if _, mapped := toSource[col]; !mapped {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				push = append(push, c.renamed(toSource))
+			} else {
+				stuck = append(stuck, c)
+			}
+		}
+		l.Input = e.pushFilters(l.Input, push)
+		return wrap(l, stuck)
+	case OpAgg:
+		// Conjuncts over group keys commute with aggregation.
+		keys := map[string]bool{}
+		for _, k := range l.Keys {
+			keys[k] = true
+		}
+		var push, stuck []*Expr
+		for _, c := range pending {
+			ok := true
+			for _, col := range c.Cols() {
+				if !keys[col] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				push = append(push, c)
+			} else {
+				stuck = append(stuck, c)
+			}
+		}
+		l.Input = e.pushFilters(l.Input, push)
+		return wrap(l, stuck)
+	case OpJoin:
+		left, lerr := l.Input.OutSchema(e.Schema)
+		right, rerr := l.Right.OutSchema(e.Schema)
+		if lerr != nil || rerr != nil {
+			l.Input = e.pushFilters(l.Input, nil)
+			l.Right = e.pushFilters(l.Right, nil)
+			return wrap(l, pending)
+		}
+		var toLeft, toRight, stuck []*Expr
+		for _, c := range pending {
+			if side, ok := joinSide(c, left, right); ok {
+				if side == 0 {
+					toLeft = append(toLeft, c)
+				} else {
+					toRight = append(toRight, stripRightPrefix(c, left, right))
+				}
+			} else {
+				stuck = append(stuck, c)
+			}
+		}
+		l.Input = e.pushFilters(l.Input, toLeft)
+		l.Right = e.pushFilters(l.Right, toRight)
+		return wrap(l, stuck)
+	}
+	return wrap(l, pending)
+}
+
+// joinSide classifies a conjunct against a join's inputs: 0 if every
+// column resolves in the left schema, 1 if every column resolves in
+// the right schema under the join's output naming ("right_"-prefixed
+// on collision), not-ok otherwise.
+func joinSide(c *Expr, left, right table.Schema) (int, bool) {
+	inLeft, inRight := true, true
+	for _, col := range c.Cols() {
+		if left.Index(col) < 0 {
+			inLeft = false
+		}
+		if rightSource(col, left, right) == "" {
+			inRight = false
+		}
+	}
+	if inLeft {
+		return 0, true
+	}
+	if inRight {
+		return 1, true
+	}
+	return 0, false
+}
+
+// rightSource maps a join-output column name back to the right input's
+// column name, or "" if it does not come from the right side.
+func rightSource(col string, left, right table.Schema) string {
+	if strings.HasPrefix(col, "right_") {
+		base := strings.TrimPrefix(col, "right_")
+		if left.Index(base) >= 0 && right.Index(base) >= 0 {
+			return base
+		}
+	}
+	if left.Index(col) < 0 && right.Index(col) >= 0 {
+		return col
+	}
+	return ""
+}
+
+func stripRightPrefix(c *Expr, left, right table.Schema) *Expr {
+	m := map[string]string{}
+	for _, col := range c.Cols() {
+		if src := rightSource(col, left, right); src != "" && src != col {
+			m[col] = src
+		}
+	}
+	if len(m) == 0 {
+		return c
+	}
+	return c.renamed(m)
+}
+
+// reorderJoins rewrites left-deep star-join chains so the smallest
+// (post-filter) build sides join first, shrinking every intermediate
+// result. Only chains whose probe columns all come from the base fact
+// input are eligible — those joins commute. A projection restoring the
+// original column order is added on top, and any rewrite that changes
+// the output name set is abandoned.
+func (e *Env) reorderJoins(l *Logical) *Logical {
+	if l == nil {
+		return nil
+	}
+	if l.Op != OpJoin {
+		l.Input = e.reorderJoins(l.Input)
+		l.Right = e.reorderJoins(l.Right)
+		return l
+	}
+	// Collect the left-deep chain.
+	type link struct {
+		right             *Logical
+		leftCol, rightCol string
+	}
+	var chain []link
+	cur := l
+	for cur.Op == OpJoin {
+		chain = append(chain, link{cur.Right, cur.LeftCol, cur.RightCol})
+		cur = cur.Input
+	}
+	reverse := func(in []link) []link {
+		out := make([]link, len(in))
+		for i, ln := range in {
+			out[len(in)-1-i] = ln
+		}
+		return out
+	}
+	base := e.reorderJoins(cur)
+	for i := range chain {
+		chain[i].right = e.reorderJoins(chain[i].right)
+	}
+	rebuild := func(order []link) *Logical {
+		out := base
+		for _, ln := range order {
+			out = out.Join(ln.right, ln.leftCol, ln.rightCol)
+		}
+		return out
+	}
+	if len(chain) < 2 {
+		return rebuild(reverse(chain))
+	}
+	baseSchema, err := base.OutSchema(e.Schema)
+	if err != nil {
+		return rebuild(reverse(chain))
+	}
+	for _, ln := range chain {
+		if baseSchema.Index(ln.leftCol) < 0 {
+			return rebuild(reverse(chain)) // probe col from an earlier join: order is load-bearing
+		}
+	}
+	origSchema, err := rebuild(reverse(chain)).OutSchema(e.Schema)
+	if err != nil {
+		return rebuild(reverse(chain))
+	}
+	ordered := reverse(chain)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return e.chainEst(ordered[i].right) < e.chainEst(ordered[j].right)
+	})
+	rw := rebuild(ordered)
+	rwSchema, err := rw.OutSchema(e.Schema)
+	if err != nil || !sameNameSet(origSchema, rwSchema) {
+		return rebuild(reverse(chain))
+	}
+	if sameSchema(origSchema, rwSchema) {
+		return rw
+	}
+	names := origSchema.Names()
+	return rw.Project(names, names)
+}
+
+func (e *Env) chainEst(l *Logical) float64 {
+	est, err := e.estimatePlan(l)
+	if err != nil {
+		return 0
+	}
+	return est.rows
+}
+
+// narrowProjects drops projection items nothing above consumes — the
+// projection-pruning half of pushdown. demanded lists the output
+// columns the parent reads; the root keeps its full output. In-place
+// on an already-cloned tree.
+func (e *Env) narrowProjects(l *Logical, demanded []string, root bool) *Logical {
+	switch l.Op {
+	case OpScan:
+		return l
+	case OpProject:
+		if !root {
+			set := map[string]bool{}
+			for _, d := range demanded {
+				set[d] = true
+			}
+			var cols, aliases []string
+			for i, a := range l.Aliases {
+				if set[a] {
+					cols = append(cols, l.Cols[i])
+					aliases = append(aliases, a)
+				}
+			}
+			if len(cols) == 0 && len(l.Cols) > 0 {
+				// Keep one column so the relation still has rows (a parent
+				// may count them without reading any column).
+				cols, aliases = l.Cols[:1], l.Aliases[:1]
+			}
+			l.Cols, l.Aliases = cols, aliases
+		}
+		l.Input = e.narrowProjects(l.Input, appendMissing(nil, l.Cols), false)
+		return l
+	case OpFilter:
+		next := appendMissing(demanded, l.Pred.Cols())
+		l.Input = e.narrowProjects(l.Input, next, false)
+		return l
+	case OpJoin:
+		left, lerr := l.Input.OutSchema(e.Schema)
+		right, rerr := l.Right.OutSchema(e.Schema)
+		if lerr != nil || rerr != nil {
+			return l
+		}
+		var toLeft, toRight []string
+		for _, d := range demanded {
+			if left.Index(d) >= 0 {
+				toLeft = append(toLeft, d)
+			} else if src := rightSource(d, left, right); src != "" {
+				toRight = append(toRight, src)
+				if src != d {
+					// "right_x" exists only while the left side also emits x.
+					toLeft = append(toLeft, src)
+				}
+			}
+		}
+		l.Input = e.narrowProjects(l.Input, appendMissing(toLeft, []string{l.LeftCol}), false)
+		l.Right = e.narrowProjects(l.Right, appendMissing(toRight, []string{l.RightCol}), false)
+		return l
+	case OpAgg:
+		next := append([]string(nil), l.Keys...)
+		for _, a := range l.Aggs {
+			if a.Op != table.Count {
+				next = appendMissing(next, []string{a.Col})
+			}
+		}
+		l.Input = e.narrowProjects(l.Input, next, false)
+		return l
+	case OpSort:
+		// The compiled sort tiebreaks on every input column, so it
+		// consumes its whole input schema.
+		if in, err := l.Input.OutSchema(e.Schema); err == nil {
+			l.Input = e.narrowProjects(l.Input, in.Names(), false)
+		}
+		return l
+	case OpLimit:
+		l.Input = e.narrowProjects(l.Input, demanded, root)
+		return l
+	}
+	return l
+}
+
+func sameNameSet(a, b table.Schema) bool {
+	if len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	set := map[string]int{}
+	for _, c := range a.Cols {
+		set[c.Name]++
+	}
+	for _, c := range b.Cols {
+		set[c.Name]--
+		if set[c.Name] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,660 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/table"
+)
+
+// Options control planning.
+type Options struct {
+	// Optimize enables pushdown, join reordering and stats-driven join
+	// strategy selection. Off, every operator compiles naively — the
+	// baseline the differential and perf suites compare against.
+	Optimize bool
+	// BroadcastRows is the largest estimated build side broadcast
+	// instead of shuffled (0 = DefaultBroadcastRows).
+	BroadcastRows int64
+	// Parts is the shuffle fan-out for joins, aggregates and sorts
+	// (0 = DefaultParts).
+	Parts int
+}
+
+// Planning defaults.
+const (
+	DefaultBroadcastRows = 5000
+	DefaultParts         = 4
+)
+
+// Node is one physical operator with its cost estimate and, after
+// execution, the observed row count.
+type Node struct {
+	Kind     string // "scan", "filter", "project", "join[broadcast]", "join[shuffle]", "agg", "sort", "limit"
+	Detail   string
+	Est      float64
+	Children []*Node
+
+	actual int64
+	ran    atomic.Bool
+	exec   func() (*table.Table, error)
+}
+
+// Actual returns the rows observed flowing out of this operator in the
+// last execution (counted on the workers; retried tasks can overcount
+// under fault injection).
+func (n *Node) Actual() int64 { return atomic.LoadInt64(&n.actual) }
+
+// Ran reports whether the node has executed at least once.
+func (n *Node) Ran() bool { return n.ran.Load() }
+
+func (n *Node) snapshotActuals(into map[*Node]int64) {
+	into[n] = atomic.LoadInt64(&n.actual)
+	for _, c := range n.Children {
+		c.snapshotActuals(into)
+	}
+}
+
+func (n *Node) restoreActuals(from map[*Node]int64) {
+	atomic.StoreInt64(&n.actual, from[n])
+	for _, c := range n.Children {
+		c.restoreActuals(from)
+	}
+}
+
+// Plan is a compiled query ready to execute.
+type Plan struct {
+	Root    *Node
+	Schema  table.Schema
+	Logical *Logical // the original (pre-rewrite) logical plan
+	Opts    Options
+
+	env   *Env
+	limit int // driver-side row cap; -1 none
+}
+
+// Build compiles a logical plan onto the dataflow engine. With
+// opts.Optimize set, filters are pushed into the columnar scans (with
+// zone-map pruning), projections pruned to the needed columns, star
+// joins reordered and broadcast joins chosen for small build sides.
+func (e *Env) Build(lp *Logical, opts Options) (*Plan, error) {
+	if opts.BroadcastRows == 0 {
+		opts.BroadcastRows = DefaultBroadcastRows
+	}
+	if opts.Parts == 0 {
+		opts.Parts = DefaultParts
+	}
+	want, err := lp.OutSchema(e.Schema)
+	if err != nil {
+		return nil, err
+	}
+	run := lp
+	if opts.Optimize {
+		run = e.optimize(lp)
+	}
+	needs := map[*Logical][]string{}
+	if opts.Optimize {
+		runSchema, err := run.OutSchema(e.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.scanNeeds(run, runSchema.Names(), needs); err != nil {
+			return nil, err
+		}
+	}
+	c := &compiler{env: e, opts: opts, needs: needs}
+	node, schema, err := c.compile(run)
+	if err != nil {
+		return nil, err
+	}
+	// Restore the original output schema if rewrites left extra columns
+	// or a different order behind.
+	if !sameSchema(schema, want) {
+		inner := node
+		node = &Node{
+			Kind:     "project",
+			Detail:   "restore output " + strings.Join(want.Names(), ", "),
+			Est:      inner.Est,
+			Children: []*Node{inner},
+		}
+		node.exec = c.counted(node, func() (*table.Table, error) {
+			t, err := inner.exec()
+			if err != nil {
+				return nil, err
+			}
+			return t.Select(want.Names()...)
+		})
+	}
+	limit := -1
+	if run.Op == OpLimit {
+		limit = run.N
+	}
+	return &Plan{Root: node, Schema: want, Logical: lp, Opts: opts, env: e, limit: limit}, nil
+}
+
+// Execute runs the plan and returns the result rows. Per-node actual
+// row counts reset on every call.
+func (p *Plan) Execute() ([]table.Row, error) {
+	var reset func(n *Node)
+	reset = func(n *Node) {
+		atomic.StoreInt64(&n.actual, 0)
+		n.ran.Store(false)
+		for _, c := range n.Children {
+			reset(c)
+		}
+	}
+	reset(p.Root)
+	t, err := p.Root.exec()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := t.Collect()
+	if err != nil {
+		return nil, err
+	}
+	if p.limit >= 0 && len(rows) > p.limit {
+		rows = rows[:p.limit]
+	}
+	return rows, nil
+}
+
+// Ordered reports whether Execute's row order is meaningful.
+func (p *Plan) Ordered() bool { return p.Logical.Ordered() }
+
+type compiler struct {
+	env   *Env
+	opts  Options
+	needs map[*Logical][]string
+}
+
+// counted wraps a node's table so every row flowing out bumps the
+// node's actual counter — EXPLAIN's "actual" column, measured with the
+// public Table API rather than engine hooks.
+func (c *compiler) counted(n *Node, build func() (*table.Table, error)) func() (*table.Table, error) {
+	return func() (*table.Table, error) {
+		t, err := build()
+		if err != nil {
+			return nil, err
+		}
+		n.ran.Store(true)
+		return t.Where(func(table.Row) bool {
+			atomic.AddInt64(&n.actual, 1)
+			return true
+		}), nil
+	}
+}
+
+func (c *compiler) est(l *Logical) float64 {
+	est, err := c.env.estimatePlan(l)
+	if err != nil {
+		return 0
+	}
+	return est.rows
+}
+
+func (c *compiler) compile(l *Logical) (*Node, table.Schema, error) {
+	schema, err := l.OutSchema(c.env.Schema)
+	if err != nil {
+		return nil, table.Schema{}, err
+	}
+	// compile returns the schema the compiled table ACTUALLY has — a
+	// pruned scan emits fewer columns than the logical schema, and
+	// residual filter columns can ride along. Every returned name still
+	// resolves the logical references above (pruning never drops a
+	// demanded column), and Build restores the exact output schema at
+	// the root.
+	switch l.Op {
+	case OpScan:
+		return c.compileScan(l, nil)
+	case OpFilter:
+		if c.opts.Optimize && l.Input.Op == OpScan {
+			return c.compileScan(l.Input, l.Pred)
+		}
+		child, childSchema, err := c.compile(l.Input)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		pred, err := l.Pred.Bind(childSchema)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		n := &Node{Kind: "filter", Detail: l.Pred.String(), Est: c.est(l), Children: []*Node{child}}
+		n.exec = c.counted(n, func() (*table.Table, error) {
+			t, err := child.exec()
+			if err != nil {
+				return nil, err
+			}
+			return t.Where(pred), nil
+		})
+		return n, childSchema, nil
+	case OpProject:
+		child, _, err := c.compile(l.Input)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		seen := map[string]bool{}
+		for _, col := range l.Cols {
+			if seen[col] {
+				return nil, table.Schema{}, fmt.Errorf("query: column %q selected twice", col)
+			}
+			seen[col] = true
+		}
+		rename := map[string]string{}
+		for i, col := range l.Cols {
+			if l.Aliases[i] != col {
+				rename[col] = l.Aliases[i]
+			}
+		}
+		cols := append([]string(nil), l.Cols...)
+		n := &Node{Kind: "project", Detail: strings.Join(schema.Names(), ", "), Est: c.est(l), Children: []*Node{child}}
+		n.exec = c.counted(n, func() (*table.Table, error) {
+			t, err := child.exec()
+			if err != nil {
+				return nil, err
+			}
+			t, err = t.Select(cols...)
+			if err != nil {
+				return nil, err
+			}
+			if len(rename) == 0 {
+				return t, nil
+			}
+			return t.Renamed(rename)
+		})
+		return n, schema, nil
+	case OpJoin:
+		left, leftSchema, err := c.compile(l.Input)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		right, rightSchema, err := c.compile(l.Right)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		estLeft, estRight := c.est(l.Input), c.est(l.Right)
+		broadcast := c.opts.Optimize && estRight <= float64(c.opts.BroadcastRows) && estRight <= estLeft
+		kind := "join[shuffle]"
+		if broadcast {
+			kind = "join[broadcast]"
+		}
+		leftCol, rightCol, parts := l.LeftCol, l.RightCol, c.opts.Parts
+		n := &Node{
+			Kind:     kind,
+			Detail:   fmt.Sprintf("%s = %s", leftCol, rightCol),
+			Est:      c.est(l),
+			Children: []*Node{left, right},
+		}
+		n.exec = c.counted(n, func() (*table.Table, error) {
+			lt, err := left.exec()
+			if err != nil {
+				return nil, err
+			}
+			rt, err := right.exec()
+			if err != nil {
+				return nil, err
+			}
+			if broadcast {
+				return lt.BroadcastJoin(rt, leftCol, rightCol)
+			}
+			return lt.HashJoin(rt, leftCol, rightCol, parts)
+		})
+		return n, joinSchema(leftSchema, rightSchema), nil
+	case OpAgg:
+		child, _, err := c.compile(l.Input)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		keys, aggs, parts := append([]string(nil), l.Keys...), append([]table.Agg(nil), l.Aggs...), c.opts.Parts
+		var details []string
+		for _, a := range l.Aggs {
+			if a.Op == table.Count {
+				details = append(details, "count(*) AS "+aggName(a))
+			} else {
+				details = append(details, fmt.Sprintf("%s(%s) AS %s", a.Op, a.Col, aggName(a)))
+			}
+		}
+		n := &Node{
+			Kind:     "agg",
+			Detail:   fmt.Sprintf("keys=[%s] %s", strings.Join(keys, ", "), strings.Join(details, ", ")),
+			Est:      c.est(l),
+			Children: []*Node{child},
+		}
+		n.exec = c.counted(n, func() (*table.Table, error) {
+			t, err := child.exec()
+			if err != nil {
+				return nil, err
+			}
+			return t.GroupBy(keys...).Agg(parts, aggs...)
+		})
+		return n, schema, nil
+	case OpSort:
+		child, childSchema, err := c.compile(l.Input)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		inWant, err := l.Input.OutSchema(c.env.Schema)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		// Sort on the primary column, breaking ties on every remaining
+		// column ascending: a total order over distinct rows, so the
+		// oracle can compare ordered output deterministically.
+		cols := []string{l.SortCol}
+		desc := []bool{l.Desc}
+		for _, col := range inWant.Names() {
+			if col != l.SortCol {
+				cols = append(cols, col)
+				desc = append(desc, false)
+			}
+		}
+		parts := c.opts.Parts
+		dir := "asc"
+		if l.Desc {
+			dir = "desc"
+		}
+		n := &Node{Kind: "sort", Detail: fmt.Sprintf("%s %s", l.SortCol, dir), Est: c.est(l), Children: []*Node{child}}
+		n.exec = c.counted(n, func() (*table.Table, error) {
+			t, err := child.exec()
+			if err != nil {
+				return nil, err
+			}
+			if t, err = conform(t, inWant, childSchema); err != nil {
+				return nil, err
+			}
+			// OrderByCols runs an eager range-sampling job over the child
+			// before the sorted shuffle; roll the subtree's actual counters
+			// back so they report the real pass only.
+			saved := map[*Node]int64{}
+			child.snapshotActuals(saved)
+			sorted, err := t.OrderByCols(cols, desc, parts)
+			if err != nil {
+				return nil, err
+			}
+			child.restoreActuals(saved)
+			return sorted, nil
+		})
+		return n, schema, nil
+	case OpLimit:
+		child, childSchema, err := c.compile(l.Input)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		limit := l.N
+		n := &Node{Kind: "limit", Detail: fmt.Sprintf("%d", limit), Est: c.est(l), Children: []*Node{child}}
+		n.exec = c.counted(n, func() (*table.Table, error) {
+			t, err := child.exec()
+			if err != nil {
+				return nil, err
+			}
+			return t.Head(limit)
+		})
+		return n, childSchema, nil
+	}
+	return nil, table.Schema{}, fmt.Errorf("query: unknown operator %d", l.Op)
+}
+
+// conform projects t down to want's columns when the compiled child
+// carries extras (residual-filter columns kept by a pruned scan).
+func conform(t *table.Table, want, got table.Schema) (*table.Table, error) {
+	if sameSchema(want, got) {
+		return t, nil
+	}
+	return t.Select(want.Names()...)
+}
+
+// compileScan fuses a filter into a columnar scan: single-column
+// conjuncts run against the encoded columns (zone maps pruning whole
+// partitions, RLE runs and dictionary entries evaluated once), the
+// rest stays as a residual row filter, and only the needed columns are
+// decoded.
+func (c *compiler) compileScan(l *Logical, pred *Expr) (*Node, table.Schema, error) {
+	src, ok := c.env.tables[l.TableName]
+	if !ok {
+		return nil, table.Schema{}, fmt.Errorf("query: unknown table %q", l.TableName)
+	}
+	schema := src.schema
+
+	var colPreds []table.ColPredicate
+	var residual []*Expr
+	if pred != nil {
+		if _, err := pred.Bind(schema); err != nil {
+			return nil, table.Schema{}, err
+		}
+	}
+	for _, conj := range pred.conjuncts() {
+		cols := conj.Cols()
+		if !c.opts.Optimize || len(cols) != 1 {
+			residual = append(residual, conj)
+			continue
+		}
+		idx, err := schema.MustIndex(cols[0])
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+		typ := schema.Cols[idx].Type
+		keep, err := valuePredicate(conj, typ)
+		if err != nil {
+			residual = append(residual, conj)
+			continue
+		}
+		cp := table.ColPredicate{Col: idx, Keep: keep}
+		if conj.Kind == ExprCmp {
+			cp.SkipAll = skipAllFunc(conj.Cmp, typ, conj.Val)
+		}
+		colPreds = append(colPreds, cp)
+	}
+
+	// Columns the scan must materialize: what the plan above demands
+	// plus residual filter inputs. Pushed predicate columns filter on
+	// the encoded form and need no decode unless also demanded.
+	needed := c.needs[l]
+	if needed == nil {
+		needed = schema.Names()
+	}
+	needSet := map[string]bool{}
+	for _, n := range needed {
+		needSet[n] = true
+	}
+	scanCols := append([]string(nil), needed...)
+	for _, conj := range residual {
+		for _, col := range conj.Cols() {
+			if !needSet[col] {
+				needSet[col] = true
+				scanCols = append(scanCols, col)
+			}
+		}
+	}
+	sort.SliceStable(scanCols, func(i, j int) bool { return schema.Index(scanCols[i]) < schema.Index(scanCols[j]) })
+	neededIdx := make([]int, len(scanCols))
+	outCols := make([]table.Col, len(scanCols))
+	for i, name := range scanCols {
+		j := schema.Index(name)
+		neededIdx[i] = j
+		outCols[i] = schema.Cols[j]
+	}
+	outSchema := table.Schema{Cols: outCols}
+	residualPred := conjoin(residual)
+	var residualFn func(table.Row) bool
+	if residualPred != nil {
+		var err error
+		residualFn, err = residualPred.Bind(outSchema)
+		if err != nil {
+			return nil, table.Schema{}, err
+		}
+	}
+
+	detail := fmt.Sprintf("%s cols=[%s]", l.TableName, strings.Join(scanCols, ", "))
+	if len(colPreds) > 0 {
+		var pushed []string
+		for _, conj := range pred.conjuncts() {
+			if len(conj.Cols()) == 1 {
+				pushed = append(pushed, conj.String())
+			}
+		}
+		detail += " pushed=(" + strings.Join(pushed, " AND ") + ")"
+	}
+	if residualPred != nil {
+		detail += " residual=(" + residualPred.String() + ")"
+	}
+	est := c.est(l)
+	if pred != nil {
+		est = c.est(&Logical{Op: OpFilter, Input: l, Pred: pred})
+	}
+	n := &Node{Kind: "scan", Detail: detail, Est: est}
+	env := c.env
+	n.exec = c.counted(n, func() (*table.Table, error) {
+		t, err := src.data.Scan(env.Eng, colPreds, neededIdx, env.Reg)
+		if err != nil {
+			return nil, err
+		}
+		if residualFn != nil {
+			t = t.Where(residualFn)
+		}
+		return t, nil
+	})
+	return n, outSchema, nil
+}
+
+// valuePredicate compiles a single-column predicate (possibly an
+// AND/OR tree over one column) into a typed value test.
+func valuePredicate(e *Expr, typ table.Type) (func(any) bool, error) {
+	switch e.Kind {
+	case ExprCmp:
+		lit, err := coerce(typ, e.Val)
+		if err != nil {
+			return nil, err
+		}
+		return keepFunc(e.Cmp, typ, lit), nil
+	case ExprAnd:
+		l, err := valuePredicate(e.Left, typ)
+		if err != nil {
+			return nil, err
+		}
+		r, err := valuePredicate(e.Right, typ)
+		if err != nil {
+			return nil, err
+		}
+		return func(v any) bool { return l(v) && r(v) }, nil
+	default:
+		l, err := valuePredicate(e.Left, typ)
+		if err != nil {
+			return nil, err
+		}
+		r, err := valuePredicate(e.Right, typ)
+		if err != nil {
+			return nil, err
+		}
+		return func(v any) bool { return l(v) || r(v) }, nil
+	}
+}
+
+// scanNeeds computes, for every scan in the plan, the column set the
+// operators above actually consume — the projection-pushdown analysis.
+// demanded is the list of output columns the parent needs, in the
+// scan's (or node's) output naming.
+func (e *Env) scanNeeds(l *Logical, demanded []string, out map[*Logical][]string) error {
+	switch l.Op {
+	case OpScan:
+		schema, err := e.Schema(l.TableName)
+		if err != nil {
+			return err
+		}
+		set := map[string]bool{}
+		for _, d := range demanded {
+			set[d] = true
+		}
+		var cols []string
+		for _, c := range schema.Cols {
+			if set[c.Name] {
+				cols = append(cols, c.Name)
+			}
+		}
+		out[l] = cols
+		return nil
+	case OpFilter:
+		// A filter fused into a scan pushes its single-column conjuncts
+		// onto the encoded columns; only residual (multi-column) conjunct
+		// inputs must be decoded.
+		next := appendMissing(demanded, nil)
+		for _, conj := range l.Pred.conjuncts() {
+			cols := conj.Cols()
+			if l.Input.Op == OpScan && len(cols) == 1 {
+				continue
+			}
+			next = appendMissing(next, cols)
+		}
+		return e.scanNeeds(l.Input, next, out)
+	case OpProject:
+		// A projection consumes exactly its source columns — narrowing
+		// projections to what parents demand is the optimizer's job
+		// (narrowProjects), not this analysis's.
+		return e.scanNeeds(l.Input, appendMissing(nil, l.Cols), out)
+	case OpJoin:
+		left, err := l.Input.OutSchema(e.Schema)
+		if err != nil {
+			return err
+		}
+		right, err := l.Right.OutSchema(e.Schema)
+		if err != nil {
+			return err
+		}
+		var toLeft, toRight []string
+		for _, d := range demanded {
+			if left.Index(d) >= 0 {
+				toLeft = append(toLeft, d)
+			} else if src := rightSource(d, left, right); src != "" {
+				toRight = append(toRight, src)
+				if src != d {
+					// "right_x" is only named that because the left side also
+					// emits x; keep x on the left so the prefix survives.
+					toLeft = append(toLeft, src)
+				}
+			}
+		}
+		toLeft = appendMissing(toLeft, []string{l.LeftCol})
+		toRight = appendMissing(toRight, []string{l.RightCol})
+		if err := e.scanNeeds(l.Input, toLeft, out); err != nil {
+			return err
+		}
+		return e.scanNeeds(l.Right, toRight, out)
+	case OpAgg:
+		next := append([]string(nil), l.Keys...)
+		for _, a := range l.Aggs {
+			if a.Op != table.Count {
+				next = appendMissing(next, []string{a.Col})
+			}
+		}
+		return e.scanNeeds(l.Input, appendMissing(nil, next), out)
+	case OpSort:
+		// The compiled sort breaks ties on every input column, so a sort
+		// demands its whole input schema.
+		in, err := l.Input.OutSchema(e.Schema)
+		if err != nil {
+			return err
+		}
+		return e.scanNeeds(l.Input, in.Names(), out)
+	case OpLimit:
+		return e.scanNeeds(l.Input, demanded, out)
+	}
+	return fmt.Errorf("query: unknown operator %d", l.Op)
+}
+
+func appendMissing(dst []string, add []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range dst {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range add {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

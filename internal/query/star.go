@@ -1,0 +1,170 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/table"
+)
+
+// Relation is one generated base table.
+type Relation struct {
+	Name   string
+	Schema table.Schema
+	Rows   []table.Row
+}
+
+// GenStar builds a TPC-style star schema: a sales fact plus customer,
+// product and dates dimensions, and a shipments side-fact sized with
+// the fact table (so fact-to-fact joins are genuinely large-large and
+// the optimizer must shuffle them while broadcasting the small
+// dimensions). Money amounts are multiples of 0.25 with bounded
+// magnitude, so float sums are exact in any summation order — the
+// property the differential oracle relies on.
+func GenStar(seed uint64, factRows, custN, prodN, dateN int) []Relation {
+	gen := rng.New(seed)
+	customer := Relation{
+		Name: "customer",
+		Schema: table.Schema{Cols: []table.Col{
+			{Name: "cust_id", Type: table.Int64},
+			{Name: "cust_region", Type: table.String},
+			{Name: "cust_segment", Type: table.String},
+		}},
+	}
+	regions := []string{"amer", "emea", "apac", "latam"}
+	segments := []string{"consumer", "corporate", "home_office"}
+	for i := 0; i < custN; i++ {
+		customer.Rows = append(customer.Rows, table.Row{
+			int64(i), regions[gen.Intn(len(regions))], segments[gen.Intn(len(segments))],
+		})
+	}
+	product := Relation{
+		Name: "product",
+		Schema: table.Schema{Cols: []table.Col{
+			{Name: "prod_id", Type: table.Int64},
+			{Name: "prod_category", Type: table.String},
+			{Name: "prod_brand", Type: table.String},
+		}},
+	}
+	categories := []string{"tools", "toys", "food", "books", "garden"}
+	for i := 0; i < prodN; i++ {
+		product.Rows = append(product.Rows, table.Row{
+			int64(i), categories[gen.Intn(len(categories))], fmt.Sprintf("b%d", gen.Intn(8)),
+		})
+	}
+	dates := Relation{
+		Name: "dates",
+		Schema: table.Schema{Cols: []table.Col{
+			{Name: "date_id", Type: table.Int64},
+			{Name: "date_month", Type: table.Int64},
+			{Name: "date_quarter", Type: table.String},
+		}},
+	}
+	for i := 0; i < dateN; i++ {
+		month := int64(i % 12)
+		dates.Rows = append(dates.Rows, table.Row{
+			int64(i), month, fmt.Sprintf("Q%d", month/3+1),
+		})
+	}
+	sales := Relation{
+		Name: "sales",
+		Schema: table.Schema{Cols: []table.Col{
+			{Name: "cust_id", Type: table.Int64},
+			{Name: "prod_id", Type: table.Int64},
+			{Name: "date_id", Type: table.Int64},
+			{Name: "units", Type: table.Int64},
+			{Name: "amount", Type: table.Float64},
+		}},
+	}
+	for i := 0; i < factRows; i++ {
+		sales.Rows = append(sales.Rows, table.Row{
+			int64(gen.Intn(custN)),
+			int64(gen.Intn(prodN)),
+			int64(gen.Intn(dateN)),
+			int64(1 + gen.Intn(10)),
+			float64(gen.Intn(40000)) * 0.25,
+		})
+	}
+	shipments := Relation{
+		Name: "shipments",
+		Schema: table.Schema{Cols: []table.Col{
+			{Name: "cust_id", Type: table.Int64},
+			{Name: "carrier", Type: table.String},
+			{Name: "ship_cost", Type: table.Float64},
+		}},
+	}
+	carriers := []string{"air", "ground", "sea"}
+	for i := 0; i < factRows/2; i++ {
+		shipments.Rows = append(shipments.Rows, table.Row{
+			int64(gen.Intn(custN)),
+			carriers[gen.Intn(len(carriers))],
+			float64(gen.Intn(4000)) * 0.25,
+		})
+	}
+	return []Relation{customer, product, dates, sales, shipments}
+}
+
+// RegisterStar loads every relation into the environment.
+func RegisterStar(env *Env, rels []Relation, parts int) error {
+	for _, r := range rels {
+		if err := env.Register(r.Name, r.Schema, r.Rows, parts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StarQuery is one entry of the E-SQL differential suite.
+type StarQuery struct {
+	ID   string
+	SQL  string
+	Note string
+}
+
+// StarQueries is the TPC-derived suite over GenStar's schema: scans
+// with pushdown, broadcast and shuffle joins, star joins over several
+// dimensions, partial aggregation, top-k sorts and a global aggregate.
+func StarQueries() []StarQuery {
+	return []StarQuery{
+		{
+			ID:   "q1_pushdown",
+			SQL:  "SELECT cust_id, units FROM sales WHERE units >= 8",
+			Note: "predicate+projection pushdown into the columnar scan",
+		},
+		{
+			ID:   "q2_topk_revenue",
+			SQL:  "SELECT cust_id, SUM(amount) AS revenue FROM sales GROUP BY cust_id ORDER BY revenue DESC LIMIT 10",
+			Note: "partial aggregation before the shuffle, then top-k",
+		},
+		{
+			ID:   "q3_dim_join",
+			SQL:  "SELECT prod_category, SUM(units) AS total_units FROM sales JOIN product ON prod_id = prod_id GROUP BY prod_category ORDER BY prod_category",
+			Note: "small dimension join: stats pick broadcast",
+		},
+		{
+			ID:   "q4_star_filtered",
+			SQL:  "SELECT cust_region, prod_category, SUM(amount) AS revenue FROM sales JOIN customer ON cust_id = cust_id JOIN product ON prod_id = prod_id WHERE prod_brand != 'b0' AND units >= 3 GROUP BY cust_region, prod_category ORDER BY revenue DESC LIMIT 5",
+			Note: "two-dimension star join with filters pushed to both scans",
+		},
+		{
+			ID:   "q5_fact_fact",
+			SQL:  "SELECT cust_id, SUM(ship_cost) AS cost FROM sales JOIN shipments ON cust_id = cust_id GROUP BY cust_id ORDER BY cost DESC LIMIT 10",
+			Note: "large-large join: stats pick a shuffle join",
+		},
+		{
+			ID:   "q6_quarter_segment",
+			SQL:  "SELECT date_quarter, cust_segment, SUM(units) AS total_units FROM sales JOIN dates ON date_id = date_id JOIN customer ON cust_id = cust_id WHERE date_quarter = 'Q1' GROUP BY date_quarter, cust_segment ORDER BY cust_segment",
+			Note: "three-table star join; the quarter filter lands on the dates dimension scan",
+		},
+		{
+			ID:   "q7_residual_or",
+			SQL:  "SELECT prod_id, units, amount FROM sales WHERE units >= 8 OR amount < 100.0 ORDER BY amount DESC LIMIT 20",
+			Note: "multi-column OR stays as a residual filter above the scan",
+		},
+		{
+			ID:   "q8_global_agg",
+			SQL:  "SELECT COUNT(*) AS n, SUM(amount) AS revenue, MIN(units) AS min_units, MAX(units) AS max_units FROM sales WHERE cust_id >= 10",
+			Note: "global aggregate with no group keys",
+		},
+	}
+}

@@ -1,0 +1,344 @@
+package serde
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Encoding-aware column scans. These are the primitives the query layer's
+// predicate pushdown compiles onto: instead of decode-then-filter, the
+// predicate runs against the encoded representation and exploits it —
+// an RLE run evaluates the predicate once per run regardless of length,
+// and a dictionary-encoded string column evaluates it once per distinct
+// dictionary entry rather than once per row. The returned selection
+// vector then drives SelectXColumn, which materializes only the chosen
+// positions (and skips entirely-unselected RLE runs without building
+// their values).
+//
+// FilterStats reports how much work the encoding saved: Rows is the
+// column length, PredEvals how many times the predicate actually ran.
+// For plain encodings PredEvals == Rows; for RLE and dictionary columns
+// it is the run or dictionary count.
+type FilterStats struct {
+	Rows      int
+	PredEvals int
+}
+
+// FilterIntColumn evaluates keep over an encoded int column and returns
+// the selection vector. RLE runs are evaluated once per run.
+func FilterIntColumn(b []byte, keep func(int64) bool) ([]bool, FilterStats, error) {
+	var st FilterStats
+	if len(b) == 0 {
+		return nil, st, ErrCorrupt
+	}
+	tag := b[0]
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > maxColumnRows {
+		return nil, st, ErrCorrupt
+	}
+	b = b[sz:]
+	sel := make([]bool, n)
+	st.Rows = int(n)
+	switch tag {
+	case encPlainInt:
+		for i := uint64(0); i < n; i++ {
+			v, used, err := Int64(b)
+			if err != nil {
+				return nil, st, err
+			}
+			b = b[used:]
+			st.PredEvals++
+			sel[i] = keep(v)
+		}
+	case encRLEInt:
+		at := uint64(0)
+		for at < n {
+			v, used, err := Int64(b)
+			if err != nil {
+				return nil, st, err
+			}
+			b = b[used:]
+			run, sz := binary.Uvarint(b)
+			if sz <= 0 || run == 0 || at+run > n {
+				return nil, st, ErrCorrupt
+			}
+			b = b[sz:]
+			st.PredEvals++
+			if keep(v) {
+				for k := uint64(0); k < run; k++ {
+					sel[at+k] = true
+				}
+			}
+			at += run
+		}
+	case encDeltaInt:
+		prev := int64(0)
+		for i := uint64(0); i < n; i++ {
+			d, used, err := Int64(b)
+			if err != nil {
+				return nil, st, err
+			}
+			b = b[used:]
+			prev += d
+			st.PredEvals++
+			sel[i] = keep(prev)
+		}
+	default:
+		return nil, st, ErrCorrupt
+	}
+	return sel, st, nil
+}
+
+// SelectIntColumn decodes only the selected positions of an encoded int
+// column, in position order. RLE runs with no selected position are
+// skipped without materializing their values. sel must have the column's
+// length.
+func SelectIntColumn(b []byte, sel []bool) ([]int64, error) {
+	if len(b) == 0 {
+		return nil, ErrCorrupt
+	}
+	tag := b[0]
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > maxColumnRows {
+		return nil, ErrCorrupt
+	}
+	b = b[sz:]
+	if uint64(len(sel)) != n {
+		return nil, ErrCorrupt
+	}
+	var out []int64
+	switch tag {
+	case encPlainInt:
+		for i := uint64(0); i < n; i++ {
+			v, used, err := Int64(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[used:]
+			if sel[i] {
+				out = append(out, v)
+			}
+		}
+	case encRLEInt:
+		at := uint64(0)
+		for at < n {
+			v, used, err := Int64(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[used:]
+			run, sz := binary.Uvarint(b)
+			if sz <= 0 || run == 0 || at+run > n {
+				return nil, ErrCorrupt
+			}
+			b = b[sz:]
+			for k := uint64(0); k < run; k++ {
+				if sel[at+k] {
+					out = append(out, v)
+				}
+			}
+			at += run
+		}
+	case encDeltaInt:
+		prev := int64(0)
+		for i := uint64(0); i < n; i++ {
+			d, used, err := Int64(b)
+			if err != nil {
+				return nil, err
+			}
+			b = b[used:]
+			prev += d
+			if sel[i] {
+				out = append(out, prev)
+			}
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// FloatColumn is a chunk of float64 values, stored as the IEEE-754 bit
+// patterns in an IntColumn (repeated values RLE-compress; the adaptive
+// int encodings do the rest). NaNs round-trip bit-exactly.
+type FloatColumn []float64
+
+// Encode serializes the column.
+func (c FloatColumn) Encode() []byte {
+	ints := make(IntColumn, len(c))
+	for i, v := range c {
+		ints[i] = int64(math.Float64bits(v))
+	}
+	return ints.Encode()
+}
+
+// DecodeFloatColumn inverts FloatColumn.Encode.
+func DecodeFloatColumn(b []byte) (FloatColumn, error) {
+	ints, err := DecodeIntColumn(b)
+	if err != nil {
+		return nil, err
+	}
+	out := make(FloatColumn, len(ints))
+	for i, v := range ints {
+		out[i] = math.Float64frombits(uint64(v))
+	}
+	return out, nil
+}
+
+// FilterFloatColumn evaluates keep over an encoded float column,
+// RLE-aware like FilterIntColumn.
+func FilterFloatColumn(b []byte, keep func(float64) bool) ([]bool, FilterStats, error) {
+	return FilterIntColumn(b, func(v int64) bool {
+		return keep(math.Float64frombits(uint64(v)))
+	})
+}
+
+// SelectFloatColumn decodes only the selected positions of an encoded
+// float column.
+func SelectFloatColumn(b []byte, sel []bool) ([]float64, error) {
+	ints, err := SelectIntColumn(b, sel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ints))
+	for i, v := range ints {
+		out[i] = math.Float64frombits(uint64(v))
+	}
+	return out, nil
+}
+
+// FilterStringColumn evaluates keep over an encoded string column. On a
+// dictionary-encoded column the predicate runs once per dictionary entry
+// — for a low-cardinality column that is a small constant instead of one
+// evaluation per row — and the per-row pass only tests a bit per index.
+func FilterStringColumn(b []byte, keep func(string) bool) ([]bool, FilterStats, error) {
+	var st FilterStats
+	if len(b) == 0 {
+		return nil, st, ErrCorrupt
+	}
+	tag := b[0]
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > maxColumnRows {
+		return nil, st, ErrCorrupt
+	}
+	b = b[sz:]
+	sel := make([]bool, n)
+	st.Rows = int(n)
+	readStr := func() (string, error) {
+		l, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < l {
+			return "", ErrCorrupt
+		}
+		s := string(b[sz : sz+int(l)])
+		b = b[sz+int(l):]
+		return s, nil
+	}
+	switch tag {
+	case encPlainStr:
+		for i := uint64(0); i < n; i++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, st, err
+			}
+			st.PredEvals++
+			sel[i] = keep(s)
+		}
+	case encDictStr:
+		dn, sz := binary.Uvarint(b)
+		if sz <= 0 || dn > n {
+			return nil, st, ErrCorrupt
+		}
+		b = b[sz:]
+		keepIdx := make([]bool, dn)
+		for d := uint64(0); d < dn; d++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, st, err
+			}
+			st.PredEvals++
+			keepIdx[d] = keep(s)
+		}
+		for i := uint64(0); i < n; i++ {
+			idx, sz := binary.Uvarint(b)
+			if sz <= 0 || idx >= dn {
+				return nil, st, ErrCorrupt
+			}
+			b = b[sz:]
+			sel[i] = keepIdx[idx]
+		}
+	default:
+		return nil, st, ErrCorrupt
+	}
+	return sel, st, nil
+}
+
+// SelectStringColumn decodes only the selected positions of an encoded
+// string column. On a dictionary column, dictionary entries are decoded
+// once and selected rows share them.
+func SelectStringColumn(b []byte, sel []bool) ([]string, error) {
+	if len(b) == 0 {
+		return nil, ErrCorrupt
+	}
+	tag := b[0]
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > maxColumnRows {
+		return nil, ErrCorrupt
+	}
+	b = b[sz:]
+	if uint64(len(sel)) != n {
+		return nil, ErrCorrupt
+	}
+	readStr := func() (string, error) {
+		l, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < l {
+			return "", ErrCorrupt
+		}
+		s := string(b[sz : sz+int(l)])
+		b = b[sz+int(l):]
+		return s, nil
+	}
+	var out []string
+	switch tag {
+	case encPlainStr:
+		for i := uint64(0); i < n; i++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			if sel[i] {
+				out = append(out, s)
+			}
+		}
+	case encDictStr:
+		dn, sz := binary.Uvarint(b)
+		if sz <= 0 || dn > n {
+			return nil, ErrCorrupt
+		}
+		b = b[sz:]
+		dict := make([]string, 0, dn)
+		for uint64(len(dict)) < dn {
+			s, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			dict = append(dict, s)
+		}
+		for i := uint64(0); i < n; i++ {
+			idx, sz := binary.Uvarint(b)
+			if sz <= 0 || idx >= dn {
+				return nil, ErrCorrupt
+			}
+			b = b[sz:]
+			if sel[i] {
+				out = append(out, dict[idx])
+			}
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

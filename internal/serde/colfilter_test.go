@@ -1,0 +1,182 @@
+package serde
+
+import (
+	"math"
+	"testing"
+)
+
+func applySel[T any](vals []T, sel []bool) []T {
+	var out []T
+	for i, v := range vals {
+		if sel[i] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestFilterIntColumnMatchesDecode(t *testing.T) {
+	cases := map[string]IntColumn{
+		"plain": {9, -4, 17, 0, 3, 9, 1 << 40},
+		"rle":   {5, 5, 5, 5, 5, 7, 7, 7, 7, 7, 7, 7, 2},
+		"delta": {100, 101, 102, 103, 104, 105, 106, 107, 108, 109},
+		"empty": {},
+	}
+	keep := func(v int64) bool { return v >= 5 }
+	for name, col := range cases {
+		enc := col.Encode()
+		sel, st, err := FilterIntColumn(enc, keep)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Rows != len(col) {
+			t.Fatalf("%s: stats rows %d, want %d", name, st.Rows, len(col))
+		}
+		for i, v := range col {
+			if sel[i] != keep(v) {
+				t.Fatalf("%s: sel[%d] = %v for value %d", name, i, sel[i], v)
+			}
+		}
+		got, err := SelectIntColumn(enc, sel)
+		if err != nil {
+			t.Fatalf("%s: select: %v", name, err)
+		}
+		want := applySel(col, sel)
+		if len(got) != len(want) {
+			t.Fatalf("%s: selected %d, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: [%d] = %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFilterIntColumnRLESavesEvals(t *testing.T) {
+	col := make(IntColumn, 1000)
+	for i := range col {
+		col[i] = int64(i / 100) // 10 runs of 100
+	}
+	enc := col.Encode()
+	if enc[0] != encRLEInt {
+		t.Fatalf("expected RLE encoding, got tag %d", enc[0])
+	}
+	_, st, err := FilterIntColumn(enc, func(v int64) bool { return v%2 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PredEvals != 10 {
+		t.Fatalf("pred evals = %d, want 10 (one per run)", st.PredEvals)
+	}
+}
+
+func TestFilterStringColumnDictSavesEvals(t *testing.T) {
+	col := make(StringColumn, 600)
+	kinds := []string{"emea", "apac", "amer"}
+	for i := range col {
+		col[i] = kinds[i%3]
+	}
+	enc := col.Encode()
+	if enc[0] != encDictStr {
+		t.Fatalf("expected dict encoding, got tag %d", enc[0])
+	}
+	sel, st, err := FilterStringColumn(enc, func(s string) bool { return s == "apac" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PredEvals != 3 {
+		t.Fatalf("pred evals = %d, want 3 (one per dict entry)", st.PredEvals)
+	}
+	got, err := SelectStringColumn(enc, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("selected %d, want 200", len(got))
+	}
+	for _, s := range got {
+		if s != "apac" {
+			t.Fatalf("leaked %q", s)
+		}
+	}
+}
+
+func TestFilterStringColumnPlain(t *testing.T) {
+	col := StringColumn{"a", "bb", "ccc", "dddd", "eeeee", "x", "yy", "zzz"}
+	enc := col.encodePlain()
+	sel, st, err := FilterStringColumn(enc, func(s string) bool { return len(s) > 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PredEvals != len(col) {
+		t.Fatalf("pred evals = %d, want %d", st.PredEvals, len(col))
+	}
+	got, err := SelectStringColumn(enc, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ccc", "dddd", "eeeee", "zzz"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFloatColumnRoundTripAndFilter(t *testing.T) {
+	col := FloatColumn{1.5, -2.25, 0, math.Inf(1), math.Inf(-1), 1.5, 1.5, math.NaN(), math.Copysign(0, -1)}
+	enc := col.Encode()
+	dec, err := DecodeFloatColumn(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(col) {
+		t.Fatalf("decoded %d, want %d", len(dec), len(col))
+	}
+	for i := range col {
+		if math.Float64bits(dec[i]) != math.Float64bits(col[i]) {
+			t.Fatalf("[%d] = %v bits, want %v", i, dec[i], col[i])
+		}
+	}
+	sel, _, err := FilterFloatColumn(enc, func(v float64) bool { return v > 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SelectFloatColumn(enc, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, math.Inf(1), 1.5, 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFilterCorruptColumns(t *testing.T) {
+	if _, _, err := FilterIntColumn(nil, func(int64) bool { return true }); err == nil {
+		t.Fatal("nil int column accepted")
+	}
+	if _, _, err := FilterStringColumn([]byte{99, 1}, func(string) bool { return true }); err == nil {
+		t.Fatal("unknown string tag accepted")
+	}
+	if _, err := SelectIntColumn(IntColumn{1, 2, 3}.Encode(), []bool{true}); err == nil {
+		t.Fatal("selection length mismatch accepted")
+	}
+	if _, err := SelectStringColumn(StringColumn{"a", "b"}.Encode(), []bool{true}); err == nil {
+		t.Fatal("selection length mismatch accepted")
+	}
+	// Truncated RLE body.
+	enc := IntColumn{7, 7, 7, 7}.encodeRLE()
+	if _, _, err := FilterIntColumn(enc[:3], func(int64) bool { return true }); err == nil {
+		t.Fatal("truncated RLE accepted")
+	}
+}

@@ -1,0 +1,360 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+)
+
+// ColumnarTable is a relation stored column-encoded: each partition
+// holds one adaptively encoded chunk per column (dict/RLE/delta, see
+// internal/serde) plus a zone map (per-column min/max). It is the
+// storage format the query layer's predicate and projection pushdown
+// compile onto: a scan can prune whole partitions from the zone map
+// before touching a byte, filter predicate columns against their
+// encoded form (one predicate evaluation per RLE run or dictionary
+// entry), and decode only the selected positions of only the needed
+// columns.
+type ColumnarTable struct {
+	schema Schema
+	parts  []colPart
+}
+
+type colPart struct {
+	rows int
+	cols [][]byte // encoded chunk per schema column
+	mins []any    // zone map; nil values when rows == 0
+	maxs []any
+}
+
+// BuildColumnar validates rows against the schema and encodes them into
+// parts round-robin partitions of column chunks.
+func BuildColumnar(schema Schema, rows []Row, parts int) (*ColumnarTable, error) {
+	if len(schema.Cols) == 0 {
+		return nil, errors.New("table: empty schema")
+	}
+	if parts <= 0 {
+		parts = 4
+	}
+	for i, r := range rows {
+		if err := schema.validate(r); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	ct := &ColumnarTable{schema: schema, parts: make([]colPart, parts)}
+	for p := 0; p < parts; p++ {
+		var prows []Row
+		for i := p; i < len(rows); i += parts {
+			prows = append(prows, rows[i])
+		}
+		cp := colPart{
+			rows: len(prows),
+			cols: make([][]byte, len(schema.Cols)),
+			mins: make([]any, len(schema.Cols)),
+			maxs: make([]any, len(schema.Cols)),
+		}
+		for c, col := range schema.Cols {
+			switch col.Type {
+			case Int64:
+				vals := make(serde.IntColumn, len(prows))
+				for i, r := range prows {
+					vals[i] = r[c].(int64)
+				}
+				cp.cols[c] = vals.Encode()
+				if len(vals) > 0 {
+					mn, mx := vals[0], vals[0]
+					for _, v := range vals[1:] {
+						if v < mn {
+							mn = v
+						}
+						if v > mx {
+							mx = v
+						}
+					}
+					cp.mins[c], cp.maxs[c] = mn, mx
+				}
+			case Float64:
+				vals := make(serde.FloatColumn, len(prows))
+				for i, r := range prows {
+					vals[i] = r[c].(float64)
+				}
+				cp.cols[c] = vals.Encode()
+				if len(vals) > 0 {
+					mn, mx := vals[0], vals[0]
+					for _, v := range vals[1:] {
+						if v < mn {
+							mn = v
+						}
+						if v > mx {
+							mx = v
+						}
+					}
+					cp.mins[c], cp.maxs[c] = mn, mx
+				}
+			case String:
+				vals := make(serde.StringColumn, len(prows))
+				for i, r := range prows {
+					vals[i] = r[c].(string)
+				}
+				cp.cols[c] = vals.Encode()
+				if len(vals) > 0 {
+					mn, mx := vals[0], vals[0]
+					for _, v := range vals[1:] {
+						if v < mn {
+							mn = v
+						}
+						if v > mx {
+							mx = v
+						}
+					}
+					cp.mins[c], cp.maxs[c] = mn, mx
+				}
+			}
+		}
+		ct.parts[p] = cp
+	}
+	return ct, nil
+}
+
+// Schema returns the table's schema.
+func (c *ColumnarTable) Schema() Schema { return c.schema }
+
+// Partitions returns the partition count.
+func (c *ColumnarTable) Partitions() int { return len(c.parts) }
+
+// RowCount returns the total stored rows.
+func (c *ColumnarTable) RowCount() int {
+	n := 0
+	for _, p := range c.parts {
+		n += p.rows
+	}
+	return n
+}
+
+// EncodedBytes returns the total encoded size across partitions.
+func (c *ColumnarTable) EncodedBytes() int64 {
+	var n int64
+	for _, p := range c.parts {
+		for _, col := range p.cols {
+			n += int64(len(col))
+		}
+	}
+	return n
+}
+
+// ColPredicate is one pushed-down single-column predicate.
+type ColPredicate struct {
+	// Col is the schema column index the predicate reads.
+	Col int
+	// Keep reports whether a value passes; it receives int64, float64
+	// or string per the column type. Required.
+	Keep func(v any) bool
+	// SkipAll optionally reports, from the partition's zone map, that no
+	// value in [min, max] can pass — the whole partition is then pruned
+	// without decoding anything. Nil when the predicate has no usable
+	// range form.
+	SkipAll func(min, max any) bool
+}
+
+// Scan counter names recorded against the registry passed to Scan (the
+// query layer surfaces them through internal/obs):
+//
+//	sql_rows_scanned   rows in partitions that survived zone pruning
+//	sql_rows_pruned    rows skipped wholesale by zone maps
+//	sql_rows_out       rows emitted after pushed predicates
+//	sql_bytes_decoded  encoded bytes of chunks actually decoded
+//	sql_bytes_skipped  encoded bytes of chunks never decoded
+//	sql_pred_evals     predicate evaluations actually run (RLE runs /
+//	                   dictionary entries, not rows)
+const (
+	CtrRowsScanned  = "sql_rows_scanned"
+	CtrRowsPruned   = "sql_rows_pruned"
+	CtrRowsOut      = "sql_rows_out"
+	CtrBytesDecoded = "sql_bytes_decoded"
+	CtrBytesSkipped = "sql_bytes_skipped"
+	CtrPredEvals    = "sql_pred_evals"
+)
+
+// Scan builds a lazy Table over the columnar data. preds are pushed
+// predicates ANDed together; needed lists the schema column indexes the
+// output rows carry, in output order (nil = all columns). Chunk decode
+// effort and zone-map pruning are recorded on reg (nil-safe).
+func (c *ColumnarTable) Scan(eng *core.Engine, preds []ColPredicate, needed []int, reg *metrics.Registry) (*Table, error) {
+	if needed == nil {
+		needed = make([]int, len(c.schema.Cols))
+		for i := range needed {
+			needed[i] = i
+		}
+	}
+	outCols := make([]Col, len(needed))
+	for i, idx := range needed {
+		if idx < 0 || idx >= len(c.schema.Cols) {
+			return nil, fmt.Errorf("table: scan column index %d out of range", idx)
+		}
+		outCols[i] = c.schema.Cols[idx]
+	}
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(c.schema.Cols) {
+			return nil, fmt.Errorf("table: predicate column index %d out of range", p.Col)
+		}
+		if p.Keep == nil {
+			return nil, errors.New("table: ColPredicate.Keep is required")
+		}
+	}
+	var (
+		rowsScanned, rowsPruned, rowsOut  *metrics.Counter
+		bytesDecoded, bytesSkip, predEval *metrics.Counter
+	)
+	if reg != nil {
+		rowsScanned = reg.Counter(CtrRowsScanned)
+		rowsPruned = reg.Counter(CtrRowsPruned)
+		rowsOut = reg.Counter(CtrRowsOut)
+		bytesDecoded = reg.Counter(CtrBytesDecoded)
+		bytesSkip = reg.Counter(CtrBytesSkipped)
+		predEval = reg.Counter(CtrPredEvals)
+	}
+	schema := c.schema
+	parts := c.parts
+	plan := eng.NewSource(len(parts), func(_ *core.TaskContext, part int) []core.Row {
+		cp := parts[part]
+		if cp.rows == 0 {
+			return nil
+		}
+		partBytes := func() int64 {
+			var n int64
+			for _, col := range cp.cols {
+				n += int64(len(col))
+			}
+			return n
+		}
+		// Zone-map pruning: any pushed predicate proving the partition
+		// empty skips every chunk in it.
+		for _, p := range preds {
+			if p.SkipAll != nil && p.SkipAll(cp.mins[p.Col], cp.maxs[p.Col]) {
+				rowsPruned.Add(int64(cp.rows))
+				bytesSkip.Add(partBytes())
+				return nil
+			}
+		}
+		rowsScanned.Add(int64(cp.rows))
+
+		// Filter pass over the predicate columns' encoded chunks.
+		touched := make(map[int]bool)
+		var sel []bool
+		nSel := cp.rows
+		for _, p := range preds {
+			var (
+				psel []bool
+				st   serde.FilterStats
+				err  error
+			)
+			switch schema.Cols[p.Col].Type {
+			case Int64:
+				psel, st, err = serde.FilterIntColumn(cp.cols[p.Col], func(v int64) bool { return p.Keep(v) })
+			case Float64:
+				psel, st, err = serde.FilterFloatColumn(cp.cols[p.Col], func(v float64) bool { return p.Keep(v) })
+			case String:
+				psel, st, err = serde.FilterStringColumn(cp.cols[p.Col], func(v string) bool { return p.Keep(v) })
+			}
+			if err != nil {
+				panic(fmt.Sprintf("table: columnar filter: %v", err))
+			}
+			if !touched[p.Col] {
+				touched[p.Col] = true
+				bytesDecoded.Add(int64(len(cp.cols[p.Col])))
+			}
+			predEval.Add(int64(st.PredEvals))
+			if sel == nil {
+				sel = psel
+			} else {
+				for i := range sel {
+					sel[i] = sel[i] && psel[i]
+				}
+			}
+		}
+		if sel == nil {
+			sel = make([]bool, cp.rows)
+			for i := range sel {
+				sel[i] = true
+			}
+		} else {
+			nSel = 0
+			for _, s := range sel {
+				if s {
+					nSel++
+				}
+			}
+		}
+		rowsOut.Add(int64(nSel))
+
+		// Decode pass: only needed columns, only selected positions.
+		colVals := make(map[int][]any, len(needed))
+		for _, idx := range needed {
+			if _, ok := colVals[idx]; ok {
+				continue
+			}
+			if nSel == 0 {
+				if !touched[idx] {
+					touched[idx] = true
+					bytesSkip.Add(int64(len(cp.cols[idx])))
+				}
+				colVals[idx] = nil
+				continue
+			}
+			if !touched[idx] {
+				touched[idx] = true
+				bytesDecoded.Add(int64(len(cp.cols[idx])))
+			}
+			vals := make([]any, 0, nSel)
+			var err error
+			switch schema.Cols[idx].Type {
+			case Int64:
+				var vs []int64
+				if vs, err = serde.SelectIntColumn(cp.cols[idx], sel); err == nil {
+					for _, v := range vs {
+						vals = append(vals, v)
+					}
+				}
+			case Float64:
+				var vs []float64
+				if vs, err = serde.SelectFloatColumn(cp.cols[idx], sel); err == nil {
+					for _, v := range vs {
+						vals = append(vals, v)
+					}
+				}
+			case String:
+				var vs []string
+				if vs, err = serde.SelectStringColumn(cp.cols[idx], sel); err == nil {
+					for _, v := range vs {
+						vals = append(vals, v)
+					}
+				}
+			}
+			if err != nil {
+				panic(fmt.Sprintf("table: columnar decode: %v", err))
+			}
+			colVals[idx] = vals
+		}
+		// Untouched columns were neither filtered nor needed.
+		for i, col := range cp.cols {
+			if !touched[i] {
+				if _, isNeeded := colVals[i]; !isNeeded {
+					bytesSkip.Add(int64(len(col)))
+				}
+			}
+		}
+		out := make([]core.Row, nSel)
+		for i := 0; i < nSel; i++ {
+			row := make(Row, len(needed))
+			for k, idx := range needed {
+				row[k] = colVals[idx][i]
+			}
+			out[i] = row
+		}
+		return out
+	}, nil)
+	return &Table{eng: eng, plan: plan, schema: Schema{Cols: outCols}}, nil
+}

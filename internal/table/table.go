@@ -464,57 +464,11 @@ type taggedRow struct {
 
 // OrderBy globally sorts the table by the named column (all columns
 // retained): concatenating the result's partitions in order yields the
-// sorted relation. Range boundaries come from sampling.
+// sorted relation. Range boundaries come from sampling. Rows with equal
+// keys land in key order but otherwise arbitrary relative order; use
+// OrderByCols with tiebreak columns for a deterministic total order.
 func (t *Table) OrderBy(col string, desc bool, parts int) (*Table, error) {
-	ci, err := t.schema.MustIndex(col)
-	if err != nil {
-		return nil, err
-	}
-	if parts <= 0 {
-		parts = t.Partitions()
-	}
-	typ := t.schema.Cols[ci].Type
-	schema := t.schema
-
-	// Sampling job for split points.
-	sample := t.eng.NewNarrow(t.plan, func(_ *core.TaskContext, rows []core.Row) []core.Row {
-		stride := len(rows)/32 + 1
-		var out []core.Row
-		for i := 0; i < len(rows); i += stride {
-			out = append(out, sortableKey(typ, rows[i].(Row)[ci], desc))
-		}
-		return out
-	})
-	raw, err := t.eng.Collect(sample)
-	if err != nil {
-		return nil, err
-	}
-	keys := make([][]byte, len(raw))
-	for i, r := range raw {
-		keys[i] = r.([]byte)
-	}
-	splits := pickSplits(keys, parts)
-	rp := shuffle.NewRangePartitioner(splits)
-
-	plan := t.eng.NewShuffled(t.plan, core.ShuffleDep{
-		Partitions:  rp.Partitions(),
-		Partitioner: rp.Partition,
-		Sorted:      true,
-		KeyOf:       func(r core.Row) []byte { return sortableKey(typ, r.(Row)[ci], desc) },
-		ValueOf:     func(r core.Row) []byte { return encodeRow(schema, r.(Row)) },
-		Post: func(_ *core.TaskContext, recs []shuffle.Record) []core.Row {
-			out := make([]core.Row, len(recs))
-			for i, rec := range recs {
-				row, err := decodeRow(schema, rec.Value)
-				if err != nil {
-					panic(fmt.Sprintf("table: orderby decode: %v", err))
-				}
-				out[i] = row
-			}
-			return out
-		},
-	})
-	return &Table{eng: t.eng, plan: plan, schema: schema}, nil
+	return t.OrderByCols([]string{col}, []bool{desc}, parts)
 }
 
 func pickSplits(sample [][]byte, parts int) [][]byte {

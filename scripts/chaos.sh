@@ -57,14 +57,15 @@ for preset in $PRESETS; do
     done
 done
 
-echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E-OVL, E-TXN, E5) =="
+echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E-OVL, E-TXN, E-SQL, E5) =="
 # Every chaos run above re-ran the job; this pass ends the sweep with the
 # experiment suite's own verdicts: batch oracle diffs (EFT), stream
 # window oracles (E-SFT), control-plane failover oracles (E-HA),
 # overload-with-shedding linearizability (E-OVL), sharded-txn strict
-# serializability (E-TXN) and plain quorum linearizability (E5).
+# serializability (E-TXN), relational differential checks incl. a
+# crash-preset replay (E-SQL) and plain quorum linearizability (E5).
 # -check exits nonzero on any mismatch.
-go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E-OVL,E-TXN,E5 -check
+go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E-OVL,E-TXN,E-SQL,E5 -check
 
 echo "== linearizability checker self-test (must fail under -stale) =="
 if go run ./cmd/hpbdc-kvbench -ops 2000 -keys 200 -check -stale >/dev/null 2>&1; then

@@ -28,7 +28,8 @@ go test -race ./internal/metrics/... ./internal/trace/... \
     ./internal/dfs/... ./internal/sched/... ./internal/netsim/... \
     ./internal/cluster/... ./internal/chaos/... ./internal/stream/... \
     ./internal/check/... ./internal/kvstore/... ./internal/ha/... \
-    ./internal/consensus/... ./internal/perf/... ./internal/admission/...
+    ./internal/consensus/... ./internal/perf/... ./internal/admission/... \
+    ./internal/query/... ./internal/table/...
 
 echo "== overload acceptance (race) =="
 go test -race -run 'TestOverloadAcceptance' . -count=1
@@ -46,6 +47,7 @@ if [ "${FUZZ:-0}" = "1" ]; then
     go test -fuzz=FuzzIntColumnDecode -fuzztime=2s -run '^$' ./internal/serde
     go test -fuzz=FuzzRoundTrip -fuzztime=3s -run '^$' ./internal/compress
     go test -fuzz=FuzzDecompress -fuzztime=2s -run '^$' ./internal/compress
+    go test -fuzz=FuzzPlanEquivalence -fuzztime=5s -run '^$' ./internal/query
 fi
 
 if [ "${CHAOS:-0}" = "1" ]; then
