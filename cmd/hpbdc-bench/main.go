@@ -48,6 +48,9 @@ func main() {
 	haFlag := flag.Bool("ha", false,
 		"run the E-HA control-plane HA experiment (alone unless -run adds more); "+
 			"-seed and -chaos override its seed and schedule sweeps, -check verifies the oracle")
+	grayFlag := flag.Bool("gray", false,
+		"run the E-GRAY gray-failure availability experiment (alone unless -run adds more); "+
+			"-seed and -chaos override its seed and schedule sweeps, -check verifies the bounds")
 	checkFlag := flag.Bool("check", false,
 		"after the run, print the oracle/linearizability harness verdict and exit nonzero on any mismatch")
 	bench := flag.String("bench", "",
@@ -81,6 +84,20 @@ func main() {
 			*runList = "E-HA"
 		} else {
 			*runList += ",E-HA"
+		}
+	}
+
+	if *grayFlag {
+		spec, err := loadChaosSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetGrayConfig(*seed, spec)
+		if *runList == "" {
+			*runList = "E-GRAY"
+		} else {
+			*runList += ",E-GRAY"
 		}
 	}
 
@@ -155,7 +172,7 @@ func main() {
 		summary, ok := experiments.CheckReport()
 		fmt.Println(summary)
 		if experiments.CheckCount() == 0 {
-			fmt.Fprintln(os.Stderr, "-check: no oracle comparisons ran (include EFT, E-SFT, E-HA or E5 in -run)")
+			fmt.Fprintln(os.Stderr, "-check: no oracle comparisons ran (include EFT, E-SFT, E-HA, E-GRAY or E5 in -run)")
 			os.Exit(1)
 		}
 		if !ok {

@@ -63,11 +63,18 @@ func main() {
 	txnGroups := flag.Int("txn-groups", 2, "raft replication groups backing the ranges (with -txn)")
 	txnChaos := flag.Bool("txn-chaos", false,
 		"replay the \"txn\" chaos preset (coordinator crashes bracketing the commit point) during the run (with -txn)")
+	gray := flag.Bool("gray", false,
+		"inject gray one-way link faults mid-run (with -txn): every group's leader is inbound-isolated "+
+			"for a quarter of the mix then healed; prints per-group term growth and CheckQuorum step-downs")
 	flag.Parse()
 
 	if *txnMode {
-		runTxn(*ops, *keys, *skew, *valueSize, *txnSpan, *txnGroups, *benchSeed, *txnChaos, *checkFlag, *stale)
+		runTxn(*ops, *keys, *skew, *valueSize, *txnSpan, *txnGroups, *benchSeed, *txnChaos, *gray, *checkFlag, *stale)
 		return
+	}
+	if *gray {
+		fmt.Fprintln(os.Stderr, "-gray requires -txn (gray faults target the raft-backed sharded plane)")
+		os.Exit(2)
 	}
 
 	if *jsonOut {
@@ -102,11 +109,12 @@ func main() {
 
 // runTxn drives the range-sharded transactional plane: a read-modify-write
 // 2PC mix from workload.TxnOps with a split and a merge mid-run, optionally
-// under the "txn" chaos preset, finishing with orphan recovery and the
-// zero-locks / zero-records invariants. With -check it additionally captures
-// a concurrent multi-client history and verdicts strict serializability.
+// under the "txn" chaos preset and/or a gray one-way fault episode,
+// finishing with orphan recovery and the zero-locks / zero-records
+// invariants. With -check it additionally captures a concurrent
+// multi-client history and verdicts strict serializability.
 func runTxn(ops, keys int, skew float64, valueSize, span, groups int, seed uint64,
-	withChaos, checkFlag, dirty bool) {
+	withChaos, gray, checkFlag, dirty bool) {
 	if !flagWasSet("ops") {
 		ops = 2000 // 2PC through the raft sim is heavier than a quorum op
 	}
@@ -125,6 +133,13 @@ func runTxn(ops, keys int, skew float64, valueSize, span, groups int, seed uint6
 		ctl = chaos.New(sched, seed, chaos.Targets{Nodes: groups, Txn: s}, s.Reg)
 	}
 
+	grayBase := make([]uint64, groups)
+	if gray {
+		for g := 0; g < groups; g++ {
+			grayBase[g] = s.GroupMaxTerm(g)
+		}
+	}
+
 	trace := workload.TxnOps(workload.TxnSpec{
 		N: ops, Keys: keys, Span: span, Skew: skew, ValueSize: valueSize, Seed: seed,
 	})
@@ -137,6 +152,29 @@ func runTxn(ops, keys int, skew float64, valueSize, span, groups int, seed uint6
 	for i, tx := range trace {
 		if ctl != nil && i%tickEvery == 0 {
 			ctl.Tick()
+		}
+		if gray {
+			switch i {
+			case ops / 4: // inbound-isolate every leader: one-way gray cut
+				for g := 0; g < groups; g++ {
+					lead := s.GroupLeader(g)
+					for m := 0; m < s.GroupMembers(g); m++ {
+						if m != lead && lead >= 0 {
+							s.CutGroupLink(g, m, lead)
+						}
+					}
+				}
+			case ops / 2:
+				for g := 0; g < groups; g++ {
+					for from := 0; from < s.GroupMembers(g); from++ {
+						for to := 0; to < s.GroupMembers(g); to++ {
+							if from != to {
+								s.HealGroupLink(g, from, to)
+							}
+						}
+					}
+				}
+			}
 		}
 		switch i {
 		case ops / 3:
@@ -189,6 +227,12 @@ func runTxn(ops, keys int, skew float64, valueSize, span, groups int, seed uint6
 	if locks != 0 || pending != 0 {
 		fmt.Println("INVARIANT VIOLATION: locks/records left dangling")
 		os.Exit(1)
+	}
+	if gray {
+		for g := 0; g < groups; g++ {
+			fmt.Printf("gray group %d: term +%d, step-downs %d\n",
+				g, s.GroupMaxTerm(g)-grayBase[g], s.GroupStepDowns(g))
+		}
 	}
 
 	if checkFlag {

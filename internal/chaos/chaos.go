@@ -41,10 +41,16 @@ type StorageTarget interface {
 }
 
 // NetworkTarget is the fabric surface (implemented by *netsim.Fabric).
+// CutLink/HealLink act on the directed reachability layer (gray faults);
+// SetPartition rejects overlapping groups with an error, which the
+// controller discards like every other target error (a bad partition spec
+// is caught by schedule tests, not at injection time).
 type NetworkTarget interface {
-	SetPartition(groups ...[]topology.NodeID)
+	SetPartition(groups ...[]topology.NodeID) error
 	Heal()
 	SetNodeDegrade(topology.NodeID, float64)
+	CutLink(src, dst topology.NodeID)
+	HealLink(src, dst topology.NodeID)
 }
 
 // MembershipTarget is the SWIM surface (implemented by *gossip.Cluster).
@@ -55,12 +61,15 @@ type MembershipTarget interface {
 }
 
 // ConsensusTarget is the Raft surface (implemented by
-// *consensus.Cluster).
+// *consensus.Cluster). CutLink/HealLink mirror the fabric's directed
+// reachability layer onto the consensus message transport.
 type ConsensusTarget interface {
 	Crash(id int)
 	Restart(id int)
 	Partition(groups ...[]int)
 	Heal()
+	CutLink(from, to int)
+	HealLink(from, to int)
 }
 
 // FaultInjector receives per-node transient task fault probabilities
@@ -158,13 +167,30 @@ type Controller struct {
 	sched   Schedule
 	idx     int
 	now     int64
+	seed    uint64
 	targets Targets
 
-	applied *metrics.CounterVec // chaos_events_applied{kind}
-	heals   *metrics.Counter    // partition_heals
-	vtime   *metrics.Gauge      // chaos_vtime
+	// flaps are the active link-flap coins; while any is active, virtual
+	// time advances tick by tick (each tick re-rolls every flapping pair)
+	// instead of jumping event to event.
+	flaps []*flapState
+
+	applied     *metrics.CounterVec // chaos_events_applied{kind}
+	heals       *metrics.Counter    // partition_heals
+	flapToggles *metrics.Counter    // chaos_flap_toggles
+	vtime       *metrics.Gauge      // chaos_vtime
 
 	tracer *trace.Recorder // optional: instant events per injected fault
+}
+
+// flapState is one active flap event: a seeded coin per src->dst pair,
+// re-rolled every virtual tick. state tracks the current cut set so the
+// controller only calls targets on transitions.
+type flapState struct {
+	srcs, dsts []topology.NodeID
+	p          float64
+	r          *rng.RNG
+	state      map[[2]int]bool
 }
 
 // SetTracer attaches a trace recorder: every applied fault is recorded
@@ -184,7 +210,7 @@ func (c *Controller) SetTracer(r *trace.Recorder) {
 // trackOf maps an event to the timeline track it annotates.
 func trackOf(e Event) string {
 	switch e.Kind {
-	case Partition, Heal, Drop, Undrop:
+	case Partition, Heal, Drop, Undrop, PartialPartition, LinkCut, LinkHeal, Flap, Unflap:
 		return "network"
 	case StreamCrash, StreamRestore:
 		return fmt.Sprintf("stream-worker-%02d", int(e.Node))
@@ -211,11 +237,13 @@ func trackOf(e Event) string {
 func New(sched Schedule, seed uint64, targets Targets, reg *metrics.Registry) *Controller {
 	c := &Controller{
 		sched:   resolveWildcards(sched.sorted(), seed, targets.Nodes),
+		seed:    seed,
 		targets: targets,
 	}
 	if reg != nil {
 		c.applied = reg.CounterVec("chaos_events_applied", "kind")
 		c.heals = reg.Counter("partition_heals")
+		c.flapToggles = reg.Counter("chaos_flap_toggles")
 		c.vtime = reg.Gauge("chaos_vtime")
 	}
 	return c
@@ -280,12 +308,92 @@ func (c *Controller) AdvanceTo(t int64) {
 }
 
 func (c *Controller) advanceToLocked(t int64) {
-	c.now = t
-	for c.idx < len(c.sched) && c.sched[c.idx].At <= c.now {
-		c.apply(c.sched[c.idx])
-		c.idx++
+	for c.now < t {
+		if len(c.flaps) == 0 {
+			// No per-tick faults active: jump straight to the next event
+			// (or the target time) in one step.
+			next := t
+			if c.idx < len(c.sched) && c.sched[c.idx].At > c.now && c.sched[c.idx].At < next {
+				next = c.sched[c.idx].At
+			}
+			c.now = next
+		} else {
+			c.now++
+		}
+		for c.idx < len(c.sched) && c.sched[c.idx].At <= c.now {
+			c.apply(c.sched[c.idx])
+			c.idx++
+		}
+		c.flapTickLocked()
 	}
 	c.vtime.Set(c.now)
+}
+
+// flapTickLocked re-rolls every active flapping pair once, applying only
+// the transitions. Roll order (flap activation order, then srcs x dsts) is
+// fixed, so a run is exactly reproducible from (schedule, seed).
+func (c *Controller) flapTickLocked() {
+	for _, f := range c.flaps {
+		for _, s := range f.srcs {
+			for _, d := range f.dsts {
+				if s == d {
+					continue
+				}
+				want := f.r.Float64() < f.p
+				key := [2]int{int(s), int(d)}
+				if want == f.state[key] {
+					continue
+				}
+				f.state[key] = want
+				c.flapToggles.Inc()
+				if want {
+					c.cutPair(s, d)
+				} else {
+					c.healPair(s, d)
+				}
+			}
+		}
+	}
+}
+
+// cutPair / healPair apply one directed link transition to every wired
+// gray-capable target.
+func (c *Controller) cutPair(s, d topology.NodeID) {
+	if c.targets.Network != nil {
+		c.targets.Network.CutLink(s, d)
+	}
+	if c.targets.Consensus != nil {
+		c.targets.Consensus.CutLink(int(s), int(d))
+	}
+}
+
+func (c *Controller) healPair(s, d topology.NodeID) {
+	if c.targets.Network != nil {
+		c.targets.Network.HealLink(s, d)
+	}
+	if c.targets.Consensus != nil {
+		c.targets.Consensus.HealLink(int(s), int(d))
+	}
+}
+
+func (c *Controller) cutPairs(srcs, dsts []topology.NodeID) {
+	for _, s := range srcs {
+		for _, d := range dsts {
+			if s != d {
+				c.cutPair(s, d)
+			}
+		}
+	}
+}
+
+func (c *Controller) healPairs(srcs, dsts []topology.NodeID) {
+	for _, s := range srcs {
+		for _, d := range dsts {
+			if s != d {
+				c.healPair(s, d)
+			}
+		}
+	}
 }
 
 // Now returns the current virtual time.
@@ -356,7 +464,7 @@ func (c *Controller) apply(e Event) {
 		}
 	case Partition:
 		if t.Network != nil {
-			t.Network.SetPartition(e.Group...)
+			_ = t.Network.SetPartition(e.Group...)
 		}
 		if t.Consensus != nil {
 			groups := make([][]int, len(e.Group))
@@ -368,6 +476,43 @@ func (c *Controller) apply(e Event) {
 			}
 			t.Consensus.Partition(groups...)
 		}
+	case PartialPartition:
+		// Non-transitive partial partition: every cross-group link is cut
+		// (both directions) but, unlike Partition, nodes OUTSIDE the listed
+		// groups still reach everyone — connectivity stops being transitive.
+		for i := range e.Group {
+			for j := i + 1; j < len(e.Group); j++ {
+				c.cutPairs(e.Group[i], e.Group[j])
+				c.cutPairs(e.Group[j], e.Group[i])
+			}
+		}
+	case LinkCut:
+		c.cutPairs(e.Group[0], e.Group[1])
+	case LinkHeal:
+		c.healPairs(e.Group[0], e.Group[1])
+	case Flap:
+		c.flaps = append(c.flaps, &flapState{
+			srcs:  e.Group[0],
+			dsts:  e.Group[1],
+			p:     e.Value,
+			r:     rng.New(c.seed ^ (uint64(c.idx)+1)*0x9e3779b97f4a7c15),
+			state: map[[2]int]bool{},
+		})
+	case Unflap:
+		kept := c.flaps[:0]
+		for _, f := range c.flaps {
+			if nodesEqual(f.srcs, e.Group[0]) && nodesEqual(f.dsts, e.Group[1]) {
+				// Heal whatever the coin currently holds cut.
+				for key, cut := range f.state {
+					if cut {
+						c.healPair(topology.NodeID(key[0]), topology.NodeID(key[1]))
+					}
+				}
+				continue
+			}
+			kept = append(kept, f)
+		}
+		c.flaps = kept
 	case Heal:
 		if t.Network != nil {
 			t.Network.Heal()
@@ -375,6 +520,9 @@ func (c *Controller) apply(e Event) {
 		if t.Consensus != nil {
 			t.Consensus.Heal()
 		}
+		// Heal is total: drop any active flap coins too, so a trailing
+		// "T heal" leaves the run with a fully clean fabric.
+		c.flaps = nil
 		c.heals.Inc()
 	case Slow:
 		if t.Compute != nil {
@@ -462,6 +610,20 @@ func (c *Controller) apply(e Event) {
 		"kind":  string(e.Kind),
 		"vtime": fmt.Sprint(e.At),
 	})
+}
+
+// nodesEqual reports whether two node lists are identical (order matters:
+// Unflap must name the same src/dst lists its Flap used).
+func nodesEqual(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // memberID translates a schedule member token into the ha.Group call

@@ -88,8 +88,17 @@ func (f *fakeTargets) ReviveNode(n topology.NodeID) error {
 	f.log = append(f.log, "fsrevive", nodeString(n))
 	return nil
 }
-func (f *fakeTargets) SetPartition(groups ...[]topology.NodeID) { f.log = append(f.log, "partition") }
-func (f *fakeTargets) Heal()                                    { f.log = append(f.log, "heal") }
+func (f *fakeTargets) SetPartition(groups ...[]topology.NodeID) error {
+	f.log = append(f.log, "partition")
+	return nil
+}
+func (f *fakeTargets) Heal() { f.log = append(f.log, "heal") }
+func (f *fakeTargets) CutLink(src, dst topology.NodeID) {
+	f.log = append(f.log, "cut", nodeString(src)+">"+nodeString(dst))
+}
+func (f *fakeTargets) HealLink(src, dst topology.NodeID) {
+	f.log = append(f.log, "healink", nodeString(src)+">"+nodeString(dst))
+}
 func (f *fakeTargets) SetNodeDegrade(n topology.NodeID, v float64) {
 	f.log = append(f.log, "degrade", nodeString(n))
 }

@@ -18,8 +18,10 @@ import (
 // control-plane presets "nn-crash" (kill + revive the namenode leader),
 // "coord-crash" (kill the job coordinator) and "ha" (both),
 // "overload" (traffic burst + tenant flood + per-node slowdown against
-// the admission layer), and "txn" (transaction-coordinator crashes
-// bracketing the 2PC commit point, each followed by recovery). Those are
+// the admission layer), "txn" (transaction-coordinator crashes
+// bracketing the 2PC commit point, each followed by recovery), and
+// "gray" (directed link cuts, link flapping, and a non-transitive
+// partial partition — the asymmetric faults E-GRAY sweeps). Those are
 // kept out of PresetNames so the compute-preset sweeps (EFT, chaos.sh)
 // skip them; E-SFT/E-HA/E-OVL/E-TXN and the -stream-chaos/-ha flags use
 // them.
@@ -99,6 +101,26 @@ func Preset(name string, n int) (Schedule, error) {
 			{At: 4, Kind: TxnRecover},
 			{At: 6, Kind: TxnCrash, Point: "commit"},
 			{At: 8, Kind: TxnRecover},
+		}, nil
+	case "gray":
+		// Gray-failure sampler: a one-way cut toward the last node (it can
+		// still send — the inbound-isolation shape), then a short flapping
+		// window on the same links, then a non-transitive partial partition,
+		// with a total heal at the end so the run finishes clean. Kept out
+		// of PresetNames like stream/ha/overload/txn so compute sweeps skip
+		// it; E-GRAY, the gray acceptance test and the -gray CLI flags use
+		// it.
+		others := make([]topology.NodeID, 0, n-1)
+		for i := 0; i < n-1; i++ {
+			others = append(others, topology.NodeID(i))
+		}
+		return Schedule{
+			{At: 2, Kind: LinkCut, Group: [][]topology.NodeID{others, {last}}},
+			{At: 8, Kind: LinkHeal, Group: [][]topology.NodeID{others, {last}}},
+			{At: 10, Kind: Flap, Group: [][]topology.NodeID{others, {last}}, Value: 0.3},
+			{At: 16, Kind: Unflap, Group: [][]topology.NodeID{others, {last}}},
+			{At: 18, Kind: PartialPartition, Group: [][]topology.NodeID{{0}, {last}}},
+			{At: 24, Kind: Heal},
 		}, nil
 	case "mixed":
 		return Schedule{

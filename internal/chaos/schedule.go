@@ -60,6 +60,21 @@ const (
 	// half-done range split/merge to its deterministic resolution.
 	TxnCrash   Kind = "txn-crash"
 	TxnRecover Kind = "txn-recover"
+	// Gray-failure kinds act on the DIRECTED reachability layer of the
+	// network fabric and consensus transport. LinkCut blocks every src->dst
+	// pair between two node lists one way only (the reverse direction keeps
+	// flowing); LinkHeal reverses exactly those cuts. PartialPartition cuts
+	// both directions pairwise between its groups but — unlike Partition —
+	// leaves intra-group and unlisted links alone, so non-transitive shapes
+	// (A-B and B-C alive, A-C dead) are expressible. Flap seeds a per-tick
+	// coin for every src->dst pair: each tick the link is cut with the given
+	// probability, else healed (a flapping NIC or LB route); Unflap stops
+	// the coin and heals its pairs.
+	LinkCut          Kind = "link-cut"
+	LinkHeal         Kind = "link-heal"
+	PartialPartition Kind = "partial-partition"
+	Flap             Kind = "flap"
+	Unflap           Kind = "unflap"
 )
 
 // WildcardNode marks an event whose target node is chosen by the
@@ -120,20 +135,30 @@ func (s Schedule) String() string {
 			fmt.Fprintf(&b, " %d", int(e.Node))
 		case TxnCrash:
 			b.WriteString(" " + e.Point)
-		case Partition:
-			parts := make([]string, len(e.Group))
-			for i, g := range e.Group {
-				ids := make([]string, len(g))
-				for j, n := range g {
-					ids[j] = strconv.Itoa(int(n))
-				}
-				parts[i] = strings.Join(ids, ",")
-			}
-			b.WriteString(" " + strings.Join(parts, "|"))
+		case Partition, PartialPartition:
+			b.WriteString(" " + groupsString(e.Group, "|"))
+		case LinkCut, LinkHeal, Unflap:
+			b.WriteString(" " + groupsString(e.Group, " "))
+		case Flap:
+			fmt.Fprintf(&b, " %s %g", groupsString(e.Group, " "), e.Value)
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// groupsString renders node groups in the comma-list form Parse accepts,
+// joined by sep ("|" for partition groups, " " for src/dst list pairs).
+func groupsString(groups [][]topology.NodeID, sep string) string {
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		ids := make([]string, len(g))
+		for j, n := range g {
+			ids[j] = strconv.Itoa(int(n))
+		}
+		parts[i] = strings.Join(ids, ",")
+	}
+	return strings.Join(parts, sep)
 }
 
 func nodeString(n topology.NodeID) string {
@@ -267,6 +292,43 @@ var kindTable = map[Kind]kindSpec{
 		e.Group = groups
 		return nil
 	}},
+	PartialPartition: {"<groups like 0|2-4>", 1, func(e *Event, args []string) error {
+		groups, err := parseGroups(args[0])
+		if err != nil {
+			return err
+		}
+		e.Group = groups
+		return nil
+	}},
+	LinkCut:  {"<srcs> <dsts> (e.g. 0-3 4)", 2, linkArgs},
+	LinkHeal: {"<srcs> <dsts>", 2, linkArgs},
+	Unflap:   {"<srcs> <dsts>", 2, linkArgs},
+	Flap: {"<srcs> <dsts> <probability>", 3, func(e *Event, args []string) error {
+		if err := linkArgs(e, args); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(args[2], 64)
+		if err != nil || v <= 0 || v > 1 {
+			return fmt.Errorf("bad flap probability %q (want 0 < p <= 1)", args[2])
+		}
+		e.Value = v
+		return nil
+	}},
+}
+
+// linkArgs reads a <srcs> <dsts> pair of node lists ("0-3 4", "0,2 1-4")
+// into Group[0] (sources) and Group[1] (destinations).
+func linkArgs(e *Event, args []string) error {
+	srcs, err := parseNodeList(args[0])
+	if err != nil {
+		return err
+	}
+	dsts, err := parseNodeList(args[1])
+	if err != nil {
+		return err
+	}
+	e.Group = [][]topology.NodeID{srcs, dsts}
+	return nil
 }
 
 // Parse reads the text schedule format: one event per line,
@@ -289,6 +351,11 @@ var kindTable = map[Kind]kindSpec{
 //	9 nn-revive leader # restart the most recently crashed member
 //	5 coord-crash      # kill the job coordinator (journal recovers)
 //	3 corrupt-block 4  # flip bits in one replica stored on node 4
+//	4 link-cut 0-3 4   # gray: nodes 0..3 can no longer reach 4 (one way)
+//	9 link-heal 0-3 4
+//	5 partial-partition 0|2-4  # pairwise two-way cuts, non-transitive
+//	6 flap 0 1-4 0.3   # each 0->x link cut with p=0.3 per tick
+//	9 unflap 0 1-4     # stop flapping and heal those links
 //
 // Unknown kinds, wrong argument counts and trailing junk are all
 // rejected with the offending line number. A node written "*" is a
@@ -361,35 +428,44 @@ func parseMember(tok string) (topology.NodeID, error) {
 	return topology.NodeID(n), nil
 }
 
+// parseNodeList reads a comma list of ids or lo-hi ranges ("0-3", "0,2,5").
+func parseNodeList(part string) ([]topology.NodeID, error) {
+	var g []topology.NodeID
+	for _, tok := range strings.Split(part, ",") {
+		if tok == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(tok, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a < 0 || b < a {
+				return nil, fmt.Errorf("bad range %q", tok)
+			}
+			for n := a; n <= b; n++ {
+				g = append(g, topology.NodeID(n))
+			}
+		} else {
+			n, err := strconv.Atoi(tok)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad node %q", tok)
+			}
+			g = append(g, topology.NodeID(n))
+		}
+	}
+	if len(g) == 0 {
+		return nil, fmt.Errorf("empty node list %q", part)
+	}
+	return g, nil
+}
+
 // parseGroups reads "0-3|4-7" or "0,2|1,3" style partition specs: groups
 // separated by '|', each a comma list of ids or lo-hi ranges.
 func parseGroups(spec string) ([][]topology.NodeID, error) {
 	var groups [][]topology.NodeID
 	for _, part := range strings.Split(spec, "|") {
-		var g []topology.NodeID
-		for _, tok := range strings.Split(part, ",") {
-			if tok == "" {
-				continue
-			}
-			if lo, hi, ok := strings.Cut(tok, "-"); ok {
-				a, err1 := strconv.Atoi(lo)
-				b, err2 := strconv.Atoi(hi)
-				if err1 != nil || err2 != nil || a < 0 || b < a {
-					return nil, fmt.Errorf("bad range %q", tok)
-				}
-				for n := a; n <= b; n++ {
-					g = append(g, topology.NodeID(n))
-				}
-			} else {
-				n, err := strconv.Atoi(tok)
-				if err != nil || n < 0 {
-					return nil, fmt.Errorf("bad node %q", tok)
-				}
-				g = append(g, topology.NodeID(n))
-			}
-		}
-		if len(g) == 0 {
-			return nil, fmt.Errorf("empty partition group in %q", spec)
+		g, err := parseNodeList(part)
+		if err != nil {
+			return nil, fmt.Errorf("%v in %q", err, spec)
 		}
 		groups = append(groups, g)
 	}

@@ -1,0 +1,110 @@
+// Availability accounting for gray-failure runs. A probe is one
+// commit-confirmed proposal attempt at a known virtual time, paired with
+// whether the fault pattern still admitted a functioning quorum at that
+// instant. Unavailability that coincides with a lost quorum is excusable
+// (no protocol can commit without one); failing WHILE a connected
+// majority exists is a liveness failure — the thing PreVote and
+// CheckQuorum exist to bound. E-GRAY and the avail perf family turn
+// probe series into windows with Availability and gate the defended
+// configuration with DiffAvailability.
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AvailPoint is one availability probe.
+type AvailPoint struct {
+	// T is the virtual time of the probe.
+	T int64
+	// OK reports whether the probe (a commit-confirmed proposal) succeeded.
+	OK bool
+	// MajorityConnected reports whether some live node had bidirectional
+	// links to a quorum when the probe ran.
+	MajorityConnected bool
+}
+
+// AvailReport summarizes the unavailability windows of a probe series.
+type AvailReport struct {
+	// Probes counts all probes; Failed counts probes that failed while a
+	// connected majority existed (the charged failures); ExcusedFails
+	// counts failures with no connected majority (not charged).
+	Probes       int
+	Failed       int
+	ExcusedFails int
+	// Windows counts maximal runs of consecutive charged failures.
+	Windows int
+	// Longest is the virtual-time span of the longest window; Total sums
+	// all window spans. A window spanning probes at T=a..b has span
+	// b-a+1, so a single failed probe costs 1.
+	Longest int64
+	Total   int64
+}
+
+// String renders a one-line summary.
+func (r AvailReport) String() string {
+	return fmt.Sprintf("%d/%d probes failed with quorum connected; %d windows, longest %d, total %d unavailable ticks",
+		r.Failed, r.Probes, r.Windows, r.Longest, r.Total)
+}
+
+// Availability computes unavailability windows from a probe series.
+// Points are sorted by T (stably, so equal-time probes keep their order);
+// a window is a maximal run of consecutive points that failed while a
+// connected majority existed. Failures without a connected majority end
+// any open window — they are a different (excusable) condition, not part
+// of a liveness gap.
+func Availability(points []AvailPoint) AvailReport {
+	pts := append([]AvailPoint(nil), points...)
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+
+	r := AvailReport{Probes: len(pts)}
+	var start, end int64
+	open := false
+	close := func() {
+		if !open {
+			return
+		}
+		span := end - start + 1
+		r.Windows++
+		r.Total += span
+		if span > r.Longest {
+			r.Longest = span
+		}
+		open = false
+	}
+	for _, p := range pts {
+		switch {
+		case p.OK:
+			close()
+		case !p.MajorityConnected:
+			r.ExcusedFails++
+			close()
+		default:
+			r.Failed++
+			if !open {
+				open = true
+				start = p.T
+			}
+			end = p.T
+		}
+	}
+	close()
+	return r
+}
+
+// DiffAvailability turns a report into an oracle verdict: OK when the
+// longest window and the total unavailable time both sit within bounds.
+// A negative bound skips that limit.
+func DiffAvailability(name string, r AvailReport, maxLongest, maxTotal int64) Diff {
+	d := Diff{Name: name, OK: true, Compared: r.Probes}
+	if maxLongest >= 0 && r.Longest > maxLongest {
+		d.OK = false
+		d.Details = append(d.Details, fmt.Sprintf("longest window %d > bound %d", r.Longest, maxLongest))
+	}
+	if maxTotal >= 0 && r.Total > maxTotal {
+		d.OK = false
+		d.Details = append(d.Details, fmt.Sprintf("total unavailable %d > bound %d", r.Total, maxTotal))
+	}
+	return d
+}

@@ -1,0 +1,77 @@
+package check
+
+import "testing"
+
+func TestAvailabilityWindows(t *testing.T) {
+	pts := []AvailPoint{
+		{T: 1, OK: true, MajorityConnected: true},
+		{T: 2, OK: false, MajorityConnected: true}, // window 1: 2..4
+		{T: 3, OK: false, MajorityConnected: true},
+		{T: 4, OK: false, MajorityConnected: true},
+		{T: 5, OK: true, MajorityConnected: true},
+		{T: 6, OK: false, MajorityConnected: false}, // excused: no quorum
+		{T: 7, OK: false, MajorityConnected: true},  // window 2: 7..7
+		{T: 8, OK: true, MajorityConnected: true},
+	}
+	r := Availability(pts)
+	if r.Probes != 8 || r.Failed != 4 || r.ExcusedFails != 1 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if r.Windows != 2 || r.Longest != 3 || r.Total != 4 {
+		t.Fatalf("windows wrong: %+v", r)
+	}
+}
+
+func TestAvailabilityExcusedBreaksWindow(t *testing.T) {
+	// A no-quorum failure between two charged failures must split them
+	// into two windows, not bridge one long one.
+	pts := []AvailPoint{
+		{T: 1, OK: false, MajorityConnected: true},
+		{T: 2, OK: false, MajorityConnected: false},
+		{T: 3, OK: false, MajorityConnected: true},
+	}
+	r := Availability(pts)
+	if r.Windows != 2 || r.Longest != 1 || r.Total != 2 {
+		t.Fatalf("excused failure did not break the window: %+v", r)
+	}
+}
+
+func TestAvailabilityUnsortedAndEdge(t *testing.T) {
+	// Input order must not matter, and an empty or all-OK series is clean.
+	pts := []AvailPoint{
+		{T: 3, OK: false, MajorityConnected: true},
+		{T: 1, OK: true, MajorityConnected: true},
+		{T: 2, OK: false, MajorityConnected: true},
+	}
+	r := Availability(pts)
+	if r.Windows != 1 || r.Longest != 2 || r.Total != 2 {
+		t.Fatalf("unsorted input mishandled: %+v", r)
+	}
+	if r := Availability(nil); r.Windows != 0 || r.Total != 0 || r.Probes != 0 {
+		t.Fatalf("empty series: %+v", r)
+	}
+	// A trailing open window is closed at the last probe.
+	r = Availability([]AvailPoint{{T: 5, OK: false, MajorityConnected: true}})
+	if r.Windows != 1 || r.Longest != 1 || r.Total != 1 {
+		t.Fatalf("trailing window: %+v", r)
+	}
+}
+
+func TestDiffAvailability(t *testing.T) {
+	r := AvailReport{Probes: 10, Failed: 3, Windows: 1, Longest: 3, Total: 3}
+	if d := DiffAvailability("a", r, 5, 5); !d.OK {
+		t.Fatalf("within bounds rejected: %v", d)
+	}
+	if d := DiffAvailability("b", r, 2, 5); d.OK {
+		t.Fatal("longest bound not enforced")
+	}
+	if d := DiffAvailability("c", r, 5, 2); d.OK {
+		t.Fatal("total bound not enforced")
+	}
+	if d := DiffAvailability("d", r, -1, -1); !d.OK {
+		t.Fatal("negative bounds must skip limits")
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -21,14 +21,30 @@ type Cluster struct {
 	// and messages cross groups only if allowed.
 	group map[int]int
 
+	// cut holds directed {from, to} link cuts — the gray-failure layer:
+	// one-way cuts and non-transitive partial partitions that the group
+	// partition above cannot express.
+	cut map[[2]int]bool
+
 	// Rounds counts delivery rounds executed (for latency accounting).
 	Rounds int
 	// MessagesDelivered counts total messages handed to nodes.
 	MessagesDelivered int
 }
 
-// NewCluster builds n nodes with IDs 0..n-1.
+// NewCluster builds n nodes with IDs 0..n-1 running vanilla Raft (no
+// PreVote/CheckQuorum) — the experimental control for gray-failure runs.
 func NewCluster(n int, seed uint64) *Cluster {
+	return newCluster(n, seed, false)
+}
+
+// NewHardenedCluster builds n nodes with the liveness hardening enabled:
+// PreVote, CheckQuorum leases and randomized election backoff.
+func NewHardenedCluster(n int, seed uint64) *Cluster {
+	return newCluster(n, seed, true)
+}
+
+func newCluster(n int, seed uint64, hardened bool) *Cluster {
 	peers := make([]int, n)
 	for i := range peers {
 		peers[i] = i
@@ -39,7 +55,10 @@ func NewCluster(n int, seed uint64) *Cluster {
 		applied: map[int][]Entry{},
 	}
 	for i := 0; i < n; i++ {
-		c.nodes[i] = NewNode(Config{ID: i, Peers: peers, Seed: seed})
+		c.nodes[i] = NewNode(Config{
+			ID: i, Peers: peers, Seed: seed,
+			PreVote: hardened, CheckQuorum: hardened,
+		})
 	}
 	return c
 }
@@ -61,8 +80,12 @@ func (c *Cluster) ids() []int {
 }
 
 // blocked reports whether a message from -> to is currently undeliverable.
+// Directed cuts and group partitions compose: either layer blocks.
 func (c *Cluster) blocked(from, to int) bool {
 	if c.crashed[from] || c.crashed[to] {
+		return true
+	}
+	if c.cut != nil && c.cut[[2]int{from, to}] {
 		return true
 	}
 	if c.group == nil {
@@ -249,5 +272,108 @@ func (c *Cluster) Partition(groups ...[]int) {
 	}
 }
 
-// Heal removes all partitions.
-func (c *Cluster) Heal() { c.group = nil }
+// Heal removes all partitions and directed link cuts.
+func (c *Cluster) Heal() {
+	c.group = nil
+	c.cut = nil
+}
+
+// CutLink blocks messages in the from -> to direction only; to -> from
+// keeps flowing. Idempotent.
+func (c *Cluster) CutLink(from, to int) {
+	if from == to {
+		return
+	}
+	if c.cut == nil {
+		c.cut = map[[2]int]bool{}
+	}
+	c.cut[[2]int{from, to}] = true
+}
+
+// HealLink removes a directed from -> to cut; a no-op when not cut.
+func (c *Cluster) HealLink(from, to int) {
+	delete(c.cut, [2]int{from, to})
+	if len(c.cut) == 0 {
+		c.cut = nil
+	}
+}
+
+// HasConnectedMajority reports whether some live node has bidirectional
+// links to a quorum of the cluster (counting itself) — i.e. whether the
+// current fault pattern still admits a functioning leader. Availability
+// accounting uses this to separate excusable unavailability (no quorum
+// exists) from liveness failures (a quorum exists but the protocol cannot
+// use it).
+func (c *Cluster) HasConnectedMajority() bool {
+	n := len(c.nodes)
+	for _, l := range c.ids() {
+		if c.crashed[l] {
+			continue
+		}
+		count := 1
+		for _, f := range c.ids() {
+			if f == l || c.crashed[f] {
+				continue
+			}
+			if !c.blocked(l, f) && !c.blocked(f, l) {
+				count++
+			}
+		}
+		if count*2 > n {
+			return true
+		}
+	}
+	return false
+}
+
+// StaleLeaders returns the IDs of live nodes that believe they are leader
+// but lack bidirectional connectivity to a quorum — leaders that would
+// serve stale reads. CheckQuorum exists to drive this to zero within an
+// election timeout.
+func (c *Cluster) StaleLeaders() []int {
+	n := len(c.nodes)
+	var out []int
+	for _, l := range c.ids() {
+		if c.crashed[l] || c.nodes[l].State() != Leader {
+			continue
+		}
+		count := 1
+		for _, f := range c.ids() {
+			if f == l || c.crashed[f] {
+				continue
+			}
+			if !c.blocked(l, f) && !c.blocked(f, l) {
+				count++
+			}
+		}
+		if count*2 <= n {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// MaxTerm returns the highest term across live nodes — the livelock
+// telltale: unbounded growth means dueling candidates or a partially
+// isolated node inflating terms.
+func (c *Cluster) MaxTerm() uint64 {
+	var top uint64
+	for _, id := range c.ids() {
+		if c.crashed[id] {
+			continue
+		}
+		if t := c.nodes[id].Term(); t > top {
+			top = t
+		}
+	}
+	return top
+}
+
+// StepDowns sums CheckQuorum abdications across all nodes.
+func (c *Cluster) StepDowns() uint64 {
+	var total uint64
+	for _, id := range c.ids() {
+		total += c.nodes[id].StepDowns()
+	}
+	return total
+}

@@ -53,6 +53,12 @@ const (
 	MsgAppResp
 	MsgSnap       // InstallSnapshot
 	MsgTimeoutNow // leadership transfer: recipient campaigns immediately
+	// PreVote (§9.6): a would-be candidate probes for term+1 support
+	// without incrementing any term, so a node cut off from the cluster
+	// (one-way link, minority side of a partial partition) cannot inflate
+	// terms and depose a healthy leader when its messages get through.
+	MsgPreVote
+	MsgPreVoteResp
 )
 
 // Message is a Raft RPC. One struct covers all kinds; unused fields are
@@ -65,6 +71,10 @@ type Message struct {
 	// Vote fields.
 	LastLogIndex, LastLogTerm uint64
 	Granted                   bool
+	// Force marks a vote request from a deliberate leadership transfer
+	// (TimeoutNow): receivers skip PreVote/CheckQuorum lease checks that
+	// would otherwise protect the current leader.
+	Force bool
 
 	// Append fields.
 	PrevIndex, PrevTerm uint64
@@ -92,6 +102,17 @@ type Config struct {
 	Seed uint64
 	// MaxEntriesPerApp bounds entries per AppendEntries. Default 64.
 	MaxEntriesPerApp int
+	// PreVote enables the two-phase election probe (§9.6): campaign for
+	// real only after a quorum signals it would grant the vote. Stops
+	// partially-isolated nodes from inflating terms. Default off to keep
+	// vanilla Raft available as the experimental control.
+	PreVote bool
+	// CheckQuorum makes a leader step down after a full election timeout
+	// without contact from a quorum (it may be serving stale reads on the
+	// minority side of a partial partition), and makes followers ignore
+	// vote requests while they have a live leader (the §9.6 lease), so a
+	// rejoining node cannot depose a healthy leader. Default off.
+	CheckQuorum bool
 	// Metrics, when non-nil, receives protocol counters (elections,
 	// leaderships won, entries committed, snapshots, compactions) and a
 	// raft_term gauge. Counters are per-node; give each node its own
@@ -103,6 +124,7 @@ type Config struct {
 type nodeMetrics struct {
 	elections          *metrics.Counter
 	leaderships        *metrics.Counter
+	stepdowns          *metrics.Counter
 	entriesCommitted   *metrics.Counter
 	snapshotsInstalled *metrics.Counter
 	compactions        *metrics.Counter
@@ -134,6 +156,13 @@ type Node struct {
 	// Candidate state.
 	votes map[int]bool
 
+	// Liveness-hardening state.
+	preVotes      map[int]bool // outstanding PreVote grants (nil = no probe)
+	recentActive  map[int]bool // peers heard from in the current CheckQuorum window
+	leaderElapsed int          // ticks of leadership since the last quorum check
+	backoff       int          // consecutive failed campaigns (widens election timeout)
+	stepDowns     uint64       // CheckQuorum abdications
+
 	elapsed         int
 	electionTimeout int
 	rand            *rng.RNG
@@ -161,6 +190,7 @@ func NewNode(cfg Config) *Node {
 		n.m = nodeMetrics{
 			elections:          reg.Counter("raft_elections_started"),
 			leaderships:        reg.Counter("raft_leaderships_won"),
+			stepdowns:          reg.Counter("raft_stepdowns"),
 			entriesCommitted:   reg.Counter("raft_entries_committed"),
 			snapshotsInstalled: reg.Counter("raft_snapshots_installed"),
 			compactions:        reg.Counter("raft_compactions"),
@@ -179,6 +209,10 @@ func (n *Node) Term() uint64 { return n.term }
 
 // Leader returns the known leader's ID, or -1.
 func (n *Node) Leader() int { return n.leader }
+
+// StepDowns returns how many times this node abdicated leadership after a
+// CheckQuorum window passed without contact from a quorum.
+func (n *Node) StepDowns() uint64 { return n.stepDowns }
 
 // lastIndex returns the index of the final log entry (compacted or live).
 func (n *Node) lastIndex() uint64 {
@@ -217,7 +251,15 @@ func (n *Node) entriesFrom(index uint64, max int) []Entry {
 
 func (n *Node) resetElectionTimeout() {
 	n.elapsed = 0
-	n.electionTimeout = n.cfg.ElectionTicks + n.rand.Intn(n.cfg.ElectionTicks)
+	// Randomized exponential backoff: each consecutive failed campaign
+	// widens the timeout spread, de-synchronizing dueling candidates under
+	// flapping links. backoff stays 0 unless hardening is enabled, so the
+	// vanilla control keeps the classic [ET, 2ET) window.
+	spread := n.cfg.ElectionTicks * (1 + n.backoff)
+	if max := 6 * n.cfg.ElectionTicks; spread > max {
+		spread = max
+	}
+	n.electionTimeout = n.cfg.ElectionTicks + n.rand.Intn(spread)
 }
 
 // Tick advances logical time by one unit and returns messages to send:
@@ -226,19 +268,82 @@ func (n *Node) Tick() []Message {
 	n.elapsed++
 	switch n.state {
 	case Leader:
+		n.leaderElapsed++
+		if n.cfg.CheckQuorum && n.leaderElapsed >= n.cfg.ElectionTicks {
+			n.leaderElapsed = 0
+			if !n.quorumActive() {
+				// Cut off from the majority: stop serving (possibly stale)
+				// leader reads and let the connected side elect freely.
+				n.stepDowns++
+				n.m.stepdowns.Inc()
+				n.becomeFollower(n.term, -1)
+				return nil
+			}
+		}
 		if n.elapsed >= n.cfg.HeartbeatTicks {
 			n.elapsed = 0
 			return n.broadcastAppend()
 		}
 	default:
 		if n.elapsed >= n.electionTimeout {
-			return n.startElection()
+			return n.campaign()
 		}
 	}
 	return nil
 }
 
-func (n *Node) startElection() []Message {
+// quorumActive reports whether a quorum (counting self) sent us anything
+// during the closing CheckQuorum window, and opens the next window.
+func (n *Node) quorumActive() bool {
+	active := 1
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID && n.recentActive[p] {
+			active++
+		}
+	}
+	n.recentActive = map[int]bool{}
+	return n.quorum(active)
+}
+
+// campaign is the election-timeout path: grow the backoff window, then
+// either probe via PreVote or (vanilla) campaign for real immediately.
+func (n *Node) campaign() []Message {
+	if n.cfg.PreVote || n.cfg.CheckQuorum {
+		if n.backoff < 5 {
+			n.backoff++
+		}
+	}
+	if n.cfg.PreVote {
+		return n.startPreVote()
+	}
+	return n.startElection(false)
+}
+
+// startPreVote asks every peer whether a campaign at term+1 would win,
+// without touching term, votedFor, or role.
+func (n *Node) startPreVote() []Message {
+	n.preVotes = map[int]bool{n.cfg.ID: true}
+	n.resetElectionTimeout()
+	if n.quorum(len(n.preVotes)) {
+		// Single-node cluster: no probe needed.
+		n.preVotes = nil
+		return n.startElection(false)
+	}
+	lastTerm, _ := n.termAt(n.lastIndex())
+	var msgs []Message
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		msgs = append(msgs, Message{
+			Type: MsgPreVote, From: n.cfg.ID, To: p, Term: n.term + 1,
+			LastLogIndex: n.lastIndex(), LastLogTerm: lastTerm,
+		})
+	}
+	return msgs
+}
+
+func (n *Node) startElection(force bool) []Message {
 	n.state = Candidate
 	n.term++
 	n.m.elections.Inc()
@@ -246,6 +351,7 @@ func (n *Node) startElection() []Message {
 	n.votedFor = n.cfg.ID
 	n.leader = -1
 	n.votes = map[int]bool{n.cfg.ID: true}
+	n.preVotes = nil
 	n.resetElectionTimeout()
 	lastTerm, _ := n.termAt(n.lastIndex())
 	var msgs []Message
@@ -255,7 +361,7 @@ func (n *Node) startElection() []Message {
 		}
 		msgs = append(msgs, Message{
 			Type: MsgVoteReq, From: n.cfg.ID, To: p, Term: n.term,
-			LastLogIndex: n.lastIndex(), LastLogTerm: lastTerm,
+			LastLogIndex: n.lastIndex(), LastLogTerm: lastTerm, Force: force,
 		})
 	}
 	if n.quorum(len(n.votes)) {
@@ -272,6 +378,9 @@ func (n *Node) becomeLeader() []Message {
 	n.leader = n.cfg.ID
 	n.m.leaderships.Inc()
 	n.elapsed = 0
+	n.leaderElapsed = 0
+	n.recentActive = map[int]bool{}
+	n.backoff = 0
 	n.nextIndex = map[int]uint64{}
 	n.matchIndex = map[int]uint64{}
 	for _, p := range n.cfg.Peers {
@@ -296,6 +405,7 @@ func (n *Node) becomeFollower(term uint64, leader int) {
 	n.leader = leader
 	n.votedFor = -1
 	n.votes = nil
+	n.preVotes = nil
 	n.resetElectionTimeout()
 }
 
@@ -343,10 +453,39 @@ func (n *Node) appendTo(p int) Message {
 	}
 }
 
+// leaseActive reports whether this node should ignore campaigns because it
+// has a live leader: it IS the leader (CheckQuorum guarantees it abdicates
+// when cut off), or it heard from one within the last election timeout.
+// Force (deliberate leadership transfer) always pierces the lease.
+func (n *Node) leaseActive(force bool) bool {
+	if force || !n.cfg.CheckQuorum {
+		return false
+	}
+	if n.state == Leader {
+		return true
+	}
+	return n.state == Follower && n.leader >= 0 && n.elapsed < n.cfg.ElectionTicks
+}
+
 // Step processes one inbound message and returns messages to send.
 func (n *Node) Step(m Message) []Message {
+	// Any inbound traffic proves the peer->us link for CheckQuorum.
+	if n.state == Leader && m.From != n.cfg.ID {
+		if n.recentActive == nil {
+			n.recentActive = map[int]bool{}
+		}
+		n.recentActive[m.From] = true
+	}
+	// Lease check (§9.6) BEFORE term handling: a higher-term vote request
+	// must not depose anything while we have a live leader, so drop it
+	// before the newer-term conversion below can touch our state.
+	if m.Type == MsgVoteReq && n.leaseActive(m.Force) {
+		return nil
+	}
 	// Term handling: newer term always converts us to follower first.
-	if m.Term > n.term {
+	// PreVote traffic is exempt by design — probes carry term+1 without
+	// anyone having incremented a real term.
+	if m.Term > n.term && m.Type != MsgPreVote && m.Type != MsgPreVoteResp {
 		leader := -1
 		if m.Type == MsgApp || m.Type == MsgSnap {
 			leader = m.From
@@ -364,16 +503,56 @@ func (n *Node) Step(m Message) []Message {
 		return n.handleAppResp(m)
 	case MsgSnap:
 		return n.handleSnap(m)
+	case MsgPreVote:
+		return n.handlePreVote(m)
+	case MsgPreVoteResp:
+		return n.handlePreVoteResp(m)
 	case MsgTimeoutNow:
 		// Leadership transfer: campaign immediately, skipping the election
-		// timeout, provided the request is current.
+		// timeout (and, via Force, the peers' leases), provided the request
+		// is current.
 		if m.Term >= n.term && n.state != Leader {
-			return n.startElection()
+			return n.startElection(true)
 		}
 		return nil
 	default:
 		panic(fmt.Sprintf("consensus: unknown message type %d", m.Type))
 	}
+}
+
+// handlePreVote answers a PreVote probe without mutating any local state:
+// grant only if the probed term beats ours, the candidate's log is
+// up-to-date, and we are not under a leader lease.
+func (n *Node) handlePreVote(m Message) []Message {
+	resp := Message{Type: MsgPreVoteResp, From: n.cfg.ID, To: m.From, Term: n.term}
+	lastTerm, _ := n.termAt(n.lastIndex())
+	upToDate := m.LastLogTerm > lastTerm ||
+		(m.LastLogTerm == lastTerm && m.LastLogIndex >= n.lastIndex())
+	if m.Term > n.term && upToDate && !n.leaseActive(m.Force) {
+		resp.Granted = true
+		resp.Term = m.Term
+	}
+	return []Message{resp}
+}
+
+func (n *Node) handlePreVoteResp(m Message) []Message {
+	if !m.Granted {
+		// A rejection carrying a newer term means we are behind: catch up
+		// now (we provably have connectivity to the rejecting peer).
+		if m.Term > n.term {
+			n.becomeFollower(m.Term, -1)
+		}
+		return nil
+	}
+	if n.state == Leader || n.preVotes == nil || m.Term != n.term+1 {
+		return nil
+	}
+	n.preVotes[m.From] = true
+	if n.quorum(len(n.preVotes)) {
+		n.preVotes = nil
+		return n.startElection(false)
+	}
+	return nil
 }
 
 // TransferLeadership begins moving leadership to peer `to`. Per the Raft
@@ -438,6 +617,7 @@ func (n *Node) handleApp(m Message) []Message {
 	// Valid leader for our term.
 	n.state = Follower
 	n.leader = m.From
+	n.backoff = 0
 	n.resetElectionTimeout()
 
 	prevTerm, ok := n.termAt(m.PrevIndex)
@@ -518,6 +698,7 @@ func (n *Node) handleSnap(m Message) []Message {
 	}
 	n.state = Follower
 	n.leader = m.From
+	n.backoff = 0
 	n.resetElectionTimeout()
 	if m.SnapIndex > n.lastIndex() {
 		// Replace our whole log with the snapshot.

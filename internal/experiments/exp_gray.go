@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/ha"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// grayCfg carries the CLI overrides (-gray with -seed/-chaos) into the
+// E-GRAY experiment.
+var grayCfg = struct {
+	mu   sync.Mutex
+	seed uint64
+	spec string
+}{}
+
+// SetGrayConfig overrides the E-GRAY sweep: a nonzero seed replaces the
+// default seed sweep with that single seed, and a non-empty chaos spec (a
+// preset name or schedule text) replaces the gray schedule sweep. Zero
+// values keep the defaults.
+func SetGrayConfig(seed uint64, spec string) {
+	grayCfg.mu.Lock()
+	defer grayCfg.mu.Unlock()
+	grayCfg.seed = seed
+	grayCfg.spec = spec
+}
+
+const (
+	grayNodes   = 5
+	grayHorizon = 300
+
+	// Defended bounds: the hardened cluster may lose at most this much
+	// availability while a connected majority exists (one step-down plus
+	// one election, with margin), and terms may grow by at most a handful
+	// of real elections — never the per-tick inflation of the control.
+	grayMaxLongest   = 80
+	grayMaxTotal     = 120
+	grayMaxTermDelta = 8
+
+	// Control teeth: the undefended run must visibly livelock or wedge —
+	// either runaway terms or a substantial unavailability total.
+	grayCtlTermDelta = 4
+	grayCtlUnavail   = 10
+)
+
+// graySchedules are the asymmetric fault shapes the sweep covers, sized
+// for a 5-node cluster with the leader rigged to node 0.
+//
+//   - one-way: nodes 0-3 stop reaching node 4 (it still sends) — the
+//     inbound-isolated node whose escaping campaigns livelock vanilla Raft.
+//   - partial: node 0 is pairwise cut from {2,3,4} both ways while node 1
+//     bridges — a non-transitive partition that wedges or deposes an
+//     undefended leader and exercises CheckQuorum on a defended one.
+//   - flap: every directed link flips with p=0.25 per tick for 100 ticks —
+//     the flapping-NIC shape; randomized election backoff keeps the
+//     defended cluster from synchronized re-election storms.
+func graySchedules() []struct{ name, text string } {
+	return []struct{ name, text string }{
+		{"one-way", "4 link-cut 0-3 4\n154 link-heal 0-3 4\n"},
+		{"partial", "4 partial-partition 0|2-4\n154 heal\n"},
+		{"flap", "4 flap 0-4 0-4 0.25\n104 unflap 0-4 0-4\n105 heal\n"},
+	}
+}
+
+// grayRun drives one cluster through a gray schedule, probing with one
+// commit-confirmed proposal per tick, and returns the availability report
+// plus the term growth and step-down counts.
+func grayRun(hardened bool, sched chaos.Schedule, seed uint64) (check.AvailReport, uint64, uint64) {
+	var c *consensus.Cluster
+	if hardened {
+		c = consensus.NewHardenedCluster(grayNodes, seed)
+	} else {
+		c = consensus.NewCluster(grayNodes, seed)
+	}
+	if l := c.RunUntilLeader(400); l < 0 {
+		panic("E-GRAY: no boot leader")
+	}
+	if !c.TransferLeadership(0, 80) {
+		panic("E-GRAY: could not rig leader to node 0")
+	}
+	reg := metrics.NewRegistry()
+	ctl := chaos.New(sched, seed, chaos.Targets{Nodes: grayNodes, Consensus: c}, reg)
+	boot := c.MaxTerm()
+
+	pts := make([]check.AvailPoint, 0, grayHorizon)
+	for tick := int64(1); tick <= grayHorizon; tick++ {
+		ctl.AdvanceTo(tick)
+		c.Tick()
+		_, ok := c.ProposeAndCountRounds([]byte{byte(tick), byte(tick >> 8)})
+		pts = append(pts, check.AvailPoint{T: tick, OK: ok, MajorityConnected: c.HasConnectedMajority()})
+	}
+	return check.Availability(pts), c.MaxTerm() - boot, c.StepDowns()
+}
+
+// EGRAYGrayFailures measures gray-failure tolerance: asymmetric faults
+// (one-way link cuts, a non-transitive partial partition, link flapping)
+// against a 5-node Raft cluster, control (vanilla) vs defended (PreVote +
+// CheckQuorum + randomized backoff). One commit-confirmed proposal probes
+// every tick; check.Availability charges only failures that happen while
+// a connected majority exists. The control must show the livelock
+// (runaway terms or a large unavailability total) and the defended run
+// must bound both — each gated by a recorded oracle verdict. A final row
+// captures a concurrent register history against a default-hardened
+// ha.Group under one-way cuts and checks it linearizable.
+func EGRAYGrayFailures(s Scale) *Table {
+	grayCfg.mu.Lock()
+	seedOverride, spec := grayCfg.seed, grayCfg.spec
+	grayCfg.mu.Unlock()
+
+	t := &Table{
+		ID:    "E-GRAY",
+		Title: "Gray-failure tolerance: asymmetric partitions vs Raft liveness hardening",
+		Note:  "5 nodes, leader rigged to node 0, one commit-confirmed probe per tick over 300 ticks; failed/longest/unavail count only probes that failed while a connected majority existed; term-delta is MaxTerm growth from boot; defended = PreVote + CheckQuorum + randomized election backoff",
+		Cols: []string{"schedule", "mode", "seed", "probes", "failed", "windows",
+			"longest", "unavail", "term-delta", "stepdowns", "verdict"},
+	}
+
+	type entry struct {
+		name  string
+		sched chaos.Schedule
+	}
+	var entries []entry
+	if spec != "" {
+		sched, err := chaos.Load(spec, grayNodes)
+		if err != nil {
+			panic(fmt.Sprintf("E-GRAY: -chaos: %v", err))
+		}
+		entries = []entry{{"custom", sched}}
+	} else {
+		for _, gs := range graySchedules() {
+			sched, err := chaos.Parse(gs.text)
+			if err != nil {
+				panic(fmt.Sprintf("E-GRAY: %s: %v", gs.name, err))
+			}
+			entries = append(entries, entry{gs.name, sched})
+		}
+	}
+	seeds := pick(s, []uint64{7}, []uint64{1, 7, 42})
+	if seedOverride != 0 {
+		seeds = []uint64{seedOverride}
+	}
+
+	for _, e := range entries {
+		for _, seed := range seeds {
+			for _, mode := range []string{"control", "defended"} {
+				hardened := mode == "defended"
+				rep, termDelta, stepdowns := grayRun(hardened, e.sched, seed)
+				job := fmt.Sprintf("E-GRAY/%s/seed-%d/%s", e.name, seed, mode)
+
+				var diff check.Diff
+				switch {
+				case hardened:
+					diff = check.DiffAvailability(job, rep, grayMaxLongest, grayMaxTotal)
+					if termDelta > grayMaxTermDelta {
+						diff.OK = false
+						diff.Details = append(diff.Details,
+							fmt.Sprintf("term growth %d > bound %d", termDelta, grayMaxTermDelta))
+					}
+					diff = recordCheck(diff)
+				case e.name == "flap":
+					// Flap control runs are informational: vanilla Raft may or
+					// may not livelock under a given coin, so nothing is gated.
+					diff = check.Diff{Name: job, OK: true, Compared: rep.Probes}
+				default:
+					// Control teeth: the failure must actually appear, or the
+					// defended rows are measuring against a strawman.
+					diff = check.Diff{Name: job + "/teeth", OK: true, Compared: rep.Probes}
+					if termDelta < grayCtlTermDelta && rep.Total < grayCtlUnavail {
+						diff.OK = false
+						diff.Details = []string{fmt.Sprintf(
+							"control shows no livelock: term growth %d, unavailable %d", termDelta, rep.Total)}
+					}
+					diff = recordCheck(diff)
+				}
+				t.AddRow(e.name, mode, fmt.Sprintf("%d", seed),
+					fmt.Sprintf("%d", rep.Probes),
+					fmt.Sprintf("%d", rep.Failed),
+					fmt.Sprintf("%d", rep.Windows),
+					fmt.Sprintf("%d", rep.Longest),
+					fmt.Sprintf("%d", rep.Total),
+					fmt.Sprintf("%d", termDelta),
+					fmt.Sprintf("%d", stepdowns),
+					verdictCell(diff))
+			}
+		}
+	}
+
+	// Linearizability under gray faults: concurrent clients against a
+	// replicated register (every read routed through the log), with both
+	// followers' links toward the leader cut mid-capture and healed later.
+	for _, seed := range seeds {
+		kv, g := newGrayRegKV(seed)
+		h := check.CaptureHistory(kv, check.CaptureConfig{
+			Clients: 4, Waves: 12, Keys: 6, Nodes: 1,
+			ReadFraction: 0.4, DeleteFraction: 0.1,
+			Seed:       seed,
+			IsNotFound: func(err error) bool { return errors.Is(err, errGrayNotFound) },
+			BetweenWaves: func(wave int) {
+				switch wave {
+				case 2:
+					l := g.Leader()
+					for i := 0; i < g.Members(); i++ {
+						if i != l {
+							g.CutLink(i, l)
+						}
+					}
+				case 8:
+					g.Heal()
+				}
+			},
+		})
+		verdict := check.Linearizable(h)
+		job := fmt.Sprintf("E-GRAY/ha-register/seed-%d", seed)
+		diff := check.Diff{Name: job, OK: verdict.OK, Compared: verdict.Ops}
+		if !verdict.OK {
+			diff.Details = []string{verdict.String()}
+		}
+		diff = recordCheck(diff)
+		t.AddRow("ha-register", "defended", fmt.Sprintf("%d", seed),
+			fmt.Sprintf("%d", verdict.Ops), "-", "-", "-", "-",
+			"-", fmt.Sprintf("%d", g.StepDowns()), verdictCell(diff))
+	}
+	return t
+}
+
+// --- replicated register KV over ha.Group -------------------------------
+
+// errGrayNotFound classifies "read observed an absent key".
+var errGrayNotFound = errors.New("gray register: not found")
+
+// regSM is a replicated string register map. Commands are
+// op\x00key[\x00value]; a get returns "1"+value or "0", so reads route
+// through the Raft log and the capture is linearizable by construction —
+// the check then validates the exactly-once envelope and failover
+// behaviour under the cuts.
+type regSM struct{ m map[string]string }
+
+func newRegSM() ha.StateMachine { return &regSM{m: map[string]string{}} }
+
+func (r *regSM) Apply(cmd []byte) []byte {
+	parts := strings.SplitN(string(cmd), "\x00", 3)
+	switch parts[0] {
+	case "p":
+		r.m[parts[1]] = parts[2]
+	case "d":
+		delete(r.m, parts[1])
+	case "g":
+		if v, ok := r.m[parts[1]]; ok {
+			return append([]byte("1"), v...)
+		}
+		return []byte("0")
+	}
+	return nil
+}
+
+func (r *regSM) Snapshot() []byte {
+	keys := make([]string, 0, len(r.m))
+	for k := range r.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(0)
+		b.WriteString(r.m[k])
+		b.WriteByte(0)
+	}
+	return []byte(b.String())
+}
+
+func (r *regSM) Restore(snap []byte) {
+	r.m = map[string]string{}
+	parts := strings.Split(string(snap), "\x00")
+	for i := 0; i+1 < len(parts); i += 2 {
+		r.m[parts[i]] = parts[i+1]
+	}
+}
+
+// grayRegKV adapts the ha.Group register to the check.QuorumKV surface.
+type grayRegKV struct{ g *ha.Group }
+
+func newGrayRegKV(seed uint64) (grayRegKV, *ha.Group) {
+	g := ha.NewGroup(ha.Config{
+		Members: 3, Seed: seed,
+		Machines: map[string]func() ha.StateMachine{"reg": newRegSM},
+	})
+	return grayRegKV{g: g}, g
+}
+
+func (k grayRegKV) Put(_ topology.NodeID, key string, value []byte) (time.Duration, error) {
+	_, err := k.g.Propose("reg", []byte("p\x00"+key+"\x00"+string(value)))
+	return 0, err
+}
+
+func (k grayRegKV) Get(_ topology.NodeID, key string) ([]byte, time.Duration, error) {
+	resp, err := k.g.Propose("reg", []byte("g\x00"+key))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resp) == 0 || resp[0] == '0' {
+		return nil, 0, errGrayNotFound
+	}
+	return resp[1:], 0, nil
+}
+
+func (k grayRegKV) Delete(_ topology.NodeID, key string) (time.Duration, error) {
+	_, err := k.g.Propose("reg", []byte("d\x00"+key))
+	return 0, err
+}

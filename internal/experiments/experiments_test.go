@@ -202,8 +202,8 @@ func TestE12Shapes(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -422,5 +422,49 @@ func TestESQLShapes(t *testing.T) {
 	}
 	if !sawChaos {
 		t.Fatalf("chaos events not applied: %v", table.Obs)
+	}
+}
+
+func TestEGRAYShapes(t *testing.T) {
+	table := runAndCheck(t, EGRAYGrayFailures)
+	// Small scale: 3 schedules x {control, defended} x 1 seed + 1
+	// ha-register linearizability row.
+	if len(table.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(table.Rows))
+	}
+	unavail := map[string]float64{} // "schedule/mode" -> charged unavailable ticks
+	termDelta := map[string]float64{}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Fatalf("row %v failed its verdict", row)
+		}
+		if row[0] == "ha-register" {
+			if parse(t, row[9]) < 1 {
+				t.Fatalf("row %v: gray cuts produced no ha step-down", row)
+			}
+			continue
+		}
+		key := row[0] + "/" + row[1]
+		unavail[key] = parse(t, row[7])
+		termDelta[key] = parse(t, row[8])
+	}
+	// Headline: the one-way control livelocks (terms inflate, proposals
+	// fail with a connected majority present the whole run) while the
+	// defended cluster rides it out untouched.
+	if termDelta["one-way/control"] < 4 {
+		t.Fatalf("one-way control term growth = %v, want >= 4", termDelta["one-way/control"])
+	}
+	if unavail["one-way/control"] < 10 {
+		t.Fatalf("one-way control unavailable = %v, want >= 10", unavail["one-way/control"])
+	}
+	if unavail["one-way/defended"] != 0 || termDelta["one-way/defended"] != 0 {
+		t.Fatalf("one-way defended not clean: unavail %v, term growth %v",
+			unavail["one-way/defended"], termDelta["one-way/defended"])
+	}
+	// The partial partition must also cost the control measurably more
+	// than the defended run.
+	if unavail["partial/control"] <= 2*unavail["partial/defended"] {
+		t.Fatalf("partial: control %v not clearly worse than defended %v",
+			unavail["partial/control"], unavail["partial/defended"])
 	}
 }

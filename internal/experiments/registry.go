@@ -27,6 +27,7 @@ func All() []Runner {
 		{"E-HA", "control-plane HA failover", EHAControlPlane},
 		{"E-OVL", "overload admission control", EOVLOverload},
 		{"E-TXN", "sharded KV transactions under chaos", ETXNTransactions},
+		{"E-GRAY", "gray-failure availability", EGRAYGrayFailures},
 		{"E-SQL", "sql planner differential suite", ESQLPlanner},
 	}
 }

@@ -1,0 +1,140 @@
+package ha
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// waitGoroutines polls until the goroutine count returns to (or below) the
+// baseline, failing the test on timeout — the leak check following the
+// admission/stream race-test pattern.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d alive, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestGrayStepDownAndRecovery cuts both followers' links TOWARD the
+// leader (it can still send — the one-way gray shape), and requires the
+// default-hardened group to abdicate via CheckQuorum, elect a reachable
+// leader, and keep committing, with the step-down visible in both the
+// accessor and the ha_leader_stepdowns metric.
+func TestGrayStepDownAndRecovery(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	reg := metrics.NewRegistry()
+	g := addGroup(t, Config{Seed: 7, Metrics: reg})
+	old := g.Leader()
+	if old < 0 {
+		t.Fatal("no boot leader")
+	}
+	bootTerm := g.MaxTerm()
+	for i := 0; i < g.Members(); i++ {
+		if i != old {
+			g.CutLink(i, old)
+		}
+	}
+	// The stale leader cannot commit; Propose must ride out the step-down
+	// and land on the follower-side replacement.
+	if _, err := g.Propose("add", encAdd(5)); err != nil {
+		t.Fatalf("propose across gray fault: %v", err)
+	}
+	if l := g.Leader(); l == old || l < 0 {
+		t.Fatalf("leader must move off the isolated member: old %d, now %d", old, l)
+	}
+	if got := g.StepDowns(); got != 1 {
+		t.Fatalf("StepDowns = %d, want 1", got)
+	}
+	if got := reg.Counter("ha_leader_stepdowns").Value(); got != 1 {
+		t.Fatalf("ha_leader_stepdowns = %d, want 1", got)
+	}
+	// PreVote keeps the isolated ex-leader from inflating terms: one real
+	// election beyond boot, nothing unbounded.
+	if got := g.MaxTerm(); got > bootTerm+2 {
+		t.Fatalf("terms inflated: boot %d, now %d", bootTerm, got)
+	}
+	// Heal: the ex-leader rejoins as a follower without deposing anyone.
+	g.Heal()
+	settle(g, 50)
+	if _, err := g.Propose("add", encAdd(7)); err != nil {
+		t.Fatalf("propose after heal: %v", err)
+	}
+	var total uint64
+	if err := g.Query("add", func(sm StateMachine) error {
+		total = sm.(*addSM).total
+		return nil
+	}); err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+	if total != 12 {
+		t.Fatalf("total = %d, want 12", total)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestGrayControlStuckLeader shows the failure the hardening removes: with
+// DisableHardening, an inbound-isolated leader keeps heartbeating (so the
+// followers never campaign) and keeps accepting proposals it can never
+// commit — the group is wedged until the fault heals.
+func TestGrayControlStuckLeader(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g := addGroup(t, Config{Seed: 7, DisableHardening: true, MaxOpTicks: 120})
+	old := g.Leader()
+	if old < 0 {
+		t.Fatal("no boot leader")
+	}
+	for i := 0; i < g.Members(); i++ {
+		if i != old {
+			g.CutLink(i, old)
+		}
+	}
+	if _, err := g.Propose("add", encAdd(5)); err == nil {
+		t.Fatal("control group must wedge under an inbound-isolated leader")
+	}
+	if g.StepDowns() != 0 {
+		t.Fatal("control group must not step down")
+	}
+	// Healing un-wedges it (the in-flight entry may commit late; the
+	// sequence envelope keeps the retry exactly-once).
+	g.Heal()
+	if _, err := g.Propose("add", encAdd(7)); err != nil {
+		t.Fatalf("propose after heal: %v", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestGrayDeterministicReplay: same seed + same gray schedule must yield
+// identical step-down counts, terms, and machine state.
+func TestGrayDeterministicReplay(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		g := addGroup(t, Config{Seed: 11})
+		old := g.Leader()
+		for i := 0; i < g.Members(); i++ {
+			if i != old {
+				g.CutLink(i, old)
+			}
+		}
+		resp, err := g.Propose("add", encAdd(3))
+		if err != nil {
+			t.Fatalf("propose: %v", err)
+		}
+		g.Heal()
+		settle(g, 30)
+		_ = resp
+		return g.StepDowns(), g.MaxTerm(), g.seq
+	}
+	s1, t1, q1 := run()
+	s2, t2, q2 := run()
+	if s1 != s2 || t1 != t2 || q1 != q2 {
+		t.Fatalf("replay diverged: (%d,%d,%d) vs (%d,%d,%d)", s1, t1, q1, s2, t2, q2)
+	}
+}

@@ -64,6 +64,11 @@ type Config struct {
 	// MaxOpTicks bounds how many virtual ticks one Propose or Query may
 	// spend waiting out elections before giving up. Default 500.
 	MaxOpTicks int
+	// DisableHardening turns off the Raft liveness hardening (PreVote,
+	// CheckQuorum leader leases, randomized election backoff) that groups
+	// run with by default. Only the gray-failure experiments set this, to
+	// measure the undefended control.
+	DisableHardening bool
 	// Metrics, when non-nil, receives the group's counters: ha_proposals,
 	// ha_queries, ha_redirects, ha_failovers, the ha_failover_ticks
 	// histogram (ticks from leader loss to the next leader), member
@@ -77,6 +82,7 @@ type groupMetrics struct {
 	redirects     *metrics.Counter
 	failovers     *metrics.Counter
 	failoverTicks *metrics.Histogram
+	stepdowns     *metrics.Counter
 	crashes       *metrics.Counter
 	restarts      *metrics.Counter
 	snapRestores  *metrics.Counter
@@ -104,8 +110,13 @@ type Group struct {
 	nodes   []*consensus.Node
 	reps    []*replica
 	crashed []bool
-	part    map[int]int // nil = fully connected
+	part    map[int]int     // nil = fully connected
+	cut     map[[2]int]bool // directed member-link cuts (gray faults)
 	inbox   []consensus.Message
+
+	// seenStepDowns mirrors the sum of member StepDowns() already counted
+	// into the ha_leader_stepdowns metric.
+	seenStepDowns uint64
 
 	seq         uint64
 	ticks       int64
@@ -158,7 +169,14 @@ func NewGroup(cfg Config) *Group {
 		failingSince: -1,
 	}
 	for i := 0; i < cfg.Members; i++ {
-		g.nodes[i] = consensus.NewNode(consensus.Config{ID: i, Peers: peers, Seed: cfg.Seed})
+		g.nodes[i] = consensus.NewNode(consensus.Config{
+			ID: i, Peers: peers, Seed: cfg.Seed,
+			// Gray-failure liveness hardening is on by default: every ha
+			// consumer (sharded KV, DFS namenode, coordinator journal)
+			// inherits PreVote + CheckQuorum + election backoff for free.
+			PreVote:     !cfg.DisableHardening,
+			CheckQuorum: !cfg.DisableHardening,
+		})
 		g.reps[i] = g.newReplica()
 	}
 	if reg := cfg.Metrics; reg != nil {
@@ -168,6 +186,7 @@ func NewGroup(cfg Config) *Group {
 			redirects:     reg.Counter("ha_redirects"),
 			failovers:     reg.Counter("ha_failovers"),
 			failoverTicks: reg.Histogram("ha_failover_ticks"),
+			stepdowns:     reg.Counter("ha_leader_stepdowns"),
 			crashes:       reg.Counter("ha_member_crashes"),
 			restarts:      reg.Counter("ha_member_restarts"),
 			snapRestores:  reg.Counter("ha_snapshot_restores"),
@@ -233,6 +252,9 @@ func (g *Group) leaderLocked() int {
 
 func (g *Group) blocked(from, to int) bool {
 	if g.crashed[from] || g.crashed[to] {
+		return true
+	}
+	if g.cut != nil && g.cut[[2]int{from, to}] {
 		return true
 	}
 	if g.part == nil {
@@ -303,8 +325,18 @@ func (g *Group) applyCommittedLocked() {
 	}
 }
 
-// trackFailoverLocked records leader-loss -> next-leader intervals.
+// trackFailoverLocked records leader-loss -> next-leader intervals and
+// rolls member CheckQuorum abdications into the ha_leader_stepdowns
+// counter.
 func (g *Group) trackFailoverLocked() {
+	var total uint64
+	for _, n := range g.nodes {
+		total += n.StepDowns()
+	}
+	if d := total - g.seenStepDowns; d > 0 {
+		g.m.stepdowns.Add(int64(d))
+		g.seenStepDowns = total
+	}
 	l := g.leaderLocked()
 	if l >= 0 {
 		if g.failingSince >= 0 {
@@ -528,11 +560,63 @@ func (g *Group) Partition(groups ...[]int) {
 	}
 }
 
-// Heal removes all partitions.
+// Heal removes all partitions and directed member-link cuts.
 func (g *Group) Heal() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.part = nil
+	g.cut = nil
+}
+
+// CutLink blocks consensus traffic in the from -> to direction only — the
+// gray-failure hook mirroring consensus.Cluster.CutLink. Out-of-range
+// member ids are ignored.
+func (g *Group) CutLink(from, to int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if from == to || from < 0 || to < 0 || from >= len(g.nodes) || to >= len(g.nodes) {
+		return
+	}
+	if g.cut == nil {
+		g.cut = map[[2]int]bool{}
+	}
+	g.cut[[2]int{from, to}] = true
+}
+
+// HealLink removes a directed from -> to member-link cut.
+func (g *Group) HealLink(from, to int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.cut, [2]int{from, to})
+	if len(g.cut) == 0 {
+		g.cut = nil
+	}
+}
+
+// MaxTerm returns the highest consensus term across members — the
+// gray-failure livelock telltale (unbounded growth means a partially
+// isolated member keeps inflating terms).
+func (g *Group) MaxTerm() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var top uint64
+	for _, n := range g.nodes {
+		if t := n.Term(); t > top {
+			top = t
+		}
+	}
+	return top
+}
+
+// StepDowns sums CheckQuorum leader abdications across all members.
+func (g *Group) StepDowns() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var total uint64
+	for _, n := range g.nodes {
+		total += n.StepDowns()
+	}
+	return total
 }
 
 // apply decodes one committed envelope and applies it to the named

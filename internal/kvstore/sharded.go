@@ -455,6 +455,20 @@ func (s *Sharded) PartitionGroup(group int, sides ...[]int) { s.groups[group].Pa
 // HealGroup removes a group's partition.
 func (s *Sharded) HealGroup(group int) { s.groups[group].Heal() }
 
+// CutGroupLink severs the directed from -> to link inside one group's
+// Raft cluster (gray one-way fault); the reverse direction stays up.
+func (s *Sharded) CutGroupLink(group, from, to int) { s.groups[group].CutLink(from, to) }
+
+// HealGroupLink restores a directed link cut by CutGroupLink.
+func (s *Sharded) HealGroupLink(group, from, to int) { s.groups[group].HealLink(from, to) }
+
+// GroupMaxTerm returns one group's highest consensus term — the
+// gray-failure livelock telltale.
+func (s *Sharded) GroupMaxTerm(group int) uint64 { return s.groups[group].MaxTerm() }
+
+// GroupStepDowns sums one group's CheckQuorum leader abdications.
+func (s *Sharded) GroupStepDowns(group int) uint64 { return s.groups[group].StepDowns() }
+
 // CrashGroupMember crashes one member of a group (-1 = current leader).
 func (s *Sharded) CrashGroupMember(group, id int) error {
 	return s.groups[group].CrashMember(id)
@@ -467,6 +481,9 @@ func (s *Sharded) ReviveGroupMember(group, id int) error {
 
 // GroupLeader returns a group's current leader member id, or -1.
 func (s *Sharded) GroupLeader(group int) int { return s.groups[group].Leader() }
+
+// GroupMembers returns one group's consensus cluster size.
+func (s *Sharded) GroupMembers(group int) int { return s.groups[group].Members() }
 
 // Groups returns the number of Raft groups.
 func (s *Sharded) Groups() int { return s.cfg.Groups }

@@ -1,21 +1,29 @@
 package netsim
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/topology"
 )
 
+// linkKey packs a directed src->dst pair into one map key.
+type linkKey struct{ src, dst topology.NodeID }
+
 // conditions is the mutable fault layer over a fabric's immutable cost
 // model: a network partition (nodes in different groups cannot reach each
-// other) and per-node link degradation factors (a factor f > 1 slows every
-// transfer touching that node by f). The struct is immutable once built;
-// Fabric swaps whole snapshots through an atomic pointer, so condition
-// changes are safe against concurrent Cost queries without locking the
-// query path.
+// other), a set of directed link cuts (src->dst blocked while dst->src may
+// still flow — the gray-failure shapes: one-way cuts, non-transitive
+// partial partitions, flapping links), and per-node link degradation
+// factors (a factor f > 1 slows every transfer touching that node by f).
+// The struct is immutable once built; Fabric swaps whole snapshots through
+// an atomic pointer, so condition changes are safe against concurrent Cost
+// queries without locking the query path.
 type conditions struct {
 	// groupOf maps node -> partition group; nil means no partition.
 	groupOf []int
+	// cut holds directed src->dst blocks; nil means no cuts.
+	cut map[linkKey]bool
 	// degrade maps node -> slowdown factor; nil or factor <= 1 means clean.
 	degrade map[topology.NodeID]float64
 }
@@ -24,6 +32,12 @@ func (c *conditions) clone(size int) *conditions {
 	out := &conditions{}
 	if c != nil && c.groupOf != nil {
 		out.groupOf = append([]int(nil), c.groupOf...)
+	}
+	if c != nil && len(c.cut) > 0 {
+		out.cut = make(map[linkKey]bool, len(c.cut))
+		for k := range c.cut {
+			out.cut[k] = true
+		}
 	}
 	if c != nil && len(c.degrade) > 0 {
 		out.degrade = make(map[topology.NodeID]float64, len(c.degrade))
@@ -38,20 +52,30 @@ func (c *conditions) clone(size int) *conditions {
 // SetPartition splits the fabric into the given groups: transfers between
 // nodes in different groups are blocked (Reachable reports false) until
 // Heal. Nodes not mentioned in any group are isolated in their own
-// singleton group, mirroring consensus.Cluster.Partition semantics.
-func (f *Fabric) SetPartition(groups ...[]topology.NodeID) {
+// singleton group, mirroring consensus.Cluster.Partition semantics. A node
+// listed in more than one group is a schedule bug — the call rejects it
+// with an error and leaves the previous conditions untouched.
+func (f *Fabric) SetPartition(groups ...[]topology.NodeID) error {
 	size := f.top.Size()
+	seen := make(map[topology.NodeID]int)
+	for gi, g := range groups {
+		for _, n := range g {
+			if int(n) < 0 || int(n) >= size {
+				continue
+			}
+			if prev, ok := seen[n]; ok && prev != gi {
+				return fmt.Errorf("netsim: SetPartition: node %d appears in groups %d and %d (groups must be disjoint)", n, prev, gi)
+			}
+			seen[n] = gi
+		}
+	}
 	c := f.cond.Load().clone(size)
 	c.groupOf = make([]int, size)
 	for i := range c.groupOf {
 		c.groupOf[i] = -1
 	}
-	for gi, g := range groups {
-		for _, n := range g {
-			if int(n) >= 0 && int(n) < size {
-				c.groupOf[n] = gi
-			}
-		}
+	for n, gi := range seen {
+		c.groupOf[n] = gi
 	}
 	next := len(groups)
 	for i, g := range c.groupOf {
@@ -64,35 +88,84 @@ func (f *Fabric) SetPartition(groups ...[]topology.NodeID) {
 	if im := f.m.Load(); im != nil {
 		im.partitionsSet.Inc()
 	}
+	return nil
 }
 
-// Heal removes any partition, leaving degradation factors in place.
+// CutLink blocks transfers in the src->dst direction only; dst->src keeps
+// flowing. Directed cuts compose with (and are independent of) group
+// partitions: a transfer is blocked if either layer blocks it. Cutting the
+// same link twice is idempotent.
+func (f *Fabric) CutLink(src, dst topology.NodeID) {
+	if src == dst {
+		return
+	}
+	c := f.cond.Load().clone(f.top.Size())
+	if c.cut == nil {
+		c.cut = map[linkKey]bool{}
+	}
+	c.cut[linkKey{src, dst}] = true
+	f.cond.Store(c)
+	if im := f.m.Load(); im != nil {
+		im.linkCuts.Inc()
+	}
+}
+
+// HealLink removes a directed src->dst cut. Healing a link that is not cut
+// is a no-op.
+func (f *Fabric) HealLink(src, dst topology.NodeID) {
+	c := f.cond.Load()
+	if c == nil || !c.cut[linkKey{src, dst}] {
+		return
+	}
+	n := c.clone(f.top.Size())
+	delete(n.cut, linkKey{src, dst})
+	if len(n.cut) == 0 {
+		n.cut = nil
+	}
+	f.cond.Store(n)
+	if im := f.m.Load(); im != nil {
+		im.linkHeals.Inc()
+	}
+}
+
+// Heal removes any partition and every directed link cut, leaving
+// degradation factors in place.
 func (f *Fabric) Heal() {
 	c := f.cond.Load().clone(f.top.Size())
-	if c.groupOf == nil {
+	if c.groupOf == nil && c.cut == nil {
 		return // nothing to heal; keep the heal counter honest
 	}
 	c.groupOf = nil
+	c.cut = nil
 	f.cond.Store(c)
 	if im := f.m.Load(); im != nil {
 		im.partitionHeals.Inc()
 	}
 }
 
-// Partitioned reports whether a partition is currently in effect.
+// Partitioned reports whether a partition or any directed cut is currently
+// in effect.
 func (f *Fabric) Partitioned() bool {
 	c := f.cond.Load()
-	return c != nil && c.groupOf != nil
+	return c != nil && (c.groupOf != nil || len(c.cut) > 0)
 }
 
 // Reachable reports whether src can currently transfer to dst. Same-node
 // transfers are always reachable (local memory never partitions away).
+// Reachability is directed: a one-way cut blocks src->dst while dst->src
+// still succeeds.
 func (f *Fabric) Reachable(src, dst topology.NodeID) bool {
 	if src == dst {
 		return true
 	}
 	c := f.cond.Load()
-	if c == nil || c.groupOf == nil {
+	if c == nil {
+		return true
+	}
+	if c.cut != nil && c.cut[linkKey{src, dst}] {
+		return false
+	}
+	if c.groupOf == nil {
 		return true
 	}
 	if int(src) < 0 || int(src) >= len(c.groupOf) ||
@@ -121,8 +194,8 @@ func (f *Fabric) SetNodeDegrade(n topology.NodeID, factor float64) {
 	f.cond.Store(c)
 }
 
-// ClearConditions drops every partition and degradation, restoring the
-// clean fabric.
+// ClearConditions drops every partition, link cut and degradation,
+// restoring the clean fabric.
 func (f *Fabric) ClearConditions() {
 	f.cond.Store(&conditions{})
 }

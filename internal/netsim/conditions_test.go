@@ -16,10 +16,12 @@ func TestPartitionReachability(t *testing.T) {
 	if !f.Reachable(0, 7) || f.Partitioned() {
 		t.Fatal("clean fabric must be fully reachable")
 	}
-	f.SetPartition(
+	if err := f.SetPartition(
 		[]topology.NodeID{0, 1, 2, 3},
 		[]topology.NodeID{4, 5, 6},
-	)
+	); err != nil {
+		t.Fatalf("SetPartition: %v", err)
+	}
 	if !f.Partitioned() {
 		t.Fatal("partition not in effect")
 	}
@@ -50,6 +52,83 @@ func TestPartitionReachability(t *testing.T) {
 	f.Heal()
 	if got := reg.Counter("net_partition_heals").Value(); got != 1 {
 		t.Fatalf("redundant heal counted: %d", got)
+	}
+}
+
+func TestSetPartitionRejectsOverlap(t *testing.T) {
+	top := topology.TwoTier(2, 4, 2)
+	f := NewFabric(top, RDMA40G)
+	if err := f.SetPartition(
+		[]topology.NodeID{0, 1, 2},
+		[]topology.NodeID{2, 3},
+	); err == nil {
+		t.Fatal("overlapping groups must be rejected")
+	}
+	// The failed call must not have installed a partial partition.
+	if f.Partitioned() || !f.Reachable(0, 3) {
+		t.Fatal("rejected SetPartition mutated conditions")
+	}
+	// A node repeated inside the same group is harmless, not an overlap.
+	if err := f.SetPartition([]topology.NodeID{0, 0, 1}, []topology.NodeID{2}); err != nil {
+		t.Fatalf("duplicate within one group rejected: %v", err)
+	}
+	f.Heal()
+}
+
+func TestDirectedLinkCuts(t *testing.T) {
+	top := topology.TwoTier(2, 4, 2)
+	f := NewFabric(top, RDMA40G)
+	reg := metrics.NewRegistry()
+	f.Instrument(reg)
+
+	// One-way cut: 0->1 blocked, 1->0 still flows.
+	f.CutLink(0, 1)
+	if f.Reachable(0, 1) {
+		t.Fatal("cut link 0->1 must be unreachable")
+	}
+	if !f.Reachable(1, 0) {
+		t.Fatal("reverse direction 1->0 must stay reachable")
+	}
+	if !f.Partitioned() {
+		t.Fatal("directed cut must report Partitioned")
+	}
+	// Non-transitive shape: 0->1 cut, 1->2 and 0->2 alive.
+	if !f.Reachable(1, 2) || !f.Reachable(0, 2) {
+		t.Fatal("uncut links must stay reachable")
+	}
+	// Idempotent cut, directed heal.
+	f.CutLink(0, 1)
+	f.HealLink(0, 1)
+	if !f.Reachable(0, 1) {
+		t.Fatal("HealLink must restore the direction")
+	}
+	f.HealLink(0, 1) // healing a healthy link is a no-op
+	if got := reg.Counter("net_link_heals").Value(); got != 1 {
+		t.Fatalf("net_link_heals = %d, want 1", got)
+	}
+	if got := reg.Counter("net_link_cuts").Value(); got != 2 {
+		t.Fatalf("net_link_cuts = %d, want 2", got)
+	}
+
+	// Cuts compose with group partitions, and Heal clears both layers.
+	f.CutLink(4, 5)
+	if err := f.SetPartition([]topology.NodeID{0, 1, 2, 3}, []topology.NodeID{4, 5, 6, 7}); err != nil {
+		t.Fatalf("SetPartition: %v", err)
+	}
+	if f.Reachable(4, 5) {
+		t.Fatal("same-group transfer must still honor the directed cut")
+	}
+	if f.Reachable(0, 4) {
+		t.Fatal("cross-group transfer must be blocked")
+	}
+	f.Heal()
+	if f.Partitioned() || !f.Reachable(4, 5) || !f.Reachable(0, 4) {
+		t.Fatal("Heal must clear both the partition and directed cuts")
+	}
+	// Self-cuts are ignored: local transfers never partition away.
+	f.CutLink(3, 3)
+	if !f.Reachable(3, 3) || f.Partitioned() {
+		t.Fatal("self-cut must be a no-op")
 	}
 }
 

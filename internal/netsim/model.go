@@ -82,6 +82,8 @@ type fabricMetrics struct {
 	simFlowBytes    *metrics.Counter
 	partitionsSet   *metrics.Counter
 	partitionHeals  *metrics.Counter
+	linkCuts        *metrics.Counter
+	linkHeals       *metrics.Counter
 	degradedQueries *metrics.Counter
 }
 
@@ -145,6 +147,8 @@ func (f *Fabric) Instrument(reg *metrics.Registry) {
 		simFlowBytes:    reg.Counter("net_sim_payload_bytes"),
 		partitionsSet:   reg.Counter("net_partitions_set"),
 		partitionHeals:  reg.Counter("net_partition_heals"),
+		linkCuts:        reg.Counter("net_link_cuts"),
+		linkHeals:       reg.Counter("net_link_heals"),
 		degradedQueries: reg.Counter("net_degraded_queries"),
 	})
 }

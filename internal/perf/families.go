@@ -17,6 +17,11 @@
 //	query    — the E-SQL star-schema suite through the cost-based
 //	           planner: one round per window, outputs checksummed and
 //	           the columnar pushdown counters pinned as shape.
+//	avail    — the E-GRAY gray-failure sweep as a trajectory: asymmetric
+//	           fault schedules against control and hardened Raft
+//	           clusters, one commit-confirmed probe per virtual tick.
+//	           Every availability stat is a pure function of the seed,
+//	           so the whole sweep gates as shape.
 package perf
 
 import (
@@ -29,8 +34,10 @@ import (
 
 	hpbdc "repro"
 	"repro/internal/admission"
+	"repro/internal/chaos"
 	"repro/internal/check"
 	"repro/internal/cluster"
+	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
@@ -71,7 +78,7 @@ type Options struct {
 }
 
 // Families lists the runnable family names in canonical order.
-func Families() []string { return []string{"shuffle", "stream", "kv", "terasort", "query"} }
+func Families() []string { return []string{"shuffle", "stream", "kv", "terasort", "query", "avail"} }
 
 // Run executes one named family and returns its result.
 func Run(family string, o Options) (*Result, error) {
@@ -92,6 +99,8 @@ func Run(family string, o Options) (*Result, error) {
 		return runTerasort(o)
 	case "query":
 		return runQuery(o)
+	case "avail":
+		return runAvail(o)
 	default:
 		return nil, fmt.Errorf("perf: unknown family %q (have %v)", family, Families())
 	}
@@ -861,6 +870,105 @@ func runQuery(o Options) (*Result, error) {
 	r.Shape["windows"] = int64(len(windows))
 	r.Metrics["queries_per_sec"] = float64(totalQueries) / totalWall.Seconds()
 	r.Metrics["result_rows_per_sec"] = float64(totalRows) / totalWall.Seconds()
+	return r, nil
+}
+
+// ---- avail -----------------------------------------------------------------
+
+// runAvail replays the gray-failure availability sweep as a trajectory:
+// three asymmetric fault schedules (one-way inbound isolation, a
+// non-transitive partial partition, link flapping) against a 5-node Raft
+// cluster, control (vanilla) vs defended (PreVote + CheckQuorum +
+// randomized backoff). One commit-confirmed proposal probes every
+// virtual tick; check.Availability charges only failures that coincide
+// with a connected majority. Everything but the wall probe rate is a
+// pure function of the seed, so the unavailability windows, term growth
+// and step-down counts all gate as exact-match shape — a liveness
+// regression (say, a PreVote bug reintroducing term inflation) breaks
+// the baseline the same way a lost record breaks the shuffle checksum.
+func runAvail(o Options) (*Result, error) {
+	const nodes = 5
+	const horizon = 300
+	// One virtual tick is modeled as 1ms for window bookkeeping.
+	const tickNs = int64(time.Millisecond)
+
+	schedules := []struct{ name, text string }{
+		{"one_way", "4 link-cut 0-3 4\n154 link-heal 0-3 4\n"},
+		{"partial", "4 partial-partition 0|2-4\n154 heal\n"},
+		{"flap", "4 flap 0-4 0-4 0.25\n104 unflap 0-4 0-4\n105 heal\n"},
+	}
+
+	r := newResult("avail", o, map[string]string{
+		"nodes":   fmt.Sprint(nodes),
+		"horizon": fmt.Sprint(horizon),
+	})
+	start := time.Now()
+	var offset, totalProbes, totalFailed int64
+	for _, sc := range schedules {
+		sched, err := chaos.Parse(sc.text)
+		if err != nil {
+			return nil, fmt.Errorf("perf: avail %s: %w", sc.name, err)
+		}
+		for _, mode := range []string{"control", "defended"} {
+			var c *consensus.Cluster
+			if mode == "defended" {
+				c = consensus.NewHardenedCluster(nodes, o.Seed)
+			} else {
+				c = consensus.NewCluster(nodes, o.Seed)
+			}
+			if l := c.RunUntilLeader(400); l < 0 {
+				return nil, fmt.Errorf("perf: avail %s/%s: no boot leader", sc.name, mode)
+			}
+			if !c.TransferLeadership(0, 80) {
+				return nil, fmt.Errorf("perf: avail %s/%s: could not rig leader", sc.name, mode)
+			}
+			ctl := chaos.New(sched, o.Seed, chaos.Targets{Nodes: nodes, Consensus: c}, nil)
+			boot := c.MaxTerm()
+
+			pts := make([]check.AvailPoint, 0, horizon)
+			var ok, commitRounds int64
+			for tick := int64(1); tick <= horizon; tick++ {
+				ctl.AdvanceTo(tick)
+				c.Tick()
+				rounds, committed := c.ProposeAndCountRounds([]byte{byte(tick), byte(tick >> 8)})
+				if committed {
+					ok++
+					commitRounds += int64(rounds)
+				}
+				pts = append(pts, check.AvailPoint{T: tick, OK: committed, MajorityConnected: c.HasConnectedMajority()})
+			}
+			rep := check.Availability(pts)
+			totalProbes += int64(rep.Probes)
+			totalFailed += int64(rep.Failed)
+
+			key := sc.name + "_" + mode
+			r.Shape[key+"_failed"] = int64(rep.Failed)
+			r.Shape[key+"_windows"] = int64(rep.Windows)
+			r.Shape[key+"_longest"] = rep.Longest
+			r.Shape[key+"_unavail"] = rep.Total
+			r.Shape[key+"_term_delta"] = int64(c.MaxTerm() - boot)
+			r.Shape[key+"_stepdowns"] = int64(c.StepDowns())
+
+			meanRounds := int64(0)
+			if ok > 0 {
+				meanRounds = commitRounds / ok
+			}
+			r.Windows = append(r.Windows, Window{
+				StartNs: offset,
+				Count:   int64(rep.Probes),
+				PerSec:  float64(ok) / (float64(horizon*tickNs) / float64(time.Second)),
+				MeanNs:  float64(meanRounds),
+			})
+			offset += horizon * tickNs
+		}
+	}
+	wall := time.Since(start)
+
+	r.Shape["probes"] = totalProbes
+	r.Shape["failed"] = totalFailed
+	r.Shape["windows"] = int64(len(r.Windows))
+	// The only wall-clock number: probe throughput, threshold-compared.
+	r.Metrics["probes_per_sec"] = float64(totalProbes) / wall.Seconds()
 	return r, nil
 }
 

@@ -44,6 +44,13 @@ echo "== sharded txn gauntlet (race, seeds: $SEEDS) =="
 # dirty-read injection caught (TestTxnAcceptance*).
 TXN_SEEDS=$(echo "$SEEDS" | tr ' ' ',') go test -race -run 'TestTxnAcceptance' . -count=1
 
+echo "== gray-failure sweep (race, seeds: $SEEDS) =="
+# Asymmetric faults (one-way cuts, non-transitive partial partitions):
+# the vanilla control must livelock, the hardened cluster must bound
+# unavailability and term growth on the same (schedule, seed), and the
+# replay must be deterministic (TestGrayAcceptance*).
+GRAY_SEEDS=$(echo "$SEEDS" | tr ' ' ',') go test -race -run 'TestGray' . -count=1
+
 echo "== building race-enabled terasort =="
 tmpbin=$(mktemp -d)
 trap 'rm -rf "$tmpbin"' EXIT
@@ -57,15 +64,16 @@ for preset in $PRESETS; do
     done
 done
 
-echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E-OVL, E-TXN, E-SQL, E5) =="
+echo "== oracle-checked experiment pass (EFT, E-SFT, E-HA, E-OVL, E-TXN, E-GRAY, E-SQL, E5) =="
 # Every chaos run above re-ran the job; this pass ends the sweep with the
 # experiment suite's own verdicts: batch oracle diffs (EFT), stream
 # window oracles (E-SFT), control-plane failover oracles (E-HA),
 # overload-with-shedding linearizability (E-OVL), sharded-txn strict
-# serializability (E-TXN), relational differential checks incl. a
-# crash-preset replay (E-SQL) and plain quorum linearizability (E5).
-# -check exits nonzero on any mismatch.
-go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E-OVL,E-TXN,E-SQL,E5 -check
+# serializability (E-TXN), gray-failure availability bounds and teeth
+# (E-GRAY), relational differential checks incl. a crash-preset replay
+# (E-SQL) and plain quorum linearizability (E5). -check exits nonzero on
+# any mismatch.
+go run ./cmd/hpbdc-bench -small -run EFT,E-SFT,E-HA,E-OVL,E-TXN,E-GRAY,E-SQL,E5 -check
 
 echo "== linearizability checker self-test (must fail under -stale) =="
 if go run ./cmd/hpbdc-kvbench -ops 2000 -keys 200 -check -stale >/dev/null 2>&1; then

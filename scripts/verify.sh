@@ -37,6 +37,13 @@ go test -race -run 'TestOverloadAcceptance' . -count=1
 echo "== txn acceptance (race) =="
 go test -race -run 'TestTxnAcceptance' . -count=1
 
+echo "== gray-failure acceptance (race) =="
+# Control cluster must livelock under asymmetric faults, hardened
+# cluster must bound unavailability and terms, deterministically; the
+# E-GRAY oracle verdicts (incl. ha-register linearizability) ride along.
+go test -race -run 'TestGray' . -count=1
+go test -race -run 'TestEGRAYShapes' ./internal/experiments/ -count=1
+
 sh scripts/coverage.sh
 
 if [ "${FUZZ:-0}" = "1" ]; then
@@ -48,6 +55,7 @@ if [ "${FUZZ:-0}" = "1" ]; then
     go test -fuzz=FuzzRoundTrip -fuzztime=3s -run '^$' ./internal/compress
     go test -fuzz=FuzzDecompress -fuzztime=2s -run '^$' ./internal/compress
     go test -fuzz=FuzzPlanEquivalence -fuzztime=5s -run '^$' ./internal/query
+    go test -fuzz=FuzzParseSchedule -fuzztime=3s -run '^$' ./internal/chaos
 fi
 
 if [ "${CHAOS:-0}" = "1" ]; then
